@@ -1,0 +1,506 @@
+(* Benchmark harness: regenerates every table/figure-shaped artifact of the
+   paper (see the per-experiment index in DESIGN.md and the recorded runs
+   in EXPERIMENTS.md).
+
+   Each experiment prints a table; fixed-size workloads additionally run
+   as Bechamel micro-benchmarks (one Test.make per experiment, collected
+   in one run at the end).
+
+   Run with:  dune exec bench/main.exe
+   (set BENCH_FAST=1 to shrink the series for quick checks) *)
+
+module GP = Graphql_pg
+open Bechamel
+open Toolkit
+
+let fast = Sys.getenv_opt "BENCH_FAST" <> None
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* median-of-k wall-clock milliseconds *)
+let time_ms ?(repeat = 3) f =
+  let runs =
+    List.init repeat (fun _ ->
+        let t0 = Sys.time () in
+        ignore (Sys.opaque_identity (f ()));
+        (Sys.time () -. t0) *. 1000.0)
+  in
+  List.nth (List.sort compare runs) (repeat / 2)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — the cardinality table of Section 3.3, executed                  *)
+
+let cardinality_table () =
+  section "E3: Section 3.3 cardinality table (accept / reject probes)";
+  let variant body =
+    GP.schema_of_string_exn (Printf.sprintf "type A { rel: %s }\ntype B {\n}\n" body)
+  in
+  let probe sch ~sources ~targets ~edges =
+    let b = GP.Builder.create () in
+    for i = 1 to sources do
+      ignore (GP.Builder.node b (Printf.sprintf "a%d" i) ~label:"A" ())
+    done;
+    for j = 1 to targets do
+      ignore (GP.Builder.node b (Printf.sprintf "b%d" j) ~label:"B" ())
+    done;
+    List.iter
+      (fun (i, j) ->
+        ignore
+          (GP.Builder.edge b (Printf.sprintf "a%d" i) (Printf.sprintf "b%d" j) ~label:"rel" ()))
+      edges;
+    GP.conforms sch (GP.Builder.graph b)
+  in
+  Printf.printf "  %-5s  %-26s  %-14s  %-14s\n" "card" "declaration" "1 src->2 tgts"
+    "2 srcs->1 tgt";
+  List.iter
+    (fun (name, body) ->
+      let sch = variant body in
+      Printf.printf "  %-5s  %-26s  %-14b  %-14b\n" name ("rel: " ^ body)
+        (probe sch ~sources:1 ~targets:2 ~edges:[ (1, 1); (1, 2) ])
+        (probe sch ~sources:2 ~targets:1 ~edges:[ (1, 1); (2, 1) ]))
+    [
+      ("1:1", "B @uniqueForTarget");
+      ("1:N", "B");
+      ("N:1", "[B] @uniqueForTarget");
+      ("N:M", "[B]");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 1: validation scaling, naive vs indexed engine          *)
+
+let validation_scaling () =
+  section "E7: Theorem 1 — validation time vs graph size (social workload)";
+  let sch = GP.Social.schema () in
+  Printf.printf "  %-8s %-8s %-8s %12s %12s\n" "persons" "nodes" "edges" "naive (ms)"
+    "indexed (ms)";
+  let naive_sizes = if fast then [ 20; 50 ] else [ 20; 50; 100; 200; 400 ] in
+  let indexed_sizes = if fast then [ 100; 1000 ] else [ 100; 400; 1000; 4000; 10000; 20000 ] in
+  let run engine persons =
+    let g = GP.Social.generate ~persons () in
+    let ms = time_ms (fun () -> GP.Validate.check ~engine sch g) in
+    (GP.Property_graph.node_count g, GP.Property_graph.edge_count g, ms)
+  in
+  List.iter
+    (fun persons ->
+      let nodes, edges, naive_ms = run GP.Validate.Naive persons in
+      let _, _, indexed_ms = run GP.Validate.Indexed persons in
+      Printf.printf "  %-8d %-8d %-8d %12.2f %12.2f\n%!" persons nodes edges naive_ms
+        indexed_ms)
+    naive_sizes;
+  List.iter
+    (fun persons ->
+      let nodes, edges, indexed_ms = run GP.Validate.Indexed persons in
+      Printf.printf "  %-8d %-8d %-8d %12s %12.2f\n%!" persons nodes edges "-" indexed_ms)
+    indexed_sizes;
+  (* growth exponents: fit t = c * n^k on the first and last points *)
+  let exponent run_engine sizes =
+    match sizes with
+    | a :: _ :: _ ->
+      let b = List.nth sizes (List.length sizes - 1) in
+      let _, _, ta = run run_engine a and _, _, tb = run run_engine b in
+      log (tb /. ta) /. log (float_of_int b /. float_of_int a)
+    | _ -> nan
+  in
+  Printf.printf "  observed growth exponent: naive ~ n^%.2f, indexed ~ n^%.2f\n"
+    (exponent GP.Validate.Naive naive_sizes)
+    (exponent GP.Validate.Indexed indexed_sizes);
+  Printf.printf
+    "  (paper: data complexity O(n^2) for the direct first-order algorithm;\n\
+    \   the indexed engine is near-linear)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7b — per-mode cost breakdown on a fixed workload                    *)
+
+let rule_breakdown () =
+  section "E7b: validation cost by mode (indexed engine)";
+  let sch = GP.Social.schema () in
+  let persons = if fast then 200 else 2000 in
+  let g = GP.Social.generate ~persons () in
+  Printf.printf "  workload: %d persons (%d nodes, %d edges)\n" persons
+    (GP.Property_graph.node_count g)
+    (GP.Property_graph.edge_count g);
+  List.iter
+    (fun (name, mode) ->
+      let ms = time_ms (fun () -> GP.Validate.check ~mode sch g) in
+      Printf.printf "  %-12s %10.2f ms\n%!" name ms)
+    [
+      ("weak", GP.Validate.Weak);
+      ("directives", GP.Validate.Directives);
+      ("strong", GP.Validate.Strong);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Example 6.1: satisfiability verdicts and timing                 *)
+
+let example_6_1 () =
+  section "E8: Example 6.1 — object-type satisfiability";
+  let schemas =
+    [
+      ( "(a)",
+        {|
+type OT1 {
+}
+interface IT { hasOT1: OT1 @uniqueForTarget }
+type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
+|}
+      );
+      ( "(b)",
+        {|
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: OT1! @required }
+type OT1 { g: OT3! @required @uniqueForTarget }
+|}
+      );
+      ( "(c)",
+        {|
+type OT1 {
+}
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: [OT1] @requiredForTarget }
+|}
+      );
+    ]
+  in
+  Printf.printf "  %-4s %-4s %-16s %-16s %10s\n" "diag" "type" "ALCQI (paper)" "finite PG"
+    "time (ms)";
+  List.iter
+    (fun (name, text) ->
+      match GP.Of_ast.parse_lenient text with
+      | Error msg -> Printf.printf "  %s: parse error: %s\n" name msg
+      | Ok sch ->
+        List.iter
+          (fun ot ->
+            let ms = time_ms (fun () -> GP.Satisfiability.check ~max_nodes:8 sch ot) in
+            let r = GP.Satisfiability.check ~max_nodes:8 sch ot in
+            Printf.printf "  %-4s %-4s %-16s %-16s %10.2f\n%!" name ot
+              (Format.asprintf "%a" GP.Tableau.pp_verdict r.GP.Satisfiability.alcqi)
+              (Format.asprintf "%a" GP.Tableau.pp_verdict r.GP.Satisfiability.finite)
+              ms)
+          (GP.Schema.object_names sch))
+    schemas;
+  Printf.printf
+    "  note: (b)/OT2 shows the finite-model gap in the paper's Theorem 3 proof\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Theorem 2: satisfiability on SAT reductions vs DPLL             *)
+
+let sat_reduction_scaling () =
+  section "E9: Theorem 2 — reduction instances, tableau+finite engines vs DPLL";
+  Printf.printf "  %-6s %-8s %-8s %-7s %-7s %12s %12s\n" "vars" "clauses" "|schema|" "dpll"
+    "gpgs" "dpll (ms)" "gpgs (ms)";
+  let var_counts = if fast then [ 2; 4 ] else [ 2; 3; 4; 5; 6; 8; 10 ] in
+  List.iter
+    (fun num_vars ->
+      let num_clauses = max 1 (int_of_float (2.5 *. float_of_int num_vars)) in
+      let f = GP.Ksat.random ~seed:11 ~num_vars ~num_clauses ~clause_size:3 () in
+      match GP.Reduction.to_schema f with
+      | Error msg -> Printf.printf "  reduction error: %s\n" msg
+      | Ok sch ->
+        let dpll_ms = time_ms (fun () -> GP.Dpll.satisfiable f) in
+        let gpgs_ms =
+          time_ms ~repeat:1 (fun () ->
+              GP.Satisfiability.check ~max_nodes:32 sch GP.Reduction.ot_name)
+        in
+        let report = GP.Satisfiability.check ~max_nodes:32 sch GP.Reduction.ot_name in
+        let verdict = function
+          | GP.Tableau.Satisfiable -> "sat"
+          | GP.Tableau.Unsatisfiable -> "unsat"
+          | GP.Tableau.Unknown _ -> "?"
+        in
+        Printf.printf "  %-6d %-8d %-8d %-7s %-7s %12.3f %12.2f\n%!" num_vars num_clauses
+          (GP.Schema.size sch)
+          (if GP.Dpll.satisfiable f then "sat" else "unsat")
+          (verdict report.GP.Satisfiability.finite)
+          dpll_ms gpgs_ms)
+    var_counts;
+  Printf.printf "  (schema size grows polynomially; solving time grows exponentially)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Theorem 3: size of the ALCQI translation                       *)
+
+let alcqi_translation () =
+  section "E10: Theorem 3 — schema size vs ALCQI TBox size (polynomial)";
+  let cases =
+    [
+      ( "quickstart (Ex. 3.1)",
+        GP.schema_of_string_exn
+          {|
+type UserSession { id: ID! @required user: User! @required startTime: Time! @required endTime: Time }
+type User @key(fields: ["id"]) { id: ID! @required login: String! @required nicknames: [String!]! }
+scalar Time
+|}
+      );
+      ( "library (Ex. 3.6-3.8)",
+        GP.schema_of_string_exn
+          {|
+type Author { favoriteBook: Book relatedAuthor: [Author] @distinct @noLoops }
+type Book { title: String! author: [Author] @required @distinct }
+type BookSeries { contains: [Book] @required @uniqueForTarget }
+type Publisher { published: [Book] @uniqueForTarget @requiredForTarget }
+|}
+      );
+      ("social", GP.Social.schema ());
+    ]
+  in
+  Printf.printf "  %-24s %10s %10s %8s\n" "schema" "|schema|" "|TBox|" "ratio";
+  List.iter
+    (fun (name, sch) ->
+      let s, t = GP.Translate.translation_size sch in
+      Printf.printf "  %-24s %10d %10d %8.2f\n" name s t (float_of_int t /. float_of_int s))
+    cases;
+  (* reductions of growing size *)
+  List.iter
+    (fun num_vars ->
+      let f =
+        GP.Ksat.random ~seed:3 ~num_vars ~num_clauses:(2 * num_vars) ~clause_size:3 ()
+      in
+      match GP.Reduction.to_schema f with
+      | Ok sch ->
+        let s, t = GP.Translate.translation_size sch in
+        Printf.printf "  %-24s %10d %10d %8.2f\n"
+          (Printf.sprintf "reduction (%d vars)" num_vars)
+          s t
+          (float_of_int t /. float_of_int s)
+      | Error _ -> ())
+    (if fast then [ 4 ] else [ 4; 8; 16; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* E11 — Angles baseline coverage                                       *)
+
+let angles_coverage () =
+  section "E11: Angles-2018 baseline — constraint coverage of SDL schemas";
+  Printf.printf "  %-24s %12s %10s\n" "schema" "expressed" "dropped";
+  List.iter
+    (fun (name, sch) ->
+      let e, d = GP.Angles_of_graphql.coverage sch in
+      Printf.printf "  %-24s %12d %10d\n" name e d)
+    [
+      ("social", GP.Social.schema ());
+      ( "library (Ex. 3.6-3.8)",
+        GP.schema_of_string_exn
+          {|
+type Author { favoriteBook: Book relatedAuthor: [Author] @distinct @noLoops }
+type Book { title: String! author: [Author] @required @distinct }
+type BookSeries { contains: [Book] @required @uniqueForTarget }
+type Publisher { published: [Book] @uniqueForTarget @requiredForTarget }
+|}
+      );
+    ];
+  let _, dropped = GP.Angles_of_graphql.translate (GP.Social.schema ()) in
+  List.iter
+    (fun (d : GP.Angles_of_graphql.dropped) ->
+      Printf.printf "    dropped: %s (%s)\n" d.GP.Angles_of_graphql.construct
+        d.GP.Angles_of_graphql.reason)
+    dropped
+
+(* ------------------------------------------------------------------ *)
+(* E6 — parser throughput                                               *)
+
+let parser_throughput () =
+  section "E6: SDL front end throughput";
+  let social = GP.Social.schema_text in
+  let big =
+    String.concat "\n"
+      (List.init 50 (fun i ->
+           Printf.sprintf
+             "type T%d @key(fields: [\"id\"]) { id: ID! @required r%d: [T%d] @distinct }" i i
+             ((i + 1) mod 50)))
+  in
+  List.iter
+    (fun (name, text) ->
+      let ms = time_ms ~repeat:5 (fun () -> GP.Sdl.Parser.parse text) in
+      let bytes = String.length text in
+      Printf.printf "  %-14s %8d bytes  %8.3f ms  %8.1f MB/s\n" name bytes ms
+        (float_of_int bytes /. 1048576.0 /. (ms /. 1000.0)))
+    [ ("social", social); ("synthetic-50", big) ]
+
+(* ------------------------------------------------------------------ *)
+(* E13 — ablation: incremental vs. full revalidation on update streams   *)
+
+let incremental_ablation () =
+  section "E13 (extension): incremental validation vs full revalidation per update";
+  let sch = GP.Social.schema () in
+  Printf.printf "  %-8s %-8s %18s %18s %10s\n" "persons" "nodes" "full/update (ms)"
+    "incr/update (ms)" "speedup";
+  List.iter
+    (fun persons ->
+      let g = GP.Social.generate ~persons () in
+      let nodes = Array.of_list (GP.Property_graph.nodes g) in
+      let updates = 20 in
+      (* the update: toggle a property on a rotating node *)
+      let full_ms =
+        time_ms ~repeat:1 (fun () ->
+            let g = ref g in
+            for i = 0 to updates - 1 do
+              let v = nodes.(i * 17 mod Array.length nodes) in
+              g := GP.Property_graph.set_node_prop !g v "benchProp" (GP.Value.Int i);
+              ignore (GP.Validate.check ~engine:GP.Validate.Indexed sch !g)
+            done)
+        /. float_of_int updates
+      in
+      let incr_ms =
+        time_ms ~repeat:1 (fun () ->
+            let t = ref (GP.Incremental.create sch g) in
+            for i = 0 to updates - 1 do
+              let v = nodes.(i * 17 mod Array.length nodes) in
+              t := GP.Incremental.set_node_prop !t v "benchProp" (GP.Value.Int i)
+            done)
+        /. float_of_int updates
+      in
+      Printf.printf "  %-8d %-8d %18.3f %18.3f %9.0fx\n%!" persons
+        (GP.Property_graph.node_count g) full_ms incr_ms (full_ms /. incr_ms))
+    (if fast then [ 100; 500 ] else [ 100; 500; 2000; 8000 ]);
+  Printf.printf
+    "  (the touched region per update is small; the residual growth comes from the\n\
+    \   per-type key scan of DS7 — see lib/validation/incremental.mli)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14 — the GraphQL query engine (Section 3.6 extension) on the social
+   workload                                                              *)
+
+let query_engine () =
+  section "E14 (extension): GraphQL query execution over the social workload";
+  let sch = GP.Social.schema () in
+  let queries =
+    [
+      ("flat scan", "{ allCity { name population } }");
+      ("one-hop", "{ allForum { title moderator { name } } }");
+      ( "two-hop + filter",
+        "{ allForum { title containerOf { id author { name livesIn { name } } } } }" );
+      ( "inverse + union",
+        "{ allPost { id _inverse_likes_of_person { name } } }" );
+    ]
+  in
+  Printf.printf "  %-18s %12s %12s\n" "query" "persons=200" "persons=1000";
+  let graphs =
+    List.map (fun p -> GP.Social.generate ~persons:p ()) (if fast then [ 50; 100 ] else [ 200; 1000 ])
+  in
+  List.iter
+    (fun (name, q) ->
+      let times =
+        List.map
+          (fun g ->
+            time_ms (fun () ->
+                match GP.query sch g q with
+                | Ok _ -> ()
+                | Error msg -> failwith msg))
+          graphs
+      in
+      match times with
+      | [ t1; t2 ] -> Printf.printf "  %-18s %9.2f ms %9.2f ms\n%!" name t1 t2
+      | _ -> ())
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment               *)
+
+let bechamel_tests () =
+  let sch = GP.Social.schema () in
+  let g300 = GP.Social.generate ~persons:300 () in
+  let g60 = GP.Social.generate ~persons:60 () in
+  let schema_text = GP.Social.schema_text in
+  let f = GP.Cnf.paper_example in
+  let reduction_schema =
+    match GP.Reduction.to_schema f with Ok s -> s | Error m -> failwith m
+  in
+  let example_b =
+    match
+      GP.Of_ast.parse_lenient
+        {|
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: OT1! @required }
+type OT1 { g: OT3! @required @uniqueForTarget }
+|}
+    with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  Test.make_grouped ~name:"graphql_pg"
+    [
+      (* E6 *)
+      Test.make ~name:"e6_parse_social_schema"
+        (Staged.stage (fun () -> GP.Sdl.Parser.parse schema_text));
+      (* E7 *)
+      Test.make ~name:"e7_validate_indexed_300"
+        (Staged.stage (fun () -> GP.Validate.check ~engine:GP.Validate.Indexed sch g300));
+      Test.make ~name:"e7_validate_naive_60"
+        (Staged.stage (fun () -> GP.Validate.check ~engine:GP.Validate.Naive sch g60));
+      (* E3 *)
+      Test.make ~name:"e3_cardinality_probe"
+        (Staged.stage
+           (let s =
+              GP.schema_of_string_exn "type A { rel: B @uniqueForTarget }\ntype B {\n}"
+            in
+            let g, a = GP.Property_graph.add_node GP.Property_graph.empty ~label:"A" () in
+            let g, b = GP.Property_graph.add_node g ~label:"B" () in
+            let g, _ = GP.Property_graph.add_edge g ~label:"rel" a b in
+            fun () -> GP.conforms s g));
+      (* E8 *)
+      Test.make ~name:"e8_example_b_satisfiability"
+        (Staged.stage (fun () -> GP.Satisfiability.check ~max_nodes:8 example_b "OT2"));
+      (* E9 *)
+      Test.make ~name:"e9_reduction_paper_formula"
+        (Staged.stage (fun () ->
+             GP.Satisfiability.check ~max_nodes:16 reduction_schema GP.Reduction.ot_name));
+      (* E10 *)
+      Test.make ~name:"e10_translate_social" (Staged.stage (fun () -> GP.Translate.tbox sch));
+      (* E11 *)
+      Test.make ~name:"e11_angles_translate"
+        (Staged.stage (fun () -> GP.Angles_of_graphql.translate sch));
+      (* E13 *)
+      Test.make ~name:"e13_incremental_update"
+        (Staged.stage
+           (let t0 = GP.Incremental.create sch g300 in
+            let v = List.hd (GP.Property_graph.nodes g300) in
+            fun () -> GP.Incremental.set_node_prop t0 v "benchProp" (GP.Value.Int 1)));
+      (* E14 *)
+      Test.make ~name:"e14_query_one_hop"
+        (Staged.stage (fun () ->
+             GP.query sch g300 "{ allForum { title moderator { name } } }"));
+    ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
+  let cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if fast then 0.05 else 0.25))
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (bechamel_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "  %-42s %14s\n" name "n/a"
+      else Printf.printf "  %-42s %11.0f ns  (%.3f ms)\n" name ns (ns /. 1e6))
+    rows
+
+let () =
+  Printf.printf "graphql_pg benchmark harness%s\n" (if fast then " (fast mode)" else "");
+  cardinality_table ();
+  validation_scaling ();
+  rule_breakdown ();
+  example_6_1 ();
+  sat_reduction_scaling ();
+  alcqi_translation ();
+  angles_coverage ();
+  incremental_ablation ();
+  query_engine ();
+  parser_throughput ();
+  run_bechamel ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,382 @@
+(* gpgs — command-line interface to the graphql_pg library.
+
+   Subcommands:
+     parse     parse + lint an SDL schema, optionally pretty-print it
+     check     consistency + per-object-type satisfiability report
+     validate  validate a PGF graph against a schema
+     sat       satisfiability of one object type, with optional witness
+     reduce    Theorem 2: DIMACS CNF -> reduction schema (SDL)
+     extend    Section 3.6: extend a PG schema into a GraphQL API schema
+     gen       generate the social-network workload as PGF
+     stats     describe a PGF graph *)
+
+open Cmdliner
+module GP = Graphql_pg
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let load_schema ~lenient path =
+  let text = read_file path in
+  let parse = if lenient then GP.Of_ast.parse_lenient else GP.Of_ast.parse in
+  match parse text with
+  | Ok sch -> Ok sch
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let load_graph path =
+  match GP.Pgf.load path with
+  | Ok g -> Ok g
+  | Error e -> Error (Format.asprintf "%s: %a" path GP.Pgf.pp_error e)
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* ---- common arguments ---- *)
+
+let schema_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"SDL schema file.")
+
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:"Skip the consistency check of Definition 4.5 (needed for the paper's Example 6.1).")
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let run schema_path pretty =
+    let text = read_file schema_path in
+    match GP.Sdl.Parser.parse text with
+    | Error e ->
+      prerr_endline (GP.Sdl.Source.error_to_string e);
+      exit 1
+    | Ok doc ->
+      let issues = GP.Sdl.Lint.check doc in
+      List.iter (fun i -> Format.eprintf "%a@." GP.Sdl.Lint.pp_issue i) issues;
+      if pretty then print_string (GP.Sdl.Printer.document_to_string doc);
+      if GP.Sdl.Lint.errors issues <> [] then exit 1
+  in
+  let pretty =
+    Arg.(value & flag & info [ "print"; "p" ] ~doc:"Pretty-print the parsed document.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and lint an SDL schema document.")
+    Term.(const run $ schema_arg $ pretty)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let run schema_path lenient =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    Format.printf "%a@." GP.Schema.pp_summary sch;
+    let issues = GP.Consistency.check sch in
+    if issues = [] then print_endline "consistency: ok (Definition 4.5)"
+    else begin
+      Format.printf "consistency: %d issue(s)@." (List.length issues);
+      List.iter (fun i -> Format.printf "  %a@." GP.Consistency.pp_issue i) issues
+    end;
+    List.iter
+      (fun (ot, report) ->
+        Format.printf "satisfiability of %s: %a@." ot GP.Satisfiability.pp_report report)
+      (GP.Satisfiability.check_all sch)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check schema consistency and the satisfiability of every object type.")
+    Term.(const run $ schema_arg $ lenient_arg)
+
+(* ---- validate ---- *)
+
+let engine_conv =
+  Arg.enum [ ("indexed", GP.Validate.Indexed); ("naive", GP.Validate.Naive) ]
+
+let mode_conv =
+  Arg.enum
+    [
+      ("strong", GP.Validate.Strong);
+      ("weak", GP.Validate.Weak);
+      ("directives", GP.Validate.Directives);
+    ]
+
+let validate_cmd =
+  let run schema_path graph_path lenient engine mode =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    let g = or_die (load_graph graph_path) in
+    let report = GP.Validate.check ~engine ~mode sch g in
+    Format.printf "%a@." GP.Validate.pp_report report;
+    if report.GP.Validate.violations <> [] then exit 1
+  in
+  let graph_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  let engine =
+    Arg.(value & opt engine_conv GP.Validate.Indexed & info [ "engine" ] ~doc:"naive or indexed.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode)
+
+(* ---- sat ---- *)
+
+let sat_cmd =
+  let run schema_path type_name lenient witness_out =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    let report = GP.Satisfiability.check sch type_name in
+    Format.printf "%a@." GP.Satisfiability.pp_report report;
+    match witness_out, report.GP.Satisfiability.witness with
+    | Some path, Some g ->
+      GP.Pgf.save path g;
+      Format.printf "witness written to %s@." path
+    | Some _, None -> print_endline "no witness available"
+    | None, _ -> ()
+  in
+  let type_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TYPE" ~doc:"Object type name.")
+  in
+  let witness =
+    Arg.(value & opt (some string) None & info [ "witness" ] ~docv:"FILE" ~doc:"Write a witness graph as PGF.")
+  in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Decide object-type satisfiability (Section 6.2).")
+    Term.(const run $ schema_arg $ type_arg $ lenient_arg $ witness)
+
+(* ---- reduce ---- *)
+
+let reduce_cmd =
+  let run cnf_path =
+    let text = read_file cnf_path in
+    match GP.Cnf.parse_dimacs text with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok f -> print_string (GP.Reduction.to_sdl f)
+  in
+  let cnf_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CNF" ~doc:"DIMACS CNF file.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Emit the Theorem 2 reduction schema of a CNF formula as SDL.")
+    Term.(const run $ cnf_arg)
+
+(* ---- extend ---- *)
+
+let extend_cmd =
+  let run schema_path lenient =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    match GP.Api_extension.extend_to_string sch with
+    | Ok text -> print_string text
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "extend"
+       ~doc:"Extend a Property Graph schema into a GraphQL API schema (Section 3.6).")
+    Term.(const run $ schema_arg $ lenient_arg)
+
+(* ---- doc ---- *)
+
+let doc_cmd =
+  let run schema_path lenient =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    print_string (GP.Schema_doc.to_markdown sch)
+  in
+  Cmd.v
+    (Cmd.info "doc" ~doc:"Render a schema as Markdown documentation.")
+    Term.(const run $ schema_arg $ lenient_arg)
+
+(* ---- cypher ---- *)
+
+let cypher_cmd =
+  let run schema_path lenient =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    print_string (GP.Neo4j_ddl.to_script sch)
+  in
+  Cmd.v
+    (Cmd.info "cypher"
+       ~doc:"Export the Cypher 3.5 constraint DDL fragment of a schema (Section 2.1).")
+    Term.(const run $ schema_arg $ lenient_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run persons seed output =
+    let g = GP.Social.generate ~seed ~persons () in
+    (match output with
+    | Some path ->
+      GP.Pgf.save path g;
+      Format.printf "%a written to %s@." GP.Property_graph.pp g path
+    | None -> print_string (GP.Pgf.print g))
+  in
+  let persons =
+    Arg.(value & opt int 100 & info [ "persons" ] ~doc:"Number of Person nodes.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGF file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate the social-network workload as PGF.")
+    Term.(const run $ persons $ seed $ output)
+
+(* ---- repair ---- *)
+
+let repair_cmd =
+  let run schema_path graph_path lenient output =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    let g = or_die (load_graph graph_path) in
+    if GP.conforms sch g then begin
+      print_endline "graph already strongly satisfies the schema";
+      Option.iter (fun path -> GP.Pgf.save path g) output
+    end
+    else
+      match GP.Model_search.repair sch g with
+      | Some repaired ->
+        Format.printf "repaired: %a -> %a@." GP.Property_graph.pp g GP.Property_graph.pp
+          repaired;
+        (match output with
+        | Some path ->
+          GP.Pgf.save path repaired;
+          Format.printf "written to %s@." path
+        | None -> print_string (GP.Pgf.print repaired))
+      | None ->
+        prerr_endline "could not repair the graph within bounds";
+        exit 1
+  in
+  let graph_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output PGF file.")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"Repair a graph into strong satisfaction of a schema.")
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ output)
+
+(* ---- diff ---- *)
+
+let diff_cmd =
+  let run old_path new_path lenient =
+    let old_schema = or_die (load_schema ~lenient old_path) in
+    let new_schema = or_die (load_schema ~lenient new_path) in
+    let changes = GP.Schema_diff.diff old_schema new_schema in
+    if changes = [] then print_endline "schemas are identical (validation-wise)"
+    else begin
+      List.iter (fun c -> Format.printf "%a@." GP.Schema_diff.pp_change c) changes;
+      if GP.Schema_diff.breaking changes <> [] then exit 1
+    end
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New SDL schema file.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two schemas; exit 1 if the evolution can break existing data.")
+    Term.(const run $ schema_arg $ new_arg $ lenient_arg)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let run schema_path graph_path lenient query_text query_file operation variables =
+    let sch = or_die (load_schema ~lenient schema_path) in
+    let g = or_die (load_graph graph_path) in
+    let text =
+      match query_text, query_file with
+      | Some q, _ -> q
+      | None, Some path -> read_file path
+      | None, None ->
+        prerr_endline "provide a query (positional) or --file";
+        exit 2
+    in
+    let variables =
+      match variables with
+      | None -> []
+      | Some json_text -> (
+        match GP.Json.of_string json_text with
+        | Ok (GP.Json.Assoc fields) -> fields
+        | Ok _ ->
+          prerr_endline "--variables must be a JSON object";
+          exit 2
+        | Error e ->
+          prerr_endline ("--variables: " ^ e);
+          exit 2)
+    in
+    match GP.query ?operation ~variables sch g text with
+    | Ok data -> print_endline (GP.Json.to_string ~indent:true data)
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  let graph_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  let query_text =
+    Arg.(value & pos 2 (some string) None & info [] ~docv:"QUERY" ~doc:"GraphQL query text.")
+  in
+  let query_file =
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Read the query from a file.")
+  in
+  let operation =
+    Arg.(value & opt (some string) None & info [ "operation" ] ~docv:"NAME" ~doc:"Operation to run.")
+  in
+  let variables =
+    Arg.(value & opt (some string) None & info [ "variables" ] ~docv:"JSON" ~doc:"Variable values as a JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Execute a GraphQL query against a Property Graph (Section 3.6 conventions).")
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ query_text $ query_file $ operation $ variables)
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let run graph_path output =
+    let g = or_die (load_graph graph_path) in
+    GP.Graphml.save output g;
+    Format.printf "%a written to %s@." GP.Property_graph.pp g output
+  in
+  let graph_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  let output =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"GraphML output file.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a PGF graph as GraphML (Gephi/yEd/Cytoscape).")
+    Term.(const run $ graph_arg $ output)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run graph_path =
+    let g = or_die (load_graph graph_path) in
+    Format.printf "%a@." GP.Stats.pp (GP.Stats.compute g)
+  in
+  let graph_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Describe a PGF graph.")
+    Term.(const run $ graph_arg)
+
+let () =
+  let info =
+    Cmd.info "gpgs" ~version:"1.0.0"
+      ~doc:"GraphQL SDL schemas for Property Graphs (Hartig & Hidders, GRADES-NDA 2019)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; check_cmd; validate_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]))

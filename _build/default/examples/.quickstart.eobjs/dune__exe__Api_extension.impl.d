@@ -1,0 +1,1 @@
+examples/api_extension.ml: Format Graphql_pg List

@@ -1,0 +1,1 @@
+examples/graphql_api.mli:

@@ -1,0 +1,1 @@
+examples/mutations.ml: Format Graphql_pg String

@@ -1,0 +1,1 @@
+examples/satisfiability_demo.ml: Array Format Graphql_pg List Printf String

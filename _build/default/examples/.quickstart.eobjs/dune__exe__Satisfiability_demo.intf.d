@@ -1,0 +1,1 @@
+examples/satisfiability_demo.mli:

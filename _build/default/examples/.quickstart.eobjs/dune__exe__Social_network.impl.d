@@ -1,0 +1,1 @@
+examples/social_network.ml: Format Graphql_pg List String Sys

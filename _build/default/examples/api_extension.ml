@@ -1,0 +1,41 @@
+(* Section 3.6: extending an SDL Property Graph schema into a GraphQL API
+   schema — the Query root type, key-based lookup fields, and inverse
+   fields for bidirectional traversal.
+
+   Run with:  dune exec examples/api_extension.exe *)
+
+module GP = Graphql_pg
+
+let schema_text =
+  {|
+type UserSession {
+  id: ID! @required
+  user(certainty: Float!): User! @required
+  startTime: Time! @required
+  endTime: Time!
+}
+
+type User @key(fields: ["id"]) @key(fields: ["login"]) {
+  id: ID! @required
+  login: String! @required
+  nicknames: [String!]!
+}
+
+scalar Time
+|}
+
+let () =
+  let schema = GP.schema_of_string_exn schema_text in
+  Format.printf "Property Graph schema (not a complete GraphQL API schema):@.%s@."
+    (GP.schema_to_string schema);
+  match GP.Api_extension.extend_to_string schema with
+  | Error msg -> failwith msg
+  | Ok api ->
+    Format.printf "extended GraphQL API schema:@.%s@." api;
+    (* the output is well-formed SDL: parse it back *)
+    (match GP.Sdl.Parser.parse api with
+    | Ok doc ->
+      Format.printf "extension re-parses: %d definitions, %d lint errors@."
+        (List.length doc)
+        (List.length (GP.Sdl.Lint.errors (GP.Sdl.Lint.check doc)))
+    | Error e -> failwith (GP.Sdl.Source.error_to_string e))

@@ -1,0 +1,131 @@
+(* The full Section 3.6 story: define a Property Graph schema, build a
+   conforming graph, extend the schema into a GraphQL API schema, and run
+   GraphQL queries against the graph — aliases, arguments as edge-property
+   filters, variables, fragments, inverse fields, __typename dispatch.
+
+   Run with:  dune exec examples/graphql_api.exe *)
+
+module GP = Graphql_pg
+module V = GP.Value
+
+let schema_text =
+  {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String! @required
+  favoriteFood: Food
+  knows(since: Int!): [Person] @distinct @noLoops
+}
+union Food = Pizza | Pasta
+type Pizza @key(fields: ["name"]) {
+  name: String! @required
+  toppings: [String!]!
+}
+type Pasta {
+  name: String! @required
+}
+|}
+
+let build_graph () =
+  let b = GP.Builder.create () in
+  let person handle name =
+    ignore
+      (GP.Builder.node b handle ~label:"Person"
+         ~props:[ ("id", V.Id handle); ("name", V.String name) ]
+         ())
+  in
+  person "olaf" "Olaf";
+  person "jan" "Jan";
+  person "renzo" "Renzo";
+  ignore
+    (GP.Builder.node b "margherita" ~label:"Pizza"
+       ~props:
+         [
+           ("name", V.String "Margherita");
+           ("toppings", V.List [ V.String "tomato"; V.String "mozzarella" ]);
+         ]
+       ());
+  ignore
+    (GP.Builder.node b "carbonara" ~label:"Pasta" ~props:[ ("name", V.String "Carbonara") ] ());
+  ignore (GP.Builder.edge b "olaf" "margherita" ~label:"favoriteFood" ());
+  ignore (GP.Builder.edge b "jan" "carbonara" ~label:"favoriteFood" ());
+  ignore (GP.Builder.edge b "olaf" "jan" ~label:"knows" ~props:[ ("since", V.Int 2017) ] ());
+  ignore (GP.Builder.edge b "olaf" "renzo" ~label:"knows" ~props:[ ("since", V.Int 2019) ] ());
+  ignore (GP.Builder.edge b "jan" "olaf" ~label:"knows" ~props:[ ("since", V.Int 2017) ] ());
+  GP.Builder.graph b
+
+let run_query schema graph ?variables text =
+  Format.printf "--- query ---%s@." text;
+  match GP.query ?variables schema graph text with
+  | Ok data -> Format.printf "%a@.@." GP.Json.pp data
+  | Error msg -> Format.printf "error: %s@.@." msg
+
+let () =
+  let schema = GP.schema_of_string_exn schema_text in
+  let graph = build_graph () in
+  assert (GP.conforms schema graph);
+
+  (* the API schema a GraphQL server would expose (Section 3.6) *)
+  (match GP.Api_extension.extend_to_string schema with
+  | Ok api -> Format.printf "generated API schema:@.%s@." api
+  | Error msg -> failwith msg);
+
+  (* 1. list + nested traversal + aliases *)
+  run_query schema graph
+    {|
+{
+  allPerson {
+    name
+    friends: knows { name }
+  }
+}
+|};
+
+  (* 2. key lookup, arguments as edge-property filters, __typename *)
+  run_query schema graph
+    {|
+{
+  personById(id: "olaf") {
+    name
+    oldFriends: knows(since: 2017) { name }
+    favoriteFood { __typename }
+  }
+}
+|};
+
+  (* 3. fragments dispatching on the union members *)
+  run_query schema graph
+    {|
+query Foods {
+  allPerson {
+    name
+    favoriteFood {
+      ... on Pizza { name toppings }
+      ... on Pasta { name }
+    }
+  }
+}
+|};
+
+  (* 4. inverse traversal (bidirectional navigation, Section 3.6) *)
+  run_query schema graph
+    {|
+{
+  pizzaByName(name: "Margherita") {
+    name
+    fans: _inverse_favoriteFood_of_person { name }
+  }
+}
+|};
+
+  (* 5. variables *)
+  run_query schema graph
+    ~variables:[ ("who", GP.Json.String "jan") ]
+    {|
+query Friends($who: ID!) {
+  personById(id: $who) {
+    name
+    knows { name }
+  }
+}
+|}

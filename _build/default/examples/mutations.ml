@@ -1,0 +1,66 @@
+(* Schema-enforced writes: a GraphQL mutation session where the schema of
+   the paper acts as a live integrity constraint — every write is validated
+   incrementally and rejected with the exact violated rule.
+
+   Run with:  dune exec examples/mutations.exe *)
+
+module GP = Graphql_pg
+
+let schema_text =
+  {|
+type User @key(fields: ["login"]) {
+  login: String! @required
+  karma: Int
+  follows: [User] @distinct @noLoops
+}
+type Post @key(fields: ["slug"]) {
+  slug: ID! @required
+  title: String! @required
+  author: User! @required
+}
+|}
+
+let step state text =
+  Format.printf "> %s@." (String.trim text);
+  match GP.mutate state text with
+  | Ok (data, state') ->
+    Format.printf "%a@.@." GP.Json.pp data;
+    state'
+  | Error e ->
+    Format.printf "REJECTED: %a@.@." GP.Mutation.pp_error e;
+    state
+
+let () =
+  let schema = GP.schema_of_string_exn schema_text in
+  let state = GP.Incremental.create schema GP.Property_graph.empty in
+
+  let state = step state {|mutation { createUser(login: "olaf", karma: 10) { login } }|} in
+  let state = step state {|mutation { createUser(login: "jan") { login karma } }|} in
+
+  (* duplicate key: rejected by DS7 *)
+  let state = step state {|mutation { createUser(login: "olaf") { login } }|} in
+
+  (* a post needs an author edge: creating it alone violates DS6... *)
+  let state = step state {|mutation { createPost(slug: "pg-schemas", title: "Schemas!") { slug } }|} in
+
+  (* ...so create and link in one transactional mutation *)
+  let state =
+    step state
+      {|mutation {
+  createPost(slug: "pg-schemas", title: "Schemas!") { slug }
+  linkPostAuthor(from: "pg-schemas", to: "olaf") { slug author { login } }
+}|}
+  in
+
+  (* follows is @noLoops *)
+  let state = step state {|mutation { linkUserFollows(from: "jan", to: "jan") { login } }|} in
+  let state = step state {|mutation { linkUserFollows(from: "jan", to: "olaf") { login follows { login } } }|} in
+
+  (* the author edge is mandatory: unlinking it is rejected (DS6) *)
+  let state = step state {|mutation { unlinkPostAuthor(from: "pg-schemas", to: "olaf") }|} in
+
+  (* but deleting the whole post is fine *)
+  let state = step state {|mutation { deletePost(slug: "pg-schemas") }|} in
+
+  Format.printf "final graph:@.%a@." GP.Property_graph.pp_full (GP.Incremental.graph state);
+  Format.printf "strongly satisfies the schema: %b@." (GP.Incremental.is_valid state)

@@ -1,0 +1,112 @@
+(* Satisfiability analysis (Section 6.2): the three conflict diagrams of
+   Example 6.1 and the Theorem 2 reduction, executed.
+
+   The demo also shows the finite-model subtlety this library uncovers:
+   the (b)-style schema is satisfiable in ALCQI (the paper's Theorem 3
+   procedure) but has no *finite* conforming Property Graph — see
+   EXPERIMENTS.md, experiment E8.
+
+   Run with:  dune exec examples/satisfiability_demo.exe *)
+
+module GP = Graphql_pg
+
+(* Diagram (a), verbatim from Example 6.1.  Note: the schema is not
+   interface consistent under Definition 4.3 as written (an erratum of the
+   paper, see DESIGN.md), hence the lenient parse. *)
+let example_a =
+  {|
+type OT1 {
+}
+interface IT {
+  hasOT1: OT1 @uniqueForTarget
+}
+type OT2 implements IT {
+  hasOT1: [OT1] @requiredForTarget
+}
+type OT3 implements IT {
+  hasOT1: [OT1] @requiredForTarget
+}
+|}
+
+(* Diagram (b): every graph with an OT2 node needs an infinite alternating
+   chain of OT1/OT3 nodes.  (Reconstructed from the paper's description;
+   the figure itself is ambiguous in the text.) *)
+let example_b =
+  {|
+interface IT {
+  f: OT1 @uniqueForTarget
+}
+type OT2 implements IT {
+  f: OT1! @required
+}
+type OT3 implements IT {
+  f: OT1! @required
+}
+type OT1 {
+  g: OT3! @required @uniqueForTarget
+}
+|}
+
+(* Diagram (c): any OT2 node would have to coincide with an OT3 node. *)
+let example_c =
+  {|
+type OT1 {
+}
+interface IT {
+  f: OT1 @uniqueForTarget
+}
+type OT2 implements IT {
+  f: OT1! @required
+}
+type OT3 implements IT {
+  f: [OT1] @requiredForTarget
+}
+|}
+
+let show name text =
+  let sch =
+    match GP.Of_ast.parse_lenient text with
+    | Ok sch -> sch
+    | Error msg -> failwith msg
+  in
+  Format.printf "--- Example 6.1 %s ---@." name;
+  List.iter
+    (fun (ot, report) -> Format.printf "  %s: %a@." ot GP.Satisfiability.pp_report report)
+    (GP.Satisfiability.check_all ~max_nodes:8 sch);
+  Format.printf "@."
+
+let () =
+  show "(a) — conflict at OT1" example_a;
+  show "(b) — only infinite models for OT2" example_b;
+  show "(c) — OT2 collapses into OT3" example_c;
+
+  (* Theorem 2: the worked formula (A | ~B | C) & (~A | ~C) & (D | B). *)
+  let f = GP.Cnf.paper_example in
+  Format.printf "--- Theorem 2 reduction ---@.";
+  Format.printf "formula: %a@." GP.Cnf.pp f;
+  Format.printf "DPLL verdict: %b@." (GP.Dpll.satisfiable f);
+  let sch =
+    match GP.Reduction.to_schema f with Ok sch -> sch | Error msg -> failwith msg
+  in
+  Format.printf "reduction schema: %a@." GP.Schema.pp_summary sch;
+  let report = GP.Satisfiability.check ~max_nodes:16 sch GP.Reduction.ot_name in
+  Format.printf "OT satisfiability: %a@." GP.Satisfiability.pp_report report;
+  (match report.GP.Satisfiability.witness with
+  | Some g -> (
+    Format.printf "witness graph:@.%a" GP.Property_graph.pp_full g;
+    match GP.Reduction.witness_assignment g f with
+    | Some a ->
+      Format.printf "extracted assignment: %s@."
+        (String.concat ", "
+           (List.mapi (fun i v -> Printf.sprintf "x%d=%b" (i + 1) v) (Array.to_list a)));
+      Format.printf "assignment satisfies the formula: %b@." (GP.Cnf.eval f a)
+    | None -> ())
+  | None -> ());
+
+  (* and an unsatisfiable formula *)
+  let unsat = GP.Cnf.make ~num_vars:1 [ [ GP.Cnf.lit 1 ]; [ GP.Cnf.lit (-1) ] ] in
+  let sch = match GP.Reduction.to_schema unsat with Ok s -> s | Error m -> failwith m in
+  Format.printf "@.unsatisfiable formula %a:@." GP.Cnf.pp unsat;
+  Format.printf "OT satisfiability: %a@."
+    GP.Satisfiability.pp_report
+    (GP.Satisfiability.check ~max_nodes:8 sch GP.Reduction.ot_name)

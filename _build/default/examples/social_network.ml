@@ -1,0 +1,51 @@
+(* A realistic end-to-end scenario on the social-network workload: schema
+   with every directive of the paper, generated data at scale, validation
+   with both engines, fault injection, and the Angles baseline.
+
+   Run with:  dune exec examples/social_network.exe *)
+
+module GP = Graphql_pg
+
+let () =
+  let schema = GP.Social.schema () in
+  Format.printf "schema: %a@." GP.Schema.pp_summary schema;
+  Format.printf "consistent: %b@." (GP.Consistency.is_consistent schema);
+  Format.printf "unsatisfiable object types: [%s]@.@."
+    (String.concat "; " (GP.unsatisfiable_types schema));
+
+  let graph = GP.Social.generate ~persons:1_000 () in
+  Format.printf "generated workload:@.%a@.@." GP.Stats.pp (GP.Stats.compute graph);
+
+  (* validation with both engines, timed informally *)
+  let time label f =
+    let t0 = Sys.time () in
+    let result = f () in
+    Format.printf "%-18s %.1f ms@." label ((Sys.time () -. t0) *. 1000.0);
+    result
+  in
+  let indexed =
+    time "indexed engine:" (fun () ->
+        GP.Validate.check ~engine:GP.Validate.Indexed schema graph)
+  in
+  Format.printf "violations: %d@.@." (List.length indexed.GP.Validate.violations);
+
+  (* fault injection: corrupt 1% of nodes, see which rules fire *)
+  let corrupted = GP.Social.corrupt_uniformly ~rate:0.01 schema graph in
+  let report = GP.Validate.check schema corrupted in
+  Format.printf "after corrupting ~1%% of the graph: %d violation(s), rules [%s]@.@."
+    (List.length report.GP.Validate.violations)
+    (String.concat ", "
+       (List.map GP.Violation.rule_name (GP.Validate.violated_rules report)));
+
+  (* the first few diagnostics, as a user would see them *)
+  List.iteri
+    (fun i v -> if i < 5 then Format.printf "  %a@." GP.Violation.pp v)
+    report.GP.Validate.violations;
+
+  (* Angles baseline coverage *)
+  let expressed, dropped = GP.Angles_of_graphql.coverage schema in
+  Format.printf "@.Angles-2018 baseline: expresses %d constraints, drops %d@." expressed
+    dropped;
+  let angles, _ = GP.Angles_of_graphql.translate schema in
+  Format.printf "Angles validation of the conformant graph: %b@."
+    (GP.Angles_validate.conforms angles graph)

@@ -1,0 +1,1 @@
+lib/angles/angles_schema.ml: Format List Map String

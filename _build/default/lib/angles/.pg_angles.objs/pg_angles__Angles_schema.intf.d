@@ -1,0 +1,1 @@
+lib/angles/angles_schema.mli: Format Map String

@@ -1,0 +1,1 @@
+lib/angles/angles_validate.ml: Angles_schema Format Hashtbl List Map Option Pg_graph Printf String

@@ -1,0 +1,1 @@
+lib/angles/angles_validate.mli: Angles_schema Format Pg_graph

@@ -1,0 +1,1 @@
+lib/angles/neo4j_ddl.ml: Buffer List Map Pg_schema Printf String

@@ -1,0 +1,1 @@
+lib/angles/neo4j_ddl.mli: Pg_schema

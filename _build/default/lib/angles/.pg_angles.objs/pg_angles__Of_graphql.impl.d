@@ -1,0 +1,1 @@
+lib/angles/of_graphql.ml: Angles_schema List Map Pg_schema Printf String

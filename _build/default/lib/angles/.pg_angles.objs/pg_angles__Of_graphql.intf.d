@@ -1,0 +1,1 @@
+lib/angles/of_graphql.mli: Angles_schema Pg_schema

@@ -1,0 +1,59 @@
+module Sm = Map.Make (String)
+
+type property_def = { p_type : string; p_list : bool; p_mandatory : bool; p_unique : bool }
+type cardinality = One_to_one | One_to_many | Many_to_one | Many_to_many
+type node_type = { nt_props : (string * property_def) list }
+
+type edge_type = {
+  et_source : string;
+  et_label : string;
+  et_target : string;
+  et_props : (string * property_def) list;
+  et_cardinality : cardinality;
+  et_mandatory : bool;
+}
+
+type t = { node_types : node_type Sm.t; edge_types : edge_type list }
+
+let empty = { node_types = Sm.empty; edge_types = [] }
+let add_node_type s name nt = { s with node_types = Sm.add name nt s.node_types }
+let add_edge_type s et = { s with edge_types = s.edge_types @ [ et ] }
+let node_type s name = Sm.find_opt name s.node_types
+
+let edge_types_for s ~source ~label ~target =
+  List.filter
+    (fun et ->
+      String.equal et.et_source source
+      && String.equal et.et_label label
+      && String.equal et.et_target target)
+    s.edge_types
+
+let cardinality_name = function
+  | One_to_one -> "1:1"
+  | One_to_many -> "1:N"
+  | Many_to_one -> "N:1"
+  | Many_to_many -> "N:M"
+
+let pp_props ppf props =
+  List.iter
+    (fun (name, p) ->
+      Format.fprintf ppf "@,  %s: %s%s%s%s" name p.p_type
+        (if p.p_list then " list" else "")
+        (if p.p_mandatory then " (mandatory)" else "")
+        (if p.p_unique then " (unique)" else ""))
+    props
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Sm.iter
+    (fun name nt -> Format.fprintf ppf "node type %s%a@," name pp_props nt.nt_props)
+    s.node_types;
+  List.iter
+    (fun et ->
+      Format.fprintf ppf "edge type (%s)-[%s]->(%s) %s%s%a@," et.et_source et.et_label
+        et.et_target
+        (cardinality_name et.et_cardinality)
+        (if et.et_mandatory then " mandatory" else "")
+        pp_props et.et_props)
+    s.edge_types;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** The baseline Property Graph schema model of Angles (AMW 2018), as
+    summarized in Section 2.1 of the paper.
+
+    Angles' model has node types and edge types; constraints specify
+    (i) which properties each node/edge type may carry, and (ii) which
+    edge types may connect which pairs of node types.  The extensions the
+    paper lists — mandatory properties, mandatory edges, uniqueness of
+    properties, and cardinality constraints — are included, since the
+    paper claims all of them are covered by the SDL approach
+    ({!Of_graphql} substantiates the claim by translation). *)
+
+type property_def = {
+  p_type : string;  (** scalar name: Int, Float, String, Boolean, ID, or opaque *)
+  p_list : bool;  (** the property value is an array of [p_type] values *)
+  p_mandatory : bool;
+  p_unique : bool;  (** unique among the nodes/edges of the type *)
+}
+
+(** Cardinality of a binary relationship, oriented as in the paper's
+    Section 3.3 table: [One_to_many] ("1:N") bounds the source side (each
+    source node has at most one outgoing edge of the type), [Many_to_one]
+    ("N:1") bounds the target side (each target node has at most one
+    incoming edge), [One_to_one] bounds both, [Many_to_many] neither. *)
+type cardinality = One_to_one | One_to_many | Many_to_one | Many_to_many
+
+type node_type = { nt_props : (string * property_def) list }
+
+type edge_type = {
+  et_source : string;  (** source node type *)
+  et_label : string;
+  et_target : string;  (** target node type *)
+  et_props : (string * property_def) list;
+  et_cardinality : cardinality;
+  et_mandatory : bool;  (** every source node must have such an edge *)
+}
+
+type t = {
+  node_types : node_type Map.Make(String).t;
+  edge_types : edge_type list;
+}
+
+val empty : t
+val add_node_type : t -> string -> node_type -> t
+val add_edge_type : t -> edge_type -> t
+
+val node_type : t -> string -> node_type option
+
+val edge_types_for : t -> source:string -> label:string -> target:string -> edge_type list
+(** The declared edge types matching the triple (usually zero or one). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,232 @@
+module Sm = Map.Make (String)
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+
+type violation = { rule : string; message : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.message
+
+let atom_matches p_type (v : Value.t) =
+  match p_type, v with
+  | "Int", Value.Int _ -> true
+  | "Float", (Value.Float _ | Value.Int _) -> true
+  | "String", Value.String _ -> true
+  | "Boolean", Value.Bool _ -> true
+  | "ID", (Value.Id _ | Value.String _ | Value.Int _) -> true
+  | ("Int" | "Float" | "String" | "Boolean" | "ID"), _ -> false
+  | _, v -> Value.is_atomic v
+
+let value_matches (p : Angles_schema.property_def) (v : Value.t) =
+  if p.Angles_schema.p_list then
+    match v with
+    | Value.List elems -> List.for_all (atom_matches p.Angles_schema.p_type) elems
+    | _ -> false
+  else atom_matches p.Angles_schema.p_type v
+
+let check_props ~rule_prefix ~owner declared actual acc =
+  (* declared but ill-typed or undeclared properties *)
+  let acc =
+    List.fold_left
+      (fun acc (name, value) ->
+        match List.assoc_opt name declared with
+        | None ->
+          {
+            rule = rule_prefix ^ "-undeclared-property";
+            message = Printf.sprintf "%s has undeclared property %S" owner name;
+          }
+          :: acc
+        | Some (p : Angles_schema.property_def) ->
+          if value_matches p value then acc
+          else
+            {
+              rule = rule_prefix ^ "-property-type";
+              message =
+                Printf.sprintf "%s property %S has value %s, expected %s" owner name
+                  (Value.to_string value) p.Angles_schema.p_type;
+            }
+            :: acc)
+      acc actual
+  in
+  (* mandatory properties *)
+  List.fold_left
+    (fun acc (name, (p : Angles_schema.property_def)) ->
+      if p.Angles_schema.p_mandatory && not (List.mem_assoc name actual) then
+        {
+          rule = rule_prefix ^ "-mandatory-property";
+          message = Printf.sprintf "%s lacks mandatory property %S" owner name;
+        }
+        :: acc
+      else acc)
+    acc declared
+
+let check (sch : Angles_schema.t) g =
+  let acc = [] in
+  (* nodes: declared types, properties *)
+  let acc =
+    List.fold_left
+      (fun acc v ->
+        let label = G.node_label g v in
+        match Angles_schema.node_type sch label with
+        | None ->
+          {
+            rule = "node-type";
+            message = Printf.sprintf "node n%d has undeclared type %S" (G.node_id v) label;
+          }
+          :: acc
+        | Some nt ->
+          check_props ~rule_prefix:"node" ~owner:(Printf.sprintf "node n%d (%s)" (G.node_id v) label)
+            nt.Angles_schema.nt_props (G.node_props g v) acc)
+      acc (G.nodes g)
+  in
+  (* unique node properties *)
+  let acc =
+    Sm.fold
+      (fun type_name (nt : Angles_schema.node_type) acc ->
+        List.fold_left
+          (fun acc (prop, (p : Angles_schema.property_def)) ->
+            if not p.Angles_schema.p_unique then acc
+            else begin
+              let seen = Hashtbl.create 16 in
+              List.fold_left
+                (fun acc v ->
+                  if String.equal (G.node_label g v) type_name then
+                    match G.node_prop g v prop with
+                    | Some value -> (
+                      let key = Value.to_string value in
+                      match Hashtbl.find_opt seen key with
+                      | Some other ->
+                        {
+                          rule = "node-unique-property";
+                          message =
+                            Printf.sprintf "nodes n%d and n%d of type %s share unique %S"
+                              other (G.node_id v) type_name prop;
+                        }
+                        :: acc
+                      | None ->
+                        Hashtbl.add seen key (G.node_id v);
+                        acc)
+                    | None -> acc
+                  else acc)
+                acc (G.nodes g)
+            end)
+          acc nt.Angles_schema.nt_props)
+      sch.Angles_schema.node_types acc
+  in
+  (* edges: must match a declared edge type; properties *)
+  let acc =
+    List.fold_left
+      (fun acc e ->
+        let src, tgt = G.edge_ends g e in
+        let triple =
+          Angles_schema.edge_types_for sch ~source:(G.node_label g src)
+            ~label:(G.edge_label g e) ~target:(G.node_label g tgt)
+        in
+        match triple with
+        | [] ->
+          {
+            rule = "edge-type";
+            message =
+              Printf.sprintf "edge e%d (%s)-[%s]->(%s) matches no declared edge type"
+                (G.edge_id e) (G.node_label g src) (G.edge_label g e) (G.node_label g tgt);
+          }
+          :: acc
+        | et :: _ ->
+          check_props ~rule_prefix:"edge"
+            ~owner:(Printf.sprintf "edge e%d (%s)" (G.edge_id e) (G.edge_label g e))
+            et.Angles_schema.et_props (G.edge_props g e) acc)
+      acc (G.edges g)
+  in
+  (* cardinality and mandatory constraints per edge type *)
+  let acc =
+    List.fold_left
+      (fun acc (et : Angles_schema.edge_type) ->
+        let matching =
+          List.filter
+            (fun e ->
+              let src, tgt = G.edge_ends g e in
+              String.equal (G.node_label g src) et.Angles_schema.et_source
+              && String.equal (G.edge_label g e) et.Angles_schema.et_label
+              && String.equal (G.node_label g tgt) et.Angles_schema.et_target)
+            (G.edges g)
+        in
+        let count_by proj =
+          let tbl = Hashtbl.create 16 in
+          List.iter
+            (fun e ->
+              let k = proj e in
+              Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+            matching;
+          tbl
+        in
+        (* Orientation follows the paper's Section 3.3 table: 1:N means each
+           source has at most one outgoing edge (non-list field), N:1 means
+           each target has at most one incoming edge (@uniqueForTarget). *)
+        let src_bounded =
+          match et.Angles_schema.et_cardinality with
+          | Angles_schema.One_to_one | Angles_schema.One_to_many -> true
+          | Angles_schema.Many_to_one | Angles_schema.Many_to_many -> false
+        in
+        let tgt_bounded =
+          match et.Angles_schema.et_cardinality with
+          | Angles_schema.One_to_one | Angles_schema.Many_to_one -> true
+          | Angles_schema.One_to_many | Angles_schema.Many_to_many -> false
+        in
+        let acc =
+          if not src_bounded then acc
+          else
+            Hashtbl.fold
+              (fun src n acc ->
+                if n > 1 then
+                  {
+                    rule = "edge-cardinality-source";
+                    message =
+                      Printf.sprintf "node n%d has %d outgoing %S edges (at most 1 allowed)"
+                        src n et.Angles_schema.et_label;
+                  }
+                  :: acc
+                else acc)
+              (count_by (fun e -> G.node_id (fst (G.edge_ends g e))))
+              acc
+        in
+        let acc =
+          if not tgt_bounded then acc
+          else
+            Hashtbl.fold
+              (fun tgt n acc ->
+                if n > 1 then
+                  {
+                    rule = "edge-cardinality-target";
+                    message =
+                      Printf.sprintf "node n%d has %d incoming %S edges (at most 1 allowed)"
+                        tgt n et.Angles_schema.et_label;
+                  }
+                  :: acc
+                else acc)
+              (count_by (fun e -> G.node_id (snd (G.edge_ends g e))))
+              acc
+        in
+        if not et.Angles_schema.et_mandatory then acc
+        else
+          List.fold_left
+            (fun acc v ->
+              if
+                String.equal (G.node_label g v) et.Angles_schema.et_source
+                && not
+                     (List.exists
+                        (fun e -> G.node_id (fst (G.edge_ends g e)) = G.node_id v)
+                        matching)
+              then
+                {
+                  rule = "edge-mandatory";
+                  message =
+                    Printf.sprintf "node n%d of type %s lacks a mandatory %S edge"
+                      (G.node_id v) et.Angles_schema.et_source et.Angles_schema.et_label;
+                }
+                :: acc
+              else acc)
+            acc (G.nodes g))
+      acc sch.Angles_schema.edge_types
+  in
+  List.rev acc
+
+let conforms sch g = check sch g = []

@@ -1,0 +1,17 @@
+(** Validation of Property Graphs against Angles-style schemas.
+
+    The rules mirror Angles' constraints: node labels must be declared
+    node types; properties must be declared (with values of the declared
+    scalar type) and present when mandatory; unique properties must not
+    repeat within a type; every edge must match a declared edge type for
+    its (source label, edge label, target label) triple; cardinality
+    constraints bound edges per source ([N:1], [1:1]) and per target
+    ([1:N], [1:1]); mandatory edge types require an outgoing edge on
+    every source-type node. *)
+
+type violation = { rule : string; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Angles_schema.t -> Pg_graph.Property_graph.t -> violation list
+val conforms : Angles_schema.t -> Pg_graph.Property_graph.t -> bool

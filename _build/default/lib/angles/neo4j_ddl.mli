@@ -1,0 +1,32 @@
+(** Export of SDL Property Graph schemas as Neo4j constraint DDL
+    (Cypher 3.5, the version the paper cites in Section 2.1).
+
+    Section 2.1 observes that existing systems each have a proprietary,
+    informally specified schema mechanism.  This module makes the
+    comparison executable in the Neo4j direction: the fragment of an SDL
+    schema that Cypher 3.5 constraints can express is emitted as DDL
+    statements, and everything else is reported as dropped —
+    quantifying how much of the paper's proposal exceeds what the cited
+    system could enforce.
+
+    Expressible in Cypher 3.5:
+    - single-property keys → [ASSERT n.k IS UNIQUE];
+    - multi-property keys → [ASSERT (n.a, n.b) IS NODE KEY] (which also
+      implies existence — noted in the statement's comment);
+    - [@required] attributes → [ASSERT exists(n.p)];
+    - mandatory (non-null) edge properties → [ASSERT exists(r.p)].
+
+    Not expressible (dropped with reasons): property value types, target
+    node types of relationships (WS3), all cardinality constraints (WS4,
+    [@uniqueForTarget]), mandatory edges ([@required] on relationships,
+    [@requiredForTarget]), [@distinct], [@noLoops], and the closed-world
+    typing of strong satisfaction (SS1–SS4). *)
+
+type dropped = { construct : string; reason : string }
+
+val translate : Pg_schema.Schema.t -> string list * dropped list
+(** [(statements, dropped)]; statements end without trailing semicolons. *)
+
+val to_script : Pg_schema.Schema.t -> string
+(** The statements joined with [";\n"], with a header comment listing the
+    dropped constructs. *)

@@ -1,0 +1,152 @@
+module Sm = Map.Make (String)
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+
+type dropped = { construct : string; reason : string }
+
+let object_subtypes sch t =
+  List.filter
+    (fun o -> Schema.type_kind sch o = Some Schema.Object)
+    (Subtype.subtypes sch t)
+
+(* Effective constraints on a field of an object type: its own directives
+   plus those declared on the same field by implemented interfaces. *)
+let effective_directives sch ot f =
+  let own =
+    match Schema.field sch ot f with Some fd -> fd.Schema.fd_directives | None -> []
+  in
+  let inherited =
+    List.concat_map
+      (fun it ->
+        if List.mem ot (Schema.implementations_of sch it) then
+          match Schema.field sch it f with
+          | Some fd -> fd.Schema.fd_directives
+          | None -> []
+        else [])
+      (Schema.interface_names sch)
+  in
+  own @ inherited
+
+let translate sch =
+  let dropped = ref [] in
+  let drop construct reason = dropped := { construct; reason } :: !dropped in
+  let keys = ref Sm.empty in
+  (* single-property keys become unique properties *)
+  List.iter
+    (fun ot_name ->
+      let ot = Sm.find ot_name sch.Schema.objects in
+      List.iter
+        (fun du ->
+          match Schema.key_fields du with
+          | Some [ f ] -> keys := Sm.add (ot_name ^ "." ^ f) () !keys
+          | Some fs ->
+            drop
+              (Printf.sprintf "@key(fields: [%s]) on %s" (String.concat ", " fs) ot_name)
+              "Angles' uniqueness applies to single properties"
+          | None -> ())
+        (Schema.find_directives ot.Schema.ot_directives "key"))
+    (Schema.object_names sch);
+  let angles = ref Angles_schema.empty in
+  List.iter
+    (fun ot_name ->
+      let fields = Schema.fields sch ot_name in
+      (* node properties from attribute definitions *)
+      let props =
+        List.filter_map
+          (fun (f, (fd : Schema.field)) ->
+            match Schema.classify_field sch fd with
+            | Some Schema.Attribute ->
+              let directives = effective_directives sch ot_name f in
+              Some
+                ( f,
+                  {
+                    Angles_schema.p_type = Wrapped.basetype fd.Schema.fd_type;
+                    p_list = Wrapped.is_list fd.Schema.fd_type;
+                    p_mandatory = Schema.has_directive directives "required";
+                    p_unique = Sm.mem (ot_name ^ "." ^ f) !keys;
+                  } )
+            | Some Schema.Relationship | None -> None)
+          fields
+      in
+      angles := Angles_schema.add_node_type !angles ot_name { Angles_schema.nt_props = props };
+      (* edge types from relationship definitions *)
+      List.iter
+        (fun (f, (fd : Schema.field)) ->
+          match Schema.classify_field sch fd with
+          | Some Schema.Relationship ->
+            let directives = effective_directives sch ot_name f in
+            let list_field = Wrapped.is_list fd.Schema.fd_type in
+            let unique_target = Schema.has_directive directives "uniqueForTarget" in
+            let cardinality =
+              match list_field, unique_target with
+              | false, true -> Angles_schema.One_to_one
+              | false, false -> Angles_schema.One_to_many
+              | true, true -> Angles_schema.Many_to_one
+              | true, false -> Angles_schema.Many_to_many
+            in
+            if Schema.has_directive directives "distinct" then
+              drop
+                (Printf.sprintf "@distinct on %s.%s" ot_name f)
+                "no Angles constraint identifies edges by endpoints";
+            if Schema.has_directive directives "noLoops" then
+              drop
+                (Printf.sprintf "@noLoops on %s.%s" ot_name f)
+                "no Angles constraint forbids loops";
+            if Schema.has_directive directives "requiredForTarget" then
+              drop
+                (Printf.sprintf "@requiredForTarget on %s.%s" ot_name f)
+                "Angles' mandatory edges constrain the source side only";
+            (* a mandatory edge whose target type expands to several object
+               types is a disjunction across edge types, which Angles
+               cannot state *)
+            let targets = object_subtypes sch (Wrapped.basetype fd.Schema.fd_type) in
+            let mandatory = Schema.has_directive directives "required" in
+            let mandatory =
+              if mandatory && List.length targets > 1 then begin
+                drop
+                  (Printf.sprintf "@required on %s.%s" ot_name f)
+                  "mandatory edge with several possible target types (union/interface)";
+                false
+              end
+              else mandatory
+            in
+            let edge_props =
+              List.map
+                (fun (a, (arg : Schema.argument)) ->
+                  ( a,
+                    {
+                      Angles_schema.p_type = Wrapped.basetype arg.Schema.arg_type;
+                      p_list = Wrapped.is_list arg.Schema.arg_type;
+                      p_mandatory = Wrapped.is_non_null arg.Schema.arg_type;
+                      p_unique = false;
+                    } ))
+                fd.Schema.fd_args
+            in
+            List.iter
+              (fun target ->
+                angles :=
+                  Angles_schema.add_edge_type !angles
+                    {
+                      Angles_schema.et_source = ot_name;
+                      et_label = f;
+                      et_target = target;
+                      et_props = edge_props;
+                      et_cardinality = cardinality;
+                      et_mandatory = mandatory;
+                    })
+              targets
+          | Some Schema.Attribute | None -> ())
+        fields)
+    (Schema.object_names sch);
+  (!angles, List.rev !dropped)
+
+let coverage sch =
+  let angles, dropped = translate sch in
+  let expressed =
+    Sm.fold
+      (fun _ (nt : Angles_schema.node_type) acc -> acc + 1 + List.length nt.Angles_schema.nt_props)
+      angles.Angles_schema.node_types 0
+    + List.length angles.Angles_schema.edge_types
+  in
+  (expressed, List.length dropped)

@@ -1,0 +1,20 @@
+(** Translation from SDL-based Property Graph schemas into the Angles
+    baseline model, substantiating the paper's Section 2.1 claim that all
+    of Angles' features are covered by the SDL approach.
+
+    The translation is {e lossy} in the other direction: constructs the
+    Angles model cannot express are dropped and reported, namely
+    [@distinct], [@noLoops], multi-property keys, and the distinction
+    between absent and empty list properties.  Interface and union target
+    types are expanded into one Angles edge type per concrete (source
+    object type, target object type) pair. *)
+
+type dropped = { construct : string; reason : string }
+
+val translate : Pg_schema.Schema.t -> Angles_schema.t * dropped list
+(** [translate sch] is the Angles schema together with the constructs that
+    could not be represented. *)
+
+val coverage : Pg_schema.Schema.t -> int * int
+(** [(expressed, dropped)] constraint counts, for the coverage report of
+    bench [angles_coverage]. *)

@@ -1,0 +1,1 @@
+lib/gen/corruption.ml: List Option Pg_graph Pg_sat Pg_schema Pg_validation Random String

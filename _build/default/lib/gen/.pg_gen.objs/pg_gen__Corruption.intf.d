@@ -1,0 +1,1 @@
+lib/gen/corruption.mli: Pg_graph Pg_schema Pg_validation Random

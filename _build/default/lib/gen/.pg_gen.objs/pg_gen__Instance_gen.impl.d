@@ -1,0 +1,1 @@
+lib/gen/instance_gen.ml: Array Hashtbl List Pg_graph Pg_sat Pg_schema Pg_validation Printf Random

@@ -1,0 +1,1 @@
+lib/gen/instance_gen.mli: Pg_graph Pg_schema Random

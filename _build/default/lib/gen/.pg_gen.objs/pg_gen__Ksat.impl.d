@@ -1,0 +1,1 @@
+lib/gen/ksat.ml: List Pg_sat Random

@@ -1,0 +1,1 @@
+lib/gen/schema_gen.ml: Buffer List Pg_schema Printf Random String

@@ -1,0 +1,1 @@
+lib/gen/schema_gen.mli: Pg_schema Random

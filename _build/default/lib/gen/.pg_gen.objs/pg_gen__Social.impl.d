@@ -1,0 +1,1 @@
+lib/gen/social.ml: Array Corruption List Pg_graph Pg_schema Printf Random

@@ -1,0 +1,1 @@
+lib/gen/social.mli: Pg_graph Pg_schema

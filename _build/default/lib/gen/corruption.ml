@@ -1,0 +1,349 @@
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Rules = Pg_validation.Rules
+module Violation = Pg_validation.Violation
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+(* A value guaranteed to be outside valuesW(wt): a list where an atom is
+   expected, an atom where a list is expected. *)
+let ill_typed_value (wt : Wrapped.t) =
+  if Wrapped.is_list wt then Value.Int 123456 else Value.List [ Value.Int 1 ]
+
+let attribute_fields sch label =
+  List.filter_map
+    (fun (f, (fd : Schema.field)) ->
+      match Schema.classify_field sch fd with
+      | Some Schema.Attribute -> Some (f, fd)
+      | Some Schema.Relationship | None -> None)
+    (Schema.fields sch label)
+
+let relationship_fields sch label =
+  List.filter_map
+    (fun (f, (fd : Schema.field)) ->
+      match Schema.classify_field sch fd with
+      | Some Schema.Relationship -> Some (f, fd)
+      | Some Schema.Attribute | None -> None)
+    (Schema.fields sch label)
+
+let object_subtypes sch t =
+  List.filter
+    (fun o -> Schema.type_kind sch o = Some Schema.Object)
+    (Subtype.subtypes sch t)
+
+(* WS1: give a node an ill-typed value for a declared attribute *)
+let ws1 sch rng g =
+  let candidates =
+    List.concat_map
+      (fun v ->
+        List.map (fun (f, fd) -> (v, f, fd)) (attribute_fields sch (G.node_label g v)))
+      (G.nodes g)
+  in
+  Option.map
+    (fun (v, f, (fd : Schema.field)) ->
+      G.set_node_prop g v f (ill_typed_value fd.Schema.fd_type))
+    (pick rng candidates)
+
+(* WS2: ill-typed value for a declared edge property *)
+let ws2 sch rng g =
+  let candidates =
+    List.concat_map
+      (fun e ->
+        let v1, _ = G.edge_ends g e in
+        List.map
+          (fun (a, (arg : Schema.argument)) -> (e, a, arg))
+          (Schema.args sch (G.node_label g v1) (G.edge_label g e)))
+      (G.edges g)
+  in
+  Option.map
+    (fun (e, a, (arg : Schema.argument)) ->
+      G.set_edge_prop g e a (ill_typed_value arg.Schema.arg_type))
+    (pick rng candidates)
+
+(* WS3: add a declared edge whose target has the wrong type.  Candidate
+   (source, field) pairs are linear in the graph; the wrong-typed target
+   is found by a scan, so the mutator stays near-linear on big graphs. *)
+let ws3 sch rng g =
+  let sources =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun (f, (fd : Schema.field)) ->
+            (* prefer a source without an existing f-edge to stay clear of
+               WS4 *)
+            if List.exists (fun e -> String.equal (G.edge_label g e) f) (G.out_edges g v)
+            then None
+            else Some (v, f, Wrapped.basetype fd.Schema.fd_type))
+          (relationship_fields sch (G.node_label g v)))
+      (G.nodes g)
+  in
+  match pick rng sources with
+  | None -> None
+  | Some (v, f, base) ->
+    let wrong =
+      List.find_opt (fun u -> not (Subtype.named sch (G.node_label g u) base)) (G.nodes g)
+    in
+    Option.map (fun u -> fst (G.add_edge g ~label:f v u)) wrong
+
+(* WS4: duplicate the edge of a non-list relationship *)
+let ws4 sch rng g =
+  let candidates =
+    List.filter_map
+      (fun e ->
+        let v1, v2 = G.edge_ends g e in
+        let f = G.edge_label g e in
+        match Schema.type_f sch (G.node_label g v1) f with
+        | Some wt when not (Wrapped.is_list wt) ->
+          (* aim the duplicate at another valid target when possible, so
+             the mutation does not also trip @distinct *)
+          let base = Wrapped.basetype wt in
+          let other =
+            List.find_opt
+              (fun u ->
+                G.node_id u <> G.node_id v2 && Subtype.named sch (G.node_label g u) base)
+              (G.nodes g)
+          in
+          Some (v1, f, Option.value ~default:v2 other)
+        | Some _ | None -> None)
+      (G.edges g)
+  in
+  Option.map (fun (v, f, u) -> fst (G.add_edge g ~label:f v u)) (pick rng candidates)
+
+(* DS1: parallel duplicate of a @distinct edge *)
+let ds1 sch rng g =
+  let constraints = Rules.constrained_fields sch ~directive:"distinct" in
+  let candidates =
+    List.filter_map
+      (fun e ->
+        let v1, v2 = G.edge_ends g e in
+        let f = G.edge_label g e in
+        let applicable =
+          List.exists
+            (fun (fc : Rules.field_constraint) ->
+              String.equal fc.Rules.field f
+              && Subtype.named sch (G.node_label g v1) fc.Rules.owner)
+            constraints
+        in
+        if applicable then Some (v1, f, v2) else None)
+      (G.edges g)
+  in
+  Option.map (fun (v, f, u) -> fst (G.add_edge g ~label:f v u)) (pick rng candidates)
+
+(* DS2: a loop on a @noLoops field (the node type must be a valid target
+   type of its own field, so WS3 stays clean) *)
+let ds2 sch rng g =
+  let constraints = Rules.constrained_fields sch ~directive:"noLoops" in
+  let candidates =
+    List.concat_map
+      (fun v ->
+        let label = G.node_label g v in
+        List.filter_map
+          (fun (fc : Rules.field_constraint) ->
+            if
+              Subtype.named sch label fc.Rules.owner
+              && (match Schema.type_f sch label fc.Rules.field with
+                 | Some wt -> Subtype.named sch label (Wrapped.basetype wt)
+                 | None -> false)
+            then Some (v, fc.Rules.field)
+            else None)
+          constraints)
+      (G.nodes g)
+  in
+  Option.map (fun (v, f) -> fst (G.add_edge g ~label:f v v)) (pick rng candidates)
+
+(* DS3: second incoming edge on a @uniqueForTarget target.  One constrained
+   edge is sampled, then a second source is found by a scan. *)
+let ds3 sch rng g =
+  let constraints = Rules.constrained_fields sch ~directive:"uniqueForTarget" in
+  let constrained_edges =
+    List.filter_map
+      (fun e ->
+        let v1, v2 = G.edge_ends g e in
+        let f = G.edge_label g e in
+        if
+          List.exists
+            (fun (fc : Rules.field_constraint) ->
+              String.equal fc.Rules.field f
+              && Subtype.named sch (G.node_label g v1) fc.Rules.owner)
+            constraints
+        then Some (v1, f, v2)
+        else None)
+      (G.edges g)
+  in
+  match pick rng constrained_edges with
+  | None -> None
+  | Some (v1, f, v2) ->
+    let owners =
+      List.filter_map
+        (fun (fc : Rules.field_constraint) ->
+          if String.equal fc.Rules.field f then Some fc.Rules.owner else None)
+        constraints
+    in
+    (* another source of an owning type, preferably without an existing
+       f-edge (avoids WS4) and not v1 (avoids DS1) *)
+    let second =
+      List.find_opt
+        (fun v ->
+          G.node_id v <> G.node_id v1
+          && List.exists (fun owner -> Subtype.named sch (G.node_label g v) owner) owners
+          && Schema.type_f sch (G.node_label g v) f <> None
+          && not
+               (List.exists (fun e' -> String.equal (G.edge_label g e') f) (G.out_edges g v)))
+        (G.nodes g)
+    in
+    Option.map (fun v -> fst (G.add_edge g ~label:f v v2)) second
+
+(* DS4: a fresh node of a @requiredForTarget target type, with no incoming
+   edge (required properties filled so only DS4 fires) *)
+let ds4 sch rng g =
+  let constraints = Rules.constrained_fields sch ~directive:"requiredForTarget" in
+  let candidates =
+    List.concat_map
+      (fun (fc : Rules.field_constraint) ->
+        object_subtypes sch (Wrapped.basetype fc.Rules.fd.Schema.fd_type))
+      constraints
+  in
+  Option.map
+    (fun label ->
+      let g, _ = G.add_node g ~label () in
+      Pg_sat.Model_search.fill_required_properties sch g)
+    (pick rng candidates)
+
+(* DS5: drop a required property *)
+let ds5 sch rng g =
+  let constraints =
+    List.filter
+      (fun (fc : Rules.field_constraint) ->
+        Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type)
+      (Rules.constrained_fields sch ~directive:"required")
+  in
+  let candidates =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun (fc : Rules.field_constraint) ->
+            if
+              Subtype.named sch (G.node_label g v) fc.Rules.owner
+              && G.node_prop g v fc.Rules.field <> None
+            then Some (v, fc.Rules.field)
+            else None)
+          constraints)
+      (G.nodes g)
+  in
+  Option.map (fun (v, f) -> G.remove_node_prop g v f) (pick rng candidates)
+
+(* DS6: drop a required edge *)
+let ds6 sch rng g =
+  let constraints =
+    List.filter
+      (fun (fc : Rules.field_constraint) ->
+        not (Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type))
+      (Rules.constrained_fields sch ~directive:"required")
+  in
+  let candidates =
+    List.filter
+      (fun e ->
+        let v1, _ = G.edge_ends g e in
+        let f = G.edge_label g e in
+        List.exists
+          (fun (fc : Rules.field_constraint) ->
+            String.equal fc.Rules.field f
+            && Subtype.named sch (G.node_label g v1) fc.Rules.owner
+            && (* removing must leave no other f-edge *)
+            List.length
+              (List.filter
+                 (fun e' -> String.equal (G.edge_label g e') f)
+                 (G.out_edges g v1))
+            = 1)
+          constraints)
+      (G.edges g)
+  in
+  Option.map (fun e -> G.remove_edge g e) (pick rng candidates)
+
+(* DS7: copy one node's key properties onto another *)
+let ds7 sch rng g =
+  let candidates =
+    List.concat_map
+      (fun (owner, key_fields) ->
+        let members =
+          List.filter (fun v -> Subtype.named sch (G.node_label g v) owner) (G.nodes g)
+        in
+        match members with
+        | v1 :: (_ :: _ as rest) ->
+          List.map (fun v2 -> (owner, key_fields, v1, v2)) rest
+        | _ -> [])
+      (Rules.key_constraints sch)
+  in
+  Option.map
+    (fun (_owner, key_fields, v1, v2) ->
+      List.fold_left
+        (fun g f ->
+          match G.node_prop g v1 f with
+          | Some value -> G.set_node_prop g v2 f value
+          | None -> G.remove_node_prop g v2 f)
+        g key_fields)
+    (pick rng candidates)
+
+(* SS1: relabel a node to an unknown type *)
+let ss1 _sch rng g =
+  Option.map (fun v -> G.relabel_node g v "UnknownType_xq") (pick rng (G.nodes g))
+
+(* SS2: add an undeclared node property *)
+let ss2 _sch rng g =
+  Option.map
+    (fun v -> G.set_node_prop g v "unknownProperty_xq" (Value.Int 1))
+    (pick rng (G.nodes g))
+
+(* SS3: add an undeclared edge property *)
+let ss3 _sch rng g =
+  Option.map
+    (fun e -> G.set_edge_prop g e "unknownArgument_xq" (Value.Int 1))
+    (pick rng (G.edges g))
+
+(* SS4: add an edge with an undeclared label *)
+let ss4 _sch rng g =
+  match G.nodes g with
+  | [] -> None
+  | nodes ->
+    Option.map
+      (fun v ->
+        let u = Option.value ~default:v (pick rng nodes) in
+        fst (G.add_edge g ~label:"unknownEdge_xq" v u))
+      (pick rng nodes)
+
+let mutate rule sch rng g =
+  let f =
+    match rule with
+    | Violation.WS1 -> ws1
+    | Violation.WS2 -> ws2
+    | Violation.WS3 -> ws3
+    | Violation.WS4 -> ws4
+    | Violation.DS1 -> ds1
+    | Violation.DS2 -> ds2
+    | Violation.DS3 -> ds3
+    | Violation.DS4 -> ds4
+    | Violation.DS5 -> ds5
+    | Violation.DS6 -> ds6
+    | Violation.DS7 -> ds7
+    | Violation.SS1 -> ss1
+    | Violation.SS2 -> ss2
+    | Violation.SS3 -> ss3
+    | Violation.SS4 -> ss4
+  in
+  f sch rng g
+
+let mutate_any sch rng g =
+  (* try the rules in random order, first applicable one wins *)
+  let shuffled =
+    List.map (fun r -> (Random.State.bits rng, r)) Violation.all_rules
+    |> List.sort compare |> List.map snd
+  in
+  List.find_map
+    (fun rule ->
+      match mutate rule sch rng g with Some g' -> Some (rule, g') | None -> None)
+    shuffled

@@ -1,0 +1,28 @@
+(** Fault injection: one mutator per validation rule of Section 5.
+
+    Given a schema and a (typically conformant) graph, [mutate rule]
+    applies a minimal edit designed to make the graph violate that rule —
+    remove a required property (DS5), duplicate a non-list edge (WS4),
+    copy one node's key onto another (DS7), and so on.  Mutators return
+    [None] when the graph offers no opportunity (e.g. no [@noLoops] field
+    whose source type can also be its target).
+
+    A mutation is {e targeted}, not {e exclusive}: some edits necessarily
+    trip several rules at once (a wrongly-typed value on a required list
+    attribute violates WS1 and the list part of DS5).  The test suite
+    asserts that the targeted rule is among those reported by both
+    validation engines. *)
+
+val mutate :
+  Pg_validation.Violation.rule ->
+  Pg_schema.Schema.t ->
+  Random.State.t ->
+  Pg_graph.Property_graph.t ->
+  Pg_graph.Property_graph.t option
+
+val mutate_any :
+  Pg_schema.Schema.t ->
+  Random.State.t ->
+  Pg_graph.Property_graph.t ->
+  (Pg_validation.Violation.rule * Pg_graph.Property_graph.t) option
+(** A random applicable mutator (uniform over the applicable ones). *)

@@ -1,0 +1,128 @@
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Rules = Pg_validation.Rules
+
+(* Append a disjoint copy of [src] to [dst]. *)
+let disjoint_union dst src =
+  let mapping = Hashtbl.create 64 in
+  let dst =
+    List.fold_left
+      (fun dst v ->
+        let dst, v' =
+          G.add_node dst ~label:(G.node_label src v) ~props:(G.node_props src v) ()
+        in
+        Hashtbl.add mapping (G.node_id v) v';
+        dst)
+      dst (G.nodes src)
+  in
+  List.fold_left
+    (fun dst e ->
+      let v1, v2 = G.edge_ends src e in
+      let dst, _ =
+        G.add_edge dst ~label:(G.edge_label src e) ~props:(G.edge_props src e)
+          (Hashtbl.find mapping (G.node_id v1))
+          (Hashtbl.find mapping (G.node_id v2))
+      in
+      dst)
+    dst (G.edges src)
+
+(* Re-freshen all key properties so copies do not collide (DS7). *)
+let refresh_keys sch g =
+  let counter = ref 1_000_000 in
+  List.fold_left
+    (fun g (owner, key_fields) ->
+      List.fold_left
+        (fun g v ->
+          if Subtype.named sch (G.node_label g v) owner then
+            List.fold_left
+              (fun g f ->
+                match Schema.type_f sch (G.node_label g v) f with
+                | Some wt when Rules.is_attribute_type sch wt ->
+                  incr counter;
+                  let atom =
+                    match Wrapped.basetype wt with
+                    | "Int" -> Value.Int !counter
+                    | "Float" -> Value.Float (float_of_int !counter)
+                    | "Boolean" -> Value.Bool (!counter mod 2 = 0)
+                    | "ID" -> Value.Id (Printf.sprintf "key%d" !counter)
+                    | _ -> Value.String (Printf.sprintf "key%d" !counter)
+                  in
+                  let value = if Wrapped.is_list wt then Value.List [ atom ] else atom in
+                  G.set_node_prop g v f value
+                | Some _ | None -> g)
+              g key_fields
+          else g)
+        g (G.nodes g))
+    g (Rules.key_constraints sch)
+
+let conformant ?(seed = 17) ?(target_nodes = 50) sch =
+  ignore seed;
+  let witnesses =
+    List.filter_map
+      (fun ot -> Pg_sat.Model_search.greedy ~max_nodes:16 sch ot)
+      (Schema.object_names sch)
+  in
+  match witnesses with
+  | [] -> None
+  | _ ->
+    let rec grow g i =
+      if G.node_count g >= target_nodes then g
+      else grow (disjoint_union g (List.nth witnesses (i mod List.length witnesses))) (i + 1)
+    in
+    let g = grow G.empty 0 in
+    let g = refresh_keys sch g in
+    if Pg_validation.Validate.conforms sch g then Some g else None
+
+(* ---------------------------------------------------------------- *)
+
+let sample rng l = List.nth l (Random.State.int rng (List.length l))
+let chance rng p = Random.State.float rng 1.0 < p
+
+let random_value rng =
+  match Random.State.int rng 7 with
+  | 0 -> Value.Int (Random.State.int rng 100)
+  | 1 -> Value.Float (Random.State.float rng 10.0)
+  | 2 -> Value.String (Printf.sprintf "s%d" (Random.State.int rng 100))
+  | 3 -> Value.Bool (Random.State.bool rng)
+  | 4 -> Value.Id (Printf.sprintf "id%d" (Random.State.int rng 100))
+  | 5 -> Value.Enum (sample rng [ "RED"; "GREEN"; "BLUE"; "MAUVE" ])
+  | _ -> Value.List [ Value.Int 1; Value.String "x" ]
+
+let fuzz rng sch ~max_nodes =
+  let labels =
+    Schema.object_names sch @ Schema.interface_names sch @ [ "Zombie"; "Ghost" ]
+  in
+  let n = 1 + Random.State.int rng (max 1 max_nodes) in
+  let g = ref G.empty in
+  let nodes =
+    Array.init n (fun _ ->
+        let g', v = G.add_node !g ~label:(sample rng labels) () in
+        g := g';
+        v)
+  in
+  (* properties: declared names (sometimes ill-typed values), plus junk *)
+  Array.iter
+    (fun v ->
+      let label = G.node_label !g v in
+      List.iter
+        (fun (f, _) -> if chance rng 0.5 then g := G.set_node_prop !g v f (random_value rng))
+        (Schema.fields sch label);
+      if chance rng 0.2 then g := G.set_node_prop !g v "junk" (random_value rng))
+    nodes;
+  (* edges: declared field names of the source's type, plus junk labels *)
+  let edge_count = Random.State.int rng (2 * n) in
+  for _ = 1 to edge_count do
+    let v = nodes.(Random.State.int rng n) and u = nodes.(Random.State.int rng n) in
+    let declared = List.map fst (Schema.fields sch (G.node_label !g v)) in
+    let label =
+      if declared <> [] && chance rng 0.8 then sample rng declared else "junkEdge"
+    in
+    let g', e = G.add_edge !g ~label v u in
+    g := g';
+    if chance rng 0.3 then g := G.set_edge_prop !g e "weight" (random_value rng);
+    if chance rng 0.1 then g := G.set_edge_prop !g e "junkArg" (random_value rng)
+  done;
+  !g

@@ -1,0 +1,17 @@
+(** Graph generation against arbitrary schemas.
+
+    - {!conformant} builds graphs that strongly satisfy a schema, by
+      disjoint union of satisfiability witnesses with key properties
+      re-freshened globally (a disjoint union of conformant graphs can
+      only violate key constraints, which range over node pairs).
+    - {!fuzz} builds deliberately arbitrary graphs — a controlled mix of
+      declared and undeclared labels, well- and ill-typed properties,
+      justified and unjustified edges — for differential testing of the
+      two validation engines, which must agree on {e every} input. *)
+
+val conformant :
+  ?seed:int -> ?target_nodes:int -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t option
+(** [None] when no object type of the schema has a witness within the
+    search bounds. *)
+
+val fuzz : Random.State.t -> Pg_schema.Schema.t -> max_nodes:int -> Pg_graph.Property_graph.t

@@ -1,0 +1,26 @@
+module Cnf = Pg_sat.Cnf
+
+let random ?(seed = 13) ~num_vars ~num_clauses ~clause_size () =
+  if num_vars < 1 then invalid_arg "Ksat.random: num_vars must be >= 1";
+  let clause_size = min clause_size num_vars in
+  let rng = Random.State.make [| seed; num_vars; num_clauses |] in
+  let clause () =
+    let rec distinct_vars acc k =
+      if k = 0 then acc
+      else begin
+        let v = 1 + Random.State.int rng num_vars in
+        if List.mem v acc then distinct_vars acc k else distinct_vars (v :: acc) (k - 1)
+      end
+    in
+    List.map
+      (fun v -> Cnf.lit (if Random.State.bool rng then v else -v))
+      (distinct_vars [] clause_size)
+  in
+  Cnf.make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let series ?(seed = 13) ~clause_size ~ratio var_counts =
+  List.map
+    (fun num_vars ->
+      let num_clauses = max 1 (int_of_float (ratio *. float_of_int num_vars)) in
+      random ~seed ~num_vars ~num_clauses ~clause_size ())
+    var_counts

@@ -1,0 +1,11 @@
+(** Random k-SAT instances for the Theorem 2 benchmarks (E9). *)
+
+val random :
+  ?seed:int -> num_vars:int -> num_clauses:int -> clause_size:int -> unit -> Pg_sat.Cnf.t
+(** Clauses drawn uniformly: distinct variables within a clause, random
+    polarities.  [clause_size] is capped at [num_vars]. *)
+
+val series : ?seed:int -> clause_size:int -> ratio:float -> int list -> Pg_sat.Cnf.t list
+(** One instance per requested variable count, with
+    [num_clauses = ratio * num_vars] (rounded, at least 1); used for the
+    [sat_reduction_scaling] bench around the hard ratio. *)

@@ -1,0 +1,115 @@
+let sample rng l = List.nth l (Random.State.int rng (List.length l))
+let chance rng p = Random.State.float rng 1.0 < p
+
+let wrappings = [ ""; "!"; "[]"; "[!]"; "[]!"; "[!]!" ]
+
+let wrap ty = function
+  | "" -> ty
+  | "!" -> ty ^ "!"
+  | "[]" -> "[" ^ ty ^ "]"
+  | "[!]" -> "[" ^ ty ^ "!]"
+  | "[]!" -> "[" ^ ty ^ "]!"
+  | "[!]!" -> "[" ^ ty ^ "!]!"
+  | _ -> ty
+
+let is_list_wrapping w = String.length w > 0 && w.[0] = '['
+
+let random_sdl rng =
+  let buf = Buffer.create 1024 in
+  let num_objects = 2 + Random.State.int rng 5 in
+  let objects = List.init num_objects (fun i -> Printf.sprintf "T%d" i) in
+  let has_enum = chance rng 0.6 in
+  let has_custom_scalar = chance rng 0.4 in
+  let scalars =
+    [ "Int"; "Float"; "String"; "Boolean"; "ID" ]
+    @ (if has_enum then [ "Color" ] else [])
+    @ if has_custom_scalar then [ "Date" ] else []
+  in
+  if has_enum then Buffer.add_string buf "enum Color { RED GREEN BLUE }\n\n";
+  if has_custom_scalar then Buffer.add_string buf "scalar Date\n\n";
+  (* optional union of two object types *)
+  let union =
+    if num_objects >= 2 && chance rng 0.4 then begin
+      let a = sample rng objects in
+      let b = sample rng (List.filter (fun o -> o <> a) objects) in
+      Buffer.add_string buf (Printf.sprintf "union U0 = %s | %s\n\n" a b);
+      Some "U0"
+    end
+    else None
+  in
+  (* optional interface implemented by up to three object types; its field
+     list is replicated into the implementers for consistency *)
+  let interface =
+    if chance rng 0.5 then begin
+      let field_ty = wrap (sample rng scalars) (sample rng [ ""; "!" ]) in
+      let required = if chance rng 0.5 then " @required" else "" in
+      let field = Printf.sprintf "  shared: %s%s\n" field_ty required in
+      Buffer.add_string buf (Printf.sprintf "interface I0 {\n%s}\n\n" field);
+      let implementers =
+        List.filter (fun _ -> chance rng 0.5) objects |> function
+        | [] -> [ List.hd objects ]
+        | l -> l
+      in
+      Some (field, implementers)
+    end
+    else None
+  in
+  let target_types = objects @ (match union with Some u -> [ u ] | None -> []) in
+  List.iter
+    (fun ot ->
+      let attribute_fields = 1 + Random.State.int rng 3 in
+      let fields = Buffer.create 128 in
+      (* the interface field, replicated verbatim where implemented *)
+      let implements =
+        match interface with
+        | Some (field, implementers) when List.mem ot implementers ->
+          Buffer.add_string fields field;
+          " implements I0"
+        | _ -> ""
+      in
+      let attr_names = ref [] in
+      for i = 0 to attribute_fields - 1 do
+        let name = Printf.sprintf "a%d" i in
+        attr_names := name :: !attr_names;
+        let scalar = sample rng scalars in
+        let wrapping = sample rng wrappings in
+        let required = if chance rng 0.3 then " @required" else "" in
+        Buffer.add_string fields
+          (Printf.sprintf "  %s: %s%s\n" name (wrap scalar wrapping) required)
+      done;
+      let relationship_fields = Random.State.int rng 3 in
+      for i = 0 to relationship_fields - 1 do
+        let name = Printf.sprintf "r%d" i in
+        let target = sample rng target_types in
+        let wrapping = sample rng [ ""; "!"; "[]"; "[!]"; "[]!" ] in
+        let directives = Buffer.create 16 in
+        if chance rng 0.3 then Buffer.add_string directives " @required";
+        if is_list_wrapping wrapping && chance rng 0.3 then
+          Buffer.add_string directives " @distinct";
+        if String.equal target ot && chance rng 0.3 then
+          Buffer.add_string directives " @noLoops";
+        if chance rng 0.15 then Buffer.add_string directives " @uniqueForTarget";
+        if chance rng 0.08 then Buffer.add_string directives " @requiredForTarget";
+        let args = if chance rng 0.25 then "(weight: Float)" else "" in
+        Buffer.add_string fields
+          (Printf.sprintf "  %s%s: %s%s\n" name args (wrap target wrapping)
+             (Buffer.contents directives))
+      done;
+      let key =
+        match !attr_names with
+        | name :: _ when chance rng 0.3 -> Printf.sprintf " @key(fields: [\"%s\"])" name
+        | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "type %s%s%s {\n%s}\n\n" ot implements key (Buffer.contents fields)))
+    objects;
+  Buffer.contents buf
+
+let random_schema rng =
+  let sdl = random_sdl rng in
+  match Pg_schema.Of_ast.parse sdl with
+  | Ok sch -> sch
+  | Error msg ->
+    failwith
+      (Printf.sprintf "Schema_gen.random_schema: generated schema is invalid (%s):\n%s" msg
+         sdl)

@@ -1,0 +1,19 @@
+(** Random schema generation for property-based tests.
+
+    Schemas are emitted as SDL text (so every generated schema also
+    exercises the lexer and parser) and are consistent by construction:
+    interface fields are copied verbatim into the implementing object
+    types, union members are object types, directive uses match the
+    standard declarations.
+
+    The shape is controlled to keep satisfiability and validation
+    tractable in tests: 2–6 object types, up to one interface and one
+    union, attribute fields over the built-in scalars plus at most one
+    enum and one custom scalar, relationship fields with a bounded set of
+    directives ([@requiredForTarget] is generated with low probability —
+    it is the main source of unsatisfiable random schemas). *)
+
+val random_sdl : Random.State.t -> string
+
+val random_schema : Random.State.t -> Pg_schema.Schema.t
+(** [random_sdl] parsed; generation guarantees this cannot fail. *)

@@ -1,0 +1,188 @@
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+
+let schema_text =
+  {|
+"Timestamps in ISO-8601; validated as an opaque scalar."
+scalar DateTime
+
+enum Browser { CHROME FIREFOX SAFARI OTHER }
+
+union Content = Post | Comment
+
+type City @key(fields: ["name"]) {
+  name: String! @required
+  population: Int
+}
+
+interface Message {
+  id: ID! @required
+  content: String! @required
+  createdAt: DateTime! @required
+}
+
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String! @required
+  emails: [String!]!
+  browser: Browser
+  livesIn: City! @required @requiredForTarget
+  knows(since: DateTime!): [Person] @distinct @noLoops
+  likes: [Message] @distinct
+}
+
+type Forum @key(fields: ["title"]) {
+  title: String! @required
+  moderator: Person! @required @uniqueForTarget
+  hasMember(joined: DateTime): [Person] @distinct
+  containerOf: [Post] @requiredForTarget @uniqueForTarget
+}
+
+type Post implements Message @key(fields: ["id"]) {
+  id: ID! @required
+  content: String! @required
+  createdAt: DateTime! @required
+  author: Person! @required
+}
+
+type Comment implements Message @key(fields: ["id"]) {
+  id: ID! @required
+  content: String! @required
+  createdAt: DateTime! @required
+  author: Person! @required
+  replyOf: Content! @required
+}
+|}
+
+let schema () =
+  match Pg_schema.Of_ast.parse schema_text with
+  | Ok sch -> sch
+  | Error msg -> failwith ("Social.schema: internal schema is broken: " ^ msg)
+
+let timestamp i = Value.String (Printf.sprintf "2019-06-%02dT%02d:%02d" ((i mod 28) + 1) (i mod 24) (i mod 60))
+
+let browsers = [| "CHROME"; "FIREFOX"; "SAFARI"; "OTHER" |]
+
+let generate ?(seed = 42) ~persons () =
+  if persons < 1 then invalid_arg "Social.generate: persons must be >= 1";
+  let rng = Random.State.make [| seed |] in
+  let cities = max 1 ((persons + 19) / 20) in
+  let forums = max 1 (persons / 10) in
+  let posts = persons in
+  let comments = persons / 2 in
+  let g = ref G.empty in
+  let add_node ~label ~props =
+    let g', v = G.add_node !g ~label ~props () in
+    g := g';
+    v
+  in
+  let add_edge ~label ?props src tgt =
+    let g', _ = G.add_edge !g ~label ?props src tgt in
+    g := g'
+  in
+  let city =
+    Array.init cities (fun i ->
+        add_node ~label:"City"
+          ~props:
+            [
+              ("name", Value.String (Printf.sprintf "City%d" i));
+              ("population", Value.Int (10_000 + (137 * i)));
+            ])
+  in
+  let person =
+    Array.init persons (fun i ->
+        let props =
+          [
+            ("id", Value.Id (Printf.sprintf "p%d" i));
+            ("name", Value.String (Printf.sprintf "Person %d" i));
+          ]
+        in
+        let props =
+          if i mod 3 = 0 then
+            ("emails", Value.List [ Value.String (Printf.sprintf "p%d@example.org" i) ])
+            :: props
+          else props
+        in
+        let props =
+          if i mod 2 = 0 then
+            ("browser", Value.Enum browsers.(Random.State.int rng 4)) :: props
+          else props
+        in
+        add_node ~label:"Person" ~props)
+  in
+  let forum =
+    Array.init forums (fun i ->
+        add_node ~label:"Forum"
+          ~props:[ ("title", Value.String (Printf.sprintf "Forum %d" i)) ])
+  in
+  let post =
+    Array.init posts (fun i ->
+        add_node ~label:"Post"
+          ~props:
+            [
+              ("id", Value.Id (Printf.sprintf "post%d" i));
+              ("content", Value.String (Printf.sprintf "Post number %d" i));
+              ("createdAt", timestamp i);
+            ])
+  in
+  let comment =
+    Array.init comments (fun i ->
+        add_node ~label:"Comment"
+          ~props:
+            [
+              ("id", Value.Id (Printf.sprintf "comment%d" i));
+              ("content", Value.String (Printf.sprintf "Comment number %d" i));
+              ("createdAt", timestamp (i + 3));
+            ])
+  in
+  (* livesIn: exactly one per person; each city inhabited (persons are
+     distributed round-robin, and cities <= persons) *)
+  Array.iteri (fun i p -> add_edge ~label:"livesIn" p city.(i mod cities)) person;
+  (* moderator: forum i moderated by person i (distinct persons) *)
+  Array.iteri (fun i f -> add_edge ~label:"moderator" f person.(i)) forum;
+  (* membership, with an optional edge property *)
+  Array.iteri
+    (fun i p ->
+      let props = if i mod 2 = 0 then [ ("joined", timestamp i) ] else [] in
+      add_edge ~label:"hasMember" ~props forum.(i mod forums) p)
+    person;
+  (* containerOf: every post in exactly one forum *)
+  Array.iteri (fun i po -> add_edge ~label:"containerOf" forum.(i mod forums) po) post;
+  (* knows: ring + chord, guarded against loops and duplicate targets *)
+  Array.iteri
+    (fun i p ->
+      let targets = [ (i + 1) mod persons; (i + 7) mod persons ] in
+      ignore
+        (List.fold_left
+           (fun seen j ->
+             if j <> i && not (List.mem j seen) then begin
+               add_edge ~label:"knows" ~props:[ ("since", timestamp (i + j)) ] p person.(j);
+               j :: seen
+             end
+             else seen)
+           [] targets))
+    person;
+  (* likes: distinct targets by construction (one per person) *)
+  Array.iteri (fun i p -> add_edge ~label:"likes" p post.((i * 3) mod posts)) person;
+  (* authorship *)
+  Array.iteri (fun i po -> add_edge ~label:"author" po person.(i mod persons)) post;
+  Array.iteri
+    (fun i c ->
+      add_edge ~label:"author" c person.((2 * i) mod persons);
+      (* replies alternate between posts and earlier comments *)
+      if i > 0 && i mod 4 = 0 then add_edge ~label:"replyOf" c comment.(i - 1)
+      else add_edge ~label:"replyOf" c post.(i mod posts))
+    comment;
+  !g
+
+let corrupt_uniformly ?(seed = 7) ~rate sch g =
+  let rng = Random.State.make [| seed |] in
+  let mutations = int_of_float (rate *. float_of_int (G.node_count g)) in
+  let rec go g k =
+    if k = 0 then g
+    else
+      match Corruption.mutate_any sch rng g with
+      | Some (_, g') -> go g' (k - 1)
+      | None -> g
+  in
+  go g mutations

@@ -1,0 +1,28 @@
+(** The social-network workload used by the scaling benchmarks (E7).
+
+    An LDBC-style schema — persons in cities, posts, comments, forums —
+    exercising every directive of the paper, and a deterministic
+    generator producing conformant graphs of a requested size.
+    Conformance (strong satisfaction) is asserted by the test suite, so
+    the benchmarks measure pure validation cost, not violation
+    reporting. *)
+
+val schema_text : string
+(** The schema in SDL.  Includes [@key], [@required], [@distinct],
+    [@noLoops], [@uniqueForTarget], [@requiredForTarget], an interface, a
+    union, an enum, a custom scalar, and edge properties. *)
+
+val schema : unit -> Pg_schema.Schema.t
+(** Parsed (raises on internal error; covered by tests). *)
+
+val generate : ?seed:int -> persons:int -> unit -> Pg_graph.Property_graph.t
+(** A conformant graph with roughly [9 * persons / 2] nodes: one city per
+    20 persons, one forum per 10, one post per person, one comment per
+    two persons, plus moderation, likes, friendship, and membership
+    edges. *)
+
+val corrupt_uniformly :
+  ?seed:int -> rate:float -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t ->
+  Pg_graph.Property_graph.t
+(** Apply random {!Corruption} mutators to a fraction [rate] of nodes;
+    used by benches that measure validation on invalid inputs. *)

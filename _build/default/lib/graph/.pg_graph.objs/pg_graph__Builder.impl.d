@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Hashtbl Printf Property_graph

@@ -1,0 +1,1 @@
+lib/graph/graphml.ml: Buffer List Map Printf Property_graph String Value

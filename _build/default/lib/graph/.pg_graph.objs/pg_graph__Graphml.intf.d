@@ -1,0 +1,1 @@
+lib/graph/graphml.mli: Property_graph

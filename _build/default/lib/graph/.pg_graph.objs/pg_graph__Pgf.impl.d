@@ -1,0 +1,1 @@
+lib/graph/pgf.ml: Buffer Char Format Hashtbl List Printf Property_graph Result String Value

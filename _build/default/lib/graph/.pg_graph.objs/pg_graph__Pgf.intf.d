@@ -1,0 +1,1 @@
+lib/graph/pgf.mli: Format Property_graph

@@ -1,0 +1,1 @@
+lib/graph/property_graph.ml: Format Int List Map String Value

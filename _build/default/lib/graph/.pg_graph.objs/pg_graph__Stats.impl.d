@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Format List Map Property_graph String

@@ -1,0 +1,1 @@
+lib/graph/value.ml: Buffer Char Float Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,27 @@
+type t = {
+  mutable g : Property_graph.t;
+  names : (string, Property_graph.node) Hashtbl.t;
+}
+
+let create () = { g = Property_graph.empty; names = Hashtbl.create 64 }
+
+let node b handle ~label ?(props = []) () =
+  if Hashtbl.mem b.names handle then
+    invalid_arg (Printf.sprintf "Builder.node: duplicate handle %S" handle);
+  let g, v = Property_graph.add_node b.g ~label ~props () in
+  b.g <- g;
+  Hashtbl.add b.names handle v;
+  v
+
+let find b handle =
+  match Hashtbl.find_opt b.names handle with
+  | Some v -> v
+  | None -> raise Not_found
+
+let edge b src tgt ~label ?(props = []) () =
+  let vsrc = find b src and vtgt = find b tgt in
+  let g, e = Property_graph.add_edge b.g ~label ~props vsrc vtgt in
+  b.g <- g;
+  e
+
+let graph b = b.g

@@ -1,0 +1,42 @@
+(** Imperative convenience layer for constructing Property Graphs.
+
+    A builder keeps a mutable graph under construction together with a
+    namespace of string handles for nodes, so that test fixtures and
+    generators can write
+
+    {[
+      let b = Builder.create () in
+      Builder.node b "alice" ~label:"User" ~props:[ "login", Value.String "alice" ];
+      Builder.node b "s1" ~label:"UserSession";
+      Builder.edge b "s1" "alice" ~label:"user";
+      let g = Builder.graph b
+    ]}
+
+    without threading the persistent graph through every call. *)
+
+type t
+
+val create : unit -> t
+
+val node :
+  t -> string -> label:string -> ?props:(string * Value.t) list -> unit -> Property_graph.node
+(** [node b handle ~label ~props ()] adds a node and registers it under
+    [handle].  @raise Invalid_argument if the handle is already used. *)
+
+val edge :
+  t ->
+  string ->
+  string ->
+  label:string ->
+  ?props:(string * Value.t) list ->
+  unit ->
+  Property_graph.edge
+(** [edge b src tgt ~label ~props ()] adds an edge between the nodes
+    registered under the two handles.
+    @raise Not_found if either handle is unknown. *)
+
+val find : t -> string -> Property_graph.node
+(** The node registered under a handle. @raise Not_found if unknown. *)
+
+val graph : t -> Property_graph.t
+(** The graph built so far (snapshot; the builder can keep going). *)

@@ -1,0 +1,102 @@
+module Sm = Map.Make (String)
+
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_type (v : Value.t) =
+  match v with
+  | Value.Int _ -> "int"
+  | Value.Float _ -> "double"
+  | Value.Bool _ -> "boolean"
+  | Value.String _ | Value.Id _ | Value.Enum _ | Value.List _ -> "string"
+
+let attr_value (v : Value.t) =
+  match v with
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Bool b -> string_of_bool b
+  | Value.String s | Value.Id s | Value.Enum s -> s
+  | Value.List _ -> Value.to_string v
+
+(* Collect one key declaration per (domain, property name); conflicting
+   types across nodes degrade to string. *)
+let collect_keys g =
+  let merge keys domain props =
+    List.fold_left
+      (fun keys (name, v) ->
+        let id = domain ^ "_" ^ name in
+        let ty = attr_type v in
+        Sm.update id
+          (function
+            | Some (d, n, existing) -> Some (d, n, if existing = ty then existing else "string")
+            | None -> Some (domain, name, ty))
+          keys)
+      keys props
+  in
+  let keys =
+    List.fold_left
+      (fun keys v -> merge keys "node" (Property_graph.node_props g v))
+      Sm.empty (Property_graph.nodes g)
+  in
+  List.fold_left
+    (fun keys e -> merge keys "edge" (Property_graph.edge_props g e))
+    keys (Property_graph.edges g)
+
+let to_string g =
+  let module G = Property_graph in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line {|<?xml version="1.0" encoding="UTF-8"?>|};
+  line {|<graphml xmlns="http://graphml.graphdrawing.org/xmlns">|};
+  line {|  <key id="node_label" for="node" attr.name="label" attr.type="string"/>|};
+  line {|  <key id="edge_label" for="edge" attr.name="label" attr.type="string"/>|};
+  let keys = collect_keys g in
+  Sm.iter
+    (fun id (domain, name, ty) ->
+      line {|  <key id="%s" for="%s" attr.name="%s" attr.type="%s"/>|} (xml_escape id) domain
+        (xml_escape name) ty)
+    keys;
+  line {|  <graph id="G" edgedefault="directed">|};
+  List.iter
+    (fun v ->
+      line {|    <node id="n%d">|} (G.node_id v);
+      line {|      <data key="node_label">%s</data>|} (xml_escape (G.node_label g v));
+      List.iter
+        (fun (name, value) ->
+          line {|      <data key="node_%s">%s</data>|} (xml_escape name)
+            (xml_escape (attr_value value)))
+        (G.node_props g v);
+      line {|    </node>|})
+    (G.nodes g);
+  List.iter
+    (fun e ->
+      let src, tgt = G.edge_ends g e in
+      line {|    <edge id="e%d" source="n%d" target="n%d">|} (G.edge_id e) (G.node_id src)
+        (G.node_id tgt);
+      line {|      <data key="edge_label">%s</data>|} (xml_escape (G.edge_label g e));
+      List.iter
+        (fun (name, value) ->
+          line {|      <data key="edge_%s">%s</data>|} (xml_escape name)
+            (xml_escape (attr_value value)))
+        (G.edge_props g e);
+      line {|    </edge>|})
+    (G.edges g);
+  line {|  </graph>|};
+  line {|</graphml>|};
+  Buffer.contents buf
+
+let save path g =
+  let oc = open_out_bin path in
+  output_string oc (to_string g);
+  close_out oc

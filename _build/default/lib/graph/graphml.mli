@@ -1,0 +1,11 @@
+(** GraphML export, for viewing Property Graphs in standard tooling
+    (Gephi, yEd, Cytoscape).
+
+    Nodes and edges carry their label in a [label] attribute; every
+    property becomes a data key (typed [string]/[int]/[double]/[boolean];
+    [ID], enum and list values are rendered as strings).  Export only —
+    GraphML cannot round-trip the value vocabulary faithfully, so PGF
+    ({!Pgf}) remains the interchange format. *)
+
+val to_string : Property_graph.t -> string
+val save : string -> Property_graph.t -> unit

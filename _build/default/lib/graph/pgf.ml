@@ -1,0 +1,329 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "PGF parse error at line %d: %s" e.line e.message
+
+exception Error of error
+
+(* A tiny per-line scanner.  PGF is line-oriented, so each declaration is
+   scanned independently; values never span lines. *)
+module Scan = struct
+  type t = { s : string; mutable pos : int; line : int }
+
+  let make line s = { s; pos = 0; line }
+  let fail sc message = raise (Error { line = sc.line; message })
+  let peek sc = if sc.pos < String.length sc.s then Some sc.s.[sc.pos] else None
+  let advance sc = sc.pos <- sc.pos + 1
+
+  let skip_ws sc =
+    let rec loop () =
+      match peek sc with
+      | Some (' ' | '\t' | '\r') ->
+        advance sc;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
+
+  let at_end sc =
+    skip_ws sc;
+    peek sc = None
+
+  let expect_char sc c =
+    skip_ws sc;
+    match peek sc with
+    | Some c' when c' = c -> advance sc
+    | Some c' -> fail sc (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail sc (Printf.sprintf "expected %C, found end of line" c)
+
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+  let is_ident_char c =
+    is_ident_start c || (c >= '0' && c <= '9')
+
+  let ident sc =
+    skip_ws sc;
+    let start = sc.pos in
+    (match peek sc with
+    | Some c when is_ident_start c -> advance sc
+    | Some c -> fail sc (Printf.sprintf "expected identifier, found %C" c)
+    | None -> fail sc "expected identifier, found end of line");
+    let rec loop () =
+      match peek sc with
+      | Some c when is_ident_char c ->
+        advance sc;
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    String.sub sc.s start (sc.pos - start)
+
+  let try_char sc c =
+    skip_ws sc;
+    match peek sc with
+    | Some c' when c' = c ->
+      advance sc;
+      true
+    | _ -> false
+
+  let try_arrow sc =
+    skip_ws sc;
+    if
+      sc.pos + 1 < String.length sc.s
+      && sc.s.[sc.pos] = '-'
+      && sc.s.[sc.pos + 1] = '>'
+    then begin
+      sc.pos <- sc.pos + 2;
+      true
+    end
+    else false
+
+  let string_literal sc =
+    expect_char sc '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek sc with
+      | None -> fail sc "unterminated string literal"
+      | Some '"' -> advance sc
+      | Some '\\' ->
+        advance sc;
+        (match peek sc with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'u' ->
+          (* \uXXXX, kept as the raw byte for code points < 256; PGF is a
+             test/interchange format and does not claim full Unicode *)
+          advance sc;
+          let hex = Buffer.create 4 in
+          for _ = 1 to 4 do
+            match peek sc with
+            | Some c ->
+              Buffer.add_char hex c;
+              if Buffer.length hex < 4 then advance sc
+            | None -> fail sc "truncated \\u escape"
+          done;
+          (match int_of_string_opt ("0x" ^ Buffer.contents hex) with
+          | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> fail sc "\\u escape above \\u00FF is not supported by PGF"
+          | None -> fail sc "malformed \\u escape")
+        | Some c -> fail sc (Printf.sprintf "invalid escape \\%c" c)
+        | None -> fail sc "unterminated escape");
+        advance sc;
+        loop ()
+      | Some c ->
+        advance sc;
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let number sc =
+    skip_ws sc;
+    let start = sc.pos in
+    if peek sc = Some '-' then advance sc;
+    let rec digits () =
+      match peek sc with
+      | Some c when c >= '0' && c <= '9' ->
+        advance sc;
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    let is_float = ref false in
+    if peek sc = Some '.' then begin
+      is_float := true;
+      advance sc;
+      digits ()
+    end;
+    (match peek sc with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance sc;
+      (match peek sc with Some ('+' | '-') -> advance sc | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub sc.s start (sc.pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Value.Float f
+      | None -> fail sc (Printf.sprintf "malformed float %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Value.Int i
+      | None -> fail sc (Printf.sprintf "malformed integer %S" text)
+
+  let rec value sc =
+    skip_ws sc;
+    match peek sc with
+    | Some '"' -> Value.String (string_literal sc)
+    | Some '@' ->
+      advance sc;
+      Value.Id (string_literal sc)
+    | Some '[' ->
+      advance sc;
+      let rec elements acc =
+        skip_ws sc;
+        if peek sc = Some ']' then begin
+          advance sc;
+          List.rev acc
+        end
+        else begin
+          let v = value sc in
+          skip_ws sc;
+          if try_char sc ',' then elements (v :: acc)
+          else begin
+            expect_char sc ']';
+            List.rev (v :: acc)
+          end
+        end
+      in
+      Value.List (elements [])
+    | Some c when c = '-' || (c >= '0' && c <= '9') -> number sc
+    | Some c when is_ident_start c -> (
+      match ident sc with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | name -> Value.Enum name)
+    | Some c -> fail sc (Printf.sprintf "expected a value, found %C" c)
+    | None -> fail sc "expected a value, found end of line"
+
+  let props sc =
+    if not (try_char sc '{') then []
+    else begin
+      let rec entries acc =
+        skip_ws sc;
+        if try_char sc '}' then List.rev acc
+        else begin
+          let name = ident sc in
+          expect_char sc ':';
+          let v = value sc in
+          skip_ws sc;
+          if try_char sc ',' then entries ((name, v) :: acc)
+          else begin
+            expect_char sc '}';
+            List.rev ((name, v) :: acc)
+          end
+        end
+      in
+      entries []
+    end
+end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let handles : (string, Property_graph.node) Hashtbl.t = Hashtbl.create 64 in
+  try
+    let _, g =
+      List.fold_left
+        (fun (lineno, g) raw ->
+          let line = String.trim raw in
+          if line = "" || line.[0] = '#' then (lineno + 1, g)
+          else begin
+            let sc = Scan.make lineno line in
+            match Scan.ident sc with
+            | "node" ->
+              let handle = Scan.ident sc in
+              if Hashtbl.mem handles handle then
+                Scan.fail sc (Printf.sprintf "duplicate node handle %S" handle);
+              Scan.expect_char sc ':';
+              let label = Scan.ident sc in
+              let props = Scan.props sc in
+              if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
+              let g, v = Property_graph.add_node g ~label ~props () in
+              Hashtbl.add handles handle v;
+              (lineno + 1, g)
+            | "edge" ->
+              let first = Scan.ident sc in
+              (* "edge e0 n1 -> n0 :l" (handle + endpoints) or "edge n1 -> n0 :l" *)
+              let src_handle =
+                if Scan.try_arrow sc then first
+                else
+                  let second = Scan.ident sc in
+                  if not (Scan.try_arrow sc) then Scan.fail sc "expected '->'";
+                  second
+              in
+              let tgt_handle = Scan.ident sc in
+              Scan.expect_char sc ':';
+              let label = Scan.ident sc in
+              let props = Scan.props sc in
+              if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
+              let find h =
+                match Hashtbl.find_opt handles h with
+                | Some v -> v
+                | None -> Scan.fail sc (Printf.sprintf "unknown node handle %S" h)
+              in
+              let g, _ = Property_graph.add_edge g ~label ~props (find src_handle) (find tgt_handle) in
+              (lineno + 1, g)
+            | kw -> Scan.fail sc (Printf.sprintf "expected 'node' or 'edge', found %S" kw)
+          end)
+        (1, Property_graph.empty) lines
+    in
+    Ok g
+  with Error e -> Result.Error e
+
+let print_value buf v =
+  let rec go = function
+    | Value.Id s ->
+      Buffer.add_char buf '@';
+      Buffer.add_string buf (Value.to_string (Value.String s))
+    | Value.List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go v)
+        vs;
+      Buffer.add_char buf ']'
+    | v -> Buffer.add_string buf (Value.to_string v)
+  in
+  go v
+
+let print_props buf props =
+  if props <> [] then begin
+    Buffer.add_string buf " {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf k;
+        Buffer.add_string buf ": ";
+        print_value buf v)
+      props;
+    Buffer.add_char buf '}'
+  end
+
+let print g =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "node n%d :%s" (Property_graph.node_id v) (Property_graph.node_label g v));
+      print_props buf (Property_graph.node_props g v);
+      Buffer.add_char buf '\n')
+    (Property_graph.nodes g);
+  List.iter
+    (fun e ->
+      let src, tgt = Property_graph.edge_ends g e in
+      Buffer.add_string buf
+        (Printf.sprintf "edge e%d n%d -> n%d :%s" (Property_graph.edge_id e)
+           (Property_graph.node_id src) (Property_graph.node_id tgt)
+           (Property_graph.edge_label g e));
+      print_props buf (Property_graph.edge_props g e);
+      Buffer.add_char buf '\n')
+    (Property_graph.edges g);
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let save path g =
+  let oc = open_out_bin path in
+  output_string oc (print g);
+  close_out oc

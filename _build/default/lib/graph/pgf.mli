@@ -1,0 +1,36 @@
+(** PGF — a plain-text serialization for Property Graphs.
+
+    The paper's experiments need graphs to be stored, diffed, and fed to the
+    CLI; GraphQL has no instance syntax and no JSON library is available
+    offline, so we define a minimal line-oriented format:
+
+    {v
+    # a comment
+    node n0 :User {id: @"u1", login: "alice", nicknames: ["al", "lissa"]}
+    node n1 :UserSession {id: @"s1", startTime: "2019-06-30T09:00"}
+    edge e0 n1 -> n0 :user {certainty: 0.9}
+    v}
+
+    Values use GraphQL literal syntax with one extension: [@"..."] denotes a
+    value of the [ID] scalar type (so that printing and parsing round-trip;
+    plain ["..."] is a [String]).  Node handles ([n0]) are arbitrary
+    identifiers scoped to the document; edge handles are optional
+    documentation and are re-numbered on input. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Property_graph.t, error) result
+(** Parse a PGF document.  Nodes receive fresh ids in document order. *)
+
+val print : Property_graph.t -> string
+(** Serialize; [parse (print g)] succeeds and yields a graph {!Property_graph.equal}
+    to [g] up to re-numbering of ids (exactly equal when ids are dense and
+    in insertion order, as produced by {!Property_graph.add_node}). *)
+
+val load : string -> (Property_graph.t, error) result
+(** [load path] reads and parses a file. *)
+
+val save : string -> Property_graph.t -> unit
+(** [save path g] writes [print g] to a file. *)

@@ -1,0 +1,57 @@
+module Sm = Map.Make (String)
+
+type t = {
+  nodes : int;
+  edges : int;
+  node_labels : (string * int) list;
+  edge_labels : (string * int) list;
+  node_properties : int;
+  edge_properties : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  mean_out_degree : float;
+}
+
+let bump m k = Sm.update k (function Some n -> Some (n + 1) | None -> Some 1) m
+
+let compute g =
+  let module G = Property_graph in
+  let node_labels, node_properties, max_out, max_in =
+    G.fold_nodes
+      (fun v (labels, props, mo, mi) ->
+        ( bump labels (G.node_label g v),
+          props + List.length (G.node_props g v),
+          max mo (List.length (G.out_edges g v)),
+          max mi (List.length (G.in_edges g v)) ))
+      g (Sm.empty, 0, 0, 0)
+  in
+  let edge_labels, edge_properties =
+    G.fold_edges
+      (fun e (labels, props) ->
+        (bump labels (G.edge_label g e), props + List.length (G.edge_props g e)))
+      g (Sm.empty, 0)
+  in
+  let nodes = G.node_count g and edges = G.edge_count g in
+  {
+    nodes;
+    edges;
+    node_labels = Sm.bindings node_labels;
+    edge_labels = Sm.bindings edge_labels;
+    node_properties;
+    edge_properties;
+    max_out_degree = max_out;
+    max_in_degree = max_in;
+    mean_out_degree = (if nodes = 0 then 0. else float_of_int edges /. float_of_int nodes);
+  }
+
+let pp ppf s =
+  let pp_hist ppf l =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf (label, n) -> Format.fprintf ppf "%s:%d" label n)
+      ppf l
+  in
+  Format.fprintf ppf
+    "@[<v>nodes: %d (%a)@,edges: %d (%a)@,properties: %d node / %d edge@,degree: max out %d, max in %d, mean out %.2f@]"
+    s.nodes pp_hist s.node_labels s.edges pp_hist s.edge_labels s.node_properties
+    s.edge_properties s.max_out_degree s.max_in_degree s.mean_out_degree

@@ -1,0 +1,18 @@
+(** Descriptive statistics over Property Graphs, used by the benchmark
+    harness to report workload shapes (node/edge counts per label, degree
+    distribution) alongside timings. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  node_labels : (string * int) list;  (** label -> node count, sorted by label *)
+  edge_labels : (string * int) list;  (** label -> edge count, sorted by label *)
+  node_properties : int;  (** size of sigma's domain restricted to V *)
+  edge_properties : int;  (** size of sigma's domain restricted to E *)
+  max_out_degree : int;
+  max_in_degree : int;
+  mean_out_degree : float;
+}
+
+val compute : Property_graph.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Id of string
+  | Enum of string
+  | List of t list
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Int a, Int b -> a = b
+  | Float a, Float b ->
+    (* reflexive even for nan, so DS7 key comparison is an equivalence *)
+    a = b || (Float.is_nan a && Float.is_nan b)
+  | String a, String b -> String.equal a b
+  | Bool a, Bool b -> a = b
+  | Id a, Id b -> String.equal a b
+  | Enum a, Enum b -> String.equal a b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | (Int _ | Float _ | String _ | Bool _ | Id _ | Enum _ | List _), _ -> false
+
+let constructor_rank = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | String _ -> 2
+  | Bool _ -> 3
+  | Id _ -> 4
+  | Enum _ -> 5
+  | List _ -> 6
+
+let rec compare v1 v2 =
+  match v1, v2 with
+  | Int a, Int b -> Stdlib.compare a b
+  | Float a, Float b -> Float.compare a b
+  | String a, String b -> String.compare a b
+  | Bool a, Bool b -> Stdlib.compare a b
+  | Id a, Id b -> String.compare a b
+  | Enum a, Enum b -> String.compare a b
+  | List a, List b -> List.compare compare a b
+  | v1, v2 -> Stdlib.compare (constructor_rank v1) (constructor_rank v2)
+
+let rec hash = function
+  | Int a -> Hashtbl.hash (0, a)
+  | Float a -> if Float.is_nan a then Hashtbl.hash (1, "nan") else Hashtbl.hash (1, a)
+  | String a -> Hashtbl.hash (2, a)
+  | Bool a -> Hashtbl.hash (3, a)
+  | Id a -> Hashtbl.hash (4, a)
+  | Enum a -> Hashtbl.hash (5, a)
+  | List a -> List.fold_left (fun acc v -> Hashtbl.hash (acc, hash v)) 6 a
+
+let is_atomic = function List _ -> false | _ -> true
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats are printed so that they re-lex as GraphQL FloatValue tokens,
+   using the shortest of %.12g / %.15g / %.17g that round-trips. *)
+let float_literal a =
+  let shortest =
+    let r12 = Printf.sprintf "%.12g" a in
+    if float_of_string r12 = a then r12
+    else
+      let r15 = Printf.sprintf "%.15g" a in
+      if float_of_string r15 = a then r15 else Printf.sprintf "%.17g" a
+  in
+  shortest
+
+let rec pp ppf = function
+  | Int a -> Format.pp_print_int ppf a
+  | Float a ->
+    if Float.is_nan a then Format.pp_print_string ppf "nan"
+    else if Float.is_integer a && Float.abs a < 1e15 then Format.fprintf ppf "%.1f" a
+    else Format.pp_print_string ppf (float_literal a)
+  | String a -> Format.fprintf ppf "\"%s\"" (escape_string a)
+  | Bool a -> Format.pp_print_bool ppf a
+  | Id a -> Format.fprintf ppf "\"%s\"" (escape_string a)
+  | Enum a -> Format.pp_print_string ppf a
+  | List vs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      vs
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_name = function
+  | Int _ -> "Int"
+  | Float _ -> "Float"
+  | String _ -> "String"
+  | Bool _ -> "Boolean"
+  | Id _ -> "ID"
+  | Enum _ -> "enum"
+  | List _ -> "list"

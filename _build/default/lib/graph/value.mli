@@ -1,0 +1,44 @@
+(** Property values.
+
+    The paper assumes a set [Vals] of scalar values together with a function
+    [values : Scalars -> 2^Vals] assigning a value set to every scalar type
+    (Section 4.1).  This module provides the concrete value universe used
+    throughout the library: the values of the five built-in GraphQL scalar
+    types ([Int], [Float], [String], [Boolean], [ID]), enum symbols, and
+    finite lists thereof (property values of list-typed attributes are
+    arrays of atomic values, cf. Section 3.2). *)
+
+type t =
+  | Int of int  (** a value of the built-in [Int] scalar type *)
+  | Float of float  (** a value of the built-in [Float] scalar type *)
+  | String of string  (** a value of the built-in [String] scalar type *)
+  | Bool of bool  (** a value of the built-in [Boolean] scalar type *)
+  | Id of string  (** a value of the built-in [ID] scalar type *)
+  | Enum of string  (** an enum symbol, e.g. [METER] *)
+  | List of t list  (** an array of values; property values of list type *)
+
+val equal : t -> t -> bool
+(** Structural equality.  [Float] values compare with [=] except that
+    [nan] is equal to [nan], so that equality is reflexive (required for
+    key constraints, rule DS7). *)
+
+val compare : t -> t -> int
+(** A total order compatible with {!equal}; used for [Map]/[Set] keys and
+    for deterministic printing. *)
+
+val hash : t -> int
+(** A hash compatible with {!equal}. *)
+
+val is_atomic : t -> bool
+(** [true] iff the value is not a [List].  Edge and node properties of
+    non-list attribute types must be atomic. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print in GraphQL value syntax ([String] and [Id] quoted,
+    [Enum] bare, lists in brackets). *)
+
+val to_string : t -> string
+
+val type_name : t -> string
+(** A human-readable name of the value's shape, e.g. ["Int"], ["String"],
+    ["list"]; used in diagnostics. *)

@@ -1,0 +1,1 @@
+lib/query/executor.ml: Format Hashtbl Introspection Json List Map Pg_graph Pg_schema Pg_sdl Printf Query_ast Query_parser String

@@ -1,0 +1,1 @@
+lib/query/executor.mli: Format Json Pg_graph Pg_schema Query_ast

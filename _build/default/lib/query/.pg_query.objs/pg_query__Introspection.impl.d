@@ -1,0 +1,1 @@
+lib/query/introspection.ml: Json List Map Pg_schema Pg_sdl Printf Query_ast String

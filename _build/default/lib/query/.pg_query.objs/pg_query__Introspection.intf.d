@@ -1,0 +1,1 @@
+lib/query/introspection.mli: Json Pg_schema Query_ast

@@ -1,0 +1,1 @@
+lib/query/json.ml: Buffer Char Float Format List Option Pg_graph Printf String

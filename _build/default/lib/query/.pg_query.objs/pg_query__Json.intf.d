@@ -1,0 +1,1 @@
+lib/query/json.mli: Format Pg_graph

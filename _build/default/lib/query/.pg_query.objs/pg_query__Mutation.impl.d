@@ -1,0 +1,1 @@
+lib/query/mutation.ml: Executor Format Fun Hashtbl Json List Map Option Pg_graph Pg_schema Pg_sdl Pg_validation Query_ast Query_parser String

@@ -1,0 +1,1 @@
+lib/query/mutation.mli: Format Json Pg_validation

@@ -1,0 +1,1 @@
+lib/query/query_ast.ml: List Option Pg_sdl

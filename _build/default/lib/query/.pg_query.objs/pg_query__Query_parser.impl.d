@@ -1,0 +1,1 @@
+lib/query/query_parser.ml: Array Format List Pg_sdl Query_ast Result

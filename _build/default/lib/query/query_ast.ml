@@ -1,0 +1,74 @@
+(** Abstract syntax of executable GraphQL documents (spec Section 2):
+    query operations, selection sets, arguments, variables, fragments.
+
+    Only [query] operations are supported — Property Graphs are validated
+    data stores here, and mutations are out of scope for the paper's
+    Section 3.6 extension. *)
+
+(* Values in executable documents may contain variables at any depth. *)
+type value =
+  | Var of string
+  | Int_value of int
+  | Float_value of float
+  | String_value of string
+  | Boolean_value of bool
+  | Null_value
+  | Enum_value of string
+  | List_value of value list
+  | Object_value of (string * value) list
+
+type directive = { d_name : string; d_arguments : (string * value) list }
+
+type selection =
+  | Field of field
+  | Fragment_spread of {
+      fs_name : string;
+      fs_directives : directive list;
+      fs_span : Pg_sdl.Source.span;
+    }
+  | Inline_fragment of {
+      if_type_condition : string option;
+      if_directives : directive list;
+      if_selection : selection list;
+      if_span : Pg_sdl.Source.span;
+    }
+
+and field = {
+  f_alias : string option;
+  f_name : string;
+  f_arguments : (string * value) list;
+  f_directives : directive list;
+  f_selection : selection list;  (** empty for leaf fields *)
+  f_span : Pg_sdl.Source.span;
+}
+
+type variable_def = {
+  v_name : string;
+  v_type : Pg_sdl.Ast.type_ref;
+  v_default : value option;
+}
+
+type operation = {
+  o_name : string option;
+  o_variables : variable_def list;
+  o_selection : selection list;
+  o_span : Pg_sdl.Source.span;
+}
+
+type fragment_def = {
+  fd_name : string;
+  fd_type_condition : string;
+  fd_selection : selection list;
+  fd_span : Pg_sdl.Source.span;
+}
+
+type document = { operations : operation list; fragments : fragment_def list }
+
+let response_key (f : field) = Option.value ~default:f.f_name f.f_alias
+
+let find_operation doc name =
+  match name with
+  | Some n -> List.find_opt (fun op -> op.o_name = Some n) doc.operations
+  | None -> ( match doc.operations with [ op ] -> Some op | _ -> None)
+
+let find_fragment doc name = List.find_opt (fun fr -> fr.fd_name = name) doc.fragments

@@ -1,0 +1,247 @@
+module Token = Pg_sdl.Token
+module Source = Pg_sdl.Source
+module Ast = Pg_sdl.Ast
+module Q = Query_ast
+
+type state = { tokens : Token.located array; mutable pos : int }
+
+exception Error of Source.error
+
+let peek st = st.tokens.(st.pos)
+let peek_token st = (peek st).Token.token
+let span_here st = (peek st).Token.at
+let fail st message = raise (Error { Source.at = span_here st; message })
+let failf st fmt = Format.kasprintf (fail st) fmt
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let expect st expected =
+  let t = peek_token st in
+  if t = expected then advance st
+  else failf st "expected %s, found %s" (Token.describe expected) (Token.describe t)
+
+let try_token st tok =
+  if peek_token st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let name st =
+  match peek_token st with
+  | Token.Name n ->
+    advance st;
+    n
+  | t -> failf st "expected a name, found %s" (Token.describe t)
+
+(* Values (spec 2.9), with variables. *)
+let rec value st : Q.value =
+  match peek_token st with
+  | Token.Dollar ->
+    advance st;
+    Q.Var (name st)
+  | Token.Int i ->
+    advance st;
+    Q.Int_value i
+  | Token.Float f ->
+    advance st;
+    Q.Float_value f
+  | Token.String s | Token.Block_string s ->
+    advance st;
+    Q.String_value s
+  | Token.Name "true" ->
+    advance st;
+    Q.Boolean_value true
+  | Token.Name "false" ->
+    advance st;
+    Q.Boolean_value false
+  | Token.Name "null" ->
+    advance st;
+    Q.Null_value
+  | Token.Name n ->
+    advance st;
+    Q.Enum_value n
+  | Token.Bracket_open ->
+    advance st;
+    let rec elements acc =
+      if try_token st Token.Bracket_close then List.rev acc else elements (value st :: acc)
+    in
+    Q.List_value (elements [])
+  | Token.Brace_open ->
+    advance st;
+    let rec fields acc =
+      if try_token st Token.Brace_close then List.rev acc
+      else begin
+        let k = name st in
+        expect st Token.Colon;
+        fields ((k, value st) :: acc)
+      end
+    in
+    Q.Object_value (fields [])
+  | t -> failf st "expected a value, found %s" (Token.describe t)
+
+let arguments st =
+  if try_token st Token.Paren_open then begin
+    let rec loop acc =
+      if try_token st Token.Paren_close then List.rev acc
+      else begin
+        let k = name st in
+        expect st Token.Colon;
+        loop ((k, value st) :: acc)
+      end
+    in
+    let args = loop [] in
+    if args = [] then fail st "empty argument list";
+    args
+  end
+  else []
+
+let directives st : Q.directive list =
+  let rec loop acc =
+    if try_token st Token.At then begin
+      let d_name = name st in
+      let d_arguments = arguments st in
+      loop ({ Q.d_name; d_arguments } :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* Type references, reusing the SDL shapes. *)
+let rec type_ref st : Ast.type_ref =
+  let inner =
+    match peek_token st with
+    | Token.Bracket_open ->
+      advance st;
+      let t = type_ref st in
+      expect st Token.Bracket_close;
+      Ast.List_type t
+    | Token.Name n ->
+      advance st;
+      Ast.Named_type n
+    | t -> failf st "expected a type, found %s" (Token.describe t)
+  in
+  if try_token st Token.Bang then Ast.Non_null_type inner else inner
+
+let rec selection_set st : Q.selection list =
+  expect st Token.Brace_open;
+  let rec loop acc =
+    if try_token st Token.Brace_close then List.rev acc
+    else loop (selection st :: acc)
+  in
+  let selections = loop [] in
+  if selections = [] then fail st "a selection set must not be empty";
+  selections
+
+and selection st : Q.selection =
+  let at = span_here st in
+  if try_token st Token.Ellipsis then begin
+    match peek_token st with
+    | Token.Name "on" ->
+      advance st;
+      let cond = name st in
+      let dirs = directives st in
+      let sel = selection_set st in
+      Q.Inline_fragment
+        { if_type_condition = Some cond; if_directives = dirs; if_selection = sel; if_span = at }
+    | Token.Brace_open ->
+      let sel = selection_set st in
+      Q.Inline_fragment
+        { if_type_condition = None; if_directives = []; if_selection = sel; if_span = at }
+    | Token.At ->
+      let dirs = directives st in
+      let sel = selection_set st in
+      Q.Inline_fragment
+        { if_type_condition = None; if_directives = dirs; if_selection = sel; if_span = at }
+    | Token.Name fragment ->
+      advance st;
+      let dirs = directives st in
+      Q.Fragment_spread { fs_name = fragment; fs_directives = dirs; fs_span = at }
+    | t -> failf st "expected a fragment after \"...\", found %s" (Token.describe t)
+  end
+  else begin
+    let first = name st in
+    let alias, fname =
+      if try_token st Token.Colon then (Some first, name st) else (None, first)
+    in
+    let args = arguments st in
+    let dirs = directives st in
+    let sel = if peek_token st = Token.Brace_open then selection_set st else [] in
+    Q.Field
+      {
+        f_alias = alias;
+        f_name = fname;
+        f_arguments = args;
+        f_directives = dirs;
+        f_selection = sel;
+        f_span = at;
+      }
+  end
+
+let variable_definitions st : Q.variable_def list =
+  if try_token st Token.Paren_open then begin
+    let rec loop acc =
+      if try_token st Token.Paren_close then List.rev acc
+      else begin
+        expect st Token.Dollar;
+        let v_name = name st in
+        expect st Token.Colon;
+        let v_type = type_ref st in
+        let v_default = if try_token st Token.Equals then Some (value st) else None in
+        loop ({ Q.v_name; v_type; v_default } :: acc)
+      end
+    in
+    loop []
+  end
+  else []
+
+let definition ~keyword st =
+  let at = span_here st in
+  match peek_token st with
+  | Token.Brace_open ->
+    (* shorthand operation *)
+    `Operation
+      { Q.o_name = None; o_variables = []; o_selection = selection_set st; o_span = at }
+  | Token.Name kw when kw = keyword ->
+    advance st;
+    let o_name =
+      match peek_token st with
+      | Token.Name n when n <> "on" ->
+        advance st;
+        Some n
+      | _ -> None
+    in
+    let o_variables = variable_definitions st in
+    `Operation { Q.o_name; o_variables; o_selection = selection_set st; o_span = at }
+  | Token.Name ("query" | "mutation" | "subscription" as kw) ->
+    failf st "%s operations are not accepted here (expected %s)" kw keyword
+  | Token.Name "fragment" ->
+    advance st;
+    let fd_name = name st in
+    if fd_name = "on" then fail st "a fragment cannot be named \"on\"";
+    (match peek_token st with
+    | Token.Name "on" -> advance st
+    | t -> failf st "expected \"on\", found %s" (Token.describe t));
+    let fd_type_condition = name st in
+    `Fragment { Q.fd_name; fd_type_condition; fd_selection = selection_set st; fd_span = at }
+  | t -> failf st "expected an operation or fragment, found %s" (Token.describe t)
+
+let parse_with ~keyword src =
+  match Pg_sdl.Lexer.tokenize src with
+  | Result.Error e -> Result.Error e
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try
+      let rec loop ops frs =
+        if peek_token st = Token.Eof then (List.rev ops, List.rev frs)
+        else
+          match definition ~keyword st with
+          | `Operation op -> loop (op :: ops) frs
+          | `Fragment fr -> loop ops (fr :: frs)
+      in
+      let operations, fragments = loop [] [] in
+      if operations = [] then fail st "no operation in document";
+      Ok { Q.operations; fragments }
+    with Error e -> Result.Error e)
+
+let parse src = parse_with ~keyword:"query" src
+let parse_mutation src = parse_with ~keyword:"mutation" src

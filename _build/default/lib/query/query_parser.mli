@@ -1,0 +1,12 @@
+(** Parser for executable GraphQL documents (spec Section 2): query
+    operations — in shorthand form [{ ... }] or with name and variable
+    definitions — and fragment definitions.
+
+    Reuses the SDL lexer.  {!parse} accepts query operations (mutations go
+    through {!parse_mutation} and the {!Mutation} module); subscriptions
+    are rejected. *)
+
+val parse : string -> (Query_ast.document, Pg_sdl.Source.error) result
+
+val parse_mutation : string -> (Query_ast.document, Pg_sdl.Source.error) result
+(** Same grammar with the [mutation] keyword; used by {!Mutation}. *)

@@ -1,0 +1,1 @@
+lib/sat/alcqi.ml: Format List Stdlib

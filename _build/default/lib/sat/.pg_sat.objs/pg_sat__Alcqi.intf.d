@@ -1,0 +1,1 @@
+lib/sat/alcqi.mli: Format

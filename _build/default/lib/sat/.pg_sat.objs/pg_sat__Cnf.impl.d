@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Buffer Format List Printf String

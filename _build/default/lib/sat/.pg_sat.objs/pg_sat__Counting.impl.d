@@ -1,0 +1,1 @@
+lib/sat/counting.ml: Hashtbl Int List Map Option Pg_schema Pg_validation Printf

@@ -1,0 +1,1 @@
+lib/sat/counting.mli: Pg_schema

@@ -1,0 +1,1 @@
+lib/sat/model_search.ml: Array Hashtbl List Map Pg_graph Pg_schema Pg_validation Printf Random String

@@ -1,0 +1,1 @@
+lib/sat/model_search.mli: Pg_graph Pg_schema

@@ -1,0 +1,1 @@
+lib/sat/reduction.ml: Array Buffer Cnf List Option Pg_graph Pg_schema Printf String

@@ -1,0 +1,1 @@
+lib/sat/reduction.mli: Cnf Pg_graph Pg_schema

@@ -1,0 +1,1 @@
+lib/sat/satisfiability.ml: Counting Format List Model_search Pg_graph Pg_schema Printf Tableau Translate

@@ -1,0 +1,1 @@
+lib/sat/satisfiability.mli: Format Pg_graph Pg_schema Tableau

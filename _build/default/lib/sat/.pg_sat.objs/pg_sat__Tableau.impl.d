@@ -1,0 +1,1 @@
+lib/sat/tableau.ml: Alcqi Format Hashtbl Int List Map Option Printf Set Stdlib

@@ -1,0 +1,1 @@
+lib/sat/tableau.mli: Alcqi Format

@@ -1,0 +1,1 @@
+lib/sat/translate.ml: Alcqi List Pg_schema

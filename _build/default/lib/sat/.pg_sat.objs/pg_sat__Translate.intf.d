@@ -1,0 +1,1 @@
+lib/sat/translate.mli: Alcqi Pg_schema

@@ -1,0 +1,119 @@
+type role = { rname : string; inverse : bool }
+
+let role name = { rname = name; inverse = false }
+let inv r = { r with inverse = not r.inverse }
+
+let pp_role ppf r =
+  if r.inverse then Format.fprintf ppf "%s^-" r.rname else Format.pp_print_string ppf r.rname
+
+type concept =
+  | Top
+  | Bot
+  | Atom of string
+  | Neg of string
+  | And of concept list
+  | Or of concept list
+  | All of role * concept
+  | At_least of int * role * concept
+  | At_most of int * role * concept
+
+let exists r c = At_least (1, r, c)
+
+let rec neg = function
+  | Top -> Bot
+  | Bot -> Top
+  | Atom a -> Neg a
+  | Neg a -> Atom a
+  | And cs -> Or (List.map neg cs)
+  | Or cs -> And (List.map neg cs)
+  | All (r, c) -> At_least (1, r, neg c)
+  | At_least (n, r, c) -> if n <= 1 then All (r, neg c) else At_most (n - 1, r, c)
+  | At_most (n, r, c) -> At_least (n + 1, r, c)
+
+let compare = Stdlib.compare
+let equal c1 c2 = compare c1 c2 = 0
+
+let conj cs =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | Top :: rest -> flatten acc rest
+    | Bot :: _ -> None
+    | And inner :: rest -> (
+      match flatten acc inner with None -> None | Some acc -> flatten acc rest)
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  match flatten [] cs with
+  | None -> Bot
+  | Some parts -> (
+    match List.sort_uniq compare parts with
+    | [] -> Top
+    | [ c ] -> c
+    | parts -> And parts)
+
+let disj cs =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | Bot :: rest -> flatten acc rest
+    | Top :: _ -> None
+    | Or inner :: rest -> (
+      match flatten acc inner with None -> None | Some acc -> flatten acc rest)
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  match flatten [] cs with
+  | None -> Top
+  | Some parts -> (
+    match List.sort_uniq compare parts with
+    | [] -> Bot
+    | [ c ] -> c
+    | parts -> Or parts)
+
+let rec size = function
+  | Top | Bot | Atom _ | Neg _ -> 1
+  | And cs | Or cs -> List.fold_left (fun acc c -> acc + size c) 1 cs
+  | All (_, c) -> 1 + size c
+  | At_least (_, _, c) | At_most (_, _, c) -> 1 + size c
+
+let rec pp ppf = function
+  | Top -> Format.pp_print_string ppf "T"
+  | Bot -> Format.pp_print_string ppf "_|_"
+  | Atom a -> Format.pp_print_string ppf a
+  | Neg a -> Format.fprintf ppf "~%s" a
+  | And cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ") pp)
+      cs
+  | Or cs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp)
+      cs
+  | All (r, c) -> Format.fprintf ppf "forall %a.%a" pp_role r pp c
+  | At_least (n, r, c) -> Format.fprintf ppf ">=%d %a.%a" n pp_role r pp c
+  | At_most (n, r, c) -> Format.fprintf ppf "<=%d %a.%a" n pp_role r pp c
+
+let to_string c = Format.asprintf "%a" pp c
+
+type axiom = Subsumption of concept * concept | Equivalence of concept * concept
+type tbox = axiom list
+
+let pp_axiom ppf = function
+  | Subsumption (c, d) -> Format.fprintf ppf "%a [= %a" pp c pp d
+  | Equivalence (c, d) -> Format.fprintf ppf "%a == %a" pp c pp d
+
+let internalize tbox =
+  let parts =
+    List.concat_map
+      (function
+        | Subsumption (c, d) -> [ disj [ neg c; d ] ]
+        | Equivalence (c, d) -> [ disj [ neg c; d ]; disj [ neg d; c ] ])
+      tbox
+  in
+  conj parts
+
+let tbox_size tbox =
+  List.fold_left
+    (fun acc ax ->
+      acc
+      +
+      match ax with
+      | Subsumption (c, d) | Equivalence (c, d) -> 1 + size c + size d)
+    0 tbox

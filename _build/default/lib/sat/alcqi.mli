@@ -1,0 +1,68 @@
+(** The description logic ALCQI: ALC with qualified number restrictions
+    and inverse roles.
+
+    The PSPACE upper bound of Theorem 3 translates schemas into ALCQI
+    TBoxes and decides object-type satisfiability as concept satisfiability
+    w.r.t. the TBox.  Concepts are kept in negation normal form: negation
+    occurs only on atoms, universal restrictions are explicit, and
+    existential restrictions are the special case [At_least 1]. *)
+
+type role = { rname : string; inverse : bool }
+
+val role : string -> role
+(** The forward role with the given name. *)
+
+val inv : role -> role
+(** [inv (inv r) = r]. *)
+
+val pp_role : Format.formatter -> role -> unit
+
+(** Concepts in negation normal form. *)
+type concept =
+  | Top
+  | Bot
+  | Atom of string
+  | Neg of string  (** negated atom *)
+  | And of concept list
+  | Or of concept list
+  | All of role * concept  (** universal restriction *)
+  | At_least of int * role * concept  (** [>= n r.C] with [n >= 1] *)
+  | At_most of int * role * concept  (** [<= n r.C] with [n >= 0] *)
+
+val exists : role -> concept -> concept
+(** [>= 1 r.C]. *)
+
+val neg : concept -> concept
+(** Negation, pushed into NNF:
+    [neg (All (r, c)) = exists r (neg c)],
+    [neg (At_least (n, r, c)) = At_most (n - 1, r, c)], etc. *)
+
+val conj : concept list -> concept
+(** Flattening conjunction: drops [Top], collapses to [Bot], deduplicates. *)
+
+val disj : concept list -> concept
+
+val size : concept -> int
+(** Syntactic size; used to demonstrate the polynomial bound on the
+    translation (Theorem 3). *)
+
+val compare : concept -> concept -> int
+val equal : concept -> concept -> bool
+val pp : Format.formatter -> concept -> unit
+val to_string : concept -> string
+
+(** TBox axioms. *)
+type axiom =
+  | Subsumption of concept * concept  (** [C ⊑ D] *)
+  | Equivalence of concept * concept  (** [C ≡ D] *)
+
+type tbox = axiom list
+
+val pp_axiom : Format.formatter -> axiom -> unit
+
+val internalize : tbox -> concept
+(** The global concept [⊓ (¬C ⊔ D)] over all axioms (equivalences
+    contribute both directions), in NNF; it must hold at every element of
+    a model. *)
+
+val tbox_size : tbox -> int

@@ -1,0 +1,91 @@
+type literal = { var : int; positive : bool }
+type clause = literal list
+type t = { num_vars : int; clauses : clause list }
+
+let lit i =
+  if i = 0 then invalid_arg "Cnf.lit: variable 0";
+  if i > 0 then { var = i; positive = true } else { var = -i; positive = false }
+
+let make ~num_vars clauses =
+  List.iter
+    (List.iter (fun l ->
+         if l.var < 1 || l.var > num_vars then
+           invalid_arg (Printf.sprintf "Cnf.make: variable %d out of range" l.var)))
+    clauses;
+  { num_vars; clauses }
+
+let eval f assignment =
+  List.for_all
+    (List.exists (fun l -> if l.positive then assignment.(l.var - 1) else not assignment.(l.var - 1)))
+    f.clauses
+
+let parse_dimacs text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref 0 in
+  let num_clauses_declared = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line = String.trim line in
+        if line = "" || line.[0] = 'c' then ()
+        else if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "p"; "cnf"; nv; nc ] -> (
+            match int_of_string_opt nv, int_of_string_opt nc with
+            | Some nv, Some nc ->
+              num_vars := nv;
+              num_clauses_declared := nc
+            | _ -> error := Some (Printf.sprintf "line %d: malformed p line" (lineno + 1)))
+          | _ -> error := Some (Printf.sprintf "line %d: malformed p line" (lineno + 1))
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+          |> List.iter (fun tok ->
+                 if !error = None then
+                   match int_of_string_opt tok with
+                   | Some 0 ->
+                     clauses := List.rev !current :: !clauses;
+                     current := []
+                   | Some i ->
+                     if abs i > !num_vars then num_vars := abs i;
+                     current := lit i :: !current
+                   | None ->
+                     error := Some (Printf.sprintf "line %d: bad token %S" (lineno + 1) tok))
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !current <> [] then clauses := List.rev !current :: !clauses;
+    Ok { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let to_dimacs f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" f.num_vars (List.length f.clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (if l.positive then l.var else -l.var)))
+        clause;
+      Buffer.add_string buf "0\n")
+    f.clauses;
+  Buffer.contents buf
+
+let pp_literal ppf l =
+  Format.fprintf ppf "%sx%d" (if l.positive then "" else "~") l.var
+
+let pp ppf f =
+  let pp_clause ppf c =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp_literal)
+      c
+  in
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ") pp_clause ppf f.clauses
+
+(* (A | ~B | C) & (~A | ~C) & (D | B); A,B,C,D = 1,2,3,4 *)
+let paper_example =
+  make ~num_vars:4 [ [ lit 1; lit (-2); lit 3 ]; [ lit (-1); lit (-3) ]; [ lit 4; lit 2 ] ]

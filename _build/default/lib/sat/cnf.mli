@@ -1,0 +1,35 @@
+(** Propositional formulas in conjunctive normal form.
+
+    The NP-hardness proof of Theorem 2 reduces CNF-SAT to object-type
+    satisfiability; this module provides the formula representation, the
+    DIMACS interchange format, evaluation, and the worked example formula
+    of the proof. *)
+
+type literal = { var : int; positive : bool }
+(** Variables are numbered from 1. *)
+
+type clause = literal list
+
+type t = { num_vars : int; clauses : clause list }
+
+val make : num_vars:int -> clause list -> t
+(** @raise Invalid_argument if a clause mentions variable 0, a negative
+    variable index, or a variable above [num_vars]. *)
+
+val lit : int -> literal
+(** [lit 3] is the positive literal of variable 3, [lit (-3)] the negative
+    one (DIMACS convention). *)
+
+val eval : t -> bool array -> bool
+(** [eval f assignment] with [assignment.(v - 1)] the value of variable
+    [v]. *)
+
+val parse_dimacs : string -> (t, string) result
+val to_dimacs : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Mathematical rendering, e.g. [(x1 | ~x2 | x3) & (~x1 | ~x3)]. *)
+
+val paper_example : t
+(** The worked formula of the Theorem 2 proof:
+    [(A | ~B | C) & (~A | ~C) & (D | B)] with A..D as variables 1..4. *)

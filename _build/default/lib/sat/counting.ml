@@ -1,0 +1,238 @@
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Rules = Pg_validation.Rules
+module IMap = Map.Make (Int)
+
+type result = Infeasible | Feasible
+
+(* A linear constraint  sum coeffs >= bound  with integer coefficients. *)
+type lin = { coeffs : int IMap.t; bound : int }
+
+let coeff c v = match IMap.find_opt v c.coeffs with Some x -> x | None -> 0
+
+let add_term c v x =
+  let x' = coeff c v + x in
+  { c with coeffs = (if x' = 0 then IMap.remove v c.coeffs else IMap.add v x' c.coeffs) }
+
+let scale k c = { coeffs = IMap.map (fun x -> k * x) c.coeffs; bound = k * c.bound }
+
+let combine c1 c2 =
+  {
+    coeffs =
+      IMap.union (fun _ a b -> if a + b = 0 then None else Some (a + b)) c1.coeffs c2.coeffs;
+    bound = c1.bound + c2.bound;
+  }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let normalize c =
+  let g = IMap.fold (fun _ x acc -> gcd x acc) c.coeffs 0 in
+  if g <= 1 then c
+  else if c.bound mod g = 0 then { coeffs = IMap.map (fun x -> x / g) c.coeffs; bound = c.bound / g }
+  else
+    (* rational relaxation: dividing the bound rounds it down, weakening the
+       constraint only when the bound is positive; to stay sound we keep the
+       constraint unscaled in that case *)
+    c
+
+(* Fourier-Motzkin elimination over the rationals; constraints are
+   sum >= bound.  Returns false iff the system is {e provably} infeasible.
+   FM can blow up doubly exponentially, so the implementation deduplicates
+   constraints, drops tautologies, eliminates the cheapest variable first,
+   and bails out (answering "feasible", which keeps refutation sound) when
+   the system exceeds a size cap. *)
+let max_constraints = 20_000
+
+exception Too_big
+
+let cleanup constraints =
+  (* drop tautologies (no variables, bound <= 0), dedup *)
+  constraints
+  |> List.filter (fun c -> not (IMap.is_empty c.coeffs && c.bound <= 0))
+  |> List.sort_uniq compare
+
+let feasible num_vars constraints =
+  let remaining_vars constraints =
+    List.fold_left
+      (fun acc c -> IMap.fold (fun v _ acc -> if List.mem v acc then acc else v :: acc) c.coeffs acc)
+      [] constraints
+  in
+  let contradiction constraints =
+    List.exists (fun c -> IMap.is_empty c.coeffs && c.bound > 0) constraints
+  in
+  let rec eliminate constraints =
+    if contradiction constraints then false
+    else begin
+      match remaining_vars constraints with
+      | [] -> true
+      | vars ->
+        (* pick the variable minimizing the number of generated products *)
+        let cost v =
+          let pos, neg =
+            List.fold_left
+              (fun (p, n) c ->
+                let x = coeff c v in
+                if x > 0 then (p + 1, n) else if x < 0 then (p, n + 1) else (p, n))
+              (0, 0) constraints
+          in
+          (pos * neg) - pos - neg
+        in
+        let v =
+          List.fold_left
+            (fun best v -> match best with Some b when cost b <= cost v -> best | _ -> Some v)
+            None vars
+          |> Option.get
+        in
+        let pos, neg, zero =
+          List.fold_left
+            (fun (pos, neg, zero) c ->
+              let x = coeff c v in
+              if x > 0 then (c :: pos, neg, zero)
+              else if x < 0 then (pos, c :: neg, zero)
+              else (pos, neg, c :: zero))
+            ([], [], []) constraints
+        in
+        let combined =
+          List.concat_map
+            (fun p ->
+              let a = coeff p v in
+              List.map
+                (fun n ->
+                  let b = -coeff n v in
+                  let c = normalize (combine (scale b p) (scale a n)) in
+                  { c with coeffs = IMap.remove v c.coeffs })
+                neg)
+            pos
+        in
+        let next = cleanup (combined @ zero) in
+        if List.length next > max_constraints then raise Too_big;
+        eliminate next
+    end
+  in
+  ignore num_vars;
+  try eliminate (cleanup constraints) with Too_big -> true
+
+(* ---------------------------------------------------------------- *)
+
+type vars = {
+  node_var : (string, int) Hashtbl.t;
+  edge_var : (string * string * string, int) Hashtbl.t;
+  mutable count : int;
+}
+
+let fresh vars =
+  let v = vars.count in
+  vars.count <- v + 1;
+  v
+
+let object_subtypes sch t =
+  List.filter
+    (fun o -> Schema.type_kind sch o = Some Schema.Object)
+    (Subtype.subtypes sch t)
+
+let build_system sch query =
+  let vars = { node_var = Hashtbl.create 16; edge_var = Hashtbl.create 64; count = 0 } in
+  let objects = Schema.object_names sch in
+  List.iter (fun ot -> Hashtbl.add vars.node_var ot (fresh vars)) objects;
+  (* edge variables for every justified (source type, field, target type) *)
+  let relationship_fields ot =
+    List.filter_map
+      (fun (f, (fd : Schema.field)) ->
+        match Schema.classify_field sch fd with
+        | Some Schema.Relationship -> Some (f, fd)
+        | Some Schema.Attribute | None -> None)
+      (Schema.fields sch ot)
+  in
+  List.iter
+    (fun ot ->
+      List.iter
+        (fun (f, (fd : Schema.field)) ->
+          List.iter
+            (fun ot' -> Hashtbl.add vars.edge_var (ot, f, ot') (fresh vars))
+            (object_subtypes sch (Wrapped.basetype fd.Schema.fd_type)))
+        (relationship_fields ot))
+    objects;
+  let n ot = Hashtbl.find vars.node_var ot in
+  let e ot f ot' = Hashtbl.find_opt vars.edge_var (ot, f, ot') in
+  let constraints = ref [] in
+  let add c = constraints := c :: !constraints in
+  let zero = { coeffs = IMap.empty; bound = 0 } in
+  (* nonnegativity *)
+  for v = 0 to vars.count - 1 do
+    add (add_term zero v 1)
+  done;
+  (* the queried type is populated *)
+  add { (add_term zero (n query) 1) with bound = 1 };
+  (* WS4: non-list fields bound outgoing edges by the node count *)
+  List.iter
+    (fun ot ->
+      List.iter
+        (fun (f, (fd : Schema.field)) ->
+          if not (Wrapped.is_list fd.Schema.fd_type) then begin
+            let c = add_term zero (n ot) 1 in
+            let c =
+              List.fold_left
+                (fun c ot' ->
+                  match e ot f ot' with Some v -> add_term c v (-1) | None -> c)
+                c
+                (object_subtypes sch (Wrapped.basetype fd.Schema.fd_type))
+            in
+            add c
+          end)
+        (relationship_fields ot))
+    objects;
+  (* DS6 (@required on relationships): every node of an implementing object
+     type has at least one outgoing f-edge *)
+  List.iter
+    (fun (fc : Rules.field_constraint) ->
+      if not (Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type) then
+        List.iter
+          (fun ot ->
+            match List.assoc_opt fc.Rules.field (Schema.fields sch ot) with
+            | Some (fd : Schema.field) ->
+              let c = add_term zero (n ot) (-1) in
+              let c =
+                List.fold_left
+                  (fun c ot' ->
+                    match e ot fc.Rules.field ot' with Some v -> add_term c v 1 | None -> c)
+                  c
+                  (object_subtypes sch (Wrapped.basetype fd.Schema.fd_type))
+              in
+              add c
+            | None -> ())
+          (object_subtypes sch fc.Rules.owner))
+    (Rules.constrained_fields sch ~directive:"required");
+  (* DS4 (@requiredForTarget) and DS3 (@uniqueForTarget) *)
+  let incoming_sum fc target sign =
+    (* sign +1: sum_e - n >= 0; sign -1: n - sum_e >= 0 *)
+    let c = add_term zero (n target) (-sign) in
+    List.fold_left
+      (fun c ot ->
+        match e ot fc.Rules.field target with Some v -> add_term c v sign | None -> c)
+      c
+      (object_subtypes sch fc.Rules.owner)
+  in
+  List.iter
+    (fun (fc : Rules.field_constraint) ->
+      List.iter
+        (fun target -> add (incoming_sum fc target 1))
+        (object_subtypes sch (Wrapped.basetype fc.Rules.fd.Schema.fd_type)))
+    (Rules.constrained_fields sch ~directive:"requiredForTarget");
+  List.iter
+    (fun (fc : Rules.field_constraint) ->
+      List.iter
+        (fun target -> add (incoming_sum fc target (-1)))
+        (object_subtypes sch (Wrapped.basetype fc.Rules.fd.Schema.fd_type)))
+    (Rules.constrained_fields sch ~directive:"uniqueForTarget");
+  (vars.count, List.rev !constraints)
+
+let check sch query =
+  if Schema.type_kind sch query <> Some Schema.Object then
+    invalid_arg (Printf.sprintf "Counting.check: %S is not an object type" query);
+  let num_vars, constraints = build_system sch query in
+  if feasible num_vars constraints then Feasible else Infeasible
+
+let constraint_count sch query =
+  let _, constraints = build_system sch query in
+  List.length constraints

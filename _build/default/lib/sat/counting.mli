@@ -1,0 +1,35 @@
+(** Sound refutation of {e finite} object-type satisfiability by counting.
+
+    Property Graphs are finite (Definition 2.1), but the ALCQI translation
+    of Theorem 3 decides satisfiability over arbitrary — possibly
+    infinite — models, and ALCQI does not have the finite model property.
+    The paper's diagram (b) of Example 6.1 is exactly such a case: every
+    model needs an infinite chain, so no Property Graph conforms, yet the
+    ALCQI translation is satisfiable.
+
+    This module derives {e necessary} linear conditions on the cardinality
+    of any conforming finite graph and refutes satisfiability when they
+    are infeasible over the nonnegative rationals:
+
+    - a variable [n_ot] per object type counts its nodes, [e_(ot,f,ot')]
+      counts [f]-labeled edges from [ot]-nodes to [ot']-nodes;
+    - a non-list relationship field gives [Σ_ot' e ≤ n_ot] (WS4);
+    - [@required] on a relationship gives [Σ_ot' e ≥ n_ot] for every
+      implementing object type (DS6);
+    - [@requiredForTarget] gives [Σ_ot e ≥ n_ot'] per target object type
+      (DS4), [@uniqueForTarget] gives [Σ_ot e ≤ n_ot'] (DS3);
+    - the queried type gets [n_q ≥ 1].
+
+    Feasibility is decided exactly by Fourier–Motzkin elimination (integer
+    coefficients; the relaxation to rationals keeps refutation sound).
+    [Infeasible] therefore proves that no finite conforming graph
+    populates the type; [Feasible] proves nothing by itself. *)
+
+type result = Infeasible | Feasible
+
+val check : Pg_schema.Schema.t -> string -> result
+(** [check schema ot] for an object type [ot].
+    @raise Invalid_argument if [ot] is not an object type. *)
+
+val constraint_count : Pg_schema.Schema.t -> string -> int
+(** Size of the generated system (for reporting). *)

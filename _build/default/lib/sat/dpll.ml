@@ -1,0 +1,101 @@
+type verdict = Sat of bool array | Unsat
+
+(* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
+
+let lit_value assignment (l : Cnf.literal) =
+  let v = assignment.(l.var - 1) in
+  if v = 0 then 0 else if (v = 1) = l.positive then 1 else -1
+
+(* A clause is satisfied (Some true), falsified (Some false), or has
+   unassigned literals (None together with the unassigned count/witness). *)
+let clause_status assignment clause =
+  let rec go unassigned witness = function
+    | [] -> if unassigned = 0 then `Falsified else `Open (unassigned, witness)
+    | l :: rest -> (
+      match lit_value assignment l with
+      | 1 -> `Satisfied
+      | -1 -> go unassigned witness rest
+      | _ -> go (unassigned + 1) (Some l) rest)
+  in
+  go 0 None clause
+
+let rec unit_propagate assignment clauses =
+  let changed = ref false in
+  let conflict = ref false in
+  List.iter
+    (fun clause ->
+      if not !conflict then
+        match clause_status assignment clause with
+        | `Falsified -> conflict := true
+        | `Open (1, Some l) ->
+          assignment.(l.var - 1) <- (if l.positive then 1 else -1);
+          changed := true
+        | `Open _ | `Satisfied -> ())
+    clauses;
+  if !conflict then false else if !changed then unit_propagate assignment clauses else true
+
+let pure_literals assignment clauses =
+  let occurs = Hashtbl.create 64 in
+  List.iter
+    (fun clause ->
+      match clause_status assignment clause with
+      | `Satisfied -> ()
+      | _ ->
+        List.iter
+          (fun (l : Cnf.literal) ->
+            if assignment.(l.var - 1) = 0 then begin
+              let pos, neg = Option.value ~default:(false, false) (Hashtbl.find_opt occurs l.var) in
+              Hashtbl.replace occurs l.var
+                (if l.positive then (true, neg) else (pos, true))
+            end)
+          clause)
+    clauses;
+  Hashtbl.fold
+    (fun var (pos, neg) acc ->
+      if pos && not neg then (var, true) :: acc
+      else if neg && not pos then (var, false) :: acc
+      else acc)
+    occurs []
+
+let pick_branch assignment clauses =
+  let best = ref None in
+  List.iter
+    (fun clause ->
+      match clause_status assignment clause with
+      | `Open (n, Some l) -> (
+        match !best with
+        | Some (n', _) when n' <= n -> ()
+        | _ -> best := Some (n, l))
+      | _ -> ())
+    clauses;
+  Option.map snd !best
+
+let solve (f : Cnf.t) =
+  let rec go assignment =
+    if not (unit_propagate assignment f.Cnf.clauses) then None
+    else begin
+      List.iter
+        (fun (var, value) -> assignment.(var - 1) <- (if value then 1 else -1))
+        (pure_literals assignment f.Cnf.clauses);
+      if not (unit_propagate assignment f.Cnf.clauses) then None
+      else
+        match pick_branch assignment f.Cnf.clauses with
+        | None ->
+          (* no open clause: every clause satisfied *)
+          Some assignment
+        | Some (l : Cnf.literal) ->
+          let try_value value =
+            let assignment' = Array.copy assignment in
+            assignment'.(l.var - 1) <- (if value then 1 else -1);
+            go assignment'
+          in
+          (match try_value l.positive with
+          | Some a -> Some a
+          | None -> try_value (not l.positive))
+    end
+  in
+  match go (Array.make f.Cnf.num_vars 0) with
+  | None -> Unsat
+  | Some assignment -> Sat (Array.map (fun v -> v = 1) assignment)
+
+let satisfiable f = match solve f with Sat _ -> true | Unsat -> false

@@ -1,0 +1,15 @@
+(** A DPLL SAT solver: unit propagation, pure-literal elimination, and
+    branching on the first unassigned variable of the shortest clause.
+
+    It serves as ground truth in the Theorem 2 experiments: the tableau
+    verdict on the reduced schema must coincide with the DPLL verdict on
+    the source formula.  It is deliberately simple (no clause learning) —
+    reduction instances in the benchmarks are small. *)
+
+type verdict = Sat of bool array | Unsat
+
+val solve : Cnf.t -> verdict
+(** The returned assignment is total and satisfies the formula (checked by
+    construction; property tests re-check with {!Cnf.eval}). *)
+
+val satisfiable : Cnf.t -> bool

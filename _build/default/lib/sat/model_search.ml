@@ -1,0 +1,563 @@
+module Sm = Map.Make (String)
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Values_w = Pg_schema.Values_w
+module Rules = Pg_validation.Rules
+module Validate = Pg_validation.Validate
+
+let object_subtypes sch t =
+  List.filter
+    (fun o -> Schema.type_kind sch o = Some Schema.Object)
+    (Subtype.subtypes sch t)
+
+(* Fresh values: distinct across calls (for keys), in values(t) by
+   construction. *)
+let fresh_atom sch counter base =
+  incr counter;
+  let k = !counter in
+  match Schema.type_kind sch base with
+  | Some Schema.Enum -> (
+    match Sm.find_opt base sch.Schema.enums with
+    | Some et when et.Schema.et_values <> [] ->
+      Value.Enum (List.nth et.Schema.et_values (k mod List.length et.Schema.et_values))
+    | Some _ | None -> Value.String (Printf.sprintf "v%d" k))
+  | Some Schema.Scalar -> (
+    match base with
+    | "Int" -> Value.Int k
+    | "Float" -> Value.Float (float_of_int k)
+    | "String" -> Value.String (Printf.sprintf "v%d" k)
+    | "Boolean" -> Value.Bool (k mod 2 = 0)
+    | "ID" -> Value.Id (Printf.sprintf "id%d" k)
+    | _ -> Value.String (Printf.sprintf "v%d" k))
+  | Some _ | None -> Value.String (Printf.sprintf "v%d" k)
+
+let fresh_value sch counter (wt : Wrapped.t) =
+  let atom = fresh_atom sch counter (Wrapped.basetype wt) in
+  if Wrapped.is_list wt then Value.List [ atom ] else atom
+
+let required_attribute_constraints sch =
+  List.filter
+    (fun (fc : Rules.field_constraint) ->
+      Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type)
+    (Rules.constrained_fields sch ~directive:"required")
+
+let fill_required_with sch counter g =
+  let constraints = required_attribute_constraints sch in
+  List.fold_left
+    (fun g v ->
+      let label = G.node_label g v in
+      List.fold_left
+        (fun g (fc : Rules.field_constraint) ->
+          if
+            Subtype.named sch label fc.Rules.owner
+            && G.node_prop g v fc.Rules.field = None
+          then begin
+            (* use the node type's own field type when it refines the
+               interface's *)
+            let wt =
+              match Schema.type_f sch label fc.Rules.field with
+              | Some wt -> wt
+              | None -> fc.Rules.fd.Schema.fd_type
+            in
+            G.set_node_prop g v fc.Rules.field (fresh_value sch counter wt)
+          end
+          else g)
+        g constraints)
+    g (G.nodes g)
+
+let fill_required_properties sch g = fill_required_with sch (ref 0) g
+
+(* Also fill mandatory edge properties: field arguments with non-null
+   types.  These are outside the paper's formal rules, but filling them is
+   free and keeps witnesses usable with the extension checks. *)
+
+(* ---------------------------------------------------------------- *)
+(* Greedy repair search.                                             *)
+
+type repair_ctx = {
+  sch : Schema.t;
+  counter : int ref;
+  max_nodes : int;
+  rng : Random.State.t;
+      (* candidate orders are shuffled per restart: greedy repair does not
+         backtrack, so different orders explore different witness shapes *)
+  required_rel : Rules.field_constraint list;
+  required_tgt : Rules.field_constraint list;
+  unique_tgt : Rules.field_constraint list;
+  distinct : Rules.field_constraint list;
+  no_loops : Rules.field_constraint list;
+}
+
+let shuffle rng l =
+  List.map (fun x -> (Random.State.bits rng, x)) l
+  |> List.sort compare |> List.map snd
+
+let relationship_targets sch label f =
+  match Schema.type_f sch label f with
+  | Some wt when not (Rules.is_attribute_type sch wt) ->
+    object_subtypes sch (Wrapped.basetype wt)
+  | Some _ | None -> []
+
+(* Can node [u] accept a new incoming (src, f) edge without violating
+   @uniqueForTarget, and can [src] send it without violating @noLoops or
+   @distinct? *)
+let edge_ok ctx g src f u =
+  let src_label = G.node_label g src and u_label = G.node_label g u in
+  let no_loop_conflict =
+    List.exists
+      (fun (fc : Rules.field_constraint) ->
+        String.equal fc.Rules.field f
+        && Subtype.named ctx.sch src_label fc.Rules.owner
+        && G.node_id src = G.node_id u)
+      ctx.no_loops
+  in
+  let distinct_conflict =
+    List.exists
+      (fun (fc : Rules.field_constraint) ->
+        String.equal fc.Rules.field f
+        && Subtype.named ctx.sch src_label fc.Rules.owner
+        && List.exists
+             (fun e ->
+               let _, tgt = G.edge_ends g e in
+               String.equal (G.edge_label g e) f && G.node_id tgt = G.node_id u)
+             (G.out_edges g src))
+      ctx.distinct
+  in
+  let unique_conflict =
+    List.exists
+      (fun (fc : Rules.field_constraint) ->
+        String.equal fc.Rules.field f
+        && Subtype.named ctx.sch src_label fc.Rules.owner
+        && Subtype.named ctx.sch u_label
+             (Wrapped.basetype fc.Rules.fd.Schema.fd_type)
+        && List.exists
+             (fun e ->
+               let s, _ = G.edge_ends g e in
+               String.equal (G.edge_label g e) f
+               && Subtype.named ctx.sch (G.node_label g s) fc.Rules.owner)
+             (G.in_edges g u))
+      ctx.unique_tgt
+  in
+  (* WS4 capacity of the source *)
+  let capacity_conflict =
+    match Schema.type_f ctx.sch src_label f with
+    | Some wt when not (Wrapped.is_list wt) ->
+      List.exists (fun e -> String.equal (G.edge_label g e) f) (G.out_edges g src)
+    | Some _ | None -> false
+  in
+  (not no_loop_conflict) && (not distinct_conflict) && (not unique_conflict)
+  && not capacity_conflict
+
+let new_node ctx g label =
+  if G.node_count g >= ctx.max_nodes then None
+  else begin
+    let g, v = G.add_node g ~label () in
+    Some (fill_required_with ctx.sch ctx.counter g, v)
+  end
+
+(* One repair round; returns the updated graph and whether anything
+   changed. *)
+let repair_round ctx g =
+  let changed = ref false in
+  (* 1. remove excess edges: WS4 / @distinct / @uniqueForTarget / loops *)
+  let g =
+    List.fold_left
+      (fun g e ->
+        if not (G.mem_edge g e) then g
+        else begin
+          let v1, v2 = G.edge_ends g e in
+          let f = G.edge_label g e in
+          let label1 = G.node_label g v1 in
+          let loop_violation =
+            G.node_id v1 = G.node_id v2
+            && List.exists
+                 (fun (fc : Rules.field_constraint) ->
+                   String.equal fc.Rules.field f
+                   && Subtype.named ctx.sch label1 fc.Rules.owner)
+                 ctx.no_loops
+          in
+          let ws4_violation =
+            match Schema.type_f ctx.sch label1 f with
+            | Some wt when not (Wrapped.is_list wt) ->
+              List.exists
+                (fun e' ->
+                  G.edge_id e' < G.edge_id e && String.equal (G.edge_label g e') f)
+                (G.out_edges g v1)
+            | Some _ | None -> false
+          in
+          let distinct_violation =
+            List.exists
+              (fun (fc : Rules.field_constraint) ->
+                String.equal fc.Rules.field f
+                && Subtype.named ctx.sch label1 fc.Rules.owner
+                && List.exists
+                     (fun e' ->
+                       G.edge_id e' < G.edge_id e
+                       && String.equal (G.edge_label g e') f
+                       &&
+                       let _, tgt' = G.edge_ends g e' in
+                       G.node_id tgt' = G.node_id v2)
+                     (G.out_edges g v1))
+              ctx.distinct
+          in
+          let unique_violation =
+            List.exists
+              (fun (fc : Rules.field_constraint) ->
+                String.equal fc.Rules.field f
+                && Subtype.named ctx.sch label1 fc.Rules.owner
+                && List.exists
+                     (fun e' ->
+                       G.edge_id e' < G.edge_id e
+                       && String.equal (G.edge_label g e') f
+                       &&
+                       let s', _ = G.edge_ends g e' in
+                       Subtype.named ctx.sch (G.node_label g s') fc.Rules.owner)
+                     (G.in_edges g v2))
+              ctx.unique_tgt
+          in
+          if loop_violation || ws4_violation || distinct_violation || unique_violation
+          then begin
+            changed := true;
+            G.remove_edge g e
+          end
+          else g
+        end)
+      g (G.edges g)
+  in
+  (* 2. add missing required outgoing edges (DS6) *)
+  let g =
+    List.fold_left
+      (fun g v ->
+        let label = G.node_label g v in
+        List.fold_left
+          (fun g (fc : Rules.field_constraint) ->
+            if
+              Subtype.named ctx.sch label fc.Rules.owner
+              && Rules.is_attribute_type ctx.sch fc.Rules.fd.Schema.fd_type = false
+              && not
+                   (List.exists
+                      (fun e -> String.equal (G.edge_label g e) fc.Rules.field)
+                      (G.out_edges g v))
+            then begin
+              let targets =
+                shuffle ctx.rng (relationship_targets ctx.sch label fc.Rules.field)
+              in
+              let existing =
+                List.find_opt
+                  (fun u ->
+                    List.mem (G.node_label g u) targets && edge_ok ctx g v fc.Rules.field u)
+                  (G.nodes g)
+              in
+              match existing with
+              | Some u ->
+                changed := true;
+                fst (G.add_edge g ~label:fc.Rules.field v u)
+              | None -> (
+                (* create a fresh target of the first type that can accept
+                   the edge *)
+                let attempt target_label =
+                  match new_node ctx g target_label with
+                  | Some (g', u) when edge_ok ctx g' v fc.Rules.field u -> Some (g', u)
+                  | Some _ | None -> None
+                in
+                match List.find_map attempt targets with
+                | Some (g, u) ->
+                  changed := true;
+                  fst (G.add_edge g ~label:fc.Rules.field v u)
+                | None -> g)
+            end
+            else g)
+          g ctx.required_rel)
+      g (G.nodes g)
+  in
+  (* 3. add missing required incoming edges (DS4) *)
+  let g =
+    List.fold_left
+      (fun g v2 ->
+        let label2 = G.node_label g v2 in
+        List.fold_left
+          (fun g (fc : Rules.field_constraint) ->
+            let base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
+            if
+              Subtype.named ctx.sch label2 base
+              && not
+                   (List.exists
+                      (fun e ->
+                        String.equal (G.edge_label g e) fc.Rules.field
+                        &&
+                        let s, _ = G.edge_ends g e in
+                        Subtype.named ctx.sch (G.node_label g s) fc.Rules.owner)
+                      (G.in_edges g v2))
+            then begin
+              (* candidate source types: object subtypes of the owner whose
+                 own field can target label2 *)
+              let source_types =
+                shuffle ctx.rng
+                  (List.filter
+                     (fun ot ->
+                       List.mem label2 (relationship_targets ctx.sch ot fc.Rules.field))
+                     (object_subtypes ctx.sch fc.Rules.owner))
+              in
+              let existing =
+                List.find_opt
+                  (fun u ->
+                    List.mem (G.node_label g u) source_types
+                    && edge_ok ctx g u fc.Rules.field v2)
+                  (G.nodes g)
+              in
+              match existing with
+              | Some u ->
+                changed := true;
+                fst (G.add_edge g ~label:fc.Rules.field u v2)
+              | None -> (
+                let attempt src_label =
+                  match new_node ctx g src_label with
+                  | Some (g', u) when edge_ok ctx g' u fc.Rules.field v2 -> Some (g', u)
+                  | Some _ | None -> None
+                in
+                match List.find_map attempt source_types with
+                | Some (g, u) ->
+                  changed := true;
+                  fst (G.add_edge g ~label:fc.Rules.field u v2)
+                | None -> g)
+            end
+            else g)
+          g ctx.required_tgt)
+      g (G.nodes g)
+  in
+  (* 4. separate key collisions (DS7) *)
+  let g =
+    List.fold_left
+      (fun g (owner, key_fields) ->
+        let attribute_fields =
+          List.filter
+            (fun f ->
+              match Schema.type_f ctx.sch owner f with
+              | Some t -> Rules.is_attribute_type ctx.sch t
+              | None -> false)
+            key_fields
+        in
+        if attribute_fields = [] then g
+        else begin
+          let seen = Hashtbl.create 16 in
+          List.fold_left
+            (fun g v ->
+              if Subtype.named ctx.sch (G.node_label g v) owner then begin
+                let key =
+                  String.concat "|"
+                    (List.map
+                       (fun f ->
+                         match G.node_prop g v f with
+                         | None -> "<none>"
+                         | Some value -> Value.to_string value)
+                       attribute_fields)
+                in
+                if Hashtbl.mem seen key then begin
+                  changed := true;
+                  (* give this node a fresh value on the first key field *)
+                  let f = List.hd attribute_fields in
+                  let wt =
+                    match Schema.type_f ctx.sch (G.node_label g v) f with
+                    | Some wt -> wt
+                    | None -> Wrapped.Named "String"
+                  in
+                  G.set_node_prop g v f (fresh_value ctx.sch ctx.counter wt)
+                end
+                else begin
+                  Hashtbl.add seen key ();
+                  g
+                end
+              end
+              else g)
+            g (G.nodes g)
+        end)
+      g (Rules.key_constraints ctx.sch)
+  in
+  let g = fill_required_with ctx.sch ctx.counter g in
+  (g, !changed)
+
+let make_ctx sch ~max_nodes ~restart =
+  {
+    sch;
+    counter = ref 0;
+    max_nodes;
+    rng = Random.State.make [| 0x5EED; restart |];
+    required_rel =
+      List.filter
+        (fun (fc : Rules.field_constraint) ->
+          not (Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type))
+        (Rules.constrained_fields sch ~directive:"required");
+    required_tgt = Rules.constrained_fields sch ~directive:"requiredForTarget";
+    unique_tgt = Rules.constrained_fields sch ~directive:"uniqueForTarget";
+    distinct = Rules.constrained_fields sch ~directive:"distinct";
+    no_loops = Rules.constrained_fields sch ~directive:"noLoops";
+  }
+
+let repair_loop ctx g max_rounds =
+  let g = fill_required_with ctx.sch ctx.counter g in
+  let rec loop g rounds =
+    if Validate.conforms ctx.sch g then Some g
+    else if rounds = 0 then None
+    else begin
+      let g', changed = repair_round ctx g in
+      if changed then loop g' (rounds - 1)
+      else if Validate.conforms ctx.sch g' then Some g'
+      else None
+    end
+  in
+  loop g max_rounds
+
+let with_restarts restarts attempt =
+  let rec go k = if k >= restarts then None else
+    match attempt k with Some g -> Some g | None -> go (k + 1)
+  in
+  go 0
+
+let greedy ?(max_nodes = 64) ?(max_rounds = 60) ?(restarts = 12) sch query =
+  match Schema.type_kind sch query with
+  | Some Schema.Object ->
+    with_restarts restarts (fun restart ->
+        let ctx = make_ctx sch ~max_nodes ~restart in
+        let g, _ = G.add_node G.empty ~label:query () in
+        repair_loop ctx g max_rounds)
+  | Some _ | None ->
+    invalid_arg (Printf.sprintf "Model_search.greedy: %S is not an object type" query)
+
+(* Sanitation for user-supplied graphs: resolve the "unjustified" and
+   "ill-typed" violations (SS1-SS4, WS1-WS3) by deletion or value
+   replacement, so that the repair loop only has to deal with the
+   constraint rules. *)
+let sanitize sch counter g =
+  (* nodes with labels outside OT cannot be justified: drop them *)
+  let g =
+    List.fold_left
+      (fun g v ->
+        if Schema.type_kind sch (G.node_label g v) = Some Schema.Object then g
+        else G.remove_node g v)
+      g (G.nodes g)
+  in
+  (* edges: drop unjustified or wrongly-targeted ones; fix their props *)
+  let g =
+    List.fold_left
+      (fun g e ->
+        if not (G.mem_edge g e) then g
+        else begin
+          let v1, v2 = G.edge_ends g e in
+          let src_label = G.node_label g v1 in
+          let f = G.edge_label g e in
+          match Schema.field sch src_label f with
+          | Some fd
+            when (match Schema.classify_field sch fd with
+                 | Some Schema.Relationship -> true
+                 | Some Schema.Attribute | None -> false)
+                 && Subtype.named sch (G.node_label g v2)
+                      (Wrapped.basetype fd.Schema.fd_type) ->
+            (* justified edge: sanitize its properties *)
+            List.fold_left
+              (fun g (a, value) ->
+                match Schema.arg_type sch src_label f a with
+                | None -> G.remove_edge_prop g e a
+                | Some wt ->
+                  if Values_w.mem sch wt value then g
+                  else G.set_edge_prop g e a (fresh_value sch counter wt))
+              g (G.edge_props g e)
+          | Some _ | None -> G.remove_edge g e
+        end)
+      g (G.edges g)
+  in
+  (* node properties: drop unjustified, replace ill-typed *)
+  List.fold_left
+    (fun g v ->
+      let label = G.node_label g v in
+      List.fold_left
+        (fun g (p, value) ->
+          match Schema.type_f sch label p with
+          | Some wt when Rules.is_attribute_type sch wt ->
+            if Values_w.mem sch wt value then g
+            else G.set_node_prop g v p (fresh_value sch counter wt)
+          | Some _ | None -> G.remove_node_prop g v p)
+        g (G.node_props g v))
+    g (G.nodes g)
+
+let repair ?(max_nodes = 256) ?(max_rounds = 60) ?(restarts = 8) sch g =
+  with_restarts restarts (fun restart ->
+      let ctx = make_ctx sch ~max_nodes ~restart in
+      let g = sanitize sch ctx.counter g in
+      repair_loop ctx g max_rounds)
+
+(* ---------------------------------------------------------------- *)
+(* Exhaustive bounded search.                                        *)
+
+let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) sch query =
+  match Schema.type_kind sch query with
+  | Some Schema.Object ->
+    let objects = Schema.object_names sch in
+    let num_objects = List.length objects in
+    let counter = ref 0 in
+    let result = ref None in
+    let try_labeling labels =
+      if !result = None && List.mem query labels then begin
+        (* build base graph *)
+        let g, nodes =
+          List.fold_left
+            (fun (g, nodes) label ->
+              let g, v = G.add_node g ~label () in
+              (g, v :: nodes))
+            (G.empty, []) labels
+        in
+        let nodes = Array.of_list (List.rev nodes) in
+        (* justified edge candidates *)
+        let candidates = ref [] in
+        Array.iter
+          (fun u ->
+            let u_label = G.node_label g u in
+            List.iter
+              (fun (f, (fd : Schema.field)) ->
+                match Schema.classify_field sch fd with
+                | Some Schema.Relationship ->
+                  Array.iter
+                    (fun v ->
+                      if
+                        Subtype.named sch (G.node_label g v)
+                          (Wrapped.basetype fd.Schema.fd_type)
+                      then candidates := (u, f, v) :: !candidates)
+                    nodes
+                | Some Schema.Attribute | None -> ())
+              (Schema.fields sch u_label))
+          nodes;
+        let candidates = Array.of_list (List.rev !candidates) in
+        let bits = Array.length candidates in
+        if bits <= max_edge_bits then begin
+          let limit = 1 lsl bits in
+          let mask = ref 0 in
+          while !result = None && !mask < limit do
+            let g_edges = ref g in
+            Array.iteri
+              (fun i (u, f, v) ->
+                if !mask land (1 lsl i) <> 0 then
+                  g_edges := fst (G.add_edge !g_edges ~label:f u v))
+              candidates;
+            counter := 0;
+            let candidate = fill_required_with sch counter !g_edges in
+            if Validate.conforms sch candidate then result := Some candidate;
+            incr mask
+          done
+        end
+      end
+    in
+    let rec labelings m acc =
+      if !result <> None then ()
+      else if m = 0 then try_labeling (List.rev acc)
+      else List.iter (fun label -> labelings (m - 1) (label :: acc)) objects
+    in
+    let m = ref 1 in
+    while !result = None && !m <= max_nodes && num_objects > 0 do
+      labelings !m [];
+      incr m
+    done;
+    !result
+  | Some _ | None ->
+    invalid_arg (Printf.sprintf "Model_search.exhaustive: %S is not an object type" query)

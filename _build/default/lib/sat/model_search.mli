@@ -1,0 +1,65 @@
+(** Finite witness construction for object-type satisfiability.
+
+    A witness is a Property Graph that strongly satisfies the schema and
+    contains a node of the queried object type — a constructive
+    "satisfiable" verdict, which is also the artifact users want (a sample
+    conforming instance).
+
+    Two searches are provided:
+
+    - {!greedy}: starts from a single node of the queried type and
+      repeatedly repairs violations reported by the validator (adds
+      required edges — preferring existing nodes with spare capacity over
+      fresh ones — fills required properties with fresh distinct values,
+      removes excess edges, separates key collisions).  Fast, incomplete;
+      succeeds on the practical schemas of the paper's examples.
+    - {!exhaustive}: enumerates all graphs up to [max_nodes] nodes over the
+      justified edge candidates (properties are filled deterministically:
+      required attributes get fresh distinct values, which is optimal
+      because keys only ever forbid equality).  Complete up to the bound,
+      exponential; for cross-checking on tiny schemas. *)
+
+val greedy :
+  ?max_nodes:int ->
+  ?max_rounds:int ->
+  ?restarts:int ->
+  Pg_schema.Schema.t ->
+  string ->
+  Pg_graph.Property_graph.t option
+(** Defaults: [max_nodes = 64], [max_rounds = 60], [restarts = 12].  The
+    repair loop does not backtrack, so each restart shuffles the candidate
+    orders (target types, source types) to explore a different witness
+    shape.  A returned graph is re-checked with
+    {!Pg_validation.Validate.conforms} before being returned, so [Some g]
+    is always a true witness. *)
+
+val repair :
+  ?max_nodes:int ->
+  ?max_rounds:int ->
+  ?restarts:int ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Pg_graph.Property_graph.t option
+(** Repair an existing graph into strong satisfaction: first a sanitation
+    pass (remove unjustified nodes, edges and properties — SS1–SS4; replace
+    ill-typed property values with fresh well-typed ones — WS1/WS2; drop
+    wrongly-targeted edges — WS3), then the same repair loop as {!greedy}
+    (add required edges and properties, remove excess edges, separate key
+    collisions).  [None] when no conforming graph was reached within the
+    bounds.  Repairs favour deletion for unjustified data and insertion for
+    missing data; nodes are never relabelled. *)
+
+val exhaustive :
+  ?max_nodes:int ->
+  ?max_edge_bits:int ->
+  Pg_schema.Schema.t ->
+  string ->
+  Pg_graph.Property_graph.t option
+(** Defaults: [max_nodes = 3], [max_edge_bits = 16] (edge-candidate sets
+    larger than [max_edge_bits] for a node-labeling are skipped). *)
+
+val fill_required_properties :
+  Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Pg_graph.Property_graph.t
+(** Give every node fresh, distinct values for all [@required] attribute
+    fields of its type (and of the supertypes declaring constraints on
+    it); exposed for the generators. *)

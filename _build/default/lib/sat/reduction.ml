@@ -1,0 +1,114 @@
+module G = Pg_graph.Property_graph
+
+let ot_name = "OT"
+
+let atom_type_name ~clause ~index (l : Cnf.literal) =
+  Printf.sprintf "A%d_%d_%s%d" clause index (if l.Cnf.positive then "p" else "n") l.Cnf.var
+
+let clause_interface_name i = Printf.sprintf "C%d" i
+
+let conflict_interface_name (i, j) (i', j') = Printf.sprintf "X%d_%d__%d_%d" i j i' j'
+
+(* All atom occurrences as ((clause, index), literal), 1-based. *)
+let occurrences (f : Cnf.t) =
+  List.concat (List.mapi (fun i clause -> List.mapi (fun j l -> ((i + 1, j + 1), l)) clause) f.Cnf.clauses)
+
+let conflict_pairs f =
+  let occs = occurrences f in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (pos1, (l1 : Cnf.literal)) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (pos2, (l2 : Cnf.literal)) ->
+            if l1.Cnf.var = l2.Cnf.var && l1.Cnf.positive <> l2.Cnf.positive then
+              (pos1, pos2) :: acc
+            else acc)
+          acc rest
+      in
+      go acc rest
+  in
+  go [] occs
+
+let to_sdl (f : Cnf.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "type %s {\n}\n\n" ot_name);
+  (* clause interfaces *)
+  List.iteri
+    (fun i _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "interface %s {\n  f: [%s] @requiredForTarget\n}\n\n"
+           (clause_interface_name (i + 1))
+           ot_name))
+    f.Cnf.clauses;
+  (* conflict interfaces *)
+  let conflicts = conflict_pairs f in
+  List.iter
+    (fun (p1, p2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "interface %s {\n  f: [%s] @uniqueForTarget\n}\n\n"
+           (conflict_interface_name p1 p2)
+           ot_name))
+    conflicts;
+  (* atom occurrence types *)
+  List.iteri
+    (fun i clause ->
+      List.iteri
+        (fun j l ->
+          let pos = (i + 1, j + 1) in
+          let interfaces =
+            clause_interface_name (i + 1)
+            :: List.filter_map
+                 (fun (p1, p2) ->
+                   if p1 = pos then Some (conflict_interface_name p1 p2)
+                   else if p2 = pos then Some (conflict_interface_name p1 p2)
+                   else None)
+                 conflicts
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "type %s implements %s {\n  f: [%s]\n}\n\n"
+               (atom_type_name ~clause:(i + 1) ~index:(j + 1) l)
+               (String.concat " & " interfaces)
+               ot_name))
+        clause)
+    f.Cnf.clauses;
+  Buffer.contents buf
+
+let to_schema f =
+  match Pg_schema.Of_ast.parse (to_sdl f) with
+  | Ok sch -> Ok sch
+  | Error msg -> Error msg
+
+(* Parse an atom type name back into (positive, var). *)
+let parse_atom_name name =
+  if String.length name > 1 && name.[0] = 'A' then begin
+    match String.rindex_opt name '_' with
+    | Some k when k + 2 <= String.length name - 1 || k + 1 < String.length name ->
+      let tail = String.sub name (k + 1) (String.length name - k - 1) in
+      if String.length tail >= 2 && (tail.[0] = 'p' || tail.[0] = 'n') then
+        Option.map
+          (fun var -> (tail.[0] = 'p', var))
+          (int_of_string_opt (String.sub tail 1 (String.length tail - 1)))
+      else None
+    | _ -> None
+  end
+  else None
+
+let witness_assignment g (f : Cnf.t) =
+  let has_ot =
+    List.exists (fun v -> String.equal (G.node_label g v) ot_name) (G.nodes g)
+  in
+  if not has_ot then None
+  else begin
+    let assignment = Array.make f.Cnf.num_vars false in
+    List.iter
+      (fun e ->
+        let src, _ = G.edge_ends g e in
+        if String.equal (G.edge_label g e) "f" then
+          match parse_atom_name (G.node_label g src) with
+          | Some (positive, var) when var >= 1 && var <= f.Cnf.num_vars ->
+            if positive then assignment.(var - 1) <- true
+          | Some _ | None -> ())
+      (G.edges g);
+    Some assignment
+  end

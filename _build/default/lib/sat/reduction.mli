@@ -1,0 +1,39 @@
+(** The NP-hardness reduction of Theorem 2: CNF-SAT to object-type
+    satisfiability.
+
+    Given a CNF formula [φ = ψ1 ∧ ... ∧ ψn], the generated schema has
+
+    - an object type [OT] (with no fields);
+    - per clause [ψi], an interface [Ci] declaring
+      [f: [OT] @requiredForTarget] — every [OT] node needs an incoming
+      [f]-edge from a node implementing [Ci], i.e. the clause must be
+      satisfied by some chosen atom;
+    - per atom occurrence [αij], an object type [A<i>_<j>_<p|n><var>]
+      implementing [Ci] (and declaring [f: [OT]]);
+    - per pair of complementary occurrences [αij = ¬αi'j'], a conflict
+      interface declaring [f: [OT] @uniqueForTarget], implemented by both
+      occurrence types — an [OT] node cannot receive [f]-edges from both a
+      positive and a negative occurrence of the same variable.
+
+    [φ] is satisfiable iff [OT] is (finitely) satisfiable in the schema;
+    the schema size is polynomial (quadratic, due to the conflict pairs)
+    in the size of [φ]. *)
+
+val ot_name : string
+(** The queried object type, ["OT"]. *)
+
+val to_sdl : Cnf.t -> string
+(** The reduction schema as SDL text. *)
+
+val to_schema : Cnf.t -> (Pg_schema.Schema.t, string) result
+(** Parsed and consistency-checked. *)
+
+val atom_type_name : clause:int -> index:int -> Cnf.literal -> string
+(** The object type standing for the [index]-th literal of clause
+    [clause] (both 1-based). *)
+
+val witness_assignment : Pg_graph.Property_graph.t -> Cnf.t -> bool array option
+(** Read a truth assignment back from a witness graph: variable [v] is
+    true if some positive occurrence type of [v] has a node with an
+    [f]-edge, false if a negative one does, defaulting to false.  Returns
+    [None] if the graph contains no [OT] node. *)

@@ -1,0 +1,58 @@
+module Schema = Pg_schema.Schema
+
+type report = {
+  alcqi : Tableau.verdict;
+  finite : Tableau.verdict;
+  witness : Pg_graph.Property_graph.t option;
+}
+
+let check ?fuel ?(max_nodes = 64) sch ot =
+  if Schema.type_kind sch ot <> Some Schema.Object then
+    invalid_arg (Printf.sprintf "Satisfiability.check: %S is not an object type" ot);
+  let tbox = Translate.tbox sch in
+  let alcqi = Tableau.is_satisfiable ?fuel ~tbox (Translate.concept_of_type ot) in
+  match alcqi with
+  | Tableau.Unsatisfiable ->
+    (* no model at all, in particular no finite one *)
+    { alcqi; finite = Tableau.Unsatisfiable; witness = None }
+  | Tableau.Satisfiable | Tableau.Unknown _ -> (
+    match Counting.check sch ot with
+    | Counting.Infeasible -> { alcqi; finite = Tableau.Unsatisfiable; witness = None }
+    | Counting.Feasible -> (
+      match Model_search.greedy ~max_nodes sch ot with
+      | Some g -> { alcqi; finite = Tableau.Satisfiable; witness = Some g }
+      | None -> (
+        (* the exhaustive fallback is exponential in the number of object
+           types; only worth attempting on small schemas *)
+        let exhaustive_result =
+          if List.length (Schema.object_names sch) <= 4 then
+            Model_search.exhaustive sch ot
+          else None
+        in
+        match exhaustive_result with
+        | Some g -> { alcqi; finite = Tableau.Satisfiable; witness = Some g }
+        | None ->
+          {
+            alcqi;
+            finite = Tableau.Unknown "no witness found within bounds; counting feasible";
+            witness = None;
+          })))
+
+let satisfiable ?fuel ?max_nodes sch ot =
+  (check ?fuel ?max_nodes sch ot).finite = Tableau.Satisfiable
+
+let check_all ?fuel ?max_nodes sch =
+  List.map (fun ot -> (ot, check ?fuel ?max_nodes sch ot)) (Schema.object_names sch)
+
+let unsatisfiable_types ?fuel ?max_nodes sch =
+  List.filter_map
+    (fun (ot, report) ->
+      if report.finite = Tableau.Unsatisfiable then Some ot else None)
+    (check_all ?fuel ?max_nodes sch)
+
+let pp_report ppf r =
+  Format.fprintf ppf "ALCQI (paper): %a; finite PG: %a%s" Tableau.pp_verdict r.alcqi
+    Tableau.pp_verdict r.finite
+    (match r.witness with
+    | Some g -> Format.asprintf " (witness: %a)" Pg_graph.Property_graph.pp g
+    | None -> "")

@@ -1,0 +1,47 @@
+(** Object-type satisfiability (the decision problem of Section 6.2),
+    combining the engines of this library.
+
+    For a consistent schema and an object type [ot], {!check} reports:
+
+    - [alcqi]: the verdict of the paper's Theorem 3 procedure (tableau on
+      the ALCQI translation) — satisfiability over {e arbitrary} models;
+    - [finite]: the verdict for {e finite} Property Graphs, which is the
+      notion the problem statement actually quantifies over.  It is
+      derived soundly: ALCQI-unsatisfiable implies finitely
+      unsatisfiable; an infeasible counting system ({!Counting}) implies
+      finitely unsatisfiable; a witness graph proves finite
+      satisfiability.  When none of the engines is conclusive the verdict
+      is [Unknown] (rare; none of the paper's workloads hit it);
+    - [witness]: a conforming Property Graph populating [ot], when one was
+      found.
+
+    The two verdicts differ exactly on schemas whose models are all
+    infinite — e.g. the paper's diagram (b) of Example 6.1; see
+    EXPERIMENTS.md. *)
+
+type report = {
+  alcqi : Tableau.verdict;
+  finite : Tableau.verdict;
+  witness : Pg_graph.Property_graph.t option;
+}
+
+val check :
+  ?fuel:int ->
+  ?max_nodes:int ->
+  Pg_schema.Schema.t ->
+  string ->
+  report
+(** @raise Invalid_argument if the name is not an object type. *)
+
+val satisfiable : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> string -> bool
+(** Finite satisfiability; [Unknown] counts as satisfiable = false.
+    Prefer {!check} when the distinction matters. *)
+
+val check_all : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> (string * report) list
+(** Every object type of the schema, sorted by name. *)
+
+val unsatisfiable_types : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> string list
+(** Object types whose [finite] verdict is [Unsatisfiable] — the soundness
+    check a schema author wants before deploying a schema. *)
+
+val pp_report : Format.formatter -> report -> unit

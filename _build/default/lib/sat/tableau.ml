@@ -1,0 +1,481 @@
+module CSet = Set.Make (struct
+  type t = Alcqi.concept
+
+  let compare = Alcqi.compare
+end)
+
+module RSet = Set.Make (struct
+  type t = Alcqi.role
+
+  let compare = Stdlib.compare
+end)
+
+module IMap = Map.Make (Int)
+
+module PSet = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+type verdict = Satisfiable | Unsatisfiable | Unknown of string
+
+let pp_verdict ppf = function
+  | Satisfiable -> Format.pp_print_string ppf "satisfiable"
+  | Unsatisfiable -> Format.pp_print_string ppf "unsatisfiable"
+  | Unknown reason -> Format.fprintf ppf "unknown (%s)" reason
+
+type ndata = {
+  labels : CSet.t;
+  parent : int option;
+  succ_edges : RSet.t IMap.t; (* child id -> roles, direction this -> child *)
+}
+
+type state = {
+  nodes : ndata IMap.t;
+  next : int;
+  neqs : PSet.t; (* explicit inequalities, stored as (min, max) *)
+}
+
+exception Fuel_exhausted
+
+let node st x = IMap.find x st.nodes
+
+let neq st x y =
+  let p = if x < y then (x, y) else (y, x) in
+  PSet.mem p st.neqs
+
+let add_neq st x y =
+  if x = y then st
+  else
+    let p = if x < y then (x, y) else (y, x) in
+    { st with neqs = PSet.add p st.neqs }
+
+(* y is an r-neighbor of x if edge (x -> y) carries r, or edge (y -> x)
+   carries inv r.  Edges exist only between parents and children. *)
+let neighbors st x r =
+  let nx = node st x in
+  let from_children =
+    IMap.fold
+      (fun child roles acc -> if RSet.mem r roles then child :: acc else acc)
+      nx.succ_edges []
+  in
+  match nx.parent with
+  | Some p -> (
+    match IMap.find_opt x (node st p).succ_edges with
+    | Some roles when RSet.mem (Alcqi.inv r) roles -> p :: from_children
+    | _ -> from_children)
+  | None -> from_children
+
+let add_label st x c =
+  let nx = node st x in
+  { st with nodes = IMap.add x { nx with labels = CSet.add c nx.labels } st.nodes }
+
+let has_label st x c = CSet.mem c (node st x).labels
+
+(* ---------------------------------------------------------------- *)
+(* Blocking: ancestor pairwise blocking.                              *)
+
+let ancestors st x =
+  let rec go acc y =
+    match (node st y).parent with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] x
+(* returns ancestors from root ... down to parent of x *)
+
+let edge_roles st p c =
+  match IMap.find_opt c (node st p).succ_edges with Some roles -> roles | None -> RSet.empty
+
+let directly_blocked st x =
+  match (node st x).parent with
+  | None -> false
+  | Some x' ->
+    (node st x').parent <> None
+    && (* candidate blockers: proper ancestors y with a parent *)
+    List.exists
+      (fun y ->
+        match (node st y).parent with
+        | None -> false
+        | Some y' ->
+          y <> x
+          && CSet.equal (node st x).labels (node st y).labels
+          && CSet.equal (node st x').labels (node st y').labels
+          && RSet.equal (edge_roles st x' x) (edge_roles st y' y))
+      (ancestors st x)
+
+let blocked st x =
+  let rec go y = directly_blocked st y || (match (node st y).parent with Some p -> go p | None -> false) in
+  go x
+
+(* ---------------------------------------------------------------- *)
+(* Merging y into z (both r-neighbors of some x; y is never the parent
+   of x when z is a child -- callers orient the pair so that when one
+   element is x's parent, it is z).  y's subtree is pruned.            *)
+
+let rec remove_subtree st y =
+  let ny = node st y in
+  let st = IMap.fold (fun child _ st -> remove_subtree st child) ny.succ_edges st in
+  let st =
+    match ny.parent with
+    | Some p when IMap.mem p st.nodes ->
+      let np = node st p in
+      { st with nodes = IMap.add p { np with succ_edges = IMap.remove y np.succ_edges } st.nodes }
+    | _ -> st
+  in
+  { st with nodes = IMap.remove y st.nodes }
+
+let merge st ~x ~y ~z =
+  (* labels *)
+  let ny = node st y in
+  let st =
+    let nz = node st z in
+    { st with nodes = IMap.add z { nz with labels = CSet.union nz.labels ny.labels } st.nodes }
+  in
+  (* edge bookkeeping: y is a child of x (callers guarantee it) *)
+  let roles_xy = edge_roles st x y in
+  let st =
+    if (node st z).parent = Some x || (match IMap.find_opt z (node st x).succ_edges with Some _ -> true | None -> false) then begin
+      if Some x = (node st z).parent then begin
+        (* z is a child of x too: fold y's edge roles into (x -> z) *)
+        let nx = node st x in
+        let updated =
+          IMap.update z
+            (function Some roles -> Some (RSet.union roles roles_xy) | None -> Some roles_xy)
+            nx.succ_edges
+        in
+        { st with nodes = IMap.add x { nx with succ_edges = updated } st.nodes }
+      end
+      else begin
+        (* z is x's parent: the roles of (x -> y) become inverse roles on
+           the edge (z -> x) *)
+        let nz = node st z in
+        let inv_roles = RSet.map Alcqi.inv roles_xy in
+        let updated =
+          IMap.update x
+            (function Some roles -> Some (RSet.union roles inv_roles) | None -> Some inv_roles)
+            nz.succ_edges
+        in
+        { st with nodes = IMap.add z { nz with succ_edges = updated } st.nodes }
+      end
+    end
+    else st
+  in
+  (* inequalities mentioning y transfer to z *)
+  let st =
+    let transferred =
+      PSet.fold
+        (fun (a, b) acc ->
+          let a' = if a = y then z else a and b' = if b = y then z else b in
+          if a' = b' then acc else PSet.add (min a' b', max a' b') acc)
+        st.neqs PSet.empty
+    in
+    { st with neqs = transferred }
+  in
+  remove_subtree st y
+
+(* ---------------------------------------------------------------- *)
+(* The expansion loop.                                                *)
+
+type rule_app =
+  | Clash
+  | Add of int * Alcqi.concept list (* deterministic additions to a node *)
+  | Branch of (int * Alcqi.concept) list (* alternatives: add concept to node *)
+  | Merge_branch of (int * int * int) list (* alternatives: (x, y, z) merge y into z *)
+  | Generate of int * int * Alcqi.role * Alcqi.concept (* x, n, r, C *)
+  | Done
+
+let node_ids st = IMap.fold (fun x _ acc -> x :: acc) st.nodes [] |> List.rev
+
+(* Absorption (lazy unfolding): axioms with an atomic left-hand side are
+   applied only at nodes that carry the atom, instead of contributing a
+   disjunction to every node's label.  [unfold] maps an atom to the
+   concepts it implies; [global] holds the conjuncts of the internalized
+   residue. *)
+type ctx = { unfold : (string, Alcqi.concept list) Hashtbl.t; global : CSet.t }
+
+let absorb tbox =
+  let unfold : (string, Alcqi.concept list) Hashtbl.t = Hashtbl.create 32 in
+  let add_unfold a d =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt unfold a) in
+    if not (List.exists (Alcqi.equal d) existing) then Hashtbl.replace unfold a (d :: existing)
+  in
+  let residue = ref [] in
+  let atoms_only cs =
+    List.for_all (function Alcqi.Atom _ -> true | _ -> false) cs
+  in
+  List.iter
+    (fun ax ->
+      match ax with
+      | Alcqi.Subsumption (Alcqi.Atom a, d) -> add_unfold a d
+      | Alcqi.Subsumption (Alcqi.And cs, Alcqi.Bot) when atoms_only cs ->
+        (* disjointness: each atom implies the negation of the others *)
+        List.iter
+          (fun c ->
+            match c with
+            | Alcqi.Atom a ->
+              List.iter
+                (fun c' ->
+                  match c' with
+                  | Alcqi.Atom b when b <> a -> add_unfold a (Alcqi.Neg b)
+                  | _ -> ())
+                cs
+            | _ -> ())
+          cs
+      | Alcqi.Equivalence (Alcqi.Atom a, d) -> (
+        add_unfold a d;
+        (* the d [= a direction *)
+        match d with
+        | Alcqi.Bot -> ()
+        | Alcqi.Atom b -> add_unfold b (Alcqi.Atom a)
+        | Alcqi.Or cs when atoms_only cs ->
+          List.iter
+            (function Alcqi.Atom b -> add_unfold b (Alcqi.Atom a) | _ -> ())
+            cs
+        | _ -> residue := Alcqi.Subsumption (d, Alcqi.Atom a) :: !residue)
+      | ax -> residue := ax :: !residue)
+    tbox;
+  let global =
+    match Alcqi.internalize (List.rev !residue) with
+    | Alcqi.And cs -> CSet.of_list cs
+    | Alcqi.Top -> CSet.empty
+    | c -> CSet.singleton c
+  in
+  { unfold; global }
+
+(* A disjunct already contradicted at the literal level cannot be chosen. *)
+let falsified labels = function
+  | Alcqi.Bot -> true
+  | Alcqi.Atom a -> CSet.mem (Alcqi.Neg a) labels
+  | Alcqi.Neg a -> CSet.mem (Alcqi.Atom a) labels
+  | _ -> false
+
+let find_rule ctx st =
+  let exception Found of rule_app in
+  try
+    let ids = node_ids st in
+    (* 1. clash detection *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        if CSet.mem Alcqi.Bot nx.labels then raise (Found Clash);
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.Atom a -> if CSet.mem (Alcqi.Neg a) nx.labels then raise (Found Clash)
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 2. deterministic: conjunctions and lazy unfolding *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.And cs ->
+              let missing = List.filter (fun c -> not (CSet.mem c nx.labels)) cs in
+              if missing <> [] then raise (Found (Add (x, missing)))
+            | Alcqi.Atom a -> (
+              match Hashtbl.find_opt ctx.unfold a with
+              | Some ds ->
+                let missing = List.filter (fun d -> not (CSet.mem d nx.labels)) ds in
+                if missing <> [] then raise (Found (Add (x, missing)))
+              | None -> ())
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 3. deterministic: universal propagation *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.All (r, body) ->
+              List.iter
+                (fun y -> if not (has_label st y body) then raise (Found (Add (y, [ body ]))))
+                (neighbors st x r)
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 4. disjunctions, with boolean constraint propagation: contradicted
+       literal disjuncts are pruned; a single survivor is deterministic *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.Or cs ->
+              if not (List.exists (fun c -> CSet.mem c nx.labels) cs) then begin
+                match List.filter (fun c -> not (falsified nx.labels c)) cs with
+                | [] -> raise (Found Clash)
+                | [ c ] -> raise (Found (Add (x, [ c ])))
+                | alive -> raise (Found (Branch (List.map (fun c -> (x, c)) alive)))
+              end
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 5. choose rule for <= restrictions.  Guard: if even counting every
+       undecided neighbor as a witness cannot exceed the bound, the
+       constraint can never fire and choosing is pointless (the model
+       construction treats undecided as negative). *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.At_most (n, r, body) ->
+              let ns = neighbors st x r in
+              let definite =
+                List.length (List.filter (fun y -> has_label st y body) ns)
+              in
+              let undecided =
+                List.filter
+                  (fun y ->
+                    (not (has_label st y body))
+                    && not (has_label st y (Alcqi.neg body)))
+                  ns
+              in
+              if definite + List.length undecided > n then
+                List.iter
+                  (fun y ->
+                    (* negative choice first: it avoids feeding the
+                       <=-rule's merge cascade, which is the expensive path *)
+                    raise (Found (Branch [ (y, Alcqi.neg body); (y, body) ])))
+                  undecided
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 6. <= rule: merge or clash *)
+    List.iter
+      (fun x ->
+        let nx = node st x in
+        CSet.iter
+          (fun c ->
+            match c with
+            | Alcqi.At_most (n, r, body) ->
+              let witnesses =
+                List.filter (fun y -> has_label st y body) (neighbors st x r)
+              in
+              if List.length witnesses > n then begin
+                (* collect mergeable pairs *)
+                let pairs = ref [] in
+                let rec go = function
+                  | [] -> ()
+                  | a :: rest ->
+                    List.iter
+                      (fun b ->
+                        if not (neq st a b) then begin
+                          (* orient: never merge away x's parent *)
+                          let y, z =
+                            if (node st x).parent = Some a then (b, a)
+                            else if (node st x).parent = Some b then (a, b)
+                            else (b, a)
+                          in
+                          pairs := (x, y, z) :: !pairs
+                        end)
+                      rest;
+                    go rest
+                in
+                go witnesses;
+                if !pairs = [] then raise (Found Clash)
+                else raise (Found (Merge_branch (List.rev !pairs)))
+              end
+            | _ -> ())
+          nx.labels)
+      ids;
+    (* 7. generating rule *)
+    List.iter
+      (fun x ->
+        if not (blocked st x) then begin
+          let nx = node st x in
+          CSet.iter
+            (fun c ->
+              match c with
+              | Alcqi.At_least (n, r, body) ->
+                let witnesses =
+                  List.filter (fun y -> has_label st y body) (neighbors st x r)
+                in
+                (* applicable unless there are n witnesses pairwise unequal *)
+                let rec has_distinct k chosen = function
+                  | _ when k = 0 -> true
+                  | [] -> false
+                  | y :: rest ->
+                    (if List.for_all (fun z -> neq st y z) chosen then
+                       has_distinct (k - 1) (y :: chosen) rest
+                     else false)
+                    || has_distinct k chosen rest
+                in
+                if not (has_distinct n [] witnesses) then
+                  raise (Found (Generate (x, n, r, body)))
+              | _ -> ())
+            nx.labels
+        end)
+      ids;
+    Done
+  with Found r -> r
+
+let fresh_node st ~parent ~roles ~labels =
+  let id = st.next in
+  let nd = { labels; parent = Some parent; succ_edges = IMap.empty } in
+  let np = node st parent in
+  let st =
+    {
+      st with
+      next = id + 1;
+      nodes =
+        IMap.add id nd
+          (IMap.add parent { np with succ_edges = IMap.add id roles np.succ_edges } st.nodes);
+    }
+  in
+  (st, id)
+
+let is_satisfiable ?(fuel = 200_000) ~tbox c0 =
+  let ctx = absorb tbox in
+  let global_set = ctx.global in
+  let fuel_left = ref fuel in
+  let rec expand st =
+    decr fuel_left;
+    if !fuel_left <= 0 then raise Fuel_exhausted;
+    match find_rule ctx st with
+    | Clash -> false
+    | Done -> true
+    | Add (x, cs) -> expand (List.fold_left (fun st c -> add_label st x c) st cs)
+    | Branch alternatives ->
+      List.exists (fun (x, c) -> expand (add_label st x c)) alternatives
+    | Merge_branch alternatives ->
+      List.exists (fun (x, y, z) -> expand (merge st ~x ~y ~z)) alternatives
+    | Generate (x, n, r, body) ->
+      let labels = CSet.union global_set (CSet.singleton body) in
+      let st, created =
+        let rec go st acc k =
+          if k = 0 then (st, acc)
+          else begin
+            let st, id = fresh_node st ~parent:x ~roles:(RSet.singleton r) ~labels in
+            go st (id :: acc) (k - 1)
+          end
+        in
+        go st [] n
+      in
+      (* pairwise inequality among the fresh successors *)
+      let st =
+        List.fold_left
+          (fun st y -> List.fold_left (fun st z -> if y < z then add_neq st y z else st) st created)
+          st created
+      in
+      expand st
+  in
+  let root_labels = CSet.union global_set (CSet.singleton c0) in
+  let st0 =
+    {
+      nodes = IMap.singleton 0 { labels = root_labels; parent = None; succ_edges = IMap.empty };
+      next = 1;
+      neqs = PSet.empty;
+    }
+  in
+  match expand st0 with
+  | true -> Satisfiable
+  | false -> Unsatisfiable
+  | exception Fuel_exhausted -> Unknown (Printf.sprintf "fuel (%d) exhausted" fuel)

@@ -1,0 +1,31 @@
+(** Tableau decision procedure for ALCQI concept satisfiability with
+    respect to a general TBox.
+
+    The algorithm is the standard completion-tree calculus for description
+    logics with qualified number restrictions and inverse roles:
+
+    - the TBox is internalized ({!Alcqi.internalize}) and its conjuncts are
+      added to the label of every node;
+    - expansion rules: conjunction, disjunction (branching), universal
+      propagation (also through inverse edges), the {e choose} rule for
+      number restrictions, the [>=]-rule (generates fresh successors,
+      pairwise unequal), and the [<=]-rule (merges two mergeable neighbors,
+      branching over the choice of pair; merging into the predecessor when
+      one of the pair is the predecessor, pruning the merged node's
+      subtree);
+    - ancestor pairwise blocking guards the generating rule, which gives
+      termination in the presence of inverse roles and number
+      restrictions;
+    - clashes: [Bot], complementary atoms, and a [<= n] constraint whose
+      excess neighbors are pairwise explicitly unequal.
+
+    The search is a depth-first traversal of the nondeterministic choices
+    with a fuel bound as a safety net ([Unknown] is returned only if fuel
+    runs out, which does not happen on the paper's workloads). *)
+
+type verdict = Satisfiable | Unsatisfiable | Unknown of string
+
+val is_satisfiable : ?fuel:int -> tbox:Alcqi.tbox -> Alcqi.concept -> verdict
+(** Default fuel: 200_000 rule applications. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,105 @@
+module Schema = Pg_schema.Schema
+module Subtype = Pg_schema.Subtype
+module Wrapped = Pg_schema.Wrapped
+
+let concept_of_type name = Alcqi.Atom name
+
+let field_axioms sch owner (f_name, (fd : Schema.field)) acc =
+  match Schema.classify_field sch fd with
+  | Some Schema.Relationship ->
+    let t = Alcqi.Atom owner in
+    let tt = Alcqi.Atom (Wrapped.basetype fd.Schema.fd_type) in
+    let r = Alcqi.role f_name in
+    (* the proof's axiom (∃f⁻.t) ⊑ tt, in the equivalent Atom-headed form
+       t ⊑ ∀f.tt so that the tableau can absorb it (lazy unfolding) *)
+    let acc = Alcqi.Subsumption (t, Alcqi.All (r, tt)) :: acc in
+    let acc =
+      if Wrapped.is_list fd.Schema.fd_type then acc
+      else Alcqi.Subsumption (t, Alcqi.At_most (1, r, tt)) :: acc
+    in
+    let acc =
+      if Schema.has_directive fd.Schema.fd_directives "required" then
+        Alcqi.Subsumption (t, Alcqi.exists r tt) :: acc
+      else acc
+    in
+    let acc =
+      if Schema.has_directive fd.Schema.fd_directives "requiredForTarget" then
+        Alcqi.Subsumption (tt, Alcqi.exists (Alcqi.inv r) t) :: acc
+      else acc
+    in
+    let acc =
+      if Schema.has_directive fd.Schema.fd_directives "uniqueForTarget" then
+        Alcqi.Subsumption (tt, Alcqi.At_most (1, Alcqi.inv r, t)) :: acc
+      else acc
+    in
+    acc
+  | Some Schema.Attribute | None -> acc
+
+let tbox sch =
+  let acc = [] in
+  (* unions and interfaces as disjunctions of their object types *)
+  let acc =
+    List.fold_left
+      (fun acc u ->
+        let members = List.map concept_of_type (Schema.union_members sch u) in
+        Alcqi.Equivalence (Alcqi.Atom u, Alcqi.disj members) :: acc)
+      acc (Schema.union_names sch)
+  in
+  let acc =
+    List.fold_left
+      (fun acc it ->
+        let impls = List.map concept_of_type (Schema.implementations_of sch it) in
+        Alcqi.Equivalence (Alcqi.Atom it, Alcqi.disj impls) :: acc)
+      acc (Schema.interface_names sch)
+  in
+  (* field axioms for object and interface types *)
+  let acc =
+    List.fold_left
+      (fun acc owner ->
+        List.fold_left
+          (fun acc field -> field_axioms sch owner field acc)
+          acc (Schema.fields sch owner))
+      acc
+      (Schema.object_names sch @ Schema.interface_names sch)
+  in
+  (* negative membership, derivable from disjointness + the equivalences:
+     an object type outside an interface's implementations (or a union's
+     members) is disjoint from it.  Stating it directly lets the tableau
+     decide membership of neighbors without branching. *)
+  let acc =
+    List.fold_left
+      (fun acc u ->
+        let members = Subtype.subtypes sch u in
+        List.fold_left
+          (fun acc o ->
+            if List.mem o members then acc
+            else Alcqi.Subsumption (Alcqi.Atom o, Alcqi.Neg u) :: acc)
+          acc (Schema.object_names sch))
+      acc
+      (Schema.interface_names sch @ Schema.union_names sch)
+  in
+  (* nodes carry exactly one object type: pairwise disjointness.  The
+     covering axiom Top ⊑ ⊔OT of the proof is omitted: every element of a
+     completion tree for these TBoxes carries a type atom (the queried
+     concept at the root; restriction bodies elsewhere, with interface and
+     union atoms resolving to object atoms through their equivalences), so
+     covering cannot change the verdict, and omitting it removes an
+     |OT|-way branching point at every node. *)
+  let objects = Schema.object_names sch in
+  let acc =
+    let rec disjointness acc = function
+      | [] -> acc
+      | o1 :: rest ->
+        disjointness
+          (List.fold_left
+             (fun acc o2 ->
+               Alcqi.Subsumption (Alcqi.conj [ Alcqi.Atom o1; Alcqi.Atom o2 ], Alcqi.Bot)
+               :: acc)
+             acc rest)
+          rest
+    in
+    disjointness acc objects
+  in
+  List.rev acc
+
+let translation_size sch = (Schema.size sch, Alcqi.tbox_size (tbox sch))

@@ -1,0 +1,35 @@
+(** Translation of Property Graph schemas into ALCQI TBoxes (the proof of
+    Theorem 3).
+
+    The constructs are mapped exactly as the proof states:
+    - a union type (or interface type) [t] over/implemented by [t1 .. tn]
+      becomes [t ≡ t1 ⊔ ... ⊔ tn] (an interface with no implementations
+      becomes [t ≡ ⊥]);
+    - a relationship field [f] of type [t] with base target type [tt]
+      contributes [∃f⁻.t ⊑ tt]; if the field type is not a list type it
+      also contributes [t ⊑ ≤1 f.tt];
+    - [@required] contributes [t ⊑ ∃f.tt];
+    - [@requiredForTarget] contributes [tt ⊑ ∃f⁻.t];
+    - [@uniqueForTarget] contributes [tt ⊑ ≤1 f⁻.t];
+    - object types are pairwise disjoint and cover [⊤] (every node has
+      exactly one label, SS1).
+
+    Scalar-typed fields and arguments, [@key], [@distinct] and [@noLoops]
+    are dropped, as the proof argues they do not affect satisfiability.
+
+    Caveat (documented in EXPERIMENTS.md): ALCQI does {e not} have the
+    finite model property, while Property Graphs are finite by definition;
+    a schema whose only models are infinite (the paper's own diagram (b)
+    in Example 6.1) is satisfiable in ALCQI but has no conforming Property
+    Graph.  {!Counting} provides a sound finite-model refutation that
+    closes this gap for cardinality conflicts. *)
+
+val tbox : Pg_schema.Schema.t -> Alcqi.tbox
+(** The TBox of the schema; size is linear in the size of the schema. *)
+
+val concept_of_type : string -> Alcqi.concept
+(** The atomic concept standing for a named type. *)
+
+val translation_size : Pg_schema.Schema.t -> int * int
+(** [(schema size, tbox size)] — the polynomial-size evidence reported by
+    the [alcqi_translation] bench. *)

@@ -1,0 +1,1 @@
+lib/schema/api_extension.ml: List Map Pg_sdl Printf Result Schema String To_sdl Wrapped

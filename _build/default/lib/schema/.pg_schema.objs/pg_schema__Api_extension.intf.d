@@ -1,0 +1,1 @@
+lib/schema/api_extension.mli: Pg_sdl Schema

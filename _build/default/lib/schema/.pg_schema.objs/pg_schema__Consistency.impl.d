@@ -1,0 +1,1 @@
+lib/schema/consistency.ml: Format List Map Pg_sdl Printf Schema String Subtype Values_w Wrapped

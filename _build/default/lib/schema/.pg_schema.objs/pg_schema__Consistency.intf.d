@@ -1,0 +1,1 @@
+lib/schema/consistency.mli: Format Pg_sdl Schema Values_w Wrapped

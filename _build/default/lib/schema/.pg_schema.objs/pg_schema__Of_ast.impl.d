@@ -1,0 +1,1 @@
+lib/schema/of_ast.ml: Consistency Format Hashtbl List Map Pg_sdl Printf Result Schema String Wrapped

@@ -1,0 +1,1 @@
+lib/schema/of_ast.mli: Format Pg_sdl Schema

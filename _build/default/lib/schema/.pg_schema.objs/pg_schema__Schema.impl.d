@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Format List Map Option Pg_sdl String Wrapped

@@ -1,0 +1,1 @@
+lib/schema/schema_doc.ml: Buffer List Map Printf Schema String Wrapped

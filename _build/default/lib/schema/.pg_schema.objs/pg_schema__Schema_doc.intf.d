@@ -1,0 +1,1 @@
+lib/schema/schema_doc.mli: Schema

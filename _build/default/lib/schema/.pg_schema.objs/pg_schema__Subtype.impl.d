@@ -1,0 +1,1 @@
+lib/schema/subtype.ml: List Schema String Wrapped

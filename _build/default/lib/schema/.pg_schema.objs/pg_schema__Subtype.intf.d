@@ -1,0 +1,1 @@
+lib/schema/subtype.mli: Schema Wrapped

@@ -1,0 +1,1 @@
+lib/schema/to_sdl.ml: List Map Pg_sdl Schema String Wrapped

@@ -1,0 +1,1 @@
+lib/schema/to_sdl.mli: Pg_sdl Schema

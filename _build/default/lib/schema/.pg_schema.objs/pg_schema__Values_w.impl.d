@@ -1,0 +1,1 @@
+lib/schema/values_w.ml: Fun List Map Option Pg_graph Pg_sdl Schema String Wrapped

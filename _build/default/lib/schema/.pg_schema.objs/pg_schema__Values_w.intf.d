@@ -1,0 +1,1 @@
+lib/schema/values_w.mli: Pg_graph Pg_sdl Schema Wrapped

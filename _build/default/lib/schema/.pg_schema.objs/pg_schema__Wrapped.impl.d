@@ -1,0 +1,1 @@
+lib/schema/wrapped.ml: Format Pg_sdl Stdlib

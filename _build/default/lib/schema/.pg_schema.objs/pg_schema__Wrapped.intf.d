@@ -1,0 +1,1 @@
+lib/schema/wrapped.mli: Format Pg_sdl

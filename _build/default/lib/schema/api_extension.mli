@@ -1,0 +1,28 @@
+(** Extension of a Property Graph schema into a GraphQL API schema
+    (paper Section 3.6, "natural next step" / future work).
+
+    A Property Graph schema defined with the SDL is not a complete GraphQL
+    API schema: it lacks the mandatory [Query] root type, and it mentions
+    every potential edge only from the source side, so bidirectional
+    traversal is impossible.  This module implements the extension the
+    paper sketches:
+
+    - a [Query] object type with one plural entry point per object type
+      ([allUser: [User]]) and one lookup entry point per declared key
+      ([userById(id: ID!): User] for [@key(fields: ["id"])] with a
+      single-property key whose type is scalar);
+    - for bidirectional traversal, an {e inverse field} on every possible
+      target type of every relationship definition: for a relationship
+      [f : ... -> tt] declared in type [t], each object type that can be a
+      target (each member/implementation of [tt], or [tt] itself) receives
+      a field [_inverse_<f>_of_<t>: [t]];
+    - a [schema { query: Query }] block.
+
+    The result is a plain SDL document; feeding it to a GraphQL server
+    implementation gives an API over graphs that conform to the original
+    schema. *)
+
+val extend : Schema.t -> (Pg_sdl.Ast.document, string) result
+(** Fails if the schema already declares a type named [Query]. *)
+
+val extend_to_string : Schema.t -> (string, string) result

@@ -1,0 +1,268 @@
+module Sm = Map.Make (String)
+
+type issue =
+  | Missing_field of { interface : string; object_type : string; field : string }
+  | Field_type_not_subtype of {
+      interface : string;
+      object_type : string;
+      field : string;
+      interface_type : Wrapped.t;
+      object_field_type : Wrapped.t;
+    }
+  | Missing_argument of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+    }
+  | Argument_type_mismatch of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+      interface_arg_type : Wrapped.t;
+      object_arg_type : Wrapped.t;
+    }
+  | Extra_non_null_argument of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+    }
+  | Unknown_directive of { directive : string; context : string }
+  | Unknown_directive_argument of { directive : string; argument : string; context : string }
+  | Missing_directive_argument of { directive : string; argument : string; context : string }
+  | Directive_argument_type_error of {
+      directive : string;
+      argument : string;
+      context : string;
+      expected : Wrapped.t;
+      value : Pg_sdl.Ast.value;
+    }
+
+let pp_issue ppf = function
+  | Missing_field { interface; object_type; field } ->
+    Format.fprintf ppf "type %s implements %s but lacks its field %S" object_type interface
+      field
+  | Field_type_not_subtype { interface; object_type; field; interface_type; object_field_type }
+    ->
+    Format.fprintf ppf
+      "field %S of type %s has type %a, which is not a subtype of %a declared by interface %s"
+      field object_type Wrapped.pp object_field_type Wrapped.pp interface_type interface
+  | Missing_argument { interface; object_type; field; argument } ->
+    Format.fprintf ppf
+      "field %S of type %s lacks argument %S required by interface %s" field object_type
+      argument interface
+  | Argument_type_mismatch
+      { interface; object_type; field; argument; interface_arg_type; object_arg_type } ->
+    Format.fprintf ppf
+      "argument %S of field %S in type %s has type %a, but interface %s declares %a" argument
+      field object_type Wrapped.pp object_arg_type interface Wrapped.pp interface_arg_type
+  | Extra_non_null_argument { interface; object_type; field; argument } ->
+    Format.fprintf ppf
+      "argument %S of field %S in type %s is non-null but is not declared by interface %s"
+      argument field object_type interface
+  | Unknown_directive { directive; context } ->
+    Format.fprintf ppf "unknown directive @%s on %s" directive context
+  | Unknown_directive_argument { directive; argument; context } ->
+    Format.fprintf ppf "directive @%s on %s has undeclared argument %S" directive context
+      argument
+  | Missing_directive_argument { directive; argument; context } ->
+    Format.fprintf ppf "directive @%s on %s is missing its non-null argument %S" directive
+      context argument
+  | Directive_argument_type_error { directive; argument; context; expected; value } ->
+    Format.fprintf ppf
+      "argument %S of directive @%s on %s has value %s, which is not in valuesW(%a)" argument
+      directive context
+      (Pg_sdl.Printer.value_to_string value)
+      Wrapped.pp expected
+
+let issue_to_string i = Format.asprintf "%a" pp_issue i
+
+(* Definition 4.3 *)
+let check_interfaces (sch : Schema.t) =
+  let check_implementation it_name (it : Schema.interface_type) ot_name issues =
+    List.fold_left
+      (fun issues (f_name, (it_field : Schema.field)) ->
+        match Schema.field sch ot_name f_name with
+        | None ->
+          Missing_field { interface = it_name; object_type = ot_name; field = f_name }
+          :: issues
+        | Some ot_field ->
+          let issues =
+            if Subtype.wrapped sch ot_field.Schema.fd_type it_field.Schema.fd_type then issues
+            else
+              Field_type_not_subtype
+                {
+                  interface = it_name;
+                  object_type = ot_name;
+                  field = f_name;
+                  interface_type = it_field.Schema.fd_type;
+                  object_field_type = ot_field.Schema.fd_type;
+                }
+              :: issues
+          in
+          (* 4.3(2): interface arguments present with equal types *)
+          let issues =
+            List.fold_left
+              (fun issues (a_name, (it_arg : Schema.argument)) ->
+                match List.assoc_opt a_name ot_field.Schema.fd_args with
+                | None ->
+                  Missing_argument
+                    {
+                      interface = it_name;
+                      object_type = ot_name;
+                      field = f_name;
+                      argument = a_name;
+                    }
+                  :: issues
+                | Some ot_arg ->
+                  if Wrapped.equal ot_arg.Schema.arg_type it_arg.Schema.arg_type then issues
+                  else
+                    Argument_type_mismatch
+                      {
+                        interface = it_name;
+                        object_type = ot_name;
+                        field = f_name;
+                        argument = a_name;
+                        interface_arg_type = it_arg.Schema.arg_type;
+                        object_arg_type = ot_arg.Schema.arg_type;
+                      }
+                    :: issues)
+              issues it_field.Schema.fd_args
+          in
+          (* 4.3(3): extra arguments must be nullable *)
+          List.fold_left
+            (fun issues (a_name, (ot_arg : Schema.argument)) ->
+              if List.mem_assoc a_name it_field.Schema.fd_args then issues
+              else if Wrapped.is_non_null ot_arg.Schema.arg_type then
+                Extra_non_null_argument
+                  {
+                    interface = it_name;
+                    object_type = ot_name;
+                    field = f_name;
+                    argument = a_name;
+                  }
+                :: issues
+              else issues)
+            issues ot_field.Schema.fd_args)
+      issues it.Schema.it_fields
+  in
+  let issues =
+    Sm.fold
+      (fun it_name it issues ->
+        List.fold_left
+          (fun issues ot_name -> check_implementation it_name it ot_name issues)
+          issues
+          (Schema.implementations_of sch it_name))
+      sch.Schema.interfaces []
+  in
+  List.rev issues
+
+(* Definition 4.4, applied to one directive occurrence *)
+let check_directive_use ?env (sch : Schema.t) context (du : Schema.directive_use) issues =
+  match Schema.directive_args sch du.Schema.du_name with
+  | None -> Unknown_directive { directive = du.Schema.du_name; context } :: issues
+  | Some declared ->
+    (* unknown arguments *)
+    let issues =
+      List.fold_left
+        (fun issues (a_name, _) ->
+          if List.mem_assoc a_name declared then issues
+          else
+            Unknown_directive_argument
+              { directive = du.Schema.du_name; argument = a_name; context }
+            :: issues)
+        issues du.Schema.du_args
+    in
+    (* 4.4(1): non-null declared arguments must be given *)
+    let issues =
+      List.fold_left
+        (fun issues (a_name, (arg : Schema.argument)) ->
+          if
+            Wrapped.is_non_null arg.Schema.arg_type
+            && (not (List.mem_assoc a_name du.Schema.du_args))
+            && arg.Schema.arg_default = None
+          then
+            Missing_directive_argument
+              { directive = du.Schema.du_name; argument = a_name; context }
+            :: issues
+          else issues)
+        issues declared
+    in
+    (* 4.4(2): given values must be in valuesW of the declared type *)
+    List.fold_left
+      (fun issues (a_name, value) ->
+        match List.assoc_opt a_name declared with
+        | None -> issues (* already reported as unknown *)
+        | Some (arg : Schema.argument) ->
+          if Values_w.ast_mem ?env sch arg.Schema.arg_type value then issues
+          else
+            Directive_argument_type_error
+              {
+                directive = du.Schema.du_name;
+                argument = a_name;
+                context;
+                expected = arg.Schema.arg_type;
+                value;
+              }
+            :: issues)
+      issues du.Schema.du_args
+
+let check_directives ?env (sch : Schema.t) =
+  let check_uses context uses issues =
+    List.fold_left (fun issues du -> check_directive_use ?env sch context du issues) issues uses
+  in
+  let check_fields owner fields issues =
+    List.fold_left
+      (fun issues (f_name, (fd : Schema.field)) ->
+        let issues =
+          check_uses (Printf.sprintf "field %s.%s" owner f_name) fd.Schema.fd_directives issues
+        in
+        List.fold_left
+          (fun issues (a_name, (arg : Schema.argument)) ->
+            check_uses
+              (Printf.sprintf "argument %s.%s(%s:)" owner f_name a_name)
+              arg.Schema.arg_directives issues)
+          issues fd.Schema.fd_args)
+      issues fields
+  in
+  let issues = [] in
+  let issues =
+    Sm.fold
+      (fun name (ot : Schema.object_type) issues ->
+        let issues = check_uses (Printf.sprintf "type %s" name) ot.Schema.ot_directives issues in
+        check_fields name ot.Schema.ot_fields issues)
+      sch.Schema.objects issues
+  in
+  let issues =
+    Sm.fold
+      (fun name (it : Schema.interface_type) issues ->
+        let issues =
+          check_uses (Printf.sprintf "interface %s" name) it.Schema.it_directives issues
+        in
+        check_fields name it.Schema.it_fields issues)
+      sch.Schema.interfaces issues
+  in
+  let issues =
+    Sm.fold
+      (fun name (ut : Schema.union_type) issues ->
+        check_uses (Printf.sprintf "union %s" name) ut.Schema.ut_directives issues)
+      sch.Schema.unions issues
+  in
+  let issues =
+    Sm.fold
+      (fun name (et : Schema.enum_type) issues ->
+        check_uses (Printf.sprintf "enum %s" name) et.Schema.et_directives issues)
+      sch.Schema.enums issues
+  in
+  let issues =
+    Sm.fold
+      (fun name (sc : Schema.scalar_type) issues ->
+        check_uses (Printf.sprintf "scalar %s" name) sc.Schema.sc_directives issues)
+      sch.Schema.scalars issues
+  in
+  List.rev issues
+
+let check ?env sch = check_interfaces sch @ check_directives ?env sch
+let is_consistent ?env sch = check ?env sch = []

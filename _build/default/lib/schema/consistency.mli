@@ -1,0 +1,67 @@
+(** Schema consistency (paper Definitions 4.3, 4.4, 4.5).
+
+    A schema is {e consistent} when it is interface consistent — every
+    implementing object type provides at least the interface's fields, at
+    covariant types, with matching argument types and no extra non-null
+    arguments — and directives consistent — every directive occurrence
+    supplies values for all non-null declared arguments and only supplies
+    values that belong to the declared argument types. *)
+
+type issue =
+  | Missing_field of { interface : string; object_type : string; field : string }
+      (** Definition 4.3(1), first half *)
+  | Field_type_not_subtype of {
+      interface : string;
+      object_type : string;
+      field : string;
+      interface_type : Wrapped.t;
+      object_field_type : Wrapped.t;
+    }  (** Definition 4.3(1), second half: [typeS(f, ot) ⋢S typeS(f, it)] *)
+  | Missing_argument of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+    }  (** Definition 4.3(2), first half *)
+  | Argument_type_mismatch of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+      interface_arg_type : Wrapped.t;
+      object_arg_type : Wrapped.t;
+    }  (** Definition 4.3(2): argument types must be equal *)
+  | Extra_non_null_argument of {
+      interface : string;
+      object_type : string;
+      field : string;
+      argument : string;
+    }  (** Definition 4.3(3) *)
+  | Unknown_directive of { directive : string; context : string }
+      (** the occurrence's name is not in [D] *)
+  | Unknown_directive_argument of { directive : string; argument : string; context : string }
+      (** [argvals] is defined outside [argsS(d)] *)
+  | Missing_directive_argument of { directive : string; argument : string; context : string }
+      (** Definition 4.4(1): a non-null argument has no value *)
+  | Directive_argument_type_error of {
+      directive : string;
+      argument : string;
+      context : string;
+      expected : Wrapped.t;
+      value : Pg_sdl.Ast.value;
+    }  (** Definition 4.4(2): [argvals(a) ∉ valuesW(typeAD(d, a))] *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val issue_to_string : issue -> string
+
+val check_interfaces : Schema.t -> issue list
+(** Interface consistency (Definition 4.3). *)
+
+val check_directives : ?env:Values_w.env -> Schema.t -> issue list
+(** Directives consistency (Definition 4.4), over every directive
+    occurrence on types, fields, and field arguments. *)
+
+val check : ?env:Values_w.env -> Schema.t -> issue list
+(** Consistency (Definition 4.5): both checks, in order. *)
+
+val is_consistent : ?env:Values_w.env -> Schema.t -> bool

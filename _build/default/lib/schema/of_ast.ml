@@ -1,0 +1,385 @@
+module Ast = Pg_sdl.Ast
+module Source = Pg_sdl.Source
+module Sm = Map.Make (String)
+
+type severity = Error | Warning
+type diagnostic = { at : Source.span; severity : severity; message : string }
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s: %a: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    Source.pp_span d.at d.message
+
+type ctx = {
+  mutable diagnostics : diagnostic list;
+  (* names of input object types: legal in the document but outside T *)
+  input_objects : (string, unit) Hashtbl.t;
+  (* every named type of the document plus built-ins, with its kind *)
+  kinds : (string, Schema.kind) Hashtbl.t;
+}
+
+let error ctx at fmt =
+  Format.kasprintf
+    (fun message -> ctx.diagnostics <- { at; severity = Error; message } :: ctx.diagnostics)
+    fmt
+
+let warning ctx at fmt =
+  Format.kasprintf
+    (fun message -> ctx.diagnostics <- { at; severity = Warning; message } :: ctx.diagnostics)
+    fmt
+
+let directive_use (d : Ast.directive) : Schema.directive_use =
+  { Schema.du_name = d.Ast.d_name; du_args = d.Ast.d_arguments }
+
+let directive_uses ds = List.map directive_use ds
+
+(* A field or argument type reference: must be one of the six wrapped
+   forms and its base type must be known. *)
+let wrapped_of ctx at (ty : Ast.type_ref) =
+  match Wrapped.of_ast ty with
+  | Error msg ->
+    error ctx at "%s" msg;
+    None
+  | Ok wt ->
+    let base = Wrapped.basetype wt in
+    if Hashtbl.mem ctx.kinds base || Hashtbl.mem ctx.input_objects base then Some wt
+    else begin
+      error ctx at "unknown type %S" base;
+      None
+    end
+
+(* Arguments of fields and of directive definitions must have base types in
+   S (scalar or enum).  Input-object-typed arguments are dropped with a
+   warning (Section 3.6); object/interface/union-typed arguments are
+   invalid GraphQL. *)
+let argument_of ctx owner (iv : Ast.input_value_def) : (string * Schema.argument) option =
+  match wrapped_of ctx iv.Ast.iv_span iv.Ast.iv_type with
+  | None -> None
+  | Some wt -> (
+    let base = Wrapped.basetype wt in
+    if Hashtbl.mem ctx.input_objects base then begin
+      warning ctx iv.Ast.iv_span
+        "argument %S of %s has input object type %s and cannot describe an edge property; \
+         ignored (Section 3.6)"
+        iv.Ast.iv_name owner base;
+      None
+    end
+    else
+      match Hashtbl.find_opt ctx.kinds base with
+      | Some (Schema.Scalar | Schema.Enum) ->
+        Some
+          ( iv.Ast.iv_name,
+            {
+              Schema.arg_type = wt;
+              arg_directives = directive_uses iv.Ast.iv_directives;
+              arg_default = iv.Ast.iv_default;
+            } )
+      | Some (Schema.Object | Schema.Interface | Schema.Union) ->
+        error ctx iv.Ast.iv_span
+          "argument %S of %s has type %s, which is not an input type" iv.Ast.iv_name owner
+          base;
+        None
+      | None -> None)
+
+let field_of ctx owner (f : Ast.field_def) : (string * Schema.field) option =
+  match wrapped_of ctx f.Ast.f_span f.Ast.f_type with
+  | None -> None
+  | Some wt ->
+    let base = Wrapped.basetype wt in
+    if Hashtbl.mem ctx.input_objects base then begin
+      error ctx f.Ast.f_span
+        "field %S of %s has input object type %s, which is not an output type" f.Ast.f_name
+        owner base;
+      None
+    end
+    else begin
+      let args =
+        List.filter_map
+          (fun iv -> argument_of ctx (Printf.sprintf "field %s.%s" owner f.Ast.f_name) iv)
+          f.Ast.f_arguments
+      in
+      Some
+        ( f.Ast.f_name,
+          {
+            Schema.fd_type = wt;
+            fd_args = args;
+            fd_directives = directive_uses f.Ast.f_directives;
+            fd_description = f.Ast.f_description;
+          } )
+    end
+
+(* ---------------------------------------------------------------- *)
+(* Merging type extensions into their base definitions.              *)
+
+let merge_extensions ctx (doc : Ast.document) =
+  let base_defs =
+    List.filter_map (function Ast.Type_definition td -> Some td | _ -> None) doc
+  in
+  let extensions =
+    List.filter_map (function Ast.Type_extension ext -> Some ext | _ -> None) doc
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun td -> Hashtbl.replace by_name (Ast.type_def_name td) td) base_defs;
+  let merged =
+    List.fold_left
+      (fun acc ext ->
+        let apply name span combine =
+          match Hashtbl.find_opt acc name with
+          | None ->
+            error ctx span "extension of undefined type %S" name;
+            acc
+          | Some base -> (
+            match combine base with
+            | Some td -> Hashtbl.replace acc name td; acc
+            | None ->
+              error ctx span "extension of %S does not match the kind of its definition" name;
+              acc)
+        in
+        match ext with
+        | Ast.Object_extension d ->
+          apply d.Ast.o_name d.Ast.o_span (function
+            | Ast.Object_type base ->
+              Some
+                (Ast.Object_type
+                   {
+                     base with
+                     Ast.o_interfaces = base.Ast.o_interfaces @ d.Ast.o_interfaces;
+                     o_directives = base.Ast.o_directives @ d.Ast.o_directives;
+                     o_fields = base.Ast.o_fields @ d.Ast.o_fields;
+                   })
+            | _ -> None)
+        | Ast.Interface_extension d ->
+          apply d.Ast.i_name d.Ast.i_span (function
+            | Ast.Interface_type base ->
+              Some
+                (Ast.Interface_type
+                   {
+                     base with
+                     Ast.i_directives = base.Ast.i_directives @ d.Ast.i_directives;
+                     i_fields = base.Ast.i_fields @ d.Ast.i_fields;
+                   })
+            | _ -> None)
+        | Ast.Union_extension d ->
+          apply d.Ast.u_name d.Ast.u_span (function
+            | Ast.Union_type base ->
+              Some
+                (Ast.Union_type
+                   {
+                     base with
+                     Ast.u_directives = base.Ast.u_directives @ d.Ast.u_directives;
+                     u_members = base.Ast.u_members @ d.Ast.u_members;
+                   })
+            | _ -> None)
+        | Ast.Enum_extension d ->
+          apply d.Ast.e_name d.Ast.e_span (function
+            | Ast.Enum_type base ->
+              Some
+                (Ast.Enum_type
+                   {
+                     base with
+                     Ast.e_directives = base.Ast.e_directives @ d.Ast.e_directives;
+                     e_values = base.Ast.e_values @ d.Ast.e_values;
+                   })
+            | _ -> None)
+        | Ast.Scalar_extension d ->
+          apply d.Ast.s_name d.Ast.s_span (function
+            | Ast.Scalar_type base ->
+              Some
+                (Ast.Scalar_type
+                   { base with Ast.s_directives = base.Ast.s_directives @ d.Ast.s_directives })
+            | _ -> None)
+        | Ast.Input_object_extension d ->
+          apply d.Ast.io_name d.Ast.io_span (function
+            | Ast.Input_object_type base ->
+              Some
+                (Ast.Input_object_type
+                   {
+                     base with
+                     Ast.io_directives = base.Ast.io_directives @ d.Ast.io_directives;
+                     io_fields = base.Ast.io_fields @ d.Ast.io_fields;
+                   })
+            | _ -> None))
+      by_name extensions
+  in
+  (* keep original document order *)
+  List.filter_map
+    (fun td ->
+      let name = Ast.type_def_name td in
+      match Hashtbl.find_opt merged name with
+      | Some td' ->
+        Hashtbl.remove merged name;
+        Some td'
+      | None -> None)
+    base_defs
+
+(* ---------------------------------------------------------------- *)
+
+let build (doc : Ast.document) =
+  let lint_issues = Pg_sdl.Lint.check doc in
+  let ctx =
+    {
+      diagnostics =
+        List.rev_map
+          (fun (i : Pg_sdl.Lint.issue) ->
+            {
+              at = i.Pg_sdl.Lint.at;
+              severity = (match i.Pg_sdl.Lint.severity with Pg_sdl.Lint.Error -> Error | Pg_sdl.Lint.Warning -> Warning);
+              message = i.Pg_sdl.Lint.message;
+            })
+          lint_issues;
+      input_objects = Hashtbl.create 8;
+      kinds = Hashtbl.create 32;
+    }
+  in
+  let type_defs = merge_extensions ctx doc in
+  (* pass 1: register names and kinds (built-ins first) *)
+  List.iter
+    (fun b -> Hashtbl.replace ctx.kinds b Schema.Scalar)
+    [ "Int"; "Float"; "String"; "Boolean"; "ID" ];
+  List.iter
+    (fun td ->
+      match td with
+      | Ast.Scalar_type d -> Hashtbl.replace ctx.kinds d.Ast.s_name Schema.Scalar
+      | Ast.Object_type d -> Hashtbl.replace ctx.kinds d.Ast.o_name Schema.Object
+      | Ast.Interface_type d -> Hashtbl.replace ctx.kinds d.Ast.i_name Schema.Interface
+      | Ast.Union_type d -> Hashtbl.replace ctx.kinds d.Ast.u_name Schema.Union
+      | Ast.Enum_type d -> Hashtbl.replace ctx.kinds d.Ast.e_name Schema.Enum
+      | Ast.Input_object_type d -> Hashtbl.replace ctx.input_objects d.Ast.io_name ())
+    type_defs;
+  (* pass 2: build the schema *)
+  let sch = ref Schema.empty in
+  (* user-declared directive definitions first, so occurrences can refer to
+     them regardless of document order *)
+  List.iter
+    (function
+      | Ast.Directive_definition (dd : Ast.directive_def) ->
+        let args =
+          List.filter_map
+            (fun iv -> argument_of ctx (Printf.sprintf "directive @%s" dd.Ast.dd_name) iv)
+            dd.Ast.dd_arguments
+        in
+        sch :=
+          Schema.add_directive_def !sch dd.Ast.dd_name
+            { Schema.dd_args = args; dd_locations = dd.Ast.dd_locations }
+      | Ast.Schema_definition _ | Ast.Type_definition _ | Ast.Type_extension _ -> ())
+    doc;
+  List.iter
+    (fun td ->
+      match td with
+      | Ast.Scalar_type d ->
+        sch :=
+          Schema.add_scalar !sch d.Ast.s_name
+            {
+              Schema.sc_builtin = false;
+              sc_directives = directive_uses d.Ast.s_directives;
+              sc_description = d.Ast.s_description;
+            }
+      | Ast.Enum_type d ->
+        sch :=
+          Schema.add_enum !sch d.Ast.e_name
+            {
+              Schema.et_values = List.map (fun (ev : Ast.enum_value_def) -> ev.Ast.ev_name) d.Ast.e_values;
+              et_directives = directive_uses d.Ast.e_directives;
+              et_description = d.Ast.e_description;
+            }
+      | Ast.Union_type d ->
+        List.iter
+          (fun m ->
+            match Hashtbl.find_opt ctx.kinds m with
+            | Some Schema.Object -> ()
+            | Some _ ->
+              error ctx d.Ast.u_span "union %S member %S is not an object type" d.Ast.u_name m
+            | None -> error ctx d.Ast.u_span "union %S member %S is undefined" d.Ast.u_name m)
+          d.Ast.u_members;
+        sch :=
+          Schema.add_union !sch d.Ast.u_name
+            {
+              Schema.ut_members = d.Ast.u_members;
+              ut_directives = directive_uses d.Ast.u_directives;
+              ut_description = d.Ast.u_description;
+            }
+      | Ast.Interface_type d ->
+        let fields =
+          List.filter_map (fun f -> field_of ctx ("interface " ^ d.Ast.i_name) f) d.Ast.i_fields
+        in
+        sch :=
+          Schema.add_interface !sch d.Ast.i_name
+            {
+              Schema.it_fields = fields;
+              it_directives = directive_uses d.Ast.i_directives;
+              it_description = d.Ast.i_description;
+            }
+      | Ast.Object_type d ->
+        List.iter
+          (fun i ->
+            match Hashtbl.find_opt ctx.kinds i with
+            | Some Schema.Interface -> ()
+            | Some _ ->
+              error ctx d.Ast.o_span "type %S implements %S, which is not an interface"
+                d.Ast.o_name i
+            | None ->
+              error ctx d.Ast.o_span "type %S implements undefined interface %S" d.Ast.o_name i)
+          d.Ast.o_interfaces;
+        let fields =
+          List.filter_map (fun f -> field_of ctx ("type " ^ d.Ast.o_name) f) d.Ast.o_fields
+        in
+        sch :=
+          Schema.add_object !sch d.Ast.o_name
+            {
+              Schema.ot_interfaces = d.Ast.o_interfaces;
+              ot_fields = fields;
+              ot_directives = directive_uses d.Ast.o_directives;
+              ot_description = d.Ast.o_description;
+            }
+      | Ast.Input_object_type d ->
+        (* outside T; remembered only so argument types can be resolved *)
+        warning ctx d.Ast.io_span
+          "input type %S is outside the Property Graph schema formalization and is ignored"
+          d.Ast.io_name)
+    type_defs;
+  (* root operation types: ignored for Property Graph purposes (3.6) *)
+  List.iter
+    (function
+      | Ast.Schema_definition (sd : Ast.schema_def) ->
+        List.iter
+          (fun (op, ty) ->
+            match Hashtbl.find_opt ctx.kinds ty with
+            | Some Schema.Object ->
+              warning ctx sd.Ast.sd_span
+                "root operation type %s: %s is ignored for Property Graph validation \
+                 (Section 3.6)"
+                (Ast.operation_type_name op) ty
+            | Some _ ->
+              error ctx sd.Ast.sd_span "root operation type %S is not an object type" ty
+            | None -> error ctx sd.Ast.sd_span "root operation type %S is undefined" ty)
+          sd.Ast.sd_operations
+      | Ast.Type_definition _ | Ast.Type_extension _ | Ast.Directive_definition _ -> ())
+    doc;
+  let diagnostics = List.rev ctx.diagnostics in
+  let errors = List.filter (fun d -> d.severity = Error) diagnostics in
+  if errors <> [] then Result.Error diagnostics
+  else Ok (Schema.rebuild_implementations !sch, diagnostics)
+
+let aggregate diagnostics =
+  String.concat "\n" (List.map (fun d -> Format.asprintf "%a" pp_diagnostic d) diagnostics)
+
+let parse_with ~check_consistency text =
+  match Pg_sdl.Parser.parse text with
+  | Result.Error e -> Result.Error (Source.error_to_string e)
+  | Ok doc -> (
+    match build doc with
+    | Result.Error diagnostics -> Result.Error (aggregate diagnostics)
+    | Ok (sch, _warnings) ->
+      if not check_consistency then Ok sch
+      else (
+        match Consistency.check sch with
+        | [] -> Ok sch
+        | issues ->
+          Result.Error
+            (String.concat "\n" (List.map Consistency.issue_to_string issues))))
+
+let parse text = parse_with ~check_consistency:true text
+let parse_lenient text = parse_with ~check_consistency:false text
+
+let parse_exn text =
+  match parse text with Ok sch -> sch | Result.Error msg -> invalid_arg msg

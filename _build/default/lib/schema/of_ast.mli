@@ -1,0 +1,45 @@
+(** Translation from parsed SDL documents to formal schemas
+    (Definition 4.1), with diagnostics.
+
+    The translation enforces the structural rules the formalization
+    relies on and applies the paper's "ignore what does not fit" policy
+    (Section 3.6):
+
+    - type extensions are merged into their base definitions;
+    - field types must be named types of the document (or built-ins) and
+      may not be input object types;
+    - wrapped types are restricted to the six forms of Section 4.1
+      (nested lists are errors);
+    - field arguments and directive arguments whose base type is an input
+      object type are {e dropped with a warning} — they cannot describe
+      edge properties, cf. Section 3.6;
+    - root operation types declared in a [schema { ... }] block are noted
+      and otherwise ignored;
+    - the standard Property Graph directives (Section 4.3) are predeclared
+      and may be redeclared compatibly by the document. *)
+
+type severity = Error | Warning
+
+type diagnostic = { at : Pg_sdl.Source.span; severity : severity; message : string }
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val build : Pg_sdl.Ast.document -> (Schema.t * diagnostic list, diagnostic list) result
+(** [build doc] is [Ok (schema, warnings)] or [Error diagnostics] where the
+    diagnostics contain at least one error. *)
+
+val parse : string -> (Schema.t, string) result
+(** One-step convenience: lex, parse, lint, build, and check consistency
+    (Definition 4.5).  The error string aggregates all diagnostics.
+    Warnings are discarded; use {!build} to observe them. *)
+
+val parse_lenient : string -> (Schema.t, string) result
+(** Like {!parse} but without the consistency gate of Definition 4.5.
+    Needed for the paper's own Example 6.1, whose schemas are {e not}
+    interface consistent under Definition 4.3 as written: the object
+    types declare [hasOT1: [OT1]] against the interface's [hasOT1: OT1],
+    and no subtype rule derives [[OT1] ⊑ OT1] (rule 5 gives only the
+    opposite direction).  See the errata list in DESIGN.md. *)
+
+val parse_exn : string -> Schema.t
+(** @raise Invalid_argument with the aggregated message on failure. *)

@@ -1,0 +1,226 @@
+module Sm = Map.Make (String)
+
+type directive_use = { du_name : string; du_args : (string * Pg_sdl.Ast.value) list }
+
+type argument = {
+  arg_type : Wrapped.t;
+  arg_directives : directive_use list;
+  arg_default : Pg_sdl.Ast.value option;
+}
+
+type field = {
+  fd_type : Wrapped.t;
+  fd_args : (string * argument) list;
+  fd_directives : directive_use list;
+  fd_description : string option;
+}
+
+type object_type = {
+  ot_interfaces : string list;
+  ot_fields : (string * field) list;
+  ot_directives : directive_use list;
+  ot_description : string option;
+}
+
+type interface_type = {
+  it_fields : (string * field) list;
+  it_directives : directive_use list;
+  it_description : string option;
+}
+
+type union_type = {
+  ut_members : string list;
+  ut_directives : directive_use list;
+  ut_description : string option;
+}
+
+type enum_type = {
+  et_values : string list;
+  et_directives : directive_use list;
+  et_description : string option;
+}
+
+type scalar_type = {
+  sc_builtin : bool;
+  sc_directives : directive_use list;
+  sc_description : string option;
+}
+
+type directive_def = {
+  dd_args : (string * argument) list;
+  dd_locations : Pg_sdl.Ast.directive_location list;
+}
+
+type t = {
+  objects : object_type Sm.t;
+  interfaces : interface_type Sm.t;
+  unions : union_type Sm.t;
+  enums : enum_type Sm.t;
+  scalars : scalar_type Sm.t;
+  directive_defs : directive_def Sm.t;
+  implementations : string list Sm.t;
+}
+
+type kind = Object | Interface | Union | Enum | Scalar
+
+let builtin_scalar = { sc_builtin = true; sc_directives = []; sc_description = None }
+
+let builtin_scalars =
+  List.fold_left
+    (fun m name -> Sm.add name builtin_scalar m)
+    Sm.empty
+    [ "Int"; "Float"; "String"; "Boolean"; "ID" ]
+
+(* The standard directive declarations assumed by the paper (end of
+   Section 4.3): the six Property Graph directives, of which only @key has
+   an argument (fields: [String!]!).  @deprecated is the SDL built-in. *)
+let standard_directive_defs =
+  let no_args locations = { dd_args = []; dd_locations = locations } in
+  let field_loc = [ Pg_sdl.Ast.Loc_field_definition ] in
+  Sm.empty
+  |> Sm.add "required" (no_args field_loc)
+  |> Sm.add "distinct" (no_args field_loc)
+  |> Sm.add "noLoops" (no_args field_loc)
+  |> Sm.add "uniqueForTarget" (no_args field_loc)
+  |> Sm.add "requiredForTarget" (no_args field_loc)
+  |> Sm.add "key"
+       {
+         dd_args =
+           [
+             ( "fields",
+               {
+                 arg_type = Wrapped.List { item = "String"; item_non_null = true; non_null = true };
+                 arg_directives = [];
+                 arg_default = None;
+               } );
+           ];
+         dd_locations = [ Pg_sdl.Ast.Loc_object ];
+       }
+  |> Sm.add "deprecated"
+       {
+         dd_args =
+           [
+             ( "reason",
+               { arg_type = Wrapped.Named "String"; arg_directives = []; arg_default = None } );
+           ];
+         dd_locations = [ Pg_sdl.Ast.Loc_field_definition; Pg_sdl.Ast.Loc_enum_value ];
+       }
+
+let empty =
+  {
+    objects = Sm.empty;
+    interfaces = Sm.empty;
+    unions = Sm.empty;
+    enums = Sm.empty;
+    scalars = builtin_scalars;
+    directive_defs = standard_directive_defs;
+    implementations = Sm.empty;
+  }
+
+let type_kind s name =
+  if Sm.mem name s.objects then Some Object
+  else if Sm.mem name s.interfaces then Some Interface
+  else if Sm.mem name s.unions then Some Union
+  else if Sm.mem name s.enums then Some Enum
+  else if Sm.mem name s.scalars then Some Scalar
+  else None
+
+let mem_type s name = type_kind s name <> None
+
+let is_scalar_like s name =
+  match type_kind s name with Some (Scalar | Enum) -> true | Some _ | None -> false
+
+let is_composite s name =
+  match type_kind s name with
+  | Some (Object | Interface | Union) -> true
+  | Some _ | None -> false
+
+let fields s t =
+  match Sm.find_opt t s.objects with
+  | Some ot -> ot.ot_fields
+  | None -> (
+    match Sm.find_opt t s.interfaces with Some it -> it.it_fields | None -> [])
+
+let field s t f = List.assoc_opt f (fields s t)
+let type_f s t f = Option.map (fun fd -> fd.fd_type) (field s t f)
+let args s t f = match field s t f with Some fd -> fd.fd_args | None -> []
+let arg_type s t f a = Option.map (fun arg -> arg.arg_type) (List.assoc_opt a (args s t f))
+
+let directive_args s d =
+  Option.map (fun dd -> dd.dd_args) (Sm.find_opt d s.directive_defs)
+
+let union_members s ut =
+  match Sm.find_opt ut s.unions with Some u -> u.ut_members | None -> []
+
+let implementations_of s it =
+  match Sm.find_opt it s.implementations with Some l -> l | None -> []
+
+let names m = Sm.fold (fun k _ acc -> k :: acc) m [] |> List.rev
+let object_names s = names s.objects
+let interface_names s = names s.interfaces
+let union_names s = names s.unions
+let enum_names s = names s.enums
+let scalar_names s = names s.scalars
+let directive_names s = names s.directive_defs
+
+type field_class = Attribute | Relationship
+
+let classify_field s fd =
+  match type_kind s (Wrapped.basetype fd.fd_type) with
+  | Some (Scalar | Enum) -> Some Attribute
+  | Some (Object | Interface | Union) -> Some Relationship
+  | None -> None
+
+let find_directives ds name =
+  List.filter (fun du -> String.equal du.du_name name) ds
+
+let has_directive ds name = List.exists (fun du -> String.equal du.du_name name) ds
+
+let key_fields du =
+  match List.assoc_opt "fields" du.du_args with
+  | Some (Pg_sdl.Ast.List_value vs) ->
+    let strings =
+      List.filter_map (function Pg_sdl.Ast.String_value f -> Some f | _ -> None) vs
+    in
+    if List.length strings = List.length vs then Some strings else None
+  | Some _ | None -> None
+
+let rebuild_implementations s =
+  let implementations =
+    Sm.fold
+      (fun ot_name ot acc ->
+        List.fold_left
+          (fun acc it ->
+            Sm.update it
+              (function Some l -> Some (ot_name :: l) | None -> Some [ ot_name ])
+              acc)
+          acc ot.ot_interfaces)
+      s.objects Sm.empty
+  in
+  (* object names sorted for determinism *)
+  { s with implementations = Sm.map (List.sort String.compare) implementations }
+
+let add_object s name ot = rebuild_implementations { s with objects = Sm.add name ot s.objects }
+let add_interface s name it = { s with interfaces = Sm.add name it s.interfaces }
+let add_union s name ut = { s with unions = Sm.add name ut s.unions }
+let add_enum s name et = { s with enums = Sm.add name et s.enums }
+let add_scalar s name sc = { s with scalars = Sm.add name sc s.scalars }
+
+let add_directive_def s name dd =
+  { s with directive_defs = Sm.add name dd s.directive_defs }
+
+let size s =
+  let field_size (_, fd) = 1 + List.length fd.fd_args + List.length fd.fd_directives in
+  let fields_size fs = List.fold_left (fun acc f -> acc + field_size f) 0 fs in
+  Sm.fold (fun _ ot acc -> acc + 1 + fields_size ot.ot_fields + List.length ot.ot_directives) s.objects 0
+  + Sm.fold (fun _ it acc -> acc + 1 + fields_size it.it_fields) s.interfaces 0
+  + Sm.fold (fun _ ut acc -> acc + 1 + List.length ut.ut_members) s.unions 0
+  + Sm.fold (fun _ et acc -> acc + 1 + List.length et.et_values) s.enums 0
+  + Sm.cardinal s.scalars + Sm.cardinal s.directive_defs
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "schema: %d object, %d interface, %d union, %d enum, %d scalar type(s); %d directive(s)"
+    (Sm.cardinal s.objects) (Sm.cardinal s.interfaces) (Sm.cardinal s.unions)
+    (Sm.cardinal s.enums) (Sm.cardinal s.scalars)
+    (Sm.cardinal s.directive_defs)

@@ -1,0 +1,177 @@
+(** GraphQL schemas (paper Definition 4.1).
+
+    A schema [S] over finite sets [(F, A, T, S, D)] consists of the
+    assignments [typeS] (field, field-argument, and directive-argument
+    types), [unionS], [implementationS], and [directivesS].  This module
+    materializes those assignments as persistent maps together with the
+    helper functions [fieldsS], [argsS] of Section 4.2.
+
+    [T] is partitioned into object types [OT], interface types [IT], union
+    types [UT], and scalar types [S]; following the paper's footnote 1,
+    enum types are kept in [S] (they are "scalars" whose value set is the
+    set of declared enum symbols), but remain observable as enums through
+    {!type_kind}. *)
+
+type directive_use = { du_name : string; du_args : (string * Pg_sdl.Ast.value) list }
+(** One occurrence of a directive, e.g. [@key(fields: ["id"])]: an element
+    of [D x AV] (Definition 4.1). *)
+
+type argument = {
+  arg_type : Wrapped.t;  (** [typeAF_S((t, f), a)] or [typeAD_S(d, a)] *)
+  arg_directives : directive_use list;  (** [directivesAF_S] *)
+  arg_default : Pg_sdl.Ast.value option;
+}
+
+type field = {
+  fd_type : Wrapped.t;  (** [typeF_S(t, f)] *)
+  fd_args : (string * argument) list;  (** in declaration order *)
+  fd_directives : directive_use list;  (** [directivesF_S(t, f)] *)
+  fd_description : string option;
+}
+
+type object_type = {
+  ot_interfaces : string list;
+  ot_fields : (string * field) list;  (** in declaration order *)
+  ot_directives : directive_use list;
+  ot_description : string option;
+}
+
+type interface_type = {
+  it_fields : (string * field) list;
+  it_directives : directive_use list;
+  it_description : string option;
+}
+
+type union_type = {
+  ut_members : string list;  (** [unionS]; non-empty *)
+  ut_directives : directive_use list;
+  ut_description : string option;
+}
+
+type enum_type = {
+  et_values : string list;
+  et_directives : directive_use list;
+  et_description : string option;
+}
+
+type scalar_type = {
+  sc_builtin : bool;
+  sc_directives : directive_use list;
+  sc_description : string option;
+}
+
+type directive_def = {
+  dd_args : (string * argument) list;  (** [typeAD_S(d, -)] *)
+  dd_locations : Pg_sdl.Ast.directive_location list;
+}
+
+type t = {
+  objects : object_type Map.Make(String).t;
+  interfaces : interface_type Map.Make(String).t;
+  unions : union_type Map.Make(String).t;
+  enums : enum_type Map.Make(String).t;
+  scalars : scalar_type Map.Make(String).t;
+  directive_defs : directive_def Map.Make(String).t;
+  implementations : string list Map.Make(String).t;
+      (** [implementationS]: interface name -> implementing object types,
+          derived from the object types' [implements] clauses *)
+}
+
+type kind = Object | Interface | Union | Enum | Scalar
+
+val empty : t
+(** A schema with no user types; the five built-in scalars and the standard
+    directive definitions (see {!Std_directives}) are present. *)
+
+(** {1 The paper's lookup notation} *)
+
+val type_kind : t -> string -> kind option
+(** The partition cell of a named type, or [None] if the name is not in [T]. *)
+
+val mem_type : t -> string -> bool
+
+val is_scalar_like : t -> string -> bool
+(** [true] iff the named type is in [S] (a scalar or an enum type). *)
+
+val is_composite : t -> string -> bool
+(** [true] iff the named type is an object, interface, or union type. *)
+
+val fields : t -> string -> (string * field) list
+(** [fieldsS(t)] with full field records, for [t] an object or interface
+    type; [[]] for other names. *)
+
+val field : t -> string -> string -> field option
+(** [field s t f] is the field record of [(t, f)] when
+    [(t, f) ∈ dom(typeF_S)]. *)
+
+val type_f : t -> string -> string -> Wrapped.t option
+(** [typeF_S(t, f)]. *)
+
+val args : t -> string -> string -> (string * argument) list
+(** [argsS(t, f)] with argument records. *)
+
+val arg_type : t -> string -> string -> string -> Wrapped.t option
+(** [typeAF_S((t, f), a)]. *)
+
+val directive_args : t -> string -> (string * argument) list option
+(** [argsS(d)] with types ([typeAD_S]); [None] if the directive is not
+    declared. *)
+
+val union_members : t -> string -> string list
+(** [unionS(ut)]; [[]] for non-union names. *)
+
+val implementations_of : t -> string -> string list
+(** [implementationS(it)]; [[]] for non-interface names. *)
+
+val object_names : t -> string list
+(** [OT], sorted. *)
+
+val interface_names : t -> string list
+val union_names : t -> string list
+val enum_names : t -> string list
+val scalar_names : t -> string list
+(** [S] without the enum types. *)
+
+val directive_names : t -> string list
+
+(** {1 Field classification (paper Section 3.1)} *)
+
+type field_class =
+  | Attribute  (** base type is a scalar or enum: defines a node property *)
+  | Relationship  (** base type is an object, interface, or union: defines edges *)
+
+val classify_field : t -> field -> field_class option
+(** [None] when the base type is not in [T] (e.g. an input object type),
+    in which case the field definition is ignored per Section 3.6. *)
+
+(** {1 Directive occurrence helpers} *)
+
+val find_directives : directive_use list -> string -> directive_use list
+(** All occurrences with the given name, in order ([@key] may repeat). *)
+
+val has_directive : directive_use list -> string -> bool
+
+val key_fields : directive_use -> string list option
+(** For a [@key] occurrence, the value of its [fields] argument (a list of
+    property names); [None] if the argument is missing or ill-typed. *)
+
+(** {1 Construction (programmatic; most schemas come from {!Of_ast})} *)
+
+val add_object : t -> string -> object_type -> t
+val add_interface : t -> string -> interface_type -> t
+val add_union : t -> string -> union_type -> t
+val add_enum : t -> string -> enum_type -> t
+val add_scalar : t -> string -> scalar_type -> t
+val add_directive_def : t -> string -> directive_def -> t
+
+val rebuild_implementations : t -> t
+(** Recompute the derived [implementations] map from the object types;
+    called automatically by the [add_*] functions. *)
+
+(** {1 Statistics} *)
+
+val size : t -> int
+(** A size measure used in benchmarks: number of types + fields + arguments
+    + directive occurrences. *)
+
+val pp_summary : Format.formatter -> t -> unit

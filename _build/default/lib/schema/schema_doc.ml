@@ -1,0 +1,161 @@
+module Sm = Map.Make (String)
+
+let buf_line buf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt
+
+let directive_names (dus : Schema.directive_use list) =
+  List.map (fun (du : Schema.directive_use) -> "@" ^ du.Schema.du_name) dus
+
+let cardinality_label sch _owner (fd : Schema.field) =
+  ignore sch;
+  let list = Wrapped.is_list fd.Schema.fd_type in
+  let unique = Schema.has_directive fd.Schema.fd_directives "uniqueForTarget" in
+  let base =
+    match list, unique with
+    | false, true -> "1:1"
+    | false, false -> "1:N"
+    | true, true -> "N:1"
+    | true, false -> "N:M"
+  in
+  let marks =
+    (if Schema.has_directive fd.Schema.fd_directives "required" then [ "source mandatory" ]
+     else [])
+    @
+    if Schema.has_directive fd.Schema.fd_directives "requiredForTarget" then
+      [ "target mandatory" ]
+    else []
+  in
+  match marks with [] -> base | ms -> Printf.sprintf "%s (%s)" base (String.concat ", " ms)
+
+let describe_attribute (fd : Schema.field) =
+  match directive_names fd.Schema.fd_directives with
+  | [] -> "optional"
+  | ds -> String.concat ", " ds
+
+let to_markdown (sch : Schema.t) =
+  let buf = Buffer.create 2048 in
+  buf_line buf "# Schema documentation";
+  buf_line buf "";
+  (* keys per type for quick lookup *)
+  let keys_of (ot : Schema.object_type) =
+    List.filter_map Schema.key_fields (Schema.find_directives ot.Schema.ot_directives "key")
+  in
+  let interfaces_of name (ot : Schema.object_type) =
+    ignore name;
+    ot.Schema.ot_interfaces
+  in
+  let unions_containing name =
+    List.filter (fun u -> List.mem name (Schema.union_members sch u)) (Schema.union_names sch)
+  in
+  List.iter
+    (fun name ->
+      let ot = Sm.find name sch.Schema.objects in
+      buf_line buf "## type %s" name;
+      buf_line buf "";
+      (match ot.Schema.ot_description with
+      | Some d ->
+        buf_line buf "%s" d;
+        buf_line buf ""
+      | None -> ());
+      let memberships =
+        List.map (fun i -> "implements `" ^ i ^ "`") (interfaces_of name ot)
+        @ List.map (fun u -> "member of union `" ^ u ^ "`") (unions_containing name)
+      in
+      if memberships <> [] then begin
+        buf_line buf "%s" (String.concat "; " memberships);
+        buf_line buf ""
+      end;
+      (match keys_of ot with
+      | [] -> ()
+      | keys ->
+        List.iter
+          (fun fs -> buf_line buf "- key: [%s]" (String.concat ", " fs))
+          keys;
+        buf_line buf "");
+      let attributes, relationships =
+        List.partition
+          (fun (_, fd) -> Schema.classify_field sch fd = Some Schema.Attribute)
+          ot.Schema.ot_fields
+      in
+      if attributes <> [] then begin
+        buf_line buf "| property | type | constraints |";
+        buf_line buf "|---|---|---|";
+        List.iter
+          (fun (f, (fd : Schema.field)) ->
+            buf_line buf "| `%s` | `%s` | %s |" f
+              (Wrapped.to_string fd.Schema.fd_type)
+              (describe_attribute fd))
+          attributes;
+        buf_line buf ""
+      end;
+      if relationships <> [] then begin
+        buf_line buf "| edge | target | cardinality | directives | edge properties |";
+        buf_line buf "|---|---|---|---|---|";
+        List.iter
+          (fun (f, (fd : Schema.field)) ->
+            let props =
+              String.concat ", "
+                (List.map
+                   (fun (a, (arg : Schema.argument)) ->
+                     Printf.sprintf "`%s: %s`" a (Wrapped.to_string arg.Schema.arg_type))
+                   fd.Schema.fd_args)
+            in
+            buf_line buf "| `%s` | `%s` | %s | %s | %s |" f
+              (Wrapped.basetype fd.Schema.fd_type)
+              (cardinality_label sch name fd)
+              (String.concat " " (directive_names fd.Schema.fd_directives))
+              props)
+          relationships;
+        buf_line buf ""
+      end)
+    (Schema.object_names sch);
+  let interface_names = Schema.interface_names sch in
+  if interface_names <> [] then begin
+    buf_line buf "## Interfaces";
+    buf_line buf "";
+    List.iter
+      (fun i ->
+        buf_line buf "- `%s` implemented by %s" i
+          (String.concat ", "
+             (List.map (fun o -> "`" ^ o ^ "`") (Schema.implementations_of sch i))))
+      interface_names;
+    buf_line buf ""
+  end;
+  let union_names = Schema.union_names sch in
+  if union_names <> [] then begin
+    buf_line buf "## Unions";
+    buf_line buf "";
+    List.iter
+      (fun u ->
+        buf_line buf "- `%s` = %s" u
+          (String.concat " | " (List.map (fun m -> "`" ^ m ^ "`") (Schema.union_members sch u))))
+      union_names;
+    buf_line buf ""
+  end;
+  let enums = Schema.enum_names sch in
+  if enums <> [] then begin
+    buf_line buf "## Enums";
+    buf_line buf "";
+    List.iter
+      (fun e ->
+        let et = Sm.find e sch.Schema.enums in
+        buf_line buf "- `%s`: %s" e (String.concat ", " et.Schema.et_values))
+      enums;
+    buf_line buf ""
+  end;
+  let custom_scalars =
+    List.filter
+      (fun s -> not (Sm.find s sch.Schema.scalars).Schema.sc_builtin)
+      (Schema.scalar_names sch)
+  in
+  if custom_scalars <> [] then begin
+    buf_line buf "## Custom scalars";
+    buf_line buf "";
+    List.iter
+      (fun name ->
+        match (Sm.find name sch.Schema.scalars).Schema.sc_description with
+        | Some d -> buf_line buf "- `%s` — %s" name d
+        | None -> buf_line buf "- `%s`" name)
+      custom_scalars;
+    buf_line buf ""
+  end;
+  Buffer.contents buf

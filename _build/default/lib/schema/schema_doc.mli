@@ -1,0 +1,18 @@
+(** Human-readable documentation for Property Graph schemas.
+
+    Renders a schema as Markdown: one section per object type with its
+    attribute table (name, type, constraints), its relationship table
+    (label, target, cardinality in the paper's Section 3.3 terms,
+    directives, edge properties), interface/union membership, keys, and a
+    final section listing enums and custom scalars.  SDL descriptions are
+    carried through.
+
+    The cardinality column derives from the field shape exactly as the
+    paper's table: non-list = at most one outgoing, [@uniqueForTarget] =
+    at most one incoming, [@required] / [@requiredForTarget] make a side
+    mandatory. *)
+
+val to_markdown : Schema.t -> string
+
+val cardinality_label : Schema.t -> string -> Schema.field -> string
+(** e.g. ["1:N"], ["N:1 (mandatory)"]; exposed for tests. *)

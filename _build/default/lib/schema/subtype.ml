@@ -1,0 +1,45 @@
+let named sch t u =
+  String.equal t u
+  || List.exists (String.equal t) (Schema.implementations_of sch u)
+  || List.exists (String.equal t) (Schema.union_members sch u)
+
+(* Subtyping between list item references, where an item is a named type
+   optionally wrapped non-null.  With a non-null item on the right, only
+   rule 7 applies; otherwise rules 1/6 collapse to the named relation. *)
+let item_sub sch (t, t_non_null) (u, u_non_null) =
+  if u_non_null then t_non_null && named sch t u else named sch t u
+
+let wrapped sch (a : Wrapped.t) (b : Wrapped.t) =
+  match a, b with
+  | Wrapped.Named t, Wrapped.Named u -> named sch t u
+  | Wrapped.Non_null t, Wrapped.Named u -> named sch t u (* rule 6 *)
+  | Wrapped.Non_null t, Wrapped.Non_null u -> named sch t u (* rule 7 *)
+  | Wrapped.Named _, Wrapped.Non_null _ ->
+    false (* only rules 1 and 7 produce a non-null right-hand side *)
+  | Wrapped.Named t, Wrapped.List { item; item_non_null; non_null } ->
+    (* rule 5; a plain type is never ⊑ a non-null list *)
+    (not non_null) && item_sub sch (t, false) (item, item_non_null)
+  | Wrapped.Non_null t, Wrapped.List { item; item_non_null; non_null } ->
+    if non_null then
+      (* rule 7: t ⊑ [item...] required, with a plain t on the left *)
+      (not item_non_null) && named sch t item
+    else
+      (* rule 6 (via Named t ⊑ [..]) or rule 5 with a non-null left item *)
+      item_sub sch (t, false) (item, item_non_null)
+      || item_sub sch (t, true) (item, item_non_null)
+  | Wrapped.List _, (Wrapped.Named _ | Wrapped.Non_null _) -> false
+  | Wrapped.List la, Wrapped.List lb ->
+    (* rules 4, 6, 7 on the outer wrappers; a plain list is never ⊑ a
+       non-null list *)
+    ((not lb.non_null) || la.non_null)
+    && item_sub sch (la.item, la.item_non_null) (lb.item, lb.item_non_null)
+
+let all_named sch =
+  Schema.object_names sch @ Schema.interface_names sch @ Schema.union_names sch
+  @ Schema.enum_names sch @ Schema.scalar_names sch
+
+let supertypes sch t =
+  List.filter (fun u -> named sch t u) (all_named sch) |> List.sort_uniq String.compare
+
+let subtypes sch u =
+  List.filter (fun t -> named sch t u) (all_named sch) |> List.sort_uniq String.compare

@@ -1,0 +1,25 @@
+(** The subtype relation [⊑S] (paper Section 4.3).
+
+    [⊑S] is the smallest relation over [T ∪ WT] closed under the seven
+    rules: (1) reflexivity, (2) interface implementation, (3) union
+    membership, (4) list covariance, (5) injection into a list, (6)
+    dropping non-null on the left, and (7) non-null covariance.
+
+    In June-2018 GraphQL, interfaces implement nothing and unions contain
+    only object types, so the named-type fragment of the relation has no
+    nontrivial transitive chains; the wrapped fragment is decided
+    structurally by the rules. *)
+
+val named : Schema.t -> string -> string -> bool
+(** [named s t u] decides [t ⊑S u] for named types. *)
+
+val wrapped : Schema.t -> Wrapped.t -> Wrapped.t -> bool
+(** [wrapped s a b] decides [a ⊑S b] over [T ∪ WT]. *)
+
+val supertypes : Schema.t -> string -> string list
+(** All named types [u] with [t ⊑S u], including [t]; sorted.  Used by the
+    indexed validator to precompute per-label applicability of directive
+    constraints. *)
+
+val subtypes : Schema.t -> string -> string list
+(** All named types [t] with [t ⊑S u], including [u]; sorted. *)

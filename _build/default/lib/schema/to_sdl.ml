@@ -1,0 +1,144 @@
+module Ast = Pg_sdl.Ast
+module Sm = Map.Make (String)
+
+let span = Pg_sdl.Source.dummy_span
+
+let directive_ast (du : Schema.directive_use) : Ast.directive =
+  { Ast.d_name = du.Schema.du_name; d_arguments = du.Schema.du_args; d_span = span }
+
+let directives_ast dus = List.map directive_ast dus
+
+let argument_ast (name, (arg : Schema.argument)) : Ast.input_value_def =
+  {
+    Ast.iv_description = None;
+    iv_name = name;
+    iv_type = Wrapped.to_ast arg.Schema.arg_type;
+    iv_default = arg.Schema.arg_default;
+    iv_directives = directives_ast arg.Schema.arg_directives;
+    iv_span = span;
+  }
+
+let field_ast (name, (fd : Schema.field)) : Ast.field_def =
+  {
+    Ast.f_description = fd.Schema.fd_description;
+    f_name = name;
+    f_arguments = List.map argument_ast fd.Schema.fd_args;
+    f_type = Wrapped.to_ast fd.Schema.fd_type;
+    f_directives = directives_ast fd.Schema.fd_directives;
+    f_span = span;
+  }
+
+let standard_directives = Schema.directive_names Schema.empty
+
+let ast (sch : Schema.t) : Ast.document =
+  let directive_defs =
+    Sm.fold
+      (fun name (dd : Schema.directive_def) acc ->
+        if List.mem name standard_directives then acc
+        else
+          Ast.Directive_definition
+            {
+              Ast.dd_description = None;
+              dd_name = name;
+              dd_arguments = List.map argument_ast dd.Schema.dd_args;
+              dd_locations = dd.Schema.dd_locations;
+              dd_span = span;
+            }
+          :: acc)
+      sch.Schema.directive_defs []
+    |> List.rev
+  in
+  let scalars =
+    Sm.fold
+      (fun name (sc : Schema.scalar_type) acc ->
+        if sc.Schema.sc_builtin then acc
+        else
+          Ast.Type_definition
+            (Ast.Scalar_type
+               {
+                 Ast.s_description = sc.Schema.sc_description;
+                 s_name = name;
+                 s_directives = directives_ast sc.Schema.sc_directives;
+                 s_span = span;
+               })
+          :: acc)
+      sch.Schema.scalars []
+    |> List.rev
+  in
+  let enums =
+    Sm.fold
+      (fun name (et : Schema.enum_type) acc ->
+        Ast.Type_definition
+          (Ast.Enum_type
+             {
+               Ast.e_description = et.Schema.et_description;
+               e_name = name;
+               e_directives = directives_ast et.Schema.et_directives;
+               e_values =
+                 List.map
+                   (fun v ->
+                     {
+                       Ast.ev_description = None;
+                       ev_name = v;
+                       ev_directives = [];
+                       ev_span = span;
+                     })
+                   et.Schema.et_values;
+               e_span = span;
+             })
+        :: acc)
+      sch.Schema.enums []
+    |> List.rev
+  in
+  let interfaces =
+    Sm.fold
+      (fun name (it : Schema.interface_type) acc ->
+        Ast.Type_definition
+          (Ast.Interface_type
+             {
+               Ast.i_description = it.Schema.it_description;
+               i_name = name;
+               i_directives = directives_ast it.Schema.it_directives;
+               i_fields = List.map field_ast it.Schema.it_fields;
+               i_span = span;
+             })
+        :: acc)
+      sch.Schema.interfaces []
+    |> List.rev
+  in
+  let unions =
+    Sm.fold
+      (fun name (ut : Schema.union_type) acc ->
+        Ast.Type_definition
+          (Ast.Union_type
+             {
+               Ast.u_description = ut.Schema.ut_description;
+               u_name = name;
+               u_directives = directives_ast ut.Schema.ut_directives;
+               u_members = ut.Schema.ut_members;
+               u_span = span;
+             })
+        :: acc)
+      sch.Schema.unions []
+    |> List.rev
+  in
+  let objects =
+    Sm.fold
+      (fun name (ot : Schema.object_type) acc ->
+        Ast.Type_definition
+          (Ast.Object_type
+             {
+               Ast.o_description = ot.Schema.ot_description;
+               o_name = name;
+               o_interfaces = ot.Schema.ot_interfaces;
+               o_directives = directives_ast ot.Schema.ot_directives;
+               o_fields = List.map field_ast ot.Schema.ot_fields;
+               o_span = span;
+             })
+        :: acc)
+      sch.Schema.objects []
+    |> List.rev
+  in
+  directive_defs @ scalars @ enums @ interfaces @ unions @ objects
+
+let to_string sch = Pg_sdl.Printer.document_to_string (ast sch)

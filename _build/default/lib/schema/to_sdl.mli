@@ -1,0 +1,9 @@
+(** Rendering formal schemas back to SDL documents.
+
+    [ast] produces a canonical document: custom directive definitions,
+    custom scalars, enums, interfaces, unions, then object types, each in
+    alphabetical order.  [Of_ast.build (ast s)] reproduces a schema equal
+    to [s] up to ordering; this round-trip is property-tested. *)
+
+val ast : Schema.t -> Pg_sdl.Ast.document
+val to_string : Schema.t -> string

@@ -1,0 +1,92 @@
+module Sm = Map.Make (String)
+module Value = Pg_graph.Value
+module Ast = Pg_sdl.Ast
+
+type env = (Value.t -> bool) Sm.t
+
+let default_env = Sm.empty
+let register env name p = Sm.add name p env
+
+(* GraphQL Int is a signed 32-bit integer (spec 3.5.1). *)
+let int32_min = -2147483648
+let int32_max = 2147483647
+
+let builtin_mem name (v : Value.t) =
+  match name, v with
+  | "Int", Value.Int i -> i >= int32_min && i <= int32_max
+  | "Float", (Value.Float _ | Value.Int _) -> true
+  | "String", Value.String _ -> true
+  | "Boolean", Value.Bool _ -> true
+  | "ID", (Value.Id _ | Value.String _ | Value.Int _) -> true
+  | _, _ -> false
+
+let scalar_mem ?(env = default_env) sch name v =
+  match Schema.type_kind sch name with
+  | Some Schema.Enum -> (
+    match v with
+    | Value.Enum sym -> (
+      match Sm.find_opt name sch.Schema.enums with
+      | Some et -> List.exists (String.equal sym) et.Schema.et_values
+      | None -> false)
+    | _ -> false)
+  | Some Schema.Scalar -> (
+    match Sm.find_opt name sch.Schema.scalars with
+    | Some sc when sc.Schema.sc_builtin -> builtin_mem name v
+    | Some _ -> (
+      match Sm.find_opt name env with
+      | Some p -> Value.is_atomic v && p v
+      | None -> Value.is_atomic v)
+    | None -> false)
+  | Some (Schema.Object | Schema.Interface | Schema.Union) | None -> false
+
+let mem ?(env = default_env) sch (wt : Wrapped.t) v =
+  match wt with
+  | Wrapped.Named t | Wrapped.Non_null t -> scalar_mem ~env sch t v
+  | Wrapped.List { item; _ } -> (
+    match v with
+    | Value.List elems -> List.for_all (scalar_mem ~env sch item) elems
+    | _ -> false)
+
+let value_of_ast (v : Ast.value) =
+  let rec go = function
+    | Ast.Int_value i -> Some (Value.Int i)
+    | Ast.Float_value f -> Some (Value.Float f)
+    | Ast.String_value s -> Some (Value.String s)
+    | Ast.Boolean_value b -> Some (Value.Bool b)
+    | Ast.Enum_value e -> Some (Value.Enum e)
+    | Ast.Null_value | Ast.Object_value _ -> None
+    | Ast.List_value vs ->
+      let elems = List.map go vs in
+      if List.for_all Option.is_some elems then
+        Some (Value.List (List.filter_map Fun.id elems))
+      else None
+  in
+  go v
+
+let rec ast_of_value (v : Value.t) : Ast.value =
+  match v with
+  | Value.Int i -> Ast.Int_value i
+  | Value.Float f -> Ast.Float_value f
+  | Value.String s -> Ast.String_value s
+  | Value.Bool b -> Ast.Boolean_value b
+  | Value.Id s -> Ast.String_value s
+  | Value.Enum e -> Ast.Enum_value e
+  | Value.List vs -> Ast.List_value (List.map ast_of_value vs)
+
+let ast_mem ?(env = default_env) sch (wt : Wrapped.t) (v : Ast.value) =
+  match wt, v with
+  | (Wrapped.Named _ | Wrapped.List { non_null = false; _ }), Ast.Null_value -> true
+  | (Wrapped.Non_null _ | Wrapped.List { non_null = true; _ }), Ast.Null_value -> false
+  | (Wrapped.Named t | Wrapped.Non_null t), _ -> (
+    match value_of_ast v with Some pv -> scalar_mem ~env sch t pv | None -> false)
+  | Wrapped.List { item; item_non_null; _ }, Ast.List_value elems ->
+    List.for_all
+      (fun e ->
+        match e with
+        | Ast.Null_value -> not item_non_null
+        | _ -> (
+          match value_of_ast e with
+          | Some pv -> scalar_mem ~env sch item pv
+          | None -> false))
+      elems
+  | Wrapped.List _, _ -> false

@@ -1,0 +1,48 @@
+(** The semantics of scalar and wrapped scalar types: the functions
+    [values] and [valuesW] of paper Section 4.1.
+
+    [values : Scalars -> 2^Vals] assigns a value set to every scalar type.
+    For the five built-ins the sets are fixed (with the input-coercion
+    tolerances of the GraphQL spec: [Float] accepts integer values, [ID]
+    accepts strings and integers).  Enum types accept their declared
+    symbols.  A user-declared scalar type (e.g. [scalar Time]) accepts any
+    atomic value by default — the paper treats scalar-value membership as
+    an oracle — unless a predicate is registered in the {!env}.
+
+    [valuesW] extends [values] to wrapped types: non-null strips [null],
+    list wraps into finite lists.  Property values stored in a graph
+    ([sigma]) can never be [null] (sigma is partial instead), so for stored
+    values nullability only matters inside directive arguments; {!ast_mem}
+    covers that case. *)
+
+type env
+(** Registered semantics for user-declared scalar types. *)
+
+val default_env : env
+(** Every custom scalar accepts every atomic value. *)
+
+val register : env -> string -> (Pg_graph.Value.t -> bool) -> env
+(** [register env name p] makes the custom scalar [name] accept exactly the
+    atomic values satisfying [p]. *)
+
+val scalar_mem : ?env:env -> Schema.t -> string -> Pg_graph.Value.t -> bool
+(** [scalar_mem schema t v] decides [v ∈ values(t)] for [t ∈ S].  Returns
+    [false] if [t] is not a scalar or enum type of the schema. *)
+
+val mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_graph.Value.t -> bool
+(** [mem schema wt v] decides [v ∈ valuesW(wt)] for a stored (non-null)
+    property value.  List types require an actual list value whose elements
+    are in the item type's value set ("the property value must be an array
+    of values of the wrapped type", Section 3.2). *)
+
+val ast_mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_sdl.Ast.value -> bool
+(** Membership for constant AST values, used to check directive argument
+    values (Definition 4.4(2)); here [null] is a possible value and is in
+    [valuesW(t)] exactly when the outermost wrapper is not non-null. *)
+
+val value_of_ast : Pg_sdl.Ast.value -> Pg_graph.Value.t option
+(** Convert a constant AST value into a storable property value; [None] for
+    [null] and for object values, which cannot be property values. *)
+
+val ast_of_value : Pg_graph.Value.t -> Pg_sdl.Ast.value
+(** The embedding of property values into constant AST values. *)

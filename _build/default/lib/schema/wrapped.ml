@@ -1,0 +1,57 @@
+module Ast = Pg_sdl.Ast
+module Printer = Pg_sdl.Printer
+
+type t =
+  | Named of string
+  | Non_null of string
+  | List of { item : string; item_non_null : bool; non_null : bool }
+
+let basetype = function Named t | Non_null t -> t | List { item; _ } -> item
+let is_list = function List _ -> true | Named _ | Non_null _ -> false
+
+let is_non_null = function
+  | Non_null _ -> true
+  | List { non_null; _ } -> non_null
+  | Named _ -> false
+
+let of_ast (ty : Ast.type_ref) =
+  match ty with
+  | Ast.Named_type t -> Ok (Named t)
+  | Ast.Non_null_type (Ast.Named_type t) -> Ok (Non_null t)
+  | Ast.List_type (Ast.Named_type item) ->
+    Ok (List { item; item_non_null = false; non_null = false })
+  | Ast.List_type (Ast.Non_null_type (Ast.Named_type item)) ->
+    Ok (List { item; item_non_null = true; non_null = false })
+  | Ast.Non_null_type (Ast.List_type (Ast.Named_type item)) ->
+    Ok (List { item; item_non_null = false; non_null = true })
+  | Ast.Non_null_type (Ast.List_type (Ast.Non_null_type (Ast.Named_type item))) ->
+    Ok (List { item; item_non_null = true; non_null = true })
+  | _ ->
+    Error
+      "nested list types are outside the Property Graph schema formalization \
+       (only t, t!, [t], [t!], [t]!, and [t!]! are allowed)"
+
+let to_ast = function
+  | Named t -> Ast.Named_type t
+  | Non_null t -> Ast.Non_null_type (Ast.Named_type t)
+  | List { item; item_non_null; non_null } ->
+    let inner : Ast.type_ref =
+      if item_non_null then Ast.Non_null_type (Ast.Named_type item) else Ast.Named_type item
+    in
+    let listed = Ast.List_type inner in
+    if non_null then Ast.Non_null_type listed else listed
+
+let to_string t = Printer.type_ref_to_string (to_ast t)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (t1 : t) t2 = t1 = t2
+let compare (t1 : t) t2 = Stdlib.compare t1 t2
+
+let all_wrappings item =
+  [
+    Named item;
+    Non_null item;
+    List { item; item_non_null = false; non_null = false };
+    List { item; item_non_null = true; non_null = false };
+    List { item; item_non_null = false; non_null = true };
+    List { item; item_non_null = true; non_null = true };
+  ]

@@ -1,0 +1,42 @@
+(** Wrapping types (paper Section 4.1; GraphQL spec 3.4.1, 3.11, 3.12).
+
+    Given a named type [t], the formalization allows exactly the wrapped
+    forms [t!], [[t]], [[t!]], and [[t]!], [[t!]!]; together with the plain
+    named type this gives six type references.  Nested list types ([[ [t] ]])
+    are legal GraphQL but are outside the paper's formalization and are
+    rejected when translating from the AST. *)
+
+type t =
+  | Named of string  (** [t] *)
+  | Non_null of string  (** [t!] *)
+  | List of { item : string; item_non_null : bool; non_null : bool }
+      (** [[t]], [[t!]], [[t]!], [[t!]!] *)
+
+val basetype : t -> string
+(** The underlying named type (paper's [basetype] function). *)
+
+val is_list : t -> bool
+(** [true] for the four list forms.  Rule WS4 constrains fields whose type
+    is {e not} a list type ("not a list type or a list type wrapped in
+    non-null type") to at most one edge per source node. *)
+
+val is_non_null : t -> bool
+(** [true] iff the outermost wrapper is non-null ([t!], [[t]!], [[t!]!]). *)
+
+val of_ast : Pg_sdl.Ast.type_ref -> (t, string) result
+(** Translate an AST type reference; fails on nested lists with an
+    explanatory message. *)
+
+val to_ast : t -> Pg_sdl.Ast.type_ref
+
+val to_string : t -> string
+(** SDL syntax, e.g. ["[String!]!"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all_wrappings : string -> t list
+(** The six type references over a named type, in a fixed order; used by
+    generators and by the AC0-style enumeration in the validator. *)

@@ -1,0 +1,1 @@
+lib/sdl/ast.ml: Float List Source String

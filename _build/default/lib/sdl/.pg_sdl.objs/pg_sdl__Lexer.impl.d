@@ -1,0 +1,1 @@
+lib/sdl/lexer.ml: Buffer Bytes Char List Printf Result Source String Token

@@ -1,0 +1,1 @@
+lib/sdl/lexer.mli: Source Token

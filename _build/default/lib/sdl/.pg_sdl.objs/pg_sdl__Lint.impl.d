@@ -1,0 +1,1 @@
+lib/sdl/lint.ml: Ast Format Fun Hashtbl List Printf Source String

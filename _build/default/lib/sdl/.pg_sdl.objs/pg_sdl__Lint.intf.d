@@ -1,0 +1,1 @@
+lib/sdl/lint.mli: Ast Format Source

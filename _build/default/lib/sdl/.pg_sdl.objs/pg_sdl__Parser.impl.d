@@ -1,0 +1,1 @@
+lib/sdl/parser.ml: Array Ast Format Lexer List Result Source String Token

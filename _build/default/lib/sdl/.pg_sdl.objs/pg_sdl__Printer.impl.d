@@ -1,0 +1,1 @@
+lib/sdl/printer.ml: Ast Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/sdl/printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/sdl/source.ml: Format

@@ -1,0 +1,1 @@
+lib/sdl/token.ml: Buffer Char Format Printf Source String

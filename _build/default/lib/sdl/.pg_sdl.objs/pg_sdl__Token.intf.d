@@ -1,0 +1,1 @@
+lib/sdl/token.mli: Format Source

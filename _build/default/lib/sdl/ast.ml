@@ -1,0 +1,257 @@
+(** Abstract syntax of GraphQL SDL documents (June 2018 Edition, Section 3).
+
+    The AST covers the complete type-system sublanguage: schema definitions,
+    all six kinds of type definitions, directive definitions, type
+    extensions, descriptions, and constant values.  Executable definitions
+    (queries etc.) are outside the scope of this library. *)
+
+type span = Source.span
+
+(** Constant input values (spec 2.9); variables cannot occur in an SDL
+    document, so only the [Const] variants exist. *)
+type value =
+  | Int_value of int
+  | Float_value of float
+  | String_value of string
+  | Boolean_value of bool
+  | Null_value
+  | Enum_value of string
+  | List_value of value list
+  | Object_value of (string * value) list
+
+(** Type references (spec 3.4.1): named, list, and non-null wrapping types.
+    Well-formedness (a non-null type cannot wrap a non-null type) is
+    enforced by the parser, not by this type. *)
+type type_ref = Named_type of string | List_type of type_ref | Non_null_type of type_ref
+
+type directive = { d_name : string; d_arguments : (string * value) list; d_span : span }
+
+(** An InputValueDefinition: an argument of a field or directive, or a
+    field of an input object type. *)
+type input_value_def = {
+  iv_description : string option;
+  iv_name : string;
+  iv_type : type_ref;
+  iv_default : value option;
+  iv_directives : directive list;
+  iv_span : span;
+}
+
+type field_def = {
+  f_description : string option;
+  f_name : string;
+  f_arguments : input_value_def list;
+  f_type : type_ref;
+  f_directives : directive list;
+  f_span : span;
+}
+
+type enum_value_def = {
+  ev_description : string option;
+  ev_name : string;
+  ev_directives : directive list;
+  ev_span : span;
+}
+
+type object_def = {
+  o_description : string option;
+  o_name : string;
+  o_interfaces : string list;
+  o_directives : directive list;
+  o_fields : field_def list;
+  o_span : span;
+}
+
+type interface_def = {
+  i_description : string option;
+  i_name : string;
+  i_directives : directive list;
+  i_fields : field_def list;
+  i_span : span;
+}
+
+type union_def = {
+  u_description : string option;
+  u_name : string;
+  u_directives : directive list;
+  u_members : string list;
+  u_span : span;
+}
+
+type scalar_def = {
+  s_description : string option;
+  s_name : string;
+  s_directives : directive list;
+  s_span : span;
+}
+
+type enum_def = {
+  e_description : string option;
+  e_name : string;
+  e_directives : directive list;
+  e_values : enum_value_def list;
+  e_span : span;
+}
+
+type input_object_def = {
+  io_description : string option;
+  io_name : string;
+  io_directives : directive list;
+  io_fields : input_value_def list;
+  io_span : span;
+}
+
+type type_def =
+  | Scalar_type of scalar_def
+  | Object_type of object_def
+  | Interface_type of interface_def
+  | Union_type of union_def
+  | Enum_type of enum_def
+  | Input_object_type of input_object_def
+
+(** Type extensions (spec 3.2 onwards, "extend ..."). *)
+type type_extension =
+  | Scalar_extension of scalar_def
+  | Object_extension of object_def
+  | Interface_extension of interface_def
+  | Union_extension of union_def
+  | Enum_extension of enum_def
+  | Input_object_extension of input_object_def
+
+type operation_type = Query | Mutation | Subscription
+
+type schema_def = {
+  sd_directives : directive list;
+  sd_operations : (operation_type * string) list;
+  sd_span : span;
+}
+
+(** ExecutableDirectiveLocation and TypeSystemDirectiveLocation (spec 3.13). *)
+type directive_location =
+  | Loc_query
+  | Loc_mutation
+  | Loc_subscription
+  | Loc_field
+  | Loc_fragment_definition
+  | Loc_fragment_spread
+  | Loc_inline_fragment
+  | Loc_schema
+  | Loc_scalar
+  | Loc_object
+  | Loc_field_definition
+  | Loc_argument_definition
+  | Loc_interface
+  | Loc_union
+  | Loc_enum
+  | Loc_enum_value
+  | Loc_input_object
+  | Loc_input_field_definition
+
+type directive_def = {
+  dd_description : string option;
+  dd_name : string;
+  dd_arguments : input_value_def list;
+  dd_locations : directive_location list;
+  dd_span : span;
+}
+
+type definition =
+  | Schema_definition of schema_def
+  | Type_definition of type_def
+  | Type_extension of type_extension
+  | Directive_definition of directive_def
+
+type document = definition list
+
+(* ------------------------------------------------------------------ *)
+(* Accessors used across the code base.                                *)
+
+let type_def_name = function
+  | Scalar_type d -> d.s_name
+  | Object_type d -> d.o_name
+  | Interface_type d -> d.i_name
+  | Union_type d -> d.u_name
+  | Enum_type d -> d.e_name
+  | Input_object_type d -> d.io_name
+
+let type_def_span = function
+  | Scalar_type d -> d.s_span
+  | Object_type d -> d.o_span
+  | Interface_type d -> d.i_span
+  | Union_type d -> d.u_span
+  | Enum_type d -> d.e_span
+  | Input_object_type d -> d.io_span
+
+let rec base_type_name = function
+  | Named_type n -> n
+  | List_type t | Non_null_type t -> base_type_name t
+
+let operation_type_name = function
+  | Query -> "query"
+  | Mutation -> "mutation"
+  | Subscription -> "subscription"
+
+let directive_location_name = function
+  | Loc_query -> "QUERY"
+  | Loc_mutation -> "MUTATION"
+  | Loc_subscription -> "SUBSCRIPTION"
+  | Loc_field -> "FIELD"
+  | Loc_fragment_definition -> "FRAGMENT_DEFINITION"
+  | Loc_fragment_spread -> "FRAGMENT_SPREAD"
+  | Loc_inline_fragment -> "INLINE_FRAGMENT"
+  | Loc_schema -> "SCHEMA"
+  | Loc_scalar -> "SCALAR"
+  | Loc_object -> "OBJECT"
+  | Loc_field_definition -> "FIELD_DEFINITION"
+  | Loc_argument_definition -> "ARGUMENT_DEFINITION"
+  | Loc_interface -> "INTERFACE"
+  | Loc_union -> "UNION"
+  | Loc_enum -> "ENUM"
+  | Loc_enum_value -> "ENUM_VALUE"
+  | Loc_input_object -> "INPUT_OBJECT"
+  | Loc_input_field_definition -> "INPUT_FIELD_DEFINITION"
+
+let directive_location_of_name = function
+  | "QUERY" -> Some Loc_query
+  | "MUTATION" -> Some Loc_mutation
+  | "SUBSCRIPTION" -> Some Loc_subscription
+  | "FIELD" -> Some Loc_field
+  | "FRAGMENT_DEFINITION" -> Some Loc_fragment_definition
+  | "FRAGMENT_SPREAD" -> Some Loc_fragment_spread
+  | "INLINE_FRAGMENT" -> Some Loc_inline_fragment
+  | "SCHEMA" -> Some Loc_schema
+  | "SCALAR" -> Some Loc_scalar
+  | "OBJECT" -> Some Loc_object
+  | "FIELD_DEFINITION" -> Some Loc_field_definition
+  | "ARGUMENT_DEFINITION" -> Some Loc_argument_definition
+  | "INTERFACE" -> Some Loc_interface
+  | "UNION" -> Some Loc_union
+  | "ENUM" -> Some Loc_enum
+  | "ENUM_VALUE" -> Some Loc_enum_value
+  | "INPUT_OBJECT" -> Some Loc_input_object
+  | "INPUT_FIELD_DEFINITION" -> Some Loc_input_field_definition
+  | _ -> None
+
+let rec equal_value v1 v2 =
+  match v1, v2 with
+  | Int_value a, Int_value b -> a = b
+  | Float_value a, Float_value b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | String_value a, String_value b -> String.equal a b
+  | Boolean_value a, Boolean_value b -> a = b
+  | Null_value, Null_value -> true
+  | Enum_value a, Enum_value b -> String.equal a b
+  | List_value a, List_value b ->
+    List.length a = List.length b && List.for_all2 equal_value a b
+  | Object_value a, Object_value b ->
+    List.length a = List.length b
+    && List.for_all2 (fun (k1, x1) (k2, x2) -> String.equal k1 k2 && equal_value x1 x2) a b
+  | ( ( Int_value _ | Float_value _ | String_value _ | Boolean_value _ | Null_value
+      | Enum_value _ | List_value _ | Object_value _ ),
+      _ ) ->
+    false
+
+let rec equal_type_ref t1 t2 =
+  match t1, t2 with
+  | Named_type a, Named_type b -> String.equal a b
+  | List_type a, List_type b | Non_null_type a, Non_null_type b -> equal_type_ref a b
+  | (Named_type _ | List_type _ | Non_null_type _), _ -> false

@@ -1,0 +1,326 @@
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+exception Error of Source.error
+
+let fail st ?(at : Source.span option) message =
+  let here : Source.pos = { line = st.line; column = st.column; offset = st.offset } in
+  let at = match at with Some s -> s | None -> Source.span here here in
+  raise (Error { at; message })
+
+let pos st : Source.pos = { line = st.line; column = st.column; offset = st.offset }
+let peek st = if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* SourceCharacter (spec 2.1.1): tab, LF, CR, or anything >= U+0020.  We
+   work on bytes, so UTF-8 continuation bytes (>= 0x80) are accepted. *)
+let is_source_char c =
+  let n = Char.code c in
+  n = 0x09 || n = 0x0A || n = 0x0D || n >= 0x20
+
+let skip_ignored st =
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | ',' | '\n' | '\r') ->
+      advance st;
+      loop ()
+    | Some '\xEF' when peek2 st = Some '\xBB' ->
+      (* Unicode BOM *)
+      advance st;
+      advance st;
+      advance st;
+      loop ()
+    | Some '#' ->
+      let rec comment () =
+        match peek st with
+        | Some ('\n' | '\r') | None -> ()
+        | Some _ ->
+          advance st;
+          comment ()
+      in
+      comment ();
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let name st =
+  let start = st.offset in
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  advance st;
+  loop ();
+  String.sub st.src start (st.offset - start)
+
+(* IntValue / FloatValue (spec 2.9.1, 2.9.2).  A NameStart or '.' directly
+   after a number is a lexical error ("123abc", "1.2.3"). *)
+let number st =
+  let start = st.offset in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  (match peek st with
+  | Some '0' ->
+    advance st;
+    (match peek st with
+    | Some c when is_digit c -> fail st "invalid number: leading zero"
+    | _ -> ())
+  | Some c when is_digit c ->
+    let rec digits () =
+      match peek st with
+      | Some c when is_digit c ->
+        advance st;
+        digits ()
+      | _ -> ()
+    in
+    digits ()
+  | _ -> fail st "invalid number: expected a digit");
+  (match peek st with
+  | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+    is_float := true;
+    advance st;
+    let rec digits () =
+      match peek st with
+      | Some c when is_digit c ->
+        advance st;
+        digits ()
+      | _ -> ()
+    in
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    (match peek st with
+    | Some c when is_digit c ->
+      let rec digits () =
+        match peek st with
+        | Some c when is_digit c ->
+          advance st;
+          digits ()
+        | _ -> ()
+      in
+      digits ()
+    | _ -> fail st "invalid number: malformed exponent")
+  | _ -> ());
+  (match peek st with
+  | Some c when is_name_start c || c = '.' ->
+    fail st (Printf.sprintf "invalid number: unexpected %C after numeric literal" c)
+  | _ -> ());
+  let text = String.sub st.src start (st.offset - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Token.Float f
+    | None -> fail st (Printf.sprintf "invalid float literal %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.Int i
+    | None -> fail st (Printf.sprintf "integer literal %S out of range" text)
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let unicode_escape st =
+  let hex = Bytes.create 4 in
+  for i = 0 to 3 do
+    match peek st with
+    | Some c when (is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) ->
+      Bytes.set hex i c;
+      advance st
+    | _ -> fail st "malformed \\u escape: expected four hex digits"
+  done;
+  int_of_string ("0x" ^ Bytes.to_string hex)
+
+(* The opening double-quote has been consumed. *)
+let string_value st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string value"
+    | Some ('\n' | '\r') -> fail st "unterminated string value: raw line terminator"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'u' ->
+        advance st;
+        add_utf8 buf (unicode_escape st)
+      | Some c -> fail st (Printf.sprintf "invalid escape sequence \\%c" c)
+      | None -> fail st "unterminated escape sequence");
+      loop ()
+    | Some c when is_source_char c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+    | Some c -> fail st (Printf.sprintf "invalid source character %C in string" c)
+  in
+  loop ();
+  Buffer.contents buf
+
+(* BlockStringValue dedent algorithm (spec 2.9.4). *)
+let dedent_block raw =
+  let lines = String.split_on_char '\n' raw in
+  let lines = List.map (fun l -> if String.length l > 0 && l.[String.length l - 1] = '\r' then String.sub l 0 (String.length l - 1) else l) lines in
+  let is_blank l = String.for_all (fun c -> c = ' ' || c = '\t') l in
+  let indent_of l =
+    let rec go i = if i < String.length l && (l.[i] = ' ' || l.[i] = '\t') then go (i + 1) else i in
+    go 0
+  in
+  let common_indent =
+    List.fold_left
+      (fun acc l -> if is_blank l then acc else match acc with None -> Some (indent_of l) | Some n -> Some (min n (indent_of l)))
+      None
+      (match lines with [] -> [] | _ :: rest -> rest)
+  in
+  let strip l =
+    match common_indent with
+    | Some n when String.length l >= n -> String.sub l n (String.length l - n)
+    | Some _ | None -> l
+  in
+  let lines =
+    match lines with [] -> [] | first :: rest -> first :: List.map strip rest
+  in
+  (* remove leading and trailing blank lines *)
+  let rec drop_leading = function l :: rest when is_blank l -> drop_leading rest | ls -> ls in
+  let lines = drop_leading lines in
+  let lines = List.rev (drop_leading (List.rev lines)) in
+  String.concat "\n" lines
+
+(* The opening triple-quote has been consumed. *)
+let block_string st =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    if
+      peek st = Some '"'
+      && peek2 st = Some '"'
+      && st.offset + 2 < String.length st.src
+      && st.src.[st.offset + 2] = '"'
+    then begin
+      advance st;
+      advance st;
+      advance st
+    end
+    else
+      match peek st with
+      | None -> fail st "unterminated block string"
+      | Some '\\'
+        when st.offset + 3 < String.length st.src
+             && st.src.[st.offset + 1] = '"'
+             && st.src.[st.offset + 2] = '"'
+             && st.src.[st.offset + 3] = '"' ->
+        Buffer.add_string buf "\"\"\"";
+        advance st;
+        advance st;
+        advance st;
+        advance st;
+        loop ()
+      | Some c when is_source_char c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      | Some c -> fail st (Printf.sprintf "invalid source character %C in block string" c)
+  in
+  loop ();
+  dedent_block (Buffer.contents buf)
+
+let next_token st : Token.t =
+  match peek st with
+  | None -> Token.Eof
+  | Some c -> (
+    match c with
+    | '!' -> advance st; Token.Bang
+    | '$' -> advance st; Token.Dollar
+    | '&' -> advance st; Token.Amp
+    | '(' -> advance st; Token.Paren_open
+    | ')' -> advance st; Token.Paren_close
+    | ':' -> advance st; Token.Colon
+    | '=' -> advance st; Token.Equals
+    | '@' -> advance st; Token.At
+    | '[' -> advance st; Token.Bracket_open
+    | ']' -> advance st; Token.Bracket_close
+    | '{' -> advance st; Token.Brace_open
+    | '}' -> advance st; Token.Brace_close
+    | '|' -> advance st; Token.Pipe
+    | '.' ->
+      if peek2 st = Some '.' && st.offset + 2 < String.length st.src && st.src.[st.offset + 2] = '.'
+      then begin
+        advance st;
+        advance st;
+        advance st;
+        Token.Ellipsis
+      end
+      else fail st "unexpected '.' (did you mean \"...\"?)"
+    | '"' ->
+      if
+        peek2 st = Some '"' && st.offset + 2 < String.length st.src
+        && st.src.[st.offset + 2] = '"'
+      then begin
+        advance st;
+        advance st;
+        advance st;
+        Token.Block_string (block_string st)
+      end
+      else begin
+        advance st;
+        Token.String (string_value st)
+      end
+    | c when is_name_start c -> Token.Name (name st)
+    | c when is_digit c || c = '-' -> number st
+    | c -> fail st (Printf.sprintf "unexpected character %C" c))
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; column = 1 } in
+  try
+    let rec loop acc =
+      skip_ignored st;
+      let start = pos st in
+      let token = next_token st in
+      let located : Token.located = { token; at = Source.span start (pos st) } in
+      match token with
+      | Token.Eof -> List.rev (located :: acc)
+      | _ -> loop (located :: acc)
+    in
+    Ok (loop [])
+  with Error e -> Result.Error e

@@ -1,0 +1,11 @@
+(** Lexer for the GraphQL SDL (June 2018 Edition, Section 2.1).
+
+    Implements the full lexical grammar: punctuators, names, integer and
+    float values, string values with escape sequences (including
+    [\uXXXX], encoded as UTF-8), block strings with the spec's dedent
+    algorithm, comments, and the ignored tokens (whitespace, commas,
+    line terminators, Unicode BOM). *)
+
+val tokenize : string -> (Token.located list, Source.error) result
+(** Produces the token stream, ending with an [Eof] token carrying the
+    end-of-input position.  Fails on the first lexical error. *)

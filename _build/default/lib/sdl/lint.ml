@@ -1,0 +1,235 @@
+type severity = Error | Warning
+type issue = { severity : severity; at : Source.span; message : string }
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s: %a: %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    Source.pp_span i.at i.message
+
+let errors issues = List.filter (fun i -> i.severity = Error) issues
+
+let duplicates ~key items =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun item ->
+      let k = key item in
+      if Hashtbl.mem seen k then true
+      else begin
+        Hashtbl.add seen k ();
+        false
+      end)
+    items
+
+let check_reserved at kind name issues =
+  if String.length name >= 2 && name.[0] = '_' && name.[1] = '_' then
+    { severity = Error;
+      at;
+      message = Printf.sprintf "%s name %S is reserved (names must not begin with \"__\")" kind name
+    }
+    :: issues
+  else issues
+
+let check_arguments owner (args : Ast.input_value_def list) issues =
+  let issues =
+    List.fold_left
+      (fun issues (iv : Ast.input_value_def) ->
+        check_reserved iv.iv_span "argument" iv.iv_name issues)
+      issues args
+  in
+  List.fold_left
+    (fun issues (iv : Ast.input_value_def) ->
+      { severity = Error;
+        at = iv.iv_span;
+        message = Printf.sprintf "duplicate argument %S in %s" iv.iv_name owner
+      }
+      :: issues)
+    issues
+    (duplicates ~key:(fun (iv : Ast.input_value_def) -> iv.iv_name) args)
+
+(* Repeating @key declares several alternative keys (paper, Example 3.4), so
+   it is exempt; any other repeated directive is flagged as a warning. *)
+let check_repeated_directives owner (ds : Ast.directive list) issues =
+  let repeatable (d : Ast.directive) = String.equal d.d_name "key" in
+  List.fold_left
+    (fun issues (d : Ast.directive) ->
+      if repeatable d then issues
+      else
+        { severity = Warning;
+          at = d.d_span;
+          message = Printf.sprintf "directive @%s is repeated on %s" d.d_name owner }
+        :: issues)
+    issues
+    (duplicates ~key:(fun (d : Ast.directive) -> d.d_name) ds)
+
+let check_fields owner (fields : Ast.field_def list) issues =
+  let issues =
+    List.fold_left
+      (fun issues (f : Ast.field_def) ->
+        let issues = check_reserved f.f_span "field" f.f_name issues in
+        let issues =
+          check_arguments (Printf.sprintf "field %S" f.f_name) f.f_arguments issues
+        in
+        check_repeated_directives (Printf.sprintf "field %S" f.f_name) f.f_directives issues)
+      issues fields
+  in
+  List.fold_left
+    (fun issues (f : Ast.field_def) ->
+      { severity = Error;
+        at = f.f_span;
+        message = Printf.sprintf "duplicate field %S in %s" f.f_name owner
+      }
+      :: issues)
+    issues
+    (duplicates ~key:(fun (f : Ast.field_def) -> f.f_name) fields)
+
+let check_type_def (td : Ast.type_def) issues =
+  let at = Ast.type_def_span td in
+  let name = Ast.type_def_name td in
+  let issues = check_reserved at "type" name issues in
+  match td with
+  | Ast.Scalar_type _ -> issues
+  | Ast.Object_type d ->
+    let issues =
+      check_repeated_directives (Printf.sprintf "type %S" name) d.o_directives issues
+    in
+    let issues = check_fields (Printf.sprintf "type %S" name) d.o_fields issues in
+    (match duplicates ~key:Fun.id d.o_interfaces with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues i ->
+          { severity = Error;
+            at;
+            message = Printf.sprintf "type %S implements interface %S more than once" name i
+          }
+          :: issues)
+        issues dups)
+  | Ast.Interface_type d -> check_fields (Printf.sprintf "interface %S" name) d.i_fields issues
+  | Ast.Union_type d ->
+    let issues =
+      if d.u_members = [] then
+        { severity = Error; at; message = Printf.sprintf "union %S has no member types" name }
+        :: issues
+      else issues
+    in
+    (match duplicates ~key:Fun.id d.u_members with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues m ->
+          { severity = Error;
+            at;
+            message = Printf.sprintf "union %S lists member %S more than once" name m
+          }
+          :: issues)
+        issues dups)
+  | Ast.Enum_type d ->
+    let issues =
+      if d.e_values = [] then
+        { severity = Error; at; message = Printf.sprintf "enum %S has no values" name }
+        :: issues
+      else issues
+    in
+    (match duplicates ~key:(fun (ev : Ast.enum_value_def) -> ev.ev_name) d.e_values with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues (ev : Ast.enum_value_def) ->
+          { severity = Error;
+            at = ev.ev_span;
+            message = Printf.sprintf "duplicate enum value %S in enum %S" ev.ev_name name
+          }
+          :: issues)
+        issues dups)
+  | Ast.Input_object_type d ->
+    let issues =
+      List.fold_left
+        (fun issues (iv : Ast.input_value_def) ->
+          check_reserved iv.iv_span "input field" iv.iv_name issues)
+        issues d.io_fields
+    in
+    (match duplicates ~key:(fun (iv : Ast.input_value_def) -> iv.iv_name) d.io_fields with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues (iv : Ast.input_value_def) ->
+          { severity = Error;
+            at = iv.iv_span;
+            message = Printf.sprintf "duplicate input field %S in input %S" iv.iv_name name
+          }
+          :: issues)
+        issues dups)
+
+let check (doc : Ast.document) =
+  let type_defs =
+    List.filter_map (function Ast.Type_definition td -> Some td | _ -> None) doc
+  in
+  let directive_defs =
+    List.filter_map (function Ast.Directive_definition dd -> Some dd | _ -> None) doc
+  in
+  let schema_defs =
+    List.filter_map (function Ast.Schema_definition sd -> Some sd | _ -> None) doc
+  in
+  let issues = [] in
+  let issues = List.fold_left (fun issues td -> check_type_def td issues) issues type_defs in
+  let issues =
+    match duplicates ~key:Ast.type_def_name type_defs with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues td ->
+          { severity = Error;
+            at = Ast.type_def_span td;
+            message = Printf.sprintf "type %S is defined more than once" (Ast.type_def_name td)
+          }
+          :: issues)
+        issues dups
+  in
+  let issues =
+    List.fold_left
+      (fun issues (dd : Ast.directive_def) ->
+        let issues = check_reserved dd.dd_span "directive" dd.dd_name issues in
+        check_arguments (Printf.sprintf "directive @%s" dd.dd_name) dd.dd_arguments issues)
+      issues directive_defs
+  in
+  let issues =
+    match duplicates ~key:(fun (dd : Ast.directive_def) -> dd.dd_name) directive_defs with
+    | [] -> issues
+    | dups ->
+      List.fold_left
+        (fun issues (dd : Ast.directive_def) ->
+          { severity = Error;
+            at = dd.dd_span;
+            message = Printf.sprintf "directive @%s is defined more than once" dd.dd_name
+          }
+          :: issues)
+        issues dups
+  in
+  let issues =
+    match schema_defs with
+    | [] | [ _ ] -> issues
+    | _ :: extra ->
+      List.fold_left
+        (fun issues (sd : Ast.schema_def) ->
+          { severity = Error; at = sd.sd_span; message = "more than one schema definition" }
+          :: issues)
+        issues extra
+  in
+  let issues =
+    List.fold_left
+      (fun issues (sd : Ast.schema_def) ->
+        match duplicates ~key:(fun (op, _) -> Ast.operation_type_name op) sd.sd_operations with
+        | [] -> issues
+        | dups ->
+          List.fold_left
+            (fun issues (op, _) ->
+              { severity = Error;
+                at = sd.sd_span;
+                message =
+                  Printf.sprintf "duplicate root operation type %S" (Ast.operation_type_name op)
+              }
+              :: issues)
+            issues dups)
+      issues schema_defs
+  in
+  List.rev issues

@@ -1,0 +1,24 @@
+(** Syntactic well-formedness checks on SDL documents.
+
+    These are the document-level rules of the GraphQL spec that do not need
+    type information: name uniqueness, reserved names, non-empty member
+    lists.  Semantic checks (unknown types, interface consistency, directive
+    argument typing) live in the schema layer ([Pg_schema.Of_ast] and
+    [Pg_schema.Consistency]).
+
+    One deliberate deviation from the June 2018 spec: repeated directives on
+    the same element are a {e warning}, not an error, because the paper's
+    approach relies on repeating [@key] to declare multiple keys
+    (Example 3.4). *)
+
+type severity = Error | Warning
+
+type issue = { severity : severity; at : Source.span; message : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Ast.document -> issue list
+(** All issues found, in document order. *)
+
+val errors : issue list -> issue list
+(** The subset with [severity = Error]. *)

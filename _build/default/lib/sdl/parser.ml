@@ -1,0 +1,400 @@
+type state = { tokens : Token.located array; mutable pos : int }
+
+exception Error of Source.error
+
+let peek st = st.tokens.(st.pos)
+let peek_token st = (peek st).token
+let span_here st = (peek st).at
+
+let fail st message =
+  raise (Error { Source.at = span_here st; message })
+
+let failf st fmt = Format.kasprintf (fail st) fmt
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let expect st expected =
+  let t = peek_token st in
+  if t = expected then advance st
+  else
+    failf st "expected %s, found %s" (Token.describe expected) (Token.describe t)
+
+let name st =
+  match peek_token st with
+  | Token.Name n ->
+    advance st;
+    n
+  | t -> failf st "expected a name, found %s" (Token.describe t)
+
+let keyword st kw =
+  match peek_token st with
+  | Token.Name n when String.equal n kw -> advance st
+  | t -> failf st "expected %S, found %s" kw (Token.describe t)
+
+let try_keyword st kw =
+  match peek_token st with
+  | Token.Name n when String.equal n kw ->
+    advance st;
+    true
+  | _ -> false
+
+let try_token st tok =
+  if peek_token st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* Description : StringValue (spec 3.1) *)
+let description st =
+  match peek_token st with
+  | Token.String s | Token.Block_string s ->
+    advance st;
+    Some s
+  | _ -> None
+
+(* Value (const) : spec 2.9, without variables *)
+let rec value st : Ast.value =
+  match peek_token st with
+  | Token.Int i ->
+    advance st;
+    Ast.Int_value i
+  | Token.Float f ->
+    advance st;
+    Ast.Float_value f
+  | Token.String s | Token.Block_string s ->
+    advance st;
+    Ast.String_value s
+  | Token.Name "true" ->
+    advance st;
+    Ast.Boolean_value true
+  | Token.Name "false" ->
+    advance st;
+    Ast.Boolean_value false
+  | Token.Name "null" ->
+    advance st;
+    Ast.Null_value
+  | Token.Name n ->
+    advance st;
+    Ast.Enum_value n
+  | Token.Bracket_open ->
+    advance st;
+    let rec elements acc =
+      if try_token st Token.Bracket_close then List.rev acc
+      else elements (value st :: acc)
+    in
+    Ast.List_value (elements [])
+  | Token.Brace_open ->
+    advance st;
+    let rec fields acc =
+      if try_token st Token.Brace_close then List.rev acc
+      else begin
+        let k = name st in
+        expect st Token.Colon;
+        let v = value st in
+        fields ((k, v) :: acc)
+      end
+    in
+    Ast.Object_value (fields [])
+  | Token.Dollar -> fail st "variables are not allowed in SDL documents"
+  | t -> failf st "expected a value, found %s" (Token.describe t)
+
+(* Type : NamedType | ListType | NonNullType (spec 2.11) *)
+let rec type_ref st : Ast.type_ref =
+  let inner =
+    match peek_token st with
+    | Token.Bracket_open ->
+      advance st;
+      let t = type_ref st in
+      expect st Token.Bracket_close;
+      Ast.List_type t
+    | Token.Name n ->
+      advance st;
+      Ast.Named_type n
+    | t -> failf st "expected a type, found %s" (Token.describe t)
+  in
+  if try_token st Token.Bang then begin
+    if peek_token st = Token.Bang then fail st "a non-null type cannot wrap a non-null type";
+    Ast.Non_null_type inner
+  end
+  else inner
+
+(* Directives (const) : spec 2.12 *)
+let directives st : Ast.directive list =
+  let rec loop acc =
+    match peek_token st with
+    | Token.At ->
+      let start = span_here st in
+      advance st;
+      let d_name = name st in
+      let d_arguments =
+        if try_token st Token.Paren_open then begin
+          let rec args acc =
+            if try_token st Token.Paren_close then List.rev acc
+            else begin
+              let k = name st in
+              expect st Token.Colon;
+              let v = value st in
+              args ((k, v) :: acc)
+            end
+          in
+          let args = args [] in
+          if args = [] then fail st "empty argument list";
+          args
+        end
+        else []
+      in
+      loop ({ Ast.d_name; d_arguments; d_span = start } :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+(* InputValueDefinition : Description? Name ':' Type DefaultValue? Directives? *)
+let input_value_def st : Ast.input_value_def =
+  let iv_span = span_here st in
+  let iv_description = description st in
+  let iv_name = name st in
+  expect st Token.Colon;
+  let iv_type = type_ref st in
+  let iv_default = if try_token st Token.Equals then Some (value st) else None in
+  let iv_directives = directives st in
+  { Ast.iv_description; iv_name; iv_type; iv_default; iv_directives; iv_span }
+
+let arguments_def st : Ast.input_value_def list =
+  if try_token st Token.Paren_open then begin
+    let rec loop acc =
+      if try_token st Token.Paren_close then List.rev acc
+      else loop (input_value_def st :: acc)
+    in
+    let args = loop [] in
+    if args = [] then fail st "an arguments definition must not be empty";
+    args
+  end
+  else []
+
+(* FieldDefinition : Description? Name ArgumentsDefinition? ':' Type Directives? *)
+let field_def st : Ast.field_def =
+  let f_span = span_here st in
+  let f_description = description st in
+  let f_name = name st in
+  let f_arguments = arguments_def st in
+  expect st Token.Colon;
+  let f_type = type_ref st in
+  let f_directives = directives st in
+  { Ast.f_description; f_name; f_arguments; f_type; f_directives; f_span }
+
+let fields_def st : Ast.field_def list =
+  if try_token st Token.Brace_open then begin
+    let rec loop acc =
+      if try_token st Token.Brace_close then List.rev acc else loop (field_def st :: acc)
+    in
+    loop []
+  end
+  else []
+
+let input_fields_def st : Ast.input_value_def list =
+  if try_token st Token.Brace_open then begin
+    let rec loop acc =
+      if try_token st Token.Brace_close then List.rev acc
+      else loop (input_value_def st :: acc)
+    in
+    loop []
+  end
+  else []
+
+(* ImplementsInterfaces : 'implements' '&'? NamedType ('&' NamedType)* *)
+let implements_interfaces st =
+  if try_keyword st "implements" then begin
+    let _ = try_token st Token.Amp in
+    let rec loop acc =
+      let n = name st in
+      if try_token st Token.Amp then loop (n :: acc) else List.rev (n :: acc)
+    in
+    loop []
+  end
+  else []
+
+(* UnionMemberTypes : '=' '|'? NamedType ('|' NamedType)* *)
+let union_members st =
+  if try_token st Token.Equals then begin
+    let _ = try_token st Token.Pipe in
+    let rec loop acc =
+      let n = name st in
+      if try_token st Token.Pipe then loop (n :: acc) else List.rev (n :: acc)
+    in
+    loop []
+  end
+  else []
+
+let enum_values_def st : Ast.enum_value_def list =
+  if try_token st Token.Brace_open then begin
+    let rec loop acc =
+      if try_token st Token.Brace_close then List.rev acc
+      else begin
+        let ev_span = span_here st in
+        let ev_description = description st in
+        let ev_name = name st in
+        if List.mem ev_name [ "true"; "false"; "null" ] then
+          failf st "%S cannot be used as an enum value" ev_name;
+        let ev_directives = directives st in
+        loop ({ Ast.ev_description; ev_name; ev_directives; ev_span } :: acc)
+      end
+    in
+    loop []
+  end
+  else []
+
+let scalar_def st desc : Ast.scalar_def =
+  let s_span = span_here st in
+  keyword st "scalar";
+  let s_name = name st in
+  let s_directives = directives st in
+  { Ast.s_description = desc; s_name; s_directives; s_span }
+
+let object_def st desc : Ast.object_def =
+  let o_span = span_here st in
+  keyword st "type";
+  let o_name = name st in
+  let o_interfaces = implements_interfaces st in
+  let o_directives = directives st in
+  let o_fields = fields_def st in
+  { Ast.o_description = desc; o_name; o_interfaces; o_directives; o_fields; o_span }
+
+let interface_def st desc : Ast.interface_def =
+  let i_span = span_here st in
+  keyword st "interface";
+  let i_name = name st in
+  let i_directives = directives st in
+  let i_fields = fields_def st in
+  { Ast.i_description = desc; i_name; i_directives; i_fields; i_span }
+
+let union_def st desc : Ast.union_def =
+  let u_span = span_here st in
+  keyword st "union";
+  let u_name = name st in
+  let u_directives = directives st in
+  let u_members = union_members st in
+  { Ast.u_description = desc; u_name; u_directives; u_members; u_span }
+
+let enum_def st desc : Ast.enum_def =
+  let e_span = span_here st in
+  keyword st "enum";
+  let e_name = name st in
+  let e_directives = directives st in
+  let e_values = enum_values_def st in
+  { Ast.e_description = desc; e_name; e_directives; e_values; e_span }
+
+let input_object_def st desc : Ast.input_object_def =
+  let io_span = span_here st in
+  keyword st "input";
+  let io_name = name st in
+  let io_directives = directives st in
+  let io_fields = input_fields_def st in
+  { Ast.io_description = desc; io_name; io_directives; io_fields; io_span }
+
+let operation_type st : Ast.operation_type =
+  match name st with
+  | "query" -> Ast.Query
+  | "mutation" -> Ast.Mutation
+  | "subscription" -> Ast.Subscription
+  | n -> failf st "expected \"query\", \"mutation\" or \"subscription\", found %S" n
+
+let schema_def st : Ast.schema_def =
+  let sd_span = span_here st in
+  keyword st "schema";
+  let sd_directives = directives st in
+  expect st Token.Brace_open;
+  let rec loop acc =
+    if try_token st Token.Brace_close then List.rev acc
+    else begin
+      let op = operation_type st in
+      expect st Token.Colon;
+      let ty = name st in
+      loop ((op, ty) :: acc)
+    end
+  in
+  let sd_operations = loop [] in
+  if sd_operations = [] then fail st "a schema definition must declare at least one root operation";
+  { Ast.sd_directives; sd_operations; sd_span }
+
+let directive_locations st =
+  let _ = try_token st Token.Pipe in
+  let rec loop acc =
+    let n = name st in
+    let loc =
+      match Ast.directive_location_of_name n with
+      | Some l -> l
+      | None -> failf st "unknown directive location %S" n
+    in
+    if try_token st Token.Pipe then loop (loc :: acc) else List.rev (loc :: acc)
+  in
+  loop []
+
+let directive_def st desc : Ast.directive_def =
+  let dd_span = span_here st in
+  keyword st "directive";
+  expect st Token.At;
+  let dd_name = name st in
+  let dd_arguments = arguments_def st in
+  keyword st "on";
+  let dd_locations = directive_locations st in
+  { Ast.dd_description = desc; dd_name; dd_arguments; dd_locations; dd_span }
+
+let type_extension st : Ast.type_extension =
+  keyword st "extend";
+  match peek_token st with
+  | Token.Name "scalar" -> Ast.Scalar_extension (scalar_def st None)
+  | Token.Name "type" -> Ast.Object_extension (object_def st None)
+  | Token.Name "interface" -> Ast.Interface_extension (interface_def st None)
+  | Token.Name "union" -> Ast.Union_extension (union_def st None)
+  | Token.Name "enum" -> Ast.Enum_extension (enum_def st None)
+  | Token.Name "input" -> Ast.Input_object_extension (input_object_def st None)
+  | Token.Name "schema" -> fail st "schema extensions are not supported"
+  | t -> failf st "expected a type keyword after \"extend\", found %s" (Token.describe t)
+
+let definition st : Ast.definition =
+  let desc = description st in
+  match peek_token st with
+  | Token.Name "schema" ->
+    if desc <> None then fail st "a schema definition cannot have a description";
+    Ast.Schema_definition (schema_def st)
+  | Token.Name "scalar" -> Ast.Type_definition (Ast.Scalar_type (scalar_def st desc))
+  | Token.Name "type" -> Ast.Type_definition (Ast.Object_type (object_def st desc))
+  | Token.Name "interface" ->
+    Ast.Type_definition (Ast.Interface_type (interface_def st desc))
+  | Token.Name "union" -> Ast.Type_definition (Ast.Union_type (union_def st desc))
+  | Token.Name "enum" -> Ast.Type_definition (Ast.Enum_type (enum_def st desc))
+  | Token.Name "input" ->
+    Ast.Type_definition (Ast.Input_object_type (input_object_def st desc))
+  | Token.Name "directive" -> Ast.Directive_definition (directive_def st desc)
+  | Token.Name "extend" ->
+    if desc <> None then fail st "a type extension cannot have a description";
+    Ast.Type_extension (type_extension st)
+  | Token.Name ("query" | "mutation" | "subscription" | "fragment") ->
+    fail st "executable definitions cannot occur in an SDL document"
+  | t -> failf st "expected a type system definition, found %s" (Token.describe t)
+
+let document st : Ast.document =
+  let rec loop acc =
+    if peek_token st = Token.Eof then List.rev acc else loop (definition st :: acc)
+  in
+  let defs = loop [] in
+  if defs = [] then fail st "empty document";
+  defs
+
+let with_tokens src k =
+  match Lexer.tokenize src with
+  | Result.Error e -> Result.Error e
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    try
+      let result = k st in
+      if peek_token st <> Token.Eof then
+        failf st "unexpected %s after the end of the document"
+          (Token.describe (peek_token st))
+      else Ok result
+    with Error e -> Result.Error e)
+
+let parse src = with_tokens src document
+let parse_type_ref src = with_tokens src type_ref
+let parse_value src = with_tokens src value

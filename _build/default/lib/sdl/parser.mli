@@ -1,0 +1,18 @@
+(** Recursive-descent parser for GraphQL SDL documents (June 2018 Edition,
+    Section 3 — the type-system sublanguage).
+
+    Supported: schema definitions, scalar/object/interface/union/enum/input
+    type definitions, directive definitions, type extensions, descriptions
+    (string and block-string), constant values, and directives with constant
+    arguments.  Executable definitions (operations, fragments) are rejected
+    with a clear error, as they cannot occur in a schema document. *)
+
+val parse : string -> (Ast.document, Source.error) result
+(** Lex and parse a complete SDL document. *)
+
+val parse_type_ref : string -> (Ast.type_ref, Source.error) result
+(** Parse a single type reference such as ["[Foo!]!"]; used by tests and by
+    the CLI. *)
+
+val parse_value : string -> (Ast.value, Source.error) result
+(** Parse a single constant value such as [{fields: ["id"]}]. *)

@@ -1,0 +1,199 @@
+let buf_add = Buffer.add_string
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> buf_add buf "\\\""
+      | '\\' -> buf_add buf "\\\\"
+      | '\n' -> buf_add buf "\\n"
+      | '\r' -> buf_add buf "\\r"
+      | '\t' -> buf_add buf "\\t"
+      | c when Char.code c < 0x20 -> buf_add buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec value_to_string : Ast.value -> string = function
+  | Ast.Int_value i -> string_of_int i
+  | Ast.Float_value f -> float_literal f
+  | Ast.String_value s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Boolean_value b -> string_of_bool b
+  | Ast.Null_value -> "null"
+  | Ast.Enum_value n -> n
+  | Ast.List_value vs ->
+    Printf.sprintf "[%s]" (String.concat ", " (List.map value_to_string vs))
+  | Ast.Object_value fields ->
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (value_to_string v)) fields))
+
+let rec type_ref_to_string : Ast.type_ref -> string = function
+  | Ast.Named_type n -> n
+  | Ast.List_type t -> Printf.sprintf "[%s]" (type_ref_to_string t)
+  | Ast.Non_null_type t -> type_ref_to_string t ^ "!"
+
+let directive_to_string (d : Ast.directive) =
+  match d.d_arguments with
+  | [] -> "@" ^ d.d_name
+  | args ->
+    Printf.sprintf "@%s(%s)" d.d_name
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (value_to_string v)) args))
+
+let directives_suffix = function
+  | [] -> ""
+  | ds -> " " ^ String.concat " " (List.map directive_to_string ds)
+
+(* Descriptions are printed as block strings when they contain line breaks,
+   plain strings otherwise.  Inside a block string the only escapable
+   sequence is the triple quote.  Note the block-string dedent algorithm
+   normalizes indentation common to all lines; descriptions produced by the
+   parser are already in normalized form, so printing round-trips. *)
+let escape_block s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 2 < n && s.[!i] = '"' && s.[!i + 1] = '"' && s.[!i + 2] = '"' then begin
+      buf_add buf "\\\"\"\"";
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let description_lines indent = function
+  | None -> []
+  | Some desc ->
+    if String.contains desc '\n' then
+      let body =
+        String.split_on_char '\n' (escape_block desc)
+        |> List.map (fun l -> if l = "" then l else indent ^ l)
+        |> String.concat "\n"
+      in
+      [ Printf.sprintf "%s\"\"\"\n%s\n%s\"\"\"" indent body indent ]
+    else [ Printf.sprintf "%s\"%s\"" indent (escape_string desc) ]
+
+let input_value_to_string (iv : Ast.input_value_def) =
+  let default =
+    match iv.iv_default with
+    | None -> ""
+    | Some v -> " = " ^ value_to_string v
+  in
+  Printf.sprintf "%s: %s%s%s" iv.iv_name
+    (type_ref_to_string iv.iv_type)
+    default
+    (directives_suffix iv.iv_directives)
+
+let arguments_to_string = function
+  | [] -> ""
+  | args -> Printf.sprintf "(%s)" (String.concat ", " (List.map input_value_to_string args))
+
+let field_def_to_string (f : Ast.field_def) =
+  Printf.sprintf "%s%s: %s%s" f.f_name
+    (arguments_to_string f.f_arguments)
+    (type_ref_to_string f.f_type)
+    (directives_suffix f.f_directives)
+
+let field_block lines = if lines = [] then " {\n}" else " {\n" ^ String.concat "\n" lines ^ "\n}"
+
+let fields_to_lines fields =
+  List.concat_map
+    (fun (f : Ast.field_def) ->
+      description_lines "  " f.f_description @ [ "  " ^ field_def_to_string f ])
+    fields
+
+let input_fields_to_lines fields =
+  List.concat_map
+    (fun (iv : Ast.input_value_def) ->
+      description_lines "  " iv.iv_description @ [ "  " ^ input_value_to_string iv ])
+    fields
+
+let enum_values_to_lines values =
+  List.concat_map
+    (fun (ev : Ast.enum_value_def) ->
+      description_lines "  " ev.ev_description
+      @ [ "  " ^ ev.ev_name ^ directives_suffix ev.ev_directives ])
+    values
+
+let implements_to_string = function
+  | [] -> ""
+  | interfaces -> " implements " ^ String.concat " & " interfaces
+
+let type_def_body : Ast.type_def -> string = function
+  | Ast.Scalar_type d -> Printf.sprintf "scalar %s%s" d.s_name (directives_suffix d.s_directives)
+  | Ast.Object_type d ->
+    Printf.sprintf "type %s%s%s%s" d.o_name
+      (implements_to_string d.o_interfaces)
+      (directives_suffix d.o_directives)
+      (field_block (fields_to_lines d.o_fields))
+  | Ast.Interface_type d ->
+    Printf.sprintf "interface %s%s%s" d.i_name
+      (directives_suffix d.i_directives)
+      (field_block (fields_to_lines d.i_fields))
+  | Ast.Union_type d ->
+    let members =
+      match d.u_members with [] -> "" | ms -> " = " ^ String.concat " | " ms
+    in
+    Printf.sprintf "union %s%s%s" d.u_name (directives_suffix d.u_directives) members
+  | Ast.Enum_type d ->
+    Printf.sprintf "enum %s%s%s" d.e_name
+      (directives_suffix d.e_directives)
+      (field_block (enum_values_to_lines d.e_values))
+  | Ast.Input_object_type d ->
+    Printf.sprintf "input %s%s%s" d.io_name
+      (directives_suffix d.io_directives)
+      (field_block (input_fields_to_lines d.io_fields))
+
+let type_def_description : Ast.type_def -> string option = function
+  | Ast.Scalar_type d -> d.s_description
+  | Ast.Object_type d -> d.o_description
+  | Ast.Interface_type d -> d.i_description
+  | Ast.Union_type d -> d.u_description
+  | Ast.Enum_type d -> d.e_description
+  | Ast.Input_object_type d -> d.io_description
+
+let schema_def_to_string (sd : Ast.schema_def) =
+  let ops =
+    List.map
+      (fun (op, ty) -> Printf.sprintf "  %s: %s" (Ast.operation_type_name op) ty)
+      sd.sd_operations
+  in
+  Printf.sprintf "schema%s%s" (directives_suffix sd.sd_directives) (field_block ops)
+
+let directive_def_to_string (dd : Ast.directive_def) =
+  Printf.sprintf "directive @%s%s on %s" dd.dd_name
+    (arguments_to_string dd.dd_arguments)
+    (String.concat " | " (List.map Ast.directive_location_name dd.dd_locations))
+
+let definition_to_string : Ast.definition -> string = function
+  | Ast.Schema_definition sd -> schema_def_to_string sd
+  | Ast.Type_definition td ->
+    String.concat "\n" (description_lines "" (type_def_description td) @ [ type_def_body td ])
+  | Ast.Type_extension ext ->
+    let td =
+      match ext with
+      | Ast.Scalar_extension d -> Ast.Scalar_type d
+      | Ast.Object_extension d -> Ast.Object_type d
+      | Ast.Interface_extension d -> Ast.Interface_type d
+      | Ast.Union_extension d -> Ast.Union_type d
+      | Ast.Enum_extension d -> Ast.Enum_type d
+      | Ast.Input_object_extension d -> Ast.Input_object_type d
+    in
+    "extend " ^ type_def_body td
+  | Ast.Directive_definition dd ->
+    String.concat "\n" (description_lines "" dd.dd_description @ [ directive_def_to_string dd ])
+
+let document_to_string (doc : Ast.document) =
+  String.concat "\n\n" (List.map definition_to_string doc) ^ "\n"
+
+let pp_document ppf doc = Format.pp_print_string ppf (document_to_string doc)

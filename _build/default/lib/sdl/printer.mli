@@ -1,0 +1,16 @@
+(** Pretty-printer from SDL ASTs back to GraphQL SDL text.
+
+    The output re-parses to an equal AST ({!Ast.document}); this round-trip
+    is checked by property tests.  Descriptions are emitted as block strings
+    when multi-line. *)
+
+val value_to_string : Ast.value -> string
+val type_ref_to_string : Ast.type_ref -> string
+val directive_to_string : Ast.directive -> string
+val field_def_to_string : Ast.field_def -> string
+val definition_to_string : Ast.definition -> string
+
+val document_to_string : Ast.document -> string
+(** Print a whole document, definitions separated by blank lines. *)
+
+val pp_document : Format.formatter -> Ast.document -> unit

@@ -1,0 +1,16 @@
+type pos = { line : int; column : int; offset : int }
+type span = { span_start : pos; span_end : pos }
+type error = { at : span; message : string }
+
+let start_pos = { line = 1; column = 1; offset = 0 }
+let dummy_span = { span_start = start_pos; span_end = start_pos }
+let span span_start span_end = { span_start; span_end }
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.column
+
+let pp_span ppf s =
+  if s.span_start.line = s.span_end.line && s.span_start.column = s.span_end.column then
+    pp_pos ppf s.span_start
+  else Format.fprintf ppf "%a-%a" pp_pos s.span_start pp_pos s.span_end
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" pp_span e.at e.message
+let error_to_string e = Format.asprintf "%a" pp_error e

@@ -1,0 +1,25 @@
+(** Source positions, spans and errors for the GraphQL SDL front end. *)
+
+type pos = {
+  line : int;  (** 1-based *)
+  column : int;  (** 1-based, in bytes *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type span = { span_start : pos; span_end : pos }
+
+type error = { at : span; message : string }
+
+val start_pos : pos
+(** Line 1, column 1, offset 0. *)
+
+val dummy_span : span
+(** A span for synthesized AST nodes. *)
+
+val span : pos -> pos -> span
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp_span : Format.formatter -> span -> unit
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string

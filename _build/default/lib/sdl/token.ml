@@ -1,0 +1,70 @@
+type t =
+  | Bang
+  | Dollar
+  | Amp
+  | Paren_open
+  | Paren_close
+  | Ellipsis
+  | Colon
+  | Equals
+  | At
+  | Bracket_open
+  | Bracket_close
+  | Brace_open
+  | Brace_close
+  | Pipe
+  | Name of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Block_string of string
+  | Eof
+
+type located = { token : t; at : Source.span }
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp ppf = function
+  | Bang -> Format.pp_print_string ppf "!"
+  | Dollar -> Format.pp_print_string ppf "$"
+  | Amp -> Format.pp_print_string ppf "&"
+  | Paren_open -> Format.pp_print_string ppf "("
+  | Paren_close -> Format.pp_print_string ppf ")"
+  | Ellipsis -> Format.pp_print_string ppf "..."
+  | Colon -> Format.pp_print_string ppf ":"
+  | Equals -> Format.pp_print_string ppf "="
+  | At -> Format.pp_print_string ppf "@"
+  | Bracket_open -> Format.pp_print_string ppf "["
+  | Bracket_close -> Format.pp_print_string ppf "]"
+  | Brace_open -> Format.pp_print_string ppf "{"
+  | Brace_close -> Format.pp_print_string ppf "}"
+  | Pipe -> Format.pp_print_string ppf "|"
+  | Name n -> Format.pp_print_string ppf n
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.pp_print_float ppf f
+  | String s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Block_string s -> Format.fprintf ppf "\"\"\"%s\"\"\"" s
+  | Eof -> Format.pp_print_string ppf "<end of input>"
+
+let describe = function
+  | Name n -> Printf.sprintf "name %S" n
+  | Int i -> Printf.sprintf "integer %d" i
+  | Float f -> Printf.sprintf "float %g" f
+  | String _ -> "string value"
+  | Block_string _ -> "block string value"
+  | Eof -> "end of input"
+  | t -> Printf.sprintf "%S" (Format.asprintf "%a" pp t)

@@ -1,0 +1,32 @@
+(** Lexical tokens of the GraphQL SDL (June 2018 Edition, Section 2.1). *)
+
+type t =
+  | Bang  (** [!] *)
+  | Dollar  (** [$] *)
+  | Amp  (** [&] *)
+  | Paren_open  (** [(] *)
+  | Paren_close  (** [)] *)
+  | Ellipsis  (** [...] *)
+  | Colon  (** [:] *)
+  | Equals  (** [=] *)
+  | At  (** [@] *)
+  | Bracket_open  (** [[] *)
+  | Bracket_close  (** [\]] *)
+  | Brace_open  (** [{] *)
+  | Brace_close  (** [}] *)
+  | Pipe  (** [|] *)
+  | Name of string  (** a Name token: an underscore or letter followed by letters, digits, underscores *)
+  | Int of int  (** IntValue *)
+  | Float of float  (** FloatValue *)
+  | String of string  (** StringValue, decoded (escapes resolved) *)
+  | Block_string of string  (** block StringValue, dedented per spec *)
+  | Eof
+
+type located = { token : t; at : Source.span }
+
+val pp : Format.formatter -> t -> unit
+(** Prints the token as it would appear in a source document (strings
+    re-encoded); used in parser error messages. *)
+
+val describe : t -> string
+(** A short description for diagnostics, e.g. ["name \"type\""]. *)

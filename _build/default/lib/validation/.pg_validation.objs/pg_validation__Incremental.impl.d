@@ -1,0 +1,1 @@
+lib/validation/incremental.ml: Int List Pg_graph Pg_schema Printf Rules Set String Validate Violation

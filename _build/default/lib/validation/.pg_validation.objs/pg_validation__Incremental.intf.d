@@ -1,0 +1,1 @@
+lib/validation/incremental.mli: Pg_graph Pg_schema Violation

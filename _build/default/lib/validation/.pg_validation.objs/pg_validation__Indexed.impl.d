@@ -1,0 +1,1 @@
+lib/validation/indexed.ml: Buffer Float Hashtbl Int64 Linear List Option Pg_graph Pg_schema Printf Rules String Violation

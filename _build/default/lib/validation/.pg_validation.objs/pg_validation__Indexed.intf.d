@@ -1,0 +1,1 @@
+lib/validation/indexed.mli: Pg_graph Pg_schema Violation

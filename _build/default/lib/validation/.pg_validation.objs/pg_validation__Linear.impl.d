@@ -1,0 +1,1 @@
+lib/validation/linear.ml: List Pg_graph Pg_schema Printf Rules Violation

@@ -1,0 +1,1 @@
+lib/validation/linear.mli: Pg_graph Pg_schema Violation

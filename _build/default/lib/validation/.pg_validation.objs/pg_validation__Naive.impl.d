@@ -1,0 +1,1 @@
+lib/validation/naive.ml: Linear List Pg_graph Pg_schema Printf Rules String Violation

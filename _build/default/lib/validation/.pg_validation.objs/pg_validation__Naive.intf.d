@@ -1,0 +1,1 @@
+lib/validation/naive.mli: Pg_graph Pg_schema Violation

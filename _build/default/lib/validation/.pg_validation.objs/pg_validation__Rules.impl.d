@@ -1,0 +1,1 @@
+lib/validation/rules.ml: List Map Pg_schema String

@@ -1,0 +1,1 @@
+lib/validation/rules.mli: Pg_schema

@@ -1,0 +1,1 @@
+lib/validation/schema_diff.ml: Format List Map Pg_schema Printf String Violation

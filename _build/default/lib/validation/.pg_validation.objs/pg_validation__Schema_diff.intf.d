@@ -1,0 +1,1 @@
+lib/validation/schema_diff.mli: Format Pg_schema Violation

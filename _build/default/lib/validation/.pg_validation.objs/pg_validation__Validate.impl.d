@@ -1,0 +1,1 @@
+lib/validation/validate.ml: Format Indexed List Naive Pg_graph Violation

@@ -1,0 +1,1 @@
+lib/validation/validate.mli: Format Pg_graph Pg_schema Violation

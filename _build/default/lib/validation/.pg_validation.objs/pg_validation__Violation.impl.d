@@ -1,0 +1,1 @@
+lib/validation/violation.ml: Format List Stdlib

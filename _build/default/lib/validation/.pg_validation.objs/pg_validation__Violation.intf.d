@@ -1,0 +1,1 @@
+lib/validation/violation.mli: Format

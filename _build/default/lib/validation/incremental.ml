@@ -1,0 +1,420 @@
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Values_w = Pg_schema.Values_w
+module ISet = Set.Make (Int)
+
+module VSet = Set.Make (struct
+  type t = Violation.t
+
+  let compare = Violation.compare
+end)
+
+type region = { rnodes : ISet.t; redges : ISet.t }
+
+let empty_region = { rnodes = ISet.empty; redges = ISet.empty }
+let with_node r v = { r with rnodes = ISet.add (G.node_id v) r.rnodes }
+let with_edge r e = { r with redges = ISet.add (G.edge_id e) r.redges }
+
+let involves region (v : Violation.t) =
+  match v.Violation.subject with
+  | Violation.Node id | Violation.Node_property (id, _) -> ISet.mem id region.rnodes
+  | Violation.Edge id | Violation.Edge_property (id, _) -> ISet.mem id region.redges
+  | Violation.Node_pair (a, b) -> ISet.mem a region.rnodes || ISet.mem b region.rnodes
+  | Violation.Edge_pair (a, b) -> ISet.mem a region.redges || ISet.mem b region.redges
+
+type t = {
+  sch : Schema.t;
+  env : Values_w.env option;
+  g : G.t;
+  vset : VSet.t;
+  (* constraint tables, computed once from the schema *)
+  required : Rules.field_constraint list;
+  required_tgt : Rules.field_constraint list;
+  unique_tgt : Rules.field_constraint list;
+  distinct : Rules.field_constraint list;
+  no_loops : Rules.field_constraint list;
+  keys : (string * string list) list;
+}
+
+let graph t = t.g
+let schema t = t.sch
+let violations t = VSet.elements t.vset
+let is_valid t = VSet.is_empty t.vset
+
+(* ------------------------------------------------------------------ *)
+(* Local revalidation: the fifteen rules restricted to a region.        *)
+
+let is_attr t wt = Rules.is_attribute_type t.sch wt
+
+let node_violations t v acc =
+  let g = t.g in
+  let label = G.node_label g v in
+  let vid = G.node_id v in
+  (* SS1 *)
+  let acc =
+    if Schema.type_kind t.sch label = Some Schema.Object then acc
+    else
+      Violation.make Violation.SS1 (Violation.Node vid)
+        (Printf.sprintf "label %S is not an object type of the schema" label)
+      :: acc
+  in
+  (* WS1 + SS2 over the node's properties *)
+  let acc =
+    List.fold_left
+      (fun acc (p, value) ->
+        match Schema.type_f t.sch label p with
+        | Some wt when is_attr t wt ->
+          if Values_w.mem ?env:t.env t.sch wt value then acc
+          else
+            Violation.make Violation.WS1
+              (Violation.Node_property (vid, p))
+              (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+                 (Wrapped.to_string wt))
+            :: acc
+        | Some _ ->
+          Violation.make Violation.SS2
+            (Violation.Node_property (vid, p))
+            (Printf.sprintf "field %s.%s is a relationship definition, not an attribute" label p)
+          :: acc
+        | None ->
+          Violation.make Violation.SS2
+            (Violation.Node_property (vid, p))
+            (Printf.sprintf "no field %S is declared for type %S" p label)
+          :: acc)
+      acc (G.node_props g v)
+  in
+  (* DS5 / DS6 *)
+  let acc =
+    List.fold_left
+      (fun acc (fc : Rules.field_constraint) ->
+        if not (Subtype.named t.sch label fc.Rules.owner) then acc
+        else if is_attr t fc.Rules.fd.Schema.fd_type then begin
+          match G.node_prop g v fc.Rules.field with
+          | None ->
+            Violation.make Violation.DS5
+              (Violation.Node_property (vid, fc.Rules.field))
+              (Printf.sprintf "node n%d lacks the property %S required on %s.%s" vid
+                 fc.Rules.field fc.Rules.owner fc.Rules.field)
+            :: acc
+          | Some value ->
+            if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
+              match value with
+              | Value.List (_ :: _) -> acc
+              | _ ->
+                Violation.make Violation.DS5
+                  (Violation.Node_property (vid, fc.Rules.field))
+                  (Printf.sprintf
+                     "property %S of node n%d must be a nonempty list (required list attribute)"
+                     fc.Rules.field vid)
+                :: acc
+            end
+            else acc
+        end
+        else if
+          List.exists
+            (fun e -> String.equal (G.edge_label g e) fc.Rules.field)
+            (G.out_edges g v)
+        then acc
+        else
+          Violation.make Violation.DS6 (Violation.Node vid)
+            (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s" vid
+               fc.Rules.field fc.Rules.owner fc.Rules.field)
+          :: acc)
+      acc t.required
+  in
+  (* DS4 *)
+  let acc =
+    List.fold_left
+      (fun acc (fc : Rules.field_constraint) ->
+        let base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
+        if not (Subtype.named t.sch label base) then acc
+        else if
+          List.exists
+            (fun e ->
+              String.equal (G.edge_label g e) fc.Rules.field
+              &&
+              let src, _ = G.edge_ends g e in
+              Subtype.named t.sch (G.node_label g src) fc.Rules.owner)
+            (G.in_edges g v)
+        then acc
+        else
+          Violation.make Violation.DS4 (Violation.Node vid)
+            (Printf.sprintf
+               "node n%d (%S) has no incoming %S edge required by @requiredForTarget on %s.%s"
+               vid label fc.Rules.field fc.Rules.owner fc.Rules.field)
+          :: acc)
+      acc t.required_tgt
+  in
+  (* DS7: pairs between v and every other node of the keyed type *)
+  List.fold_left
+    (fun acc (owner, key_fields) ->
+      if not (Subtype.named t.sch label owner) then acc
+      else begin
+        let attribute_fields =
+          List.filter
+            (fun f ->
+              match Schema.type_f t.sch owner f with
+              | Some wt -> is_attr t wt
+              | None -> false)
+            key_fields
+        in
+        let agree u f =
+          match G.node_prop g v f, G.node_prop g u f with
+          | None, None -> true
+          | Some x, Some y -> Value.equal x y
+          | Some _, None | None, Some _ -> false
+        in
+        List.fold_left
+          (fun acc u ->
+            if
+              G.node_id u <> vid
+              && Subtype.named t.sch (G.node_label g u) owner
+              && List.for_all (agree u) attribute_fields
+            then
+              Violation.make Violation.DS7
+                (Violation.Node_pair (vid, G.node_id u))
+                (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]" vid
+                   (G.node_id u) owner
+                   (String.concat ", " key_fields))
+              :: acc
+            else acc)
+          acc (G.nodes g)
+      end)
+    acc t.keys
+
+let edge_violations t e acc =
+  let g = t.g in
+  let eid = G.edge_id e in
+  let v1, v2 = G.edge_ends g e in
+  let src_label = G.node_label g v1 in
+  let f = G.edge_label g e in
+  let field = Schema.field t.sch src_label f in
+  (* WS2 + SS3 over the edge's properties *)
+  let acc =
+    List.fold_left
+      (fun acc (a, value) ->
+        match Schema.arg_type t.sch src_label f a with
+        | Some wt ->
+          if Values_w.mem ?env:t.env t.sch wt value then acc
+          else
+            Violation.make Violation.WS2
+              (Violation.Edge_property (eid, a))
+              (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+                 (Wrapped.to_string wt))
+            :: acc
+        | None ->
+          Violation.make Violation.SS3
+            (Violation.Edge_property (eid, a))
+            (Printf.sprintf "no argument %S is declared for field %s.%s" a src_label f)
+          :: acc)
+      acc (G.edge_props g e)
+  in
+  (* WS3 + SS4 *)
+  let acc =
+    match field with
+    | Some fd when not (is_attr t fd.Schema.fd_type) ->
+      let base = Wrapped.basetype fd.Schema.fd_type in
+      if Subtype.named t.sch (G.node_label g v2) base then acc
+      else
+        Violation.make Violation.WS3 (Violation.Edge eid)
+          (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
+             (G.node_id v2) (G.node_label g v2) base)
+        :: acc
+    | Some fd ->
+      (* attribute-typed field: WS3 applies (label is never ⊑ a scalar) and
+         SS4 reports the unjustified edge *)
+      let acc =
+        Violation.make Violation.SS4 (Violation.Edge eid)
+          (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
+             src_label f)
+        :: acc
+      in
+      let base = Wrapped.basetype fd.Schema.fd_type in
+      if Subtype.named t.sch (G.node_label g v2) base then acc
+      else
+        Violation.make Violation.WS3 (Violation.Edge eid)
+          (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
+             (G.node_id v2) (G.node_label g v2) base)
+        :: acc
+    | None ->
+      Violation.make Violation.SS4 (Violation.Edge eid)
+        (Printf.sprintf "no field %S is declared for type %S" f src_label)
+      :: acc
+  in
+  (* WS4: pairs with sibling edges *)
+  let acc =
+    match field with
+    | Some fd when not (Wrapped.is_list fd.Schema.fd_type) ->
+      List.fold_left
+        (fun acc e' ->
+          if G.edge_id e' <> eid && String.equal (G.edge_label g e') f then
+            Violation.make Violation.WS4
+              (Violation.Edge_pair (eid, G.edge_id e'))
+              (Printf.sprintf
+                 "node n%d has two %S edges but the field type %s is not a list type"
+                 (G.node_id v1) f
+                 (Wrapped.to_string fd.Schema.fd_type))
+            :: acc
+          else acc)
+        acc (G.out_edges g v1)
+    | Some _ | None -> acc
+  in
+  (* DS1: parallel duplicates *)
+  let acc =
+    List.fold_left
+      (fun acc (fc : Rules.field_constraint) ->
+        if
+          String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
+        then
+          List.fold_left
+            (fun acc e' ->
+              let _, v2' = G.edge_ends g e' in
+              if
+                G.edge_id e' <> eid
+                && String.equal (G.edge_label g e') f
+                && G.node_id v2' = G.node_id v2
+              then
+                Violation.make Violation.DS1
+                  (Violation.Edge_pair (eid, G.edge_id e'))
+                  (Printf.sprintf "parallel %S edges between n%d and n%d violate @distinct on %s.%s"
+                     f (G.node_id v1) (G.node_id v2) fc.Rules.owner fc.Rules.field)
+                :: acc
+              else acc)
+            acc (G.out_edges g v1)
+        else acc)
+      acc t.distinct
+  in
+  (* DS2: loops *)
+  let acc =
+    if G.node_id v1 <> G.node_id v2 then acc
+    else
+      List.fold_left
+        (fun acc (fc : Rules.field_constraint) ->
+          if
+            String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
+          then
+            Violation.make Violation.DS2 (Violation.Edge eid)
+              (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" (G.node_id v1)
+                 fc.Rules.owner fc.Rules.field)
+            :: acc
+          else acc)
+        acc t.no_loops
+  in
+  (* DS3: pairs among incoming edges of the target *)
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      if
+        String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
+      then
+        List.fold_left
+          (fun acc e' ->
+            let s', _ = G.edge_ends g e' in
+            if
+              G.edge_id e' <> eid
+              && String.equal (G.edge_label g e') f
+              && Subtype.named t.sch (G.node_label g s') fc.Rules.owner
+            then
+              Violation.make Violation.DS3
+                (Violation.Edge_pair (eid, G.edge_id e'))
+                (Printf.sprintf
+                   "node n%d has two incoming %S edges, violating @uniqueForTarget on %s.%s"
+                   (G.node_id v2) f fc.Rules.owner fc.Rules.field)
+              :: acc
+            else acc)
+          acc (G.in_edges g v2)
+      else acc)
+    acc t.unique_tgt
+
+let local_violations t region =
+  let acc =
+    ISet.fold
+      (fun id acc ->
+        match G.node_of_id t.g id with Some v -> node_violations t v acc | None -> acc)
+      region.rnodes []
+  in
+  ISet.fold
+    (fun id acc ->
+      match G.edge_of_id t.g id with Some e -> edge_violations t e acc | None -> acc)
+    region.redges acc
+
+(* Replace the region's violations with freshly computed ones. *)
+let refresh t region =
+  let kept = VSet.filter (fun v -> not (involves region v)) t.vset in
+  let fresh = local_violations t region in
+  { t with vset = List.fold_left (fun s v -> VSet.add v s) kept fresh }
+
+(* ------------------------------------------------------------------ *)
+
+let create ?env sch g =
+  let report = Validate.check ~engine:Validate.Indexed ?env sch g in
+  {
+    sch;
+    env;
+    g;
+    vset = VSet.of_list report.Validate.violations;
+    required = Rules.constrained_fields sch ~directive:"required";
+    required_tgt = Rules.constrained_fields sch ~directive:"requiredForTarget";
+    unique_tgt = Rules.constrained_fields sch ~directive:"uniqueForTarget";
+    distinct = Rules.constrained_fields sch ~directive:"distinct";
+    no_loops = Rules.constrained_fields sch ~directive:"noLoops";
+    keys = Rules.key_constraints sch;
+  }
+
+let add_node t ~label ?props () =
+  let g, v = G.add_node t.g ~label ?props () in
+  let t = { t with g } in
+  (refresh t (with_node empty_region v), v)
+
+let add_edge t ~label ?props v1 v2 =
+  let g, e = G.add_edge t.g ~label ?props v1 v2 in
+  let t = { t with g } in
+  let region = with_edge (with_node (with_node empty_region v1) v2) e in
+  (refresh t region, e)
+
+let remove_edge t e =
+  if not (G.mem_edge t.g e) then t
+  else begin
+    let v1, v2 = G.edge_ends t.g e in
+    let region = with_edge (with_node (with_node empty_region v1) v2) e in
+    refresh { t with g = G.remove_edge t.g e } region
+  end
+
+let remove_node t v =
+  if not (G.mem_node t.g v) then t
+  else begin
+    let incident = G.out_edges t.g v @ G.in_edges t.g v in
+    let region =
+      List.fold_left
+        (fun r e ->
+          let a, b = G.edge_ends t.g e in
+          with_edge (with_node (with_node r a) b) e)
+        (with_node empty_region v) incident
+    in
+    refresh { t with g = G.remove_node t.g v } region
+  end
+
+let set_node_prop t v name value =
+  refresh { t with g = G.set_node_prop t.g v name value } (with_node empty_region v)
+
+let remove_node_prop t v name =
+  refresh { t with g = G.remove_node_prop t.g v name } (with_node empty_region v)
+
+let set_edge_prop t e name value =
+  refresh { t with g = G.set_edge_prop t.g e name value } (with_edge empty_region e)
+
+let remove_edge_prop t e name =
+  refresh { t with g = G.remove_edge_prop t.g e name } (with_edge empty_region e)
+
+let relabel_node t v label =
+  let incident = G.out_edges t.g v @ G.in_edges t.g v in
+  let region =
+    List.fold_left
+      (fun r e ->
+        let a, b = G.edge_ends t.g e in
+        with_edge (with_node (with_node r a) b) e)
+      (with_node empty_region v) incident
+  in
+  refresh { t with g = G.relabel_node t.g v label } region

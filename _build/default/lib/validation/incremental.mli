@@ -1,0 +1,66 @@
+(** Incremental validation: maintain the strong-satisfaction violation set
+    of Section 5 across graph updates without revalidating from scratch.
+
+    A database enforcing an SDL schema validates on every write; full
+    revalidation is linear (or worse) in the graph, while the region a
+    single update can affect is small.  This module tracks, per update,
+    the set of elements whose violations can change — the updated element,
+    its endpoints, and for relabelings the incident edges and their
+    endpoints — removes the old violations involving that region and
+    recomputes the fifteen rules restricted to it.  The recomputation
+    touches the region's incident edges only, except for key constraints
+    (DS7), where a changed node is compared against the other nodes of the
+    keyed type (a per-type scan; an auxiliary key index would make it
+    constant, at the cost of index maintenance).
+
+    Locality argument per operation (where [v1 → v2] are edge endpoints):
+    adding/removing an edge can only change violations that mention the
+    edge or one of its endpoints (DS4/DS6 subjects are the endpoints; the
+    pair rules WS4/DS1/DS3 always mention the edge); property updates only
+    affect the carrying element and — for keys — pairs that include it;
+    relabeling a node additionally affects its incident edges (their
+    justification and target typing) and their endpoints.  Extensional
+    equality with the batch engines after arbitrary update sequences is
+    property-tested in [test/test_incremental.ml].
+
+    The structure is persistent, like the graph itself. *)
+
+type t
+
+val create :
+  ?env:Pg_schema.Values_w.env -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> t
+(** Validates the initial graph once (indexed engine). *)
+
+val graph : t -> Pg_graph.Property_graph.t
+
+val schema : t -> Pg_schema.Schema.t
+
+val violations : t -> Violation.t list
+(** Normalized, equal to a fresh strong validation of {!graph}. *)
+
+val is_valid : t -> bool
+
+(** {1 Updates}
+
+    Each operation returns the updated state; they mirror
+    {!Pg_graph.Property_graph}. *)
+
+val add_node :
+  t -> label:string -> ?props:(string * Pg_graph.Value.t) list -> unit ->
+  t * Pg_graph.Property_graph.node
+
+val add_edge :
+  t ->
+  label:string ->
+  ?props:(string * Pg_graph.Value.t) list ->
+  Pg_graph.Property_graph.node ->
+  Pg_graph.Property_graph.node ->
+  t * Pg_graph.Property_graph.edge
+
+val remove_edge : t -> Pg_graph.Property_graph.edge -> t
+val remove_node : t -> Pg_graph.Property_graph.node -> t
+val set_node_prop : t -> Pg_graph.Property_graph.node -> string -> Pg_graph.Value.t -> t
+val remove_node_prop : t -> Pg_graph.Property_graph.node -> string -> t
+val set_edge_prop : t -> Pg_graph.Property_graph.edge -> string -> Pg_graph.Value.t -> t
+val remove_edge_prop : t -> Pg_graph.Property_graph.edge -> string -> t
+val relabel_node : t -> Pg_graph.Property_graph.node -> string -> t

@@ -1,0 +1,28 @@
+(** The production validation engine.
+
+    Same semantics as {!Naive} (property-tested extensional equality of
+    the violation sets), but the pair-quantifying rules are evaluated over
+    hash indexes built in one pass over the graph:
+
+    - outgoing edges grouped by (source, label) — WS4, DS6;
+    - incoming edges grouped by (target, label) — DS3, DS4;
+    - parallel edges grouped by (source, target, label) — DS1;
+    - nodes grouped by key vector — DS7.
+
+    With these indexes the engine is linear in the size of the graph plus
+    the size of the output (a group of [k] equal elements still yields the
+    [k(k-1)/2] pairwise violations the specification demands). *)
+
+val weak :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list
+
+val directives :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list
+
+val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list

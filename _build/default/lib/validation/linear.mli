@@ -1,0 +1,23 @@
+(** The rules of Section 5 that quantify over a single graph element
+    (WS1–WS3 and SS1–SS4).  They run in linear time in both engines and
+    are shared between {!Naive} and {!Indexed}. *)
+
+val ws1 :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list ->
+  Violation.t list
+
+val ws2 :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list ->
+  Violation.t list
+
+val ws3 :
+  Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list -> Violation.t list
+
+val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
+(** SS1–SS4, normalized. *)

@@ -1,0 +1,269 @@
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Values_w = Pg_schema.Values_w
+
+(* WS4: non-list fields contain at most one edge *)
+let ws4 sch g acc =
+  let edges = G.edges g in
+  List.fold_left
+    (fun acc e1 ->
+      List.fold_left
+        (fun acc e2 ->
+          if G.edge_id e1 >= G.edge_id e2 then acc
+          else begin
+            let v1, _ = G.edge_ends g e1 and v1', _ = G.edge_ends g e2 in
+            let f = G.edge_label g e1 in
+            if G.node_id v1 = G.node_id v1' && String.equal f (G.edge_label g e2) then
+              match Schema.type_f sch (G.node_label g v1) f with
+              | Some t when not (Rules.multi_edge t) ->
+                Violation.make Violation.WS4
+                  (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                  (Printf.sprintf
+                     "node n%d has two %S edges but the field type %s is not a list type"
+                     (G.node_id v1) f (Wrapped.to_string t))
+                :: acc
+              | Some _ | None -> acc
+            else acc
+          end)
+        acc edges)
+    acc edges
+
+let weak ?env sch g =
+  []
+  |> Linear.ws1 ?env sch g
+  |> Linear.ws2 ?env sch g
+  |> Linear.ws3 sch g
+  |> ws4 sch g
+  |> Violation.normalize
+
+(* DS1 (@distinct): edges identified by nodes and label.
+   Erratum normalized: the source-node condition is lambda(v1) <= t. *)
+let ds1 sch g acc =
+  let edges = G.edges g in
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      List.fold_left
+        (fun acc e1 ->
+          List.fold_left
+            (fun acc e2 ->
+              if G.edge_id e1 >= G.edge_id e2 then acc
+              else begin
+                let v1, v2 = G.edge_ends g e1 and v1', v2' = G.edge_ends g e2 in
+                if
+                  G.node_id v1 = G.node_id v1'
+                  && G.node_id v2 = G.node_id v2'
+                  && String.equal (G.edge_label g e1) fc.Rules.field
+                  && String.equal (G.edge_label g e2) fc.Rules.field
+                  && Subtype.named sch (G.node_label g v1) fc.Rules.owner
+                then
+                  Violation.make Violation.DS1
+                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                    (Printf.sprintf
+                       "parallel %S edges between n%d and n%d violate @distinct on %s.%s"
+                       fc.Rules.field (G.node_id v1) (G.node_id v2) fc.Rules.owner
+                       fc.Rules.field)
+                  :: acc
+                else acc
+              end)
+            acc edges)
+        acc edges)
+    acc
+    (Rules.constrained_fields sch ~directive:"distinct")
+
+(* DS2 (@noLoops) *)
+let ds2 sch g acc =
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      List.fold_left
+        (fun acc e ->
+          let v1, v2 = G.edge_ends g e in
+          if
+            G.node_id v1 = G.node_id v2
+            && String.equal (G.edge_label g e) fc.Rules.field
+            && Subtype.named sch (G.node_label g v1) fc.Rules.owner
+          then
+            Violation.make Violation.DS2
+              (Violation.Edge (G.edge_id e))
+              (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" (G.node_id v1)
+                 fc.Rules.owner fc.Rules.field)
+            :: acc
+          else acc)
+        acc (G.edges g))
+    acc
+    (Rules.constrained_fields sch ~directive:"noLoops")
+
+(* DS3 (@uniqueForTarget).  Erratum normalized: both source nodes must be
+   of (a subtype of) the declaring type t. *)
+let ds3 sch g acc =
+  let edges = G.edges g in
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      List.fold_left
+        (fun acc e1 ->
+          List.fold_left
+            (fun acc e2 ->
+              if G.edge_id e1 >= G.edge_id e2 then acc
+              else begin
+                let v1, v3 = G.edge_ends g e1 and v2, v3' = G.edge_ends g e2 in
+                if
+                  G.node_id v3 = G.node_id v3'
+                  && String.equal (G.edge_label g e1) fc.Rules.field
+                  && String.equal (G.edge_label g e2) fc.Rules.field
+                  && Subtype.named sch (G.node_label g v1) fc.Rules.owner
+                  && Subtype.named sch (G.node_label g v2) fc.Rules.owner
+                then
+                  Violation.make Violation.DS3
+                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                    (Printf.sprintf
+                       "node n%d has two incoming %S edges, violating @uniqueForTarget on %s.%s"
+                       (G.node_id v3) fc.Rules.field fc.Rules.owner fc.Rules.field)
+                  :: acc
+                else acc
+              end)
+            acc edges)
+        acc edges)
+    acc
+    (Rules.constrained_fields sch ~directive:"uniqueForTarget")
+
+(* DS4 (@requiredForTarget).  Erratum normalized: the target-node condition
+   compares labels with basetype(typeS(t, f)). *)
+let ds4 sch g acc =
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
+      List.fold_left
+        (fun acc v2 ->
+          if Subtype.named sch (G.node_label g v2) target_base then begin
+            let has_incoming =
+              List.exists
+                (fun e ->
+                  let v1, v2' = G.edge_ends g e in
+                  G.node_id v2' = G.node_id v2
+                  && String.equal (G.edge_label g e) fc.Rules.field
+                  && Subtype.named sch (G.node_label g v1) fc.Rules.owner)
+                (G.edges g)
+            in
+            if has_incoming then acc
+            else
+              Violation.make Violation.DS4
+                (Violation.Node (G.node_id v2))
+                (Printf.sprintf
+                   "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
+                    %s.%s"
+                   (G.node_id v2) (G.node_label g v2) fc.Rules.field fc.Rules.owner
+                   fc.Rules.field)
+              :: acc
+          end
+          else acc)
+        acc (G.nodes g))
+    acc
+    (Rules.constrained_fields sch ~directive:"requiredForTarget")
+
+(* DS5/DS6 (@required): property required for attribute definitions, edge
+   required for relationship definitions. *)
+let ds56 sch g acc =
+  List.fold_left
+    (fun acc (fc : Rules.field_constraint) ->
+      let attr = Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type in
+      List.fold_left
+        (fun acc v ->
+          if not (Subtype.named sch (G.node_label g v) fc.Rules.owner) then acc
+          else if attr then begin
+            match G.node_prop g v fc.Rules.field with
+            | None ->
+              Violation.make Violation.DS5
+                (Violation.Node_property (G.node_id v, fc.Rules.field))
+                (Printf.sprintf "node n%d lacks the property %S required on %s.%s"
+                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
+              :: acc
+            | Some value ->
+              if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
+                match value with
+                | Value.List (_ :: _) -> acc
+                | _ (* empty list, or a non-list value: WS1 reports the type error *) ->
+                  Violation.make Violation.DS5
+                    (Violation.Node_property (G.node_id v, fc.Rules.field))
+                    (Printf.sprintf
+                       "property %S of node n%d must be a nonempty list (required list \
+                        attribute)"
+                       fc.Rules.field (G.node_id v))
+                  :: acc
+              end
+              else acc
+          end
+          else begin
+            let has_edge =
+              List.exists
+                (fun e ->
+                  let v1, _ = G.edge_ends g e in
+                  G.node_id v1 = G.node_id v
+                  && String.equal (G.edge_label g e) fc.Rules.field)
+                (G.edges g)
+            in
+            if has_edge then acc
+            else
+              Violation.make Violation.DS6
+                (Violation.Node (G.node_id v))
+                (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s"
+                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
+              :: acc
+          end)
+        acc (G.nodes g))
+    acc
+    (Rules.constrained_fields sch ~directive:"required")
+
+(* DS7 (@key) *)
+let ds7 sch g acc =
+  List.fold_left
+    (fun acc (owner, key_fields) ->
+      (* only key fields with attribute types participate (Definition 5.2) *)
+      let attribute_fields =
+        List.filter
+          (fun f ->
+            match Schema.type_f sch owner f with
+            | Some t -> Rules.is_attribute_type sch t
+            | None -> false)
+          key_fields
+      in
+      let nodes = List.filter (fun v -> Subtype.named sch (G.node_label g v) owner) (G.nodes g) in
+      List.fold_left
+        (fun acc v1 ->
+          List.fold_left
+            (fun acc v2 ->
+              if G.node_id v1 >= G.node_id v2 then acc
+              else begin
+                let agree f =
+                  match G.node_prop g v1 f, G.node_prop g v2 f with
+                  | None, None -> true
+                  | Some x1, Some x2 -> Value.equal x1 x2
+                  | Some _, None | None, Some _ -> false
+                in
+                if List.for_all agree attribute_fields then
+                  Violation.make Violation.DS7
+                    (Violation.Node_pair (G.node_id v1, G.node_id v2))
+                    (Printf.sprintf
+                       "distinct nodes n%d and n%d of type %s agree on key [%s]"
+                       (G.node_id v1) (G.node_id v2) owner
+                       (String.concat ", " key_fields))
+                  :: acc
+                else acc
+              end)
+            acc nodes)
+        acc nodes)
+    acc (Rules.key_constraints sch)
+
+let directives ?env sch g =
+  ignore env;
+  []
+  |> ds1 sch g
+  |> ds2 sch g
+  |> ds3 sch g
+  |> ds4 sch g
+  |> ds56 sch g
+  |> ds7 sch g
+  |> Violation.normalize
+
+let strong_extra = Linear.strong_extra

@@ -1,0 +1,25 @@
+(** The reference validation engine: a direct transcription of the
+    first-order formulas in the proof of Theorem 1.
+
+    Every rule is implemented with the nested quantifiers of its statement
+    in Section 5 — rules that quantify over pairs of edges or nodes (WS4,
+    DS1, DS3, DS7) run in quadratic time.  This engine is the executable
+    specification; {!Indexed} must agree with it (property-tested), and
+    the benchmark [validation_scaling] measures the gap. *)
+
+val weak :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list
+(** Rules WS1–WS4 (Definition 5.1), normalized. *)
+
+val directives :
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list
+(** Rules DS1–DS7 (Definition 5.2), normalized. *)
+
+val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
+(** Rules SS1–SS4 (Definition 5.3), normalized. *)

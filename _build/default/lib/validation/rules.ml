@@ -1,0 +1,58 @@
+module Sm = Map.Make (String)
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+
+type field_constraint = { owner : string; field : string; fd : Schema.field }
+
+let is_attribute_type sch wt = Schema.is_scalar_like sch (Wrapped.basetype wt)
+
+let constrained_fields sch ~directive =
+  let of_type owner fields acc =
+    List.fold_left
+      (fun acc (field, (fd : Schema.field)) ->
+        if Schema.has_directive fd.Schema.fd_directives directive then
+          { owner; field; fd } :: acc
+        else acc)
+      acc fields
+  in
+  let acc =
+    List.fold_left
+      (fun acc owner -> of_type owner (Schema.fields sch owner) acc)
+      []
+      (Schema.object_names sch)
+  in
+  let acc =
+    List.fold_left
+      (fun acc owner -> of_type owner (Schema.fields sch owner) acc)
+      acc
+      (Schema.interface_names sch)
+  in
+  List.rev acc
+
+let key_constraints sch =
+  let of_type owner directives acc =
+    List.fold_left
+      (fun acc du ->
+        match Schema.key_fields du with Some fs -> (owner, fs) :: acc | None -> acc)
+      acc
+      (Schema.find_directives directives "key")
+  in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        let ot = Sm.find name sch.Schema.objects in
+        of_type name ot.Schema.ot_directives acc)
+      []
+      (Schema.object_names sch)
+  in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        let it = Sm.find name sch.Schema.interfaces in
+        of_type name it.Schema.it_directives acc)
+      acc
+      (Schema.interface_names sch)
+  in
+  List.rev acc
+
+let multi_edge = Wrapped.is_list

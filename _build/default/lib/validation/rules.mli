@@ -1,0 +1,35 @@
+(** Shared helpers for the validation engines: enumeration of the
+    constraint sources a schema declares (directive occurrences on fields
+    and types) and the attribute/relationship tests of Section 5.
+
+    Two documented errata of the paper are normalized here:
+    - DS1 writes [λ(e1) ⊑S t] where an edge label (a field name) cannot be
+      a subtype of a type; both engines read it as [λ(v1) ⊑S t].
+    - DS3 writes [λ(v2) ⊑S typeS(t, f)] for the {e source} node of the
+      second edge; both engines read it as [λ(v2) ⊑S t], symmetric with
+      [v1] (the target-type requirement is WS3's job).
+    - DS4's [λ(v2) ⊑S typeS(t, f)] compares a node label with a possibly
+      wrapped type; both engines compare with [basetype(typeS(t, f))],
+      otherwise the constraint would be vacuous for [[B!]]-typed fields. *)
+
+type field_constraint = {
+  owner : string;  (** the object or interface type declaring the field *)
+  field : string;
+  fd : Pg_schema.Schema.field;
+}
+
+val is_attribute_type : Pg_schema.Schema.t -> Pg_schema.Wrapped.t -> bool
+(** [typeS(t, f) ∈ S ∪ WS]: the base type is a scalar or enum type. *)
+
+val constrained_fields : Pg_schema.Schema.t -> directive:string -> field_constraint list
+(** All [(t, f)] with the directive in [directivesF_S(t, f)], [t] ranging
+    over object and interface types, in deterministic order. *)
+
+val key_constraints : Pg_schema.Schema.t -> (string * string list) list
+(** All [(t, fields)] from [@key(fields: [...])] occurrences on object and
+    interface types.  Occurrences with a missing or ill-typed [fields]
+    argument are skipped (consistency checking reports them). *)
+
+val multi_edge : Pg_schema.Wrapped.t -> bool
+(** WS4's test: [true] iff the type is "a list type or a list type wrapped
+    in non-null type", i.e. multiple outgoing edges are allowed. *)

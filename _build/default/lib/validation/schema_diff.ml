@@ -1,0 +1,348 @@
+module Sm = Map.Make (String)
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+
+type severity = Compatible | Breaking
+
+type change = {
+  severity : severity;
+  subject : string;
+  description : string;
+  rule : Violation.rule option;
+}
+
+let pp_change ppf c =
+  Format.fprintf ppf "%s: %s — %s%s"
+    (match c.severity with Compatible -> "compatible" | Breaking -> "BREAKING")
+    c.subject c.description
+    (match c.rule with
+    | Some r -> Printf.sprintf " (%s could fire)" (Violation.rule_name r)
+    | None -> "")
+
+let breaking changes = List.filter (fun c -> c.severity = Breaking) changes
+
+let compatible subject description = { severity = Compatible; subject; description; rule = None }
+
+let break ?rule subject description = { severity = Breaking; subject; description; rule }
+
+(* keys present in one map but not the other *)
+let added_removed old_map new_map =
+  let added = Sm.fold (fun k _ acc -> if Sm.mem k old_map then acc else k :: acc) new_map [] in
+  let removed = Sm.fold (fun k _ acc -> if Sm.mem k new_map then acc else k :: acc) old_map [] in
+  (List.rev added, List.rev removed)
+
+let directive_names dus = List.sort_uniq compare (List.map (fun du -> du.Schema.du_name) dus)
+
+(* The constraint-bearing directives: adding one tightens, removing one
+   relaxes. *)
+let constraint_rules =
+  [
+    ("required", Violation.DS5 (* or DS6; DS5 shown for attributes *));
+    ("distinct", Violation.DS1);
+    ("noLoops", Violation.DS2);
+    ("uniqueForTarget", Violation.DS3);
+    ("requiredForTarget", Violation.DS4);
+  ]
+
+let diff_directives subject old_dus new_dus acc =
+  let old_names = directive_names old_dus and new_names = directive_names new_dus in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        if List.mem name old_names then acc
+        else
+          match List.assoc_opt name constraint_rules with
+          | Some rule -> break ~rule subject (Printf.sprintf "adds @%s" name) :: acc
+          | None ->
+            if name = "key" then
+              break ~rule:Violation.DS7 subject "adds @key" :: acc
+            else compatible subject (Printf.sprintf "adds @%s (no validation effect)" name) :: acc)
+      acc new_names
+  in
+  List.fold_left
+    (fun acc name ->
+      if List.mem name new_names then acc
+      else if List.mem_assoc name constraint_rules || name = "key" then
+        compatible subject (Printf.sprintf "removes @%s (relaxes)" name) :: acc
+      else compatible subject (Printf.sprintf "removes @%s (no validation effect)" name) :: acc)
+    acc old_names
+
+(* @key occurrences compare by their field lists, not just presence *)
+let diff_keys subject old_dus new_dus acc =
+  let keys dus =
+    List.filter_map Schema.key_fields (Schema.find_directives dus "key")
+    |> List.sort_uniq compare
+  in
+  let old_keys = keys old_dus and new_keys = keys new_dus in
+  let acc =
+    List.fold_left
+      (fun acc k ->
+        if List.mem k old_keys then acc
+        else
+          break ~rule:Violation.DS7 subject
+            (Printf.sprintf "adds key [%s]" (String.concat ", " k))
+          :: acc)
+      acc new_keys
+  in
+  List.fold_left
+    (fun acc k ->
+      if List.mem k new_keys then acc
+      else
+        compatible subject (Printf.sprintf "removes key [%s] (relaxes)" (String.concat ", " k))
+        :: acc)
+    acc old_keys
+
+(* Is every old-valid value/edge set for [old_t] still valid at [new_t]?
+   Conservative widenings only. *)
+let field_type_widens ~new_schema old_t new_t =
+  if Wrapped.equal old_t new_t then true
+  else begin
+    let old_base = Wrapped.basetype old_t and new_base = Wrapped.basetype new_t in
+    let base_ok =
+      String.equal old_base new_base || Subtype.named new_schema old_base new_base
+    in
+    (* stored values never contain null, so non-null wrappers are inert;
+       what matters is list-ness (WS1 shape, WS4 multiplicity): a non-list
+       may widen to a list only for relationships (WS4 relaxes; for
+       attributes the stored shape must change from atom to array, which
+       breaks WS1) — callers pass ~attribute accordingly *)
+    base_ok && Wrapped.is_list old_t = Wrapped.is_list new_t
+  end
+
+let field_type_widens_relationship ~new_schema old_t new_t =
+  let old_base = Wrapped.basetype old_t and new_base = Wrapped.basetype new_t in
+  let base_ok = String.equal old_base new_base || Subtype.named new_schema old_base new_base in
+  base_ok && ((not (Wrapped.is_list old_t)) || Wrapped.is_list new_t)
+(* non-list -> list relaxes WS4; list -> non-list tightens *)
+
+let diff_fields owner old_fields new_fields ~old_schema ~new_schema acc =
+  let acc =
+    List.fold_left
+      (fun acc (f_name, (new_fd : Schema.field)) ->
+        let subject = Printf.sprintf "field %s.%s" owner f_name in
+        match List.assoc_opt f_name old_fields with
+        | None ->
+          if Schema.has_directive new_fd.Schema.fd_directives "required" then
+            let rule =
+              match Schema.classify_field new_schema new_fd with
+              | Some Schema.Attribute -> Violation.DS5
+              | _ -> Violation.DS6
+            in
+            break ~rule subject "added with @required" :: acc
+          else compatible subject "added (optional)" :: acc
+        | Some old_fd ->
+          let acc =
+            let old_class = Schema.classify_field old_schema old_fd in
+            let new_class = Schema.classify_field new_schema new_fd in
+            if old_class <> new_class then
+              break ~rule:Violation.SS2 subject
+                "changes between attribute and relationship"
+              :: acc
+            else begin
+              let widens =
+                match new_class with
+                | Some Schema.Relationship ->
+                  field_type_widens_relationship ~new_schema old_fd.Schema.fd_type
+                    new_fd.Schema.fd_type
+                | _ -> field_type_widens ~new_schema old_fd.Schema.fd_type new_fd.Schema.fd_type
+              in
+              if widens then
+                if Wrapped.equal old_fd.Schema.fd_type new_fd.Schema.fd_type then acc
+                else
+                  compatible subject
+                    (Printf.sprintf "type %s widens to %s"
+                       (Wrapped.to_string old_fd.Schema.fd_type)
+                       (Wrapped.to_string new_fd.Schema.fd_type))
+                  :: acc
+              else
+                break
+                  ~rule:
+                    (match new_class with
+                    | Some Schema.Relationship -> Violation.WS3
+                    | _ -> Violation.WS1)
+                  subject
+                  (Printf.sprintf "type changes from %s to %s"
+                     (Wrapped.to_string old_fd.Schema.fd_type)
+                     (Wrapped.to_string new_fd.Schema.fd_type))
+                :: acc
+            end
+          in
+          let acc =
+            diff_directives subject old_fd.Schema.fd_directives new_fd.Schema.fd_directives acc
+          in
+          (* arguments: removing one orphans edge properties (SS3) *)
+          let acc =
+            List.fold_left
+              (fun acc (a_name, (new_arg : Schema.argument)) ->
+                let asubject = Printf.sprintf "argument %s.%s(%s:)" owner f_name a_name in
+                match List.assoc_opt a_name old_fd.Schema.fd_args with
+                | None -> compatible asubject "added" :: acc
+                | Some old_arg ->
+                  if Wrapped.equal old_arg.Schema.arg_type new_arg.Schema.arg_type then acc
+                  else if
+                    field_type_widens ~new_schema old_arg.Schema.arg_type
+                      new_arg.Schema.arg_type
+                  then compatible asubject "type widens" :: acc
+                  else break ~rule:Violation.WS2 asubject "type changes" :: acc)
+              acc new_fd.Schema.fd_args
+          in
+          List.fold_left
+            (fun acc (a_name, _) ->
+              if List.mem_assoc a_name new_fd.Schema.fd_args then acc
+              else
+                break ~rule:Violation.SS3
+                  (Printf.sprintf "argument %s.%s(%s:)" owner f_name a_name)
+                  "removed (existing edge properties become unjustified)"
+                :: acc)
+            acc old_fd.Schema.fd_args)
+      acc new_fields
+  in
+  List.fold_left
+    (fun acc (f_name, (old_fd : Schema.field)) ->
+      if List.mem_assoc f_name new_fields then acc
+      else
+        let rule =
+          match Schema.classify_field old_schema old_fd with
+          | Some Schema.Attribute -> Violation.SS2
+          | _ -> Violation.SS4
+        in
+        break ~rule
+          (Printf.sprintf "field %s.%s" owner f_name)
+          "removed (existing data becomes unjustified)"
+        :: acc)
+    acc old_fields
+
+let diff (old_schema : Schema.t) (new_schema : Schema.t) =
+  let acc = [] in
+  (* object types *)
+  let added, removed = added_removed old_schema.Schema.objects new_schema.Schema.objects in
+  let acc =
+    List.fold_left
+      (fun acc name -> compatible (Printf.sprintf "type %s" name) "added" :: acc)
+      acc added
+  in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        break ~rule:Violation.SS1
+          (Printf.sprintf "type %s" name)
+          "removed (existing nodes lose their label's justification)"
+        :: acc)
+      acc removed
+  in
+  let acc =
+    Sm.fold
+      (fun name (new_ot : Schema.object_type) acc ->
+        match Sm.find_opt name old_schema.Schema.objects with
+        | None -> acc
+        | Some old_ot ->
+          let subject = Printf.sprintf "type %s" name in
+          let acc = diff_keys subject old_ot.Schema.ot_directives new_ot.Schema.ot_directives acc in
+          diff_fields name old_ot.Schema.ot_fields new_ot.Schema.ot_fields ~old_schema
+            ~new_schema acc)
+      new_schema.Schema.objects acc
+  in
+  (* interfaces: their fields carry constraints for implementing types *)
+  let acc =
+    Sm.fold
+      (fun name (new_it : Schema.interface_type) acc ->
+        match Sm.find_opt name old_schema.Schema.interfaces with
+        | None -> acc
+        | Some old_it ->
+          diff_fields name old_it.Schema.it_fields new_it.Schema.it_fields ~old_schema
+            ~new_schema acc)
+      new_schema.Schema.interfaces acc
+  in
+  (* enums: removing a value strands stored properties (WS1) *)
+  let acc =
+    Sm.fold
+      (fun name (new_et : Schema.enum_type) acc ->
+        match Sm.find_opt name old_schema.Schema.enums with
+        | None -> compatible (Printf.sprintf "enum %s" name) "added" :: acc
+        | Some old_et ->
+          let subject = Printf.sprintf "enum %s" name in
+          let acc =
+            List.fold_left
+              (fun acc v ->
+                if List.mem v old_et.Schema.et_values then acc
+                else compatible subject (Printf.sprintf "adds value %s" v) :: acc)
+              acc new_et.Schema.et_values
+          in
+          List.fold_left
+            (fun acc v ->
+              if List.mem v new_et.Schema.et_values then acc
+              else
+                break ~rule:Violation.WS1 subject
+                  (Printf.sprintf "removes value %s (stored values become ill-typed)" v)
+                :: acc)
+            acc old_et.Schema.et_values)
+      new_schema.Schema.enums acc
+  in
+  let acc =
+    Sm.fold
+      (fun name _ acc ->
+        if Sm.mem name new_schema.Schema.enums then acc
+        else break ~rule:Violation.WS1 (Printf.sprintf "enum %s" name) "removed" :: acc)
+      old_schema.Schema.enums acc
+  in
+  (* unions: removing a member breaks WS3 on existing edges *)
+  let acc =
+    Sm.fold
+      (fun name (new_ut : Schema.union_type) acc ->
+        match Sm.find_opt name old_schema.Schema.unions with
+        | None -> compatible (Printf.sprintf "union %s" name) "added" :: acc
+        | Some old_ut ->
+          let subject = Printf.sprintf "union %s" name in
+          let acc =
+            List.fold_left
+              (fun acc m ->
+                if List.mem m old_ut.Schema.ut_members then acc
+                else compatible subject (Printf.sprintf "adds member %s (widens)" m) :: acc)
+              acc new_ut.Schema.ut_members
+          in
+          List.fold_left
+            (fun acc m ->
+              if List.mem m new_ut.Schema.ut_members then acc
+              else
+                break ~rule:Violation.WS3 subject (Printf.sprintf "removes member %s" m) :: acc)
+            acc old_ut.Schema.ut_members)
+      new_schema.Schema.unions acc
+  in
+  (* interface implementations: removing one breaks WS3 where the
+     interface is a target type *)
+  let acc =
+    Sm.fold
+      (fun name _ acc ->
+        let old_impls = Schema.implementations_of old_schema name in
+        let new_impls = Schema.implementations_of new_schema name in
+        let subject = Printf.sprintf "interface %s" name in
+        let acc =
+          List.fold_left
+            (fun acc m ->
+              if List.mem m old_impls then acc
+              else
+                compatible subject (Printf.sprintf "%s now implements it (widens)" m) :: acc)
+            acc new_impls
+        in
+        List.fold_left
+          (fun acc m ->
+            if List.mem m new_impls then acc
+            else
+              break ~rule:Violation.WS3 subject
+                (Printf.sprintf "%s no longer implements it" m)
+              :: acc)
+          acc old_impls)
+      new_schema.Schema.interfaces acc
+  in
+  (* scalars: removing one strands stored values *)
+  let acc =
+    Sm.fold
+      (fun name _ acc ->
+        if Sm.mem name new_schema.Schema.scalars || Sm.mem name new_schema.Schema.enums then acc
+        else break ~rule:Violation.WS1 (Printf.sprintf "scalar %s" name) "removed" :: acc)
+      old_schema.Schema.scalars acc
+  in
+  List.sort_uniq compare (List.rev acc)
+
+let is_compatible old_schema new_schema = breaking (diff old_schema new_schema) = []

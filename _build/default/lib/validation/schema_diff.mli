@@ -1,0 +1,43 @@
+(** Schema evolution: diff two schemas and classify every change by its
+    effect on instance validity.
+
+    A change is {e compatible} when every Property Graph that strongly
+    satisfies the old schema also strongly satisfies the new one — the
+    migration needs no data changes; it is {e breaking} when some
+    conforming graph stops conforming.  The classification is
+    conservative: anything not provably compatible is reported as
+    breaking, with the rule of Section 5 that could fire.
+
+    Examples of the classification logic:
+    - adding an object type, an optional field, an enum value, a union
+      member, or an argument only widens what is justified → compatible;
+    - removing any of those orphans existing data (SS1/SS2/SS3/SS4) →
+      breaking;
+    - adding [@required], [@key], [@distinct], [@noLoops],
+      [@uniqueForTarget] or [@requiredForTarget] tightens constraints →
+      breaking; removing them → compatible;
+    - changing a field's type is compatible only for specific widenings:
+      wrapping a relationship type into a list relaxes WS4; adding
+      non-null never affects stored values (σ is partial); growing the
+      target type upward (e.g. an object type to a union containing it)
+      relaxes WS3. *)
+
+type severity =
+  | Compatible  (** every old-conformant graph stays conformant *)
+  | Breaking  (** some old-conformant graph becomes invalid *)
+
+type change = {
+  severity : severity;
+  subject : string;  (** e.g. "type User", "field User.login", "enum Color" *)
+  description : string;
+  rule : Violation.rule option;
+      (** for breaking changes: a rule that could fire on existing data *)
+}
+
+val diff : Pg_schema.Schema.t -> Pg_schema.Schema.t -> change list
+(** [diff old_schema new_schema], in deterministic order. *)
+
+val breaking : change list -> change list
+val is_compatible : Pg_schema.Schema.t -> Pg_schema.Schema.t -> bool
+
+val pp_change : Format.formatter -> change -> unit

@@ -1,0 +1,59 @@
+module G = Pg_graph.Property_graph
+
+type engine = Naive | Indexed
+type mode = Weak | Directives | Strong
+
+type report = {
+  violations : Violation.t list;
+  nodes_checked : int;
+  edges_checked : int;
+  mode : mode;
+  engine : engine;
+}
+
+let check ?(engine = Indexed) ?(mode = Strong) ?env sch g =
+  let weak, directives, strong_extra =
+    match engine with
+    | Naive -> (Naive.weak ?env, Naive.directives ?env, Naive.strong_extra)
+    | Indexed -> (Indexed.weak ?env, Indexed.directives ?env, Indexed.strong_extra)
+  in
+  let violations =
+    match mode with
+    | Weak -> weak sch g
+    | Directives -> directives sch g
+    | Strong -> Violation.normalize (weak sch g @ directives sch g @ strong_extra sch g)
+  in
+  {
+    violations;
+    nodes_checked = G.node_count g;
+    edges_checked = G.edge_count g;
+    mode;
+    engine;
+  }
+
+let conforms ?engine ?env sch g = (check ?engine ~mode:Strong ?env sch g).violations = []
+
+let weakly_satisfies ?engine ?env sch g = (check ?engine ~mode:Weak ?env sch g).violations = []
+
+let satisfies_directives ?engine ?env sch g =
+  (check ?engine ~mode:Directives ?env sch g).violations = []
+
+let violated_rules report =
+  List.filter
+    (fun r -> List.exists (fun v -> v.Violation.rule = r) report.violations)
+    Violation.all_rules
+
+let pp_report ppf report =
+  let mode_name = function Weak -> "weak" | Directives -> "directives" | Strong -> "strong" in
+  let engine_name = function Naive -> "naive" | Indexed -> "indexed" in
+  if report.violations = [] then
+    Format.fprintf ppf "valid (%s satisfaction; %d nodes, %d edges; %s engine)"
+      (mode_name report.mode) report.nodes_checked report.edges_checked
+      (engine_name report.engine)
+  else begin
+    Format.fprintf ppf "%d violation(s) (%s satisfaction; %d nodes, %d edges; %s engine):"
+      (List.length report.violations)
+      (mode_name report.mode) report.nodes_checked report.edges_checked
+      (engine_name report.engine);
+    List.iter (fun v -> Format.fprintf ppf "@.  %a" Violation.pp v) report.violations
+  end

@@ -1,0 +1,58 @@
+(** Validation façade: the Schema Validation Problem of Section 6.1.
+
+    [check] evaluates the requested notion of satisfaction and returns a
+    report; [conforms] answers the decision problem (does the graph
+    {e strongly satisfy} the schema?). *)
+
+type engine =
+  | Naive  (** executable specification; quadratic pair rules *)
+  | Indexed  (** hash-indexed; near-linear *)
+
+type mode =
+  | Weak  (** Definition 5.1: WS1–WS4 *)
+  | Directives  (** Definition 5.2: DS1–DS7 *)
+  | Strong  (** Definition 5.3: all fifteen rules *)
+
+type report = {
+  violations : Violation.t list;  (** normalized: sorted, deduplicated *)
+  nodes_checked : int;
+  edges_checked : int;
+  mode : mode;
+  engine : engine;
+}
+
+val check :
+  ?engine:engine ->
+  ?mode:mode ->
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  report
+(** Defaults: [engine = Indexed], [mode = Strong]. *)
+
+val conforms :
+  ?engine:engine ->
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  bool
+(** [true] iff the graph strongly satisfies the schema. *)
+
+val weakly_satisfies :
+  ?engine:engine ->
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  bool
+
+val satisfies_directives :
+  ?engine:engine ->
+  ?env:Pg_schema.Values_w.env ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  bool
+
+val violated_rules : report -> Violation.rule list
+(** The distinct rules violated, in rule order. *)
+
+val pp_report : Format.formatter -> report -> unit

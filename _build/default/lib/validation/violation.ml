@@ -1,0 +1,109 @@
+type rule =
+  | WS1
+  | WS2
+  | WS3
+  | WS4
+  | DS1
+  | DS2
+  | DS3
+  | DS4
+  | DS5
+  | DS6
+  | DS7
+  | SS1
+  | SS2
+  | SS3
+  | SS4
+
+let rule_name = function
+  | WS1 -> "WS1"
+  | WS2 -> "WS2"
+  | WS3 -> "WS3"
+  | WS4 -> "WS4"
+  | DS1 -> "DS1"
+  | DS2 -> "DS2"
+  | DS3 -> "DS3"
+  | DS4 -> "DS4"
+  | DS5 -> "DS5"
+  | DS6 -> "DS6"
+  | DS7 -> "DS7"
+  | SS1 -> "SS1"
+  | SS2 -> "SS2"
+  | SS3 -> "SS3"
+  | SS4 -> "SS4"
+
+let rule_description = function
+  | WS1 -> "node properties must be of the required type"
+  | WS2 -> "edge properties must be of the required type"
+  | WS3 -> "target nodes must be of the required type"
+  | WS4 -> "non-list fields contain at most one edge"
+  | DS1 -> "edges identified by nodes and label (@distinct)"
+  | DS2 -> "no loops (@noLoops)"
+  | DS3 -> "target has at most one incoming edge (@uniqueForTarget)"
+  | DS4 -> "target has at least one incoming edge (@requiredForTarget)"
+  | DS5 -> "property is required (@required)"
+  | DS6 -> "edge is required (@required)"
+  | DS7 -> "keys (@key)"
+  | SS1 -> "all nodes are justified"
+  | SS2 -> "all node properties are justified"
+  | SS3 -> "all edge properties are justified"
+  | SS4 -> "all edges are justified"
+
+let all_rules =
+  [ WS1; WS2; WS3; WS4; DS1; DS2; DS3; DS4; DS5; DS6; DS7; SS1; SS2; SS3; SS4 ]
+
+let rule_rank = function
+  | WS1 -> 0
+  | WS2 -> 1
+  | WS3 -> 2
+  | WS4 -> 3
+  | DS1 -> 4
+  | DS2 -> 5
+  | DS3 -> 6
+  | DS4 -> 7
+  | DS5 -> 8
+  | DS6 -> 9
+  | DS7 -> 10
+  | SS1 -> 11
+  | SS2 -> 12
+  | SS3 -> 13
+  | SS4 -> 14
+
+type subject =
+  | Node of int
+  | Edge of int
+  | Node_property of int * string
+  | Edge_property of int * string
+  | Node_pair of int * int
+  | Edge_pair of int * int
+
+type t = { rule : rule; subject : subject; message : string }
+
+let normalize_subject = function
+  | Node_pair (a, b) when a > b -> Node_pair (b, a)
+  | Edge_pair (a, b) when a > b -> Edge_pair (b, a)
+  | s -> s
+
+let make rule subject message = { rule; subject = normalize_subject subject; message }
+
+let compare v1 v2 =
+  match Stdlib.compare (rule_rank v1.rule) (rule_rank v2.rule) with
+  | 0 -> Stdlib.compare v1.subject v2.subject
+  | c -> c
+
+let equal v1 v2 = compare v1 v2 = 0
+let normalize vs = List.sort_uniq compare vs
+
+let pp_subject ppf = function
+  | Node v -> Format.fprintf ppf "node n%d" v
+  | Edge e -> Format.fprintf ppf "edge e%d" e
+  | Node_property (v, p) -> Format.fprintf ppf "property %S of node n%d" p v
+  | Edge_property (e, p) -> Format.fprintf ppf "property %S of edge e%d" p e
+  | Node_pair (a, b) -> Format.fprintf ppf "nodes n%d and n%d" a b
+  | Edge_pair (a, b) -> Format.fprintf ppf "edges e%d and e%d" a b
+
+let pp ppf v =
+  Format.fprintf ppf "[%s] %a: %s (%s)" (rule_name v.rule) pp_subject v.subject v.message
+    (rule_description v.rule)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,59 @@
+(** Typed validation diagnostics.
+
+    Each violation names the rule of Section 5 it falsifies (WS1–WS4 of
+    weak satisfaction, DS1–DS7 of directives satisfaction, SS1–SS4 of
+    strong satisfaction), the graph elements involved, and a rendered
+    message.  Violations are totally ordered so that the two validation
+    engines can be compared for extensional equality. *)
+
+type rule =
+  | WS1  (** node properties must be of the required type *)
+  | WS2  (** edge properties must be of the required type *)
+  | WS3  (** target nodes must be of the required type *)
+  | WS4  (** non-list fields contain at most one edge *)
+  | DS1  (** [@distinct]: edges identified by nodes and label *)
+  | DS2  (** [@noLoops]: no loops *)
+  | DS3  (** [@uniqueForTarget]: target has at most one incoming edge *)
+  | DS4  (** [@requiredForTarget]: target has at least one incoming edge *)
+  | DS5  (** [@required] on an attribute: property is required *)
+  | DS6  (** [@required] on a relationship: edge is required *)
+  | DS7  (** [@key]: keys *)
+  | SS1  (** all nodes are justified *)
+  | SS2  (** all node properties are justified *)
+  | SS3  (** all edge properties are justified *)
+  | SS4  (** all edges are justified *)
+
+val rule_name : rule -> string
+(** "WS1" ... "SS4". *)
+
+val rule_description : rule -> string
+(** The paper's caption for the rule. *)
+
+val all_rules : rule list
+
+(** The graph elements a violation is about.  Pairs are kept in normalized
+    (sorted) order so that engines reporting [(a, b)] and [(b, a)] agree. *)
+type subject =
+  | Node of int
+  | Edge of int
+  | Node_property of int * string
+  | Edge_property of int * string
+  | Node_pair of int * int
+  | Edge_pair of int * int
+
+type t = { rule : rule; subject : subject; message : string }
+
+val make : rule -> subject -> string -> t
+(** Normalizes pair subjects. *)
+
+val compare : t -> t -> int
+(** Ignores the message: two violations are the same fact about the same
+    elements. *)
+
+val equal : t -> t -> bool
+
+val normalize : t list -> t list
+(** Sort and deduplicate (by rule and subject). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

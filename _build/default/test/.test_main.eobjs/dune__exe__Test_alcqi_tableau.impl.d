@@ -1,0 +1,1 @@
+test/test_alcqi_tableau.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_angles.ml: Alcotest Graphql_pg List String

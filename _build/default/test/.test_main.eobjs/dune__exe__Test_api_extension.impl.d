@@ -1,0 +1,1 @@
+test/test_api_extension.ml: Alcotest Graphql_pg List Result

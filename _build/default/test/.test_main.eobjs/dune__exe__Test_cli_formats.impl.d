@@ -1,0 +1,1 @@
+test/test_cli_formats.ml: Alcotest Filename Graphql_pg Printf String Sys

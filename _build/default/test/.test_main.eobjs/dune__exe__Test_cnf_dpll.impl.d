@@ -1,0 +1,1 @@
+test/test_cnf_dpll.ml: Alcotest Array Graphql_pg List QCheck2 QCheck_alcotest Result

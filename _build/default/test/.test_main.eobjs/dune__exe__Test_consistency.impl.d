@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Char Graphql_pg QCheck2 QCheck_alcotest String

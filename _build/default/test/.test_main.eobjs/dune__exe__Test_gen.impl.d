@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Graphql_pg List Printf Random

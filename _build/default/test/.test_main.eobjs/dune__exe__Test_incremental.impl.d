@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Graphql_pg List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_introspection.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Graphql_pg List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Graphql_pg List

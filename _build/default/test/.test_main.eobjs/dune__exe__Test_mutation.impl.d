@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_neo4j.ml: Alcotest Graphql_pg List String

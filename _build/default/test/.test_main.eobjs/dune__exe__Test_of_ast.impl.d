@@ -1,0 +1,1 @@
+test/test_of_ast.ml: Alcotest Graphql_pg List Map Result String

@@ -1,0 +1,1 @@
+test/test_pgf.ml: Alcotest Array Graphql_pg List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_property_graph.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Graphql_pg List Result String

@@ -1,0 +1,1 @@
+test/test_query_prop.ml: Graphql_pg List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Graphql_pg List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Graphql_pg List Map Option String

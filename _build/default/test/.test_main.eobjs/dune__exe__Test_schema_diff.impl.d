@@ -1,0 +1,1 @@
+test/test_schema_diff.ml: Alcotest Graphql_pg List Printf String

@@ -1,0 +1,1 @@
+test/test_schema_doc.ml: Alcotest Graphql_pg List String

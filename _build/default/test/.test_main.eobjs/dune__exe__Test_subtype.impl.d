@@ -1,0 +1,1 @@
+test/test_subtype.ml: Alcotest Graphql_pg Lazy List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tableau_diff.ml: Array Fun Graphql_pg List QCheck2 QCheck_alcotest

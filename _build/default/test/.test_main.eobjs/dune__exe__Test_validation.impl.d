@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Graphql_pg List

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Float Graphql_pg List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_values_w.ml: Alcotest Graphql_pg Lazy String

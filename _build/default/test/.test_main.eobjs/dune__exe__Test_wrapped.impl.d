@@ -1,0 +1,1 @@
+test/test_wrapped.ml: Alcotest Graphql_pg List Result

@@ -1,0 +1,136 @@
+(* The ALCQI module and the tableau reasoner. *)
+
+module A = Graphql_pg.Alcqi
+module T = Graphql_pg.Tableau
+
+let check_bool = Alcotest.(check bool)
+let r = A.role "r"
+let s = A.role "s"
+let atom n = A.Atom n
+
+let sat ?(tbox = []) c = T.is_satisfiable ~tbox c = T.Satisfiable
+let unsat ?(tbox = []) c = T.is_satisfiable ~tbox c = T.Unsatisfiable
+
+let test_neg_nnf () =
+  check_bool "neg atom" true (A.neg (atom "A") = A.Neg "A");
+  check_bool "double neg" true (A.neg (A.neg (atom "A")) = atom "A");
+  check_bool "neg top" true (A.neg A.Top = A.Bot);
+  check_bool "de morgan" true
+    (A.neg (A.And [ atom "A"; atom "B" ]) = A.Or [ A.Neg "A"; A.Neg "B" ]);
+  check_bool "neg forall" true (A.neg (A.All (r, atom "A")) = A.At_least (1, r, A.Neg "A"));
+  check_bool "neg exists" true (A.neg (A.exists r (atom "A")) = A.All (r, A.Neg "A"));
+  check_bool "neg at_least n" true (A.neg (A.At_least (3, r, atom "A")) = A.At_most (2, r, atom "A"));
+  check_bool "neg at_most" true (A.neg (A.At_most (2, r, atom "A")) = A.At_least (3, r, atom "A"))
+
+let test_conj_disj () =
+  check_bool "conj flattens" true
+    (A.conj [ atom "A"; A.And [ atom "B"; atom "C" ] ] = A.And [ atom "A"; atom "B"; atom "C" ]);
+  check_bool "conj drops top" true (A.conj [ A.Top; atom "A" ] = atom "A");
+  check_bool "conj bot" true (A.conj [ atom "A"; A.Bot ] = A.Bot);
+  check_bool "conj empty" true (A.conj [] = A.Top);
+  check_bool "disj empty" true (A.disj [] = A.Bot);
+  check_bool "disj top" true (A.disj [ atom "A"; A.Top ] = A.Top);
+  check_bool "dedup" true (A.conj [ atom "A"; atom "A" ] = atom "A")
+
+let test_inverse_roles () =
+  check_bool "involution" true (A.inv (A.inv r) = r);
+  check_bool "distinct" true (A.inv r <> r)
+
+let test_tableau_propositional () =
+  check_bool "atom sat" true (sat (atom "A"));
+  check_bool "contradiction" true (unsat (A.And [ atom "A"; A.Neg "A" ]));
+  check_bool "bot" true (unsat A.Bot);
+  check_bool "top" true (sat A.Top);
+  check_bool "disjunction" true (sat (A.And [ A.Or [ atom "A"; atom "B" ]; A.Neg "A" ]));
+  check_bool "unsat dnf" true
+    (unsat (A.And [ A.Or [ atom "A"; atom "B" ]; A.Neg "A"; A.Neg "B" ]))
+
+let test_tableau_modal () =
+  check_bool "exists" true (sat (A.exists r (atom "A")));
+  check_bool "exists clash" true (unsat (A.And [ A.exists r (atom "A"); A.All (r, A.Neg "A") ]));
+  check_bool "forall vacuous" true (sat (A.All (r, A.Bot)));
+  check_bool "exists bot" true (unsat (A.exists r A.Bot));
+  check_bool "nested" true
+    (sat (A.exists r (A.And [ atom "A"; A.exists s (atom "B") ])))
+
+let test_tableau_counting () =
+  check_bool ">=2 sat" true (sat (A.At_least (2, r, atom "A")));
+  check_bool ">=2 with <=1 unsat" true
+    (unsat (A.And [ A.At_least (2, r, atom "A"); A.At_most (1, r, atom "A") ]));
+  check_bool ">=2 with <=2 sat" true
+    (sat (A.And [ A.At_least (2, r, atom "A"); A.At_most (2, r, atom "A") ]));
+  (* merging reconciles: >=1 A-successor, >=1 B-successor, <=1 successor *)
+  check_bool "merge labels" true
+    (sat
+       (A.And
+          [ A.exists r (atom "A"); A.exists r (atom "B"); A.At_most (1, r, A.Or [atom "A"; atom "B"]) ]));
+  check_bool "merge then clash" true
+    (unsat
+       (A.And
+          [
+            A.exists r (atom "A");
+            A.exists r (atom "B");
+            A.At_most (1, r, A.Top);
+            A.All (r, A.Or [ A.Neg "A"; A.Neg "B" ]);
+          ]))
+
+let test_tableau_at_most_top () =
+  (* <=n r.Top demands the choose rule work with Top *)
+  check_bool "functional role" true
+    (sat (A.And [ A.exists r (atom "A"); A.At_most (1, r, A.Top) ]))
+
+let test_tableau_inverse () =
+  (* an r-successor whose r-inverse must be B, but we are A with A,B disjoint *)
+  let tbox = [ A.Subsumption (A.conj [ atom "A"; atom "B" ], A.Bot) ] in
+  check_bool "inverse propagation" true
+    (unsat ~tbox (A.And [ atom "A"; A.exists r (A.All (A.inv r, atom "B")) ]));
+  check_bool "inverse consistent" true
+    (sat ~tbox (A.And [ atom "A"; A.exists r (A.All (A.inv r, atom "A")) ]))
+
+let test_tbox_cycles_blocking () =
+  (* T: A [= exists r.A — satisfiable only via blocking (infinite model) *)
+  let tbox = [ A.Subsumption (atom "A", A.exists r (atom "A")) ] in
+  check_bool "cyclic tbox sat (blocking)" true (sat ~tbox (atom "A"));
+  (* add A [= Bot: nothing can be A *)
+  let tbox2 = A.Subsumption (atom "A", A.Bot) :: tbox in
+  check_bool "A empty" true (unsat ~tbox:tbox2 (atom "A"))
+
+let test_tbox_infinite_model_sat () =
+  (* the diagram-(b) pattern: only infinite models; ALCQI must say SAT *)
+  let tbox =
+    [
+      A.Subsumption (atom "A", A.exists r (atom "A"));
+      A.Subsumption (atom "A", A.At_most (1, A.inv r, atom "A"));
+      (* root: an A with no incoming r from A *)
+    ]
+  in
+  check_bool "infinite chain satisfiable in ALCQI" true
+    (sat ~tbox (A.And [ atom "A"; A.All (A.inv r, A.Neg "A") ]))
+
+let test_internalize () =
+  let tbox = [ A.Subsumption (atom "A", atom "B"); A.Equivalence (atom "C", atom "D") ] in
+  let g = A.internalize tbox in
+  (* the global concept must contain three disjunctions *)
+  match g with
+  | A.And parts -> Alcotest.(check int) "three conjuncts" 3 (List.length parts)
+  | _ -> Alcotest.fail "expected a conjunction"
+
+let test_size () =
+  check_bool "size positive" true (A.size (A.And [ atom "A"; A.exists r (atom "B") ]) > 2)
+
+let suite =
+  [
+    Alcotest.test_case "negation / NNF" `Quick test_neg_nnf;
+    Alcotest.test_case "smart constructors" `Quick test_conj_disj;
+    Alcotest.test_case "inverse roles" `Quick test_inverse_roles;
+    Alcotest.test_case "tableau: propositional" `Quick test_tableau_propositional;
+    Alcotest.test_case "tableau: modal" `Quick test_tableau_modal;
+    Alcotest.test_case "tableau: counting + merging" `Quick test_tableau_counting;
+    Alcotest.test_case "tableau: <=n with Top" `Quick test_tableau_at_most_top;
+    Alcotest.test_case "tableau: inverse roles" `Quick test_tableau_inverse;
+    Alcotest.test_case "tableau: cyclic TBox and blocking" `Quick test_tbox_cycles_blocking;
+    Alcotest.test_case "tableau: infinite-only models are SAT" `Quick
+      test_tbox_infinite_model_sat;
+    Alcotest.test_case "internalize" `Quick test_internalize;
+    Alcotest.test_case "concept size" `Quick test_size;
+  ]

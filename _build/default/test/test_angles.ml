@@ -1,0 +1,190 @@
+(* The Angles (2018) baseline model and the translation from SDL schemas
+   (experiment E11). *)
+
+module A = Graphql_pg.Angles_schema
+module AV = Graphql_pg.Angles_validate
+module AO = Graphql_pg.Angles_of_graphql
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let person_prop = { A.p_type = "String"; p_list = false; p_mandatory = true; p_unique = false }
+
+let tiny =
+  A.empty
+  |> (fun s -> A.add_node_type s "Person" { A.nt_props = [ ("name", person_prop) ] })
+  |> (fun s -> A.add_node_type s "City" { A.nt_props = [] })
+  |> fun s ->
+  A.add_edge_type s
+    {
+      A.et_source = "Person";
+      et_label = "livesIn";
+      et_target = "City";
+      et_props = [];
+      et_cardinality = A.One_to_many;
+      et_mandatory = true;
+    }
+
+let person_city ?(name = true) ?(lives = true) () =
+  let g, p =
+    G.add_node G.empty ~label:"Person"
+      ~props:(if name then [ ("name", V.String "p") ] else [])
+      ()
+  in
+  let g, c = G.add_node g ~label:"City" () in
+  if lives then fst (G.add_edge g ~label:"livesIn" p c) else g
+
+let test_validate_basics () =
+  check_bool "conformant" true (AV.conforms tiny (person_city ()));
+  check_bool "missing mandatory property" false (AV.conforms tiny (person_city ~name:false ()));
+  check_bool "missing mandatory edge" false (AV.conforms tiny (person_city ~lives:false ()))
+
+let test_undeclared () =
+  let g, _ = G.add_node G.empty ~label:"Alien" () in
+  check_bool "unknown node type" false (AV.conforms tiny g);
+  let g = person_city () in
+  let p = List.hd (G.nodes g) in
+  let g = G.set_node_prop g p "age" (V.Int 3) in
+  check_bool "unknown property" false (AV.conforms tiny g);
+  let g2 = person_city () in
+  let nodes = G.nodes g2 in
+  let g2, _ = G.add_edge g2 ~label:"knows" (List.hd nodes) (List.nth nodes 1) in
+  check_bool "unknown edge type" false (AV.conforms tiny g2)
+
+let test_cardinality_orientation () =
+  let et card =
+    A.add_edge_type
+      (A.add_node_type (A.add_node_type A.empty "A" { A.nt_props = [] }) "B" { A.nt_props = [] })
+      {
+        A.et_source = "A";
+        et_label = "r";
+        et_target = "B";
+        et_props = [];
+        et_cardinality = card;
+        et_mandatory = false;
+      }
+  in
+  let fan_out =
+    let g, a = G.add_node G.empty ~label:"A" () in
+    let g, b1 = G.add_node g ~label:"B" () in
+    let g, b2 = G.add_node g ~label:"B" () in
+    let g, _ = G.add_edge g ~label:"r" a b1 in
+    fst (G.add_edge g ~label:"r" a b2)
+  in
+  let fan_in =
+    let g, a1 = G.add_node G.empty ~label:"A" () in
+    let g, a2 = G.add_node g ~label:"A" () in
+    let g, b = G.add_node g ~label:"B" () in
+    let g, _ = G.add_edge g ~label:"r" a1 b in
+    fst (G.add_edge g ~label:"r" a2 b)
+  in
+  check_bool "1:N blocks fan-out" false (AV.conforms (et A.One_to_many) fan_out);
+  check_bool "1:N allows fan-in" true (AV.conforms (et A.One_to_many) fan_in);
+  check_bool "N:1 allows fan-out" true (AV.conforms (et A.Many_to_one) fan_out);
+  check_bool "N:1 blocks fan-in" false (AV.conforms (et A.Many_to_one) fan_in);
+  check_bool "N:M allows both" true
+    (AV.conforms (et A.Many_to_many) fan_out && AV.conforms (et A.Many_to_many) fan_in);
+  check_bool "1:1 blocks both" true
+    ((not (AV.conforms (et A.One_to_one) fan_out))
+    && not (AV.conforms (et A.One_to_one) fan_in))
+
+let test_unique_property () =
+  let sch =
+    A.add_node_type A.empty "U"
+      {
+        A.nt_props =
+          [ ("k", { A.p_type = "ID"; p_list = false; p_mandatory = false; p_unique = true }) ];
+      }
+  in
+  let g, _ = G.add_node G.empty ~label:"U" ~props:[ ("k", V.Id "same") ] () in
+  let g, _ = G.add_node g ~label:"U" ~props:[ ("k", V.Id "same") ] () in
+  check_bool "duplicate unique" false (AV.conforms sch g);
+  let g2, _ = G.add_node G.empty ~label:"U" ~props:[ ("k", V.Id "a") ] () in
+  let g2, _ = G.add_node g2 ~label:"U" ~props:[ ("k", V.Id "b") ] () in
+  check_bool "distinct unique" true (AV.conforms sch g2)
+
+(* --- translation from SDL schemas --- *)
+
+let test_translation_covers_angles_features () =
+  (* the features Angles lists (Section 2.1): property types, allowed edge
+     triples, mandatory properties/edges, uniqueness, cardinalities *)
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  livesIn: City! @required
+  knows: [Person]
+}
+type City {
+  name: String! @required
+}
+|}
+  in
+  let angles, dropped = AO.translate sch in
+  check_int "nothing dropped" 0 (List.length dropped);
+  (match A.node_type angles "Person" with
+  | Some nt ->
+    let id = List.assoc "id" nt.A.nt_props in
+    check_bool "id mandatory" true id.A.p_mandatory;
+    check_bool "id unique" true id.A.p_unique;
+    let name = List.assoc "name" nt.A.nt_props in
+    check_bool "name optional" false name.A.p_mandatory
+  | None -> Alcotest.fail "Person missing");
+  (match A.edge_types_for angles ~source:"Person" ~label:"livesIn" ~target:"City" with
+  | [ et ] ->
+    check_bool "mandatory" true et.A.et_mandatory;
+    check_bool "1:N (non-list)" true (et.A.et_cardinality = A.One_to_many)
+  | _ -> Alcotest.fail "livesIn edge type missing");
+  match A.edge_types_for angles ~source:"Person" ~label:"knows" ~target:"Person" with
+  | [ et ] -> check_bool "N:M (list)" true (et.A.et_cardinality = A.Many_to_many)
+  | _ -> Alcotest.fail "knows edge type missing"
+
+let test_translation_reports_dropped () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+type A @key(fields: ["x", "y"]) {
+  x: ID
+  y: ID
+  r: [A] @distinct @noLoops
+  s: [B] @requiredForTarget
+}
+type B { z: Int }
+|}
+  in
+  let _, dropped = AO.translate sch in
+  let constructs = List.map (fun d -> d.AO.construct) dropped in
+  let has needle = List.exists (fun c -> String.length c >= String.length needle &&
+    (let rec go i = i + String.length needle <= String.length c && (String.sub c i (String.length needle) = needle || go (i+1)) in go 0)) constructs in
+  check_bool "@key multi dropped" true (has "@key");
+  check_bool "@distinct dropped" true (has "@distinct");
+  check_bool "@noLoops dropped" true (has "@noLoops");
+  check_bool "@requiredForTarget dropped" true (has "@requiredForTarget")
+
+let test_translation_agrees_on_social () =
+  (* conformant SDL graphs conform to the translated Angles schema (the
+     Angles model is strictly weaker) *)
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:60 () in
+  let angles, _ = AO.translate sch in
+  check_bool "conformant graph passes Angles" true (AV.conforms angles g);
+  let expressed, dropped = AO.coverage sch in
+  check_bool "most constraints expressible" true (expressed > dropped)
+
+let suite =
+  [
+    Alcotest.test_case "validation basics" `Quick test_validate_basics;
+    Alcotest.test_case "undeclared elements" `Quick test_undeclared;
+    Alcotest.test_case "cardinality orientation" `Quick test_cardinality_orientation;
+    Alcotest.test_case "unique properties" `Quick test_unique_property;
+    Alcotest.test_case "translation covers Angles features" `Quick
+      test_translation_covers_angles_features;
+    Alcotest.test_case "translation reports dropped constructs" `Quick
+      test_translation_reports_dropped;
+    Alcotest.test_case "translation agrees on social workload" `Quick
+      test_translation_agrees_on_social;
+  ]

@@ -1,0 +1,110 @@
+(* Section 3.6 / experiment E12: extending PG schemas into GraphQL API
+   schemas. *)
+
+module Api = Graphql_pg.Api_extension
+module Ast = Graphql_pg.Sdl.Ast
+
+let check_bool = Alcotest.(check bool)
+
+let base =
+  Graphql_pg.schema_of_string_exn
+    {|
+type UserSession {
+  id: ID! @required
+  user: User! @required
+  startTime: Time! @required
+}
+type User @key(fields: ["id"]) {
+  id: ID! @required
+  login: String! @required
+}
+scalar Time
+|}
+
+let extended () =
+  match Api.extend base with
+  | Ok doc -> doc
+  | Error msg -> Alcotest.failf "extend: %s" msg
+
+let find_object doc name =
+  List.find_map
+    (function
+      | Ast.Type_definition (Ast.Object_type d) when d.Ast.o_name = name -> Some d
+      | _ -> None)
+    doc
+
+let test_query_type () =
+  let doc = extended () in
+  match find_object doc "Query" with
+  | None -> Alcotest.fail "no Query type"
+  | Some q ->
+    let names = List.map (fun (f : Ast.field_def) -> f.Ast.f_name) q.Ast.o_fields in
+    check_bool "allUser" true (List.mem "allUser" names);
+    check_bool "allUserSession" true (List.mem "allUserSession" names);
+    check_bool "key lookup" true (List.mem "userById" names)
+
+let test_schema_block () =
+  let doc = extended () in
+  check_bool "schema block present" true
+    (List.exists
+       (function
+         | Ast.Schema_definition sd -> sd.Ast.sd_operations = [ (Ast.Query, "Query") ]
+         | _ -> false)
+       doc)
+
+let test_inverse_fields () =
+  let doc = extended () in
+  match find_object doc "User" with
+  | None -> Alcotest.fail "no User type"
+  | Some u ->
+    check_bool "inverse field for user edge" true
+      (List.exists
+         (fun (f : Ast.field_def) -> f.Ast.f_name = "_inverse_user_of_userSession")
+         u.Ast.o_fields)
+
+let test_reparses_cleanly () =
+  let text = Graphql_pg.Sdl.Printer.document_to_string (extended ()) in
+  match Graphql_pg.Sdl.Parser.parse text with
+  | Error e -> Alcotest.failf "re-parse: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+  | Ok doc ->
+    check_bool "no lint errors" true
+      (Graphql_pg.Sdl.Lint.errors (Graphql_pg.Sdl.Lint.check doc) = [])
+
+let test_query_conflict () =
+  let sch = Graphql_pg.schema_of_string_exn "type Query { x: Int }" in
+  check_bool "existing Query rejected" true (Result.is_error (Api.extend sch))
+
+let test_interface_targets_get_inverses () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+type Person { likes: [Item] }
+interface Item { id: ID! }
+type Book implements Item { id: ID! }
+type Film implements Item { id: ID! }
+|}
+  in
+  match Api.extend sch with
+  | Error msg -> Alcotest.failf "extend: %s" msg
+  | Ok doc ->
+    List.iter
+      (fun target ->
+        match find_object doc target with
+        | Some d ->
+          check_bool (target ^ " has inverse") true
+            (List.exists
+               (fun (f : Ast.field_def) -> f.Ast.f_name = "_inverse_likes_of_person")
+               d.Ast.o_fields)
+        | None -> Alcotest.failf "missing %s" target)
+      [ "Book"; "Film" ]
+
+let suite =
+  [
+    Alcotest.test_case "Query entry points" `Quick test_query_type;
+    Alcotest.test_case "schema block" `Quick test_schema_block;
+    Alcotest.test_case "inverse fields" `Quick test_inverse_fields;
+    Alcotest.test_case "output re-parses" `Quick test_reparses_cleanly;
+    Alcotest.test_case "Query name conflict" `Quick test_query_conflict;
+    Alcotest.test_case "interface targets get inverses" `Quick
+      test_interface_targets_get_inverses;
+  ]

@@ -1,0 +1,107 @@
+(* End-to-end format pipelines the CLI relies on: schema SDL round-trips
+   through To_sdl/Of_ast, PGF files round-trip through save/load, DIMACS
+   through Reduction, and the generated artifacts re-enter the toolchain. *)
+
+module G = Graphql_pg.Property_graph
+
+let check_bool = Alcotest.(check bool)
+
+let tmp name suffix =
+  Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "gpgs_test_%s%s" name suffix)
+
+let test_schema_sdl_round_trip () =
+  (* Schema -> SDL text -> Schema preserves the formal content *)
+  let sch = Graphql_pg.Social.schema () in
+  let text = Graphql_pg.schema_to_string sch in
+  match Graphql_pg.schema_of_string text with
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+  | Ok sch' ->
+    check_bool "same object types" true
+      (Graphql_pg.Schema.object_names sch = Graphql_pg.Schema.object_names sch');
+    check_bool "same interfaces" true
+      (Graphql_pg.Schema.interface_names sch = Graphql_pg.Schema.interface_names sch');
+    check_bool "same size" true
+      (Graphql_pg.Schema.size sch = Graphql_pg.Schema.size sch');
+    (* validation behaviour is identical on a workload *)
+    let g = Graphql_pg.Social.generate ~persons:20 () in
+    check_bool "same verdict" true
+      (Graphql_pg.conforms sch g = Graphql_pg.conforms sch' g)
+
+let test_pgf_file_round_trip () =
+  let g = Graphql_pg.Social.generate ~persons:12 () in
+  let path = tmp "graph" ".pgf" in
+  Graphql_pg.Pgf.save path g;
+  (match Graphql_pg.Pgf.load path with
+  | Ok g' -> check_bool "file round-trip" true (G.equal g g')
+  | Error e -> Alcotest.failf "load failed: %a" Graphql_pg.Pgf.pp_error e);
+  Sys.remove path
+
+let test_reduction_sdl_is_valid () =
+  (* the reduction's SDL re-enters the normal pipeline *)
+  let f = Graphql_pg.Cnf.paper_example in
+  let text = Graphql_pg.Reduction.to_sdl f in
+  match Graphql_pg.schema_of_string text with
+  | Error msg -> Alcotest.failf "reduction SDL invalid: %s" msg
+  | Ok sch ->
+    check_bool "OT present" true
+      (Graphql_pg.Schema.type_kind sch "OT" = Some Graphql_pg.Schema.Object)
+
+let test_witness_pgf_validates () =
+  (* `gpgs sat --witness` output re-validates with `gpgs validate` *)
+  let sch = Graphql_pg.Social.schema () in
+  match (Graphql_pg.Satisfiability.check sch "Forum").Graphql_pg.Satisfiability.witness with
+  | None -> Alcotest.fail "no witness"
+  | Some g ->
+    let path = tmp "witness" ".pgf" in
+    Graphql_pg.Pgf.save path g;
+    (match Graphql_pg.Pgf.load path with
+    | Ok g' -> check_bool "witness validates after round-trip" true (Graphql_pg.conforms sch g')
+    | Error e -> Alcotest.failf "load failed: %a" Graphql_pg.Pgf.pp_error e);
+    Sys.remove path
+
+let test_api_extension_reparses_as_pg_schema () =
+  (* the extended schema is itself usable as a (lenient) PG schema *)
+  let sch = Graphql_pg.Social.schema () in
+  match Graphql_pg.Api_extension.extend_to_string sch with
+  | Error msg -> Alcotest.failf "extend: %s" msg
+  | Ok text -> (
+    match Graphql_pg.Of_ast.parse_lenient text with
+    | Ok sch' ->
+      check_bool "Query type present" true
+        (Graphql_pg.Schema.type_kind sch' "Query" = Some Graphql_pg.Schema.Object)
+    | Error msg -> Alcotest.failf "extended schema rejected: %s" msg)
+
+let suite =
+  [
+    Alcotest.test_case "schema SDL round-trip" `Quick test_schema_sdl_round_trip;
+    Alcotest.test_case "PGF file round-trip" `Quick test_pgf_file_round_trip;
+    Alcotest.test_case "reduction SDL re-enters the pipeline" `Quick
+      test_reduction_sdl_is_valid;
+    Alcotest.test_case "witness PGF validates" `Quick test_witness_pgf_validates;
+    Alcotest.test_case "API extension re-parses as schema" `Quick
+      test_api_extension_reparses_as_pg_schema;
+  ]
+
+let test_graphml_export () =
+  let g = Graphql_pg.Social.generate ~persons:5 () in
+  let xml = Graphql_pg.Graphml.to_string g in
+  let contains needle =
+    let n = String.length needle and l = String.length xml in
+    let rec go i = i + n <= l && (String.sub xml i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "header" true (contains "<graphml");
+  check_bool "node with label" true (contains {|<data key="node_label">Person</data>|});
+  check_bool "edge with label" true (contains {|<data key="edge_label">livesIn</data>|});
+  check_bool "typed key declared" true
+    (contains {|attr.name="population" attr.type="int"|});
+  check_bool "escaping" true
+    (let g2, v = G.add_node G.empty ~label:"A<B" () in
+     ignore v;
+     let xml2 = Graphql_pg.Graphml.to_string g2 in
+     let rec go i =
+       i + 9 <= String.length xml2 && (String.sub xml2 i 9 = "A&lt;B</d" || go (i + 1))
+     in
+     go 0)
+
+let suite = suite @ [ Alcotest.test_case "GraphML export" `Quick test_graphml_export ]

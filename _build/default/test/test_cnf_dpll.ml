@@ -1,0 +1,99 @@
+(* CNF representation, DIMACS, and the DPLL solver. *)
+
+module Cnf = Graphql_pg.Cnf
+module Dpll = Graphql_pg.Dpll
+
+let check_bool = Alcotest.(check bool)
+
+let test_lit () =
+  check_bool "positive" true (Cnf.lit 3 = { Cnf.var = 3; positive = true });
+  check_bool "negative" true (Cnf.lit (-3) = { Cnf.var = 3; positive = false });
+  Alcotest.check_raises "zero" (Invalid_argument "Cnf.lit: variable 0") (fun () ->
+      ignore (Cnf.lit 0))
+
+let test_make_bounds () =
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Cnf.make: variable 5 out of range") (fun () ->
+      ignore (Cnf.make ~num_vars:3 [ [ Cnf.lit 5 ] ]))
+
+let test_eval () =
+  let f = Cnf.paper_example in
+  check_bool "satisfying" true (Cnf.eval f [| true; false; false; true |]);
+  check_bool "falsifying" false (Cnf.eval f [| true; false; true; false |])
+
+let test_dimacs_round_trip () =
+  let f = Cnf.paper_example in
+  match Cnf.parse_dimacs (Cnf.to_dimacs f) with
+  | Ok f' ->
+    check_bool "same clauses" true (f.Cnf.clauses = f'.Cnf.clauses);
+    check_bool "same vars" true (f.Cnf.num_vars = f'.Cnf.num_vars)
+  | Error e -> Alcotest.failf "dimacs: %s" e
+
+let test_dimacs_parsing () =
+  (match Cnf.parse_dimacs "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" with
+  | Ok f ->
+    Alcotest.(check int) "vars" 3 f.Cnf.num_vars;
+    Alcotest.(check int) "clauses" 2 (List.length f.Cnf.clauses)
+  | Error e -> Alcotest.failf "dimacs: %s" e);
+  check_bool "bad token" true (Result.is_error (Cnf.parse_dimacs "1 x 0"))
+
+let test_dpll_basic () =
+  check_bool "single clause sat" true (Dpll.satisfiable (Cnf.make ~num_vars:1 [ [ Cnf.lit 1 ] ]));
+  check_bool "contradiction unsat" false
+    (Dpll.satisfiable (Cnf.make ~num_vars:1 [ [ Cnf.lit 1 ]; [ Cnf.lit (-1) ] ]));
+  check_bool "empty clause unsat" false (Dpll.satisfiable (Cnf.make ~num_vars:1 [ [] ]));
+  check_bool "empty formula sat" true (Dpll.satisfiable (Cnf.make ~num_vars:0 []));
+  check_bool "paper formula sat" true (Dpll.satisfiable Cnf.paper_example)
+
+let test_dpll_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small unsat instance.
+     var (p, h) = p * 2 + h + 1 for p in 0..2, h in 0..1 *)
+  let v p h = Cnf.lit ((p * 2) + h + 1) in
+  let nv p h = Cnf.lit (-((p * 2) + h + 1)) in
+  let clauses =
+    (* each pigeon in some hole *)
+    [ [ v 0 0; v 0 1 ]; [ v 1 0; v 1 1 ]; [ v 2 0; v 2 1 ] ]
+    (* no two pigeons share a hole *)
+    @ [
+        [ nv 0 0; nv 1 0 ]; [ nv 0 0; nv 2 0 ]; [ nv 1 0; nv 2 0 ];
+        [ nv 0 1; nv 1 1 ]; [ nv 0 1; nv 2 1 ]; [ nv 1 1; nv 2 1 ];
+      ]
+  in
+  check_bool "pigeonhole(3,2) unsat" false (Dpll.satisfiable (Cnf.make ~num_vars:6 clauses))
+
+let test_dpll_model_valid () =
+  match Dpll.solve Cnf.paper_example with
+  | Dpll.Sat a -> check_bool "model satisfies" true (Cnf.eval Cnf.paper_example a)
+  | Dpll.Unsat -> Alcotest.fail "should be satisfiable"
+
+(* qcheck: DPLL models always satisfy; DPLL agrees with brute force on
+   small instances *)
+let brute_force (f : Cnf.t) =
+  let n = f.Cnf.num_vars in
+  let rec go i a = if i = n then Cnf.eval f a else (a.(i) <- false; go (i + 1) a) || (a.(i) <- true; go (i + 1) a) in
+  if n > 12 then invalid_arg "brute_force" else go 0 (Array.make n false)
+
+let prop_dpll_sound_and_complete =
+  QCheck2.Test.make ~name:"DPLL = brute force on random 3-SAT" ~count:120
+    QCheck2.Gen.(tup3 (int_range 1 6) (int_range 1 14) (int_bound 1_000_000))
+    (fun (vars, clauses, seed) ->
+      let f =
+        Graphql_pg.Ksat.random ~seed ~num_vars:vars ~num_clauses:clauses ~clause_size:3 ()
+      in
+      (match Dpll.solve f with
+      | Dpll.Sat a -> Cnf.eval f a
+      | Dpll.Unsat -> true)
+      && Dpll.satisfiable f = brute_force f)
+
+let suite =
+  [
+    Alcotest.test_case "literals" `Quick test_lit;
+    Alcotest.test_case "make bounds" `Quick test_make_bounds;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "DIMACS round-trip" `Quick test_dimacs_round_trip;
+    Alcotest.test_case "DIMACS parsing" `Quick test_dimacs_parsing;
+    Alcotest.test_case "DPLL basics" `Quick test_dpll_basic;
+    Alcotest.test_case "DPLL pigeonhole" `Quick test_dpll_pigeonhole;
+    Alcotest.test_case "DPLL models are valid" `Quick test_dpll_model_valid;
+    QCheck_alcotest.to_alcotest prop_dpll_sound_and_complete;
+  ]

@@ -1,0 +1,125 @@
+(* Consistency tests (Definitions 4.3-4.5). *)
+
+module C = Graphql_pg.Consistency
+module Of_ast = Graphql_pg.Of_ast
+
+let check_bool = Alcotest.(check bool)
+
+let schema_lenient src =
+  match Of_ast.parse_lenient src with
+  | Ok sch -> sch
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let issues src = C.check (schema_lenient src)
+
+let has_issue pred src = List.exists pred (issues src)
+
+let test_consistent_schema () =
+  check_bool "no issues" true
+    (issues
+       {|
+interface I { x: Int f(a: Int): J }
+type A implements I { x: Int f(a: Int b: String): J extra: Float }
+type J { y: Int }
+|}
+    = [])
+
+let test_missing_field () =
+  check_bool "missing field reported" true
+    (has_issue
+       (function C.Missing_field { field = "x"; _ } -> true | _ -> false)
+       "interface I { x: Int }\ntype A implements I { y: Int }")
+
+let test_field_type_covariance () =
+  (* A! <= A: fine; Int vs String: not *)
+  check_bool "covariant non-null ok" true
+    (issues "interface I { x: Int }\ntype A implements I { x: Int! }" = []);
+  check_bool "object subtype ok" true
+    (issues
+       {|
+interface Food { n: Int }
+interface I { f: Food }
+type Pizza implements Food { n: Int }
+type A implements I { f: Pizza }
+|}
+    = []);
+  check_bool "wrong type reported" true
+    (has_issue
+       (function C.Field_type_not_subtype _ -> true | _ -> false)
+       "interface I { x: Int }\ntype A implements I { x: String }");
+  (* the paper's Example 6.1 pattern: [T] is not <= T (erratum) *)
+  check_bool "list vs named reported (Example 6.1 erratum)" true
+    (has_issue
+       (function C.Field_type_not_subtype _ -> true | _ -> false)
+       {|
+type OT1 { }
+interface IT { hasOT1: OT1 }
+type OT2 implements IT { hasOT1: [OT1] }
+|})
+
+let test_argument_rules () =
+  check_bool "missing argument" true
+    (has_issue
+       (function C.Missing_argument { argument = "a"; _ } -> true | _ -> false)
+       "interface I { f(a: Int): Int }\ntype A implements I { f: Int }");
+  check_bool "argument type must be equal, not covariant" true
+    (has_issue
+       (function C.Argument_type_mismatch _ -> true | _ -> false)
+       "interface I { f(a: Int): Int }\ntype A implements I { f(a: Int!): Int }");
+  check_bool "extra nullable argument ok" true
+    (issues "interface I { f: Int }\ntype A implements I { f(extra: Int): Int }" = []);
+  check_bool "extra non-null argument reported" true
+    (has_issue
+       (function C.Extra_non_null_argument { argument = "extra"; _ } -> true | _ -> false)
+       "interface I { f: Int }\ntype A implements I { f(extra: Int!): Int }")
+
+let test_unknown_directive () =
+  check_bool "unknown directive" true
+    (has_issue
+       (function C.Unknown_directive { directive = "nope"; _ } -> true | _ -> false)
+       "type A { x: Int @nope }");
+  check_bool "declared directive ok" true
+    (issues "directive @nope on FIELD_DEFINITION\ntype A { x: Int @nope }" = [])
+
+let test_directive_arguments () =
+  (* @key requires fields: [String!]! *)
+  check_bool "missing non-null argument" true
+    (has_issue
+       (function
+         | C.Missing_directive_argument { directive = "key"; argument = "fields"; _ } -> true
+         | _ -> false)
+       "type A @key { x: ID }");
+  check_bool "ill-typed argument value" true
+    (has_issue
+       (function C.Directive_argument_type_error { directive = "key"; _ } -> true | _ -> false)
+       "type A @key(fields: [1, 2]) { x: ID }");
+  check_bool "null for non-null argument" true
+    (has_issue
+       (function C.Directive_argument_type_error _ -> true | _ -> false)
+       "type A @key(fields: null) { x: ID }");
+  check_bool "undeclared argument" true
+    (has_issue
+       (function C.Unknown_directive_argument { argument = "bogus"; _ } -> true | _ -> false)
+       {|type A @key(fields: ["x"] bogus: 1) { x: ID }|});
+  check_bool "well-typed use ok" true (issues {|type A @key(fields: ["x"]) { x: ID }|} = []);
+  check_bool "declared default satisfies requirement" true
+    (issues
+       {|directive @limit(n: Int! = 10) on FIELD_DEFINITION
+type A { x: Int @limit }|}
+    = [])
+
+let test_is_consistent () =
+  check_bool "consistent" true (C.is_consistent (schema_lenient "type A { x: Int }"));
+  check_bool "inconsistent" false
+    (C.is_consistent (schema_lenient "type A { x: Int @nope }"))
+
+let suite =
+  [
+    Alcotest.test_case "consistent schema" `Quick test_consistent_schema;
+    Alcotest.test_case "missing interface field" `Quick test_missing_field;
+    Alcotest.test_case "field type covariance" `Quick test_field_type_covariance;
+    Alcotest.test_case "argument rules" `Quick test_argument_rules;
+    Alcotest.test_case "unknown directive" `Quick test_unknown_directive;
+    Alcotest.test_case "directive argument checks" `Quick test_directive_arguments;
+    Alcotest.test_case "is_consistent" `Quick test_is_consistent;
+  ]

@@ -1,0 +1,91 @@
+(* Differential and fault-injection testing of the validation engines.
+
+   - Naive and Indexed must agree on arbitrary (schema, graph) pairs,
+     including garbage graphs (fuzz).
+   - Conformant graphs generated from random schemas must validate.
+   - Every Corruption mutator must make its targeted rule fire, in both
+     engines. *)
+
+module G = Graphql_pg.Property_graph
+module Val = Graphql_pg.Validate
+module Vi = Graphql_pg.Violation
+module Schema_gen = Graphql_pg.Schema_gen
+module Instance_gen = Graphql_pg.Instance_gen
+module Corruption = Graphql_pg.Corruption
+
+let check_bool = Alcotest.(check bool)
+
+let engines_agree sch g =
+  let naive = (Val.check ~engine:Val.Naive sch g).Val.violations in
+  let indexed = (Val.check ~engine:Val.Indexed sch g).Val.violations in
+  List.equal Vi.equal naive indexed
+
+let seeded_rng seed = Random.State.make [| seed; 0xBEEF |]
+
+let prop_engines_agree_on_fuzz =
+  QCheck2.Test.make ~name:"Naive = Indexed on fuzz graphs" ~count:150
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      let g = Instance_gen.fuzz rng sch ~max_nodes:10 in
+      engines_agree sch g)
+
+let prop_engines_agree_on_social =
+  QCheck2.Test.make ~name:"Naive = Indexed on corrupted social graphs" ~count:10
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let sch = Graphql_pg.Social.schema () in
+      let g = Graphql_pg.Social.generate ~seed ~persons:30 () in
+      let g = Graphql_pg.Social.corrupt_uniformly ~seed ~rate:0.1 sch g in
+      engines_agree sch g)
+
+let prop_conformant_graphs_validate =
+  QCheck2.Test.make ~name:"Instance_gen.conformant graphs strongly satisfy" ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      match Instance_gen.conformant ~target_nodes:20 sch with
+      | Some g -> Val.conforms sch g && engines_agree sch g
+      | None -> true (* all object types unsatisfiable within bounds: fine *))
+
+(* fault injection: per-rule mutators *)
+let corruption_case rule =
+  let name = Printf.sprintf "corruption fires %s" (Vi.rule_name rule) in
+  QCheck2.Test.make ~name ~count:25
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let sch = Graphql_pg.Social.schema () in
+      let g = Graphql_pg.Social.generate ~seed:(seed mod 97) ~persons:12 () in
+      let rng = seeded_rng seed in
+      match Corruption.mutate rule sch rng g with
+      | None -> QCheck2.assume_fail () (* mutator not applicable on this graph *)
+      | Some g' ->
+        let report = Val.check ~engine:Val.Indexed sch g' in
+        let fired = List.mem rule (Val.violated_rules report) in
+        fired && engines_agree sch g')
+
+let test_mutate_any_always_invalidates () =
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:15 () in
+  let rng = seeded_rng 5 in
+  for _ = 1 to 20 do
+    match Corruption.mutate_any sch rng g with
+    | Some (rule, g') ->
+      let report = Val.check sch g' in
+      check_bool
+        (Printf.sprintf "mutation %s invalidates" (Vi.rule_name rule))
+        true
+        (List.mem rule (Val.violated_rules report))
+    | None -> Alcotest.fail "no mutator applicable on a rich graph"
+  done
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_fuzz;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_social;
+    QCheck_alcotest.to_alcotest prop_conformant_graphs_validate;
+  ]
+  @ List.map (fun rule -> QCheck_alcotest.to_alcotest (corruption_case rule)) Vi.all_rules
+  @ [ Alcotest.test_case "mutate_any invalidates" `Quick test_mutate_any_always_invalidates ]

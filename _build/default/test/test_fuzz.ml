@@ -1,0 +1,50 @@
+(* Robustness: the front ends must never raise on arbitrary input — every
+   failure is an Error value with a position/message. *)
+
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 200))
+
+let gen_sdl_ish =
+  (* strings biased towards SDL token soup *)
+  QCheck2.Gen.(
+    map (String.concat " ")
+      (list_size (int_bound 40)
+         (oneofl
+            [
+              "type"; "interface"; "union"; "enum"; "scalar"; "input"; "schema"; "extend";
+              "directive"; "on"; "implements"; "{"; "}"; "("; ")"; "["; "]"; "!"; "|"; "&";
+              "="; ":"; "@"; "..."; "\"txt\""; "\"\"\"block\"\"\""; "3"; "-7"; "1.5"; "$v";
+              "Name"; "x"; "#c"; ","; "query"; "fragment"; "mutation";
+            ])))
+
+let total name gen f =
+  QCheck2.Test.make ~name ~count:500 gen (fun s ->
+      match f s with _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (total "SDL lexer is total on random bytes" gen_bytes (fun s ->
+           Graphql_pg.Sdl.Lexer.tokenize s));
+    QCheck_alcotest.to_alcotest
+      (total "SDL parser is total on random bytes" gen_bytes (fun s ->
+           Graphql_pg.Sdl.Parser.parse s));
+    QCheck_alcotest.to_alcotest
+      (total "SDL parser is total on token soup" gen_sdl_ish (fun s ->
+           Graphql_pg.Sdl.Parser.parse s));
+    QCheck_alcotest.to_alcotest
+      (total "schema builder is total on token soup" gen_sdl_ish (fun s ->
+           Graphql_pg.Of_ast.parse s));
+    QCheck_alcotest.to_alcotest
+      (total "PGF parser is total on random bytes" gen_bytes (fun s ->
+           Graphql_pg.Pgf.parse s));
+    QCheck_alcotest.to_alcotest
+      (total "JSON parser is total on random bytes" gen_bytes (fun s ->
+           Graphql_pg.Json.of_string s));
+    QCheck_alcotest.to_alcotest
+      (total "query parser is total on token soup" gen_sdl_ish (fun s ->
+           Graphql_pg.Query_parser.parse s));
+    QCheck_alcotest.to_alcotest
+      (total "DIMACS parser is total on random bytes" gen_bytes (fun s ->
+           Graphql_pg.Cnf.parse_dimacs s));
+  ]

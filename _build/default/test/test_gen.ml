@@ -1,0 +1,87 @@
+(* Workload generators: social network, random schemas, k-SAT. *)
+
+module G = Graphql_pg.Property_graph
+module Val = Graphql_pg.Validate
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_social_conformant_sizes () =
+  let sch = Graphql_pg.Social.schema () in
+  List.iter
+    (fun persons ->
+      let g = Graphql_pg.Social.generate ~persons () in
+      check_bool
+        (Printf.sprintf "persons=%d strongly satisfies" persons)
+        true (Val.conforms sch g))
+    [ 1; 2; 7; 10; 50; 173 ]
+
+let test_social_deterministic () =
+  let g1 = Graphql_pg.Social.generate ~seed:3 ~persons:20 () in
+  let g2 = Graphql_pg.Social.generate ~seed:3 ~persons:20 () in
+  check_bool "same seed, same graph" true (G.equal g1 g2)
+
+let test_social_shape () =
+  let g = Graphql_pg.Social.generate ~persons:100 () in
+  let stats = Graphql_pg.Stats.compute g in
+  check_int "persons" 100 (List.assoc "Person" stats.Graphql_pg.Stats.node_labels);
+  check_int "posts" 100 (List.assoc "Post" stats.Graphql_pg.Stats.node_labels);
+  check_bool "edges scale" true (stats.Graphql_pg.Stats.edges > 400)
+
+let test_social_invalid_persons () =
+  Alcotest.check_raises "zero persons"
+    (Invalid_argument "Social.generate: persons must be >= 1") (fun () ->
+      ignore (Graphql_pg.Social.generate ~persons:0 ()))
+
+let test_schema_gen_parses_and_consistent () =
+  let rng = Random.State.make [| 2024 |] in
+  for _ = 1 to 50 do
+    let sch = Graphql_pg.Schema_gen.random_schema rng in
+    check_bool "consistent" true (Graphql_pg.Consistency.is_consistent sch)
+  done
+
+let test_ksat_shape () =
+  let f = Graphql_pg.Ksat.random ~num_vars:10 ~num_clauses:30 ~clause_size:3 () in
+  check_int "clauses" 30 (List.length f.Graphql_pg.Cnf.clauses);
+  check_bool "clause sizes" true
+    (List.for_all (fun c -> List.length c = 3) f.Graphql_pg.Cnf.clauses);
+  (* distinct vars within clauses *)
+  check_bool "distinct vars" true
+    (List.for_all
+       (fun c ->
+         let vars = List.map (fun (l : Graphql_pg.Cnf.literal) -> l.Graphql_pg.Cnf.var) c in
+         List.sort_uniq compare vars = List.sort compare vars)
+       f.Graphql_pg.Cnf.clauses);
+  (* clause size capped at num_vars *)
+  let f2 = Graphql_pg.Ksat.random ~num_vars:2 ~num_clauses:3 ~clause_size:5 () in
+  check_bool "cap" true
+    (List.for_all (fun c -> List.length c = 2) f2.Graphql_pg.Cnf.clauses)
+
+let test_ksat_series () =
+  let series = Graphql_pg.Ksat.series ~clause_size:3 ~ratio:4.3 [ 5; 10 ] in
+  check_int "two instances" 2 (List.length series);
+  check_int "clauses at ratio" 21 (List.length (List.nth series 0).Graphql_pg.Cnf.clauses)
+
+let test_fuzz_is_arbitrary_but_valid_ocaml_graph () =
+  let rng = Random.State.make [| 9 |] in
+  let sch = Graphql_pg.Social.schema () in
+  for _ = 1 to 20 do
+    let g = Graphql_pg.Instance_gen.fuzz rng sch ~max_nodes:8 in
+    check_bool "non-empty" true (G.node_count g >= 1);
+    (* validation must never crash on fuzz graphs *)
+    ignore (Val.check sch g)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "social graphs strongly satisfy" `Quick test_social_conformant_sizes;
+    Alcotest.test_case "social generation deterministic" `Quick test_social_deterministic;
+    Alcotest.test_case "social shape" `Quick test_social_shape;
+    Alcotest.test_case "social input validation" `Quick test_social_invalid_persons;
+    Alcotest.test_case "random schemas parse + consistent" `Quick
+      test_schema_gen_parses_and_consistent;
+    Alcotest.test_case "k-SAT shape" `Quick test_ksat_shape;
+    Alcotest.test_case "k-SAT series" `Quick test_ksat_series;
+    Alcotest.test_case "fuzz graphs don't crash validation" `Quick
+      test_fuzz_is_arbitrary_but_valid_ocaml_graph;
+  ]

@@ -1,0 +1,136 @@
+(* GraphQL introspection over the API-extended schema. *)
+
+module J = Graphql_pg.Json
+
+let check_bool = Alcotest.(check bool)
+
+let schema =
+  Graphql_pg.schema_of_string_exn
+    {|
+"People who write things."
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  favorite: Food
+  knows(since: Int! note: String = "met"): [Person]
+}
+union Food = Pizza | Pasta
+type Pizza implements Dish { name: String! }
+type Pasta implements Dish { name: String! }
+interface Dish { name: String! }
+enum Color { RED GREEN }
+scalar Time
+|}
+
+let run text =
+  match Graphql_pg.query schema Graphql_pg.Property_graph.empty text with
+  | Ok data -> data
+  | Error msg -> Alcotest.failf "query failed: %s" msg
+
+let as_list = function J.List l -> l | _ -> []
+
+let test_schema_types () =
+  let data = run "{ __schema { queryType { name } types { name kind } } }" in
+  let s = J.member "__schema" data in
+  check_bool "query type" true (J.member "name" (J.member "queryType" s) = J.String "Query");
+  let types = as_list (J.member "types" s) in
+  let kind_of name =
+    List.find_map
+      (fun t -> if J.member "name" t = J.String name then Some (J.member "kind" t) else None)
+      types
+  in
+  check_bool "Person OBJECT" true (kind_of "Person" = Some (J.String "OBJECT"));
+  check_bool "Food UNION" true (kind_of "Food" = Some (J.String "UNION"));
+  check_bool "Dish INTERFACE" true (kind_of "Dish" = Some (J.String "INTERFACE"));
+  check_bool "Color ENUM" true (kind_of "Color" = Some (J.String "ENUM"));
+  check_bool "Time SCALAR" true (kind_of "Time" = Some (J.String "SCALAR"));
+  check_bool "builtins present" true (kind_of "Int" = Some (J.String "SCALAR"));
+  check_bool "Query present (extension)" true (kind_of "Query" = Some (J.String "OBJECT"))
+
+let test_type_fields_and_wrappers () =
+  let data =
+    run
+      {|{ __type(name: "Person") {
+  description
+  fields { name type { kind name ofType { kind name } } }
+} }|}
+  in
+  let t = J.member "__type" data in
+  check_bool "description" true
+    (J.member "description" t = J.String "People who write things.");
+  let fields = as_list (J.member "fields" t) in
+  let field name = List.find (fun f -> J.member "name" f = J.String name) fields in
+  let id_type = J.member "type" (field "id") in
+  check_bool "id NON_NULL of ID" true
+    (J.member "kind" id_type = J.String "NON_NULL"
+    && J.member "name" (J.member "ofType" id_type) = J.String "ID");
+  let knows_type = J.member "type" (field "knows") in
+  check_bool "knows LIST" true (J.member "kind" knows_type = J.String "LIST");
+  (* inverse fields from the API extension appear *)
+  check_bool "inverse field visible" true
+    (List.exists (fun f -> J.member "name" f = J.String "_inverse_knows_of_person") fields)
+
+let test_args_and_defaults () =
+  let data =
+    run
+      {|{ __type(name: "Person") { fields { name args { name defaultValue type { kind } } } } }|}
+  in
+  let fields = as_list (J.member "fields" (J.member "__type" data)) in
+  let knows = List.find (fun f -> J.member "name" f = J.String "knows") fields in
+  let args = as_list (J.member "args" knows) in
+  let arg name = List.find (fun a -> J.member "name" a = J.String name) args in
+  check_bool "since non-null" true
+    (J.member "kind" (J.member "type" (arg "since")) = J.String "NON_NULL");
+  check_bool "note default" true (J.member "defaultValue" (arg "note") = J.String "\"met\"")
+
+let test_possible_types () =
+  let data =
+    run
+      {|{
+  food: __type(name: "Food") { possibleTypes { name } }
+  dish: __type(name: "Dish") { possibleTypes { name } }
+  pizza: __type(name: "Pizza") { interfaces { name } }
+}|}
+  in
+  let names field obj =
+    as_list (J.member field (J.member obj data)) |> List.map (J.member "name")
+  in
+  check_bool "union members" true
+    (names "possibleTypes" "food" = [ J.String "Pizza"; J.String "Pasta" ]);
+  check_bool "implementations" true
+    (names "possibleTypes" "dish" = [ J.String "Pasta"; J.String "Pizza" ]);
+  check_bool "interfaces of Pizza" true (names "interfaces" "pizza" = [ J.String "Dish" ])
+
+let test_enum_values () =
+  let data = run {|{ __type(name: "Color") { enumValues { name } } }|} in
+  check_bool "enum values" true
+    (as_list (J.member "enumValues" (J.member "__type" data))
+     |> List.map (J.member "name")
+    = [ J.String "RED"; J.String "GREEN" ])
+
+let test_unknown_type_and_fields () =
+  let data = run {|{ __type(name: "Nope") { name } }|} in
+  check_bool "unknown type is null" true (J.member "__type" data = J.Null);
+  let data2 = run {|{ __type(name: "Person") { specifiedByURL } }|} in
+  check_bool "unknown meta field degrades to null" true
+    (J.member "specifiedByURL" (J.member "__type" data2) = J.Null)
+
+let test_directives_listed () =
+  let data = run "{ __schema { directives { name locations } } }" in
+  let names =
+    as_list (J.member "directives" (J.member "__schema" data)) |> List.map (J.member "name")
+  in
+  List.iter
+    (fun d -> check_bool ("directive " ^ d) true (List.mem (J.String d) names))
+    [ "required"; "key"; "distinct"; "noLoops"; "uniqueForTarget"; "requiredForTarget" ]
+
+let suite =
+  [
+    Alcotest.test_case "__schema types" `Quick test_schema_types;
+    Alcotest.test_case "__type fields and wrappers" `Quick test_type_fields_and_wrappers;
+    Alcotest.test_case "args and defaults" `Quick test_args_and_defaults;
+    Alcotest.test_case "possibleTypes / interfaces" `Quick test_possible_types;
+    Alcotest.test_case "enumValues" `Quick test_enum_values;
+    Alcotest.test_case "unknown names degrade" `Quick test_unknown_type_and_fields;
+    Alcotest.test_case "directives listed" `Quick test_directives_listed;
+  ]

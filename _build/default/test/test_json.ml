@@ -1,0 +1,88 @@
+(* JSON printer/parser for the GraphQL response format. *)
+
+module J = Graphql_pg.Json
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_printing () =
+  check_string "compact" {|{"a":1,"b":[true,null],"c":"x"}|}
+    (J.to_string (J.Assoc [ ("a", J.Int 1); ("b", J.List [ J.Bool true; J.Null ]); ("c", J.String "x") ]));
+  check_string "empty containers" {|{"a":[],"b":{}}|}
+    (J.to_string (J.Assoc [ ("a", J.List []); ("b", J.Assoc []) ]));
+  check_string "escapes" {|"a\"b\\c\nd"|} (J.to_string (J.String "a\"b\\c\nd"));
+  check_string "float" "1.5" (J.to_string (J.Float 1.5));
+  check_string "integral float keeps point" "2.0" (J.to_string (J.Float 2.0))
+
+let test_parsing () =
+  let ok src = match J.of_string src with Ok v -> v | Error e -> Alcotest.failf "%s" e in
+  check_bool "object" true
+    (J.equal (ok {|{"a": 1, "b": [true, false], "s": "x"}|})
+       (J.Assoc [ ("a", J.Int 1); ("b", J.List [ J.Bool true; J.Bool false ]); ("s", J.String "x") ]));
+  check_bool "nested" true
+    (J.equal (ok {|[[1], {"x": null}]|})
+       (J.List [ J.List [ J.Int 1 ]; J.Assoc [ ("x", J.Null) ] ]));
+  check_bool "numbers" true (J.equal (ok "-2.5e2") (J.Float (-250.0)));
+  check_bool "unicode escape" true (J.equal (ok {|"é"|}) (J.String "\xc3\xa9"));
+  check_bool "errors: trailing" true (Result.is_error (J.of_string "1 2"));
+  check_bool "errors: bad literal" true (Result.is_error (J.of_string "nil"));
+  check_bool "errors: unterminated" true (Result.is_error (J.of_string "[1, 2"))
+
+let test_accessors () =
+  let v = J.Assoc [ ("xs", J.List [ J.Int 10; J.Int 20 ]) ] in
+  check_bool "member + index" true (J.index 1 (J.member "xs" v) = J.Int 20);
+  check_bool "missing member" true (J.member "nope" v = J.Null);
+  check_bool "index out of range" true (J.index 5 (J.member "xs" v) = J.Null)
+
+let test_of_property_value () =
+  let module V = Graphql_pg.Value in
+  check_bool "id becomes string" true (J.of_property_value (V.Id "u1") = J.String "u1");
+  check_bool "enum becomes string" true (J.of_property_value (V.Enum "RED") = J.String "RED");
+  check_bool "list" true
+    (J.of_property_value (V.List [ V.Int 1; V.Bool false ]) = J.List [ J.Int 1; J.Bool false ])
+
+(* property: print/parse round-trip *)
+let json_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let atom =
+           oneof
+             [
+               return J.Null;
+               map (fun b -> J.Bool b) bool;
+               map (fun i -> J.Int i) small_signed_int;
+               map (fun f -> J.Float f) (float_bound_inclusive 1000.0);
+               map (fun s -> J.String s) (small_string ~gen:printable);
+             ]
+         in
+         if n <= 1 then atom
+         else
+           oneof
+             [
+               atom;
+               map (fun l -> J.List l) (list_size (int_bound 4) (self (n / 3)));
+               map
+                 (fun l -> J.Assoc (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) l))
+                 (list_size (int_bound 4) (self (n / 3)));
+             ])
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"JSON print/parse round-trip" ~count:300 json_gen (fun v ->
+      match J.of_string (J.to_string v) with Ok v' -> J.equal v v' | Error _ -> false)
+
+let prop_round_trip_indent =
+  QCheck2.Test.make ~name:"JSON pretty print/parse round-trip" ~count:200 json_gen (fun v ->
+      match J.of_string (J.to_string ~indent:true v) with
+      | Ok v' -> J.equal v v'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "parsing" `Quick test_parsing;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "of_property_value" `Quick test_of_property_value;
+    QCheck_alcotest.to_alcotest prop_round_trip;
+    QCheck_alcotest.to_alcotest prop_round_trip_indent;
+  ]

@@ -1,0 +1,99 @@
+(* Lexer tests: the GraphQL lexical grammar (spec Section 2.1). *)
+
+module L = Graphql_pg.Sdl.Lexer
+module T = Graphql_pg.Sdl.Token
+
+let tokens src =
+  match L.tokenize src with
+  | Ok located -> List.map (fun (l : T.located) -> l.T.token) located
+  | Error e -> Alcotest.failf "lex error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+
+let lex_fails src =
+  match L.tokenize src with Ok _ -> false | Error _ -> true
+
+let check_tokens name src expected = Alcotest.(check bool) name true (tokens src = expected)
+
+let test_punctuators () =
+  check_tokens "all punctuators" "! $ & ( ) ... : = @ [ ] { } |"
+    [
+      T.Bang; T.Dollar; T.Amp; T.Paren_open; T.Paren_close; T.Ellipsis; T.Colon; T.Equals;
+      T.At; T.Bracket_open; T.Bracket_close; T.Brace_open; T.Brace_close; T.Pipe; T.Eof;
+    ]
+
+let test_names () =
+  check_tokens "names" "type _foo Bar9 __typename"
+    [ T.Name "type"; T.Name "_foo"; T.Name "Bar9"; T.Name "__typename"; T.Eof ]
+
+let test_ints () =
+  check_tokens "ints" "0 42 -17" [ T.Int 0; T.Int 42; T.Int (-17); T.Eof ]
+
+let test_floats () =
+  check_tokens "floats" "1.5 -0.25 2e3 1.5e-2 0.0"
+    [ T.Float 1.5; T.Float (-0.25); T.Float 2000.0; T.Float 0.015; T.Float 0.0; T.Eof ]
+
+let test_bad_numbers () =
+  Alcotest.(check bool) "leading zero" true (lex_fails "012");
+  Alcotest.(check bool) "name after number" true (lex_fails "123abc");
+  Alcotest.(check bool) "double dot" true (lex_fails "1.2.3");
+  Alcotest.(check bool) "trailing dot" true (lex_fails "1.");
+  Alcotest.(check bool) "lonely minus" true (lex_fails "-");
+  Alcotest.(check bool) "bad exponent" true (lex_fails "1e")
+
+let test_strings () =
+  check_tokens "plain" {|"hello"|} [ T.String "hello"; T.Eof ];
+  check_tokens "escapes" {|"a\"b\\c\nd\te"|} [ T.String "a\"b\\c\nd\te"; T.Eof ];
+  check_tokens "unicode escape" {|"Aé"|} [ T.String "A\xc3\xa9"; T.Eof ];
+  check_tokens "empty" {|""|} [ T.String ""; T.Eof ]
+
+let test_bad_strings () =
+  Alcotest.(check bool) "unterminated" true (lex_fails {|"abc|});
+  Alcotest.(check bool) "raw newline" true (lex_fails "\"a\nb\"");
+  Alcotest.(check bool) "bad escape" true (lex_fails {|"\q"|});
+  Alcotest.(check bool) "truncated unicode" true (lex_fails {|"\u00"|})
+
+let test_block_strings () =
+  check_tokens "simple block" {|"""hello"""|} [ T.Block_string "hello"; T.Eof ];
+  check_tokens "dedent"
+    "\"\"\"\n    first\n      second\n    \"\"\""
+    [ T.Block_string "first\n  second"; T.Eof ];
+  check_tokens "escaped triple quote" {|"""a\"""b"""|} [ T.Block_string "a\"\"\"b"; T.Eof ];
+  check_tokens "keeps quotes" {|"""a "quoted" b"""|}
+    [ T.Block_string "a \"quoted\" b"; T.Eof ]
+
+let test_ignored_tokens () =
+  check_tokens "commas are ignored" "a, b,,c" [ T.Name "a"; T.Name "b"; T.Name "c"; T.Eof ];
+  check_tokens "comments" "a # a comment ! $ \nb" [ T.Name "a"; T.Name "b"; T.Eof ];
+  check_tokens "comment at eof" "a # trailing" [ T.Name "a"; T.Eof ];
+  check_tokens "bom" "\xEF\xBB\xBFa" [ T.Name "a"; T.Eof ];
+  check_tokens "crlf" "a\r\nb" [ T.Name "a"; T.Name "b"; T.Eof ]
+
+let test_positions () =
+  match L.tokenize "type\n  Foo" with
+  | Error _ -> Alcotest.fail "lex error"
+  | Ok located ->
+    let (second : T.located) = List.nth located 1 in
+    Alcotest.(check int) "line" 2 second.T.at.Graphql_pg.Sdl.Source.span_start.line;
+    Alcotest.(check int) "column" 3 second.T.at.Graphql_pg.Sdl.Source.span_start.column
+
+let test_ellipsis_errors () =
+  Alcotest.(check bool) "single dot" true (lex_fails ".");
+  Alcotest.(check bool) "double dot" true (lex_fails "..")
+
+let test_int_range () =
+  check_tokens "big int ok" "4611686018427387903" [ T.Int 4611686018427387903; T.Eof ]
+
+let suite =
+  [
+    Alcotest.test_case "punctuators" `Quick test_punctuators;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "integers" `Quick test_ints;
+    Alcotest.test_case "floats" `Quick test_floats;
+    Alcotest.test_case "malformed numbers rejected" `Quick test_bad_numbers;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "malformed strings rejected" `Quick test_bad_strings;
+    Alcotest.test_case "block strings + dedent" `Quick test_block_strings;
+    Alcotest.test_case "ignored tokens" `Quick test_ignored_tokens;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "dots" `Quick test_ellipsis_errors;
+    Alcotest.test_case "int range" `Quick test_int_range;
+  ]

@@ -1,0 +1,85 @@
+(* Lint tests: document-level well-formedness. *)
+
+module P = Graphql_pg.Sdl.Parser
+module L = Graphql_pg.Sdl.Lint
+
+let issues src =
+  match P.parse src with
+  | Ok doc -> L.check doc
+  | Error e -> Alcotest.failf "parse error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+
+let error_count src = List.length (L.errors (issues src))
+let warning_count src = List.length (issues src) - error_count src
+let check_int = Alcotest.(check int)
+
+let test_clean () =
+  check_int "no issues" 0 (List.length (issues "type A { x: Int }"))
+
+let test_duplicate_types () =
+  check_int "duplicate type" 1 (error_count "type A { x: Int }\ntype A { y: Int }")
+
+let test_duplicate_fields () =
+  check_int "duplicate field" 1 (error_count "type A { x: Int x: String }")
+
+let test_duplicate_args () =
+  check_int "duplicate argument" 1 (error_count "type A { f(a: Int a: String): Int }")
+
+let test_duplicate_enum_values () =
+  check_int "duplicate enum value" 1 (error_count "enum E { A A }")
+
+let test_duplicate_union_members () =
+  check_int "duplicate member" 1 (error_count "type A { x: Int }\nunion U = A | A")
+
+let test_empty_union () =
+  check_int "empty union" 1 (error_count "union U")
+
+let test_empty_enum () =
+  check_int "empty enum" 1 (error_count "enum E")
+
+let test_reserved_names () =
+  check_int "reserved type name" 1 (error_count "type __A { x: Int }");
+  check_int "reserved field name" 1 (error_count "type A { __x: Int }")
+
+let test_repeated_key_allowed () =
+  (* Example 3.4 relies on repeating @key *)
+  check_int "repeated @key: no issues" 0
+    (List.length (issues {|type A @key(fields: ["x"]) @key(fields: ["y"]) { x: ID y: ID }|}))
+
+let test_repeated_other_directive_warns () =
+  check_int "repeated directive warns" 1
+    (warning_count "type A { x: Int @required @required }");
+  check_int "but is not an error" 0 (error_count "type A { x: Int @required @required }")
+
+let test_duplicate_schema_blocks () =
+  check_int "two schema definitions" 1
+    (error_count "type Q { x: Int }\nschema { query: Q }\nschema { query: Q }")
+
+let test_duplicate_operation_types () =
+  check_int "duplicate root op" 1 (error_count "type Q { x: Int }\nschema { query: Q query: Q }")
+
+let test_duplicate_interface_listing () =
+  check_int "implements twice" 1
+    (error_count "interface I { x: Int }\ntype A implements I & I { x: Int }")
+
+let test_duplicate_directive_defs () =
+  check_int "directive defined twice" 1
+    (error_count "directive @d on OBJECT\ndirective @d on OBJECT\ntype A { x: Int }")
+
+let suite =
+  [
+    Alcotest.test_case "clean document" `Quick test_clean;
+    Alcotest.test_case "duplicate types" `Quick test_duplicate_types;
+    Alcotest.test_case "duplicate fields" `Quick test_duplicate_fields;
+    Alcotest.test_case "duplicate arguments" `Quick test_duplicate_args;
+    Alcotest.test_case "duplicate enum values" `Quick test_duplicate_enum_values;
+    Alcotest.test_case "duplicate union members" `Quick test_duplicate_union_members;
+    Alcotest.test_case "empty union" `Quick test_empty_union;
+    Alcotest.test_case "empty enum" `Quick test_empty_enum;
+    Alcotest.test_case "reserved names" `Quick test_reserved_names;
+    Alcotest.test_case "repeated @key allowed" `Quick test_repeated_key_allowed;
+    Alcotest.test_case "repeated directive warns" `Quick test_repeated_other_directive_warns;
+    Alcotest.test_case "duplicate schema blocks" `Quick test_duplicate_schema_blocks;
+    Alcotest.test_case "duplicate operation types" `Quick test_duplicate_operation_types;
+    Alcotest.test_case "implements listed twice" `Quick test_duplicate_interface_listing;
+    Alcotest.test_case "duplicate directive definitions" `Quick test_duplicate_directive_defs;
+  ]

@@ -1,0 +1,77 @@
+(* Neo4j/Cypher 3.5 constraint DDL export (Section 2.1 comparison). *)
+
+module N = Graphql_pg.Neo4j_ddl
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains needle haystack =
+  let n = String.length needle and l = String.length haystack in
+  let rec go i = i + n <= l && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let sch =
+  Graphql_pg.schema_of_string_exn
+    {|
+type User @key(fields: ["id"]) @key(fields: ["first", "last"]) {
+  id: ID! @required
+  first: String
+  last: String
+  email: String! @required
+  posts(weight: Float! note: String): [Post] @distinct
+}
+type Post {
+  title: String! @required
+  author: User! @required
+}
+|}
+
+let statements, dropped = N.translate sch
+
+let has stmt = List.exists (contains stmt) statements
+
+let test_unique_constraint () =
+  check_bool "single key" true (has "CREATE CONSTRAINT ON (n:User) ASSERT n.id IS UNIQUE")
+
+let test_node_key () =
+  check_bool "composite key" true (has "ASSERT (n.first, n.last) IS NODE KEY")
+
+let test_existence () =
+  check_bool "required node property" true
+    (has "CREATE CONSTRAINT ON (n:User) ASSERT exists(n.email)");
+  check_bool "required post title" true
+    (has "CREATE CONSTRAINT ON (n:Post) ASSERT exists(n.title)")
+
+let test_edge_property_existence () =
+  check_bool "non-null edge property" true
+    (has "CREATE CONSTRAINT ON ()-[r:posts]-() ASSERT exists(r.weight)");
+  check_bool "nullable edge property skipped" true
+    (not (has "exists(r.note)"))
+
+let test_dropped_report () =
+  let constructs = List.map (fun (d : N.dropped) -> d.N.construct) dropped in
+  let mentions needle = List.exists (contains needle) constructs in
+  check_bool "typing dropped" true (mentions "User.id: ID!");
+  check_bool "endpoint typing dropped" true (mentions "(Post)-[:author]->(User)");
+  check_bool "WS4 dropped" true (mentions "at most one author per Post");
+  check_bool "@distinct dropped" true (mentions "@distinct on User.posts");
+  check_bool "closed world dropped" true (mentions "strong satisfaction")
+
+let test_script_shape () =
+  let script = N.to_script sch in
+  check_bool "header" true (contains "Cypher 3.5 constraint DDL" script);
+  check_int "statement count" (List.length statements)
+    (List.length
+       (List.filter (fun l -> not (String.length l >= 2 && String.sub l 0 2 = "//"))
+          (String.split_on_char '\n' script)
+       |> List.filter (fun l -> String.trim l <> "")))
+
+let suite =
+  [
+    Alcotest.test_case "unique constraint from @key" `Quick test_unique_constraint;
+    Alcotest.test_case "node key from composite @key" `Quick test_node_key;
+    Alcotest.test_case "existence from @required" `Quick test_existence;
+    Alcotest.test_case "edge property existence" `Quick test_edge_property_existence;
+    Alcotest.test_case "dropped constructs reported" `Quick test_dropped_report;
+    Alcotest.test_case "script shape" `Quick test_script_shape;
+  ]

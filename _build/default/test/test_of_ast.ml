@@ -1,0 +1,129 @@
+(* AST -> schema translation diagnostics (Of_ast). *)
+
+module Of_ast = Graphql_pg.Of_ast
+module S = Graphql_pg.Schema
+module Sm = Map.Make (String)
+
+let check_bool = Alcotest.(check bool)
+
+let build src =
+  match Graphql_pg.Sdl.Parser.parse src with
+  | Error e -> Alcotest.failf "parse: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+  | Ok doc -> Of_ast.build doc
+
+let build_errors src =
+  match build src with
+  | Ok _ -> []
+  | Error diagnostics ->
+    List.filter (fun (d : Of_ast.diagnostic) -> d.Of_ast.severity = Of_ast.Error) diagnostics
+
+let build_warnings src =
+  match build src with
+  | Ok (_, warnings) -> warnings
+  | Error diagnostics ->
+    List.filter (fun (d : Of_ast.diagnostic) -> d.Of_ast.severity = Of_ast.Warning) diagnostics
+
+let mentions needle diagnostics =
+  List.exists
+    (fun (d : Of_ast.diagnostic) ->
+      let m = d.Of_ast.message in
+      let n = String.length needle and l = String.length m in
+      let rec go i = i + n <= l && (String.sub m i n = needle || go (i + 1)) in
+      go 0)
+    diagnostics
+
+let test_unknown_type () =
+  check_bool "unknown field type" true (mentions "unknown type \"Nope\"" (build_errors "type A { x: Nope }"))
+
+let test_nested_list_rejected () =
+  check_bool "nested list" true (mentions "nested list" (build_errors "type A { x: [[Int]] }"))
+
+let test_union_member_checks () =
+  check_bool "non-object member" true
+    (mentions "not an object type"
+       (build_errors "interface I { x: Int }\nunion U = I\ntype A { x: Int }"));
+  check_bool "undefined member" true
+    (mentions "undefined" (build_errors "union U = Nope\ntype A { x: Int }"))
+
+let test_implements_checks () =
+  check_bool "implements non-interface" true
+    (mentions "not an interface" (build_errors "type B { x: Int }\ntype A implements B { x: Int }"));
+  check_bool "implements undefined" true
+    (mentions "undefined interface" (build_errors "type A implements Nope { x: Int }"))
+
+let test_input_object_handling () =
+  (* input object types are outside T: warned, and usable only as ignored
+     argument types *)
+  let warnings = build_warnings "input F { a: Int }\ntype A { f(flt: F): Int x: Int }" in
+  check_bool "input type warned" true (mentions "outside the Property Graph" warnings);
+  check_bool "input-typed argument dropped with warning" true (mentions "ignored" warnings);
+  (match build "input F { a: Int }\ntype A { f(flt: F): Int x: Int }" with
+  | Ok (sch, _) -> check_bool "argument dropped" true (S.args sch "A" "f" = [])
+  | Error _ -> Alcotest.fail "build failed");
+  (* but input objects are not output types *)
+  check_bool "field of input type is an error" true
+    (mentions "not an output type" (build_errors "input F { a: Int }\ntype A { x: F }"))
+
+let test_object_typed_argument_rejected () =
+  check_bool "object arg" true
+    (mentions "not an input type" (build_errors "type B { x: Int }\ntype A { f(b: B): Int }"))
+
+let test_root_operations_ignored () =
+  let warnings = build_warnings "type Query { a: Int }\nschema { query: Query }" in
+  check_bool "root op warned as ignored" true (mentions "ignored for Property Graph" warnings);
+  match build "type Query { a: Int }\nschema { query: Query }" with
+  | Ok (sch, _) -> check_bool "Query remains an object type" true (S.type_kind sch "Query" = Some S.Object)
+  | Error _ -> Alcotest.fail "build failed"
+
+let test_extension_merging () =
+  match
+    build
+      {|
+type A { x: Int }
+extend type A @key(fields: ["x"]) { y: String }
+interface I { z: Int }
+extend type A implements I { z: Int }
+|}
+  with
+  | Ok (sch, _) ->
+    check_bool "merged fields" true
+      (List.map fst (S.fields sch "A") = [ "x"; "y"; "z" ]);
+    check_bool "merged interface" true (S.implementations_of sch "I" = [ "A" ]);
+    let ot = Sm.find "A" sch.S.objects in
+    check_bool "merged directive" true (S.has_directive ot.S.ot_directives "key")
+  | Error ds ->
+    Alcotest.failf "build failed: %s"
+      (String.concat "; " (List.map (fun (d : Of_ast.diagnostic) -> d.Of_ast.message) ds))
+
+let test_extension_of_undefined () =
+  check_bool "extend undefined" true
+    (mentions "extension of undefined type" (build_errors "type B { x: Int }\nextend type A { y: Int }"));
+  check_bool "kind mismatch" true
+    (mentions "does not match the kind" (build_errors "enum A { V }\nextend type A { y: Int }\ntype B { x: Int }"))
+
+let test_custom_directive_definitions () =
+  match build "directive @w(weight: Float!) on FIELD_DEFINITION\ntype A { x: Int @w(weight: 0.5) }" with
+  | Ok (sch, _) -> check_bool "declared" true (S.directive_args sch "w" <> None)
+  | Error _ -> Alcotest.fail "build failed"
+
+let test_parse_gates_consistency () =
+  check_bool "parse rejects inconsistent" true
+    (Result.is_error (Of_ast.parse "type A { x: Int @nope }"));
+  check_bool "parse_lenient accepts it" true
+    (Result.is_ok (Of_ast.parse_lenient "type A { x: Int @nope }"))
+
+let suite =
+  [
+    Alcotest.test_case "unknown types" `Quick test_unknown_type;
+    Alcotest.test_case "nested lists rejected" `Quick test_nested_list_rejected;
+    Alcotest.test_case "union member checks" `Quick test_union_member_checks;
+    Alcotest.test_case "implements checks" `Quick test_implements_checks;
+    Alcotest.test_case "input object handling (3.6)" `Quick test_input_object_handling;
+    Alcotest.test_case "object-typed arguments rejected" `Quick
+      test_object_typed_argument_rejected;
+    Alcotest.test_case "root operations ignored (3.6)" `Quick test_root_operations_ignored;
+    Alcotest.test_case "extension merging" `Quick test_extension_merging;
+    Alcotest.test_case "extension errors" `Quick test_extension_of_undefined;
+    Alcotest.test_case "custom directive definitions" `Quick test_custom_directive_definitions;
+    Alcotest.test_case "parse vs parse_lenient" `Quick test_parse_gates_consistency;
+  ]

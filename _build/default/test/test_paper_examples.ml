@@ -1,0 +1,342 @@
+(* Every numbered example of the paper's Section 3, executed as a test
+   (experiments E1-E4 of DESIGN.md). *)
+
+module G = Graphql_pg.Property_graph
+module B = Graphql_pg.Builder
+module V = Graphql_pg.Value
+module Val = Graphql_pg.Validate
+module Vi = Graphql_pg.Violation
+
+let check_bool = Alcotest.(check bool)
+let schema = Graphql_pg.schema_of_string_exn
+
+let conforms sch g =
+  let naive = (Val.check ~engine:Val.Naive sch g).Val.violations in
+  let indexed = (Val.check ~engine:Val.Indexed sch g).Val.violations in
+  check_bool "engines agree" true (List.equal Vi.equal naive indexed);
+  naive = []
+
+let violates rule sch g =
+  List.mem rule (Val.violated_rules (Val.check sch g))
+
+(* Example 3.1 (+3.4 @key, +3.12 edge properties) *)
+let session_schema =
+  schema
+    {|
+type UserSession {
+  id: ID! @required
+  user(certainty: Float! comment: String): User! @required
+  startTime: Time! @required
+  endTime: Time!
+}
+type User @key(fields: ["id"]) {
+  id: ID! @required
+  login: String! @required
+  nicknames: [String!]!
+}
+scalar Time
+|}
+
+(* Example 3.3: the allowed properties of User and UserSession nodes *)
+let test_example_3_3 () =
+  let b = B.create () in
+  let _ =
+    B.node b "u" ~label:"User"
+      ~props:
+        [
+          ("id", V.Id "u1");
+          ("login", V.String "alice");
+          ("nicknames", V.List [ V.String "al"; V.String "lissa" ]);
+        ]
+      ()
+  in
+  let _ =
+    B.node b "s" ~label:"UserSession"
+      ~props:[ ("id", V.Id "s1"); ("startTime", V.String "t0") ]
+      ()
+  in
+  let _ = B.edge b "s" "u" ~label:"user" ~props:[ ("certainty", V.Float 1.0) ] () in
+  check_bool "mandatory + optional properties accepted" true
+    (conforms session_schema (B.graph b));
+  (* "login" is mandatory *)
+  let b2 = B.create () in
+  let _ = B.node b2 "u" ~label:"User" ~props:[ ("id", V.Id "u1") ] () in
+  check_bool "missing login violates DS5" true
+    (violates Vi.DS5 session_schema (B.graph b2));
+  (* "nicknames" must be an array of strings *)
+  let b3 = B.create () in
+  let _ =
+    B.node b3 "u" ~label:"User"
+      ~props:
+        [ ("id", V.Id "u"); ("login", V.String "l"); ("nicknames", V.String "not-a-list") ]
+      ()
+  in
+  check_bool "nicknames must be an array" true (violates Vi.WS1 session_schema (B.graph b3))
+
+(* Example 3.4: both "id" keys *)
+let test_example_3_4 () =
+  let two_users id1 id2 =
+    let b = B.create () in
+    let mk h id =
+      ignore
+        (B.node b h ~label:"User" ~props:[ ("id", V.Id id); ("login", V.String h) ] ())
+    in
+    mk "u1" id1;
+    mk "u2" id2;
+    B.graph b
+  in
+  check_bool "distinct ids fine" true (conforms session_schema (two_users "a" "b"));
+  check_bool "equal ids collide" true
+    (violates Vi.DS7 session_schema (two_users "same" "same"))
+
+(* Example 3.5: every UserSession has exactly one user edge *)
+let test_example_3_5 () =
+  let b = B.create () in
+  let _ =
+    B.node b "s" ~label:"UserSession"
+      ~props:[ ("id", V.Id "s"); ("startTime", V.String "t") ]
+      ()
+  in
+  check_bool "missing user edge" true (violates Vi.DS6 session_schema (B.graph b));
+  let b2 = B.create () in
+  let _ =
+    B.node b2 "s" ~label:"UserSession"
+      ~props:[ ("id", V.Id "s"); ("startTime", V.String "t") ]
+      ()
+  in
+  let mk h =
+    ignore
+      (B.node b2 h ~label:"User" ~props:[ ("id", V.Id h); ("login", V.String h) ] ())
+  in
+  mk "u1";
+  mk "u2";
+  let _ = B.edge b2 "s" "u1" ~label:"user" ~props:[ ("certainty", V.Float 1.0) ] () in
+  let _ = B.edge b2 "s" "u2" ~label:"user" ~props:[ ("certainty", V.Float 1.0) ] () in
+  check_bool "two user edges violate WS4" true (violates Vi.WS4 session_schema (B.graph b2))
+
+(* Example 3.6: books and authors *)
+let book_schema =
+  schema
+    {|
+type Author {
+  favoriteBook: Book
+  relatedAuthor: [Author] @distinct @noLoops
+}
+type Book {
+  title: String!
+  author: [Author] @required @distinct
+}
+|}
+
+let test_example_3_6 () =
+  (* an Author with no outgoing edges is fine *)
+  let g, _ = G.add_node G.empty ~label:"Author" () in
+  check_bool "lonely author ok" true (conforms book_schema g);
+  (* a Book must have at least one author *)
+  let g2, _ = G.add_node G.empty ~label:"Book" ~props:[ ("title", V.String "t") ] () in
+  check_bool "authorless book" true (violates Vi.DS6 book_schema g2);
+  (* at most one favoriteBook *)
+  let b = B.create () in
+  let _ = B.node b "a" ~label:"Author" () in
+  let _ = B.node b "b1" ~label:"Book" ~props:[ ("title", V.String "x") ] () in
+  let _ = B.node b "b2" ~label:"Book" ~props:[ ("title", V.String "y") ] () in
+  let _ = B.edge b "a" "b1" ~label:"favoriteBook" () in
+  let _ = B.edge b "a" "b2" ~label:"favoriteBook" () in
+  let _ = B.edge b "b1" "a" ~label:"author" () in
+  let _ = B.edge b "b2" "a" ~label:"author" () in
+  check_bool "two favorites violate WS4" true (violates Vi.WS4 book_schema (B.graph b))
+
+(* Example 3.7: @distinct and @noLoops *)
+let test_example_3_7 () =
+  let b = B.create () in
+  let _ = B.node b "a1" ~label:"Author" () in
+  let _ = B.node b "a2" ~label:"Author" () in
+  let _ = B.edge b "a1" "a2" ~label:"relatedAuthor" () in
+  let _ = B.edge b "a1" "a2" ~label:"relatedAuthor" () in
+  check_bool "duplicate relatedAuthor violates DS1" true
+    (violates Vi.DS1 book_schema (B.graph b));
+  let b2 = B.create () in
+  let _ = B.node b2 "a" ~label:"Author" () in
+  let _ = B.edge b2 "a" "a" ~label:"relatedAuthor" () in
+  check_bool "self relatedAuthor violates DS2" true
+    (violates Vi.DS2 book_schema (B.graph b2))
+
+(* Example 3.8: BookSeries/Publisher with target-side constraints *)
+let series_schema =
+  schema
+    {|
+type Book {
+  title: String!
+}
+type BookSeries {
+  contains: [Book] @required @uniqueForTarget
+}
+type Publisher {
+  published: [Book] @uniqueForTarget @requiredForTarget
+}
+|}
+
+let test_example_3_8 () =
+  (* every Book needs exactly one incoming published edge *)
+  let b = B.create () in
+  let _ = B.node b "bk" ~label:"Book" ~props:[ ("title", V.String "t") ] () in
+  check_bool "book without publisher violates DS4" true
+    (violates Vi.DS4 series_schema (B.graph b));
+  let b2 = B.create () in
+  let _ = B.node b2 "bk" ~label:"Book" ~props:[ ("title", V.String "t") ] () in
+  let _ = B.node b2 "p1" ~label:"Publisher" () in
+  let _ = B.node b2 "p2" ~label:"Publisher" () in
+  let _ = B.edge b2 "p1" "bk" ~label:"published" () in
+  let _ = B.edge b2 "p2" "bk" ~label:"published" () in
+  check_bool "two publishers violate DS3" true (violates Vi.DS3 series_schema (B.graph b2));
+  (* at most one incoming contains, but zero is fine *)
+  let b3 = B.create () in
+  let _ = B.node b3 "bk" ~label:"Book" ~props:[ ("title", V.String "t") ] () in
+  let _ = B.node b3 "p" ~label:"Publisher" () in
+  let _ = B.edge b3 "p" "bk" ~label:"published" () in
+  check_bool "no series needed" true (conforms series_schema (B.graph b3))
+
+(* Examples 3.9/3.10: union and interface targets are interchangeable *)
+let union_schema =
+  schema
+    {|
+type Person {
+  name: String!
+  favoriteFood: Food
+}
+union Food = Pizza | Pasta
+type Pizza { name: String! toppings: [String!]! }
+type Pasta { name: String! }
+|}
+
+let interface_schema =
+  schema
+    {|
+type Person {
+  name: String!
+  favoriteFood: Food
+}
+interface Food { name: String! }
+type Pizza implements Food { name: String! toppings: [String!]! }
+type Pasta implements Food { name: String! }
+|}
+
+let test_examples_3_9_and_3_10 () =
+  let favorite target_label =
+    let b = B.create () in
+    let _ = B.node b "p" ~label:"Person" ~props:[ ("name", V.String "p") ] () in
+    let _ = B.node b "f" ~label:target_label ~props:[ ("name", V.String "f") ] () in
+    let _ = B.edge b "p" "f" ~label:"favoriteFood" () in
+    B.graph b
+  in
+  List.iter
+    (fun (name, sch) ->
+      check_bool (name ^ ": pizza ok") true (conforms sch (favorite "Pizza"));
+      check_bool (name ^ ": pasta ok") true (conforms sch (favorite "Pasta"));
+      check_bool (name ^ ": person target rejected") true
+        (violates Vi.WS3 sch
+           (let b = B.create () in
+            let _ = B.node b "p" ~label:"Person" ~props:[ ("name", V.String "p") ] () in
+            let _ = B.node b "q" ~label:"Person" ~props:[ ("name", V.String "q") ] () in
+            let _ = B.edge b "p" "q" ~label:"favoriteFood" () in
+            B.graph b)))
+    [ ("union", union_schema); ("interface", interface_schema) ]
+
+(* Example 3.11: multiple source types for the same edge label *)
+let test_example_3_11 () =
+  let sch =
+    schema
+      {|
+type Person { name: String! }
+type Car { brand: String! owner: Person }
+type Motorcycle { brand: String! owner: Person }
+|}
+  in
+  let b = B.create () in
+  let _ = B.node b "p" ~label:"Person" ~props:[ ("name", V.String "p") ] () in
+  let _ = B.node b "c" ~label:"Car" ~props:[ ("brand", V.String "b") ] () in
+  let _ = B.node b "m" ~label:"Motorcycle" ~props:[ ("brand", V.String "b") ] () in
+  let _ = B.edge b "c" "p" ~label:"owner" () in
+  let _ = B.edge b "m" "p" ~label:"owner" () in
+  check_bool "owner edges from both types" true (conforms sch (B.graph b))
+
+(* Example 3.12: mandatory and optional edge properties.  Note the formal
+   rules of Section 5 never force an edge property to be present (WS2 only
+   type-checks present ones) — the mandatory reading of Section 3.5 has no
+   corresponding DS rule, which we document as a gap; here we check what
+   the formal semantics does say. *)
+let test_example_3_12 () =
+  let graph_with_edge_props props =
+    let b = B.create () in
+    let _ =
+      B.node b "s" ~label:"UserSession"
+        ~props:[ ("id", V.Id "s"); ("startTime", V.String "t") ]
+        ()
+    in
+    let _ =
+      B.node b "u" ~label:"User" ~props:[ ("id", V.Id "u"); ("login", V.String "l") ] ()
+    in
+    let _ = B.edge b "s" "u" ~label:"user" ~props () in
+    B.graph b
+  in
+  check_bool "typed certainty accepted" true
+    (conforms session_schema (graph_with_edge_props [ ("certainty", V.Float 0.9) ]));
+  check_bool "ill-typed certainty rejected" true
+    (violates Vi.WS2 session_schema (graph_with_edge_props [ ("certainty", V.String "high") ]));
+  check_bool "optional comment accepted" true
+    (conforms session_schema
+       (graph_with_edge_props [ ("certainty", V.Float 0.9); ("comment", V.String "hi") ]));
+  check_bool "undeclared edge property rejected" true
+    (violates Vi.SS3 session_schema
+       (graph_with_edge_props [ ("certainty", V.Float 0.9); ("oops", V.Int 1) ]));
+  (* the gap: a missing mandatory (non-null) edge property passes *)
+  check_bool "missing certainty passes the formal rules (documented gap)" true
+    (conforms session_schema (graph_with_edge_props []))
+
+(* Section 3.3: the cardinality table *)
+let test_cardinality_table () =
+  let variant body = schema (Printf.sprintf "type A { rel: %s }\ntype B {\n}\n" body) in
+  let probe sch ~fan_out ~fan_in =
+    let mk edges sources targets =
+      let b = B.create () in
+      for i = 1 to sources do
+        ignore (B.node b (Printf.sprintf "a%d" i) ~label:"A" ())
+      done;
+      for j = 1 to targets do
+        ignore (B.node b (Printf.sprintf "b%d" j) ~label:"B" ())
+      done;
+      List.iter
+        (fun (i, j) ->
+          ignore
+            (B.edge b (Printf.sprintf "a%d" i) (Printf.sprintf "b%d" j) ~label:"rel" ()))
+        edges;
+      B.graph b
+    in
+    let out_ok = conforms sch (mk [ (1, 1); (1, 2) ] 1 2) in
+    let in_ok = conforms sch (mk [ (1, 1); (2, 1) ] 2 1) in
+    check_bool "fan-out" fan_out out_ok;
+    check_bool "fan-in" fan_in in_ok
+  in
+  (* 1:1 — rel: B @uniqueForTarget: neither side may fan *)
+  probe (variant "B @uniqueForTarget") ~fan_out:false ~fan_in:false;
+  (* 1:N — rel: B: source bounded, target free *)
+  probe (variant "B") ~fan_out:false ~fan_in:true;
+  (* N:1 — rel: [B] @uniqueForTarget: source free, target bounded *)
+  probe (variant "[B] @uniqueForTarget") ~fan_out:true ~fan_in:false;
+  (* N:M — rel: [B]: both free *)
+  probe (variant "[B]") ~fan_out:true ~fan_in:true
+
+let suite =
+  [
+    Alcotest.test_case "Example 3.3: node properties" `Quick test_example_3_3;
+    Alcotest.test_case "Example 3.4: keys" `Quick test_example_3_4;
+    Alcotest.test_case "Example 3.5: exactly one user edge" `Quick test_example_3_5;
+    Alcotest.test_case "Example 3.6: cardinalities" `Quick test_example_3_6;
+    Alcotest.test_case "Example 3.7: @distinct/@noLoops" `Quick test_example_3_7;
+    Alcotest.test_case "Example 3.8: target-side constraints" `Quick test_example_3_8;
+    Alcotest.test_case "Examples 3.9/3.10: union = interface targets" `Quick
+      test_examples_3_9_and_3_10;
+    Alcotest.test_case "Example 3.11: multiple source types" `Quick test_example_3_11;
+    Alcotest.test_case "Example 3.12: edge properties" `Quick test_example_3_12;
+    Alcotest.test_case "Section 3.3: cardinality table" `Quick test_cardinality_table;
+  ]

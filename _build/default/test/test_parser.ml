@@ -1,0 +1,227 @@
+(* Parser tests: the SDL type-system grammar (spec Section 3). *)
+
+module P = Graphql_pg.Sdl.Parser
+module Ast = Graphql_pg.Sdl.Ast
+
+let parse_ok src =
+  match P.parse src with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "parse error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+
+let parse_fails src = match P.parse src with Ok _ -> false | Error _ -> true
+let check_bool = Alcotest.(check bool)
+
+let first_object src =
+  match parse_ok src with
+  | Ast.Type_definition (Ast.Object_type d) :: _ -> d
+  | _ -> Alcotest.fail "expected an object type first"
+
+let test_object_type () =
+  let d = first_object "type Foo { a: Int b: [String!]! }" in
+  Alcotest.(check string) "name" "Foo" d.Ast.o_name;
+  Alcotest.(check int) "fields" 2 (List.length d.Ast.o_fields);
+  let b = List.nth d.Ast.o_fields 1 in
+  check_bool "wrapped type" true
+    (Ast.equal_type_ref b.Ast.f_type
+       (Ast.Non_null_type (Ast.List_type (Ast.Non_null_type (Ast.Named_type "String")))))
+
+let test_empty_fields_block () =
+  (* Example 6.1 of the paper relies on "type OT1 { }" *)
+  let d = first_object "type OT1 {\n}" in
+  Alcotest.(check int) "no fields" 0 (List.length d.Ast.o_fields)
+
+let test_implements () =
+  let d = first_object "type A implements I & J { x: Int }" in
+  check_bool "interfaces" true (d.Ast.o_interfaces = [ "I"; "J" ]);
+  let d = first_object "type A implements & I { x: Int }" in
+  check_bool "leading ampersand" true (d.Ast.o_interfaces = [ "I" ])
+
+let test_arguments_and_defaults () =
+  let d = first_object "type A { len(unit: LenUnit = METER other: Int): Float }" in
+  let f = List.nth d.Ast.o_fields 0 in
+  Alcotest.(check int) "two args" 2 (List.length f.Ast.f_arguments);
+  let unit = List.nth f.Ast.f_arguments 0 in
+  check_bool "default" true (unit.Ast.iv_default = Some (Ast.Enum_value "METER"))
+
+let test_directives () =
+  let d = first_object {|type A @key(fields: ["id"]) @key(fields: ["x"]) { id: ID! @required }|} in
+  Alcotest.(check int) "two type directives" 2 (List.length d.Ast.o_directives);
+  let key = List.hd d.Ast.o_directives in
+  check_bool "key args" true
+    (key.Ast.d_arguments = [ ("fields", Ast.List_value [ Ast.String_value "id" ]) ]);
+  let f = List.hd d.Ast.o_fields in
+  check_bool "field directive" true
+    (List.exists (fun (dr : Ast.directive) -> dr.Ast.d_name = "required") f.Ast.f_directives)
+
+let test_values () =
+  let value src =
+    match P.parse_value src with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "value error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+  in
+  check_bool "int" true (value "3" = Ast.Int_value 3);
+  check_bool "float" true (value "1.5" = Ast.Float_value 1.5);
+  check_bool "bools" true (value "true" = Ast.Boolean_value true);
+  check_bool "null" true (value "null" = Ast.Null_value);
+  check_bool "enum" true (value "METER" = Ast.Enum_value "METER");
+  check_bool "list" true (value "[1, 2]" = Ast.List_value [ Ast.Int_value 1; Ast.Int_value 2 ]);
+  check_bool "object" true
+    (value "{a: 1, b: \"x\"}"
+    = Ast.Object_value [ ("a", Ast.Int_value 1); ("b", Ast.String_value "x") ]);
+  check_bool "nested" true
+    (value "[[1], {x: []}]"
+    = Ast.List_value
+        [ Ast.List_value [ Ast.Int_value 1 ]; Ast.Object_value [ ("x", Ast.List_value []) ] ])
+
+let test_type_refs () =
+  let ty src =
+    match P.parse_type_ref src with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "type error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+  in
+  check_bool "named" true (ty "Foo" = Ast.Named_type "Foo");
+  check_bool "non-null" true (ty "Foo!" = Ast.Non_null_type (Ast.Named_type "Foo"));
+  check_bool "list" true (ty "[Foo]" = Ast.List_type (Ast.Named_type "Foo"));
+  check_bool "all wrappers" true
+    (ty "[Foo!]!" = Ast.Non_null_type (Ast.List_type (Ast.Non_null_type (Ast.Named_type "Foo"))));
+  check_bool "double bang rejected" true
+    (match P.parse_type_ref "Foo!!" with Ok _ -> false | Error _ -> true)
+
+let test_interface_union_enum_scalar_input () =
+  let doc =
+    parse_ok
+      {|
+interface Character { id: ID! }
+union SearchResult = Human | Droid
+enum Episode { NEWHOPE EMPIRE JEDI }
+scalar Time
+input Filter { limit: Int = 10 }
+|}
+  in
+  Alcotest.(check int) "five definitions" 5 (List.length doc);
+  (match List.nth doc 1 with
+  | Ast.Type_definition (Ast.Union_type u) ->
+    check_bool "members" true (u.Ast.u_members = [ "Human"; "Droid" ])
+  | _ -> Alcotest.fail "expected union");
+  match List.nth doc 2 with
+  | Ast.Type_definition (Ast.Enum_type e) ->
+    check_bool "enum values" true
+      (List.map (fun (ev : Ast.enum_value_def) -> ev.Ast.ev_name) e.Ast.e_values
+      = [ "NEWHOPE"; "EMPIRE"; "JEDI" ])
+  | _ -> Alcotest.fail "expected enum"
+
+let test_union_leading_pipe () =
+  match parse_ok "union U = | A | B" with
+  | [ Ast.Type_definition (Ast.Union_type u) ] ->
+    check_bool "members" true (u.Ast.u_members = [ "A"; "B" ])
+  | _ -> Alcotest.fail "expected union"
+
+let test_schema_definition () =
+  match parse_ok "schema { query: Q mutation: M }" with
+  | [ Ast.Schema_definition sd ] ->
+    check_bool "ops" true (sd.Ast.sd_operations = [ (Ast.Query, "Q"); (Ast.Mutation, "M") ])
+  | _ -> Alcotest.fail "expected schema definition"
+
+let test_directive_definition () =
+  match parse_ok "directive @auth(role: String!) on FIELD_DEFINITION | OBJECT" with
+  | [ Ast.Directive_definition dd ] ->
+    Alcotest.(check string) "name" "auth" dd.Ast.dd_name;
+    check_bool "locations" true
+      (dd.Ast.dd_locations = [ Ast.Loc_field_definition; Ast.Loc_object ])
+  | _ -> Alcotest.fail "expected directive definition"
+
+let test_descriptions () =
+  let doc =
+    parse_ok
+      "\"A scalar.\"\nscalar Time\n\n\"\"\"\nBlock description.\n\"\"\"\ntype A { \"field desc\" x: Int }"
+  in
+  (match List.nth doc 0 with
+  | Ast.Type_definition (Ast.Scalar_type s) ->
+    check_bool "scalar desc" true (s.Ast.s_description = Some "A scalar.")
+  | _ -> Alcotest.fail "expected scalar");
+  match List.nth doc 1 with
+  | Ast.Type_definition (Ast.Object_type d) ->
+    check_bool "type desc" true (d.Ast.o_description = Some "Block description.");
+    check_bool "field desc" true
+      ((List.hd d.Ast.o_fields).Ast.f_description = Some "field desc")
+  | _ -> Alcotest.fail "expected object"
+
+let test_extensions () =
+  let doc = parse_ok "type A { x: Int }\nextend type A { y: Int }\nextend enum E { C }" in
+  check_bool "three definitions" true (List.length doc = 3);
+  match List.nth doc 1 with
+  | Ast.Type_extension (Ast.Object_extension d) ->
+    check_bool "extension fields" true (List.length d.Ast.o_fields = 1)
+  | _ -> Alcotest.fail "expected object extension"
+
+let test_errors () =
+  check_bool "executable rejected" true (parse_fails "query { hero }");
+  check_bool "fragment rejected" true (parse_fails "fragment F on T { x }");
+  check_bool "empty document" true (parse_fails "");
+  check_bool "missing colon" true (parse_fails "type A { x Int }");
+  check_bool "variable in value" true (parse_fails "type A { x(y: Int = $v): Int }");
+  check_bool "empty args" true (parse_fails "type A { x(): Int }");
+  check_bool "empty schema def" true (parse_fails "schema { }");
+  check_bool "enum value true" true (parse_fails "enum E { true }");
+  check_bool "junk after document" true (parse_fails "type A { x: Int } }")
+
+let test_paper_figure_1 () =
+  (* the appendix example, verbatim modulo whitespace *)
+  let doc =
+    parse_ok
+      {|
+type Starship {
+  id: ID!
+  name: String
+  length(unit: LenUnit = METER): Float
+}
+enum LenUnit { METER FEET }
+interface Character {
+  id: ID!
+  name: String
+  friends: [Character]
+}
+type Human implements Character {
+  id: ID!
+  name: String
+  friends: [Character]
+  starships: [Starship]
+}
+type Droid implements Character {
+  id: ID!
+  name: String
+  friends: [Character]
+  primaryFunction: String!
+}
+type Query {
+  hero(episode: Episode): Character
+  search(text: String): [SearchResult]
+}
+enum Episode { NEWHOPE EMPIRE JEDI }
+union SearchResult = Human | Droid | Starship
+schema {
+  query: Query
+}
+|}
+  in
+  Alcotest.(check int) "nine definitions" 9 (List.length doc)
+
+let suite =
+  [
+    Alcotest.test_case "object types" `Quick test_object_type;
+    Alcotest.test_case "empty fields block (Example 6.1)" `Quick test_empty_fields_block;
+    Alcotest.test_case "implements" `Quick test_implements;
+    Alcotest.test_case "arguments and defaults" `Quick test_arguments_and_defaults;
+    Alcotest.test_case "directives" `Quick test_directives;
+    Alcotest.test_case "constant values" `Quick test_values;
+    Alcotest.test_case "type references" `Quick test_type_refs;
+    Alcotest.test_case "interface/union/enum/scalar/input" `Quick
+      test_interface_union_enum_scalar_input;
+    Alcotest.test_case "union leading pipe" `Quick test_union_leading_pipe;
+    Alcotest.test_case "schema definition" `Quick test_schema_definition;
+    Alcotest.test_case "directive definition" `Quick test_directive_definition;
+    Alcotest.test_case "descriptions" `Quick test_descriptions;
+    Alcotest.test_case "type extensions" `Quick test_extensions;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "Figure 1 parses" `Quick test_paper_figure_1;
+  ]

@@ -1,0 +1,128 @@
+(* PGF serialization tests, including a qcheck round-trip. *)
+
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+module Pgf = Graphql_pg.Pgf
+
+let check_bool = Alcotest.(check bool)
+
+let parse_ok src =
+  match Pgf.parse src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "PGF error: %a" Pgf.pp_error e
+
+let parse_fails src = match Pgf.parse src with Ok _ -> false | Error _ -> true
+
+let test_basic () =
+  let g =
+    parse_ok
+      {|# a comment
+node a :User {id: @"u1", login: "alice", nicknames: ["al"], age: 33, score: 1.5, ok: true}
+node b :UserSession
+edge e a -> b :session
+edge b -> a :owner {weight: 0.5, color: RED}
+|}
+  in
+  Alcotest.(check int) "nodes" 2 (G.node_count g);
+  Alcotest.(check int) "edges" 2 (G.edge_count g);
+  let a = List.hd (G.nodes g) in
+  check_bool "id value" true (G.node_prop g a "id" = Some (V.Id "u1"));
+  check_bool "string value" true (G.node_prop g a "login" = Some (V.String "alice"));
+  check_bool "list value" true (G.node_prop g a "nicknames" = Some (V.List [ V.String "al" ]));
+  check_bool "int value" true (G.node_prop g a "age" = Some (V.Int 33));
+  check_bool "float value" true (G.node_prop g a "score" = Some (V.Float 1.5));
+  check_bool "bool value" true (G.node_prop g a "ok" = Some (V.Bool true));
+  let e2 = List.nth (G.edges g) 1 in
+  check_bool "enum edge prop" true (G.edge_prop g e2 "color" = Some (V.Enum "RED"))
+
+let test_edge_handle_optional () =
+  let g = parse_ok "node a :A\nnode b :B\nedge x a -> b :r\nedge a -> b :r" in
+  Alcotest.(check int) "both edges" 2 (G.edge_count g)
+
+let test_errors () =
+  check_bool "unknown handle" true (parse_fails "node a :A\nedge a -> zz :r");
+  check_bool "duplicate handle" true (parse_fails "node a :A\nnode a :B");
+  check_bool "bad keyword" true (parse_fails "vertex a :A");
+  check_bool "missing label" true (parse_fails "node a");
+  check_bool "trailing junk" true (parse_fails "node a :A junk");
+  check_bool "unterminated string" true (parse_fails "node a :A {x: \"oops}");
+  check_bool "unterminated props" true (parse_fails "node a :A {x: 1")
+
+let test_escapes () =
+  let g = parse_ok {|node a :A {s: "line\nbreak \"quoted\" back\\slash"}|} in
+  let a = List.hd (G.nodes g) in
+  check_bool "escapes decoded" true
+    (G.node_prop g a "s" = Some (V.String "line\nbreak \"quoted\" back\\slash"))
+
+let test_print_parse_round_trip () =
+  let g = G.empty in
+  let g, a =
+    G.add_node g ~label:"User"
+      ~props:
+        [
+          ("id", V.Id "u\"1");
+          ("names", V.List [ V.String "a"; V.Enum "X"; V.Int 3 ]);
+          ("pi", V.Float 3.25);
+          ("neg", V.Int (-7));
+          ("flag", V.Bool false);
+        ]
+      ()
+  in
+  let g, b = G.add_node g ~label:"Thing" () in
+  let g, _ = G.add_edge g ~label:"r" ~props:[ ("w", V.Float 0.5) ] a b in
+  let reparsed = parse_ok (Pgf.print g) in
+  check_bool "round-trip equal" true (G.equal g reparsed)
+
+(* qcheck: print/parse round-trips on random graphs *)
+let graph_gen =
+  let open QCheck2.Gen in
+  let atom =
+    oneof
+      [
+        map (fun i -> V.Int i) small_signed_int;
+        map (fun f -> V.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> V.String s) (small_string ~gen:printable);
+        map (fun b -> V.Bool b) bool;
+        map (fun s -> V.Id s) (small_string ~gen:printable);
+        map (fun i -> V.Enum (Printf.sprintf "E%d" (abs i))) small_signed_int;
+      ]
+  in
+  let value = oneof [ atom; map (fun l -> V.List l) (list_size (int_bound 3) atom) ] in
+  let label = map (fun i -> Printf.sprintf "L%d" (abs i mod 5)) small_signed_int in
+  let props = list_size (int_bound 3) (pair (map (fun i -> Printf.sprintf "p%d" (abs i mod 6)) small_signed_int) value) in
+  let* n = int_range 1 8 in
+  let* node_specs = list_repeat n (pair label props) in
+  let* edge_specs =
+    list_size (int_bound 12) (tup4 (int_bound (n - 1)) (int_bound (n - 1)) label props)
+  in
+  return
+    (let g = ref G.empty in
+     let nodes =
+       List.map
+         (fun (label, props) ->
+           let g', v = G.add_node !g ~label ~props () in
+           g := g';
+           v)
+         node_specs
+     in
+     let nodes = Array.of_list nodes in
+     List.iter
+       (fun (i, j, label, props) ->
+         let g', _ = G.add_edge !g ~label ~props nodes.(i) nodes.(j) in
+         g := g')
+       edge_specs;
+     !g)
+
+let prop_round_trip =
+  QCheck2.Test.make ~name:"PGF print/parse round-trip" ~count:200 graph_gen (fun g ->
+      match Pgf.parse (Pgf.print g) with Ok g' -> G.equal g g' | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basic;
+    Alcotest.test_case "edge handle optional" `Quick test_edge_handle_optional;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "print/parse round-trip" `Quick test_print_parse_round_trip;
+    QCheck_alcotest.to_alcotest prop_round_trip;
+  ]

@@ -1,0 +1,89 @@
+(* Printer tests: AST -> SDL -> AST round-trips. *)
+
+module P = Graphql_pg.Sdl.Parser
+module Pr = Graphql_pg.Sdl.Printer
+module Ast = Graphql_pg.Sdl.Ast
+
+let round_trip name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match P.parse src with
+      | Error e ->
+        Alcotest.failf "parse error: %s" (Graphql_pg.Sdl.Source.error_to_string e)
+      | Ok doc -> (
+        let printed = Pr.document_to_string doc in
+        match P.parse printed with
+        | Error e ->
+          Alcotest.failf "re-parse error: %s in\n%s"
+            (Graphql_pg.Sdl.Source.error_to_string e)
+            printed
+        | Ok doc2 ->
+          let printed2 = Pr.document_to_string doc2 in
+          Alcotest.(check string) "fixpoint after one print" printed printed2))
+
+let test_type_ref_syntax () =
+  let check src =
+    match P.parse_type_ref src with
+    | Ok t -> Alcotest.(check string) src src (Pr.type_ref_to_string t)
+    | Error _ -> Alcotest.failf "parse error on %s" src
+  in
+  List.iter check [ "Foo"; "Foo!"; "[Foo]"; "[Foo!]"; "[Foo]!"; "[Foo!]!"; "[[Foo]]" ]
+
+let test_value_syntax () =
+  let check src expected =
+    match P.parse_value src with
+    | Ok v -> Alcotest.(check string) src expected (Pr.value_to_string v)
+    | Error _ -> Alcotest.failf "parse error on %s" src
+  in
+  check "3" "3";
+  check "[1,2]" "[1, 2]";
+  check "{a: 1}" "{a: 1}";
+  check "\"x\\ny\"" "\"x\\ny\"";
+  check "1.25" "1.25";
+  check "null" "null"
+
+let test_description_block_string () =
+  (* multi-line descriptions print as block strings and survive *)
+  let src = "\"\"\"\nline one\nline two\n\"\"\"\ntype A {\n}" in
+  match P.parse src with
+  | Error _ -> Alcotest.fail "parse error"
+  | Ok doc -> (
+    let printed = Pr.document_to_string doc in
+    match P.parse printed with
+    | Ok (Ast.Type_definition (Ast.Object_type d) :: _) ->
+      Alcotest.(check (option string)) "description preserved" (Some "line one\nline two")
+        d.Ast.o_description
+    | _ -> Alcotest.fail "re-parse failed")
+
+let suite =
+  [
+    round_trip "round-trip: object with everything"
+      {|
+"desc"
+type A implements I & J @key(fields: ["id"]) {
+  "field"
+  id: ID! @required
+  rel(w: Float! c: String = "x"): [B!]! @distinct @noLoops
+}
+|};
+    round_trip "round-trip: scalar + enum + union + input"
+      {|
+scalar Time
+enum E { A B C }
+union U = X | Y
+input In { a: Int = 3 b: [String] }
+type X { q: Int }
+type Y { q: Int }
+|};
+    round_trip "round-trip: interface + schema + directive def"
+      {|
+interface I { x: Int }
+directive @auth(role: String) on OBJECT | FIELD_DEFINITION
+schema { query: Q }
+type Q { x: Int }
+|};
+    round_trip "round-trip: extensions" "type A { x: Int }\nextend type A @deprecated { y: Int }";
+    round_trip "round-trip: empty body" "type OT1 {\n}";
+    Alcotest.test_case "type_ref syntax" `Quick test_type_ref_syntax;
+    Alcotest.test_case "value syntax" `Quick test_value_syntax;
+    Alcotest.test_case "block string description" `Quick test_description_block_string;
+  ]

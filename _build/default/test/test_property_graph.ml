@@ -1,0 +1,148 @@
+(* Unit tests for the Property Graph model (Definition 2.1). *)
+
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_graph () =
+  let g = G.empty in
+  let g, a = G.add_node g ~label:"A" ~props:[ ("x", V.Int 1) ] () in
+  let g, b = G.add_node g ~label:"B" () in
+  let g, e = G.add_edge g ~label:"r" ~props:[ ("w", V.Float 1.5) ] a b in
+  (g, a, b, e)
+
+let test_empty () =
+  check_int "no nodes" 0 (G.node_count G.empty);
+  check_int "no edges" 0 (G.edge_count G.empty)
+
+let test_add_and_observe () =
+  let g, a, b, e = small_graph () in
+  check_int "two nodes" 2 (G.node_count g);
+  check_int "one edge" 1 (G.edge_count g);
+  Alcotest.(check string) "label a" "A" (G.node_label g a);
+  Alcotest.(check string) "label e" "r" (G.edge_label g e);
+  let src, tgt = G.edge_ends g e in
+  check_bool "rho src" true (G.node_id src = G.node_id a);
+  check_bool "rho tgt" true (G.node_id tgt = G.node_id b);
+  check_bool "prop present" true (G.node_prop g a "x" = Some (V.Int 1));
+  check_bool "prop absent (sigma partial)" true (G.node_prop g a "y" = None);
+  check_bool "edge prop" true (G.edge_prop g e "w" = Some (V.Float 1.5))
+
+let test_adjacency () =
+  let g, a, b, e = small_graph () in
+  check_bool "out a" true (List.map G.edge_id (G.out_edges g a) = [ G.edge_id e ]);
+  check_bool "in b" true (List.map G.edge_id (G.in_edges g b) = [ G.edge_id e ]);
+  check_bool "out b empty" true (G.out_edges g b = []);
+  check_bool "in a empty" true (G.in_edges g a = [])
+
+let test_adjacency_order () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g, b = G.add_node g ~label:"B" () in
+  let g, e1 = G.add_edge g ~label:"r" a b in
+  let g, e2 = G.add_edge g ~label:"s" a b in
+  check_bool "insertion order" true
+    (List.map G.edge_id (G.out_edges g a) = [ G.edge_id e1; G.edge_id e2 ])
+
+let test_add_edge_unknown_endpoint () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g2, b = G.add_node g ~label:"B" () in
+  ignore g2;
+  (* b is not a node of g *)
+  Alcotest.check_raises "unknown target" (Invalid_argument "Property_graph.add_edge: unknown target node")
+    (fun () -> ignore (G.add_edge g ~label:"r" a b))
+
+let test_set_remove_prop () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g = G.set_node_prop g a "p" (V.Bool true) in
+  check_bool "set" true (G.node_prop g a "p" = Some (V.Bool true));
+  let g = G.set_node_prop g a "p" (V.Bool false) in
+  check_bool "overwrite" true (G.node_prop g a "p" = Some (V.Bool false));
+  let g = G.remove_node_prop g a "p" in
+  check_bool "removed" true (G.node_prop g a "p" = None);
+  let g = G.remove_node_prop g a "p" in
+  check_bool "idempotent" true (G.node_prop g a "p" = None)
+
+let test_relabel () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g = G.relabel_node g a "Z" in
+  Alcotest.(check string) "relabelled" "Z" (G.node_label g a)
+
+let test_remove_edge () =
+  let g, a, b, e = small_graph () in
+  ignore b;
+  let g = G.remove_edge g e in
+  check_int "edge gone" 0 (G.edge_count g);
+  check_bool "adjacency updated" true (G.out_edges g a = []);
+  let g = G.remove_edge g e in
+  check_int "idempotent" 0 (G.edge_count g)
+
+let test_remove_node_cascades () =
+  let g, a, b, e = small_graph () in
+  ignore e;
+  let g = G.remove_node g b in
+  check_int "node gone" 1 (G.node_count g);
+  check_int "incident edge gone" 0 (G.edge_count g);
+  check_bool "out a updated" true (G.out_edges g a = [])
+
+let test_persistence () =
+  let g1, a = G.add_node G.empty ~label:"A" () in
+  let g2 = G.set_node_prop g1 a "p" (V.Int 1) in
+  check_bool "old version unchanged" true (G.node_prop g1 a "p" = None);
+  check_bool "new version changed" true (G.node_prop g2 a "p" = Some (V.Int 1))
+
+let test_equal () =
+  let g1, _, _, _ = small_graph () in
+  let g2, _, _, _ = small_graph () in
+  check_bool "structurally equal" true (G.equal g1 g2);
+  let g3, a, _, _ = small_graph () in
+  let g3 = G.set_node_prop g3 a "x" (V.Int 2) in
+  check_bool "prop change detected" false (G.equal g1 g3)
+
+let test_node_of_id () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  check_bool "found" true (G.node_of_id g (G.node_id a) = Some a);
+  check_bool "absent" true (G.node_of_id g 999 = None)
+
+let test_builder () =
+  let b = Graphql_pg.Builder.create () in
+  let _ = Graphql_pg.Builder.node b "x" ~label:"A" () in
+  let _ = Graphql_pg.Builder.node b "y" ~label:"B" () in
+  let _ = Graphql_pg.Builder.edge b "x" "y" ~label:"r" () in
+  let g = Graphql_pg.Builder.graph b in
+  check_int "built nodes" 2 (G.node_count g);
+  check_int "built edges" 1 (G.edge_count g);
+  Alcotest.check_raises "duplicate handle" (Invalid_argument "Builder.node: duplicate handle \"x\"")
+    (fun () -> ignore (Graphql_pg.Builder.node b "x" ~label:"A" ()));
+  Alcotest.check_raises "unknown handle" Not_found (fun () ->
+      ignore (Graphql_pg.Builder.edge b "x" "zzz" ~label:"r" ()))
+
+let test_stats () =
+  let g, _, _, _ = small_graph () in
+  let s = Graphql_pg.Stats.compute g in
+  check_int "nodes" 2 s.Graphql_pg.Stats.nodes;
+  check_int "edges" 1 s.Graphql_pg.Stats.edges;
+  check_int "max out" 1 s.Graphql_pg.Stats.max_out_degree;
+  check_bool "label histogram" true
+    (s.Graphql_pg.Stats.node_labels = [ ("A", 1); ("B", 1) ]);
+  check_int "node props" 1 s.Graphql_pg.Stats.node_properties;
+  check_int "edge props" 1 s.Graphql_pg.Stats.edge_properties
+
+let suite =
+  [
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    Alcotest.test_case "add and observe" `Quick test_add_and_observe;
+    Alcotest.test_case "adjacency indexes" `Quick test_adjacency;
+    Alcotest.test_case "adjacency order" `Quick test_adjacency_order;
+    Alcotest.test_case "add_edge rejects unknown endpoints" `Quick test_add_edge_unknown_endpoint;
+    Alcotest.test_case "set/remove property" `Quick test_set_remove_prop;
+    Alcotest.test_case "relabel" `Quick test_relabel;
+    Alcotest.test_case "remove edge" `Quick test_remove_edge;
+    Alcotest.test_case "remove node cascades" `Quick test_remove_node_cascades;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    Alcotest.test_case "node_of_id" `Quick test_node_of_id;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "stats" `Quick test_stats;
+  ]

@@ -1,0 +1,255 @@
+(* The GraphQL query engine (parser + executor) against Property Graphs. *)
+
+module J = Graphql_pg.Json
+module QP = Graphql_pg.Query_parser
+module Q = Graphql_pg.Query_ast
+module V = Graphql_pg.Value
+module B = Graphql_pg.Builder
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let schema =
+  Graphql_pg.schema_of_string_exn
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String! @required
+  age: Int
+  favoriteFood: Food
+  knows(since: Int!): [Person] @distinct @noLoops
+}
+union Food = Pizza | Pasta
+type Pizza @key(fields: ["name"]) {
+  name: String! @required
+  toppings: [String!]!
+}
+type Pasta {
+  name: String! @required
+}
+|}
+
+let graph =
+  let b = B.create () in
+  let person h name age =
+    ignore
+      (B.node b h ~label:"Person"
+         ~props:
+           (( "id", V.Id h ) :: ("name", V.String name)
+           :: (match age with Some a -> [ ("age", V.Int a) ] | None -> []))
+         ())
+  in
+  person "olaf" "Olaf" (Some 40);
+  person "jan" "Jan" None;
+  ignore
+    (B.node b "margherita" ~label:"Pizza"
+       ~props:[ ("name", V.String "Margherita"); ("toppings", V.List [ V.String "tomato" ]) ]
+       ());
+  ignore (B.node b "carbonara" ~label:"Pasta" ~props:[ ("name", V.String "Carbonara") ] ());
+  ignore (B.edge b "olaf" "margherita" ~label:"favoriteFood" ());
+  ignore (B.edge b "jan" "carbonara" ~label:"favoriteFood" ());
+  ignore (B.edge b "olaf" "jan" ~label:"knows" ~props:[ ("since", V.Int 2017) ] ());
+  ignore (B.edge b "jan" "olaf" ~label:"knows" ~props:[ ("since", V.Int 2018) ] ());
+  B.graph b
+
+let run ?operation ?variables text =
+  match Graphql_pg.query ?operation ?variables schema graph text with
+  | Ok data -> data
+  | Error msg -> Alcotest.failf "query failed: %s" msg
+
+let run_err ?variables text =
+  match Graphql_pg.query ?variables schema graph text with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg -> msg
+
+(* --- parser --- *)
+
+let test_parser_shapes () =
+  let doc src = match QP.parse src with Ok d -> d | Error e -> Alcotest.failf "%s" (Graphql_pg.Sdl.Source.error_to_string e) in
+  let d = doc "{ a b { c } }" in
+  Alcotest.(check int) "one op" 1 (List.length d.Q.operations);
+  let d2 = doc "query Q($x: Int! = 3) { a(v: $x) }\nfragment F on Person { name }" in
+  Alcotest.(check int) "fragments" 1 (List.length d2.Q.fragments);
+  (match (List.hd d2.Q.operations).Q.o_variables with
+  | [ vd ] -> check_bool "default" true (vd.Q.v_default = Some (Q.Int_value 3))
+  | _ -> Alcotest.fail "expected one variable");
+  check_bool "mutation rejected" true (Result.is_error (QP.parse "mutation { x }"));
+  check_bool "empty selection rejected" true (Result.is_error (QP.parse "{ }"));
+  check_bool "alias parsed" true
+    (match doc "{ renamed: a }" with
+    | { Q.operations = [ { Q.o_selection = [ Q.Field f ]; _ } ]; _ } ->
+      f.Q.f_alias = Some "renamed" && f.Q.f_name = "a"
+    | _ -> false)
+
+(* --- execution --- *)
+
+let test_all_and_leaves () =
+  let data = run "{ allPerson { id name age } }" in
+  let people = J.member "allPerson" data in
+  check_bool "two people" true (people |> function J.List l -> List.length l = 2 | _ -> false);
+  check_string "name" "Olaf" (match J.member "name" (J.index 0 people) with J.String s -> s | _ -> "?");
+  check_bool "absent property is null (sigma partial)" true
+    (J.member "age" (J.index 1 people) = J.Null)
+
+let test_lookup_and_alias () =
+  let data = run {|{ p: personById(id: "jan") { who: name } }|} in
+  check_string "aliased" "Jan"
+    (match J.member "who" (J.member "p" data) with J.String s -> s | _ -> "?");
+  check_bool "missing key gives null" true
+    (J.member "personById" (run {|{ personById(id: "nobody") { name } }|}) = J.Null)
+
+let test_relationships () =
+  let data = run {|{ personById(id: "olaf") { knows { name } favoriteFood { __typename } } }|} in
+  let olaf = J.member "personById" data in
+  check_bool "knows list" true
+    (J.member "knows" olaf = J.List [ J.Assoc [ ("name", J.String "Jan") ] ]);
+  check_string "union typename" "Pizza"
+    (match J.member "__typename" (J.member "favoriteFood" olaf) with J.String s -> s | _ -> "?")
+
+let test_edge_property_filters () =
+  (* knows(since: 2017) keeps only matching edges *)
+  let data = run {|{ allPerson { name knows(since: 2017) { name } } }|} in
+  let people = match J.member "allPerson" data with J.List l -> l | _ -> [] in
+  let by_name n = List.find (fun p -> J.member "name" p = J.String n) people in
+  check_bool "olaf's 2017 edge kept" true
+    (J.member "knows" (by_name "Olaf") = J.List [ J.Assoc [ ("name", J.String "Jan") ] ]);
+  check_bool "jan's 2018 edge filtered out" true (J.member "knows" (by_name "Jan") = J.List [])
+
+let test_fragments () =
+  let data =
+    run
+      {|
+query {
+  allPerson {
+    favoriteFood {
+      ... on Pizza { toppings }
+      ...pastaName
+    }
+  }
+}
+fragment pastaName on Pasta { name }
+|}
+  in
+  let foods =
+    match J.member "allPerson" data with
+    | J.List l -> List.map (J.member "favoriteFood") l
+    | _ -> []
+  in
+  check_bool "pizza got toppings" true
+    (List.exists (fun f -> J.member "toppings" f <> J.Null) foods);
+  check_bool "pasta got name via named fragment" true
+    (List.exists (fun f -> J.member "name" f = J.String "Carbonara") foods)
+
+let test_fragment_errors () =
+  check_bool "unknown fragment" true
+    (String.length (run_err "{ allPerson { ...nope } }") > 0);
+  check_bool "fragment cycle detected" true
+    (String.length
+       (run_err
+          "query { allPerson { ...a } }\nfragment a on Person { ...b }\nfragment b on Person { ...a }")
+    > 0)
+
+let test_variables () =
+  let data =
+    run ~variables:[ ("who", J.String "olaf") ]
+      {|query Q($who: ID!) { personById(id: $who) { name } }|}
+  in
+  check_string "variable used" "Olaf"
+    (match J.member "name" (J.member "personById" data) with J.String s -> s | _ -> "?");
+  (* defaults apply *)
+  let data2 = run {|query Q($who: ID! = "jan") { personById(id: $who) { name } }|} in
+  check_string "default used" "Jan"
+    (match J.member "name" (J.member "personById" data2) with J.String s -> s | _ -> "?");
+  check_bool "missing non-null variable" true
+    (String.length (run_err {|query Q($who: ID!) { personById(id: $who) { name } }|}) > 0)
+
+let test_inverse_fields () =
+  let data =
+    run {|{ pizzaByName(name: "Margherita") { _inverse_favoriteFood_of_person { name } } }|}
+  in
+  check_bool "inverse traversal" true
+    (J.member "_inverse_favoriteFood_of_person" (J.member "pizzaByName" data)
+    = J.List [ J.Assoc [ ("name", J.String "Olaf") ] ])
+
+let test_execution_errors () =
+  check_bool "unknown root field" true (String.length (run_err "{ nope { x } }") > 0);
+  check_bool "unknown field on type" true
+    (String.length (run_err "{ allPerson { salary } }") > 0);
+  check_bool "leaf with selection" true
+    (String.length (run_err "{ allPerson { name { x } } }") > 0);
+  check_bool "relationship without selection" true
+    (String.length (run_err "{ allPerson { knows } }") > 0);
+  check_bool "undeclared argument" true
+    (String.length (run_err "{ allPerson { knows(color: 1) { name } } }") > 0)
+
+let test_operation_selection () =
+  let text = "query A { allPerson { name } }\nquery B { allPizza { name } }" in
+  check_bool "select B" true
+    (J.member "allPizza" (run ~operation:"B" text) <> J.Null);
+  check_bool "ambiguous without name" true
+    (String.length (run_err text) > 0)
+
+let test_skip_include () =
+  let data =
+    run ~variables:[ ("yes", J.Bool true); ("no", J.Bool false) ]
+      {|query Q($yes: Boolean!, $no: Boolean!) {
+  allPerson {
+    name @include(if: $yes)
+    age @include(if: $no)
+    id @skip(if: $yes)
+    kept: id @skip(if: $no)
+  }
+}|}
+  in
+  let first = J.index 0 (J.member "allPerson" data) in
+  check_bool "included" true (J.member "name" first <> J.Null);
+  check_bool "excluded by include(false)" true (J.member "age" first = J.Null && not (List.mem_assoc "age" (match first with J.Assoc l -> l | _ -> [])));
+  check_bool "excluded by skip(true)" true
+    (not (List.mem_assoc "id" (match first with J.Assoc l -> l | _ -> [])));
+  check_bool "kept by skip(false)" true (J.member "kept" first <> J.Null);
+  (* literals work too; fragments honour the directives *)
+  let data2 =
+    run
+      {|query {
+  allPizza {
+    ... on Pizza @skip(if: true) { toppings }
+    name @include(if: true)
+  }
+}|}
+  in
+  let pizza = J.index 0 (J.member "allPizza" data2) in
+  check_bool "fragment skipped" true
+    (not (List.mem_assoc "toppings" (match pizza with J.Assoc l -> l | _ -> [])));
+  check_bool "field included" true (J.member "name" pizza <> J.Null);
+  (* missing if argument is an error *)
+  check_bool "missing if" true (String.length (run_err "{ allPerson { name @skip } }") > 0)
+
+let test_multiple_operations_social () =
+  (* smoke on the bigger social workload *)
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:30 () in
+  match
+    Graphql_pg.query sch g
+      {|{ allForum { title moderator { name livesIn { name } } containerOf { id author { name } } } }|}
+  with
+  | Ok data ->
+    check_bool "forums returned" true
+      (match J.member "allForum" data with J.List (_ :: _) -> true | _ -> false)
+  | Error msg -> Alcotest.failf "social query failed: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "parser shapes" `Quick test_parser_shapes;
+    Alcotest.test_case "all<Type> + leaf fields" `Quick test_all_and_leaves;
+    Alcotest.test_case "key lookup + aliases" `Quick test_lookup_and_alias;
+    Alcotest.test_case "relationships + __typename" `Quick test_relationships;
+    Alcotest.test_case "arguments filter edge properties" `Quick test_edge_property_filters;
+    Alcotest.test_case "fragments (inline + named)" `Quick test_fragments;
+    Alcotest.test_case "fragment errors" `Quick test_fragment_errors;
+    Alcotest.test_case "variables" `Quick test_variables;
+    Alcotest.test_case "inverse fields" `Quick test_inverse_fields;
+    Alcotest.test_case "execution errors" `Quick test_execution_errors;
+    Alcotest.test_case "operation selection" `Quick test_operation_selection;
+    Alcotest.test_case "@skip / @include" `Quick test_skip_include;
+    Alcotest.test_case "social workload queries" `Quick test_multiple_operations_social;
+  ]

@@ -1,0 +1,121 @@
+(* Property tests for the query engine: results must agree with direct
+   graph scans on generated social graphs, and be invariant under
+   query-level refactorings (fragment inlining, aliasing). *)
+
+module J = Graphql_pg.Json
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+
+let sch = Graphql_pg.Social.schema ()
+
+let graph_of_seed seed = Graphql_pg.Social.generate ~seed ~persons:(10 + (seed mod 30)) ()
+
+let run g text =
+  match Graphql_pg.query sch g text with
+  | Ok data -> data
+  | Error msg -> QCheck2.Test.fail_reportf "query failed: %s" msg
+
+let as_list = function J.List l -> l | _ -> []
+
+(* all<T> { key } returns exactly the key properties of the T-nodes *)
+let prop_all_matches_scan =
+  QCheck2.Test.make ~name:"allPerson agrees with a direct scan" ~count:25
+    QCheck2.Gen.(int_bound 1_000)
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let data = run g "{ allPerson { id } }" in
+      let returned =
+        as_list (J.member "allPerson" data)
+        |> List.map (fun p -> J.member "id" p)
+        |> List.sort compare
+      in
+      let expected =
+        G.nodes g
+        |> List.filter (fun v -> G.node_label g v = "Person")
+        |> List.map (fun v ->
+               match G.node_prop g v "id" with
+               | Some pv -> J.of_property_value pv
+               | None -> J.Null)
+        |> List.sort compare
+      in
+      returned = expected)
+
+(* relationship traversal counts match out-degrees *)
+let prop_traversal_counts =
+  QCheck2.Test.make ~name:"knows traversal count = labeled out-degree" ~count:25
+    QCheck2.Gen.(int_bound 1_000)
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let data = run g "{ allPerson { id knows { id } } }" in
+      let people = as_list (J.member "allPerson" data) in
+      let by_id =
+        List.map (fun p -> (J.member "id" p, List.length (as_list (J.member "knows" p)))) people
+      in
+      List.for_all
+        (fun v ->
+          G.node_label g v <> "Person"
+          ||
+          let id = match G.node_prop g v "id" with Some pv -> J.of_property_value pv | None -> J.Null in
+          let expected =
+            List.length
+              (List.filter (fun e -> G.edge_label g e = "knows") (G.out_edges g v))
+          in
+          List.assoc_opt id by_id = Some expected)
+        (G.nodes g))
+
+(* inlining a named fragment does not change the result *)
+let prop_fragment_inlining =
+  QCheck2.Test.make ~name:"fragment inlining preserves results" ~count:25
+    QCheck2.Gen.(int_bound 1_000)
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let with_fragment =
+        run g
+          {|query { allPost { ...postBits author { name } } }
+fragment postBits on Post { id content }|}
+      in
+      let inlined = run g {|{ allPost { id content author { name } } }|} in
+      J.equal with_fragment inlined)
+
+(* an alias only renames the key *)
+let prop_alias_renames =
+  QCheck2.Test.make ~name:"aliases rename response keys" ~count:25
+    QCheck2.Gen.(int_bound 1_000)
+    (fun seed ->
+      let g = graph_of_seed seed in
+      let plain = as_list (J.member "allCity" (run g "{ allCity { name } }")) in
+      let aliased = as_list (J.member "allCity" (run g "{ allCity { n: name } }")) in
+      List.length plain = List.length aliased
+      && List.for_all2 (fun p a -> J.equal (J.member "name" p) (J.member "n" a)) plain aliased)
+
+(* inverse fields agree with forward traversal *)
+let prop_inverse_agrees =
+  QCheck2.Test.make ~name:"inverse fields invert forward edges" ~count:15
+    QCheck2.Gen.(int_bound 1_000)
+    (fun seed ->
+      let g = graph_of_seed seed in
+      (* forward: person -> livesIn -> city; inverse: city -> inhabitants *)
+      let forward = run g {|{ allPerson { id livesIn { name } } }|} in
+      let inverse = run g {|{ allCity { name _inverse_livesIn_of_person { id } } }|} in
+      let forward_pairs =
+        as_list (J.member "allPerson" forward)
+        |> List.map (fun p -> (J.member "id" p, J.member "name" (J.member "livesIn" p)))
+        |> List.sort compare
+      in
+      let inverse_pairs =
+        as_list (J.member "allCity" inverse)
+        |> List.concat_map (fun c ->
+               as_list (J.member "_inverse_livesIn_of_person" c)
+               |> List.map (fun p -> (J.member "id" p, J.member "name" c)))
+        |> List.sort compare
+      in
+      forward_pairs = inverse_pairs)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_all_matches_scan;
+    QCheck_alcotest.to_alcotest prop_traversal_counts;
+    QCheck_alcotest.to_alcotest prop_fragment_inlining;
+    QCheck_alcotest.to_alcotest prop_alias_renames;
+    QCheck_alcotest.to_alcotest prop_inverse_agrees;
+  ]

@@ -1,0 +1,59 @@
+(* Graph repair: corrupted graphs are brought back to strong satisfaction. *)
+
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+module MS = Graphql_pg.Model_search
+module Val = Graphql_pg.Validate
+module Vi = Graphql_pg.Violation
+
+let check_bool = Alcotest.(check bool)
+
+let test_already_valid () =
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:10 () in
+  match MS.repair sch g with
+  | Some g' ->
+    check_bool "unchanged size" true (G.node_count g' = G.node_count g);
+    check_bool "still valid" true (Val.conforms sch g')
+  | None -> Alcotest.fail "repair lost a valid graph"
+
+let test_sanitize_unjustified () =
+  let sch = Graphql_pg.schema_of_string_exn "type A { name: String r: [B] }\ntype B { x: Int }" in
+  let g, a = G.add_node G.empty ~label:"A" ~props:[ ("junk", V.Int 1) ] () in
+  let g, z = G.add_node g ~label:"Zombie" () in
+  let g, b = G.add_node g ~label:"B" () in
+  let g, _ = G.add_edge g ~label:"bogus" a b in
+  let g, e = G.add_edge g ~label:"r" a b in
+  let g = G.set_edge_prop g e "w" (V.Int 1) in
+  let g = G.set_node_prop g a "name" (V.Bool true) in
+  ignore z;
+  match MS.repair sch g with
+  | Some g' ->
+    check_bool "conforms" true (Val.conforms sch g');
+    check_bool "zombie removed" true
+      (List.for_all (fun v -> G.node_label g' v <> "Zombie") (G.nodes g'));
+    check_bool "justified edge kept" true
+      (List.exists (fun e -> G.edge_label g' e = "r") (G.edges g'))
+  | None -> Alcotest.fail "repair failed"
+
+let per_rule_repair rule =
+  let name = Printf.sprintf "repair after %s corruption" (Vi.rule_name rule) in
+  QCheck2.Test.make ~name ~count:15
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let sch = Graphql_pg.Social.schema () in
+      let g = Graphql_pg.Social.generate ~seed:(seed mod 89) ~persons:10 () in
+      let rng = Random.State.make [| seed |] in
+      match Graphql_pg.Corruption.mutate rule sch rng g with
+      | None -> QCheck2.assume_fail ()
+      | Some corrupted -> (
+        match MS.repair ~max_nodes:128 sch corrupted with
+        | Some repaired -> Val.conforms sch repaired
+        | None -> false))
+
+let suite =
+  [
+    Alcotest.test_case "valid graphs pass through" `Quick test_already_valid;
+    Alcotest.test_case "sanitation removes unjustified data" `Quick test_sanitize_unjustified;
+  ]
+  @ List.map (fun rule -> QCheck_alcotest.to_alcotest (per_rule_repair rule)) Vi.all_rules

@@ -1,0 +1,309 @@
+(* Object-type satisfiability (Section 6.2): translation, counting,
+   model search, the Example 6.1 schemas, and the Theorem 2 reduction
+   cross-checked against DPLL. *)
+
+module Sat = Graphql_pg.Satisfiability
+module T = Graphql_pg.Tableau
+module Counting = Graphql_pg.Counting
+module MS = Graphql_pg.Model_search
+module Val = Graphql_pg.Validate
+module G = Graphql_pg.Property_graph
+
+let check_bool = Alcotest.(check bool)
+
+let schema = Graphql_pg.schema_of_string_exn
+
+let lenient src =
+  match Graphql_pg.Of_ast.parse_lenient src with
+  | Ok sch -> sch
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let finite sch ot = (Sat.check ~max_nodes:10 sch ot).Sat.finite
+let alcqi sch ot = (Sat.check ~max_nodes:10 sch ot).Sat.alcqi
+
+let test_trivial () =
+  let sch = schema "type A { x: Int }" in
+  check_bool "plain type satisfiable" true (finite sch "A" = T.Satisfiable);
+  check_bool "alcqi agrees" true (alcqi sch "A" = T.Satisfiable)
+
+let test_witnesses_conform () =
+  let sch = Graphql_pg.Social.schema () in
+  List.iter
+    (fun (ot, report) ->
+      check_bool (ot ^ " satisfiable") true (report.Sat.finite = T.Satisfiable);
+      match report.Sat.witness with
+      | Some g ->
+        check_bool (ot ^ " witness conforms") true (Val.conforms sch g);
+        check_bool (ot ^ " witness populates the type") true
+          (List.exists (fun v -> G.node_label g v = ot) (G.nodes g))
+      | None -> Alcotest.failf "%s: satisfiable but no witness" ot)
+    (Sat.check_all ~max_nodes:32 sch)
+
+(* --- Example 6.1 --- *)
+
+let example_a =
+  {|
+type OT1 {
+}
+interface IT { hasOT1: OT1 @uniqueForTarget }
+type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
+|}
+
+let example_b =
+  {|
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: OT1! @required }
+type OT1 { g: OT3! @required @uniqueForTarget }
+|}
+
+let example_c =
+  {|
+type OT1 {
+}
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: [OT1] @requiredForTarget }
+|}
+
+let test_example_a () =
+  let sch = lenient example_a in
+  check_bool "OT1 unsatisfiable (the paper's conflict)" true
+    (finite sch "OT1" = T.Unsatisfiable);
+  check_bool "OT1 already unsatisfiable in ALCQI" true (alcqi sch "OT1" = T.Unsatisfiable);
+  check_bool "OT2 satisfiable" true (finite sch "OT2" = T.Satisfiable);
+  check_bool "OT3 satisfiable" true (finite sch "OT3" = T.Satisfiable)
+
+let test_example_b_finite_gap () =
+  let sch = lenient example_b in
+  (* the chain schema: satisfiable in ALCQI (infinite model), but no
+     finite Property Graph — the gap in the paper's Theorem 3 proof *)
+  check_bool "OT2 ALCQI-satisfiable" true (alcqi sch "OT2" = T.Satisfiable);
+  check_bool "OT2 finitely unsatisfiable" true (finite sch "OT2" = T.Unsatisfiable);
+  check_bool "counting system infeasible" true (Counting.check sch "OT2" = Counting.Infeasible);
+  check_bool "OT1 satisfiable" true (finite sch "OT1" = T.Satisfiable);
+  check_bool "OT3 satisfiable" true (finite sch "OT3" = T.Satisfiable)
+
+let test_example_c () =
+  let sch = lenient example_c in
+  check_bool "OT2 unsatisfiable" true (finite sch "OT2" = T.Unsatisfiable);
+  check_bool "OT2 unsatisfiable in ALCQI too" true (alcqi sch "OT2" = T.Unsatisfiable);
+  check_bool "OT1 satisfiable" true (finite sch "OT1" = T.Satisfiable);
+  check_bool "OT3 satisfiable" true (finite sch "OT3" = T.Satisfiable)
+
+let test_unsatisfiable_types_listing () =
+  let sch = lenient example_a in
+  check_bool "lists OT1" true (Sat.unsatisfiable_types ~max_nodes:8 sch = [ "OT1" ])
+
+(* --- edge-definition satisfiability (end of Section 6.2): add @required
+   and test the declaring type --- *)
+let test_edge_definition_satisfiability () =
+  let sch =
+    lenient
+      {|
+type OT1 {
+}
+interface IT { f: OT1 @uniqueForTarget }
+type OT2 implements IT { f: OT1! @required }
+type OT3 implements IT { f: [OT1] @requiredForTarget }
+|}
+  in
+  (* (OT2, f) is populated in no conforming graph, because OT2 itself is
+     unsatisfiable *)
+  check_bool "edge definition unsatisfiable via type" true
+    (finite sch "OT2" = T.Unsatisfiable)
+
+(* --- counting engine --- *)
+
+let test_counting_feasible_cases () =
+  let sch = schema "type A { x: Int }" in
+  check_bool "trivial feasible" true (Counting.check sch "A" = Counting.Feasible);
+  let sch2 = schema "type A { r: B! @required }\ntype B { x: Int }" in
+  check_bool "required chain feasible" true (Counting.check sch2 "A" = Counting.Feasible);
+  check_bool "constraints generated" true (Counting.constraint_count sch2 "A" > 0)
+
+let test_counting_refutes_simple () =
+  (* Example (a) is refuted by counting alone: each OT1 node needs >= 1
+     incoming hasOT1 edge from OT2-nodes and >= 1 from OT3-nodes, but
+     @uniqueForTarget on the interface caps the total at 1 per OT1 node,
+     so 2*n(OT1) <= n(OT1) forces n(OT1) = 0 — contradicting the query *)
+  let sch = lenient example_a in
+  check_bool "counting refutes (a)" true (Counting.check sch "OT1" = Counting.Infeasible);
+  (* (c) also has a counting shadow: e(OT2) >= n(OT2), e(OT3) >= n(OT1),
+     e(OT2) + e(OT3) <= n(OT1) force n(OT2) = 0 *)
+  let sch_c = lenient example_c in
+  check_bool "counting also refutes (c)" true
+    (Counting.check sch_c "OT2" = Counting.Infeasible)
+
+(* soundness: whenever a witness exists, the counting system is feasible *)
+let prop_counting_sound =
+  QCheck2.Test.make ~name:"counting never refutes a satisfiable type" ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let sch = Graphql_pg.Schema_gen.random_schema rng in
+      List.for_all
+        (fun ot ->
+          match MS.greedy ~max_nodes:8 sch ot with
+          | Some _ -> Counting.check sch ot = Counting.Feasible
+          | None -> true)
+        (Graphql_pg.Schema.object_names sch))
+
+let test_counting_invalid_arg () =
+  let sch = schema "type A { x: Int }" in
+  Alcotest.check_raises "not an object type"
+    (Invalid_argument "Counting.check: \"Int\" is not an object type") (fun () ->
+      ignore (Counting.check sch "Int"))
+
+(* --- model search --- *)
+
+let test_greedy_handles_constraints () =
+  let sch =
+    schema
+      {|
+type Root @key(fields: ["k"]) {
+  k: ID! @required
+  child: [Leaf] @required @distinct
+}
+type Leaf {
+  owner: [Root] @requiredForTarget @uniqueForTarget
+}
+|}
+  in
+  (* wait: owner is declared on Leaf targeting Root; every Root needs an
+     incoming owner edge from a Leaf, and at most one *)
+  match MS.greedy ~max_nodes:8 sch "Root" with
+  | Some g -> check_bool "greedy witness conforms" true (Val.conforms sch g)
+  | None -> Alcotest.fail "greedy found nothing"
+
+let test_exhaustive_small () =
+  let sch = schema "type A { r: B! @required }\ntype B { x: Int }" in
+  match MS.exhaustive ~max_nodes:2 ~max_edge_bits:8 sch "A" with
+  | Some g ->
+    check_bool "exhaustive witness conforms" true (Val.conforms sch g);
+    check_bool "small" true (G.node_count g <= 2)
+  | None -> Alcotest.fail "exhaustive found nothing"
+
+let test_fill_required_properties () =
+  let sch = schema {|type A { p: String! @required q: [Int!]! @required }|} in
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g = MS.fill_required_properties sch g in
+  check_bool "p filled" true (G.node_prop g a "p" <> None);
+  check_bool "q filled with nonempty list" true
+    (match G.node_prop g a "q" with
+    | Some (Graphql_pg.Value.List (_ :: _)) -> true
+    | _ -> false)
+
+(* --- Theorem 2 reduction: equivalence with DPLL --- *)
+
+let reduction_verdict f =
+  match Graphql_pg.Reduction.to_schema f with
+  | Error msg -> Alcotest.failf "reduction schema invalid: %s" msg
+  | Ok sch -> Sat.check ~max_nodes:24 sch Graphql_pg.Reduction.ot_name
+
+let test_reduction_paper_formula () =
+  let f = Graphql_pg.Cnf.paper_example in
+  let report = reduction_verdict f in
+  check_bool "satisfiable" true (report.Sat.finite = T.Satisfiable);
+  match report.Sat.witness with
+  | Some g -> (
+    match Graphql_pg.Reduction.witness_assignment g f with
+    | Some a -> check_bool "extracted assignment works" true (Graphql_pg.Cnf.eval f a)
+    | None -> Alcotest.fail "no OT node in witness")
+  | None -> Alcotest.fail "no witness"
+
+let test_reduction_unsat () =
+  let f =
+    Graphql_pg.Cnf.make ~num_vars:1 [ [ Graphql_pg.Cnf.lit 1 ]; [ Graphql_pg.Cnf.lit (-1) ] ]
+  in
+  let report = reduction_verdict f in
+  check_bool "unsatisfiable" true (report.Sat.finite = T.Unsatisfiable);
+  check_bool "already in ALCQI" true (report.Sat.alcqi = T.Unsatisfiable)
+
+let test_reduction_schema_shape () =
+  (* size is polynomial: clauses + atoms + conflict pairs *)
+  let f = Graphql_pg.Cnf.paper_example in
+  match Graphql_pg.Reduction.to_schema f with
+  | Error msg -> Alcotest.failf "%s" msg
+  | Ok sch ->
+    Alcotest.(check int) "object types = 1 + atoms" 8
+      (List.length (Graphql_pg.Schema.object_names sch));
+    Alcotest.(check int) "interfaces = clauses + conflicts" 6
+      (List.length (Graphql_pg.Schema.interface_names sch))
+
+let prop_reduction_equiv_dpll =
+  QCheck2.Test.make ~name:"reduction satisfiability = DPLL" ~count:30
+    QCheck2.Gen.(tup3 (int_range 1 4) (int_range 1 6) (int_bound 1_000_000))
+    (fun (vars, clauses, seed) ->
+      let f =
+        Graphql_pg.Ksat.random ~seed ~num_vars:vars ~num_clauses:clauses ~clause_size:2 ()
+      in
+      let expected = Graphql_pg.Dpll.satisfiable f in
+      let report = reduction_verdict f in
+      match report.Sat.finite with
+      | T.Satisfiable -> expected
+      | T.Unsatisfiable -> not expected
+      | T.Unknown _ ->
+        (* the greedy/exhaustive search may fail on SAT instances with
+           larger witnesses; accept only if DPLL says SAT and ALCQI agrees *)
+        expected && report.Sat.alcqi = T.Satisfiable)
+
+(* cross-check: a finite-unsatisfiable verdict admits no tiny witness *)
+let prop_unsat_has_no_tiny_witness =
+  QCheck2.Test.make ~name:"finite Unsatisfiable admits no 2-node witness" ~count:20
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xCAFE |] in
+      let sch = Graphql_pg.Schema_gen.random_schema rng in
+      List.for_all
+        (fun ot ->
+          match (Sat.check ~max_nodes:6 sch ot).Sat.finite with
+          | T.Unsatisfiable -> MS.exhaustive ~max_nodes:2 ~max_edge_bits:8 sch ot = None
+          | T.Satisfiable | T.Unknown _ -> true)
+        (Graphql_pg.Schema.object_names sch))
+
+(* witnesses always carry a node of the queried type *)
+let prop_witness_populates =
+  QCheck2.Test.make ~name:"witnesses populate the queried type" ~count:20
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xFACE |] in
+      let sch = Graphql_pg.Schema_gen.random_schema rng in
+      List.for_all
+        (fun ot ->
+          match (Sat.check ~max_nodes:6 sch ot).Sat.witness with
+          | Some g ->
+            Val.conforms sch g
+            && List.exists
+                 (fun v -> G.node_label g v = ot)
+                 (G.nodes g)
+          | None -> true)
+        (Graphql_pg.Schema.object_names sch))
+
+let suite =
+  [
+    Alcotest.test_case "trivial type" `Quick test_trivial;
+    Alcotest.test_case "social schema: all types satisfiable with conforming witnesses"
+      `Quick test_witnesses_conform;
+    Alcotest.test_case "Example 6.1 (a)" `Quick test_example_a;
+    Alcotest.test_case "Example 6.1 (b): finite vs ALCQI gap" `Quick
+      test_example_b_finite_gap;
+    Alcotest.test_case "Example 6.1 (c)" `Quick test_example_c;
+    Alcotest.test_case "unsatisfiable_types" `Quick test_unsatisfiable_types_listing;
+    Alcotest.test_case "edge-definition satisfiability" `Quick
+      test_edge_definition_satisfiability;
+    Alcotest.test_case "counting: feasible systems" `Quick test_counting_feasible_cases;
+    Alcotest.test_case "counting: scope" `Quick test_counting_refutes_simple;
+    Alcotest.test_case "counting: input validation" `Quick test_counting_invalid_arg;
+    Alcotest.test_case "greedy model search" `Quick test_greedy_handles_constraints;
+    Alcotest.test_case "exhaustive model search" `Quick test_exhaustive_small;
+    Alcotest.test_case "fill_required_properties" `Quick test_fill_required_properties;
+    Alcotest.test_case "Theorem 2: worked formula" `Quick test_reduction_paper_formula;
+    Alcotest.test_case "Theorem 2: unsat formula" `Quick test_reduction_unsat;
+    Alcotest.test_case "Theorem 2: schema shape" `Quick test_reduction_schema_shape;
+    QCheck_alcotest.to_alcotest prop_reduction_equiv_dpll;
+    QCheck_alcotest.to_alcotest prop_counting_sound;
+    QCheck_alcotest.to_alcotest prop_unsat_has_no_tiny_witness;
+    QCheck_alcotest.to_alcotest prop_witness_populates;
+  ]

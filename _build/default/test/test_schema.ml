@@ -1,0 +1,167 @@
+(* Schema model tests (Definition 4.1): lookup helpers, classification,
+   directive accessors, and the formal extraction of Example 4.2. *)
+
+module S = Graphql_pg.Schema
+module W = Graphql_pg.Wrapped
+module Ast = Graphql_pg.Sdl.Ast
+module Sm = Map.Make (String)
+
+let check_bool = Alcotest.(check bool)
+
+let person_schema () =
+  Graphql_pg.schema_of_string_exn
+    {|
+type Person {
+  name: String!
+  favoriteFood: Food
+}
+union Food = Pizza | Pasta
+type Pizza {
+  name: String!
+  toppings: [String!]!
+}
+type Pasta {
+  name: String!
+}
+|}
+
+(* Example 4.2: the formal schema extracted from Example 3.9. *)
+let test_example_4_2 () =
+  let sch = person_schema () in
+  (* OT = {Person, Pizza, Pasta} *)
+  check_bool "OT" true (S.object_names sch = [ "Pasta"; "Person"; "Pizza" ]);
+  check_bool "IT empty" true (S.interface_names sch = []);
+  check_bool "UT" true (S.union_names sch = [ "Food" ]);
+  (* typeF assignments *)
+  check_bool "(Person, name)" true (S.type_f sch "Person" "name" = Some (W.Non_null "String"));
+  check_bool "(Person, favoriteFood)" true
+    (S.type_f sch "Person" "favoriteFood" = Some (W.Named "Food"));
+  check_bool "(Pizza, toppings)" true
+    (S.type_f sch "Pizza" "toppings"
+    = Some (W.List { item = "String"; item_non_null = true; non_null = true }));
+  check_bool "(Pasta, name)" true (S.type_f sch "Pasta" "name" = Some (W.Non_null "String"));
+  check_bool "undefined combination" true (S.type_f sch "Pasta" "toppings" = None);
+  (* unionS *)
+  check_bool "unionS(Food)" true (S.union_members sch "Food" = [ "Pizza"; "Pasta" ]);
+  (* implementationS empty *)
+  check_bool "implementationS" true (S.implementations_of sch "Food" = [])
+
+let test_fields_and_args () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      "type A { f(x: Int y: [String!]): B g: Int }\ntype B { z: ID }"
+  in
+  check_bool "fieldsS(A)" true (List.map fst (S.fields sch "A") = [ "f"; "g" ]);
+  check_bool "argsS(A, f)" true (List.map fst (S.args sch "A" "f") = [ "x"; "y" ]);
+  check_bool "argsS(A, g) empty" true (S.args sch "A" "g" = []);
+  check_bool "typeAF" true (S.arg_type sch "A" "f" "x" = Some (W.Named "Int"));
+  check_bool "typeAF wrapped" true
+    (S.arg_type sch "A" "f" "y" = Some (W.List { item = "String"; item_non_null = true; non_null = false }));
+  check_bool "unknown arg" true (S.arg_type sch "A" "f" "zz" = None)
+
+let test_type_kinds () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+type A { x: Int }
+interface I { x: Int }
+union U = A
+enum E { V }
+scalar Sc
+|}
+  in
+  check_bool "object" true (S.type_kind sch "A" = Some S.Object);
+  check_bool "interface" true (S.type_kind sch "I" = Some S.Interface);
+  check_bool "union" true (S.type_kind sch "U" = Some S.Union);
+  check_bool "enum" true (S.type_kind sch "E" = Some S.Enum);
+  check_bool "custom scalar" true (S.type_kind sch "Sc" = Some S.Scalar);
+  check_bool "builtin scalar" true (S.type_kind sch "Int" = Some S.Scalar);
+  check_bool "unknown" true (S.type_kind sch "Nope" = None);
+  check_bool "scalar-like enum" true (S.is_scalar_like sch "E");
+  check_bool "composite union" true (S.is_composite sch "U");
+  check_bool "not composite scalar" false (S.is_composite sch "Sc")
+
+let test_classification () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+type A {
+  attr1: Int
+  attr2: [E!]
+  rel1: B!
+  rel2: [U]
+  rel3: I
+}
+type B { x: Int }
+interface I { x: Int }
+union U = A | B
+enum E { V }
+|}
+  in
+  let classify f =
+    match S.field sch "A" f with
+    | Some fd -> S.classify_field sch fd
+    | None -> Alcotest.failf "missing field %s" f
+  in
+  check_bool "scalar attr" true (classify "attr1" = Some S.Attribute);
+  check_bool "enum list attr" true (classify "attr2" = Some S.Attribute);
+  check_bool "object rel" true (classify "rel1" = Some S.Relationship);
+  check_bool "union rel" true (classify "rel2" = Some S.Relationship);
+  check_bool "interface rel" true (classify "rel3" = Some S.Relationship)
+
+let test_directive_accessors () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|type A @key(fields: ["x"]) @key(fields: ["y", "z"]) { x: ID @required y: ID z: ID }|}
+  in
+  let ot = Sm.find "A" sch.S.objects in
+  let keys = S.find_directives ot.S.ot_directives "key" in
+  Alcotest.(check int) "two keys" 2 (List.length keys);
+  check_bool "first key fields" true (S.key_fields (List.hd keys) = Some [ "x" ]);
+  check_bool "second key fields" true (S.key_fields (List.nth keys 1) = Some [ "y"; "z" ]);
+  let x = Option.get (S.field sch "A" "x") in
+  check_bool "has_directive" true (S.has_directive x.S.fd_directives "required");
+  check_bool "no directive" false (S.has_directive x.S.fd_directives "distinct")
+
+let test_implementations_derived () =
+  let sch =
+    Graphql_pg.schema_of_string_exn
+      {|
+interface I { x: Int }
+type A implements I { x: Int }
+type B implements I { x: Int }
+type C { y: Int }
+|}
+  in
+  check_bool "implementations" true (S.implementations_of sch "I" = [ "A"; "B" ]);
+  check_bool "non-interface" true (S.implementations_of sch "C" = [])
+
+let test_standard_directives_predeclared () =
+  let sch = S.empty in
+  List.iter
+    (fun d -> check_bool ("declared " ^ d) true (S.directive_args sch d <> None))
+    [ "required"; "distinct"; "noLoops"; "uniqueForTarget"; "requiredForTarget"; "key"; "deprecated" ];
+  (* @key has fields: [String!]! *)
+  match S.directive_args sch "key" with
+  | Some [ ("fields", arg) ] ->
+    check_bool "key fields type" true
+      (arg.S.arg_type = W.List { item = "String"; item_non_null = true; non_null = true })
+  | _ -> Alcotest.fail "expected one declared argument on @key"
+
+let test_size_monotone () =
+  let small = Graphql_pg.schema_of_string_exn "type A { x: Int }" in
+  let bigger = Graphql_pg.schema_of_string_exn "type A { x: Int y: Int }\ntype B { z: A }" in
+  check_bool "size grows" true (S.size bigger > S.size small)
+
+let suite =
+  [
+    Alcotest.test_case "Example 4.2 formal extraction" `Quick test_example_4_2;
+    Alcotest.test_case "fieldsS and argsS" `Quick test_fields_and_args;
+    Alcotest.test_case "type kinds" `Quick test_type_kinds;
+    Alcotest.test_case "attribute/relationship classification" `Quick test_classification;
+    Alcotest.test_case "directive accessors" `Quick test_directive_accessors;
+    Alcotest.test_case "implementations derived" `Quick test_implementations_derived;
+    Alcotest.test_case "standard directives predeclared" `Quick
+      test_standard_directives_predeclared;
+    Alcotest.test_case "size monotone" `Quick test_size_monotone;
+  ]

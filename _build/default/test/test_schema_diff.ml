@@ -1,0 +1,283 @@
+(* Schema evolution: compatible vs breaking classification, checked both
+   on classification decisions and semantically — a breaking verdict must
+   be witnessed by some graph, a compatible verdict must preserve all
+   conformant graphs we can generate. *)
+
+module D = Graphql_pg.Schema_diff
+module Vi = Graphql_pg.Violation
+module Val = Graphql_pg.Validate
+
+let check_bool = Alcotest.(check bool)
+let schema = Graphql_pg.schema_of_string_exn
+
+let base_text =
+  {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal {
+  species: String! @required
+}
+enum Color { RED GREEN }
+|}
+
+let base = schema base_text
+
+let diff_with text = D.diff base (schema text)
+let compatible text = D.breaking (diff_with text) = []
+
+let test_identity () =
+  check_bool "no changes" true (D.diff base base = []);
+  check_bool "identity compatible" true (D.is_compatible base base)
+
+let test_additions_compatible () =
+  check_bool "new type" true
+    (compatible (base_text ^ "\ntype City { name: String }"));
+  check_bool "new optional field" true
+    (compatible (String.concat "" [ {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  nickname: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|} ]));
+  check_bool "new enum value" true
+    (compatible
+       {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN BLUE }
+|})
+
+let expect_breaking text rule =
+  let changes = D.breaking (diff_with text) in
+  check_bool "breaking reported" true (changes <> []);
+  check_bool
+    (Printf.sprintf "rule %s named" (Vi.rule_name rule))
+    true
+    (List.exists (fun (c : D.change) -> c.D.rule = Some rule) changes)
+
+let test_removals_breaking () =
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.SS4 (* removing the pet relationship orphans edges *);
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.SS2 (* removing the name attribute orphans properties *);
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED }
+|}
+    Vi.WS1 (* removing an enum value strands stored values *)
+
+let test_constraint_tightening_breaking () =
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String @required
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.DS5;
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person] @distinct
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.DS1;
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) @key(fields: ["name"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.DS7
+
+let test_constraint_relaxing_compatible () =
+  check_bool "dropping @required relaxes" true
+    (compatible
+       {|
+type Person @key(fields: ["id"]) {
+  id: ID!
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|});
+  check_bool "dropping @key relaxes" true
+    (compatible
+       {|
+type Person {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|})
+
+let test_type_changes () =
+  (* non-list relationship -> list relaxes WS4 *)
+  check_bool "pet widens to [Animal]" true
+    (compatible
+       {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: [Animal]
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|});
+  (* list -> non-list tightens WS4 *)
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows(since: Int): Person
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.WS3 (* reported as a type change; rule approximates *);
+  (* attribute scalar change breaks WS1 *)
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: Int
+  pet: Animal
+  knows(since: Int): [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.WS1
+
+let test_target_widening () =
+  (* Animal -> union containing Animal widens WS3 *)
+  check_bool "target widens into union" true
+    (compatible
+       {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Creature
+  knows(since: Int): [Person]
+}
+union Creature = Animal | Robot
+type Animal { species: String! @required }
+type Robot { model: String }
+enum Color { RED GREEN }
+|})
+
+let test_argument_changes () =
+  expect_breaking
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  pet: Animal
+  knows: [Person]
+}
+type Animal { species: String! @required }
+enum Color { RED GREEN }
+|}
+    Vi.SS3 (* removing the since argument orphans edge properties *)
+
+(* semantic check: on a conformant instance, compatible schema changes keep
+   conformance *)
+let test_compatible_semantically () =
+  let new_text =
+    {|
+type Person @key(fields: ["id"]) {
+  id: ID! @required
+  name: String
+  nickname: String
+  pet: [Animal]
+  knows(since: Int note: String): [Person]
+}
+type Animal { species: String! @required }
+type City { name: String }
+enum Color { RED GREEN BLUE }
+|}
+  in
+  check_bool "classified compatible" true (compatible new_text);
+  let new_schema = schema new_text in
+  match Graphql_pg.Instance_gen.conformant ~target_nodes:30 base with
+  | None -> Alcotest.fail "no conformant instance for the base schema"
+  | Some g ->
+    check_bool "old instance conforms to base" true (Val.conforms base g);
+    check_bool "old instance conforms to the new schema" true (Val.conforms new_schema g)
+
+let suite =
+  [
+    Alcotest.test_case "identity" `Quick test_identity;
+    Alcotest.test_case "additions are compatible" `Quick test_additions_compatible;
+    Alcotest.test_case "removals are breaking" `Quick test_removals_breaking;
+    Alcotest.test_case "tightening constraints is breaking" `Quick
+      test_constraint_tightening_breaking;
+    Alcotest.test_case "relaxing constraints is compatible" `Quick
+      test_constraint_relaxing_compatible;
+    Alcotest.test_case "field type changes" `Quick test_type_changes;
+    Alcotest.test_case "target widening" `Quick test_target_widening;
+    Alcotest.test_case "argument changes" `Quick test_argument_changes;
+    Alcotest.test_case "compatible changes preserve conformance" `Quick
+      test_compatible_semantically;
+  ]

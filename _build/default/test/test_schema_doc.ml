@@ -1,0 +1,57 @@
+(* Markdown documentation generator. *)
+
+module D = Graphql_pg.Schema_doc
+module S = Graphql_pg.Schema
+
+let check_bool = Alcotest.(check bool)
+
+let contains needle haystack =
+  let n = String.length needle and l = String.length haystack in
+  let rec go i = i + n <= l && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let sch = Graphql_pg.Social.schema ()
+let md = D.to_markdown sch
+
+let test_sections () =
+  List.iter
+    (fun s -> check_bool s true (contains s md))
+    [
+      "# Schema documentation";
+      "## type Person";
+      "## type Forum";
+      "## Interfaces";
+      "## Unions";
+      "## Enums";
+      "## Custom scalars";
+    ]
+
+let test_content () =
+  check_bool "key listed" true (contains "- key: [id]" md);
+  check_bool "union members" true (contains "`Content` = `Post` | `Comment`" md);
+  check_bool "interface implementations" true
+    (contains "`Message` implemented by `Comment`, `Post`" md);
+  check_bool "enum values" true (contains "`Browser`: CHROME, FIREFOX, SAFARI, OTHER" md);
+  check_bool "custom scalar" true (contains "- `DateTime`" md);
+  check_bool "edge property column" true (contains "`joined: DateTime`" md);
+  check_bool "description carried" true (contains "Timestamps in ISO-8601" md)
+
+let test_cardinality_labels () =
+  let field t f =
+    match S.field sch t f with Some fd -> fd | None -> Alcotest.failf "missing %s.%s" t f
+  in
+  Alcotest.(check string) "moderator" "1:1 (source mandatory)"
+    (D.cardinality_label sch "Forum" (field "Forum" "moderator"));
+  Alcotest.(check string) "containerOf" "N:1 (target mandatory)"
+    (D.cardinality_label sch "Forum" (field "Forum" "containerOf"));
+  Alcotest.(check string) "knows" "N:M"
+    (D.cardinality_label sch "Person" (field "Person" "knows"));
+  Alcotest.(check string) "livesIn" "1:N (source mandatory, target mandatory)"
+    (D.cardinality_label sch "Person" (field "Person" "livesIn"))
+
+let suite =
+  [
+    Alcotest.test_case "sections" `Quick test_sections;
+    Alcotest.test_case "content" `Quick test_content;
+    Alcotest.test_case "cardinality labels" `Quick test_cardinality_labels;
+  ]

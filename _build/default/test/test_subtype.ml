@@ -1,0 +1,110 @@
+(* The subtype relation ⊑S (Section 4.3): the seven rules, plus order
+   properties via qcheck. *)
+
+module Sub = Graphql_pg.Subtype
+module W = Graphql_pg.Wrapped
+
+let check_bool = Alcotest.(check bool)
+
+let sch =
+  lazy
+    (Graphql_pg.schema_of_string_exn
+       {|
+interface I { x: Int }
+type A implements I { x: Int }
+type B implements I { x: Int }
+type C { y: Int }
+union U = A | C
+|})
+
+let test_named_rules () =
+  let sch = Lazy.force sch in
+  (* rule 1: reflexivity *)
+  List.iter
+    (fun t -> check_bool ("refl " ^ t) true (Sub.named sch t t))
+    [ "A"; "I"; "U"; "Int"; "C" ];
+  (* rule 2: implementation *)
+  check_bool "A <= I" true (Sub.named sch "A" "I");
+  check_bool "B <= I" true (Sub.named sch "B" "I");
+  check_bool "C <= I fails" false (Sub.named sch "C" "I");
+  check_bool "I <= A fails" false (Sub.named sch "I" "A");
+  (* rule 3: union membership *)
+  check_bool "A <= U" true (Sub.named sch "A" "U");
+  check_bool "C <= U" true (Sub.named sch "C" "U");
+  check_bool "B <= U fails" false (Sub.named sch "B" "U");
+  (* no cross-relation *)
+  check_bool "A <= B fails" false (Sub.named sch "A" "B");
+  check_bool "I <= U fails" false (Sub.named sch "I" "U")
+
+let w n = W.Named n
+let nn n = W.Non_null n
+let l ?(inn = false) ?(nn = false) item = W.List { item; item_non_null = inn; non_null = nn }
+
+let test_wrapped_rules () =
+  let sch = Lazy.force sch in
+  let ( <= ) a b = Sub.wrapped sch a b in
+  (* rule 1 on wrapped forms *)
+  check_bool "[A] <= [A]" true (l "A" <= l "A");
+  check_bool "[A!]! <= [A!]!" true (l ~inn:true ~nn:true "A" <= l ~inn:true ~nn:true "A");
+  (* rule 4: list covariance *)
+  check_bool "[A] <= [I]" true (l "A" <= l "I");
+  check_bool "[I] <= [A] fails" false (l "I" <= l "A");
+  (* rule 5: injection into a list *)
+  check_bool "A <= [I]" true (w "A" <= l "I");
+  check_bool "A <= [A]" true (w "A" <= l "A");
+  (* rule 6: dropping non-null on the left *)
+  check_bool "A! <= I" true (nn "A" <= w "I");
+  check_bool "A! <= [I]" true (nn "A" <= l "I");
+  (* rule 7: non-null covariance *)
+  check_bool "A! <= I!" true (nn "A" <= nn "I");
+  check_bool "A <= I! fails" false (w "A" <= nn "I");
+  (* item nullability *)
+  check_bool "[A!] <= [I]" true (l ~inn:true "A" <= l "I");
+  check_bool "[A] <= [I!] fails" false (l "A" <= l ~inn:true "I");
+  check_bool "[A!] <= [I!]" true (l ~inn:true "A" <= l ~inn:true "I");
+  (* outer non-null on lists *)
+  check_bool "[A]! <= [I]" true (l ~nn:true "A" <= l "I");
+  check_bool "[A] <= [I]! fails" false (l "A" <= l ~nn:true "I");
+  check_bool "[A]! <= [I]!" true (l ~nn:true "A" <= l ~nn:true "I");
+  (* lists never below named types *)
+  check_bool "[A] <= I fails" false (l "A" <= w "I");
+  check_bool "[A] <= A fails" false (l "A" <= w "A")
+
+let test_supertypes_subtypes () =
+  let sch = Lazy.force sch in
+  check_bool "supertypes A" true (Sub.supertypes sch "A" = [ "A"; "I"; "U" ]);
+  check_bool "subtypes I" true (Sub.subtypes sch "I" = [ "A"; "B"; "I" ]);
+  check_bool "subtypes U" true (Sub.subtypes sch "U" = [ "A"; "C"; "U" ])
+
+(* qcheck: reflexivity and transitivity over random wrapped types *)
+let wrapped_gen =
+  let open QCheck2.Gen in
+  let name = oneofl [ "A"; "B"; "C"; "I"; "U"; "Int" ] in
+  oneof
+    [
+      map (fun n -> W.Named n) name;
+      map (fun n -> W.Non_null n) name;
+      map
+        (fun (n, (inn, out)) -> W.List { item = n; item_non_null = inn; non_null = out })
+        (pair name (pair bool bool));
+    ]
+
+let prop_reflexive =
+  QCheck2.Test.make ~name:"subtype reflexive" ~count:200 wrapped_gen (fun t ->
+      Sub.wrapped (Lazy.force sch) t t)
+
+let prop_transitive =
+  QCheck2.Test.make ~name:"subtype transitive" ~count:2000
+    QCheck2.Gen.(tup3 wrapped_gen wrapped_gen wrapped_gen)
+    (fun (a, b, c) ->
+      let sch = Lazy.force sch in
+      (not (Sub.wrapped sch a b && Sub.wrapped sch b c)) || Sub.wrapped sch a c)
+
+let suite =
+  [
+    Alcotest.test_case "named rules 1-3" `Quick test_named_rules;
+    Alcotest.test_case "wrapped rules 4-7" `Quick test_wrapped_rules;
+    Alcotest.test_case "supertypes/subtypes" `Quick test_supertypes_subtypes;
+    QCheck_alcotest.to_alcotest prop_reflexive;
+    QCheck_alcotest.to_alcotest prop_transitive;
+  ]

@@ -1,0 +1,138 @@
+(* Unit and property tests for Pg_graph.Value. *)
+
+module V = Graphql_pg.Value
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_equal_basic () =
+  check_bool "int eq" true (V.equal (V.Int 3) (V.Int 3));
+  check_bool "int neq" false (V.equal (V.Int 3) (V.Int 4));
+  check_bool "id vs string differ" false (V.equal (V.Id "x") (V.String "x"));
+  check_bool "enum vs string differ" false (V.equal (V.Enum "RED") (V.String "RED"));
+  check_bool "list eq" true
+    (V.equal (V.List [ V.Int 1; V.Bool true ]) (V.List [ V.Int 1; V.Bool true ]));
+  check_bool "list order matters" false
+    (V.equal (V.List [ V.Int 1; V.Int 2 ]) (V.List [ V.Int 2; V.Int 1 ]));
+  check_bool "nested lists" true
+    (V.equal (V.List [ V.List [ V.Int 1 ] ]) (V.List [ V.List [ V.Int 1 ] ]))
+
+let test_equal_float_edge_cases () =
+  check_bool "nan equals nan (reflexivity for keys)" true
+    (V.equal (V.Float Float.nan) (V.Float Float.nan));
+  check_bool "0.0 equals -0.0" true (V.equal (V.Float 0.0) (V.Float (-0.0)));
+  check_bool "float vs int differ structurally" false (V.equal (V.Float 1.0) (V.Int 1))
+
+let test_compare_total_order () =
+  let values =
+    [
+      V.Int 1;
+      V.Int 2;
+      V.Float 1.5;
+      V.String "a";
+      V.Bool false;
+      V.Id "i";
+      V.Enum "E";
+      V.List [ V.Int 1 ];
+    ]
+  in
+  (* compare is compatible with equal *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_bool "compare/equal agree" (V.compare a b = 0) (V.equal a b))
+        values)
+    values;
+  (* antisymmetry *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> check_bool "antisymmetric" true (compare (V.compare a b) 0 = compare 0 (V.compare b a)))
+        values)
+    values
+
+let test_hash_compatible () =
+  let pairs =
+    [
+      (V.Int 42, V.Int 42);
+      (V.Float 0.0, V.Float (-0.0));
+      (V.Float Float.nan, V.Float Float.nan);
+      (V.List [ V.String "x" ], V.List [ V.String "x" ]);
+    ]
+  in
+  List.iter
+    (fun (a, b) -> check_bool "equal values hash equally" true (V.hash a = V.hash b))
+    pairs
+
+let test_is_atomic () =
+  check_bool "int atomic" true (V.is_atomic (V.Int 1));
+  check_bool "list not atomic" false (V.is_atomic (V.List []))
+
+let test_printing () =
+  check_string "int" "3" (V.to_string (V.Int 3));
+  check_string "string quoted" "\"hi\"" (V.to_string (V.String "hi"));
+  check_string "escapes" "\"a\\\"b\\\\c\\nd\"" (V.to_string (V.String "a\"b\\c\nd"));
+  check_string "bool" "true" (V.to_string (V.Bool true));
+  check_string "enum bare" "METER" (V.to_string (V.Enum "METER"));
+  check_string "list" "[1, 2]" (V.to_string (V.List [ V.Int 1; V.Int 2 ]));
+  check_string "float integral" "2.0" (V.to_string (V.Float 2.0))
+
+let test_float_round_trip () =
+  List.iter
+    (fun f ->
+      let printed = V.to_string (V.Float f) in
+      Alcotest.(check (float 0.0)) ("round-trip " ^ printed) f (float_of_string printed))
+    [ 0.98; 1.0 /. 3.0; 1e-10; 123456.789; 2.0 ]
+
+let test_type_name () =
+  check_string "Int" "Int" (V.type_name (V.Int 1));
+  check_string "Boolean" "Boolean" (V.type_name (V.Bool true));
+  check_string "list" "list" (V.type_name (V.List []))
+
+(* qcheck: equal is an equivalence, compare a total preorder *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let atom =
+        oneof
+          [
+            map (fun i -> V.Int i) small_signed_int;
+            map (fun f -> V.Float f) float;
+            map (fun s -> V.String s) (small_string ~gen:printable);
+            map (fun b -> V.Bool b) bool;
+            map (fun s -> V.Id s) (small_string ~gen:printable);
+            map (fun s -> V.Enum ("E" ^ string_of_int (abs s))) small_signed_int;
+          ]
+      in
+      if n <= 1 then atom
+      else oneof [ atom; map (fun l -> V.List l) (list_size (int_bound 4) (self (n / 3))) ])
+
+let prop_equal_reflexive =
+  QCheck2.Test.make ~name:"Value.equal reflexive" ~count:500 value_gen (fun v ->
+      V.equal v v)
+
+let prop_compare_consistent =
+  QCheck2.Test.make ~name:"Value.compare consistent with equal" ~count:500
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      V.compare a b = 0 = V.equal a b)
+
+let prop_hash_consistent =
+  QCheck2.Test.make ~name:"Value.hash respects equal" ~count:500
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      (not (V.equal a b)) || V.hash a = V.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "equal: basics" `Quick test_equal_basic;
+    Alcotest.test_case "equal: float edge cases" `Quick test_equal_float_edge_cases;
+    Alcotest.test_case "compare: total order" `Quick test_compare_total_order;
+    Alcotest.test_case "hash: compatible with equal" `Quick test_hash_compatible;
+    Alcotest.test_case "is_atomic" `Quick test_is_atomic;
+    Alcotest.test_case "printing" `Quick test_printing;
+    Alcotest.test_case "float literals round-trip" `Quick test_float_round_trip;
+    Alcotest.test_case "type_name" `Quick test_type_name;
+    QCheck_alcotest.to_alcotest prop_equal_reflexive;
+    QCheck_alcotest.to_alcotest prop_compare_consistent;
+    QCheck_alcotest.to_alcotest prop_hash_consistent;
+  ]

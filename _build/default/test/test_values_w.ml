@@ -1,0 +1,111 @@
+(* values / valuesW semantics (Section 4.1). *)
+
+module VW = Graphql_pg.Values_w
+module W = Graphql_pg.Wrapped
+module V = Graphql_pg.Value
+module Ast = Graphql_pg.Sdl.Ast
+
+let check_bool = Alcotest.(check bool)
+
+let sch =
+  lazy
+    (Graphql_pg.schema_of_string_exn
+       {|
+enum Color { RED GREEN BLUE }
+scalar Time
+type A { x: Int }
+|})
+
+let test_builtin_scalars () =
+  let sch = Lazy.force sch in
+  let mem t v = VW.scalar_mem sch t v in
+  check_bool "Int yes" true (mem "Int" (V.Int 5));
+  check_bool "Int no string" false (mem "Int" (V.String "5"));
+  check_bool "Int 32-bit bound" false (mem "Int" (V.Int 2147483648));
+  check_bool "Int 32-bit min" true (mem "Int" (V.Int (-2147483648)));
+  check_bool "Float accepts float" true (mem "Float" (V.Float 1.5));
+  check_bool "Float accepts int (input coercion)" true (mem "Float" (V.Int 2));
+  check_bool "String" true (mem "String" (V.String "x"));
+  check_bool "String no bool" false (mem "String" (V.Bool true));
+  check_bool "Boolean" true (mem "Boolean" (V.Bool false));
+  check_bool "ID id" true (mem "ID" (V.Id "u1"));
+  check_bool "ID string" true (mem "ID" (V.String "u1"));
+  check_bool "ID int" true (mem "ID" (V.Int 7));
+  check_bool "ID no float" false (mem "ID" (V.Float 1.0))
+
+let test_enum () =
+  let sch = Lazy.force sch in
+  check_bool "declared symbol" true (VW.scalar_mem sch "Color" (V.Enum "RED"));
+  check_bool "undeclared symbol" false (VW.scalar_mem sch "Color" (V.Enum "MAUVE"));
+  check_bool "string is not enum" false (VW.scalar_mem sch "Color" (V.String "RED"))
+
+let test_custom_scalar_open_world () =
+  let sch = Lazy.force sch in
+  check_bool "any atomic accepted" true (VW.scalar_mem sch "Time" (V.String "2019-06-30"));
+  check_bool "ints too" true (VW.scalar_mem sch "Time" (V.Int 3));
+  check_bool "lists rejected" false (VW.scalar_mem sch "Time" (V.List [ V.Int 1 ]))
+
+let test_registered_semantics () =
+  let sch = Lazy.force sch in
+  let env =
+    VW.register VW.default_env "Time" (function
+      | V.String s -> String.length s >= 10
+      | _ -> false)
+  in
+  check_bool "predicate accepts" true (VW.scalar_mem ~env sch "Time" (V.String "2019-06-30"));
+  check_bool "predicate rejects" false (VW.scalar_mem ~env sch "Time" (V.String "nope"));
+  check_bool "predicate rejects ints" false (VW.scalar_mem ~env sch "Time" (V.Int 3))
+
+let test_non_scalar_names () =
+  let sch = Lazy.force sch in
+  check_bool "object type has no values" false (VW.scalar_mem sch "A" (V.String "x"));
+  check_bool "unknown type" false (VW.scalar_mem sch "Nope" (V.Int 1))
+
+let test_wrapped_membership () =
+  let sch = Lazy.force sch in
+  let lt ?(inn = false) ?(nn = false) item = W.List { item; item_non_null = inn; non_null = nn } in
+  check_bool "named" true (VW.mem sch (W.Named "Int") (V.Int 1));
+  check_bool "non-null same check for stored values" true (VW.mem sch (W.Non_null "Int") (V.Int 1));
+  check_bool "list of strings" true
+    (VW.mem sch (lt "String") (V.List [ V.String "a"; V.String "b" ]));
+  check_bool "empty list ok for WS1" true (VW.mem sch (lt "String") (V.List []));
+  check_bool "atom for list type rejected" false (VW.mem sch (lt "String") (V.String "a"));
+  check_bool "list for atom type rejected" false (VW.mem sch (W.Named "String") (V.List []));
+  check_bool "heterogeneous list rejected" false
+    (VW.mem sch (lt "String") (V.List [ V.String "a"; V.Int 1 ]));
+  check_bool "list of enums" true (VW.mem sch (lt "Color") (V.List [ V.Enum "BLUE" ]))
+
+let test_ast_membership_null () =
+  let sch = Lazy.force sch in
+  let lt ?(inn = false) ?(nn = false) item = W.List { item; item_non_null = inn; non_null = nn } in
+  check_bool "null in nullable" true (VW.ast_mem sch (W.Named "Int") Ast.Null_value);
+  check_bool "null not in non-null" false (VW.ast_mem sch (W.Non_null "Int") Ast.Null_value);
+  check_bool "null ok for plain list" true (VW.ast_mem sch (lt "Int") Ast.Null_value);
+  check_bool "null not in non-null list" false (VW.ast_mem sch (lt ~nn:true "Int") Ast.Null_value);
+  check_bool "null element in list of nullable" true
+    (VW.ast_mem sch (lt "Int") (Ast.List_value [ Ast.Int_value 1; Ast.Null_value ]));
+  check_bool "null element rejected in [Int!]" false
+    (VW.ast_mem sch (lt ~inn:true "Int") (Ast.List_value [ Ast.Null_value ]));
+  check_bool "object value never scalar" false
+    (VW.ast_mem sch (W.Named "String") (Ast.Object_value []))
+
+let test_value_conversions () =
+  check_bool "round-trip int" true (VW.value_of_ast (Ast.Int_value 3) = Some (V.Int 3));
+  check_bool "null is not storable" true (VW.value_of_ast Ast.Null_value = None);
+  check_bool "object not storable" true (VW.value_of_ast (Ast.Object_value []) = None);
+  check_bool "list with null not storable" true
+    (VW.value_of_ast (Ast.List_value [ Ast.Null_value ]) = None);
+  check_bool "ast_of_value embeds" true
+    (VW.ast_of_value (V.List [ V.Enum "X" ]) = Ast.List_value [ Ast.Enum_value "X" ])
+
+let suite =
+  [
+    Alcotest.test_case "built-in scalars" `Quick test_builtin_scalars;
+    Alcotest.test_case "enum types" `Quick test_enum;
+    Alcotest.test_case "custom scalars are open-world" `Quick test_custom_scalar_open_world;
+    Alcotest.test_case "registered scalar semantics" `Quick test_registered_semantics;
+    Alcotest.test_case "non-scalar names" `Quick test_non_scalar_names;
+    Alcotest.test_case "wrapped membership (valuesW)" `Quick test_wrapped_membership;
+    Alcotest.test_case "null handling for directive arguments" `Quick test_ast_membership_null;
+    Alcotest.test_case "value conversions" `Quick test_value_conversions;
+  ]

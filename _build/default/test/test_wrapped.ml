@@ -1,0 +1,70 @@
+(* Wrapping types (Section 4.1): the six allowed forms and basetype. *)
+
+module W = Graphql_pg.Wrapped
+module Ast = Graphql_pg.Sdl.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let of_string src =
+  match Graphql_pg.Sdl.Parser.parse_type_ref src with
+  | Ok t -> W.of_ast t
+  | Error _ -> Alcotest.failf "parse error on %s" src
+
+let ok src = match of_string src with Ok w -> w | Error e -> Alcotest.failf "%s: %s" src e
+
+let test_of_ast () =
+  check_bool "named" true (ok "T" = W.Named "T");
+  check_bool "non-null" true (ok "T!" = W.Non_null "T");
+  check_bool "list" true (ok "[T]" = W.List { item = "T"; item_non_null = false; non_null = false });
+  check_bool "list of non-null" true
+    (ok "[T!]" = W.List { item = "T"; item_non_null = true; non_null = false });
+  check_bool "non-null list" true
+    (ok "[T]!" = W.List { item = "T"; item_non_null = false; non_null = true });
+  check_bool "non-null list of non-null" true
+    (ok "[T!]!" = W.List { item = "T"; item_non_null = true; non_null = true })
+
+let test_nested_lists_rejected () =
+  check_bool "nested list" true (Result.is_error (of_string "[[T]]"));
+  check_bool "nested deep" true (Result.is_error (of_string "[[T!]!]"))
+
+let test_basetype () =
+  List.iter
+    (fun src -> check_string src "T" (W.basetype (ok src)))
+    [ "T"; "T!"; "[T]"; "[T!]"; "[T]!"; "[T!]!" ]
+
+let test_is_list () =
+  check_bool "named" false (W.is_list (ok "T"));
+  check_bool "non-null" false (W.is_list (ok "T!"));
+  check_bool "list" true (W.is_list (ok "[T]"));
+  check_bool "non-null list" true (W.is_list (ok "[T]!"))
+
+let test_is_non_null () =
+  check_bool "T" false (W.is_non_null (ok "T"));
+  check_bool "T!" true (W.is_non_null (ok "T!"));
+  check_bool "[T!]" false (W.is_non_null (ok "[T!]"));
+  check_bool "[T]!" true (W.is_non_null (ok "[T]!"))
+
+let test_round_trip () =
+  List.iter
+    (fun src ->
+      check_string ("to_string " ^ src) src (W.to_string (ok src));
+      check_bool ("to_ast/of_ast " ^ src) true (W.of_ast (W.to_ast (ok src)) = Ok (ok src)))
+    [ "T"; "T!"; "[T]"; "[T!]"; "[T]!"; "[T!]!" ]
+
+let test_all_wrappings () =
+  let ws = W.all_wrappings "T" in
+  Alcotest.(check int) "six forms" 6 (List.length ws);
+  check_bool "distinct" true (List.sort_uniq W.compare ws = List.sort W.compare ws);
+  check_bool "all base T" true (List.for_all (fun w -> W.basetype w = "T") ws)
+
+let suite =
+  [
+    Alcotest.test_case "of_ast on the six forms" `Quick test_of_ast;
+    Alcotest.test_case "nested lists rejected" `Quick test_nested_lists_rejected;
+    Alcotest.test_case "basetype" `Quick test_basetype;
+    Alcotest.test_case "is_list (WS4 semantics)" `Quick test_is_list;
+    Alcotest.test_case "is_non_null" `Quick test_is_non_null;
+    Alcotest.test_case "round-trips" `Quick test_round_trip;
+    Alcotest.test_case "all_wrappings" `Quick test_all_wrappings;
+  ]
