@@ -96,7 +96,12 @@ let check_cmd =
 (* ---- validate ---- *)
 
 let engine_conv =
-  Arg.enum [ ("indexed", GP.Validate.Indexed); ("naive", GP.Validate.Naive) ]
+  Arg.enum
+    [
+      ("indexed", GP.Validate.Indexed);
+      ("naive", GP.Validate.Naive);
+      ("parallel", GP.Validate.Parallel);
+    ]
 
 let mode_conv =
   Arg.enum
@@ -107,10 +112,10 @@ let mode_conv =
     ]
 
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode =
+  let run schema_path graph_path lenient engine mode domains =
     let sch = or_die (load_schema ~lenient schema_path) in
     let g = or_die (load_graph graph_path) in
-    let report = GP.Validate.check ~engine ~mode sch g in
+    let report = GP.Validate.check ~engine ~mode ?domains sch g in
     Format.printf "%a@." GP.Validate.pp_report report;
     if report.GP.Validate.violations <> [] then exit 1
   in
@@ -118,14 +123,24 @@ let validate_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
   in
   let engine =
-    Arg.(value & opt engine_conv GP.Validate.Indexed & info [ "engine" ] ~doc:"naive or indexed.")
+    Arg.(
+      value
+      & opt engine_conv GP.Validate.Indexed
+      & info [ "engine" ] ~doc:"naive, indexed, or parallel.")
   in
   let mode =
     Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domains for the parallel engine (default: all cores).")
+  in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
-    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode)
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains)
 
 (* ---- sat ---- *)
 

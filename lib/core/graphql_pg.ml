@@ -17,9 +17,9 @@
     - {!Wrapped}, {!Schema}, {!Subtype}, {!Values_w}, {!Consistency},
       {!Of_ast}, {!To_sdl}, {!Api_extension} (the formal schema model of
       Section 4),
-    - {!Violation}, {!Validate} (+ engines {!Naive}, {!Indexed}, and the
-      update-driven {!Incremental}) (the validation semantics of
-      Section 5),
+    - {!Violation}, {!Validate} (+ engines {!Naive}, {!Indexed}, the
+      multicore {!Parallel}, and the update-driven {!Incremental}) (the
+      validation semantics of Section 5),
     - {!Cnf}, {!Dpll}, {!Alcqi}, {!Tableau}, {!Translate}, {!Counting},
       {!Model_search}, {!Reduction}, {!Satisfiability} (the satisfiability
       analysis of Section 6),
@@ -60,6 +60,7 @@ module Violation = Pg_validation.Violation
 module Validate = Pg_validation.Validate
 module Naive = Pg_validation.Naive
 module Indexed = Pg_validation.Indexed
+module Parallel = Pg_validation.Parallel
 module Incremental = Pg_validation.Incremental
 module Schema_diff = Pg_validation.Schema_diff
 module Cnf = Pg_sat.Cnf
@@ -101,8 +102,11 @@ let graph_of_pgf_exn text =
 
 let graph_to_pgf = Pgf.print
 
-let validate ?engine ?env schema graph = Validate.check ?engine ?env schema graph
-let conforms ?engine ?env schema graph = Validate.conforms ?engine ?env schema graph
+let validate ?engine ?env ?domains schema graph =
+  Validate.check ?engine ?env ?domains schema graph
+
+let conforms ?engine ?env ?domains schema graph =
+  Validate.conforms ?engine ?env ?domains schema graph
 
 let satisfiable ?fuel ?max_nodes schema object_type =
   Satisfiability.satisfiable ?fuel ?max_nodes schema object_type

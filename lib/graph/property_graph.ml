@@ -163,6 +163,26 @@ let nodes g = Im.fold (fun v _ acc -> v :: acc) g.node_label [] |> List.rev
 let edges g = Im.fold (fun e _ acc -> e :: acc) g.edge_label [] |> List.rev
 let fold_nodes f g acc = Im.fold (fun v _ acc -> f v acc) g.node_label acc
 let fold_edges f g acc = Im.fold (fun e _ acc -> f e acc) g.edge_label acc
+let iter_nodes f g = Im.iter (fun v _ -> f v) g.node_label
+let iter_edges f g = Im.iter (fun e _ -> f e) g.edge_label
+
+let array_of_ids count iter store =
+  let n = count in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n 0 in
+    let i = ref 0 in
+    iter
+      (fun id _ ->
+        arr.(!i) <- id;
+        incr i)
+      store;
+    arr
+  end
+
+let nodes_array g = array_of_ids (node_count g) Im.iter g.node_label
+let edges_array g = array_of_ids (edge_count g) Im.iter g.edge_label
+let to_arrays g = (nodes_array g, edges_array g)
 
 let equal g1 g2 =
   Im.equal String.equal g1.node_label g2.node_label

@@ -1,355 +1,35 @@
-module G = Pg_graph.Property_graph
-module Value = Pg_graph.Value
-module Schema = Pg_schema.Schema
-module Wrapped = Pg_schema.Wrapped
-module Subtype = Pg_schema.Subtype
+(* The sequential production engine: the {!Kernels} rule kernels applied
+   to one slice covering the whole snapshot.  {!Parallel} runs the same
+   kernels sharded across domains; both merge through
+   {!Violation.normalize}, which is what makes their reports identical. *)
 
-(* Cached named-subtype test: schemas are small, graphs are big, so the
-   (label, type) pairs actually queried are few and worth memoizing. *)
-type subtype_cache = (string * string, bool) Hashtbl.t
+module K = Kernels
 
-let make_subtype_cache () : subtype_cache = Hashtbl.create 64
-
-let is_sub cache sch label ty =
-  match Hashtbl.find_opt cache (label, ty) with
-  | Some b -> b
-  | None ->
-    let b = Subtype.named sch label ty in
-    Hashtbl.add cache (label, ty) b;
-    b
-
-(* Edge indexes, built in one pass. *)
-type indexes = {
-  out_by : (int * string, G.edge list) Hashtbl.t;  (* (source id, label) -> edges *)
-  in_by : (int * string, G.edge list) Hashtbl.t;  (* (target id, label) -> edges *)
-  parallel : (int * int * string, G.edge list) Hashtbl.t;
-      (* (source id, target id, label) -> edges *)
-}
-
-let push tbl key e =
-  match Hashtbl.find_opt tbl key with
-  | Some l -> Hashtbl.replace tbl key (e :: l)
-  | None -> Hashtbl.add tbl key [ e ]
-
-let build_indexes g =
-  let idx =
-    {
-      out_by = Hashtbl.create 256;
-      in_by = Hashtbl.create 256;
-      parallel = Hashtbl.create 256;
-    }
-  in
-  List.iter
-    (fun e ->
-      let v1, v2 = G.edge_ends g e in
-      let f = G.edge_label g e in
-      push idx.out_by (G.node_id v1, f) e;
-      push idx.in_by (G.node_id v2, f) e;
-      push idx.parallel (G.node_id v1, G.node_id v2, f) e)
-    (G.edges g);
-  idx
-
-(* All unordered pairs of a group, as violations. *)
-let pairwise group mk acc =
-  let rec go acc = function
-    | [] -> acc
-    | e1 :: rest -> go (List.fold_left (fun acc e2 -> mk e1 e2 :: acc) acc rest) rest
-  in
-  go acc group
-
-(* WS4 over the (source, label) groups *)
-let ws4 sch g idx acc =
-  Hashtbl.fold
-    (fun (src_id, f) group acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ -> (
-        let src_label =
-          match G.node_of_id g src_id with
-          | Some v -> G.node_label g v
-          | None -> assert false
-        in
-        match Schema.type_f sch src_label f with
-        | Some t when not (Rules.multi_edge t) ->
-          pairwise group
-            (fun e1 e2 ->
-              Violation.make Violation.WS4
-                (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                (Printf.sprintf
-                   "node n%d has two %S edges but the field type %s is not a list type"
-                   src_id f (Wrapped.to_string t)))
-            acc
-        | Some _ | None -> acc))
-    idx.out_by acc
+let nodes_len (ctx : K.ctx) = Array.length ctx.K.nodes
+let edges_len (ctx : K.ctx) = Array.length ctx.K.edges
 
 let weak ?env sch g =
-  let idx = build_indexes g in
+  let ctx = K.make_ctx ?env sch g in
+  let cache = K.make_cache () in
   []
-  |> Linear.ws1 ?env sch g
-  |> Linear.ws2 ?env sch g
-  |> Linear.ws3 sch g
-  |> ws4 sch g idx
+  |> K.ws1 ctx ~lo:0 ~hi:(nodes_len ctx)
+  |> K.ws2 ctx ~lo:0 ~hi:(edges_len ctx)
+  |> K.ws3 ctx cache ~lo:0 ~hi:(edges_len ctx)
+  |> K.ws4 ctx ~lo:0 ~hi:(Array.length ctx.K.idx.K.out_groups)
   |> Violation.normalize
 
-(* DS1: parallel-edge groups *)
-let ds1 cache sch g idx constraints acc =
-  Hashtbl.fold
-    (fun (src_id, _tgt_id, f) group acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ ->
-        let src_label =
-          match G.node_of_id g src_id with
-          | Some v -> G.node_label g v
-          | None -> assert false
-        in
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if
-              String.equal fc.Rules.field f
-              && is_sub cache sch src_label fc.Rules.owner
-            then
-              pairwise group
-                (fun e1 e2 ->
-                  Violation.make Violation.DS1
-                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                    (Printf.sprintf
-                       "parallel %S edges violate @distinct on %s.%s" f fc.Rules.owner
-                       fc.Rules.field))
-                acc
-            else acc)
-          acc constraints)
-    idx.parallel acc
-
-(* DS2: loops *)
-let ds2 cache sch g constraints acc =
-  List.fold_left
-    (fun acc e ->
-      let v1, v2 = G.edge_ends g e in
-      if G.node_id v1 <> G.node_id v2 then acc
-      else begin
-        let f = G.edge_label g e in
-        let label = G.node_label g v1 in
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if String.equal fc.Rules.field f && is_sub cache sch label fc.Rules.owner then
-              Violation.make Violation.DS2
-                (Violation.Edge (G.edge_id e))
-                (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" (G.node_id v1)
-                   fc.Rules.owner fc.Rules.field)
-              :: acc
-            else acc)
-          acc constraints
-      end)
-    acc (G.edges g)
-
-(* DS3: incoming groups, filtered to sources of the declaring type *)
-let ds3 cache sch g idx constraints acc =
-  Hashtbl.fold
-    (fun (tgt_id, f) group acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ ->
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if not (String.equal fc.Rules.field f) then acc
-            else begin
-              let qualified =
-                List.filter
-                  (fun e ->
-                    let v1, _ = G.edge_ends g e in
-                    is_sub cache sch (G.node_label g v1) fc.Rules.owner)
-                  group
-              in
-              pairwise qualified
-                (fun e1 e2 ->
-                  Violation.make Violation.DS3
-                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                    (Printf.sprintf
-                       "node n%d has two incoming %S edges, violating @uniqueForTarget on \
-                        %s.%s"
-                       tgt_id f fc.Rules.owner fc.Rules.field))
-                acc
-            end)
-          acc constraints)
-    idx.in_by acc
-
-(* DS4: nodes of the target type need a qualified incoming edge *)
-let ds4 cache sch g idx constraints acc =
-  List.fold_left
-    (fun acc v2 ->
-      let label = G.node_label g v2 in
-      List.fold_left
-        (fun acc (fc : Rules.field_constraint) ->
-          let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
-          if not (is_sub cache sch label target_base) then acc
-          else begin
-            let incoming =
-              Option.value ~default:[]
-                (Hashtbl.find_opt idx.in_by (G.node_id v2, fc.Rules.field))
-            in
-            let ok =
-              List.exists
-                (fun e ->
-                  let v1, _ = G.edge_ends g e in
-                  is_sub cache sch (G.node_label g v1) fc.Rules.owner)
-                incoming
-            in
-            if ok then acc
-            else
-              Violation.make Violation.DS4
-                (Violation.Node (G.node_id v2))
-                (Printf.sprintf
-                   "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
-                    %s.%s"
-                   (G.node_id v2) label fc.Rules.field fc.Rules.owner fc.Rules.field)
-              :: acc
-          end)
-        acc constraints)
-    acc (G.nodes g)
-
-(* DS5/DS6 *)
-let ds56 cache sch g idx constraints acc =
-  List.fold_left
-    (fun acc v ->
-      let label = G.node_label g v in
-      List.fold_left
-        (fun acc (fc : Rules.field_constraint) ->
-          if not (is_sub cache sch label fc.Rules.owner) then acc
-          else if Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type then begin
-            match G.node_prop g v fc.Rules.field with
-            | None ->
-              Violation.make Violation.DS5
-                (Violation.Node_property (G.node_id v, fc.Rules.field))
-                (Printf.sprintf "node n%d lacks the property %S required on %s.%s"
-                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
-              :: acc
-            | Some value ->
-              if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
-                match value with
-                | Value.List (_ :: _) -> acc
-                | _ ->
-                  Violation.make Violation.DS5
-                    (Violation.Node_property (G.node_id v, fc.Rules.field))
-                    (Printf.sprintf
-                       "property %S of node n%d must be a nonempty list (required list \
-                        attribute)"
-                       fc.Rules.field (G.node_id v))
-                  :: acc
-              end
-              else acc
-          end
-          else begin
-            match Hashtbl.find_opt idx.out_by (G.node_id v, fc.Rules.field) with
-            | Some (_ :: _) -> acc
-            | Some [] | None ->
-              Violation.make Violation.DS6
-                (Violation.Node (G.node_id v))
-                (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s"
-                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
-              :: acc
-          end)
-        acc constraints)
-    acc (G.nodes g)
-
-(* A collision-free serialization of property values, compatible with
-   Value.equal: tagged and length-prefixed (Value.to_string would conflate
-   e.g. Id "x" and String "x"), with floats canonicalized by bit pattern
-   (+0.0 = -0.0, one representative for nan). *)
-let rec add_value_key buf (v : Value.t) =
-  match v with
-  | Value.Int i ->
-    Buffer.add_char buf 'i';
-    Buffer.add_string buf (string_of_int i)
-  | Value.Float f ->
-    Buffer.add_char buf 'f';
-    if Float.is_nan f then Buffer.add_string buf "nan"
-    else Buffer.add_string buf (Int64.to_string (Int64.bits_of_float (f +. 0.0)))
-  | Value.String s ->
-    Buffer.add_char buf 's';
-    Buffer.add_string buf (string_of_int (String.length s));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf s
-  | Value.Bool b ->
-    Buffer.add_char buf 'b';
-    Buffer.add_char buf (if b then '1' else '0')
-  | Value.Id s ->
-    Buffer.add_char buf 'd';
-    Buffer.add_string buf (string_of_int (String.length s));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf s
-  | Value.Enum s ->
-    Buffer.add_char buf 'e';
-    Buffer.add_string buf (string_of_int (String.length s));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf s
-  | Value.List vs ->
-    Buffer.add_char buf 'l';
-    Buffer.add_string buf (string_of_int (List.length vs));
-    Buffer.add_char buf ':';
-    List.iter (add_value_key buf) vs
-
-(* DS7: group nodes by key vector *)
-let ds7 cache sch g acc =
-  List.fold_left
-    (fun acc (owner, key_fields) ->
-      let attribute_fields =
-        List.filter
-          (fun f ->
-            match Schema.type_f sch owner f with
-            | Some t -> Rules.is_attribute_type sch t
-            | None -> false)
-          key_fields
-      in
-      let groups : (string, G.node list) Hashtbl.t = Hashtbl.create 256 in
-      List.iter
-        (fun v ->
-          if is_sub cache sch (G.node_label g v) owner then begin
-            let buf = Buffer.create 32 in
-            List.iter
-              (fun f ->
-                (match G.node_prop g v f with
-                | None -> Buffer.add_char buf 'A' (* absent *)
-                | Some value ->
-                  Buffer.add_char buf 'P';
-                  add_value_key buf value);
-                Buffer.add_char buf '\x00')
-              attribute_fields;
-            push groups (Buffer.contents buf) v
-          end)
-        (G.nodes g);
-      Hashtbl.fold
-        (fun _key group acc ->
-          match group with
-          | [] | [ _ ] -> acc
-          | _ ->
-            pairwise group
-              (fun v1 v2 ->
-                Violation.make Violation.DS7
-                  (Violation.Node_pair (G.node_id v1, G.node_id v2))
-                  (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]"
-                     (G.node_id v1) (G.node_id v2) owner
-                     (String.concat ", " key_fields)))
-              acc)
-        groups acc)
-    acc (Rules.key_constraints sch)
-
 let directives ?env sch g =
-  ignore env;
-  let cache = make_subtype_cache () in
-  let idx = build_indexes g in
-  let distinct = Rules.constrained_fields sch ~directive:"distinct" in
-  let no_loops = Rules.constrained_fields sch ~directive:"noLoops" in
-  let unique_for_target = Rules.constrained_fields sch ~directive:"uniqueForTarget" in
-  let required_for_target = Rules.constrained_fields sch ~directive:"requiredForTarget" in
-  let required = Rules.constrained_fields sch ~directive:"required" in
+  let ctx = K.make_ctx ?env sch g in
+  let cache = K.make_cache () in
+  let par_len = Array.length ctx.K.idx.K.par_groups in
   []
-  |> ds1 cache sch g idx distinct
-  |> ds2 cache sch g no_loops
-  |> ds3 cache sch g idx unique_for_target
-  |> ds4 cache sch g idx required_for_target
-  |> ds56 cache sch g idx required
-  |> ds7 cache sch g
+  |> K.ds1 ctx cache ~lo:0 ~hi:par_len
+  |> K.ds2 ctx cache ~lo:0 ~hi:par_len
+  |> K.ds3 ctx cache ~lo:0 ~hi:(Array.length ctx.K.idx.K.in_groups)
+  |> K.ds4 ctx cache ~lo:0 ~hi:(nodes_len ctx)
+  |> K.ds56 ctx cache ~lo:0 ~hi:(nodes_len ctx)
+  |> (fun acc ->
+       List.fold_left (fun acc kc -> K.ds7 ctx cache kc acc) acc ctx.K.keys)
   |> Violation.normalize
 
 let strong_extra = Linear.strong_extra

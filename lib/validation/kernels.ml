@@ -1,0 +1,565 @@
+(* Pure per-rule validation kernels.
+
+   Every rule of Section 5 (WS1-WS4, DS1-DS7, SS1-SS4) is implemented as a
+   pure function over a *slice* of an immutable snapshot of the graph plus
+   shared read-only indexes.  A kernel touches nothing but its slice, its
+   accumulator, and (for the subtype-testing rules) a caller-supplied
+   memoization cache, so the same kernels drive both the sequential
+   {!Indexed} engine (one slice covering everything) and the multicore
+   {!Parallel} engine (one slice per shard, one cache per domain).
+
+   The slice universe differs per rule:
+   - node rules (WS1, DS4, DS5/DS6, SS1, SS2) slice [ctx.nodes];
+   - edge rules (WS2, WS3, SS3, SS4) slice [ctx.edges];
+   - pair rules slice the *group arrays* of the edge indexes: WS4 the
+     (source, label) groups, DS3 the (target, label) groups, DS1 and DS2
+     the (source, target, label) groups — a loop is exactly a group whose
+     source equals its target, so no kernel ever rescans all edges;
+   - DS7 is one kernel invocation per @key constraint (grouping nodes by
+     key vector is a global operation; constraints are few and
+     independent, so they parallelize across, not within).
+
+   All state shared between shards (the graph, the schema, the indexes,
+   the snapshot arrays) is immutable or written strictly before the
+   kernels run, which is what makes the parallel engine safe without
+   locks. *)
+
+module G = Pg_graph.Property_graph
+module Value = Pg_graph.Value
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Subtype = Pg_schema.Subtype
+module Values_w = Pg_schema.Values_w
+
+(* Cached named-subtype test: schemas are small, graphs are big, so the
+   (label, type) pairs actually queried are few and worth memoizing.  A
+   cache is private to one caller (one domain, in the parallel engine) —
+   kernels only ever read the schema through it. *)
+type subtype_cache = (string * string, bool) Hashtbl.t
+
+let make_cache () : subtype_cache = Hashtbl.create 64
+
+let is_sub cache sch label ty =
+  match Hashtbl.find_opt cache (label, ty) with
+  | Some b -> b
+  | None ->
+    let b = Subtype.named sch label ty in
+    Hashtbl.add cache (label, ty) b;
+    b
+
+(* Edge indexes, built in one pass, then frozen.  The hash tables answer
+   point lookups (DS4, DS5/DS6); the group arrays give the pair rules a
+   sliceable universe. *)
+type indexes = {
+  out_by : (int * string, G.edge list) Hashtbl.t;  (* (source id, label) -> edges *)
+  in_by : (int * string, G.edge list) Hashtbl.t;  (* (target id, label) -> edges *)
+  parallel : (int * int * string, G.edge list) Hashtbl.t;
+      (* (source id, target id, label) -> edges *)
+  out_groups : ((int * string) * G.edge list) array;
+  in_groups : ((int * string) * G.edge list) array;
+  par_groups : ((int * int * string) * G.edge list) array;
+}
+
+let push tbl key e =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> Hashtbl.replace tbl key (e :: l)
+  | None -> Hashtbl.add tbl key [ e ]
+
+let groups_of_table dummy tbl =
+  let n = Hashtbl.length tbl in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n dummy in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun key group ->
+        arr.(!i) <- (key, group);
+        incr i)
+      tbl;
+    arr
+  end
+
+let build_indexes g edges =
+  let out_by = Hashtbl.create 256
+  and in_by = Hashtbl.create 256
+  and parallel = Hashtbl.create 256 in
+  Array.iter
+    (fun e ->
+      let v1, v2 = G.edge_ends g e in
+      let f = G.edge_label g e in
+      push out_by (G.node_id v1, f) e;
+      push in_by (G.node_id v2, f) e;
+      push parallel (G.node_id v1, G.node_id v2, f) e)
+    edges;
+  {
+    out_by;
+    in_by;
+    parallel;
+    out_groups = groups_of_table ((0, "") , []) out_by;
+    in_groups = groups_of_table ((0, ""), []) in_by;
+    par_groups = groups_of_table ((0, 0, ""), []) parallel;
+  }
+
+(* The frozen validation context: one snapshot of the graph plus the
+   schema-derived constraint lists.  Built once per check, read by every
+   shard. *)
+type ctx = {
+  sch : Schema.t;
+  g : G.t;
+  env : Values_w.env option;
+  nodes : G.node array;
+  edges : G.edge array;
+  idx : indexes;
+  distinct : Rules.field_constraint list;
+  no_loops : Rules.field_constraint list;
+  unique_for_target : Rules.field_constraint list;
+  required_for_target : Rules.field_constraint list;
+  required : Rules.field_constraint list;
+  keys : (string * string list) list;
+}
+
+let make_ctx ?env sch g =
+  let nodes, edges = G.to_arrays g in
+  {
+    sch;
+    g;
+    env;
+    nodes;
+    edges;
+    idx = build_indexes g edges;
+    distinct = Rules.constrained_fields sch ~directive:"distinct";
+    no_loops = Rules.constrained_fields sch ~directive:"noLoops";
+    unique_for_target = Rules.constrained_fields sch ~directive:"uniqueForTarget";
+    required_for_target = Rules.constrained_fields sch ~directive:"requiredForTarget";
+    required = Rules.constrained_fields sch ~directive:"required";
+    keys = Rules.key_constraints sch;
+  }
+
+type 'a kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+
+type 'a cached_kernel =
+  ctx -> subtype_cache -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+
+(* Fold [f] over the slice [lo, hi) of [arr]. *)
+let fold_slice arr ~lo ~hi f acc =
+  let acc = ref acc in
+  for i = lo to hi - 1 do
+    acc := f arr.(i) !acc
+  done;
+  !acc
+
+(* All unordered pairs of a group, as violations. *)
+let pairwise group mk acc =
+  let rec go acc = function
+    | [] -> acc
+    | e1 :: rest -> go (List.fold_left (fun acc e2 -> mk e1 e2 :: acc) acc rest) rest
+  in
+  go acc group
+
+let node_of_id_exn g id =
+  match G.node_of_id g id with Some v -> v | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Weak satisfaction: WS1-WS4 (Definition 5.1)                          *)
+
+(* WS1: node properties must be of the required type *)
+let ws1 ctx ~lo ~hi acc =
+  fold_slice ctx.nodes ~lo ~hi
+    (fun v acc ->
+      let label = G.node_label ctx.g v in
+      List.fold_left
+        (fun acc (p, value) ->
+          match Schema.type_f ctx.sch label p with
+          | Some t when Rules.is_attribute_type ctx.sch t ->
+            if Values_w.mem ?env:ctx.env ctx.sch t value then acc
+            else
+              Violation.make Violation.WS1
+                (Violation.Node_property (G.node_id v, p))
+                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+                   (Wrapped.to_string t))
+              :: acc
+          | Some _ | None -> acc)
+        acc (G.node_props ctx.g v))
+    acc
+
+(* WS2: edge properties must be of the required type *)
+let ws2 ctx ~lo ~hi acc =
+  fold_slice ctx.edges ~lo ~hi
+    (fun e acc ->
+      let v1, _ = G.edge_ends ctx.g e in
+      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
+      List.fold_left
+        (fun acc (a, value) ->
+          match Schema.arg_type ctx.sch src_label edge_label a with
+          | Some t ->
+            if Values_w.mem ?env:ctx.env ctx.sch t value then acc
+            else
+              Violation.make Violation.WS2
+                (Violation.Edge_property (G.edge_id e, a))
+                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+                   (Wrapped.to_string t))
+              :: acc
+          | None -> acc)
+        acc (G.edge_props ctx.g e))
+    acc
+
+(* WS3: target nodes must be of the required type *)
+let ws3 ctx cache ~lo ~hi acc =
+  fold_slice ctx.edges ~lo ~hi
+    (fun e acc ->
+      let v1, v2 = G.edge_ends ctx.g e in
+      match Schema.type_f ctx.sch (G.node_label ctx.g v1) (G.edge_label ctx.g e) with
+      | Some t ->
+        let base = Wrapped.basetype t in
+        if is_sub cache ctx.sch (G.node_label ctx.g v2) base then acc
+        else
+          Violation.make Violation.WS3
+            (Violation.Edge (G.edge_id e))
+            (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
+               (G.node_id v2) (G.node_label ctx.g v2) base)
+          :: acc
+      | None -> acc)
+    acc
+
+(* WS4 over the (source, label) groups *)
+let ws4 ctx ~lo ~hi acc =
+  fold_slice ctx.idx.out_groups ~lo ~hi
+    (fun ((src_id, f), group) acc ->
+      match group with
+      | [] | [ _ ] -> acc
+      | _ -> (
+        let src_label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
+        match Schema.type_f ctx.sch src_label f with
+        | Some t when not (Rules.multi_edge t) ->
+          pairwise group
+            (fun e1 e2 ->
+              Violation.make Violation.WS4
+                (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                (Printf.sprintf
+                   "node n%d has two %S edges but the field type %s is not a list type"
+                   src_id f (Wrapped.to_string t)))
+            acc
+        | Some _ | None -> acc))
+    acc
+
+(* ------------------------------------------------------------------ *)
+(* Directive satisfaction: DS1-DS7 (Definition 5.2)                     *)
+
+(* DS1: parallel-edge groups *)
+let ds1 ctx cache ~lo ~hi acc =
+  fold_slice ctx.idx.par_groups ~lo ~hi
+    (fun ((src_id, _tgt_id, f), group) acc ->
+      match group with
+      | [] | [ _ ] -> acc
+      | _ ->
+        let src_label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
+        List.fold_left
+          (fun acc (fc : Rules.field_constraint) ->
+            if
+              String.equal fc.Rules.field f
+              && is_sub cache ctx.sch src_label fc.Rules.owner
+            then
+              pairwise group
+                (fun e1 e2 ->
+                  Violation.make Violation.DS1
+                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                    (Printf.sprintf
+                       "parallel %S edges violate @distinct on %s.%s" f fc.Rules.owner
+                       fc.Rules.field))
+                acc
+            else acc)
+          acc ctx.distinct)
+    acc
+
+(* DS2: loops are exactly the (v, v, f) groups of the parallel index *)
+let ds2 ctx cache ~lo ~hi acc =
+  fold_slice ctx.idx.par_groups ~lo ~hi
+    (fun ((src_id, tgt_id, f), group) acc ->
+      if src_id <> tgt_id then acc
+      else begin
+        let label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
+        List.fold_left
+          (fun acc (fc : Rules.field_constraint) ->
+            if String.equal fc.Rules.field f && is_sub cache ctx.sch label fc.Rules.owner
+            then
+              List.fold_left
+                (fun acc e ->
+                  Violation.make Violation.DS2
+                    (Violation.Edge (G.edge_id e))
+                    (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" src_id
+                       fc.Rules.owner fc.Rules.field)
+                  :: acc)
+                acc group
+            else acc)
+          acc ctx.no_loops
+      end)
+    acc
+
+(* DS3: incoming groups, filtered to sources of the declaring type *)
+let ds3 ctx cache ~lo ~hi acc =
+  fold_slice ctx.idx.in_groups ~lo ~hi
+    (fun ((tgt_id, f), group) acc ->
+      match group with
+      | [] | [ _ ] -> acc
+      | _ ->
+        List.fold_left
+          (fun acc (fc : Rules.field_constraint) ->
+            if not (String.equal fc.Rules.field f) then acc
+            else begin
+              let qualified =
+                List.filter
+                  (fun e ->
+                    let v1, _ = G.edge_ends ctx.g e in
+                    is_sub cache ctx.sch (G.node_label ctx.g v1) fc.Rules.owner)
+                  group
+              in
+              pairwise qualified
+                (fun e1 e2 ->
+                  Violation.make Violation.DS3
+                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
+                    (Printf.sprintf
+                       "node n%d has two incoming %S edges, violating @uniqueForTarget on \
+                        %s.%s"
+                       tgt_id f fc.Rules.owner fc.Rules.field))
+                acc
+            end)
+          acc ctx.unique_for_target)
+    acc
+
+(* DS4: nodes of the target type need a qualified incoming edge *)
+let ds4 ctx cache ~lo ~hi acc =
+  fold_slice ctx.nodes ~lo ~hi
+    (fun v2 acc ->
+      let label = G.node_label ctx.g v2 in
+      List.fold_left
+        (fun acc (fc : Rules.field_constraint) ->
+          let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
+          if not (is_sub cache ctx.sch label target_base) then acc
+          else begin
+            let incoming =
+              Option.value ~default:[]
+                (Hashtbl.find_opt ctx.idx.in_by (G.node_id v2, fc.Rules.field))
+            in
+            let ok =
+              List.exists
+                (fun e ->
+                  let v1, _ = G.edge_ends ctx.g e in
+                  is_sub cache ctx.sch (G.node_label ctx.g v1) fc.Rules.owner)
+                incoming
+            in
+            if ok then acc
+            else
+              Violation.make Violation.DS4
+                (Violation.Node (G.node_id v2))
+                (Printf.sprintf
+                   "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
+                    %s.%s"
+                   (G.node_id v2) label fc.Rules.field fc.Rules.owner fc.Rules.field)
+              :: acc
+          end)
+        acc ctx.required_for_target)
+    acc
+
+(* DS5/DS6 *)
+let ds56 ctx cache ~lo ~hi acc =
+  fold_slice ctx.nodes ~lo ~hi
+    (fun v acc ->
+      let label = G.node_label ctx.g v in
+      List.fold_left
+        (fun acc (fc : Rules.field_constraint) ->
+          if not (is_sub cache ctx.sch label fc.Rules.owner) then acc
+          else if Rules.is_attribute_type ctx.sch fc.Rules.fd.Schema.fd_type then begin
+            match G.node_prop ctx.g v fc.Rules.field with
+            | None ->
+              Violation.make Violation.DS5
+                (Violation.Node_property (G.node_id v, fc.Rules.field))
+                (Printf.sprintf "node n%d lacks the property %S required on %s.%s"
+                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
+              :: acc
+            | Some value ->
+              if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
+                match value with
+                | Value.List (_ :: _) -> acc
+                | _ ->
+                  Violation.make Violation.DS5
+                    (Violation.Node_property (G.node_id v, fc.Rules.field))
+                    (Printf.sprintf
+                       "property %S of node n%d must be a nonempty list (required list \
+                        attribute)"
+                       fc.Rules.field (G.node_id v))
+                  :: acc
+              end
+              else acc
+          end
+          else begin
+            match Hashtbl.find_opt ctx.idx.out_by (G.node_id v, fc.Rules.field) with
+            | Some (_ :: _) -> acc
+            | Some [] | None ->
+              Violation.make Violation.DS6
+                (Violation.Node (G.node_id v))
+                (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s"
+                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
+              :: acc
+          end)
+        acc ctx.required)
+    acc
+
+(* A collision-free serialization of property values, compatible with
+   Value.equal: tagged and length-prefixed (Value.to_string would conflate
+   e.g. Id "x" and String "x"), with floats canonicalized by bit pattern
+   (+0.0 = -0.0, one representative for nan). *)
+let rec add_value_key buf (v : Value.t) =
+  match v with
+  | Value.Int i ->
+    Buffer.add_char buf 'i';
+    Buffer.add_string buf (string_of_int i)
+  | Value.Float f ->
+    Buffer.add_char buf 'f';
+    if Float.is_nan f then Buffer.add_string buf "nan"
+    else Buffer.add_string buf (Int64.to_string (Int64.bits_of_float (f +. 0.0)))
+  | Value.String s ->
+    Buffer.add_char buf 's';
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  | Value.Bool b ->
+    Buffer.add_char buf 'b';
+    Buffer.add_char buf (if b then '1' else '0')
+  | Value.Id s ->
+    Buffer.add_char buf 'd';
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  | Value.Enum s ->
+    Buffer.add_char buf 'e';
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  | Value.List vs ->
+    Buffer.add_char buf 'l';
+    Buffer.add_string buf (string_of_int (List.length vs));
+    Buffer.add_char buf ':';
+    List.iter (add_value_key buf) vs
+
+(* DS7: one @key constraint at a time — group all nodes by key vector.
+   Grouping is global (any two nodes of the keyed type may collide), so
+   DS7 parallelizes across constraints, not across node shards. *)
+let ds7 ctx cache (owner, key_fields) acc =
+  let attribute_fields =
+    List.filter
+      (fun f ->
+        match Schema.type_f ctx.sch owner f with
+        | Some t -> Rules.is_attribute_type ctx.sch t
+        | None -> false)
+      key_fields
+  in
+  let groups : (string, G.node list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun v ->
+      if is_sub cache ctx.sch (G.node_label ctx.g v) owner then begin
+        let buf = Buffer.create 32 in
+        List.iter
+          (fun f ->
+            (match G.node_prop ctx.g v f with
+            | None -> Buffer.add_char buf 'A' (* absent *)
+            | Some value ->
+              Buffer.add_char buf 'P';
+              add_value_key buf value);
+            Buffer.add_char buf '\x00')
+          attribute_fields;
+        push groups (Buffer.contents buf) v
+      end)
+    ctx.nodes;
+  Hashtbl.fold
+    (fun _key group acc ->
+      match group with
+      | [] | [ _ ] -> acc
+      | _ ->
+        pairwise group
+          (fun v1 v2 ->
+            Violation.make Violation.DS7
+              (Violation.Node_pair (G.node_id v1, G.node_id v2))
+              (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]"
+                 (G.node_id v1) (G.node_id v2) owner
+                 (String.concat ", " key_fields)))
+          acc)
+    groups acc
+
+(* ------------------------------------------------------------------ *)
+(* Strong satisfaction extras: SS1-SS4 (Definition 5.3)                 *)
+
+(* SS1: all nodes are justified *)
+let ss1 ctx ~lo ~hi acc =
+  fold_slice ctx.nodes ~lo ~hi
+    (fun v acc ->
+      let label = G.node_label ctx.g v in
+      if Schema.type_kind ctx.sch label = Some Schema.Object then acc
+      else
+        Violation.make Violation.SS1
+          (Violation.Node (G.node_id v))
+          (Printf.sprintf "label %S is not an object type of the schema" label)
+        :: acc)
+    acc
+
+(* SS2: all node properties are justified *)
+let ss2 ctx ~lo ~hi acc =
+  fold_slice ctx.nodes ~lo ~hi
+    (fun v acc ->
+      let label = G.node_label ctx.g v in
+      List.fold_left
+        (fun acc (p, _) ->
+          match Schema.type_f ctx.sch label p with
+          | Some t when Rules.is_attribute_type ctx.sch t -> acc
+          | Some _ ->
+            Violation.make Violation.SS2
+              (Violation.Node_property (G.node_id v, p))
+              (Printf.sprintf "field %s.%s is a relationship definition, not an attribute"
+                 label p)
+            :: acc
+          | None ->
+            Violation.make Violation.SS2
+              (Violation.Node_property (G.node_id v, p))
+              (Printf.sprintf "no field %S is declared for type %S" p label)
+            :: acc)
+        acc (G.node_props ctx.g v))
+    acc
+
+(* SS3: all edge properties are justified *)
+let ss3 ctx ~lo ~hi acc =
+  fold_slice ctx.edges ~lo ~hi
+    (fun e acc ->
+      let v1, _ = G.edge_ends ctx.g e in
+      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
+      List.fold_left
+        (fun acc (a, _) ->
+          match Schema.arg_type ctx.sch src_label edge_label a with
+          | Some _ -> acc
+          | None ->
+            Violation.make Violation.SS3
+              (Violation.Edge_property (G.edge_id e, a))
+              (Printf.sprintf "no argument %S is declared for field %s.%s" a src_label
+                 edge_label)
+            :: acc)
+        acc (G.edge_props ctx.g e))
+    acc
+
+(* SS4: all edges are justified *)
+let ss4 ctx ~lo ~hi acc =
+  fold_slice ctx.edges ~lo ~hi
+    (fun e acc ->
+      let v1, _ = G.edge_ends ctx.g e in
+      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
+      match Schema.type_f ctx.sch src_label edge_label with
+      | Some t when not (Rules.is_attribute_type ctx.sch t) -> acc
+      | Some _ ->
+        Violation.make Violation.SS4
+          (Violation.Edge (G.edge_id e))
+          (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
+             src_label edge_label)
+        :: acc
+      | None ->
+        Violation.make Violation.SS4
+          (Violation.Edge (G.edge_id e))
+          (Printf.sprintf "no field %S is declared for type %S" edge_label src_label)
+        :: acc)
+    acc

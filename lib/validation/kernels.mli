@@ -1,0 +1,79 @@
+(** Pure per-rule validation kernels over graph-snapshot slices.
+
+    The engine core shared by {!Indexed} (one slice covering the whole
+    snapshot) and {!Parallel} (one slice per shard, executed on separate
+    domains).  A kernel reads only immutable data — the graph, the schema,
+    the frozen {!type-ctx} indexes — plus a caller-owned {!type-subtype_cache},
+    and returns violations by consing onto its accumulator; it never
+    mutates shared state, so kernels over disjoint slices commute and can
+    run concurrently.  {!Violation.normalize} makes the merged result
+    independent of slice boundaries and interleaving.
+
+    Slice universes: WS1, DS4, DS5/DS6, SS1, SS2 slice [ctx.nodes]; WS2,
+    WS3, SS3, SS4 slice [ctx.edges]; WS4 slices [ctx.idx.out_groups]; DS3
+    slices [ctx.idx.in_groups]; DS1 and DS2 slice [ctx.idx.par_groups]
+    (a loop is a group whose source equals its target); DS7 runs once per
+    @key constraint. *)
+
+type subtype_cache
+
+val make_cache : unit -> subtype_cache
+(** A fresh memoization cache for the named-subtype relation.  One per
+    domain: caches are not safe to share across concurrent kernels. *)
+
+type indexes = {
+  out_by : (int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
+  in_by : (int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
+  parallel : (int * int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
+  out_groups : ((int * string) * Pg_graph.Property_graph.edge list) array;
+  in_groups : ((int * string) * Pg_graph.Property_graph.edge list) array;
+  par_groups : ((int * int * string) * Pg_graph.Property_graph.edge list) array;
+}
+
+type ctx = {
+  sch : Pg_schema.Schema.t;
+  g : Pg_graph.Property_graph.t;
+  env : Pg_schema.Values_w.env option;
+  nodes : Pg_graph.Property_graph.node array;
+  edges : Pg_graph.Property_graph.edge array;
+  idx : indexes;
+  distinct : Rules.field_constraint list;
+  no_loops : Rules.field_constraint list;
+  unique_for_target : Rules.field_constraint list;
+  required_for_target : Rules.field_constraint list;
+  required : Rules.field_constraint list;
+  keys : (string * string list) list;
+}
+
+val make_ctx :
+  ?env:Pg_schema.Values_w.env -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> ctx
+(** Snapshot the graph into arrays, build the edge indexes in one pass,
+    and precompute the schema's constraint lists.  After this returns the
+    context is frozen; kernels only read it. *)
+
+type 'a kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+(** A rule evaluated on the slice [lo, hi) of its universe ('a names the
+    universe for documentation only). *)
+
+type 'a cached_kernel =
+  ctx -> subtype_cache -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+
+val ws1 : [ `Nodes ] kernel
+val ws2 : [ `Edges ] kernel
+val ws3 : [ `Edges ] cached_kernel
+val ws4 : [ `Out_groups ] kernel
+val ds1 : [ `Par_groups ] cached_kernel
+val ds2 : [ `Par_groups ] cached_kernel
+val ds3 : [ `In_groups ] cached_kernel
+val ds4 : [ `Nodes ] cached_kernel
+val ds56 : [ `Nodes ] cached_kernel
+
+val ds7 :
+  ctx -> subtype_cache -> string * string list -> Violation.t list -> Violation.t list
+(** [ds7 ctx cache (owner, key_fields) acc]: the whole @key constraint at
+    once (node grouping is global, so DS7 shards across constraints). *)
+
+val ss1 : [ `Nodes ] kernel
+val ss2 : [ `Nodes ] kernel
+val ss3 : [ `Edges ] kernel
+val ss4 : [ `Edges ] kernel

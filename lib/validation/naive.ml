@@ -75,6 +75,7 @@ let ds1 sch g acc =
 
 (* DS2 (@noLoops) *)
 let ds2 sch g acc =
+  let edges = G.edges g in
   List.fold_left
     (fun acc (fc : Rules.field_constraint) ->
       List.fold_left
@@ -91,7 +92,7 @@ let ds2 sch g acc =
                  fc.Rules.owner fc.Rules.field)
             :: acc
           else acc)
-        acc (G.edges g))
+        acc edges)
     acc
     (Rules.constrained_fields sch ~directive:"noLoops")
 
@@ -131,6 +132,7 @@ let ds3 sch g acc =
 (* DS4 (@requiredForTarget).  Erratum normalized: the target-node condition
    compares labels with basetype(typeS(t, f)). *)
 let ds4 sch g acc =
+  let nodes = G.nodes g and edges = G.edges g in
   List.fold_left
     (fun acc (fc : Rules.field_constraint) ->
       let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
@@ -144,7 +146,7 @@ let ds4 sch g acc =
                   G.node_id v2' = G.node_id v2
                   && String.equal (G.edge_label g e) fc.Rules.field
                   && Subtype.named sch (G.node_label g v1) fc.Rules.owner)
-                (G.edges g)
+                edges
             in
             if has_incoming then acc
             else
@@ -158,13 +160,14 @@ let ds4 sch g acc =
               :: acc
           end
           else acc)
-        acc (G.nodes g))
+        acc nodes)
     acc
     (Rules.constrained_fields sch ~directive:"requiredForTarget")
 
 (* DS5/DS6 (@required): property required for attribute definitions, edge
    required for relationship definitions. *)
 let ds56 sch g acc =
+  let nodes = G.nodes g and edges = G.edges g in
   List.fold_left
     (fun acc (fc : Rules.field_constraint) ->
       let attr = Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type in
@@ -201,7 +204,7 @@ let ds56 sch g acc =
                   let v1, _ = G.edge_ends g e in
                   G.node_id v1 = G.node_id v
                   && String.equal (G.edge_label g e) fc.Rules.field)
-                (G.edges g)
+                edges
             in
             if has_edge then acc
             else
@@ -211,12 +214,13 @@ let ds56 sch g acc =
                    (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
               :: acc
           end)
-        acc (G.nodes g))
+        acc nodes)
     acc
     (Rules.constrained_fields sch ~directive:"required")
 
 (* DS7 (@key) *)
 let ds7 sch g acc =
+  let all_nodes = G.nodes g in
   List.fold_left
     (fun acc (owner, key_fields) ->
       (* only key fields with attribute types participate (Definition 5.2) *)
@@ -228,7 +232,9 @@ let ds7 sch g acc =
             | None -> false)
           key_fields
       in
-      let nodes = List.filter (fun v -> Subtype.named sch (G.node_label g v) owner) (G.nodes g) in
+      let nodes =
+        List.filter (fun v -> Subtype.named sch (G.node_label g v) owner) all_nodes
+      in
       List.fold_left
         (fun acc v1 ->
           List.fold_left

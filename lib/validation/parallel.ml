@@ -1,0 +1,123 @@
+(* The multicore validation engine.
+
+   Theorem 1 of the paper puts strong-satisfaction validation in AC0:
+   every rule is a first-order condition on a bounded neighbourhood, so
+   the rule checks over disjoint slices of the graph are independent.
+   This engine exploits that directly:
+
+   1. snapshot the graph once ({!Kernels.make_ctx}: node/edge arrays plus
+      the frozen edge indexes, all immutable from then on);
+   2. cut every rule's slice universe into chunks and turn each chunk
+      into a task (a closure running one {!Kernels} kernel on the chunk);
+   3. drain the task queue with [min (ncpus, k)] domains — each domain
+      owns a private accumulator and a private subtype cache, so the hot
+      loop takes no locks and shares no mutable state;
+   4. merge the per-domain lists through {!Violation.normalize}, which is
+      order-insensitive — the report is therefore byte-identical to the
+      sequential {!Indexed} engine's, whatever the scheduling.
+
+   Tasks are consumed from a single atomic counter (work stealing in its
+   simplest form): chunky rules (DS7 key grouping, big WS1 shards) do not
+   stall the other domains, they just eat more queue. *)
+
+module K = Kernels
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* A task evaluates some kernel slice with a domain-private cache. *)
+type task = K.subtype_cache -> Violation.t list
+
+let run_tasks ~domains (tasks : task list) =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let k = max 1 (min domains n) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let cache = K.make_cache () in
+      let rec drain acc =
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then acc else drain (List.rev_append (tasks.(i) cache) acc)
+      in
+      drain []
+    in
+    if k = 1 then worker ()
+    else begin
+      let helpers = List.init (k - 1) (fun _ -> Domain.spawn worker) in
+      let mine = worker () in
+      List.fold_left (fun acc d -> List.rev_append (Domain.join d) acc) mine helpers
+    end
+  end
+
+(* Cut [0, len) into ~4 chunks per domain (for load balancing), but never
+   below [min_chunk] elements (so task overhead cannot dominate tiny
+   graphs), and emit one task per chunk. *)
+let min_chunk = 512
+
+let chunked len ~domains kernel acc =
+  if len = 0 then acc
+  else begin
+    let target = 4 * domains in
+    let size = max min_chunk ((len + target - 1) / target) in
+    let rec cut lo acc =
+      if lo >= len then acc
+      else begin
+        let hi = min len (lo + size) in
+        (fun cache -> kernel cache ~lo ~hi []) :: cut hi acc
+      end
+    in
+    cut 0 acc
+  end
+
+let weak_tasks (ctx : K.ctx) ~domains acc =
+  let nodes = Array.length ctx.K.nodes and edges = Array.length ctx.K.edges in
+  acc
+  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ws1 ctx ~lo ~hi acc)
+  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ws2 ctx ~lo ~hi acc)
+  |> chunked edges ~domains (fun cache ~lo ~hi acc -> K.ws3 ctx cache ~lo ~hi acc)
+  |> chunked
+       (Array.length ctx.K.idx.K.out_groups)
+       ~domains
+       (fun _cache ~lo ~hi acc -> K.ws4 ctx ~lo ~hi acc)
+
+let directives_tasks (ctx : K.ctx) ~domains acc =
+  let nodes = Array.length ctx.K.nodes in
+  let par_groups = Array.length ctx.K.idx.K.par_groups in
+  acc
+  |> chunked par_groups ~domains (fun cache ~lo ~hi acc -> K.ds1 ctx cache ~lo ~hi acc)
+  |> chunked par_groups ~domains (fun cache ~lo ~hi acc -> K.ds2 ctx cache ~lo ~hi acc)
+  |> chunked
+       (Array.length ctx.K.idx.K.in_groups)
+       ~domains
+       (fun cache ~lo ~hi acc -> K.ds3 ctx cache ~lo ~hi acc)
+  |> chunked nodes ~domains (fun cache ~lo ~hi acc -> K.ds4 ctx cache ~lo ~hi acc)
+  |> chunked nodes ~domains (fun cache ~lo ~hi acc -> K.ds56 ctx cache ~lo ~hi acc)
+  |> fun acc ->
+  List.fold_left
+    (fun acc kc -> (fun cache -> K.ds7 ctx cache kc []) :: acc)
+    acc ctx.K.keys
+
+let strong_tasks (ctx : K.ctx) ~domains acc =
+  let nodes = Array.length ctx.K.nodes and edges = Array.length ctx.K.edges in
+  acc
+  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ss1 ctx ~lo ~hi acc)
+  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ss2 ctx ~lo ~hi acc)
+  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ss3 ctx ~lo ~hi acc)
+  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ss4 ctx ~lo ~hi acc)
+
+let run ?env ?domains sch g mk_tasks =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let ctx = K.make_ctx ?env sch g in
+  run_tasks ~domains (mk_tasks ctx ~domains []) |> Violation.normalize
+
+let weak ?env ?domains sch g = run ?env ?domains sch g weak_tasks
+let directives ?env ?domains sch g = run ?env ?domains sch g directives_tasks
+let strong_extra ?domains sch g = run ?domains sch g strong_tasks
+
+let strong ?env ?domains sch g =
+  run ?env ?domains sch g (fun ctx ~domains acc ->
+      acc
+      |> weak_tasks ctx ~domains
+      |> directives_tasks ctx ~domains
+      |> strong_tasks ctx ~domains)

@@ -1,6 +1,6 @@
 module G = Pg_graph.Property_graph
 
-type engine = Naive | Indexed
+type engine = Naive | Indexed | Parallel
 type mode = Weak | Directives | Strong
 
 type report = {
@@ -11,17 +11,26 @@ type report = {
   engine : engine;
 }
 
-let check ?(engine = Indexed) ?(mode = Strong) ?env sch g =
-  let weak, directives, strong_extra =
-    match engine with
-    | Naive -> (Naive.weak ?env, Naive.directives ?env, Naive.strong_extra)
-    | Indexed -> (Indexed.weak ?env, Indexed.directives ?env, Indexed.strong_extra)
-  in
+let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains sch g =
   let violations =
-    match mode with
-    | Weak -> weak sch g
-    | Directives -> directives sch g
-    | Strong -> Violation.normalize (weak sch g @ directives sch g @ strong_extra sch g)
+    match engine with
+    | Parallel -> (
+      (* one snapshot, one domain pool per check *)
+      match mode with
+      | Weak -> Parallel.weak ?env ?domains sch g
+      | Directives -> Parallel.directives ?env ?domains sch g
+      | Strong -> Parallel.strong ?env ?domains sch g)
+    | Naive | Indexed -> (
+      let weak, directives, strong_extra =
+        match engine with
+        | Naive -> (Naive.weak ?env, Naive.directives ?env, Naive.strong_extra)
+        | Indexed | Parallel ->
+          (Indexed.weak ?env, Indexed.directives ?env, Indexed.strong_extra)
+      in
+      match mode with
+      | Weak -> weak sch g
+      | Directives -> directives sch g
+      | Strong -> Violation.normalize (weak sch g @ directives sch g @ strong_extra sch g))
   in
   {
     violations;
@@ -31,12 +40,14 @@ let check ?(engine = Indexed) ?(mode = Strong) ?env sch g =
     engine;
   }
 
-let conforms ?engine ?env sch g = (check ?engine ~mode:Strong ?env sch g).violations = []
+let conforms ?engine ?env ?domains sch g =
+  (check ?engine ~mode:Strong ?env ?domains sch g).violations = []
 
-let weakly_satisfies ?engine ?env sch g = (check ?engine ~mode:Weak ?env sch g).violations = []
+let weakly_satisfies ?engine ?env ?domains sch g =
+  (check ?engine ~mode:Weak ?env ?domains sch g).violations = []
 
-let satisfies_directives ?engine ?env sch g =
-  (check ?engine ~mode:Directives ?env sch g).violations = []
+let satisfies_directives ?engine ?env ?domains sch g =
+  (check ?engine ~mode:Directives ?env ?domains sch g).violations = []
 
 let violated_rules report =
   List.filter
@@ -45,7 +56,11 @@ let violated_rules report =
 
 let pp_report ppf report =
   let mode_name = function Weak -> "weak" | Directives -> "directives" | Strong -> "strong" in
-  let engine_name = function Naive -> "naive" | Indexed -> "indexed" in
+  let engine_name = function
+    | Naive -> "naive"
+    | Indexed -> "indexed"
+    | Parallel -> "parallel"
+  in
   if report.violations = [] then
     Format.fprintf ppf "valid (%s satisfaction; %d nodes, %d edges; %s engine)"
       (mode_name report.mode) report.nodes_checked report.edges_checked

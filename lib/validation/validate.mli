@@ -7,6 +7,9 @@
 type engine =
   | Naive  (** executable specification; quadratic pair rules *)
   | Indexed  (** hash-indexed; near-linear *)
+  | Parallel
+      (** the {!Indexed} kernels sharded across OCaml 5 domains;
+          reports are byte-identical to [Indexed] *)
 
 type mode =
   | Weak  (** Definition 5.1: WS1–WS4 *)
@@ -25,14 +28,17 @@ val check :
   ?engine:engine ->
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   report
-(** Defaults: [engine = Indexed], [mode = Strong]. *)
+(** Defaults: [engine = Indexed], [mode = Strong].  [domains] (default:
+    all cores) only affects the [Parallel] engine. *)
 
 val conforms :
   ?engine:engine ->
   ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   bool
@@ -41,6 +47,7 @@ val conforms :
 val weakly_satisfies :
   ?engine:engine ->
   ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   bool
@@ -48,6 +55,7 @@ val weakly_satisfies :
 val satisfies_directives :
   ?engine:engine ->
   ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   bool

@@ -92,7 +92,28 @@ let compare v1 v2 =
   | c -> c
 
 let equal v1 v2 = compare v1 v2 = 0
-let normalize vs = List.sort_uniq compare vs
+
+(* Normalization must be independent of the order violations were
+   accumulated in — the parallel engine merges per-shard lists in a
+   nondeterministic order.  [compare] ignores messages, so when the same
+   (rule, subject) is reported with different messages (e.g. one field
+   @required by two owners), break the tie on the message text and keep
+   the least: the survivor is then a function of the violation *set*, not
+   of engine scheduling. *)
+let compare_with_message v1 v2 =
+  match compare v1 v2 with
+  | 0 -> String.compare v1.message v2.message
+  | c -> c
+
+let normalize vs =
+  let sorted = List.sort compare_with_message vs in
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | [ v ] -> List.rev (v :: acc)
+    | v1 :: v2 :: rest ->
+      if equal v1 v2 then dedup acc (v1 :: rest) else dedup (v1 :: acc) (v2 :: rest)
+  in
+  dedup [] sorted
 
 let pp_subject ppf = function
   | Node v -> Format.fprintf ppf "node n%d" v

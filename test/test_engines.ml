@@ -1,12 +1,18 @@
 (* Differential and fault-injection testing of the validation engines.
 
-   - Naive and Indexed must agree on arbitrary (schema, graph) pairs,
-     including garbage graphs (fuzz).
+   - Naive, Indexed and Parallel must agree on arbitrary (schema, graph)
+     pairs, including garbage graphs (fuzz) and graphs with nodes/edges
+     removed after generation (exercises id-sparse universes).
    - Conformant graphs generated from random schemas must validate.
-   - Every Corruption mutator must make its targeted rule fire, in both
-     engines. *)
+   - Every Corruption mutator must make its targeted rule fire, in all
+     engines.
+   - Indexed and Parallel must produce byte-identical reports, not just
+     Violation.equal ones (messages included).
+   - Float key properties with nan and -0.0 must group consistently in
+     DS7 across all engines. *)
 
 module G = Graphql_pg.Property_graph
+module Value = Graphql_pg.Value
 module Val = Graphql_pg.Validate
 module Vi = Graphql_pg.Violation
 module Schema_gen = Graphql_pg.Schema_gen
@@ -15,15 +21,44 @@ module Corruption = Graphql_pg.Corruption
 
 let check_bool = Alcotest.(check bool)
 
+(* Three-way agreement.  Parallel runs with 2 domains so that sharding,
+   cross-domain merging and normalization are actually exercised even on
+   single-core CI hosts. *)
 let engines_agree sch g =
   let naive = (Val.check ~engine:Val.Naive sch g).Val.violations in
   let indexed = (Val.check ~engine:Val.Indexed sch g).Val.violations in
-  List.equal Vi.equal naive indexed
+  let parallel = (Val.check ~engine:Val.Parallel ~domains:2 sch g).Val.violations in
+  List.equal Vi.equal naive indexed && List.equal Vi.equal indexed parallel
+
+(* Indexed and Parallel share kernels, so their reports must be
+   byte-identical, message strings included. *)
+let reports_byte_identical sch g =
+  let indexed =
+    List.map Vi.to_string (Val.check ~engine:Val.Indexed sch g).Val.violations
+  in
+  let parallel =
+    List.map Vi.to_string
+      (Val.check ~engine:Val.Parallel ~domains:2 sch g).Val.violations
+  in
+  List.equal String.equal indexed parallel
 
 let seeded_rng seed = Random.State.make [| seed; 0xBEEF |]
 
+(* Remove roughly 1/8 of the nodes and edges of a generated graph, so the
+   surviving id spaces are sparse (ids are no longer contiguous and the
+   arrays snapshotted by the engines skip holes). *)
+let decimate rng g =
+  let g =
+    List.fold_left
+      (fun g e -> if Random.State.int rng 8 = 0 then G.remove_edge g e else g)
+      g (G.edges g)
+  in
+  List.fold_left
+    (fun g v -> if Random.State.int rng 8 = 0 then G.remove_node g v else g)
+    g (G.nodes g)
+
 let prop_engines_agree_on_fuzz =
-  QCheck2.Test.make ~name:"Naive = Indexed on fuzz graphs" ~count:150
+  QCheck2.Test.make ~name:"Naive = Indexed = Parallel on fuzz graphs" ~count:150
     QCheck2.Gen.(int_bound 1_000_000)
     (fun seed ->
       let rng = seeded_rng seed in
@@ -32,13 +67,24 @@ let prop_engines_agree_on_fuzz =
       engines_agree sch g)
 
 let prop_engines_agree_on_social =
-  QCheck2.Test.make ~name:"Naive = Indexed on corrupted social graphs" ~count:10
+  QCheck2.Test.make ~name:"Naive = Indexed = Parallel on corrupted social graphs"
+    ~count:10
     QCheck2.Gen.(int_bound 1_000_000)
     (fun seed ->
       let sch = Graphql_pg.Social.schema () in
       let g = Graphql_pg.Social.generate ~seed ~persons:30 () in
       let g = Graphql_pg.Social.corrupt_uniformly ~seed ~rate:0.1 sch g in
-      engines_agree sch g)
+      engines_agree sch g && reports_byte_identical sch g)
+
+let prop_engines_agree_on_decimated =
+  QCheck2.Test.make ~name:"engines agree on graphs with removed nodes/edges"
+    ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let sch = Graphql_pg.Social.schema () in
+      let g = Graphql_pg.Social.generate ~seed ~persons:20 () in
+      let g = decimate (seeded_rng seed) g in
+      engines_agree sch g && reports_byte_identical sch g)
 
 let prop_conformant_graphs_validate =
   QCheck2.Test.make ~name:"Instance_gen.conformant graphs strongly satisfy" ~count:40
@@ -49,6 +95,59 @@ let prop_conformant_graphs_validate =
       match Instance_gen.conformant ~target_nodes:20 sch with
       | Some g -> Val.conforms sch g && engines_agree sch g
       | None -> true (* all object types unsatisfiable within bounds: fine *))
+
+(* DS7 with tricky floats: nan = nan and -0.0 = 0.0 under Value.equal, so
+   two nodes whose key property is nan (or -0.0 vs 0.0) collide.  The
+   parallel engine groups keys by a serialized form, which must agree with
+   Value.equal on these edge cases. *)
+let float_key_schema () =
+  Graphql_pg.schema_of_string_exn
+    "type P @key(fields: [\"x\"]) { x: Float }"
+
+let float_key_values =
+  [ Some (Value.Float Float.nan);
+    Some (Value.Float (-0.0));
+    Some (Value.Float 0.0);
+    Some (Value.Float 1.5);
+    Some (Value.Int 3);
+    None (* property absent *) ]
+
+let prop_engines_agree_on_float_keys =
+  QCheck2.Test.make ~name:"engines agree on nan/-0.0 float keys (DS7)" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = float_key_schema () in
+      let n = 4 + Random.State.int rng 6 in
+      let g = ref G.empty in
+      for _ = 1 to n do
+        let props =
+          match List.nth float_key_values (Random.State.int rng 6) with
+          | Some v -> [ ("x", v) ]
+          | None -> []
+        in
+        let g', _ = G.add_node !g ~label:"P" ~props () in
+        g := g'
+      done;
+      engines_agree sch !g && reports_byte_identical sch !g)
+
+let test_float_key_collisions () =
+  let sch = float_key_schema () in
+  let add g props = fst (G.add_node g ~label:"P" ~props ()) in
+  (* nan vs nan collides; -0.0 vs 0.0 collides; nan vs 0.0 does not *)
+  let g = add (add G.empty [ ("x", Value.Float Float.nan) ]) [ ("x", Value.Float Float.nan) ] in
+  let fired engine = List.mem Vi.DS7 (Val.violated_rules (Val.check ~engine sch g)) in
+  check_bool "nan/nan fires DS7 (naive)" true (fired Val.Naive);
+  check_bool "nan/nan fires DS7 (indexed)" true (fired Val.Indexed);
+  check_bool "nan/nan fires DS7 (parallel)" true (fired Val.Parallel);
+  let g2 = add (add G.empty [ ("x", Value.Float (-0.0)) ]) [ ("x", Value.Float 0.0) ] in
+  let fired2 engine = List.mem Vi.DS7 (Val.violated_rules (Val.check ~engine sch g2)) in
+  check_bool "-0.0/0.0 fires DS7 (naive)" true (fired2 Val.Naive);
+  check_bool "-0.0/0.0 fires DS7 (parallel)" true (fired2 Val.Parallel);
+  let g3 = add (add G.empty [ ("x", Value.Float Float.nan) ]) [ ("x", Value.Float 0.0) ] in
+  let fired3 engine = List.mem Vi.DS7 (Val.violated_rules (Val.check ~engine sch g3)) in
+  check_bool "nan/0.0 does not fire DS7 (naive)" false (fired3 Val.Naive);
+  check_bool "nan/0.0 does not fire DS7 (parallel)" false (fired3 Val.Parallel)
 
 (* fault injection: per-rule mutators *)
 let corruption_case rule =
@@ -85,7 +184,10 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_engines_agree_on_fuzz;
     QCheck_alcotest.to_alcotest prop_engines_agree_on_social;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_decimated;
     QCheck_alcotest.to_alcotest prop_conformant_graphs_validate;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_float_keys;
+    Alcotest.test_case "DS7 float key edge cases" `Quick test_float_key_collisions;
   ]
   @ List.map (fun rule -> QCheck_alcotest.to_alcotest (corruption_case rule)) Vi.all_rules
   @ [ Alcotest.test_case "mutate_any invalidates" `Quick test_mutate_any_always_invalidates ]
