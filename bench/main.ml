@@ -177,6 +177,40 @@ let parallel_scaling () =
       host_domains
 
 (* ------------------------------------------------------------------ *)
+(* E16 — the compiled pipeline: schema plan compiled once, snapshot +
+   integer kernels per run.  Isolates compile cost from per-run cost and
+   compares the fused single-pass engine with the per-rule slicing one.  *)
+
+let compiled_pipeline () =
+  section "E16: compiled validation — plan reuse across runs (wall clock)";
+  let sch = GP.Social.schema () in
+  let plan = GP.Validate.compile sch in
+  let compile_ms = time_ms (fun () -> GP.Validate.compile sch) in
+  Printf.printf "  Plan.compile (social schema): %.3f ms, %d interned symbols\n" compile_ms
+    (GP.Symtab.size (GP.Plan.symtab plan));
+  let sizes = if fast then [ 200; 1000 ] else [ 1000; 4000; 10000; 20000 ] in
+  Printf.printf "  %-8s %-8s %-8s %12s %12s %12s %12s\n" "persons" "nodes" "edges"
+    "linear (ms)" "indexed (ms)" "par (ms)" "snapshot";
+  List.iter
+    (fun persons ->
+      let g = GP.Social.generate ~persons () in
+      let nodes = GP.Property_graph.node_count g
+      and edges = GP.Property_graph.edge_count g in
+      let run engine =
+        time_ms (fun () -> GP.Validate.check_compiled ~engine plan g)
+      in
+      let snapshot_ms =
+        time_ms (fun () -> GP.Snapshot.build (GP.Plan.symtab plan) g)
+      in
+      Printf.printf "  %-8d %-8d %-8d %12.2f %12.2f %12.2f %9.2f ms\n%!" persons nodes
+        edges (run GP.Validate.Linear) (run GP.Validate.Indexed)
+        (run GP.Validate.Parallel) snapshot_ms)
+    sizes;
+  Printf.printf
+    "  (check_compiled reuses the schema plan; \"snapshot\" is the per-run cost of\n\
+    \   freezing the graph into the CSR view, included in the engine columns)\n"
+
+(* ------------------------------------------------------------------ *)
 (* E7b — per-mode cost breakdown on a fixed workload                    *)
 
 let rule_breakdown () =
@@ -500,6 +534,19 @@ type OT1 { g: OT3! @required @uniqueForTarget }
       (* E15 *)
       Test.make ~name:"e15_validate_parallel_300"
         (Staged.stage (fun () -> GP.Validate.check ~engine:GP.Validate.Parallel sch g300));
+      (* E16 *)
+      Test.make ~name:"e16_validate_compiled_indexed_300"
+        (Staged.stage
+           (let plan = GP.Validate.compile sch in
+            fun () -> GP.Validate.check_compiled ~engine:GP.Validate.Indexed plan g300));
+      Test.make ~name:"e16_validate_compiled_linear_300"
+        (Staged.stage
+           (let plan = GP.Validate.compile sch in
+            fun () -> GP.Validate.check_compiled ~engine:GP.Validate.Linear plan g300));
+      Test.make ~name:"e16_snapshot_build_300"
+        (Staged.stage
+           (let plan = GP.Validate.compile sch in
+            fun () -> GP.Snapshot.build (GP.Plan.symtab plan) g300));
       (* E3 *)
       Test.make ~name:"e3_cardinality_probe"
         (Staged.stage
@@ -565,6 +612,7 @@ let () =
   cardinality_table ();
   validation_scaling ();
   parallel_scaling ();
+  compiled_pipeline ();
   rule_breakdown ();
   example_6_1 ();
   sat_reduction_scaling ();

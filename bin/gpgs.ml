@@ -99,6 +99,7 @@ let engine_conv =
   Arg.enum
     [
       ("indexed", GP.Validate.Indexed);
+      ("linear", GP.Validate.Linear);
       ("naive", GP.Validate.Naive);
       ("parallel", GP.Validate.Parallel);
     ]
@@ -126,7 +127,7 @@ let validate_cmd =
     Arg.(
       value
       & opt engine_conv GP.Validate.Indexed
-      & info [ "engine" ] ~doc:"naive, indexed, or parallel.")
+      & info [ "engine" ] ~doc:"naive, linear, indexed, or parallel.")
   in
   let mode =
     Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")

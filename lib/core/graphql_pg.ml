@@ -12,14 +12,16 @@
 
     Subsystems:
     - {!Sdl} (lexer/parser/printer for the GraphQL SDL),
-    - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats} (the
-      Property Graph substrate),
+    - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats}, plus the
+      compiled representations {!Symtab} (string interner) and {!Snapshot}
+      (frozen CSR view) (the Property Graph substrate),
     - {!Wrapped}, {!Schema}, {!Subtype}, {!Values_w}, {!Consistency},
-      {!Of_ast}, {!To_sdl}, {!Api_extension} (the formal schema model of
-      Section 4),
-    - {!Violation}, {!Validate} (+ engines {!Naive}, {!Indexed}, the
-      multicore {!Parallel}, and the update-driven {!Incremental}) (the
-      validation semantics of Section 5),
+      {!Of_ast}, {!To_sdl}, {!Api_extension}, and the compiled validation
+      {!Plan} (the formal schema model of Section 4),
+    - {!Violation}, {!Validate} (+ engines {!Naive}, the fused {!Linear},
+      the per-rule {!Indexed}, the multicore {!Parallel} — the latter
+      three consume one compiled plan — and the update-driven
+      {!Incremental}) (the validation semantics of Section 5),
     - {!Cnf}, {!Dpll}, {!Alcqi}, {!Tableau}, {!Translate}, {!Counting},
       {!Model_search}, {!Reduction}, {!Satisfiability} (the satisfiability
       analysis of Section 6),
@@ -47,6 +49,8 @@ module Builder = Pg_graph.Builder
 module Pgf = Pg_graph.Pgf
 module Graphml = Pg_graph.Graphml
 module Stats = Pg_graph.Stats
+module Symtab = Pg_graph.Symtab
+module Snapshot = Pg_graph.Snapshot
 module Wrapped = Pg_schema.Wrapped
 module Schema = Pg_schema.Schema
 module Subtype = Pg_schema.Subtype
@@ -56,9 +60,11 @@ module Of_ast = Pg_schema.Of_ast
 module To_sdl = Pg_schema.To_sdl
 module Api_extension = Pg_schema.Api_extension
 module Schema_doc = Pg_schema.Schema_doc
+module Plan = Pg_schema.Plan
 module Violation = Pg_validation.Violation
 module Validate = Pg_validation.Validate
 module Naive = Pg_validation.Naive
+module Linear = Pg_validation.Linear
 module Indexed = Pg_validation.Indexed
 module Parallel = Pg_validation.Parallel
 module Incremental = Pg_validation.Incremental

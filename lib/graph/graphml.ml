@@ -1,5 +1,11 @@
 module Sm = Map.Make (String)
 
+type error = { message : string }
+
+let pp_error ppf e = Format.fprintf ppf "GraphML parse error: %s" e.message
+
+exception Fail of string
+
 let xml_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -14,33 +20,72 @@ let xml_escape s =
     s;
   Buffer.contents buf
 
-let attr_type (v : Value.t) =
+let xml_unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '&' then begin
+       match String.index_from_opt s !i ';' with
+       | Some j when j - !i <= 6 ->
+         (match String.sub s !i (j - !i + 1) with
+         | "&amp;" -> Buffer.add_char buf '&'
+         | "&lt;" -> Buffer.add_char buf '<'
+         | "&gt;" -> Buffer.add_char buf '>'
+         | "&quot;" -> Buffer.add_char buf '"'
+         | "&apos;" -> Buffer.add_char buf '\''
+         | ent -> raise (Fail (Printf.sprintf "unknown XML entity %S" ent)));
+         i := j
+       | _ -> raise (Fail "unterminated XML entity")
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+
+(* The kind of a single value.  Kinds refine GraphML's attr.type so that
+   the value vocabulary round-trips: int/double/boolean/string are the
+   standard types; id/enum/list (and mixed, for a property used at more
+   than one kind) are declared as attr.type="string" with a pg.kind
+   attribute, their values rendered in PGF literal syntax. *)
+let kind_of (v : Value.t) =
   match v with
   | Value.Int _ -> "int"
   | Value.Float _ -> "double"
   | Value.Bool _ -> "boolean"
-  | Value.String _ | Value.Id _ | Value.Enum _ | Value.List _ -> "string"
+  | Value.String _ -> "string"
+  | Value.Id _ -> "id"
+  | Value.Enum _ -> "enum"
+  | Value.List _ -> "list"
 
-let attr_value (v : Value.t) =
-  match v with
-  | Value.Int i -> string_of_int i
-  | Value.Float f -> Printf.sprintf "%.17g" f
-  | Value.Bool b -> string_of_bool b
-  | Value.String s | Value.Id s | Value.Enum s -> s
-  | Value.List _ -> Value.to_string v
+let is_standard = function "int" | "double" | "boolean" | "string" -> true | _ -> false
 
-(* Collect one key declaration per (domain, property name); conflicting
-   types across nodes degrade to string. *)
+let render_value kind (v : Value.t) =
+  match kind, v with
+  | "int", Value.Int i -> string_of_int i
+  | "double", Value.Float f -> Printf.sprintf "%.17g" f
+  | "boolean", Value.Bool b -> string_of_bool b
+  | "string", Value.String s -> s
+  | "id", Value.Id s -> s
+  | "enum", Value.Enum s -> s
+  | _, v -> Pgf.value_to_string v
+
+(* One key declaration per (domain, property name); a name used at
+   several kinds degrades to "mixed". *)
 let collect_keys g =
   let merge keys domain props =
     List.fold_left
       (fun keys (name, v) ->
         let id = domain ^ "_" ^ name in
-        let ty = attr_type v in
+        let kind = kind_of v in
         Sm.update id
           (function
-            | Some (d, n, existing) -> Some (d, n, if existing = ty then existing else "string")
-            | None -> Some (domain, name, ty))
+            | Some (d, n, existing) ->
+              Some (d, n, if String.equal existing kind then existing else "mixed")
+            | None -> Some (domain, name, kind))
           keys)
       keys props
   in
@@ -63,10 +108,19 @@ let to_string g =
   line {|  <key id="edge_label" for="edge" attr.name="label" attr.type="string"/>|};
   let keys = collect_keys g in
   Sm.iter
-    (fun id (domain, name, ty) ->
-      line {|  <key id="%s" for="%s" attr.name="%s" attr.type="%s"/>|} (xml_escape id) domain
-        (xml_escape name) ty)
+    (fun id (domain, name, kind) ->
+      if is_standard kind then
+        line {|  <key id="%s" for="%s" attr.name="%s" attr.type="%s"/>|} (xml_escape id)
+          domain (xml_escape name) kind
+      else
+        line {|  <key id="%s" for="%s" attr.name="%s" attr.type="string" pg.kind="%s"/>|}
+          (xml_escape id) domain (xml_escape name) kind)
     keys;
+  let kind_at domain name =
+    match Sm.find_opt (domain ^ "_" ^ name) keys with
+    | Some (_, _, kind) -> kind
+    | None -> "mixed"
+  in
   line {|  <graph id="G" edgedefault="directed">|};
   List.iter
     (fun v ->
@@ -75,7 +129,7 @@ let to_string g =
       List.iter
         (fun (name, value) ->
           line {|      <data key="node_%s">%s</data>|} (xml_escape name)
-            (xml_escape (attr_value value)))
+            (xml_escape (render_value (kind_at "node" name) value)))
         (G.node_props g v);
       line {|    </node>|})
     (G.nodes g);
@@ -88,7 +142,7 @@ let to_string g =
       List.iter
         (fun (name, value) ->
           line {|      <data key="edge_%s">%s</data>|} (xml_escape name)
-            (xml_escape (attr_value value)))
+            (xml_escape (render_value (kind_at "edge" name) value)))
         (G.edge_props g e);
       line {|    </edge>|})
     (G.edges g);
@@ -100,3 +154,253 @@ let save path g =
   let oc = open_out_bin path in
   output_string oc (to_string g);
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Import: a minimal XML event scanner covering the subset {!to_string}
+   emits (declarations, comments, start/end tags with double-quoted
+   attributes, text content; no CDATA, no nested documents).            *)
+
+type event =
+  | Start of string * (string * string) list * bool  (* name, attrs, self-closing *)
+  | End of string
+  | Text of string
+
+let scan_events (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let rest_has prefix =
+    !pos + String.length prefix <= n && String.sub s !pos (String.length prefix) = prefix
+  in
+  let skip_until sub =
+    match
+      let m = String.length sub in
+      let rec find i = if i + m > n then None else if String.sub s i m = sub then Some i else find (i + 1) in
+      find !pos
+    with
+    | Some i -> pos := i + String.length sub
+    | None -> raise (Fail (Printf.sprintf "unterminated construct (no %S)" sub))
+  in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  in
+  let name () =
+    let start = !pos in
+    while !pos < n && is_name_char s.[!pos] do incr pos done;
+    if !pos = start then raise (Fail "expected an XML name");
+    String.sub s start (!pos - start)
+  in
+  let skip_ws () = while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r') do incr pos done in
+  while !pos < n do
+    if s.[!pos] = '<' then begin
+      if rest_has "<?" then skip_until "?>"
+      else if rest_has "<!--" then skip_until "-->"
+      else if rest_has "</" then begin
+        pos := !pos + 2;
+        let tag = name () in
+        skip_ws ();
+        if !pos < n && s.[!pos] = '>' then incr pos else raise (Fail "expected '>'");
+        emit (End tag)
+      end
+      else begin
+        incr pos;
+        let tag = name () in
+        let attrs = ref [] in
+        let self_closing = ref false in
+        let rec attrs_loop () =
+          skip_ws ();
+          if !pos >= n then raise (Fail "unterminated tag")
+          else if s.[!pos] = '>' then incr pos
+          else if rest_has "/>" then begin
+            pos := !pos + 2;
+            self_closing := true
+          end
+          else begin
+            let a = name () in
+            skip_ws ();
+            if not (!pos < n && s.[!pos] = '=') then raise (Fail "expected '='");
+            incr pos;
+            skip_ws ();
+            if not (!pos < n && s.[!pos] = '"') then raise (Fail "expected '\"'");
+            incr pos;
+            let start = !pos in
+            while !pos < n && s.[!pos] <> '"' do incr pos done;
+            if !pos >= n then raise (Fail "unterminated attribute value");
+            attrs := (a, xml_unescape (String.sub s start (!pos - start))) :: !attrs;
+            incr pos;
+            attrs_loop ()
+          end
+        in
+        attrs_loop ();
+        emit (Start (tag, List.rev !attrs, !self_closing))
+      end
+    end
+    else begin
+      let start = !pos in
+      while !pos < n && s.[!pos] <> '<' do incr pos done;
+      let text = String.sub s start (!pos - start) in
+      if String.trim text <> "" then emit (Text (xml_unescape text))
+    end
+  done;
+  List.rev !events
+
+let decode_value kind text =
+  match kind with
+  | "int" -> (
+    match int_of_string_opt text with
+    | Some i -> Value.Int i
+    | None -> raise (Fail (Printf.sprintf "malformed int %S" text)))
+  | "double" -> (
+    match float_of_string_opt text with
+    | Some f -> Value.Float f
+    | None -> raise (Fail (Printf.sprintf "malformed double %S" text)))
+  | "boolean" -> (
+    match bool_of_string_opt text with
+    | Some b -> Value.Bool b
+    | None -> raise (Fail (Printf.sprintf "malformed boolean %S" text)))
+  | "string" -> Value.String text
+  | "id" -> Value.Id text
+  | "enum" -> Value.Enum text
+  | "list" | "mixed" -> (
+    match Pgf.value_of_string text with
+    | Ok v -> v
+    | Error e -> raise (Fail (Printf.sprintf "malformed %s value %S: %s" kind text e.Pgf.message)))
+  | k -> raise (Fail (Printf.sprintf "unknown attr.type %S" k))
+
+type pending = {
+  p_domain : string;  (* "node" or "edge" *)
+  p_xml_id : string;
+  p_source : string;  (* edges only *)
+  p_target : string;
+  mutable p_label : string option;
+  mutable p_props : (string * Value.t) list;  (* reversed *)
+}
+
+let parse text =
+  try
+    let events = scan_events text in
+    let keys : (string, string * string) Hashtbl.t = Hashtbl.create 16 in
+    let nodes = ref [] and edges = ref [] in
+    let current : pending option ref = ref None in
+    let data_key : string option ref = ref None in
+    let data_text = Buffer.create 64 in
+    let attr name attrs =
+      match List.assoc_opt name attrs with
+      | Some v -> v
+      | None -> raise (Fail (Printf.sprintf "missing attribute %S" name))
+    in
+    let finish_data () =
+      match !current, !data_key with
+      | _, None -> ()
+      | None, Some _ -> raise (Fail "<data> outside a node or edge")
+      | Some p, Some key ->
+        let text = Buffer.contents data_text in
+        (if String.equal key (p.p_domain ^ "_label") then p.p_label <- Some text
+         else begin
+           match Hashtbl.find_opt keys key with
+           | Some (name, kind) -> p.p_props <- (name, decode_value kind text) :: p.p_props
+           | None -> raise (Fail (Printf.sprintf "undeclared data key %S" key))
+         end);
+        data_key := None
+    in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Start ("key", attrs, _) ->
+          let kind =
+            match List.assoc_opt "pg.kind" attrs with
+            | Some k -> k
+            | None -> attr "attr.type" attrs
+          in
+          Hashtbl.replace keys (attr "id" attrs) (attr "attr.name" attrs, kind)
+        | Start ("node", attrs, self) ->
+          let p =
+            {
+              p_domain = "node";
+              p_xml_id = attr "id" attrs;
+              p_source = "";
+              p_target = "";
+              p_label = None;
+              p_props = [];
+            }
+          in
+          if self then nodes := p :: !nodes else current := Some p
+        | Start ("edge", attrs, self) ->
+          let p =
+            {
+              p_domain = "edge";
+              p_xml_id = (match List.assoc_opt "id" attrs with Some i -> i | None -> "");
+              p_source = attr "source" attrs;
+              p_target = attr "target" attrs;
+              p_label = None;
+              p_props = [];
+            }
+          in
+          if self then edges := p :: !edges else current := Some p
+        | Start ("data", attrs, self) ->
+          if self then ()
+          else begin
+            data_key := Some (attr "key" attrs);
+            Buffer.clear data_text
+          end
+        | Start (("graphml" | "graph"), _, _) -> ()
+        | Start (t, _, _) -> raise (Fail (Printf.sprintf "unexpected element <%s>" t))
+        | Text t -> if !data_key <> None then Buffer.add_string data_text t
+        | End "data" -> finish_data ()
+        | End "node" | End "edge" -> (
+          match !current with
+          | Some p ->
+            (if p.p_domain = "node" then nodes := p :: !nodes else edges := p :: !edges);
+            current := None
+          | None -> raise (Fail "unmatched end tag"))
+        | End _ -> ())
+      events;
+    let by_xml_id : (string, Property_graph.node) Hashtbl.t = Hashtbl.create 64 in
+    let g =
+      List.fold_left
+        (fun g p ->
+          let label =
+            match p.p_label with
+            | Some l -> l
+            | None -> raise (Fail (Printf.sprintf "node %S has no label" p.p_xml_id))
+          in
+          let g, v = Property_graph.add_node g ~label ~props:(List.rev p.p_props) () in
+          if Hashtbl.mem by_xml_id p.p_xml_id then
+            raise (Fail (Printf.sprintf "duplicate node id %S" p.p_xml_id));
+          Hashtbl.add by_xml_id p.p_xml_id v;
+          g)
+        Property_graph.empty (List.rev !nodes)
+    in
+    let node_of id =
+      match Hashtbl.find_opt by_xml_id id with
+      | Some v -> v
+      | None -> raise (Fail (Printf.sprintf "unknown node id %S" id))
+    in
+    let g =
+      List.fold_left
+        (fun g p ->
+          let label =
+            match p.p_label with
+            | Some l -> l
+            | None -> raise (Fail (Printf.sprintf "edge %S has no label" p.p_xml_id))
+          in
+          let g, _ =
+            Property_graph.add_edge g ~label ~props:(List.rev p.p_props)
+              (node_of p.p_source) (node_of p.p_target)
+          in
+          g)
+        g (List.rev !edges)
+    in
+    Ok g
+  with Fail message -> Result.Error { message }
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text

@@ -1,11 +1,31 @@
-(** GraphML export, for viewing Property Graphs in standard tooling
-    (Gephi, yEd, Cytoscape).
+(** GraphML import/export, for exchanging Property Graphs with standard
+    tooling (Gephi, yEd, Cytoscape).
 
     Nodes and edges carry their label in a [label] attribute; every
-    property becomes a data key (typed [string]/[int]/[double]/[boolean];
-    [ID], enum and list values are rendered as strings).  Export only —
-    GraphML cannot round-trip the value vocabulary faithfully, so PGF
-    ({!Pgf}) remains the interchange format. *)
+    property becomes a data key.  The four standard GraphML value types
+    ([int], [double], [boolean], [string]) are used where they fit; [ID],
+    enum and list values — and properties used at more than one type —
+    are declared as [attr.type="string"] with a [pg.kind] extension
+    attribute and rendered in PGF literal syntax, so the full value
+    vocabulary round-trips: [parse (to_string g)] yields a graph equal to
+    [g] up to re-numbering of ids (exactly equal when ids are dense and
+    in insertion order).  Standard tools ignore [pg.kind] and read the
+    string rendering.
+
+    {!parse} covers the XML subset {!to_string} emits (it is an exchange
+    format for this toolchain, not a general XML reader).  A property
+    named [label] would collide with the label key and is not
+    round-trippable. *)
+
+type error = { message : string }
+
+val pp_error : Format.formatter -> error -> unit
 
 val to_string : Property_graph.t -> string
 val save : string -> Property_graph.t -> unit
+
+val parse : string -> (Property_graph.t, error) result
+(** Parse a GraphML document produced by {!to_string}.  Nodes receive
+    fresh ids in document order. *)
+
+val load : string -> (Property_graph.t, error) result

@@ -182,11 +182,20 @@ module Scan = struct
         end
       in
       Value.List (elements [])
+    | Some '-' when sc.pos + 1 < String.length sc.s && is_ident_start sc.s.[sc.pos + 1] ->
+      (* the printer renders negative infinity as "-inf" *)
+      advance sc;
+      (match ident sc with
+      | "inf" | "infinity" -> Value.Float Float.neg_infinity
+      | name -> fail sc (Printf.sprintf "unknown numeric literal -%s" name))
     | Some c when c = '-' || (c >= '0' && c <= '9') -> number sc
     | Some c when is_ident_start c -> (
+      (* true/false/nan/inf are value keywords, not enum symbols *)
       match ident sc with
       | "true" -> Value.Bool true
       | "false" -> Value.Bool false
+      | "nan" -> Value.Float Float.nan
+      | "inf" | "infinity" -> Value.Float Float.infinity
       | name -> Value.Enum name)
     | Some c -> fail sc (Printf.sprintf "expected a value, found %C" c)
     | None -> fail sc "expected a value, found end of line"
@@ -315,6 +324,19 @@ let print g =
       Buffer.add_char buf '\n')
     (Property_graph.edges g);
   Buffer.contents buf
+
+let value_to_string v =
+  let buf = Buffer.create 16 in
+  print_value buf v;
+  Buffer.contents buf
+
+let value_of_string s =
+  try
+    let sc = Scan.make 1 s in
+    let v = Scan.value sc in
+    if Scan.at_end sc then Ok v
+    else Result.Error { line = 1; message = "trailing characters after value" }
+  with Error e -> Result.Error e
 
 let load path =
   let ic = open_in_bin path in

@@ -13,9 +13,11 @@
 
     Values use GraphQL literal syntax with one extension: [@"..."] denotes a
     value of the [ID] scalar type (so that printing and parsing round-trip;
-    plain ["..."] is a [String]).  Node handles ([n0]) are arbitrary
-    identifiers scoped to the document; edge handles are optional
-    documentation and are re-numbered on input. *)
+    plain ["..."] is a [String]).  The identifiers [true], [false], [nan],
+    [inf] (and [-inf]) are value keywords — non-finite floats round-trip,
+    at the price that an enum symbol cannot carry those four names.  Node
+    handles ([n0]) are arbitrary identifiers scoped to the document; edge
+    handles are optional documentation and are re-numbered on input. *)
 
 type error = { line : int; message : string }
 
@@ -28,6 +30,15 @@ val print : Property_graph.t -> string
 (** Serialize; [parse (print g)] succeeds and yields a graph {!Property_graph.equal}
     to [g] up to re-numbering of ids (exactly equal when ids are dense and
     in insertion order, as produced by {!Property_graph.add_node}). *)
+
+val value_to_string : Value.t -> string
+(** One value in PGF literal syntax (the right-hand side of a property). *)
+
+val value_of_string : string -> (Value.t, error) result
+(** Parse one value in PGF literal syntax; the whole string must be
+    consumed.  [value_of_string (value_to_string v)] yields a value
+    {!Value.equal} to [v] (bit-exact for finite floats, [nan] and the
+    infinities; [-0.0] round-trips to [-0.0]). *)
 
 val load : string -> (Property_graph.t, error) result
 (** [load path] reads and parses a file. *)

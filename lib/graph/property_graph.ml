@@ -157,6 +157,12 @@ let edge_prop g e name = prop_in g.edge_props e name
 let props_in store id =
   match Im.find_opt id store with None -> [] | Some props -> Sm.bindings props
 
+let prop_count_in store id =
+  match Im.find_opt id store with None -> 0 | Some props -> Sm.cardinal props
+
+let node_prop_count g v = prop_count_in g.node_props v
+let edge_prop_count g e = prop_count_in g.edge_props e
+
 let node_props g v = props_in g.node_props v
 let edge_props g e = props_in g.edge_props e
 let nodes g = Im.fold (fun v _ acc -> v :: acc) g.node_label [] |> List.rev

@@ -96,6 +96,11 @@ val node_props : t -> node -> (string * Value.t) list
 
 val edge_props : t -> edge -> (string * Value.t) list
 
+val node_prop_count : t -> node -> int
+(** [List.length (node_props g v)] without materializing the list. *)
+
+val edge_prop_count : t -> edge -> int
+
 val nodes : t -> node list
 (** All nodes, in insertion order. *)
 

@@ -1,0 +1,138 @@
+(* A frozen structure-of-arrays view of a Property_graph.
+
+   Built in one pass over the persistent graph, then read-only: dense
+   0-based node/edge indexes, interned label ids, CSR adjacency in both
+   directions, and per-element property vectors sorted by interned key.
+   Everything the validation kernels touch is an int array probe — no
+   string hashing, no map lookups — and the whole structure is safe to
+   share across domains once [build] returns.
+
+   CSR segments are sorted so that the pair rules become run scans:
+   - the out segment of a node is sorted by (edge label, target, edge id),
+     so WS4 runs (same label), DS1 runs (same label and target) and DS2
+     loops (target = self) are contiguous;
+   - the in segment is sorted by (edge label, source, edge id) for DS3. *)
+
+module G = Property_graph
+
+type t = {
+  n : int;  (** node count *)
+  m : int;  (** edge count *)
+  node_id : int array;  (** node index -> external id *)
+  edge_id : int array;
+  node_label : int array;  (** node index -> interned label *)
+  edge_label : int array;
+  edge_src : int array;  (** edge index -> node index *)
+  edge_tgt : int array;
+  node_props : (int * Value.t) array array;
+      (** node index -> properties sorted by interned key *)
+  edge_props : (int * Value.t) array array;
+  out_start : int array;  (** CSR offsets, length n + 1 *)
+  out_adj : int array;  (** edge indexes, segment-sorted (label, tgt, id) *)
+  in_start : int array;
+  in_adj : int array;  (** edge indexes, segment-sorted (label, src, id) *)
+}
+
+let props_array st props =
+  match props with
+  | [] -> [||]
+  | _ ->
+    let arr = Array.of_list (List.map (fun (k, v) -> (Symtab.intern st k, v)) props) in
+    (* bindings come sorted by name; interned ids need not preserve that
+       order, so re-sort by key id for binary search *)
+    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) arr;
+    arr
+
+(* Binary search of a sorted property vector. *)
+let find_prop (props : (int * Value.t) array) key =
+  let lo = ref 0 and hi = ref (Array.length props) in
+  let found = ref None in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, v = props.(mid) in
+    if k = key then begin
+      found := Some v;
+      lo := !hi
+    end
+    else if k < key then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let sort_segments start adj ~compare_edges =
+  let n = Array.length start - 1 in
+  for i = 0 to n - 1 do
+    let lo = start.(i) and hi = start.(i + 1) in
+    if hi - lo > 1 then begin
+      let seg = Array.sub adj lo (hi - lo) in
+      Array.sort compare_edges seg;
+      Array.blit seg 0 adj lo (hi - lo)
+    end
+  done
+
+let build st g =
+  let nodes, edges = G.to_arrays g in
+  let n = Array.length nodes and m = Array.length edges in
+  let node_id = Array.map G.node_id nodes in
+  let edge_id = Array.map G.edge_id edges in
+  let index_of_id = Hashtbl.create (2 * n) in
+  Array.iteri (fun i id -> Hashtbl.add index_of_id id i) node_id;
+  let node_label = Array.map (fun v -> Symtab.intern st (G.node_label g v)) nodes in
+  let edge_label = Array.map (fun e -> Symtab.intern st (G.edge_label g e)) edges in
+  let node_props = Array.map (fun v -> props_array st (G.node_props g v)) nodes in
+  let edge_props = Array.map (fun e -> props_array st (G.edge_props g e)) edges in
+  let edge_src = Array.make m 0 and edge_tgt = Array.make m 0 in
+  Array.iteri
+    (fun j e ->
+      let v1, v2 = G.edge_ends g e in
+      edge_src.(j) <- Hashtbl.find index_of_id (G.node_id v1);
+      edge_tgt.(j) <- Hashtbl.find index_of_id (G.node_id v2))
+    edges;
+  (* CSR in both directions: count, prefix-sum, fill, sort segments *)
+  let out_start = Array.make (n + 1) 0 and in_start = Array.make (n + 1) 0 in
+  for j = 0 to m - 1 do
+    out_start.(edge_src.(j) + 1) <- out_start.(edge_src.(j) + 1) + 1;
+    in_start.(edge_tgt.(j) + 1) <- in_start.(edge_tgt.(j) + 1) + 1
+  done;
+  for i = 1 to n do
+    out_start.(i) <- out_start.(i) + out_start.(i - 1);
+    in_start.(i) <- in_start.(i) + in_start.(i - 1)
+  done;
+  let out_adj = Array.make m 0 and in_adj = Array.make m 0 in
+  let out_fill = Array.copy out_start and in_fill = Array.copy in_start in
+  for j = 0 to m - 1 do
+    out_adj.(out_fill.(edge_src.(j))) <- j;
+    out_fill.(edge_src.(j)) <- out_fill.(edge_src.(j)) + 1;
+    in_adj.(in_fill.(edge_tgt.(j))) <- j;
+    in_fill.(edge_tgt.(j)) <- in_fill.(edge_tgt.(j)) + 1
+  done;
+  sort_segments out_start out_adj ~compare_edges:(fun a b ->
+      match compare edge_label.(a) edge_label.(b) with
+      | 0 -> (
+        match compare edge_tgt.(a) edge_tgt.(b) with
+        | 0 -> compare edge_id.(a) edge_id.(b)
+        | c -> c)
+      | c -> c);
+  sort_segments in_start in_adj ~compare_edges:(fun a b ->
+      match compare edge_label.(a) edge_label.(b) with
+      | 0 -> (
+        match compare edge_src.(a) edge_src.(b) with
+        | 0 -> compare edge_id.(a) edge_id.(b)
+        | c -> c)
+      | c -> c);
+  {
+    n;
+    m;
+    node_id;
+    edge_id;
+    node_label;
+    edge_label;
+    edge_src;
+    edge_tgt;
+    node_props;
+    edge_props;
+    out_start;
+    out_adj;
+    in_start;
+    in_adj;
+  }

@@ -1,0 +1,35 @@
+(** Frozen structure-of-arrays snapshot of a {!Property_graph}.
+
+    Dense node/edge indexes, interned labels, CSR adjacency both ways and
+    sorted property vectors — the read-only substrate the compiled
+    validation kernels run on (see {!Symtab} for the interning contract).
+
+    The out segment of node [i] is [out_adj.(out_start.(i)) ..
+    out_adj.(out_start.(i+1) - 1)], sorted by (edge label, target index,
+    edge id); the in segment is sorted by (edge label, source index, edge
+    id).  Property vectors are sorted by interned key id. *)
+
+type t = {
+  n : int;
+  m : int;
+  node_id : int array;
+  edge_id : int array;
+  node_label : int array;
+  edge_label : int array;
+  edge_src : int array;
+  edge_tgt : int array;
+  node_props : (int * Value.t) array array;
+  edge_props : (int * Value.t) array array;
+  out_start : int array;
+  out_adj : int array;
+  in_start : int array;
+  in_adj : int array;
+}
+
+val build : Symtab.t -> Property_graph.t -> t
+(** One pass over the graph; interns every label and property key it
+    meets (mutating the symbol table), then freezes.  The result is safe
+    to share across domains. *)
+
+val find_prop : (int * Value.t) array -> int -> Value.t option
+(** Binary search of a sorted property vector by interned key. *)

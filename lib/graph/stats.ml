@@ -20,7 +20,7 @@ let compute g =
     G.fold_nodes
       (fun v (labels, props, mo, mi) ->
         ( bump labels (G.node_label g v),
-          props + List.length (G.node_props g v),
+          props + G.node_prop_count g v,
           max mo (List.length (G.out_edges g v)),
           max mi (List.length (G.in_edges g v)) ))
       g (Sm.empty, 0, 0, 0)
@@ -28,7 +28,7 @@ let compute g =
   let edge_labels, edge_properties =
     G.fold_edges
       (fun e (labels, props) ->
-        (bump labels (G.edge_label g e), props + List.length (G.edge_props g e)))
+        (bump labels (G.edge_label g e), props + G.edge_prop_count g e))
       g (Sm.empty, 0)
   in
   let nodes = G.node_count g and edges = G.edge_count g in

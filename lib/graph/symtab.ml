@@ -1,0 +1,43 @@
+(* A string interner: labels and property keys mapped to dense ints.
+
+   Validation compares labels billions of times on large graphs; interning
+   turns every comparison into an integer equality and every table keyed
+   by label into an array.  The reverse mapping is kept for diagnostics
+   (violation messages print names, not ids).
+
+   Interning mutates the table and is not thread-safe: all interning must
+   happen before read-only sharing across domains (the engines intern
+   during plan compilation and snapshot construction, strictly before any
+   kernel runs). *)
+
+type t = {
+  mutable names : string array; (* id -> name; first [count] slots live *)
+  mutable count : int;
+  ids : (string, int) Hashtbl.t; (* name -> id *)
+}
+
+let create ?(size_hint = 64) () =
+  { names = Array.make (max 1 size_hint) ""; count = 0; ids = Hashtbl.create size_hint }
+
+let size t = t.count
+
+let intern t name =
+  match Hashtbl.find_opt t.ids name with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    if id = Array.length t.names then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit t.names 0 bigger 0 id;
+      t.names <- bigger
+    end;
+    t.names.(id) <- name;
+    t.count <- id + 1;
+    Hashtbl.add t.ids name id;
+    id
+
+let find t name = Hashtbl.find_opt t.ids name
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Symtab.name: unknown id";
+  t.names.(id)

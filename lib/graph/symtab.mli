@@ -1,0 +1,26 @@
+(** String interner: dense integer ids for labels and property keys.
+
+    The compile-once validation pipeline resolves every schema and graph
+    name to an id exactly once ({!Plan} at schema compilation, {!Snapshot}
+    at graph freezing); the rule kernels then work with pure integer
+    comparisons.  The reverse mapping serves diagnostics.
+
+    A table is mutable and {b not} thread-safe while interning; freeze it
+    (stop interning) before sharing across domains.  Lookups ({!find},
+    {!name}) on a frozen table are safe to share. *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+
+val intern : t -> string -> int
+(** The id of [name], allocating the next dense id on first sight. *)
+
+val find : t -> string -> int option
+(** The id of [name] if it was interned before, without allocating. *)
+
+val name : t -> int -> string
+(** Reverse lookup. @raise Invalid_argument on an unknown id. *)
+
+val size : t -> int
+(** Number of interned symbols; ids are [0 .. size - 1]. *)

@@ -32,18 +32,21 @@ let tref_of_wrapped (wt : Wrapped.t) =
 type obj = string -> Q.selection list -> Json.t
 
 let rec eval (o : obj) (selections : Q.selection list) : Json.t =
+  (* accumulated in reverse (cons, not append): [List.mem_assoc] does the
+     first-key-wins dedup either way, and one final [List.rev] restores
+     selection order *)
   let fields =
     List.fold_left
       (fun acc sel ->
         match sel with
         | Q.Field f ->
           let key = Q.response_key f in
-          if List.mem_assoc key acc then acc else acc @ [ (key, o f.Q.f_name f.Q.f_selection) ]
+          if List.mem_assoc key acc then acc else (key, o f.Q.f_name f.Q.f_selection) :: acc
         | Q.Inline_fragment { if_selection; _ } -> (
           match eval o if_selection with
           | Json.Assoc inner ->
             List.fold_left
-              (fun acc (k, v) -> if List.mem_assoc k acc then acc else acc @ [ (k, v) ])
+              (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
               acc inner
           | _ -> acc)
         | Q.Fragment_spread { fs_name; _ } ->
@@ -52,7 +55,7 @@ let rec eval (o : obj) (selections : Q.selection list) : Json.t =
                (Printf.sprintf "named fragment %S in an introspection selection" fs_name)))
       [] selections
   in
-  Json.Assoc fields
+  Json.Assoc (List.rev fields)
 
 let obj_field o sels = eval o sels
 

@@ -16,6 +16,10 @@ val named : Schema.t -> string -> string -> bool
 val wrapped : Schema.t -> Wrapped.t -> Wrapped.t -> bool
 (** [wrapped s a b] decides [a ⊑S b] over [T ∪ WT]. *)
 
+val all_named : Schema.t -> string list
+(** Every declared type name (objects, interfaces, unions, enums,
+    scalars): the universe the relation is computed over. *)
+
 val supertypes : Schema.t -> string -> string list
 (** All named types [u] with [t ⊑S u], including [t]; sorted.  Used by the
     indexed validator to precompute per-label applicability of directive

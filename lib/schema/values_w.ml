@@ -47,6 +47,59 @@ let mem ?(env = default_env) sch (wt : Wrapped.t) v =
     | Value.List elems -> List.for_all (scalar_mem ~env sch item) elems
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled membership: [compile sch wt] partially evaluates [mem] on
+   the schema and the wrapped type, so the per-value check does no
+   type-kind dispatch or schema-map lookup.  The env stays a call-time
+   parameter: custom-scalar predicates are registered per check, after
+   the schema (and any validation plan) is compiled. *)
+
+type checker = env -> Value.t -> bool
+
+let compile_builtin name : Value.t -> bool =
+  match name with
+  | "Int" -> ( function Value.Int i -> i >= int32_min && i <= int32_max | _ -> false)
+  | "Float" -> ( function Value.Float _ | Value.Int _ -> true | _ -> false)
+  | "String" -> ( function Value.String _ -> true | _ -> false)
+  | "Boolean" -> ( function Value.Bool _ -> true | _ -> false)
+  | "ID" -> ( function Value.Id _ | Value.String _ | Value.Int _ -> true | _ -> false)
+  | _ -> fun _ -> false
+
+let compile_scalar sch name : checker =
+  match Schema.type_kind sch name with
+  | Some Schema.Enum ->
+    let values =
+      match Sm.find_opt name sch.Schema.enums with
+      | Some et -> Array.of_list et.Schema.et_values
+      | None -> [||]
+    in
+    fun _env v ->
+      (match v with
+      | Value.Enum sym -> Array.exists (String.equal sym) values
+      | _ -> false)
+  | Some Schema.Scalar -> (
+    match Sm.find_opt name sch.Schema.scalars with
+    | Some sc when sc.Schema.sc_builtin ->
+      let p = compile_builtin name in
+      fun _env v -> p v
+    | Some _ ->
+      fun env v ->
+        (match Sm.find_opt name env with
+        | Some p -> Value.is_atomic v && p v
+        | None -> Value.is_atomic v)
+    | None -> fun _ _ -> false)
+  | Some (Schema.Object | Schema.Interface | Schema.Union) | None -> fun _ _ -> false
+
+let compile sch (wt : Wrapped.t) : checker =
+  match wt with
+  | Wrapped.Named t | Wrapped.Non_null t -> compile_scalar sch t
+  | Wrapped.List { item; _ } ->
+    let item_mem = compile_scalar sch item in
+    fun env v ->
+      (match v with
+      | Value.List elems -> List.for_all (item_mem env) elems
+      | _ -> false)
+
 let value_of_ast (v : Ast.value) =
   let rec go = function
     | Ast.Int_value i -> Some (Value.Int i)

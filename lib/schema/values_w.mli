@@ -35,6 +35,15 @@ val mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_graph.Value.t -> bool
     are in the item type's value set ("the property value must be an array
     of values of the wrapped type", Section 3.2). *)
 
+type checker = env -> Pg_graph.Value.t -> bool
+(** A compiled membership test; the env is late-bound because custom
+    scalar predicates are registered per check, not per schema. *)
+
+val compile : Schema.t -> Wrapped.t -> checker
+(** [compile sch wt] partially evaluates {!mem} on the schema and the
+    wrapped type: [compile sch wt env v = mem ~env sch wt v] with the
+    type-kind dispatch and schema lookups done once up front. *)
+
 val ast_mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_sdl.Ast.value -> bool
 (** Membership for constant AST values, used to check directive argument
     values (Definition 4.4(2)); here [null] is a possible value and is in

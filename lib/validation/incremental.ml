@@ -1,8 +1,6 @@
 module G = Pg_graph.Property_graph
 module Value = Pg_graph.Value
-module Schema = Pg_schema.Schema
-module Wrapped = Pg_schema.Wrapped
-module Subtype = Pg_schema.Subtype
+module Plan = Pg_schema.Plan
 module Values_w = Pg_schema.Values_w
 module ISet = Set.Make (Int)
 
@@ -26,36 +24,42 @@ let involves region (v : Violation.t) =
   | Violation.Edge_pair (a, b) -> ISet.mem a region.redges || ISet.mem b region.redges
 
 type t = {
-  sch : Schema.t;
-  env : Values_w.env option;
+  plan : Plan.t;  (* compiled once in {!create}, reused by every update *)
+  env : Values_w.env;
   g : G.t;
   vset : VSet.t;
-  (* constraint tables, computed once from the schema *)
-  required : Rules.field_constraint list;
-  required_tgt : Rules.field_constraint list;
-  unique_tgt : Rules.field_constraint list;
-  distinct : Rules.field_constraint list;
-  no_loops : Rules.field_constraint list;
-  keys : (string * string list) list;
 }
 
 let graph t = t.g
-let schema t = t.sch
+let schema t = Plan.schema t.plan
 let violations t = VSet.elements t.vset
 let is_valid t = VSet.is_empty t.vset
 
 (* ------------------------------------------------------------------ *)
-(* Local revalidation: the fifteen rules restricted to a region.        *)
+(* Local revalidation: the fifteen rules restricted to a region.
 
-let is_attr t wt = Rules.is_attribute_type t.sch wt
+   Updates run on the mutable graph, not a snapshot, so labels and names
+   resolve through [Plan.find] — read-only: a label the plan has never
+   seen is simply not a schema type (no field declarations, subtype of
+   nothing), which is exactly the string-level semantics. *)
+
+(* The symbol of a graph label, if the plan knows the name at all. *)
+let sym t lbl = Plan.find t.plan lbl
+
+let label_sub t lbl usym =
+  match sym t lbl with Some l -> Plan.is_sub t.plan l usym | None -> false
+
+let field_of t lsym fname =
+  match lsym with Some l -> Plan.field_named t.plan l fname | None -> None
 
 let node_violations t v acc =
   let g = t.g in
   let label = G.node_label g v in
   let vid = G.node_id v in
+  let lsym = sym t label in
   (* SS1 *)
   let acc =
-    if Schema.type_kind t.sch label = Some Schema.Object then acc
+    if match lsym with Some l -> Plan.is_object t.plan l | None -> false then acc
     else
       Violation.make Violation.SS1 (Violation.Node vid)
         (Printf.sprintf "label %S is not an object type of the schema" label)
@@ -65,14 +69,14 @@ let node_violations t v acc =
   let acc =
     List.fold_left
       (fun acc (p, value) ->
-        match Schema.type_f t.sch label p with
-        | Some wt when is_attr t wt ->
-          if Values_w.mem ?env:t.env t.sch wt value then acc
+        match field_of t lsym p with
+        | Some fi when fi.Plan.fi_attr ->
+          if fi.Plan.fi_mem t.env value then acc
           else
             Violation.make Violation.WS1
               (Violation.Node_property (vid, p))
               (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                 (Wrapped.to_string wt))
+                 fi.Plan.fi_type_str)
             :: acc
         | Some _ ->
           Violation.make Violation.SS2
@@ -86,81 +90,78 @@ let node_violations t v acc =
           :: acc)
       acc (G.node_props g v)
   in
-  (* DS5 / DS6 *)
+  (* DS5 / DS6: the plan's per-label row already encodes label ⊑ owner *)
   let acc =
-    List.fold_left
-      (fun acc (fc : Rules.field_constraint) ->
-        if not (Subtype.named t.sch label fc.Rules.owner) then acc
-        else if is_attr t fc.Rules.fd.Schema.fd_type then begin
-          match G.node_prop g v fc.Rules.field with
-          | None ->
-            Violation.make Violation.DS5
-              (Violation.Node_property (vid, fc.Rules.field))
-              (Printf.sprintf "node n%d lacks the property %S required on %s.%s" vid
-                 fc.Rules.field fc.Rules.owner fc.Rules.field)
-            :: acc
-          | Some value ->
-            if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
-              match value with
-              | Value.List (_ :: _) -> acc
-              | _ ->
-                Violation.make Violation.DS5
-                  (Violation.Node_property (vid, fc.Rules.field))
-                  (Printf.sprintf
-                     "property %S of node n%d must be a nonempty list (required list attribute)"
-                     fc.Rules.field vid)
-                :: acc
-            end
-            else acc
-        end
-        else if
-          List.exists
-            (fun e -> String.equal (G.edge_label g e) fc.Rules.field)
-            (G.out_edges g v)
-        then acc
-        else
-          Violation.make Violation.DS6 (Violation.Node vid)
-            (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s" vid
-               fc.Rules.field fc.Rules.owner fc.Rules.field)
-          :: acc)
-      acc t.required
+    match lsym with
+    | None -> acc
+    | Some l ->
+      Array.fold_left
+        (fun acc (fc : Plan.field_constraint) ->
+          if fc.Plan.fc_info.Plan.fi_attr then begin
+            match G.node_prop g v fc.Plan.fc_field_name with
+            | None ->
+              Violation.make Violation.DS5
+                (Violation.Node_property (vid, fc.Plan.fc_field_name))
+                (Printf.sprintf "node n%d lacks the property %S required on %s.%s" vid
+                   fc.Plan.fc_field_name fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+              :: acc
+            | Some value ->
+              if fc.Plan.fc_info.Plan.fi_list then begin
+                match value with
+                | Value.List (_ :: _) -> acc
+                | _ ->
+                  Violation.make Violation.DS5
+                    (Violation.Node_property (vid, fc.Plan.fc_field_name))
+                    (Printf.sprintf
+                       "property %S of node n%d must be a nonempty list (required list attribute)"
+                       fc.Plan.fc_field_name vid)
+                  :: acc
+              end
+              else acc
+          end
+          else if
+            List.exists
+              (fun e -> String.equal (G.edge_label g e) fc.Plan.fc_field_name)
+              (G.out_edges g v)
+          then acc
+          else
+            Violation.make Violation.DS6 (Violation.Node vid)
+              (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s" vid
+                 fc.Plan.fc_field_name fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+            :: acc)
+        acc (Plan.required_at t.plan l)
   in
-  (* DS4 *)
+  (* DS4: the row encodes label ⊑ basetype(typeS(t, f)) *)
   let acc =
-    List.fold_left
-      (fun acc (fc : Rules.field_constraint) ->
-        let base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
-        if not (Subtype.named t.sch label base) then acc
-        else if
-          List.exists
-            (fun e ->
-              String.equal (G.edge_label g e) fc.Rules.field
-              &&
-              let src, _ = G.edge_ends g e in
-              Subtype.named t.sch (G.node_label g src) fc.Rules.owner)
-            (G.in_edges g v)
-        then acc
-        else
-          Violation.make Violation.DS4 (Violation.Node vid)
-            (Printf.sprintf
-               "node n%d (%S) has no incoming %S edge required by @requiredForTarget on %s.%s"
-               vid label fc.Rules.field fc.Rules.owner fc.Rules.field)
-          :: acc)
-      acc t.required_tgt
+    match lsym with
+    | None -> acc
+    | Some l ->
+      Array.fold_left
+        (fun acc (fc : Plan.field_constraint) ->
+          if
+            List.exists
+              (fun e ->
+                String.equal (G.edge_label g e) fc.Plan.fc_field_name
+                &&
+                let src, _ = G.edge_ends g e in
+                label_sub t (G.node_label g src) fc.Plan.fc_owner)
+              (G.in_edges g v)
+          then acc
+          else
+            Violation.make Violation.DS4 (Violation.Node vid)
+              (Printf.sprintf
+                 "node n%d (%S) has no incoming %S edge required by @requiredForTarget on %s.%s"
+                 vid label fc.Plan.fc_field_name fc.Plan.fc_owner_name
+                 fc.Plan.fc_field_name)
+            :: acc)
+        acc (Plan.required_tgt_at t.plan l)
   in
   (* DS7: pairs between v and every other node of the keyed type *)
-  List.fold_left
-    (fun acc (owner, key_fields) ->
-      if not (Subtype.named t.sch label owner) then acc
+  Array.fold_left
+    (fun acc (key : Plan.key) ->
+      if not (match lsym with Some l -> Plan.is_sub t.plan l key.Plan.key_owner | None -> false)
+      then acc
       else begin
-        let attribute_fields =
-          List.filter
-            (fun f ->
-              match Schema.type_f t.sch owner f with
-              | Some wt -> is_attr t wt
-              | None -> false)
-            key_fields
-        in
         let agree u f =
           match G.node_prop g v f, G.node_prop g u f with
           | None, None -> true
@@ -171,39 +172,44 @@ let node_violations t v acc =
           (fun acc u ->
             if
               G.node_id u <> vid
-              && Subtype.named t.sch (G.node_label g u) owner
-              && List.for_all (agree u) attribute_fields
+              && label_sub t (G.node_label g u) key.Plan.key_owner
+              && Array.for_all (agree u) key.Plan.key_attr_names
             then
               Violation.make Violation.DS7
                 (Violation.Node_pair (vid, G.node_id u))
-                (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]" vid
-                   (G.node_id u) owner
-                   (String.concat ", " key_fields))
+                (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]"
+                   (min vid (G.node_id u))
+                   (max vid (G.node_id u))
+                   key.Plan.key_owner_name
+                   (String.concat ", " key.Plan.key_fields))
               :: acc
             else acc)
           acc (G.nodes g)
       end)
-    acc t.keys
+    acc (Plan.keys t.plan)
 
 let edge_violations t e acc =
   let g = t.g in
   let eid = G.edge_id e in
   let v1, v2 = G.edge_ends g e in
   let src_label = G.node_label g v1 in
+  let slsym = sym t src_label in
   let f = G.edge_label g e in
-  let field = Schema.field t.sch src_label f in
+  let field = field_of t slsym f in
   (* WS2 + SS3 over the edge's properties *)
   let acc =
     List.fold_left
       (fun acc (a, value) ->
-        match Schema.arg_type t.sch src_label f a with
-        | Some wt ->
-          if Values_w.mem ?env:t.env t.sch wt value then acc
+        match
+          match field with Some fi -> Plan.arg_named t.plan fi a | None -> None
+        with
+        | Some ai ->
+          if ai.Plan.ai_mem t.env value then acc
           else
             Violation.make Violation.WS2
               (Violation.Edge_property (eid, a))
               (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                 (Wrapped.to_string wt))
+                 ai.Plan.ai_type_str)
             :: acc
         | None ->
           Violation.make Violation.SS3
@@ -213,32 +219,26 @@ let edge_violations t e acc =
       acc (G.edge_props g e)
   in
   (* WS3 + SS4 *)
+  let ws3 fi acc =
+    if label_sub t (G.node_label g v2) fi.Plan.fi_base then acc
+    else
+      Violation.make Violation.WS3 (Violation.Edge eid)
+        (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
+           (G.node_id v2) (G.node_label g v2)
+           (Plan.name t.plan fi.Plan.fi_base))
+        :: acc
+  in
   let acc =
     match field with
-    | Some fd when not (is_attr t fd.Schema.fd_type) ->
-      let base = Wrapped.basetype fd.Schema.fd_type in
-      if Subtype.named t.sch (G.node_label g v2) base then acc
-      else
-        Violation.make Violation.WS3 (Violation.Edge eid)
-          (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
-             (G.node_id v2) (G.node_label g v2) base)
-        :: acc
-    | Some fd ->
+    | Some fi when not fi.Plan.fi_attr -> ws3 fi acc
+    | Some fi ->
       (* attribute-typed field: WS3 applies (label is never ⊑ a scalar) and
          SS4 reports the unjustified edge *)
-      let acc =
-        Violation.make Violation.SS4 (Violation.Edge eid)
-          (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
-             src_label f)
-        :: acc
-      in
-      let base = Wrapped.basetype fd.Schema.fd_type in
-      if Subtype.named t.sch (G.node_label g v2) base then acc
-      else
-        Violation.make Violation.WS3 (Violation.Edge eid)
-          (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
-             (G.node_id v2) (G.node_label g v2) base)
-        :: acc
+      ws3 fi
+        (Violation.make Violation.SS4 (Violation.Edge eid)
+           (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
+              src_label f)
+        :: acc)
     | None ->
       Violation.make Violation.SS4 (Violation.Edge eid)
         (Printf.sprintf "no field %S is declared for type %S" f src_label)
@@ -247,7 +247,7 @@ let edge_violations t e acc =
   (* WS4: pairs with sibling edges *)
   let acc =
     match field with
-    | Some fd when not (Wrapped.is_list fd.Schema.fd_type) ->
+    | Some fi when not fi.Plan.fi_list ->
       List.fold_left
         (fun acc e' ->
           if G.edge_id e' <> eid && String.equal (G.edge_label g e') f then
@@ -255,59 +255,62 @@ let edge_violations t e acc =
               (Violation.Edge_pair (eid, G.edge_id e'))
               (Printf.sprintf
                  "node n%d has two %S edges but the field type %s is not a list type"
-                 (G.node_id v1) f
-                 (Wrapped.to_string fd.Schema.fd_type))
+                 (G.node_id v1) f fi.Plan.fi_type_str)
             :: acc
           else acc)
         acc (G.out_edges g v1)
     | Some _ | None -> acc
   in
-  (* DS1: parallel duplicates *)
+  (* DS1: parallel duplicates (the per-label row encodes src ⊑ owner) *)
   let acc =
-    List.fold_left
-      (fun acc (fc : Rules.field_constraint) ->
-        if
-          String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
-        then
-          List.fold_left
-            (fun acc e' ->
-              let _, v2' = G.edge_ends g e' in
-              if
-                G.edge_id e' <> eid
-                && String.equal (G.edge_label g e') f
-                && G.node_id v2' = G.node_id v2
-              then
-                Violation.make Violation.DS1
-                  (Violation.Edge_pair (eid, G.edge_id e'))
-                  (Printf.sprintf "parallel %S edges between n%d and n%d violate @distinct on %s.%s"
-                     f (G.node_id v1) (G.node_id v2) fc.Rules.owner fc.Rules.field)
-                :: acc
-              else acc)
-            acc (G.out_edges g v1)
-        else acc)
-      acc t.distinct
+    match slsym with
+    | None -> acc
+    | Some l ->
+      Array.fold_left
+        (fun acc (fc : Plan.field_constraint) ->
+          if String.equal fc.Plan.fc_field_name f then
+            List.fold_left
+              (fun acc e' ->
+                let _, v2' = G.edge_ends g e' in
+                if
+                  G.edge_id e' <> eid
+                  && String.equal (G.edge_label g e') f
+                  && G.node_id v2' = G.node_id v2
+                then
+                  Violation.make Violation.DS1
+                    (Violation.Edge_pair (eid, G.edge_id e'))
+                    (Printf.sprintf
+                       "parallel %S edges between n%d and n%d violate @distinct on %s.%s" f
+                       (G.node_id v1) (G.node_id v2) fc.Plan.fc_owner_name
+                       fc.Plan.fc_field_name)
+                  :: acc
+                else acc)
+              acc (G.out_edges g v1)
+          else acc)
+        acc (Plan.distinct_at t.plan l)
   in
   (* DS2: loops *)
   let acc =
     if G.node_id v1 <> G.node_id v2 then acc
-    else
-      List.fold_left
-        (fun acc (fc : Rules.field_constraint) ->
-          if
-            String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
-          then
-            Violation.make Violation.DS2 (Violation.Edge eid)
-              (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" (G.node_id v1)
-                 fc.Rules.owner fc.Rules.field)
-            :: acc
-          else acc)
-        acc t.no_loops
+    else begin
+      match slsym with
+      | None -> acc
+      | Some l ->
+        Array.fold_left
+          (fun acc (fc : Plan.field_constraint) ->
+            if String.equal fc.Plan.fc_field_name f then
+              Violation.make Violation.DS2 (Violation.Edge eid)
+                (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" (G.node_id v1)
+                   fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+              :: acc
+            else acc)
+          acc (Plan.no_loops_at t.plan l)
+    end
   in
   (* DS3: pairs among incoming edges of the target *)
-  List.fold_left
-    (fun acc (fc : Rules.field_constraint) ->
-      if
-        String.equal fc.Rules.field f && Subtype.named t.sch src_label fc.Rules.owner
+  Array.fold_left
+    (fun acc (fc : Plan.field_constraint) ->
+      if String.equal fc.Plan.fc_field_name f && label_sub t src_label fc.Plan.fc_owner
       then
         List.fold_left
           (fun acc e' ->
@@ -315,18 +318,18 @@ let edge_violations t e acc =
             if
               G.edge_id e' <> eid
               && String.equal (G.edge_label g e') f
-              && Subtype.named t.sch (G.node_label g s') fc.Rules.owner
+              && label_sub t (G.node_label g s') fc.Plan.fc_owner
             then
               Violation.make Violation.DS3
                 (Violation.Edge_pair (eid, G.edge_id e'))
                 (Printf.sprintf
                    "node n%d has two incoming %S edges, violating @uniqueForTarget on %s.%s"
-                   (G.node_id v2) f fc.Rules.owner fc.Rules.field)
+                   (G.node_id v2) f fc.Plan.fc_owner_name fc.Plan.fc_field_name)
               :: acc
             else acc)
           acc (G.in_edges g v2)
       else acc)
-    acc t.unique_tgt
+    acc (Plan.unique_tgt t.plan)
 
 let local_violations t region =
   let acc =
@@ -340,27 +343,26 @@ let local_violations t region =
       match G.edge_of_id t.g id with Some e -> edge_violations t e acc | None -> acc)
     region.redges acc
 
-(* Replace the region's violations with freshly computed ones. *)
+(* Replace the region's violations with freshly computed ones.  Fresh
+   candidates are inserted in [compare_with_message] order so the set —
+   keyed on (rule, subject) only — keeps the least message of each
+   duplicate group, exactly like [Violation.normalize]: the maintained
+   report stays byte-identical to a batch engine's. *)
 let refresh t region =
   let kept = VSet.filter (fun v -> not (involves region v)) t.vset in
-  let fresh = local_violations t region in
+  let fresh = List.sort Violation.compare_with_message (local_violations t region) in
   { t with vset = List.fold_left (fun s v -> VSet.add v s) kept fresh }
 
 (* ------------------------------------------------------------------ *)
 
 let create ?env sch g =
-  let report = Validate.check ~engine:Validate.Indexed ?env sch g in
+  let plan = Plan.compile sch in
+  let report = Validate.check_compiled ~engine:Validate.Indexed ?env plan g in
   {
-    sch;
-    env;
+    plan;
+    env = Option.value env ~default:Values_w.default_env;
     g;
     vset = VSet.of_list report.Validate.violations;
-    required = Rules.constrained_fields sch ~directive:"required";
-    required_tgt = Rules.constrained_fields sch ~directive:"requiredForTarget";
-    unique_tgt = Rules.constrained_fields sch ~directive:"uniqueForTarget";
-    distinct = Rules.constrained_fields sch ~directive:"distinct";
-    no_loops = Rules.constrained_fields sch ~directive:"noLoops";
-    keys = Rules.key_constraints sch;
   }
 
 let add_node t ~label ?props () =

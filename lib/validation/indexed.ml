@@ -1,35 +1,29 @@
-(* The sequential production engine: the {!Kernels} rule kernels applied
-   to one slice covering the whole snapshot.  {!Parallel} runs the same
-   kernels sharded across domains; both merge through
+(* The sequential per-rule engine: each {!Kernels} slice kernel applied
+   once over its full universe (the snapshot's node or edge range).
+   {!Parallel} runs the same kernels sharded across domains and {!Linear}
+   fuses the same rule bodies into one pass; all merge through
    {!Violation.normalize}, which is what makes their reports identical. *)
 
 module K = Kernels
+module Snapshot = Pg_graph.Snapshot
 
-let nodes_len (ctx : K.ctx) = Array.length ctx.K.nodes
-let edges_len (ctx : K.ctx) = Array.length ctx.K.edges
-
-let weak ?env sch g =
-  let ctx = K.make_ctx ?env sch g in
-  let cache = K.make_cache () in
-  []
-  |> K.ws1 ctx ~lo:0 ~hi:(nodes_len ctx)
-  |> K.ws2 ctx ~lo:0 ~hi:(edges_len ctx)
-  |> K.ws3 ctx cache ~lo:0 ~hi:(edges_len ctx)
-  |> K.ws4 ctx ~lo:0 ~hi:(Array.length ctx.K.idx.K.out_groups)
-  |> Violation.normalize
-
-let directives ?env sch g =
-  let ctx = K.make_ctx ?env sch g in
-  let cache = K.make_cache () in
-  let par_len = Array.length ctx.K.idx.K.par_groups in
-  []
-  |> K.ds1 ctx cache ~lo:0 ~hi:par_len
-  |> K.ds2 ctx cache ~lo:0 ~hi:par_len
-  |> K.ds3 ctx cache ~lo:0 ~hi:(Array.length ctx.K.idx.K.in_groups)
-  |> K.ds4 ctx cache ~lo:0 ~hi:(nodes_len ctx)
-  |> K.ds56 ctx cache ~lo:0 ~hi:(nodes_len ctx)
-  |> (fun acc ->
-       List.fold_left (fun acc kc -> K.ds7 ctx cache kc acc) acc ctx.K.keys)
-  |> Violation.normalize
-
-let strong_extra = Linear.strong_extra
+let check (ctx : K.ctx) (rs : K.rule_set) =
+  let n = ctx.K.snap.Snapshot.n and m = ctx.K.snap.Snapshot.m in
+  let nodes k acc = k ctx ~lo:0 ~hi:n acc in
+  let edges k acc = k ctx ~lo:0 ~hi:m acc in
+  let acc = [] in
+  let acc =
+    if rs.K.weak then acc |> nodes K.ws1 |> edges K.ws2 |> edges K.ws3 |> nodes K.ws4
+    else acc
+  in
+  let acc =
+    if rs.K.dirs then
+      acc |> nodes K.ds1 |> nodes K.ds2 |> nodes K.ds3 |> nodes K.ds4 |> nodes K.ds56
+      |> K.ds7_all ctx
+    else acc
+  in
+  let acc =
+    if rs.K.strong then acc |> nodes K.ss1 |> nodes K.ss2 |> edges K.ss3 |> edges K.ss4
+    else acc
+  in
+  Violation.normalize acc

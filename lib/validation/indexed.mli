@@ -1,28 +1,13 @@
-(** The production validation engine.
+(** The sequential per-rule validation engine.
 
     Same semantics as {!Naive} (property-tested extensional equality of
-    the violation sets), but the pair-quantifying rules are evaluated over
-    hash indexes built in one pass over the graph:
-
-    - outgoing edges grouped by (source, label) — WS4, DS6;
-    - incoming edges grouped by (target, label) — DS3, DS4;
-    - parallel edges grouped by (source, target, label) — DS1;
-    - nodes grouped by key vector — DS7.
-
-    With these indexes the engine is linear in the size of the graph plus
-    the size of the output (a group of [k] equal elements still yields the
+    the violation sets), but every rule runs as a compiled {!Kernels}
+    slice over the frozen snapshot: the pair-quantifying rules read the
+    sorted CSR adjacency segments (WS4/DS1/DS2 the out segments, DS3 the
+    in segments) instead of hash indexes, and DS7 groups nodes by a
+    serialized key vector.  Linear in the size of the graph plus the size
+    of the output (a group of [k] equal elements still yields the
     [k(k-1)/2] pairwise violations the specification demands). *)
 
-val weak :
-  ?env:Pg_schema.Values_w.env ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list
-
-val directives :
-  ?env:Pg_schema.Values_w.env ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list
-
-val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
+val check : Kernels.ctx -> Kernels.rule_set -> Violation.t list
+(** Violations of the selected rule families, normalized. *)

@@ -1,152 +1,44 @@
-(* Pure per-rule validation kernels.
+(* Compiled per-rule validation kernels.
 
-   Every rule of Section 5 (WS1-WS4, DS1-DS7, SS1-SS4) is implemented as a
-   pure function over a *slice* of an immutable snapshot of the graph plus
-   shared read-only indexes.  A kernel touches nothing but its slice, its
-   accumulator, and (for the subtype-testing rules) a caller-supplied
-   memoization cache, so the same kernels drive both the sequential
-   {!Indexed} engine (one slice covering everything) and the multicore
-   {!Parallel} engine (one slice per shard, one cache per domain).
+   Every rule of Section 5 (WS1-WS4, DS1-DS7, SS1-SS4) is implemented as
+   a pure function over one element of a frozen {!Pg_graph.Snapshot}
+   resolved against a compiled {!Pg_schema.Plan}.  All hot-path
+   comparisons are integer equalities on interned symbols and bitset
+   probes of the precomputed subtype matrix — no string hashing, no
+   per-run memo caches.  Strings reappear only when a violation is
+   actually reported.
 
-   The slice universe differs per rule:
-   - node rules (WS1, DS4, DS5/DS6, SS1, SS2) slice [ctx.nodes];
-   - edge rules (WS2, WS3, SS3, SS4) slice [ctx.edges];
-   - pair rules slice the *group arrays* of the edge indexes: WS4 the
-     (source, label) groups, DS3 the (target, label) groups, DS1 and DS2
-     the (source, target, label) groups — a loop is exactly a group whose
-     source equals its target, so no kernel ever rescans all edges;
-   - DS7 is one kernel invocation per @key constraint (grouping nodes by
-     key vector is a global operation; constraints are few and
-     independent, so they parallelize across, not within).
+   The pair rules read the snapshot's sorted CSR segments instead of
+   global group tables: the out segment of a node is sorted by (label,
+   target, id), so WS4 groups are label runs, DS1 groups are (label,
+   target) sub-runs and DS2 loops are the entries targeting the node
+   itself; the in segment is sorted by (label, source, id) for DS3.
+   Every rule therefore slices either the node range [0, snap.n) or the
+   edge range [0, snap.m) — except DS7, which groups nodes globally per
+   @key constraint and parallelizes across constraints.
 
-   All state shared between shards (the graph, the schema, the indexes,
-   the snapshot arrays) is immutable or written strictly before the
-   kernels run, which is what makes the parallel engine safe without
-   locks. *)
+   The same per-element bodies back two engine shapes: per-rule slice
+   kernels ({!Indexed} sequentially, {!Parallel} sharded across domains)
+   and the fused single-pass {!node_pass}/{!edge_pass} used by
+   {!Linear}.  Kernels only read the frozen context, so slices commute
+   and {!Violation.normalize} makes every engine's report identical. *)
 
 module G = Pg_graph.Property_graph
 module Value = Pg_graph.Value
-module Schema = Pg_schema.Schema
-module Wrapped = Pg_schema.Wrapped
-module Subtype = Pg_schema.Subtype
+module Snapshot = Pg_graph.Snapshot
+module Plan = Pg_schema.Plan
 module Values_w = Pg_schema.Values_w
 
-(* Cached named-subtype test: schemas are small, graphs are big, so the
-   (label, type) pairs actually queried are few and worth memoizing.  A
-   cache is private to one caller (one domain, in the parallel engine) —
-   kernels only ever read the schema through it. *)
-type subtype_cache = (string * string, bool) Hashtbl.t
+type ctx = { plan : Plan.t; snap : Snapshot.t; env : Values_w.env }
 
-let make_cache () : subtype_cache = Hashtbl.create 64
+let make_ctx ?env plan g =
+  let env = Option.value env ~default:Values_w.default_env in
+  { plan; snap = Snapshot.build (Plan.symtab plan) g; env }
 
-let is_sub cache sch label ty =
-  match Hashtbl.find_opt cache (label, ty) with
-  | Some b -> b
-  | None ->
-    let b = Subtype.named sch label ty in
-    Hashtbl.add cache (label, ty) b;
-    b
+(* The rules a pass evaluates: WS (weak), DS (dirs), SS extras (strong). *)
+type rule_set = { weak : bool; dirs : bool; strong : bool }
 
-(* Edge indexes, built in one pass, then frozen.  The hash tables answer
-   point lookups (DS4, DS5/DS6); the group arrays give the pair rules a
-   sliceable universe. *)
-type indexes = {
-  out_by : (int * string, G.edge list) Hashtbl.t;  (* (source id, label) -> edges *)
-  in_by : (int * string, G.edge list) Hashtbl.t;  (* (target id, label) -> edges *)
-  parallel : (int * int * string, G.edge list) Hashtbl.t;
-      (* (source id, target id, label) -> edges *)
-  out_groups : ((int * string) * G.edge list) array;
-  in_groups : ((int * string) * G.edge list) array;
-  par_groups : ((int * int * string) * G.edge list) array;
-}
-
-let push tbl key e =
-  match Hashtbl.find_opt tbl key with
-  | Some l -> Hashtbl.replace tbl key (e :: l)
-  | None -> Hashtbl.add tbl key [ e ]
-
-let groups_of_table dummy tbl =
-  let n = Hashtbl.length tbl in
-  if n = 0 then [||]
-  else begin
-    let arr = Array.make n dummy in
-    let i = ref 0 in
-    Hashtbl.iter
-      (fun key group ->
-        arr.(!i) <- (key, group);
-        incr i)
-      tbl;
-    arr
-  end
-
-let build_indexes g edges =
-  let out_by = Hashtbl.create 256
-  and in_by = Hashtbl.create 256
-  and parallel = Hashtbl.create 256 in
-  Array.iter
-    (fun e ->
-      let v1, v2 = G.edge_ends g e in
-      let f = G.edge_label g e in
-      push out_by (G.node_id v1, f) e;
-      push in_by (G.node_id v2, f) e;
-      push parallel (G.node_id v1, G.node_id v2, f) e)
-    edges;
-  {
-    out_by;
-    in_by;
-    parallel;
-    out_groups = groups_of_table ((0, "") , []) out_by;
-    in_groups = groups_of_table ((0, ""), []) in_by;
-    par_groups = groups_of_table ((0, 0, ""), []) parallel;
-  }
-
-(* The frozen validation context: one snapshot of the graph plus the
-   schema-derived constraint lists.  Built once per check, read by every
-   shard. *)
-type ctx = {
-  sch : Schema.t;
-  g : G.t;
-  env : Values_w.env option;
-  nodes : G.node array;
-  edges : G.edge array;
-  idx : indexes;
-  distinct : Rules.field_constraint list;
-  no_loops : Rules.field_constraint list;
-  unique_for_target : Rules.field_constraint list;
-  required_for_target : Rules.field_constraint list;
-  required : Rules.field_constraint list;
-  keys : (string * string list) list;
-}
-
-let make_ctx ?env sch g =
-  let nodes, edges = G.to_arrays g in
-  {
-    sch;
-    g;
-    env;
-    nodes;
-    edges;
-    idx = build_indexes g edges;
-    distinct = Rules.constrained_fields sch ~directive:"distinct";
-    no_loops = Rules.constrained_fields sch ~directive:"noLoops";
-    unique_for_target = Rules.constrained_fields sch ~directive:"uniqueForTarget";
-    required_for_target = Rules.constrained_fields sch ~directive:"requiredForTarget";
-    required = Rules.constrained_fields sch ~directive:"required";
-    keys = Rules.key_constraints sch;
-  }
-
-type 'a kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
-
-type 'a cached_kernel =
-  ctx -> subtype_cache -> lo:int -> hi:int -> Violation.t list -> Violation.t list
-
-(* Fold [f] over the slice [lo, hi) of [arr]. *)
-let fold_slice arr ~lo ~hi f acc =
-  let acc = ref acc in
-  for i = lo to hi - 1 do
-    acc := f arr.(i) !acc
-  done;
-  !acc
+type kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
 
 (* All unordered pairs of a group, as violations. *)
 let pairwise group mk acc =
@@ -156,253 +48,407 @@ let pairwise group mk acc =
   in
   go acc group
 
-let node_of_id_exn g id =
-  match G.node_of_id g id with Some v -> v | None -> assert false
-
 (* ------------------------------------------------------------------ *)
-(* Weak satisfaction: WS1-WS4 (Definition 5.1)                          *)
+(* Per-node rule bodies                                                 *)
 
 (* WS1: node properties must be of the required type *)
-let ws1 ctx ~lo ~hi acc =
-  fold_slice ctx.nodes ~lo ~hi
-    (fun v acc ->
-      let label = G.node_label ctx.g v in
-      List.fold_left
-        (fun acc (p, value) ->
-          match Schema.type_f ctx.sch label p with
-          | Some t when Rules.is_attribute_type ctx.sch t ->
-            if Values_w.mem ?env:ctx.env ctx.sch t value then acc
-            else
-              Violation.make Violation.WS1
-                (Violation.Node_property (G.node_id v, p))
-                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                   (Wrapped.to_string t))
-              :: acc
-          | Some _ | None -> acc)
-        acc (G.node_props ctx.g v))
-    acc
-
-(* WS2: edge properties must be of the required type *)
-let ws2 ctx ~lo ~hi acc =
-  fold_slice ctx.edges ~lo ~hi
-    (fun e acc ->
-      let v1, _ = G.edge_ends ctx.g e in
-      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
-      List.fold_left
-        (fun acc (a, value) ->
-          match Schema.arg_type ctx.sch src_label edge_label a with
-          | Some t ->
-            if Values_w.mem ?env:ctx.env ctx.sch t value then acc
-            else
-              Violation.make Violation.WS2
-                (Violation.Edge_property (G.edge_id e, a))
-                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                   (Wrapped.to_string t))
-              :: acc
-          | None -> acc)
-        acc (G.edge_props ctx.g e))
-    acc
-
-(* WS3: target nodes must be of the required type *)
-let ws3 ctx cache ~lo ~hi acc =
-  fold_slice ctx.edges ~lo ~hi
-    (fun e acc ->
-      let v1, v2 = G.edge_ends ctx.g e in
-      match Schema.type_f ctx.sch (G.node_label ctx.g v1) (G.edge_label ctx.g e) with
-      | Some t ->
-        let base = Wrapped.basetype t in
-        if is_sub cache ctx.sch (G.node_label ctx.g v2) base then acc
+let ws1_node ctx i acc =
+  let snap = ctx.snap in
+  let l = snap.Snapshot.node_label.(i) in
+  Array.fold_left
+    (fun acc (k, value) ->
+      match Plan.field ctx.plan l k with
+      | Some fi when fi.Plan.fi_attr ->
+        if fi.Plan.fi_mem ctx.env value then acc
         else
-          Violation.make Violation.WS3
-            (Violation.Edge (G.edge_id e))
-            (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
-               (G.node_id v2) (G.node_label ctx.g v2) base)
+          Violation.make Violation.WS1
+            (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+            (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+               fi.Plan.fi_type_str)
           :: acc
-      | None -> acc)
+      | Some _ | None -> acc)
     acc
+    snap.Snapshot.node_props.(i)
 
-(* WS4 over the (source, label) groups *)
-let ws4 ctx ~lo ~hi acc =
-  fold_slice ctx.idx.out_groups ~lo ~hi
-    (fun ((src_id, f), group) acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ -> (
-        let src_label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
-        match Schema.type_f ctx.sch src_label f with
-        | Some t when not (Rules.multi_edge t) ->
-          pairwise group
-            (fun e1 e2 ->
-              Violation.make Violation.WS4
-                (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                (Printf.sprintf
-                   "node n%d has two %S edges but the field type %s is not a list type"
-                   src_id f (Wrapped.to_string t)))
-            acc
-        | Some _ | None -> acc))
+(* SS1: all nodes are justified *)
+let ss1_node ctx i acc =
+  let snap = ctx.snap in
+  let l = snap.Snapshot.node_label.(i) in
+  if Plan.is_object ctx.plan l then acc
+  else
+    Violation.make Violation.SS1
+      (Violation.Node snap.Snapshot.node_id.(i))
+      (Printf.sprintf "label %S is not an object type of the schema" (Plan.name ctx.plan l))
+    :: acc
+
+(* SS2: all node properties are justified *)
+let ss2_node ctx i acc =
+  let snap = ctx.snap in
+  let l = snap.Snapshot.node_label.(i) in
+  Array.fold_left
+    (fun acc (k, _) ->
+      match Plan.field ctx.plan l k with
+      | Some fi when fi.Plan.fi_attr -> acc
+      | Some _ ->
+        Violation.make Violation.SS2
+          (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+          (Printf.sprintf "field %s.%s is a relationship definition, not an attribute"
+             (Plan.name ctx.plan l) (Plan.name ctx.plan k))
+        :: acc
+      | None ->
+        Violation.make Violation.SS2
+          (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+          (Printf.sprintf "no field %S is declared for type %S" (Plan.name ctx.plan k)
+             (Plan.name ctx.plan l))
+        :: acc)
     acc
-
-(* ------------------------------------------------------------------ *)
-(* Directive satisfaction: DS1-DS7 (Definition 5.2)                     *)
-
-(* DS1: parallel-edge groups *)
-let ds1 ctx cache ~lo ~hi acc =
-  fold_slice ctx.idx.par_groups ~lo ~hi
-    (fun ((src_id, _tgt_id, f), group) acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ ->
-        let src_label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if
-              String.equal fc.Rules.field f
-              && is_sub cache ctx.sch src_label fc.Rules.owner
-            then
-              pairwise group
-                (fun e1 e2 ->
-                  Violation.make Violation.DS1
-                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                    (Printf.sprintf
-                       "parallel %S edges violate @distinct on %s.%s" f fc.Rules.owner
-                       fc.Rules.field))
-                acc
-            else acc)
-          acc ctx.distinct)
-    acc
-
-(* DS2: loops are exactly the (v, v, f) groups of the parallel index *)
-let ds2 ctx cache ~lo ~hi acc =
-  fold_slice ctx.idx.par_groups ~lo ~hi
-    (fun ((src_id, tgt_id, f), group) acc ->
-      if src_id <> tgt_id then acc
-      else begin
-        let label = G.node_label ctx.g (node_of_id_exn ctx.g src_id) in
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if String.equal fc.Rules.field f && is_sub cache ctx.sch label fc.Rules.owner
-            then
-              List.fold_left
-                (fun acc e ->
-                  Violation.make Violation.DS2
-                    (Violation.Edge (G.edge_id e))
-                    (Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" src_id
-                       fc.Rules.owner fc.Rules.field)
-                  :: acc)
-                acc group
-            else acc)
-          acc ctx.no_loops
-      end)
-    acc
-
-(* DS3: incoming groups, filtered to sources of the declaring type *)
-let ds3 ctx cache ~lo ~hi acc =
-  fold_slice ctx.idx.in_groups ~lo ~hi
-    (fun ((tgt_id, f), group) acc ->
-      match group with
-      | [] | [ _ ] -> acc
-      | _ ->
-        List.fold_left
-          (fun acc (fc : Rules.field_constraint) ->
-            if not (String.equal fc.Rules.field f) then acc
-            else begin
-              let qualified =
-                List.filter
-                  (fun e ->
-                    let v1, _ = G.edge_ends ctx.g e in
-                    is_sub cache ctx.sch (G.node_label ctx.g v1) fc.Rules.owner)
-                  group
-              in
-              pairwise qualified
-                (fun e1 e2 ->
-                  Violation.make Violation.DS3
-                    (Violation.Edge_pair (G.edge_id e1, G.edge_id e2))
-                    (Printf.sprintf
-                       "node n%d has two incoming %S edges, violating @uniqueForTarget on \
-                        %s.%s"
-                       tgt_id f fc.Rules.owner fc.Rules.field))
-                acc
-            end)
-          acc ctx.unique_for_target)
-    acc
+    snap.Snapshot.node_props.(i)
 
 (* DS4: nodes of the target type need a qualified incoming edge *)
-let ds4 ctx cache ~lo ~hi acc =
-  fold_slice ctx.nodes ~lo ~hi
-    (fun v2 acc ->
-      let label = G.node_label ctx.g v2 in
-      List.fold_left
-        (fun acc (fc : Rules.field_constraint) ->
-          let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
-          if not (is_sub cache ctx.sch label target_base) then acc
-          else begin
-            let incoming =
-              Option.value ~default:[]
-                (Hashtbl.find_opt ctx.idx.in_by (G.node_id v2, fc.Rules.field))
-            in
-            let ok =
-              List.exists
-                (fun e ->
-                  let v1, _ = G.edge_ends ctx.g e in
-                  is_sub cache ctx.sch (G.node_label ctx.g v1) fc.Rules.owner)
-                incoming
-            in
-            if ok then acc
-            else
-              Violation.make Violation.DS4
-                (Violation.Node (G.node_id v2))
-                (Printf.sprintf
-                   "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
-                    %s.%s"
-                   (G.node_id v2) label fc.Rules.field fc.Rules.owner fc.Rules.field)
-              :: acc
-          end)
-        acc ctx.required_for_target)
-    acc
+let ds4_node ctx i acc =
+  let snap = ctx.snap in
+  let l = snap.Snapshot.node_label.(i) in
+  let row = Plan.required_tgt_at ctx.plan l in
+  if Array.length row = 0 then acc
+  else begin
+    let start = snap.Snapshot.in_start.(i) and stop = snap.Snapshot.in_start.(i + 1) in
+    Array.fold_left
+      (fun acc (fc : Plan.field_constraint) ->
+        let ok = ref false in
+        let j = ref start in
+        while (not !ok) && !j < stop do
+          let e = snap.Snapshot.in_adj.(!j) in
+          if
+            snap.Snapshot.edge_label.(e) = fc.Plan.fc_field
+            && Plan.is_sub ctx.plan
+                 snap.Snapshot.node_label.(snap.Snapshot.edge_src.(e))
+                 fc.Plan.fc_owner
+          then ok := true;
+          incr j
+        done;
+        if !ok then acc
+        else
+          Violation.make Violation.DS4
+            (Violation.Node snap.Snapshot.node_id.(i))
+            (Printf.sprintf
+               "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
+                %s.%s"
+               snap.Snapshot.node_id.(i) (Plan.name ctx.plan l) fc.Plan.fc_field_name
+               fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+          :: acc)
+      acc row
+  end
 
-(* DS5/DS6 *)
-let ds56 ctx cache ~lo ~hi acc =
-  fold_slice ctx.nodes ~lo ~hi
-    (fun v acc ->
-      let label = G.node_label ctx.g v in
-      List.fold_left
-        (fun acc (fc : Rules.field_constraint) ->
-          if not (is_sub cache ctx.sch label fc.Rules.owner) then acc
-          else if Rules.is_attribute_type ctx.sch fc.Rules.fd.Schema.fd_type then begin
-            match G.node_prop ctx.g v fc.Rules.field with
-            | None ->
-              Violation.make Violation.DS5
-                (Violation.Node_property (G.node_id v, fc.Rules.field))
-                (Printf.sprintf "node n%d lacks the property %S required on %s.%s"
-                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
+(* DS5/DS6: @required properties and edges *)
+let ds56_node ctx i acc =
+  let snap = ctx.snap in
+  let l = snap.Snapshot.node_label.(i) in
+  let row = Plan.required_at ctx.plan l in
+  if Array.length row = 0 then acc
+  else begin
+    let vid = snap.Snapshot.node_id.(i) in
+    Array.fold_left
+      (fun acc (fc : Plan.field_constraint) ->
+        let fi = fc.Plan.fc_info in
+        if fi.Plan.fi_attr then begin
+          match Snapshot.find_prop snap.Snapshot.node_props.(i) fc.Plan.fc_field with
+          | None ->
+            Violation.make Violation.DS5
+              (Violation.Node_property (vid, fc.Plan.fc_field_name))
+              (Printf.sprintf "node n%d lacks the property %S required on %s.%s" vid
+                 fc.Plan.fc_field_name fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+            :: acc
+          | Some value ->
+            if fi.Plan.fi_list then begin
+              match value with
+              | Value.List (_ :: _) -> acc
+              | _ ->
+                Violation.make Violation.DS5
+                  (Violation.Node_property (vid, fc.Plan.fc_field_name))
+                  (Printf.sprintf
+                     "property %S of node n%d must be a nonempty list (required list \
+                      attribute)"
+                     fc.Plan.fc_field_name vid)
+                :: acc
+            end
+            else acc
+        end
+        else begin
+          let start = snap.Snapshot.out_start.(i)
+          and stop = snap.Snapshot.out_start.(i + 1) in
+          let ok = ref false in
+          let j = ref start in
+          while (not !ok) && !j < stop do
+            if snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!j)) = fc.Plan.fc_field
+            then ok := true;
+            incr j
+          done;
+          if !ok then acc
+          else
+            Violation.make Violation.DS6 (Violation.Node vid)
+              (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s" vid
+                 fc.Plan.fc_field_name fc.Plan.fc_owner_name fc.Plan.fc_field_name)
+            :: acc
+        end)
+      acc row
+  end
+
+(* WS4 / DS1 / DS2 over the label runs of a node's sorted out segment.
+   The flags let the per-rule kernels and the fused pass share one run
+   scan. *)
+let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
+  let snap = ctx.snap in
+  let start = snap.Snapshot.out_start.(i) and stop = snap.Snapshot.out_start.(i + 1) in
+  if start = stop then acc
+  else begin
+    let l = snap.Snapshot.node_label.(i) in
+    let src_id = snap.Snapshot.node_id.(i) in
+    let drow = if ds1 then Plan.distinct_at ctx.plan l else [||] in
+    let nrow = if ds2 then Plan.no_loops_at ctx.plan l else [||] in
+    let acc = ref acc in
+    let lo = ref start in
+    while !lo < stop do
+      let f = snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!lo)) in
+      let hi = ref (!lo + 1) in
+      while !hi < stop && snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!hi)) = f do
+        incr hi
+      done;
+      let lo0 = !lo and hi0 = !hi in
+      (* WS4: the whole label run pairs up if the field is not a list *)
+      (if ws4 && hi0 - lo0 >= 2 then
+         match Plan.field ctx.plan l f with
+         | Some fi when not fi.Plan.fi_list ->
+           let msg =
+             Printf.sprintf
+               "node n%d has two %S edges but the field type %s is not a list type" src_id
+               (Plan.name ctx.plan f) fi.Plan.fi_type_str
+           in
+           for a = lo0 to hi0 - 1 do
+             for b = a + 1 to hi0 - 1 do
+               acc :=
+                 Violation.make Violation.WS4
+                   (Violation.Edge_pair
+                      ( snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(a)),
+                        snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(b)) ))
+                   msg
+                 :: !acc
+             done
+           done
+         | Some _ | None -> ());
+      (* DS1: (label, target) sub-runs *)
+      if Array.length drow > 0 && hi0 - lo0 >= 2 then begin
+        let a = ref lo0 in
+        while !a < hi0 do
+          let tgt = snap.Snapshot.edge_tgt.(snap.Snapshot.out_adj.(!a)) in
+          let b = ref (!a + 1) in
+          while !b < hi0 && snap.Snapshot.edge_tgt.(snap.Snapshot.out_adj.(!b)) = tgt do
+            incr b
+          done;
+          if !b - !a >= 2 then
+            Array.iter
+              (fun (fc : Plan.field_constraint) ->
+                if fc.Plan.fc_field = f then begin
+                  let msg =
+                    Printf.sprintf
+                      "parallel %S edges between n%d and n%d violate @distinct on %s.%s"
+                      fc.Plan.fc_field_name src_id
+                      snap.Snapshot.node_id.(tgt)
+                      fc.Plan.fc_owner_name fc.Plan.fc_field_name
+                  in
+                  for x = !a to !b - 1 do
+                    for y = x + 1 to !b - 1 do
+                      acc :=
+                        Violation.make Violation.DS1
+                          (Violation.Edge_pair
+                             ( snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(x)),
+                               snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(y)) ))
+                          msg
+                        :: !acc
+                    done
+                  done
+                end)
+              drow;
+          a := !b
+        done
+      end;
+      (* DS2: loops are the run entries targeting the node itself *)
+      if Array.length nrow > 0 then
+        Array.iter
+          (fun (fc : Plan.field_constraint) ->
+            if fc.Plan.fc_field = f then begin
+              let msg =
+                Printf.sprintf "loop on node n%d violates @noLoops on %s.%s" src_id
+                  fc.Plan.fc_owner_name fc.Plan.fc_field_name
+              in
+              for x = lo0 to hi0 - 1 do
+                let e = snap.Snapshot.out_adj.(x) in
+                if snap.Snapshot.edge_tgt.(e) = i then
+                  acc :=
+                    Violation.make Violation.DS2
+                      (Violation.Edge snap.Snapshot.edge_id.(e))
+                      msg
+                    :: !acc
+              done
+            end)
+          nrow;
+      lo := hi0
+    done;
+    !acc
+  end
+
+let ws4_node ctx i acc = out_rules ~ws4:true ~ds1:false ~ds2:false ctx i acc
+let ds1_node ctx i acc = out_rules ~ws4:false ~ds1:true ~ds2:false ctx i acc
+let ds2_node ctx i acc = out_rules ~ws4:false ~ds1:false ~ds2:true ctx i acc
+
+(* DS3: label runs of the sorted in segment, filtered per constraint to
+   sources of the declaring type *)
+let ds3_node ctx i acc =
+  let snap = ctx.snap in
+  let start = snap.Snapshot.in_start.(i) and stop = snap.Snapshot.in_start.(i + 1) in
+  if stop - start < 2 then acc
+  else begin
+    let uts = Plan.unique_tgt ctx.plan in
+    if Array.length uts = 0 then acc
+    else begin
+      let tgt_id = snap.Snapshot.node_id.(i) in
+      let acc = ref acc in
+      let lo = ref start in
+      while !lo < stop do
+        let f = snap.Snapshot.edge_label.(snap.Snapshot.in_adj.(!lo)) in
+        let hi = ref (!lo + 1) in
+        while !hi < stop && snap.Snapshot.edge_label.(snap.Snapshot.in_adj.(!hi)) = f do
+          incr hi
+        done;
+        let lo0 = !lo and hi0 = !hi in
+        if hi0 - lo0 >= 2 then
+          Array.iter
+            (fun (fc : Plan.field_constraint) ->
+              if fc.Plan.fc_field = f then begin
+                let qualified = ref [] in
+                for j = hi0 - 1 downto lo0 do
+                  let e = snap.Snapshot.in_adj.(j) in
+                  if
+                    Plan.is_sub ctx.plan
+                      snap.Snapshot.node_label.(snap.Snapshot.edge_src.(e))
+                      fc.Plan.fc_owner
+                  then qualified := e :: !qualified
+                done;
+                match !qualified with
+                | [] | [ _ ] -> ()
+                | q ->
+                  let msg =
+                    Printf.sprintf
+                      "node n%d has two incoming %S edges, violating @uniqueForTarget on \
+                       %s.%s"
+                      tgt_id fc.Plan.fc_field_name fc.Plan.fc_owner_name
+                      fc.Plan.fc_field_name
+                  in
+                  acc :=
+                    pairwise q
+                      (fun e1 e2 ->
+                        Violation.make Violation.DS3
+                          (Violation.Edge_pair
+                             (snap.Snapshot.edge_id.(e1), snap.Snapshot.edge_id.(e2)))
+                          msg)
+                      !acc
+              end)
+            uts;
+        lo := hi0
+      done;
+      !acc
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-edge rule bodies                                                 *)
+
+(* WS2: edge properties must be of the required type *)
+let ws2_edge ctx j acc =
+  let snap = ctx.snap in
+  let props = snap.Snapshot.edge_props.(j) in
+  if Array.length props = 0 then acc
+  else begin
+    let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
+    match Plan.field ctx.plan sl snap.Snapshot.edge_label.(j) with
+    | None -> acc
+    | Some fi ->
+      Array.fold_left
+        (fun acc (a, value) ->
+          match Plan.arg fi a with
+          | Some ai ->
+            if ai.Plan.ai_mem ctx.env value then acc
+            else
+              Violation.make Violation.WS2
+                (Violation.Edge_property (snap.Snapshot.edge_id.(j), Plan.name ctx.plan a))
+                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
+                   ai.Plan.ai_type_str)
               :: acc
-            | Some value ->
-              if Wrapped.is_list fc.Rules.fd.Schema.fd_type then begin
-                match value with
-                | Value.List (_ :: _) -> acc
-                | _ ->
-                  Violation.make Violation.DS5
-                    (Violation.Node_property (G.node_id v, fc.Rules.field))
-                    (Printf.sprintf
-                       "property %S of node n%d must be a nonempty list (required list \
-                        attribute)"
-                       fc.Rules.field (G.node_id v))
-                  :: acc
-              end
-              else acc
-          end
-          else begin
-            match Hashtbl.find_opt ctx.idx.out_by (G.node_id v, fc.Rules.field) with
-            | Some (_ :: _) -> acc
-            | Some [] | None ->
-              Violation.make Violation.DS6
-                (Violation.Node (G.node_id v))
-                (Printf.sprintf "node n%d lacks the outgoing %S edge required on %s.%s"
-                   (G.node_id v) fc.Rules.field fc.Rules.owner fc.Rules.field)
-              :: acc
-          end)
-        acc ctx.required)
-    acc
+          | None -> acc)
+        acc props
+  end
+
+(* SS3: all edge properties are justified *)
+let ss3_edge ctx j acc =
+  let snap = ctx.snap in
+  let props = snap.Snapshot.edge_props.(j) in
+  if Array.length props = 0 then acc
+  else begin
+    let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
+    let f = snap.Snapshot.edge_label.(j) in
+    let field = Plan.field ctx.plan sl f in
+    Array.fold_left
+      (fun acc (a, _) ->
+        match Option.bind field (fun fi -> Plan.arg fi a) with
+        | Some _ -> acc
+        | None ->
+          Violation.make Violation.SS3
+            (Violation.Edge_property (snap.Snapshot.edge_id.(j), Plan.name ctx.plan a))
+            (Printf.sprintf "no argument %S is declared for field %s.%s"
+               (Plan.name ctx.plan a) (Plan.name ctx.plan sl) (Plan.name ctx.plan f))
+          :: acc)
+      acc props
+  end
+
+(* WS3: target nodes must be of the required type *)
+let ws3_edge ctx j acc =
+  let snap = ctx.snap in
+  let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
+  match Plan.field ctx.plan sl snap.Snapshot.edge_label.(j) with
+  | Some fi ->
+    let tl = snap.Snapshot.node_label.(snap.Snapshot.edge_tgt.(j)) in
+    if Plan.is_sub ctx.plan tl fi.Plan.fi_base then acc
+    else
+      Violation.make Violation.WS3
+        (Violation.Edge snap.Snapshot.edge_id.(j))
+        (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
+           snap.Snapshot.node_id.(snap.Snapshot.edge_tgt.(j))
+           (Plan.name ctx.plan tl)
+           (Plan.name ctx.plan fi.Plan.fi_base))
+      :: acc
+  | None -> acc
+
+(* SS4: all edges are justified *)
+let ss4_edge ctx j acc =
+  let snap = ctx.snap in
+  let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
+  let f = snap.Snapshot.edge_label.(j) in
+  match Plan.field ctx.plan sl f with
+  | Some fi when not fi.Plan.fi_attr -> acc
+  | Some _ ->
+    Violation.make Violation.SS4
+      (Violation.Edge snap.Snapshot.edge_id.(j))
+      (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
+         (Plan.name ctx.plan sl) (Plan.name ctx.plan f))
+    :: acc
+  | None ->
+    Violation.make Violation.SS4
+      (Violation.Edge snap.Snapshot.edge_id.(j))
+      (Printf.sprintf "no field %S is declared for type %S" (Plan.name ctx.plan f)
+         (Plan.name ctx.plan sl))
+    :: acc
+
+(* ------------------------------------------------------------------ *)
+(* DS7 (@key): one constraint at a time, grouping nodes globally        *)
 
 (* A collision-free serialization of property values, compatible with
    Value.equal: tagged and length-prefixed (Value.to_string would conflate
@@ -441,125 +487,82 @@ let rec add_value_key buf (v : Value.t) =
     Buffer.add_char buf ':';
     List.iter (add_value_key buf) vs
 
-(* DS7: one @key constraint at a time — group all nodes by key vector.
-   Grouping is global (any two nodes of the keyed type may collide), so
-   DS7 parallelizes across constraints, not across node shards. *)
-let ds7 ctx cache (owner, key_fields) acc =
-  let attribute_fields =
-    List.filter
-      (fun f ->
-        match Schema.type_f ctx.sch owner f with
-        | Some t -> Rules.is_attribute_type ctx.sch t
-        | None -> false)
-      key_fields
-  in
-  let groups : (string, G.node list) Hashtbl.t = Hashtbl.create 256 in
-  Array.iter
-    (fun v ->
-      if is_sub cache ctx.sch (G.node_label ctx.g v) owner then begin
-        let buf = Buffer.create 32 in
-        List.iter
-          (fun f ->
-            (match G.node_prop ctx.g v f with
-            | None -> Buffer.add_char buf 'A' (* absent *)
-            | Some value ->
-              Buffer.add_char buf 'P';
-              add_value_key buf value);
-            Buffer.add_char buf '\x00')
-          attribute_fields;
-        push groups (Buffer.contents buf) v
-      end)
-    ctx.nodes;
+let ds7 ctx (key : Plan.key) acc =
+  let snap = ctx.snap in
+  let groups : (string, int list) Hashtbl.t = Hashtbl.create 256 in
+  for i = 0 to snap.Snapshot.n - 1 do
+    if Plan.is_sub ctx.plan snap.Snapshot.node_label.(i) key.Plan.key_owner then begin
+      let buf = Buffer.create 32 in
+      Array.iter
+        (fun fsym ->
+          (match Snapshot.find_prop snap.Snapshot.node_props.(i) fsym with
+          | None -> Buffer.add_char buf 'A' (* absent *)
+          | Some value ->
+            Buffer.add_char buf 'P';
+            add_value_key buf value);
+          Buffer.add_char buf '\x00')
+        key.Plan.key_attrs;
+      let k = Buffer.contents buf in
+      match Hashtbl.find_opt groups k with
+      | Some l -> Hashtbl.replace groups k (i :: l)
+      | None -> Hashtbl.add groups k [ i ]
+    end
+  done;
   Hashtbl.fold
     (fun _key group acc ->
       match group with
       | [] | [ _ ] -> acc
       | _ ->
         pairwise group
-          (fun v1 v2 ->
+          (fun i1 i2 ->
+            let a = snap.Snapshot.node_id.(i1) and b = snap.Snapshot.node_id.(i2) in
             Violation.make Violation.DS7
-              (Violation.Node_pair (G.node_id v1, G.node_id v2))
+              (Violation.Node_pair (a, b))
               (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]"
-                 (G.node_id v1) (G.node_id v2) owner
-                 (String.concat ", " key_fields)))
+                 (min a b) (max a b) key.Plan.key_owner_name
+                 (String.concat ", " key.Plan.key_fields)))
           acc)
     groups acc
 
 (* ------------------------------------------------------------------ *)
-(* Strong satisfaction extras: SS1-SS4 (Definition 5.3)                 *)
+(* Slice kernels (Indexed runs one slice, Parallel shards them)         *)
 
-(* SS1: all nodes are justified *)
-let ss1 ctx ~lo ~hi acc =
-  fold_slice ctx.nodes ~lo ~hi
-    (fun v acc ->
-      let label = G.node_label ctx.g v in
-      if Schema.type_kind ctx.sch label = Some Schema.Object then acc
-      else
-        Violation.make Violation.SS1
-          (Violation.Node (G.node_id v))
-          (Printf.sprintf "label %S is not an object type of the schema" label)
-        :: acc)
-    acc
+let over_range body ctx ~lo ~hi acc =
+  let acc = ref acc in
+  for i = lo to hi - 1 do
+    acc := body ctx i !acc
+  done;
+  !acc
 
-(* SS2: all node properties are justified *)
-let ss2 ctx ~lo ~hi acc =
-  fold_slice ctx.nodes ~lo ~hi
-    (fun v acc ->
-      let label = G.node_label ctx.g v in
-      List.fold_left
-        (fun acc (p, _) ->
-          match Schema.type_f ctx.sch label p with
-          | Some t when Rules.is_attribute_type ctx.sch t -> acc
-          | Some _ ->
-            Violation.make Violation.SS2
-              (Violation.Node_property (G.node_id v, p))
-              (Printf.sprintf "field %s.%s is a relationship definition, not an attribute"
-                 label p)
-            :: acc
-          | None ->
-            Violation.make Violation.SS2
-              (Violation.Node_property (G.node_id v, p))
-              (Printf.sprintf "no field %S is declared for type %S" p label)
-            :: acc)
-        acc (G.node_props ctx.g v))
-    acc
+let ws1 ctx = over_range ws1_node ctx
+let ws2 ctx = over_range ws2_edge ctx
+let ws3 ctx = over_range ws3_edge ctx
+let ws4 ctx = over_range ws4_node ctx
+let ds1 ctx = over_range ds1_node ctx
+let ds2 ctx = over_range ds2_node ctx
+let ds3 ctx = over_range ds3_node ctx
+let ds4 ctx = over_range ds4_node ctx
+let ds56 ctx = over_range ds56_node ctx
+let ss1 ctx = over_range ss1_node ctx
+let ss2 ctx = over_range ss2_node ctx
+let ss3 ctx = over_range ss3_edge ctx
+let ss4 ctx = over_range ss4_edge ctx
 
-(* SS3: all edge properties are justified *)
-let ss3 ctx ~lo ~hi acc =
-  fold_slice ctx.edges ~lo ~hi
-    (fun e acc ->
-      let v1, _ = G.edge_ends ctx.g e in
-      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
-      List.fold_left
-        (fun acc (a, _) ->
-          match Schema.arg_type ctx.sch src_label edge_label a with
-          | Some _ -> acc
-          | None ->
-            Violation.make Violation.SS3
-              (Violation.Edge_property (G.edge_id e, a))
-              (Printf.sprintf "no argument %S is declared for field %s.%s" a src_label
-                 edge_label)
-            :: acc)
-        acc (G.edge_props ctx.g e))
-    acc
+(* ------------------------------------------------------------------ *)
+(* Fused passes (the Linear engine: everything about one element in one
+   visit, sharing the run scans between WS4, DS1 and DS2)               *)
 
-(* SS4: all edges are justified *)
-let ss4 ctx ~lo ~hi acc =
-  fold_slice ctx.edges ~lo ~hi
-    (fun e acc ->
-      let v1, _ = G.edge_ends ctx.g e in
-      let src_label = G.node_label ctx.g v1 and edge_label = G.edge_label ctx.g e in
-      match Schema.type_f ctx.sch src_label edge_label with
-      | Some t when not (Rules.is_attribute_type ctx.sch t) -> acc
-      | Some _ ->
-        Violation.make Violation.SS4
-          (Violation.Edge (G.edge_id e))
-          (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
-             src_label edge_label)
-        :: acc
-      | None ->
-        Violation.make Violation.SS4
-          (Violation.Edge (G.edge_id e))
-          (Printf.sprintf "no field %S is declared for type %S" edge_label src_label)
-        :: acc)
-    acc
+let node_pass ctx rs i acc =
+  let acc = if rs.weak then ws1_node ctx i acc else acc in
+  let acc =
+    if rs.weak || rs.dirs then out_rules ~ws4:rs.weak ~ds1:rs.dirs ~ds2:rs.dirs ctx i acc
+    else acc
+  in
+  let acc = if rs.dirs then ds56_node ctx i (ds4_node ctx i (ds3_node ctx i acc)) else acc in
+  if rs.strong then ss2_node ctx i (ss1_node ctx i acc) else acc
+
+let edge_pass ctx rs j acc =
+  let acc = if rs.weak then ws3_edge ctx j (ws2_edge ctx j acc) else acc in
+  if rs.strong then ss4_edge ctx j (ss3_edge ctx j acc) else acc
+
+let ds7_all ctx acc = Array.fold_left (fun acc key -> ds7 ctx key acc) acc (Plan.keys ctx.plan)

@@ -1,79 +1,99 @@
-(** Pure per-rule validation kernels over graph-snapshot slices.
+(** Compiled per-rule validation kernels.
 
-    The engine core shared by {!Indexed} (one slice covering the whole
-    snapshot) and {!Parallel} (one slice per shard, executed on separate
-    domains).  A kernel reads only immutable data — the graph, the schema,
-    the frozen {!type-ctx} indexes — plus a caller-owned {!type-subtype_cache},
-    and returns violations by consing onto its accumulator; it never
-    mutates shared state, so kernels over disjoint slices commute and can
-    run concurrently.  {!Violation.normalize} makes the merged result
-    independent of slice boundaries and interleaving.
+    A check first builds a {!ctx}: the compiled schema {!Pg_schema.Plan}
+    plus the graph frozen into a {!Pg_graph.Snapshot} over the plan's
+    symbol table.  Every rule of Section 5 then runs as pure integer
+    comparisons — interned symbol equality, bitset subtype probes, run
+    scans over the snapshot's sorted CSR segments — with strings
+    materialized only for reported violations.
 
-    Slice universes: WS1, DS4, DS5/DS6, SS1, SS2 slice [ctx.nodes]; WS2,
-    WS3, SS3, SS4 slice [ctx.edges]; WS4 slices [ctx.idx.out_groups]; DS3
-    slices [ctx.idx.in_groups]; DS1 and DS2 slice [ctx.idx.par_groups]
-    (a loop is a group whose source equals its target); DS7 runs once per
-    @key constraint. *)
+    Two consumption shapes share the same per-element rule bodies:
 
-type subtype_cache
-
-val make_cache : unit -> subtype_cache
-(** A fresh memoization cache for the named-subtype relation.  One per
-    domain: caches are not safe to share across concurrent kernels. *)
-
-type indexes = {
-  out_by : (int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
-  in_by : (int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
-  parallel : (int * int * string, Pg_graph.Property_graph.edge list) Hashtbl.t;
-  out_groups : ((int * string) * Pg_graph.Property_graph.edge list) array;
-  in_groups : ((int * string) * Pg_graph.Property_graph.edge list) array;
-  par_groups : ((int * int * string) * Pg_graph.Property_graph.edge list) array;
-}
+    - {e per-rule slice kernels} ([ws1] … [ss4], {!ds7}): each covers one
+      rule over a sub-range of the node range [\[0, n)] or edge range
+      [\[0, m)].  {!Indexed} runs full ranges sequentially; {!Parallel}
+      shards the ranges across domains.  Kernels only read the frozen
+      context, so slices commute and {!Violation.normalize} yields the
+      same report for any schedule.
+    - {e fused passes} ({!node_pass}/{!edge_pass}): everything the rule
+      set says about one element in a single visit — the {!Linear}
+      engine's one-pass shape. *)
 
 type ctx = {
-  sch : Pg_schema.Schema.t;
-  g : Pg_graph.Property_graph.t;
-  env : Pg_schema.Values_w.env option;
-  nodes : Pg_graph.Property_graph.node array;
-  edges : Pg_graph.Property_graph.edge array;
-  idx : indexes;
-  distinct : Rules.field_constraint list;
-  no_loops : Rules.field_constraint list;
-  unique_for_target : Rules.field_constraint list;
-  required_for_target : Rules.field_constraint list;
-  required : Rules.field_constraint list;
-  keys : (string * string list) list;
+  plan : Pg_schema.Plan.t;
+  snap : Pg_graph.Snapshot.t;
+  env : Pg_schema.Values_w.env;
 }
 
 val make_ctx :
-  ?env:Pg_schema.Values_w.env -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> ctx
-(** Snapshot the graph into arrays, build the edge indexes in one pass,
-    and precompute the schema's constraint lists.  After this returns the
-    context is frozen; kernels only read it. *)
+  ?env:Pg_schema.Values_w.env -> Pg_schema.Plan.t -> Pg_graph.Property_graph.t -> ctx
+(** Freeze a graph against a compiled plan.  Interns any graph-only
+    labels into the plan's symbol table, so resolving graphs against a
+    shared plan is sequential-only; the resulting ctx is immutable and
+    safe to share across domains. *)
 
-type 'a kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
-(** A rule evaluated on the slice [lo, hi) of its universe ('a names the
-    universe for documentation only). *)
+type rule_set = { weak : bool; dirs : bool; strong : bool }
+(** Which rule families a pass evaluates: WS1–WS4 ([weak]), DS1–DS7
+    ([dirs]), SS1–SS4 ([strong]). *)
 
-type 'a cached_kernel =
-  ctx -> subtype_cache -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+type kernel = ctx -> lo:int -> hi:int -> Violation.t list -> Violation.t list
+(** One rule over the index range [\[lo, hi)] of its universe (nodes or
+    edges), prepending violations to the accumulator. *)
 
-val ws1 : [ `Nodes ] kernel
-val ws2 : [ `Edges ] kernel
-val ws3 : [ `Edges ] cached_kernel
-val ws4 : [ `Out_groups ] kernel
-val ds1 : [ `Par_groups ] cached_kernel
-val ds2 : [ `Par_groups ] cached_kernel
-val ds3 : [ `In_groups ] cached_kernel
-val ds4 : [ `Nodes ] cached_kernel
-val ds56 : [ `Nodes ] cached_kernel
+(** {1 Per-rule slice kernels} *)
 
-val ds7 :
-  ctx -> subtype_cache -> string * string list -> Violation.t list -> Violation.t list
-(** [ds7 ctx cache (owner, key_fields) acc]: the whole @key constraint at
-    once (node grouping is global, so DS7 shards across constraints). *)
+val ws1 : kernel
+(** node properties are well-typed; universe: nodes *)
 
-val ss1 : [ `Nodes ] kernel
-val ss2 : [ `Nodes ] kernel
-val ss3 : [ `Edges ] kernel
-val ss4 : [ `Edges ] kernel
+val ws2 : kernel
+(** edge properties are well-typed; universe: edges *)
+
+val ws3 : kernel
+(** edge targets are subtype-correct; universe: edges *)
+
+val ws4 : kernel
+(** non-list fields justify at most one edge; universe: nodes *)
+
+val ds1 : kernel
+(** [@distinct]: no parallel edges; universe: nodes *)
+
+val ds2 : kernel
+(** [@noLoops]: no self-edges; universe: nodes *)
+
+val ds3 : kernel
+(** [@uniqueForTarget]: in-degree at most 1; universe: nodes *)
+
+val ds4 : kernel
+(** [@requiredForTarget]: a qualified incoming edge exists; universe: nodes *)
+
+val ds56 : kernel
+(** [@required] properties and edges; universe: nodes *)
+
+val ss1 : kernel
+(** node labels are object types; universe: nodes *)
+
+val ss2 : kernel
+(** node properties are declared attributes; universe: nodes *)
+
+val ss3 : kernel
+(** edge properties are declared arguments; universe: edges *)
+
+val ss4 : kernel
+(** edge labels are declared relationships; universe: edges *)
+
+val ds7 : ctx -> Pg_schema.Plan.key -> Violation.t list -> Violation.t list
+(** One [@key] constraint over all nodes (DS7), grouping by a
+    collision-free serialization of the key tuple.  Parallelized across
+    constraints, not node slices. *)
+
+(** {1 Fused passes} *)
+
+val node_pass : ctx -> rule_set -> int -> Violation.t list -> Violation.t list
+(** All selected per-node rules on node [i], sharing one scan of the
+    node's CSR segments (WS1, WS4, DS1–DS6, SS1, SS2). *)
+
+val edge_pass : ctx -> rule_set -> int -> Violation.t list -> Violation.t list
+(** All selected per-edge rules on edge [j] (WS2, WS3, SS3, SS4). *)
+
+val ds7_all : ctx -> Violation.t list -> Violation.t list
+(** Every [@key] constraint in sequence. *)

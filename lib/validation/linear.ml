@@ -1,143 +1,22 @@
-module G = Pg_graph.Property_graph
-module Value = Pg_graph.Value
-module Schema = Pg_schema.Schema
-module Wrapped = Pg_schema.Wrapped
-module Subtype = Pg_schema.Subtype
-module Values_w = Pg_schema.Values_w
+(* The fused single-pass engine: one visit per node and per edge of the
+   frozen snapshot, evaluating everything the rule set says about that
+   element ({!Kernels.node_pass}/{!Kernels.edge_pass}), then the global
+   DS7 key grouping.  Same per-element rule bodies as {!Indexed} and
+   {!Parallel}, so reports are byte-identical after normalization; the
+   fused shape trades their per-rule slicing for locality (each element's
+   properties and CSR segments are scanned while hot in cache). *)
 
-(* WS1: node properties must be of the required type *)
-let ws1 ?env sch g acc =
-  List.fold_left
-    (fun acc v ->
-      let label = G.node_label g v in
-      List.fold_left
-        (fun acc (p, value) ->
-          match Schema.type_f sch label p with
-          | Some t when Rules.is_attribute_type sch t ->
-            if Values_w.mem ?env sch t value then acc
-            else
-              Violation.make Violation.WS1
-                (Violation.Node_property (G.node_id v, p))
-                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                   (Wrapped.to_string t))
-              :: acc
-          | Some _ | None -> acc)
-        acc (G.node_props g v))
-    acc (G.nodes g)
+module K = Kernels
+module Snapshot = Pg_graph.Snapshot
 
-(* WS2: edge properties must be of the required type *)
-let ws2 ?env sch g acc =
-  List.fold_left
-    (fun acc e ->
-      let v1, _ = G.edge_ends g e in
-      let src_label = G.node_label g v1 and edge_label = G.edge_label g e in
-      List.fold_left
-        (fun acc (a, value) ->
-          match Schema.arg_type sch src_label edge_label a with
-          | Some t ->
-            if Values_w.mem ?env sch t value then acc
-            else
-              Violation.make Violation.WS2
-                (Violation.Edge_property (G.edge_id e, a))
-                (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
-                   (Wrapped.to_string t))
-              :: acc
-          | None -> acc)
-        acc (G.edge_props g e))
-    acc (G.edges g)
-
-(* WS3: target nodes must be of the required type *)
-let ws3 sch g acc =
-  List.fold_left
-    (fun acc e ->
-      let v1, v2 = G.edge_ends g e in
-      match Schema.type_f sch (G.node_label g v1) (G.edge_label g e) with
-      | Some t ->
-        let base = Wrapped.basetype t in
-        if Subtype.named sch (G.node_label g v2) base then acc
-        else
-          Violation.make Violation.WS3
-            (Violation.Edge (G.edge_id e))
-            (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
-               (G.node_id v2) (G.node_label g v2) base)
-          :: acc
-      | None -> acc)
-    acc (G.edges g)
-
-
-(* SS1-SS4 *)
-let strong_extra sch g =
-  let acc = [] in
-  let acc =
-    List.fold_left
-      (fun acc v ->
-        let label = G.node_label g v in
-        if Schema.type_kind sch label = Some Schema.Object then acc
-        else
-          Violation.make Violation.SS1
-            (Violation.Node (G.node_id v))
-            (Printf.sprintf "label %S is not an object type of the schema" label)
-          :: acc)
-      acc (G.nodes g)
-  in
-  let acc =
-    List.fold_left
-      (fun acc v ->
-        let label = G.node_label g v in
-        List.fold_left
-          (fun acc (p, _) ->
-            match Schema.type_f sch label p with
-            | Some t when Rules.is_attribute_type sch t -> acc
-            | Some _ ->
-              Violation.make Violation.SS2
-                (Violation.Node_property (G.node_id v, p))
-                (Printf.sprintf "field %s.%s is a relationship definition, not an attribute"
-                   label p)
-              :: acc
-            | None ->
-              Violation.make Violation.SS2
-                (Violation.Node_property (G.node_id v, p))
-                (Printf.sprintf "no field %S is declared for type %S" p label)
-              :: acc)
-          acc (G.node_props g v))
-      acc (G.nodes g)
-  in
-  let acc =
-    List.fold_left
-      (fun acc e ->
-        let v1, _ = G.edge_ends g e in
-        let src_label = G.node_label g v1 and edge_label = G.edge_label g e in
-        List.fold_left
-          (fun acc (a, _) ->
-            match Schema.arg_type sch src_label edge_label a with
-            | Some _ -> acc
-            | None ->
-              Violation.make Violation.SS3
-                (Violation.Edge_property (G.edge_id e, a))
-                (Printf.sprintf "no argument %S is declared for field %s.%s" a src_label
-                   edge_label)
-              :: acc)
-          acc (G.edge_props g e))
-      acc (G.edges g)
-  in
-  let acc =
-    List.fold_left
-      (fun acc e ->
-        let v1, _ = G.edge_ends g e in
-        let src_label = G.node_label g v1 and edge_label = G.edge_label g e in
-        match Schema.type_f sch src_label edge_label with
-        | Some t when not (Rules.is_attribute_type sch t) -> acc
-        | Some _ ->
-          Violation.make Violation.SS4
-            (Violation.Edge (G.edge_id e))
-            (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
-               src_label edge_label)
-          :: acc
-        | None ->
-          Violation.make Violation.SS4
-            (Violation.Edge (G.edge_id e))
-            (Printf.sprintf "no field %S is declared for type %S" edge_label src_label)
-          :: acc)
-      acc (G.edges g)
-  in
+let check (ctx : K.ctx) (rs : K.rule_set) =
+  let n = ctx.K.snap.Snapshot.n and m = ctx.K.snap.Snapshot.m in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    acc := K.node_pass ctx rs i !acc
+  done;
+  for j = 0 to m - 1 do
+    acc := K.edge_pass ctx rs j !acc
+  done;
+  let acc = if rs.K.dirs then K.ds7_all ctx !acc else !acc in
   Violation.normalize acc

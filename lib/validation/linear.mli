@@ -1,23 +1,11 @@
-(** The rules of Section 5 that quantify over a single graph element
-    (WS1–WS3 and SS1–SS4).  They run in linear time in both engines and
-    are shared between {!Naive} and {!Indexed}. *)
+(** The fused single-pass validation engine.
 
-val ws1 :
-  ?env:Pg_schema.Values_w.env ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list ->
-  Violation.t list
+    One visit per node and one per edge of the frozen snapshot, evaluating
+    every selected rule on the element in that visit ({!Kernels.node_pass}
+    and {!Kernels.edge_pass}), followed by the global DS7 key grouping.
+    Shares its per-element rule bodies with {!Indexed} and {!Parallel},
+    so after {!Violation.normalize} all three report byte-identically;
+    the fused shape maximizes locality instead of slicing per rule. *)
 
-val ws2 :
-  ?env:Pg_schema.Values_w.env ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list ->
-  Violation.t list
-
-val ws3 :
-  Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list -> Violation.t list
-
-val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
-(** SS1–SS4, normalized. *)
+val check : Kernels.ctx -> Kernels.rule_set -> Violation.t list
+(** Violations of the selected rule families, normalized. *)

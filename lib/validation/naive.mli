@@ -2,10 +2,13 @@
     first-order formulas in the proof of Theorem 1.
 
     Every rule is implemented with the nested quantifiers of its statement
-    in Section 5 — rules that quantify over pairs of edges or nodes (WS4,
-    DS1, DS3, DS7) run in quadratic time.  This engine is the executable
-    specification; {!Indexed} must agree with it (property-tested), and
-    the benchmark [validation_scaling] measures the gap. *)
+    in Section 5, entirely at the string level ([Schema] lookups,
+    [Subtype.named], [Values_w.mem]) — rules that quantify over pairs of
+    edges or nodes (WS4, DS1, DS3, DS7) run in quadratic time.  This
+    engine is the executable specification and deliberately shares no code
+    with the compiled {!Kernels} path; the plan-based engines must agree
+    with it (property-tested), and the benchmark [validation_scaling]
+    measures the gap. *)
 
 val weak :
   ?env:Pg_schema.Values_w.env ->

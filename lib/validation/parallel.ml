@@ -5,27 +5,31 @@
    the rule checks over disjoint slices of the graph are independent.
    This engine exploits that directly:
 
-   1. snapshot the graph once ({!Kernels.make_ctx}: node/edge arrays plus
-      the frozen edge indexes, all immutable from then on);
-   2. cut every rule's slice universe into chunks and turn each chunk
-      into a task (a closure running one {!Kernels} kernel on the chunk);
-   3. drain the task queue with [min (ncpus, k)] domains — each domain
-      owns a private accumulator and a private subtype cache, so the hot
-      loop takes no locks and shares no mutable state;
-   4. merge the per-domain lists through {!Violation.normalize}, which is
+   1. the caller freezes the graph once ({!Kernels.make_ctx}: the
+      compiled plan plus the CSR snapshot, immutable from then on);
+   2. every rule's index range (nodes or edges) is cut into chunks and
+      each chunk becomes a task (a closure running one {!Kernels} kernel
+      on the chunk);
+   3. the task queue drains into [min (ncpus, k)] domains — each domain
+      owns a private accumulator, and since the compiled kernels are pure
+      readers of the frozen context (integer compares against the plan's
+      bitsets and symbol ids, no memo caches), the hot loop takes no
+      locks and shares no mutable state;
+   4. the per-domain lists merge through {!Violation.normalize}, which is
       order-insensitive — the report is therefore byte-identical to the
-      sequential {!Indexed} engine's, whatever the scheduling.
+      sequential {!Indexed} and {!Linear} engines', whatever the
+      scheduling.
 
    Tasks are consumed from a single atomic counter (work stealing in its
    simplest form): chunky rules (DS7 key grouping, big WS1 shards) do not
    stall the other domains, they just eat more queue. *)
 
 module K = Kernels
+module Snapshot = Pg_graph.Snapshot
 
 let default_domains () = Domain.recommended_domain_count ()
 
-(* A task evaluates some kernel slice with a domain-private cache. *)
-type task = K.subtype_cache -> Violation.t list
+type task = unit -> Violation.t list
 
 let run_tasks ~domains (tasks : task list) =
   let tasks = Array.of_list tasks in
@@ -35,10 +39,9 @@ let run_tasks ~domains (tasks : task list) =
     let k = max 1 (min domains n) in
     let next = Atomic.make 0 in
     let worker () =
-      let cache = K.make_cache () in
       let rec drain acc =
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n then acc else drain (List.rev_append (tasks.(i) cache) acc)
+        if i >= n then acc else drain (List.rev_append (tasks.(i) ()) acc)
       in
       drain []
     in
@@ -64,60 +67,34 @@ let chunked len ~domains kernel acc =
       if lo >= len then acc
       else begin
         let hi = min len (lo + size) in
-        (fun cache -> kernel cache ~lo ~hi []) :: cut hi acc
+        (fun () -> kernel ~lo ~hi []) :: cut hi acc
       end
     in
     cut 0 acc
   end
 
-let weak_tasks (ctx : K.ctx) ~domains acc =
-  let nodes = Array.length ctx.K.nodes and edges = Array.length ctx.K.edges in
-  acc
-  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ws1 ctx ~lo ~hi acc)
-  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ws2 ctx ~lo ~hi acc)
-  |> chunked edges ~domains (fun cache ~lo ~hi acc -> K.ws3 ctx cache ~lo ~hi acc)
-  |> chunked
-       (Array.length ctx.K.idx.K.out_groups)
-       ~domains
-       (fun _cache ~lo ~hi acc -> K.ws4 ctx ~lo ~hi acc)
+let tasks_of (ctx : K.ctx) (rs : K.rule_set) ~domains =
+  let n = ctx.K.snap.Snapshot.n and m = ctx.K.snap.Snapshot.m in
+  let nodes k acc = chunked n ~domains (k ctx) acc in
+  let edges k acc = chunked m ~domains (k ctx) acc in
+  let acc = [] in
+  let acc =
+    if rs.K.weak then acc |> nodes K.ws1 |> edges K.ws2 |> edges K.ws3 |> nodes K.ws4
+    else acc
+  in
+  let acc =
+    if rs.K.dirs then
+      acc |> nodes K.ds1 |> nodes K.ds2 |> nodes K.ds3 |> nodes K.ds4 |> nodes K.ds56
+      |> fun acc ->
+      Array.fold_left
+        (fun acc key -> (fun () -> K.ds7 ctx key []) :: acc)
+        acc
+        (Pg_schema.Plan.keys ctx.K.plan)
+    else acc
+  in
+  if rs.K.strong then acc |> nodes K.ss1 |> nodes K.ss2 |> edges K.ss3 |> edges K.ss4
+  else acc
 
-let directives_tasks (ctx : K.ctx) ~domains acc =
-  let nodes = Array.length ctx.K.nodes in
-  let par_groups = Array.length ctx.K.idx.K.par_groups in
-  acc
-  |> chunked par_groups ~domains (fun cache ~lo ~hi acc -> K.ds1 ctx cache ~lo ~hi acc)
-  |> chunked par_groups ~domains (fun cache ~lo ~hi acc -> K.ds2 ctx cache ~lo ~hi acc)
-  |> chunked
-       (Array.length ctx.K.idx.K.in_groups)
-       ~domains
-       (fun cache ~lo ~hi acc -> K.ds3 ctx cache ~lo ~hi acc)
-  |> chunked nodes ~domains (fun cache ~lo ~hi acc -> K.ds4 ctx cache ~lo ~hi acc)
-  |> chunked nodes ~domains (fun cache ~lo ~hi acc -> K.ds56 ctx cache ~lo ~hi acc)
-  |> fun acc ->
-  List.fold_left
-    (fun acc kc -> (fun cache -> K.ds7 ctx cache kc []) :: acc)
-    acc ctx.K.keys
-
-let strong_tasks (ctx : K.ctx) ~domains acc =
-  let nodes = Array.length ctx.K.nodes and edges = Array.length ctx.K.edges in
-  acc
-  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ss1 ctx ~lo ~hi acc)
-  |> chunked nodes ~domains (fun _cache ~lo ~hi acc -> K.ss2 ctx ~lo ~hi acc)
-  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ss3 ctx ~lo ~hi acc)
-  |> chunked edges ~domains (fun _cache ~lo ~hi acc -> K.ss4 ctx ~lo ~hi acc)
-
-let run ?env ?domains sch g mk_tasks =
+let check ?domains (ctx : K.ctx) (rs : K.rule_set) =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  let ctx = K.make_ctx ?env sch g in
-  run_tasks ~domains (mk_tasks ctx ~domains []) |> Violation.normalize
-
-let weak ?env ?domains sch g = run ?env ?domains sch g weak_tasks
-let directives ?env ?domains sch g = run ?env ?domains sch g directives_tasks
-let strong_extra ?domains sch g = run ?domains sch g strong_tasks
-
-let strong ?env ?domains sch g =
-  run ?env ?domains sch g (fun ctx ~domains acc ->
-      acc
-      |> weak_tasks ctx ~domains
-      |> directives_tasks ctx ~domains
-      |> strong_tasks ctx ~domains)
+  run_tasks ~domains (tasks_of ctx rs ~domains) |> Violation.normalize

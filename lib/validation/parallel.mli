@@ -1,48 +1,20 @@
 (** The multicore validation engine.
 
-    Semantically identical to {!Naive} and {!Indexed} (property-tested),
-    and byte-identical in its reports to {!Indexed} (both run the same
-    {!Kernels} and merge through the order-insensitive
-    {!Violation.normalize}).  The graph is snapshotted once into arrays,
-    every rule's slice universe is chunked, and the chunks are drained by
-    [min (ncpus, k)] OCaml 5 domains pulling from a single atomic task
-    counter, each with a private accumulator and subtype cache.  No new
-    dependencies, no locks on the hot path.
+    Semantically identical to {!Naive} (property-tested), and
+    byte-identical in its reports to {!Indexed} and {!Linear} (all run
+    the same compiled {!Kernels} and merge through the order-insensitive
+    {!Violation.normalize}).  Every rule's index range over the frozen
+    snapshot is chunked, and the chunks are drained by [min (ncpus, k)]
+    OCaml 5 domains pulling from a single atomic task counter, each with
+    a private accumulator.  The compiled kernels are pure readers of the
+    shared plan and snapshot — no caches, no locks on the hot path.
 
     [domains] defaults to [Domain.recommended_domain_count ()]; [1] gives
-    a sequential run over the same snapshot (still competitive with
-    {!Indexed}, since strong mode builds its indexes once instead of per
-    sub-mode).  Values above the core count are allowed — useful for
-    testing scheduling, useless for speed. *)
+    a sequential run over the same snapshot.  Values above the core count
+    are allowed — useful for testing scheduling, useless for speed. *)
 
-val weak :
-  ?env:Pg_schema.Values_w.env ->
-  ?domains:int ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list
-(** Rules WS1–WS4 (Definition 5.1), normalized. *)
-
-val directives :
-  ?env:Pg_schema.Values_w.env ->
-  ?domains:int ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list
-(** Rules DS1–DS7 (Definition 5.2), normalized. *)
-
-val strong_extra :
-  ?domains:int -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
-(** Rules SS1–SS4 (Definition 5.3), normalized. *)
-
-val strong :
-  ?env:Pg_schema.Values_w.env ->
-  ?domains:int ->
-  Pg_schema.Schema.t ->
-  Pg_graph.Property_graph.t ->
-  Violation.t list
-(** All fifteen rules in one domain pool over one snapshot — the fast
-    path used by [Validate.check ~engine:Parallel ~mode:Strong]. *)
+val check : ?domains:int -> Kernels.ctx -> Kernels.rule_set -> Violation.t list
+(** Violations of the selected rule families, normalized. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

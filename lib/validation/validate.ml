@@ -1,6 +1,7 @@
 module G = Pg_graph.Property_graph
+module Plan = Pg_schema.Plan
 
-type engine = Naive | Indexed | Parallel
+type engine = Naive | Linear | Indexed | Parallel
 type mode = Weak | Directives | Strong
 
 type report = {
@@ -11,26 +12,35 @@ type report = {
   engine : engine;
 }
 
-let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains sch g =
+let compile = Plan.compile
+
+let rules_of = function
+  | Weak -> { Kernels.weak = true; dirs = false; strong = false }
+  | Directives -> { Kernels.weak = false; dirs = true; strong = false }
+  | Strong -> { Kernels.weak = true; dirs = true; strong = true }
+
+(* The string-level specification path: per-mode quadratic evaluation on
+   the raw graph, no plan involved. *)
+let naive_violations ~mode ?env sch g =
+  match mode with
+  | Weak -> Naive.weak ?env sch g
+  | Directives -> Naive.directives ?env sch g
+  | Strong ->
+    Violation.normalize
+      (Naive.weak ?env sch g @ Naive.directives ?env sch g @ Naive.strong_extra sch g)
+
+let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains plan g =
   let violations =
     match engine with
-    | Parallel -> (
-      (* one snapshot, one domain pool per check *)
-      match mode with
-      | Weak -> Parallel.weak ?env ?domains sch g
-      | Directives -> Parallel.directives ?env ?domains sch g
-      | Strong -> Parallel.strong ?env ?domains sch g)
-    | Naive | Indexed -> (
-      let weak, directives, strong_extra =
-        match engine with
-        | Naive -> (Naive.weak ?env, Naive.directives ?env, Naive.strong_extra)
-        | Indexed | Parallel ->
-          (Indexed.weak ?env, Indexed.directives ?env, Indexed.strong_extra)
-      in
-      match mode with
-      | Weak -> weak sch g
-      | Directives -> directives sch g
-      | Strong -> Violation.normalize (weak sch g @ directives sch g @ strong_extra sch g))
+    | Naive -> naive_violations ~mode ?env (Plan.schema plan) g
+    | (Linear | Indexed | Parallel) as engine ->
+      let ctx = Kernels.make_ctx ?env plan g in
+      let rs = rules_of mode in
+      (match engine with
+      | Linear -> Linear.check ctx rs
+      | Indexed -> Indexed.check ctx rs
+      | Parallel -> Parallel.check ?domains ctx rs
+      | Naive -> assert false)
   in
   {
     violations;
@@ -39,6 +49,19 @@ let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains sch g =
     mode;
     engine;
   }
+
+let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains sch g =
+  match engine with
+  | Naive ->
+    {
+      violations = naive_violations ~mode ?env sch g;
+      nodes_checked = G.node_count g;
+      edges_checked = G.edge_count g;
+      mode;
+      engine;
+    }
+  | Linear | Indexed | Parallel ->
+    check_compiled ~engine ~mode ?env ?domains (Plan.compile sch) g
 
 let conforms ?engine ?env ?domains sch g =
   (check ?engine ~mode:Strong ?env ?domains sch g).violations = []
@@ -58,6 +81,7 @@ let pp_report ppf report =
   let mode_name = function Weak -> "weak" | Directives -> "directives" | Strong -> "strong" in
   let engine_name = function
     | Naive -> "naive"
+    | Linear -> "linear"
     | Indexed -> "indexed"
     | Parallel -> "parallel"
   in

@@ -2,14 +2,23 @@
 
     [check] evaluates the requested notion of satisfaction and returns a
     report; [conforms] answers the decision problem (does the graph
-    {e strongly satisfy} the schema?). *)
+    {e strongly satisfy} the schema?).
+
+    All engines except [Naive] run on the compiled representation: the
+    schema is compiled once into a {!Pg_schema.Plan} (interned symbols,
+    bitset subtype matrix, per-label constraint tables) and the graph is
+    frozen into a {!Pg_graph.Snapshot} (CSR adjacency over the same
+    symbols).  [check] compiles per call; to amortize compilation across
+    many checks of the same schema, {!compile} once and use
+    {!check_compiled}. *)
 
 type engine =
-  | Naive  (** executable specification; quadratic pair rules *)
-  | Indexed  (** hash-indexed; near-linear *)
+  | Naive  (** string-level executable specification; quadratic pair rules *)
+  | Linear  (** compiled, fused single pass per node/edge *)
+  | Indexed  (** compiled, one slice kernel per rule; near-linear *)
   | Parallel
-      (** the {!Indexed} kernels sharded across OCaml 5 domains;
-          reports are byte-identical to [Indexed] *)
+      (** the compiled kernels sharded across OCaml 5 domains; reports
+          are byte-identical to [Linear] and [Indexed] *)
 
 type mode =
   | Weak  (** Definition 5.1: WS1–WS4 *)
@@ -23,6 +32,24 @@ type report = {
   mode : mode;
   engine : engine;
 }
+
+val compile : Pg_schema.Schema.t -> Pg_schema.Plan.t
+(** Compile a schema once for reuse with {!check_compiled}
+    ([Pg_schema.Plan.compile]). *)
+
+val check_compiled :
+  ?engine:engine ->
+  ?mode:mode ->
+  ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Property_graph.t ->
+  report
+(** {!check} against a precompiled plan.  [Naive] ignores the compiled
+    tables and runs on the plan's schema.  Reusing one plan across checks
+    is sequential-only (freezing a graph interns its labels into the
+    plan's symbol table); within a check the [Parallel] engine shares the
+    plan across domains safely. *)
 
 val check :
   ?engine:engine ->

@@ -52,8 +52,15 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val compare_with_message : t -> t -> int
+(** {!compare}, breaking ties on the message text — the order
+    {!normalize} sorts by.  Inserting candidates in this order into a
+    {!compare}-keyed set keeps the same survivor normalize would. *)
+
 val normalize : t list -> t list
-(** Sort and deduplicate (by rule and subject). *)
+(** Sort and deduplicate (by rule and subject), keeping the least message
+    of each duplicate group — a function of the violation set, not of
+    accumulation order. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,13 +1,15 @@
 (* Differential and fault-injection testing of the validation engines.
 
-   - Naive, Indexed and Parallel must agree on arbitrary (schema, graph)
-     pairs, including garbage graphs (fuzz) and graphs with nodes/edges
-     removed after generation (exercises id-sparse universes).
+   - Naive, Linear, Indexed and Parallel must agree on arbitrary
+     (schema, graph) pairs, including garbage graphs (fuzz) and graphs
+     with nodes/edges removed after generation (exercises id-sparse
+     universes).
    - Conformant graphs generated from random schemas must validate.
    - Every Corruption mutator must make its targeted rule fire, in all
      engines.
-   - Indexed and Parallel must produce byte-identical reports, not just
-     Violation.equal ones (messages included).
+   - All five engines — the string-level Naive oracle, the three compiled
+     plan consumers (Linear, Indexed, Parallel) and Incremental — must
+     produce byte-identical normalized reports, messages included.
    - Float key properties with nan and -0.0 must group consistently in
      DS7 across all engines. *)
 
@@ -21,26 +23,38 @@ module Corruption = Graphql_pg.Corruption
 
 let check_bool = Alcotest.(check bool)
 
-(* Three-way agreement.  Parallel runs with 2 domains so that sharding,
+(* Four-way agreement.  Parallel runs with 2 domains so that sharding,
    cross-domain merging and normalization are actually exercised even on
    single-core CI hosts. *)
 let engines_agree sch g =
   let naive = (Val.check ~engine:Val.Naive sch g).Val.violations in
+  let linear = (Val.check ~engine:Val.Linear sch g).Val.violations in
   let indexed = (Val.check ~engine:Val.Indexed sch g).Val.violations in
   let parallel = (Val.check ~engine:Val.Parallel ~domains:2 sch g).Val.violations in
-  List.equal Vi.equal naive indexed && List.equal Vi.equal indexed parallel
+  List.equal Vi.equal naive linear
+  && List.equal Vi.equal linear indexed
+  && List.equal Vi.equal indexed parallel
 
-(* Indexed and Parallel share kernels, so their reports must be
-   byte-identical, message strings included. *)
+(* All five engines must render the same normalized report byte for byte:
+   the compiled kernels and the incremental revalidator emit the same
+   message strings as the string-level specification. *)
 let reports_byte_identical sch g =
-  let indexed =
-    List.map Vi.to_string (Val.check ~engine:Val.Indexed sch g).Val.violations
+  let of_engine engine =
+    List.map Vi.to_string (Val.check ~engine sch g).Val.violations
   in
-  let parallel =
-    List.map Vi.to_string
-      (Val.check ~engine:Val.Parallel ~domains:2 sch g).Val.violations
+  let naive = of_engine Val.Naive in
+  let incremental =
+    List.map Vi.to_string (Graphql_pg.Incremental.violations (Graphql_pg.Incremental.create sch g))
   in
-  List.equal String.equal indexed parallel
+  List.for_all
+    (List.equal String.equal naive)
+    [
+      of_engine Val.Linear;
+      of_engine Val.Indexed;
+      List.map Vi.to_string
+        (Val.check ~engine:Val.Parallel ~domains:2 sch g).Val.violations;
+      incremental;
+    ]
 
 let seeded_rng seed = Random.State.make [| seed; 0xBEEF |]
 
@@ -58,7 +72,7 @@ let decimate rng g =
     g (G.nodes g)
 
 let prop_engines_agree_on_fuzz =
-  QCheck2.Test.make ~name:"Naive = Indexed = Parallel on fuzz graphs" ~count:150
+  QCheck2.Test.make ~name:"Naive = Linear = Indexed = Parallel on fuzz graphs" ~count:150
     QCheck2.Gen.(int_bound 1_000_000)
     (fun seed ->
       let rng = seeded_rng seed in
@@ -67,7 +81,7 @@ let prop_engines_agree_on_fuzz =
       engines_agree sch g)
 
 let prop_engines_agree_on_social =
-  QCheck2.Test.make ~name:"Naive = Indexed = Parallel on corrupted social graphs"
+  QCheck2.Test.make ~name:"all five engines agree on corrupted social graphs"
     ~count:10
     QCheck2.Gen.(int_bound 1_000_000)
     (fun seed ->

@@ -25,10 +25,14 @@ type B {
 }
 |}
 
-(* the incremental state must always agree with a fresh batch validation *)
+(* the incremental state must always agree with a fresh batch validation,
+   byte for byte: region-based revalidation may not change which message
+   survives normalization *)
 let consistent_with sch t =
   let batch = (Val.check ~engine:Val.Indexed sch (Inc.graph t)).Val.violations in
-  List.equal Vi.equal (Inc.violations t) batch
+  List.equal String.equal
+    (List.map Vi.to_string (Inc.violations t))
+    (List.map Vi.to_string batch)
 
 let assert_consistent t = check_bool "incremental = batch" true (consistent_with schema t)
 
@@ -129,7 +133,7 @@ let prop_random_updates =
         let g = Inc.graph !t in
         let nodes = G.nodes g in
         let pick l = List.nth l (Random.State.int rng (List.length l)) in
-        match Random.State.int rng 8 with
+        match Random.State.int rng 10 with
         | 0 | 1 ->
           let labels = Graphql_pg.Schema.object_names sch @ [ "Ghost" ] in
           let t', _ = Inc.add_node !t ~label:(pick labels) () in
@@ -151,6 +155,12 @@ let prop_random_updates =
         | 7 when nodes <> [] ->
           t := Inc.relabel_node !t (pick nodes)
                  (pick (Graphql_pg.Schema.object_names sch @ [ "Ghost" ]))
+        | 8 when G.edges g <> [] ->
+          t := Inc.set_edge_prop !t (pick (G.edges g))
+                 (pick [ "a0"; "w"; "zzz" ])
+                 (pick [ V.Int 1; V.Float 0.5; V.String "s"; V.Bool true ])
+        | 9 when G.edges g <> [] ->
+          t := Inc.remove_edge_prop !t (pick (G.edges g)) (pick [ "a0"; "w"; "zzz" ])
         | _ -> ()
       in
       let ok = ref true in

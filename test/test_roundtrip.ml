@@ -1,0 +1,190 @@
+(* Serialization round-trips: [parse (print g)] must reproduce [g] for
+   both PGF and GraphML, over random graphs that exercise the awkward
+   corners — empty property maps, empty lists, nan / -0.0 / infinite
+   floats, XML-hostile strings, and properties used at several kinds
+   (which GraphML degrades to pg.kind="mixed"). *)
+
+module G = Graphql_pg.Property_graph
+module V = Graphql_pg.Value
+module Pgf = Graphql_pg.Pgf
+module Graphml = Graphql_pg.Graphml
+
+let check_bool = Alcotest.(check bool)
+
+let pgf_ok src =
+  match Pgf.parse src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "PGF error: %a" Pgf.pp_error e
+
+let graphml_ok src =
+  match Graphml.parse src with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "GraphML error: %a" Graphml.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Generator.  Graphs are built with add_node/add_edge only, so ids are
+   dense and in insertion order and both formats promise exact equality. *)
+
+let tricky_floats =
+  [ Float.nan; -0.0; 0.0; Float.infinity; Float.neg_infinity; 1.5; -2.25e-3; 1e300; 0.1 ]
+
+(* GraphML's scanner drops whitespace-only text nodes, so a string (or ID)
+   value that is pure whitespace cannot round-trip; nothing else can
+   produce one either, so the generator avoids them. *)
+let sanitize s = if s <> "" && String.trim s = "" then "w" ^ s else s
+
+let value_gen =
+  let open QCheck2.Gen in
+  let atom =
+    frequency
+      [
+        (3, map (fun i -> V.Int i) small_signed_int);
+        (2, map (fun f -> V.Float f) (oneofl tricky_floats));
+        (1, map (fun f -> V.Float f) (float_bound_inclusive 1000.0));
+        (3, map (fun s -> V.String (sanitize s)) (small_string ~gen:printable));
+        (1, return (V.String ""));
+        (1, map (fun b -> V.Bool b) bool);
+        (2, map (fun s -> V.Id (sanitize s)) (small_string ~gen:printable));
+        (1, map (fun i -> V.Enum (Printf.sprintf "E%d" (abs i))) small_signed_int);
+      ]
+  in
+  QCheck2.Gen.oneof
+    [ atom; map (fun l -> V.List l) (list_size (int_bound 3) atom) ]
+
+let graph_gen =
+  let open QCheck2.Gen in
+  let label = map (fun i -> Printf.sprintf "L%d" (abs i mod 4)) small_signed_int in
+  (* few names, many kinds: forces pg.kind="mixed" keys in GraphML *)
+  let props =
+    frequency
+      [
+        (1, return []); (* empty property map *)
+        ( 4,
+          list_size (int_range 1 3)
+            (pair (map (fun i -> Printf.sprintf "p%d" (abs i mod 4)) small_signed_int) value_gen)
+        );
+      ]
+  in
+  let* n = int_range 1 8 in
+  let* node_specs = list_repeat n (pair label props) in
+  let* edge_specs =
+    list_size (int_bound 10) (tup4 (int_bound (n - 1)) (int_bound (n - 1)) label props)
+  in
+  return
+    (let g = ref G.empty in
+     let nodes =
+       List.map
+         (fun (label, props) ->
+           let g', v = G.add_node !g ~label ~props () in
+           g := g';
+           v)
+         node_specs
+     in
+     let nodes = Array.of_list nodes in
+     List.iter
+       (fun (i, j, label, props) ->
+         let g', _ = G.add_edge !g ~label ~props nodes.(i) nodes.(j) in
+         g := g')
+       edge_specs;
+     !g)
+
+let prop_pgf_round_trip =
+  QCheck2.Test.make ~name:"PGF round-trip with tricky values" ~count:300 graph_gen
+    (fun g -> match Pgf.parse (Pgf.print g) with Ok g' -> G.equal g g' | Error _ -> false)
+
+let prop_graphml_round_trip =
+  QCheck2.Test.make ~name:"GraphML round-trip with tricky values" ~count:300 graph_gen
+    (fun g ->
+      match Graphml.parse (Graphml.to_string g) with
+      | Ok g' -> G.equal g g'
+      | Error _ -> false)
+
+(* values alone: bit-exact for floats, not just Value.equal (which
+   identifies -0.0 with 0.0) *)
+let bit_exact v v' =
+  match (v, v') with
+  | V.Float f, V.Float f' -> Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+  | _ -> V.equal v v'
+
+let prop_value_round_trip =
+  QCheck2.Test.make ~name:"PGF value literal round-trip is bit-exact" ~count:500 value_gen
+    (fun v ->
+      match Pgf.value_of_string (Pgf.value_to_string v) with
+      | Ok v' -> bit_exact v v'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Directed unit cases *)
+
+let test_empty_graph () =
+  check_bool "pgf" true (G.equal G.empty (pgf_ok (Pgf.print G.empty)));
+  check_bool "graphml" true (G.equal G.empty (graphml_ok (Graphml.to_string G.empty)))
+
+let test_empty_property_maps () =
+  let g, a = G.add_node G.empty ~label:"A" () in
+  let g, b = G.add_node g ~label:"B" () in
+  let g, _ = G.add_edge g ~label:"r" a b in
+  check_bool "pgf" true (G.equal g (pgf_ok (Pgf.print g)));
+  check_bool "graphml" true (G.equal g (graphml_ok (Graphml.to_string g)))
+
+let test_nonfinite_floats () =
+  let props =
+    [
+      ("nan", V.Float Float.nan);
+      ("negzero", V.Float (-0.0));
+      ("inf", V.Float Float.infinity);
+      ("neginf", V.Float Float.neg_infinity);
+      ("listed", V.List [ V.Float Float.nan; V.Float (-0.0) ]);
+    ]
+  in
+  let g, _ = G.add_node G.empty ~label:"N" ~props () in
+  let bits v = match v with Some (V.Float f) -> Int64.bits_of_float f | _ -> Int64.zero in
+  let check_graph g' =
+    check_bool "equal" true (G.equal g g');
+    let n = List.hd (G.nodes g') in
+    check_bool "-0.0 stays negative" true
+      (Int64.equal (bits (G.node_prop g' n "negzero")) (Int64.bits_of_float (-0.0)))
+  in
+  check_graph (pgf_ok (Pgf.print g));
+  check_graph (graphml_ok (Graphml.to_string g))
+
+let test_xml_hostile_strings () =
+  let props =
+    [
+      ("s", V.String "a<b & \"c\" 'd' > e");
+      ("id", V.Id "x&y<z");
+      ("multi", V.String "line one\nline two");
+    ]
+  in
+  let g, _ = G.add_node G.empty ~label:"T" ~props () in
+  check_bool "pgf" true (G.equal g (pgf_ok (Pgf.print g)));
+  check_bool "graphml" true (G.equal g (graphml_ok (Graphml.to_string g)))
+
+(* one name at three kinds: the GraphML key degrades to pg.kind="mixed",
+   every value is rendered in PGF literal syntax, and the graph still
+   round-trips *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_mixed_kind_round_trip () =
+  let g, a = G.add_node G.empty ~label:"A" ~props:[ ("p", V.Int 1) ] () in
+  let g, b = G.add_node g ~label:"A" ~props:[ ("p", V.String "s") ] () in
+  let g, _ = G.add_node g ~label:"A" ~props:[ ("p", V.List [ V.Id "i" ]) ] () in
+  let g, _ = G.add_edge g ~label:"r" ~props:[ ("p", V.Enum "RED") ] a b in
+  check_bool "mixed kind declared" true
+    (contains ~sub:"pg.kind=\"mixed\"" (Graphml.to_string g));
+  check_bool "round-trip" true (G.equal g (graphml_ok (Graphml.to_string g)))
+
+let suite =
+  [
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "empty property maps" `Quick test_empty_property_maps;
+    Alcotest.test_case "nan, -0.0 and infinities" `Quick test_nonfinite_floats;
+    Alcotest.test_case "XML-hostile strings" `Quick test_xml_hostile_strings;
+    Alcotest.test_case "mixed-kind GraphML round-trip" `Quick test_mixed_kind_round_trip;
+    QCheck_alcotest.to_alcotest prop_pgf_round_trip;
+    QCheck_alcotest.to_alcotest prop_graphml_round_trip;
+    QCheck_alcotest.to_alcotest prop_value_round_trip;
+  ]
