@@ -8,10 +8,24 @@
      reduce    Theorem 2: DIMACS CNF -> reduction schema (SDL)
      extend    Section 3.6: extend a PG schema into a GraphQL API schema
      gen       generate the social-network workload as PGF
-     stats     describe a PGF graph *)
+     stats     describe a PGF graph
+
+   Exit codes (uniform across subcommands):
+     0  clean — the requested check passed / the artifact was produced
+     1  findings — violations, lint errors, unsatisfiable types,
+        breaking changes, unrepairable graph
+     2  usage or input error — bad command line, unreadable file,
+        syntax error, inconsistent schema, invalid flag value
+     3  internal error or budget exhausted — unexpected exception, or a
+        --deadline-ms / --max-violations budget ran out before the
+        answer was complete *)
 
 open Cmdliner
 module GP = Graphql_pg
+
+let exit_findings = 1
+let exit_input = 2
+let exit_budget = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -36,7 +50,7 @@ let or_die = function
   | Ok x -> x
   | Error msg ->
     prerr_endline msg;
-    exit 1
+    exit exit_input
 
 (* ---- common arguments ---- *)
 
@@ -49,20 +63,40 @@ let lenient_arg =
     & info [ "lenient" ]
         ~doc:"Skip the consistency check of Definition 4.5 (needed for the paper's Example 6.1).")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds; on exhaustion partial results are \
+           reported and the exit code is 3.")
+
+let max_violations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-violations" ] ~docv:"N"
+        ~doc:"Stop validating after N violations have been found (exit code 3).")
+
+let governor ?deadline_ms ?max_violations () =
+  GP.Governor.make ?deadline_ms ?max_violations ()
+
 (* ---- parse ---- *)
 
 let parse_cmd =
   let run schema_path pretty =
     let text = read_file schema_path in
-    match GP.Sdl.Parser.parse text with
-    | Error e ->
-      prerr_endline (GP.Sdl.Source.error_to_string e);
-      exit 1
-    | Ok doc ->
+    match GP.Sdl.Parser.parse_with_recovery text with
+    | _, (_ :: _ as errors) ->
+      (* every syntax error in the document, one per line *)
+      List.iter (fun e -> prerr_endline (GP.Sdl.Source.error_to_string e)) errors;
+      exit exit_input
+    | doc, [] ->
       let issues = GP.Sdl.Lint.check doc in
       List.iter (fun i -> Format.eprintf "%a@." GP.Sdl.Lint.pp_issue i) issues;
       if pretty then print_string (GP.Sdl.Printer.document_to_string doc);
-      if GP.Sdl.Lint.errors issues <> [] then exit 1
+      if GP.Sdl.Lint.errors issues <> [] then exit exit_findings
   in
   let pretty =
     Arg.(value & flag & info [ "print"; "p" ] ~doc:"Pretty-print the parsed document.")
@@ -74,7 +108,7 @@ let parse_cmd =
 (* ---- check ---- *)
 
 let check_cmd =
-  let run schema_path lenient =
+  let run schema_path lenient deadline_ms =
     let sch = or_die (load_schema ~lenient schema_path) in
     Format.printf "%a@." GP.Schema.pp_summary sch;
     let issues = GP.Consistency.check sch in
@@ -83,15 +117,25 @@ let check_cmd =
       Format.printf "consistency: %d issue(s)@." (List.length issues);
       List.iter (fun i -> Format.printf "  %a@." GP.Consistency.pp_issue i) issues
     end;
+    let gov = governor ?deadline_ms () in
+    let reports = GP.Satisfiability.check_all ~gov sch in
     List.iter
       (fun (ot, report) ->
         Format.printf "satisfiability of %s: %a@." ot GP.Satisfiability.pp_report report)
-      (GP.Satisfiability.check_all sch)
+      reports;
+    if List.exists (fun (_, r) -> GP.Satisfiability.budget_exhausted r) reports then
+      exit exit_budget
+    else if
+      issues <> []
+      || List.exists
+           (fun (_, r) -> r.GP.Satisfiability.finite = GP.Tableau.Unsatisfiable)
+           reports
+    then exit exit_findings
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check schema consistency and the satisfiability of every object type.")
-    Term.(const run $ schema_arg $ lenient_arg)
+    Term.(const run $ schema_arg $ lenient_arg $ deadline_arg)
 
 (* ---- validate ---- *)
 
@@ -113,12 +157,14 @@ let mode_conv =
     ]
 
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode domains =
+  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations =
     let sch = or_die (load_schema ~lenient schema_path) in
     let g = or_die (load_graph graph_path) in
-    let report = GP.Validate.check ~engine ~mode ?domains sch g in
+    let gov = governor ?deadline_ms ?max_violations () in
+    let report = GP.Validate.check ~engine ~mode ?domains ~gov sch g in
     Format.printf "%a@." GP.Validate.pp_report report;
-    if report.GP.Validate.violations <> [] then exit 1
+    if not report.GP.Validate.complete then exit exit_budget
+    else if report.GP.Validate.violations <> [] then exit exit_findings
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -141,21 +187,27 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
-    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains)
+    Term.(
+      const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
+      $ deadline_arg $ max_violations_arg)
 
 (* ---- sat ---- *)
 
 let sat_cmd =
-  let run schema_path type_name lenient witness_out =
+  let run schema_path type_name lenient witness_out deadline_ms =
     let sch = or_die (load_schema ~lenient schema_path) in
-    let report = GP.Satisfiability.check sch type_name in
+    let gov = governor ?deadline_ms () in
+    let report = GP.Satisfiability.check ~gov sch type_name in
     Format.printf "%a@." GP.Satisfiability.pp_report report;
-    match witness_out, report.GP.Satisfiability.witness with
+    (match witness_out, report.GP.Satisfiability.witness with
     | Some path, Some g ->
       GP.Pgf.save path g;
       Format.printf "witness written to %s@." path
     | Some _, None -> print_endline "no witness available"
-    | None, _ -> ()
+    | None, _ -> ());
+    if GP.Satisfiability.budget_exhausted report then exit exit_budget
+    else if report.GP.Satisfiability.finite = GP.Tableau.Unsatisfiable then
+      exit exit_findings
   in
   let type_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"TYPE" ~doc:"Object type name.")
@@ -165,7 +217,7 @@ let sat_cmd =
   in
   Cmd.v
     (Cmd.info "sat" ~doc:"Decide object-type satisfiability (Section 6.2).")
-    Term.(const run $ schema_arg $ type_arg $ lenient_arg $ witness)
+    Term.(const run $ schema_arg $ type_arg $ lenient_arg $ witness $ deadline_arg)
 
 (* ---- reduce ---- *)
 
@@ -175,7 +227,7 @@ let reduce_cmd =
     match GP.Cnf.parse_dimacs text with
     | Error msg ->
       prerr_endline msg;
-      exit 1
+      exit exit_input
     | Ok f -> print_string (GP.Reduction.to_sdl f)
   in
   let cnf_arg =
@@ -195,7 +247,7 @@ let extend_cmd =
     | Ok text -> print_string text
     | Error msg ->
       prerr_endline msg;
-      exit 1
+      exit exit_input
   in
   Cmd.v
     (Cmd.info "extend"
@@ -269,7 +321,7 @@ let repair_cmd =
         | None -> print_string (GP.Pgf.print repaired))
       | None ->
         prerr_endline "could not repair the graph within bounds";
-        exit 1
+        exit exit_findings
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -291,7 +343,7 @@ let diff_cmd =
     if changes = [] then print_endline "schemas are identical (validation-wise)"
     else begin
       List.iter (fun c -> Format.printf "%a@." GP.Schema_diff.pp_change c) changes;
-      if GP.Schema_diff.breaking changes <> [] then exit 1
+      if GP.Schema_diff.breaking changes <> [] then exit exit_findings
     end
   in
   let new_arg =
@@ -314,7 +366,7 @@ let query_cmd =
       | None, Some path -> read_file path
       | None, None ->
         prerr_endline "provide a query (positional) or --file";
-        exit 2
+        exit exit_input
     in
     let variables =
       match variables with
@@ -324,16 +376,16 @@ let query_cmd =
         | Ok (GP.Json.Assoc fields) -> fields
         | Ok _ ->
           prerr_endline "--variables must be a JSON object";
-          exit 2
+          exit exit_input
         | Error e ->
           prerr_endline ("--variables: " ^ e);
-          exit 2)
+          exit exit_input)
     in
     match GP.query ?operation ~variables sch g text with
     | Ok data -> print_endline (GP.Json.to_string ~indent:true data)
     | Error msg ->
       prerr_endline msg;
-      exit 1
+      exit exit_input
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -392,7 +444,26 @@ let () =
     Cmd.info "gpgs" ~version:"1.0.0"
       ~doc:"GraphQL SDL schemas for Property Graphs (Hartig & Hidders, GRADES-NDA 2019)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ parse_cmd; check_cmd; validate_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]))
+  let group =
+    Cmd.group info
+      [ parse_cmd; check_cmd; validate_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]
+  in
+  let code =
+    try
+      (* remap cmdliner's reserved codes onto the documented 0/1/2/3 scheme *)
+      match Cmd.eval ~catch:false group with
+      | c when c = Cmd.Exit.cli_error -> exit_input
+      | c when c = Cmd.Exit.internal_error -> exit_budget
+      | c -> c
+    with
+    | Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit_input
+    | Invalid_argument msg ->
+      prerr_endline ("error: " ^ msg);
+      exit_input
+    | e ->
+      prerr_endline ("internal error: " ^ Printexc.to_string e);
+      exit_budget
+  in
+  exit code

@@ -61,6 +61,7 @@ module To_sdl = Pg_schema.To_sdl
 module Api_extension = Pg_schema.Api_extension
 module Schema_doc = Pg_schema.Schema_doc
 module Plan = Pg_schema.Plan
+module Governor = Pg_validation.Governor
 module Violation = Pg_validation.Violation
 module Validate = Pg_validation.Validate
 module Naive = Pg_validation.Naive

@@ -347,3 +347,26 @@ let mutate_any sch rng g =
     (fun rule ->
       match mutate rule sch rng g with Some g' -> Some (rule, g') | None -> None)
     shuffled
+
+(* ---- text-level faults for the serialized formats ---- *)
+
+let truncate_text rng text =
+  if String.length text = 0 then text
+  else String.sub text 0 (Random.State.int rng (String.length text))
+
+let flip_byte rng text =
+  if String.length text = 0 then text
+  else begin
+    let b = Bytes.of_string text in
+    let i = Random.State.int rng (Bytes.length b) in
+    (* xor with a nonzero mask always changes the byte *)
+    let mask = 1 + Random.State.int rng 255 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+    Bytes.unsafe_to_string b
+  end
+
+let corrupt_text rng text =
+  match Random.State.int rng 3 with
+  | 0 -> truncate_text rng text
+  | 1 -> flip_byte rng text
+  | _ -> flip_byte rng (truncate_text rng text)

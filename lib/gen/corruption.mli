@@ -26,3 +26,20 @@ val mutate_any :
   Pg_graph.Property_graph.t ->
   (Pg_validation.Violation.rule * Pg_graph.Property_graph.t) option
 (** A random applicable mutator (uniform over the applicable ones). *)
+
+(** {2 Text-level faults}
+
+    Faults below operate on the {e serialized} forms (SDL, PGF, GraphML
+    text) rather than on a graph; they model truncated downloads and
+    bit-rot.  The front-end robustness suite asserts that every parser
+    turns such input into an [Error] value — never an exception or a
+    hang. *)
+
+val truncate_text : Random.State.t -> string -> string
+(** Keep a random proper prefix ([""] stays [""]). *)
+
+val flip_byte : Random.State.t -> string -> string
+(** Flip at least one bit of a random byte ([""] stays [""]). *)
+
+val corrupt_text : Random.State.t -> string -> string
+(** Truncate, byte-flip, or both. *)

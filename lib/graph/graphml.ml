@@ -399,8 +399,13 @@ let parse text =
   with Fail message -> Result.Error { message }
 
 let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse text
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error message -> Result.Error { message }
+  | exception End_of_file ->
+    Result.Error { message = path ^ ": unexpected end of file" }
+  | text -> parse text

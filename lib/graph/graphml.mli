@@ -29,3 +29,5 @@ val parse : string -> (Property_graph.t, error) result
     fresh ids in document order. *)
 
 val load : string -> (Property_graph.t, error) result
+(** Like {!parse}, reading from a file.  I/O failures are returned as
+    [Error], never raised. *)

@@ -1,6 +1,9 @@
 type error = { line : int; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "PGF parse error at line %d: %s" e.line e.message
+let pp_error ppf e =
+  (* line 0 marks an I/O failure, which has no position in the text *)
+  if e.line = 0 then Format.fprintf ppf "PGF error: %s" e.message
+  else Format.fprintf ppf "PGF parse error at line %d: %s" e.line e.message
 
 exception Error of error
 
@@ -339,11 +342,16 @@ let value_of_string s =
   with Error e -> Result.Error e
 
 let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse text
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error message -> Result.Error { line = 0; message }
+  | exception End_of_file ->
+    Result.Error { line = 0; message = path ^ ": unexpected end of file" }
+  | text -> parse text
 
 let save path g =
   let oc = open_out_bin path in

@@ -41,7 +41,9 @@ val value_of_string : string -> (Value.t, error) result
     infinities; [-0.0] round-trips to [-0.0]). *)
 
 val load : string -> (Property_graph.t, error) result
-(** [load path] reads and parses a file. *)
+(** [load path] reads and parses a file.  I/O failures (missing file,
+    permissions, truncated read) are returned as [Error] with
+    [line = 0], never raised. *)
 
 val save : string -> Property_graph.t -> unit
 (** [save path g] writes [print g] to a file. *)

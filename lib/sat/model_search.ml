@@ -7,6 +7,7 @@ module Subtype = Pg_schema.Subtype
 module Values_w = Pg_schema.Values_w
 module Rules = Pg_validation.Rules
 module Validate = Pg_validation.Validate
+module Governor = Pg_validation.Governor
 
 let object_subtypes sch t =
   List.filter
@@ -396,10 +397,14 @@ let make_ctx sch ~max_nodes ~restart =
     no_loops = Rules.constrained_fields sch ~directive:"noLoops";
   }
 
-let repair_loop ctx g max_rounds =
+let repair_loop ?(run = Governor.no_run) ctx g max_rounds =
   let g = fill_required_with ctx.sch ctx.counter g in
   let rec loop g rounds =
-    if Validate.conforms ctx.sch g then Some g
+    (* a repair round validates the whole candidate, so one deadline poll
+       per round is proportionate; [None] under an expired run means
+       "gave up", which the caller distinguishes via [Governor.expired] *)
+    if Governor.expired run then None
+    else if Validate.conforms ctx.sch g then Some g
     else if rounds = 0 then None
     else begin
       let g', changed = repair_round ctx g in
@@ -410,19 +415,21 @@ let repair_loop ctx g max_rounds =
   in
   loop g max_rounds
 
-let with_restarts restarts attempt =
-  let rec go k = if k >= restarts then None else
-    match attempt k with Some g -> Some g | None -> go (k + 1)
+let with_restarts ?(run = Governor.no_run) restarts attempt =
+  let rec go k =
+    if k >= restarts || Governor.expired run then None
+    else match attempt k with Some g -> Some g | None -> go (k + 1)
   in
   go 0
 
-let greedy ?(max_nodes = 64) ?(max_rounds = 60) ?(restarts = 12) sch query =
+let greedy ?(max_nodes = 64) ?(max_rounds = 60) ?(restarts = 12) ?(run = Governor.no_run)
+    sch query =
   match Schema.type_kind sch query with
   | Some Schema.Object ->
-    with_restarts restarts (fun restart ->
+    with_restarts ~run restarts (fun restart ->
         let ctx = make_ctx sch ~max_nodes ~restart in
         let g, _ = G.add_node G.empty ~label:query () in
-        repair_loop ctx g max_rounds)
+        repair_loop ~run ctx g max_rounds)
   | Some _ | None ->
     invalid_arg (Printf.sprintf "Model_search.greedy: %S is not an object type" query)
 
@@ -482,16 +489,17 @@ let sanitize sch counter g =
         g (G.node_props g v))
     g (G.nodes g)
 
-let repair ?(max_nodes = 256) ?(max_rounds = 60) ?(restarts = 8) sch g =
-  with_restarts restarts (fun restart ->
+let repair ?(max_nodes = 256) ?(max_rounds = 60) ?(restarts = 8) ?(run = Governor.no_run)
+    sch g =
+  with_restarts ~run restarts (fun restart ->
       let ctx = make_ctx sch ~max_nodes ~restart in
       let g = sanitize sch ctx.counter g in
-      repair_loop ctx g max_rounds)
+      repair_loop ~run ctx g max_rounds)
 
 (* ---------------------------------------------------------------- *)
 (* Exhaustive bounded search.                                        *)
 
-let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) sch query =
+let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) ?(run = Governor.no_run) sch query =
   match Schema.type_kind sch query with
   | Some Schema.Object ->
     let objects = Schema.object_names sch in
@@ -499,7 +507,7 @@ let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) sch query =
     let counter = ref 0 in
     let result = ref None in
     let try_labeling labels =
-      if !result = None && List.mem query labels then begin
+      if (!result = None && not (Governor.expired run)) && List.mem query labels then begin
         (* build base graph *)
         let g, nodes =
           List.fold_left
@@ -533,7 +541,7 @@ let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) sch query =
         if bits <= max_edge_bits then begin
           let limit = 1 lsl bits in
           let mask = ref 0 in
-          while !result = None && !mask < limit do
+          while !result = None && !mask < limit && not (Governor.expired run) do
             let g_edges = ref g in
             Array.iteri
               (fun i (u, f, v) ->
@@ -549,12 +557,13 @@ let exhaustive ?(max_nodes = 3) ?(max_edge_bits = 10) sch query =
       end
     in
     let rec labelings m acc =
-      if !result <> None then ()
+      if !result <> None || Governor.stopped run then ()
       else if m = 0 then try_labeling (List.rev acc)
       else List.iter (fun label -> labelings (m - 1) (label :: acc)) objects
     in
     let m = ref 1 in
-    while !result = None && !m <= max_nodes && num_objects > 0 do
+    while !result = None && !m <= max_nodes && num_objects > 0 && not (Governor.expired run)
+    do
       labelings !m [];
       incr m
     done;

@@ -17,12 +17,19 @@
       justified edge candidates (properties are filled deterministically:
       required attributes get fresh distinct values, which is optimal
       because keys only ever forbid equality).  Complete up to the bound,
-      exponential; for cross-checking on tiny schemas. *)
+      exponential; for cross-checking on tiny schemas.
+
+    Every search takes an optional governor [run] (default
+    {!Pg_validation.Governor.no_run}) and polls its deadline at round /
+    restart / candidate granularity; an expired run makes the search
+    return [None] ("gave up"), which callers can distinguish from a
+    genuine exhaustion via {!Pg_validation.Governor.expired}. *)
 
 val greedy :
   ?max_nodes:int ->
   ?max_rounds:int ->
   ?restarts:int ->
+  ?run:Pg_validation.Governor.run ->
   Pg_schema.Schema.t ->
   string ->
   Pg_graph.Property_graph.t option
@@ -37,6 +44,7 @@ val repair :
   ?max_nodes:int ->
   ?max_rounds:int ->
   ?restarts:int ->
+  ?run:Pg_validation.Governor.run ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   Pg_graph.Property_graph.t option
@@ -52,6 +60,7 @@ val repair :
 val exhaustive :
   ?max_nodes:int ->
   ?max_edge_bits:int ->
+  ?run:Pg_validation.Governor.run ->
   Pg_schema.Schema.t ->
   string ->
   Pg_graph.Property_graph.t option

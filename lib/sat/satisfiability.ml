@@ -1,4 +1,5 @@
 module Schema = Pg_schema.Schema
+module Governor = Pg_validation.Governor
 
 type report = {
   alcqi : Tableau.verdict;
@@ -6,11 +7,28 @@ type report = {
   witness : Pg_graph.Property_graph.t option;
 }
 
-let check ?fuel ?(max_nodes = 64) sch ot =
+(* Is this verdict an [Unknown] caused by budget exhaustion (as opposed
+   to fuel exhaustion or a genuinely inconclusive engine)?  All
+   budget-induced verdicts carry the {!Governor.exhausted_reason}
+   prefix. *)
+let verdict_exhausted = function
+  | Tableau.Unknown reason ->
+    let p = Governor.exhausted_reason in
+    String.length reason >= String.length p
+    && String.equal (String.sub reason 0 (String.length p)) p
+  | Tableau.Satisfiable | Tableau.Unsatisfiable -> false
+
+let budget_exhausted r = verdict_exhausted r.alcqi || verdict_exhausted r.finite
+
+let unknown_exhausted phase =
+  Tableau.Unknown (Printf.sprintf "%s during %s" Governor.exhausted_reason phase)
+
+let check ?fuel ?(max_nodes = 64) ?(gov = Governor.unlimited) sch ot =
   if Schema.type_kind sch ot <> Some Schema.Object then
     invalid_arg (Printf.sprintf "Satisfiability.check: %S is not an object type" ot);
+  let run = Governor.start gov in
   let tbox = Translate.tbox sch in
-  let alcqi = Tableau.is_satisfiable ?fuel ~tbox (Translate.concept_of_type ot) in
+  let alcqi = Tableau.is_satisfiable ?fuel ~run ~tbox (Translate.concept_of_type ot) in
   match alcqi with
   | Tableau.Unsatisfiable ->
     (* no model at all, in particular no finite one *)
@@ -18,37 +36,62 @@ let check ?fuel ?(max_nodes = 64) sch ot =
   | Tableau.Satisfiable | Tableau.Unknown _ -> (
     match Counting.check sch ot with
     | Counting.Infeasible -> { alcqi; finite = Tableau.Unsatisfiable; witness = None }
-    | Counting.Feasible -> (
-      match Model_search.greedy ~max_nodes sch ot with
-      | Some g -> { alcqi; finite = Tableau.Satisfiable; witness = Some g }
-      | None -> (
-        (* the exhaustive fallback is exponential in the number of object
-           types; only worth attempting on small schemas *)
-        let exhaustive_result =
-          if List.length (Schema.object_names sch) <= 4 then
-            Model_search.exhaustive sch ot
-          else None
-        in
-        match exhaustive_result with
+    | Counting.Feasible ->
+      if Governor.expired run then
+        { alcqi; finite = unknown_exhausted "witness search"; witness = None }
+      else begin
+        match Model_search.greedy ~max_nodes ~run sch ot with
         | Some g -> { alcqi; finite = Tableau.Satisfiable; witness = Some g }
-        | None ->
-          {
-            alcqi;
-            finite = Tableau.Unknown "no witness found within bounds; counting feasible";
-            witness = None;
-          })))
+        | None when Governor.expired run ->
+          { alcqi; finite = unknown_exhausted "witness search"; witness = None }
+        | None -> (
+          (* the exhaustive fallback is exponential in the number of object
+             types; only worth attempting on small schemas *)
+          let exhaustive_result =
+            if List.length (Schema.object_names sch) <= 4 then
+              Model_search.exhaustive ~run sch ot
+            else None
+          in
+          match exhaustive_result with
+          | Some g -> { alcqi; finite = Tableau.Satisfiable; witness = Some g }
+          | None when Governor.expired run ->
+            { alcqi; finite = unknown_exhausted "witness search"; witness = None }
+          | None ->
+            {
+              alcqi;
+              finite = Tableau.Unknown "no witness found within bounds; counting feasible";
+              witness = None;
+            })
+      end)
 
-let satisfiable ?fuel ?max_nodes sch ot =
-  (check ?fuel ?max_nodes sch ot).finite = Tableau.Satisfiable
+let satisfiable ?fuel ?max_nodes ?gov sch ot =
+  (check ?fuel ?max_nodes ?gov sch ot).finite = Tableau.Satisfiable
 
-let check_all ?fuel ?max_nodes sch =
-  List.map (fun ot -> (ot, check ?fuel ?max_nodes sch ot)) (Schema.object_names sch)
+(* Per-type time slicing: each remaining type gets an equal share of the
+   time still on the clock, so one pathological type exhausts only its
+   own slice and the later types still run (with progressively refreshed
+   shares — a type that finishes early donates its leftover). *)
+let check_all ?fuel ?max_nodes ?(gov = Governor.unlimited) sch =
+  let names = Schema.object_names sch in
+  match Governor.deadline_ms gov with
+  | None -> List.map (fun ot -> (ot, check ?fuel ?max_nodes ~gov sch ot)) names
+  | Some total_ms ->
+    let deadline_abs = Unix.gettimeofday () +. (total_ms /. 1000.0) in
+    let n = List.length names in
+    List.mapi
+      (fun i ot ->
+        let remaining_ms =
+          Float.max 0.0 ((deadline_abs -. Unix.gettimeofday ()) *. 1000.0)
+        in
+        let share = remaining_ms /. float_of_int (n - i) in
+        (ot, check ?fuel ?max_nodes ~gov:(Governor.with_deadline_ms gov share) sch ot))
+      names
 
-let unsatisfiable_types ?fuel ?max_nodes sch =
+let unsatisfiable_types ?fuel ?max_nodes ?gov sch =
   List.filter_map
     (fun (ot, report) ->
       if report.finite = Tableau.Unsatisfiable then Some ot else None)
-    (check_all ?fuel ?max_nodes sch)
+    (check_all ?fuel ?max_nodes ?gov sch)
 
 let pp_report ppf r =
   Format.fprintf ppf "ALCQI (paper): %a; finite PG: %a%s" Tableau.pp_verdict r.alcqi

@@ -17,7 +17,13 @@
 
     The two verdicts differ exactly on schemas whose models are all
     infinite — e.g. the paper's diagram (b) of Example 6.1; see
-    EXPERIMENTS.md. *)
+    EXPERIMENTS.md.
+
+    The problem is NP-hard (Theorem 2), so every entry point accepts a
+    {!Pg_validation.Governor.t} budget; an exhausted budget downgrades
+    the affected verdict to [Unknown] (reason prefixed with
+    {!Pg_validation.Governor.exhausted_reason}; test with
+    {!budget_exhausted}) — budgeted calls never raise and never hang. *)
 
 type report = {
   alcqi : Tableau.verdict;
@@ -28,20 +34,47 @@ type report = {
 val check :
   ?fuel:int ->
   ?max_nodes:int ->
+  ?gov:Pg_validation.Governor.t ->
   Pg_schema.Schema.t ->
   string ->
   report
 (** @raise Invalid_argument if the name is not an object type. *)
 
-val satisfiable : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> string -> bool
+val satisfiable :
+  ?fuel:int ->
+  ?max_nodes:int ->
+  ?gov:Pg_validation.Governor.t ->
+  Pg_schema.Schema.t ->
+  string ->
+  bool
 (** Finite satisfiability; [Unknown] counts as satisfiable = false.
     Prefer {!check} when the distinction matters. *)
 
-val check_all : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> (string * report) list
-(** Every object type of the schema, sorted by name. *)
+val check_all :
+  ?fuel:int ->
+  ?max_nodes:int ->
+  ?gov:Pg_validation.Governor.t ->
+  Pg_schema.Schema.t ->
+  (string * report) list
+(** Every object type of the schema, sorted by name.  A budget deadline
+    is {e time-sliced} across the types: each type gets an equal share of
+    the time remaining when its turn comes, so one pathological type
+    cannot starve the rest — it exhausts its own slice ([Unknown]) and
+    the later types still run (a type finishing early donates its
+    leftover to the rest). *)
 
-val unsatisfiable_types : ?fuel:int -> ?max_nodes:int -> Pg_schema.Schema.t -> string list
+val unsatisfiable_types :
+  ?fuel:int ->
+  ?max_nodes:int ->
+  ?gov:Pg_validation.Governor.t ->
+  Pg_schema.Schema.t ->
+  string list
 (** Object types whose [finite] verdict is [Unsatisfiable] — the soundness
     check a schema author wants before deploying a schema. *)
+
+val budget_exhausted : report -> bool
+(** Did either verdict degrade to [Unknown] because the budget ran out
+    (rather than because the engines were genuinely inconclusive)?  The
+    CLI maps this to its own exit code. *)
 
 val pp_report : Format.formatter -> report -> unit

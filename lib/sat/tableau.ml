@@ -1,3 +1,5 @@
+module Governor = Pg_validation.Governor
+
 module CSet = Set.Make (struct
   type t = Alcqi.concept
 
@@ -38,6 +40,7 @@ type state = {
 }
 
 exception Fuel_exhausted
+exception Budget_exhausted
 
 let node st x = IMap.find x st.nodes
 
@@ -432,13 +435,19 @@ let fresh_node st ~parent ~roles ~labels =
   in
   (st, id)
 
-let is_satisfiable ?(fuel = 200_000) ~tbox c0 =
+let is_satisfiable ?(fuel = 200_000) ?(run = Governor.no_run) ~tbox c0 =
   let ctx = absorb tbox in
   let global_set = ctx.global in
   let fuel_left = ref fuel in
+  let governed = Governor.active run in
   let rec expand st =
     decr fuel_left;
     if !fuel_left <= 0 then raise Fuel_exhausted;
+    (* Deadline poll every 64 rule applications: cheap against the cost
+       of a [find_rule] sweep, frequent enough that a 0 ms deadline
+       aborts after a handful of applications. *)
+    if governed && (!fuel_left land 63 = 0 || Governor.stopped run) && Governor.expired run
+    then raise Budget_exhausted;
     match find_rule ctx st with
     | Clash -> false
     | Done -> true
@@ -479,3 +488,5 @@ let is_satisfiable ?(fuel = 200_000) ~tbox c0 =
   | true -> Satisfiable
   | false -> Unsatisfiable
   | exception Fuel_exhausted -> Unknown (Printf.sprintf "fuel (%d) exhausted" fuel)
+  | exception Budget_exhausted ->
+    Unknown (Governor.exhausted_reason ^ " before the tableau closed")

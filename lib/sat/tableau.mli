@@ -21,11 +21,21 @@
 
     The search is a depth-first traversal of the nondeterministic choices
     with a fuel bound as a safety net ([Unknown] is returned only if fuel
-    runs out, which does not happen on the paper's workloads). *)
+    runs out, which does not happen on the paper's workloads), and an
+    optional wall-clock budget on top of the fuel. *)
 
 type verdict = Satisfiable | Unsatisfiable | Unknown of string
 
-val is_satisfiable : ?fuel:int -> tbox:Alcqi.tbox -> Alcqi.concept -> verdict
-(** Default fuel: 200_000 rule applications. *)
+val is_satisfiable :
+  ?fuel:int ->
+  ?run:Pg_validation.Governor.run ->
+  tbox:Alcqi.tbox ->
+  Alcqi.concept ->
+  verdict
+(** Default fuel: 200_000 rule applications.  [run] (default
+    {!Pg_validation.Governor.no_run}) adds a deadline/cancellation
+    checkpoint every 64 rule applications; exhaustion yields
+    [Unknown reason] with [reason] prefixed by
+    {!Pg_validation.Governor.exhausted_reason} — never an exception. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -364,9 +364,12 @@ let aggregate diagnostics =
   String.concat "\n" (List.map (fun d -> Format.asprintf "%a" pp_diagnostic d) diagnostics)
 
 let parse_with ~check_consistency text =
-  match Pg_sdl.Parser.parse text with
-  | Result.Error e -> Result.Error (Source.error_to_string e)
-  | Ok doc -> (
+  match Pg_sdl.Parser.parse_with_recovery text with
+  | _, (_ :: _ as errors) ->
+    (* report every syntax error found in the document, one per line
+       (identical to the pre-recovery output when there is only one) *)
+    Result.Error (String.concat "\n" (List.map Source.error_to_string errors))
+  | doc, [] -> (
     match build doc with
     | Result.Error diagnostics -> Result.Error (aggregate diagnostics)
     | Ok (sch, _warnings) ->

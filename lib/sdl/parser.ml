@@ -382,6 +382,56 @@ let document st : Ast.document =
   if defs = [] then fail st "empty document";
   defs
 
+(* ------------------------------------------------------------------ *)
+(* Error recovery                                                      *)
+
+let is_top_level_keyword = function
+  | "schema" | "scalar" | "type" | "interface" | "union" | "enum" | "input"
+  | "directive" | "extend" ->
+    true
+  | _ -> false
+
+(* After a syntax error, skip forward to a plausible start of the next
+   top-level definition: the next definition keyword at brace depth 0
+   (depth counted from the error point, clamped at 0 so the closing
+   brace of the definition we crashed inside does not go negative).
+
+   Progress/termination: when the failed parse consumed nothing
+   ([st.pos = start_pos]) we consume one token up front; afterwards
+   every loop iteration either advances or stops at [Eof] (where
+   [advance] is a no-op) or at a keyword — and a keyword stop leaves
+   [st.pos > start_pos], so the caller's next [definition] attempt
+   starts strictly later in the token stream. *)
+let synchronize st start_pos =
+  if st.pos = start_pos then advance st;
+  let depth = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match peek_token st with
+    | Token.Eof -> stop := true
+    | Token.Name n when !depth = 0 && is_top_level_keyword n -> stop := true
+    | Token.Brace_open ->
+      incr depth;
+      advance st
+    | Token.Brace_close ->
+      if !depth > 0 then decr depth;
+      advance st
+    | _ -> advance st
+  done
+
+let document_with_recovery st : Ast.document * Source.error list =
+  let defs = ref [] in
+  let errs = ref [] in
+  while peek_token st <> Token.Eof do
+    let start_pos = st.pos in
+    match definition st with
+    | d -> defs := d :: !defs
+    | exception Error e ->
+      errs := e :: !errs;
+      synchronize st start_pos
+  done;
+  (List.rev !defs, List.rev !errs)
+
 let with_tokens src k =
   match Lexer.tokenize src with
   | Result.Error e -> Result.Error e
@@ -398,3 +448,14 @@ let with_tokens src k =
 let parse src = with_tokens src document
 let parse_type_ref src = with_tokens src type_ref
 let parse_value src = with_tokens src value
+
+let parse_with_recovery src =
+  match Lexer.tokenize src with
+  | Result.Error e -> ([], [ e ])
+  | Ok tokens -> (
+    let st = { tokens = Array.of_list tokens; pos = 0 } in
+    match document_with_recovery st with
+    | [], [] ->
+      (* parity with {!parse}: an empty document is still an error *)
+      ([], [ { Source.at = span_here st; message = "empty document" } ])
+    | defs, errs -> (defs, errs))

@@ -10,6 +10,20 @@
 val parse : string -> (Ast.document, Source.error) result
 (** Lex and parse a complete SDL document. *)
 
+val parse_with_recovery : string -> Ast.document * Source.error list
+(** Like {!parse}, but on a syntax error the parser records a diagnostic
+    and resynchronizes at the next top-level definition keyword
+    ([schema], [scalar], [type], [interface], [union], [enum], [input],
+    [directive], [extend]) at brace depth 0, then keeps parsing — so a
+    document with several independent errors reports all of them in one
+    run, together with every definition that did parse.
+
+    Guarantees: always terminates; an empty error list means the
+    document is exactly what {!parse} would have returned [Ok]; a
+    document {!parse} rejects with a single error yields that same
+    error first in the list.  Lexer errors are not recoverable: the
+    result is [([], [e])]. *)
+
 val parse_type_ref : string -> (Ast.type_ref, Source.error) result
 (** Parse a single type reference such as ["[Foo!]!"]; used by tests and by
     the CLI. *)

@@ -1,0 +1,119 @@
+(** Resource governance for the validation and satisfiability engines.
+
+    Validation is polynomial (Theorem 1) but object-type satisfiability is
+    NP-hard (Theorem 2); a production pipeline must bound both.  A
+    {!t} ({e budget}) declares the bounds a caller is willing to spend —
+    a wall-clock deadline, a cap on reported violations, a cooperative
+    cancellation flag — and a {!run} is one metered execution against that
+    budget.  Engines poll the run at checkpoints inside their kernels and
+    stop {e cooperatively}: a stopped run makes every remaining checkpoint
+    answer "stop", the engine drains without doing further work, and the
+    caller receives a {e partial} result (a report with [complete =
+    false], an [Unknown] verdict) instead of an exception or a hang.
+
+    The unlimited budget is free: engines skip all metering when the run
+    is {!active}-false, so an unbudgeted check executes exactly the same
+    instructions as before this module existed, and its report is
+    byte-identical.
+
+    Runs are domain-safe: the stop flag and the counters are [Atomic]s
+    shared by every domain of the {!Parallel} engine, so one domain
+    noticing an expired deadline (or an external [cancel]) stops all of
+    them. *)
+
+(** {1 Budgets} *)
+
+type t
+(** What a caller is willing to spend.  Immutable except for the embedded
+    cancellation flag. *)
+
+val unlimited : t
+(** No deadline, no violation cap, not cancellable.  Runs started from it
+    are inert ({!active} is [false]) and meter nothing. *)
+
+val make :
+  ?deadline_ms:float -> ?max_violations:int -> ?cancel:bool Atomic.t -> unit -> t
+(** [deadline_ms] is relative to {!start} (not to [make]).
+    [max_violations] bounds the {e raw} findings before normalization —
+    it is a work bound, not a promise about the length of the final
+    deduplicated list.  [cancel] is an externally owned flag: set it to
+    [true] (from another domain, a signal handler, ...) and every run of
+    this budget stops at its next checkpoint. *)
+
+val is_unlimited : t -> bool
+
+val deadline_ms : t -> float option
+
+val with_deadline_ms : t -> float -> t
+(** Same cap and cancellation flag, different deadline — used by
+    {!Pg_sat.Satisfiability.check_all} to slice one budget into per-type
+    shares. *)
+
+val cancel : t -> unit
+(** Set the budget's cancellation flag. *)
+
+(** {1 Runs} *)
+
+type run
+(** One metered execution: the absolute deadline, the stop flag, and the
+    progress counters.  Safe to share across domains. *)
+
+val start : t -> run
+(** Resolve the deadline against the current wall clock.  Starting
+    {!unlimited} (or any budget with nothing to enforce) returns an inert
+    run. *)
+
+val no_run : run
+(** The inert run: never stops, meters nothing.  The default for every
+    engine entry point. *)
+
+val active : run -> bool
+(** [false] exactly for inert runs — engines use this to skip metering
+    entirely on the unbudgeted path. *)
+
+val stopped : run -> bool
+(** Cheap (two atomic loads): has this run been stopped — by deadline,
+    violation cap, or cancellation?  Inert runs are never stopped. *)
+
+val tick : run -> int -> bool
+(** [tick run k] is the per-element checkpoint: [true] means stop now.
+    Checks the stop and cancellation flags on every call; polls the wall
+    clock only when [k land 255 = 0], so callers pass a dense local
+    counter (starting at 0, which guarantees at least one clock poll per
+    loop — a deadline of 0 stops before the first element). *)
+
+val expired : run -> bool
+(** {!tick} without the stride: always polls the clock.  For coarse
+    checkpoints (between engine phases, between tableau rule
+    applications batches). *)
+
+val stop_now : run -> unit
+(** Force the run to stop at every subsequent checkpoint. *)
+
+val note_found : run -> int -> unit
+(** Count [n] raw findings; stops the run once the total reaches the
+    budget's [max_violations]. *)
+
+val note_node_scans : run -> int -> unit
+val note_edge_scans : run -> int -> unit
+(** Progress accounting: completed element visits.  The per-rule engines
+    revisit each element once per rule, so these measure work done, not
+    distinct elements. *)
+
+val added : 'a list -> 'a list -> int
+(** [added acc' acc] is the number of cells [acc'] prepends to [acc]
+    (rule bodies only ever cons onto their accumulator) — how engines
+    count findings without touching every rule body. *)
+
+val complete : run -> bool
+(** [true] iff the run was never stopped: the result covers the whole
+    input and equals the unbudgeted result. *)
+
+val found : run -> int
+val node_scans : run -> int
+val edge_scans : run -> int
+
+val exhausted_reason : string
+(** ["budget exhausted"] — the prefix every budget-induced [Unknown]
+    verdict starts with, so callers (the CLI exit-code logic) can
+    distinguish budget exhaustion from genuine indeterminacy. *)

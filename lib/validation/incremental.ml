@@ -28,12 +28,14 @@ type t = {
   env : Values_w.env;
   g : G.t;
   vset : VSet.t;
+  complete : bool;  (* was the initial batch validation complete? *)
 }
 
 let graph t = t.g
 let schema t = Plan.schema t.plan
 let violations t = VSet.elements t.vset
-let is_valid t = VSet.is_empty t.vset
+let is_valid t = VSet.is_empty t.vset && t.complete
+let complete t = t.complete
 
 (* ------------------------------------------------------------------ *)
 (* Local revalidation: the fifteen rules restricted to a region.
@@ -355,14 +357,15 @@ let refresh t region =
 
 (* ------------------------------------------------------------------ *)
 
-let create ?env sch g =
+let create ?env ?(gov = Governor.unlimited) sch g =
   let plan = Plan.compile sch in
-  let report = Validate.check_compiled ~engine:Validate.Indexed ?env plan g in
+  let report = Validate.check_compiled ~engine:Validate.Indexed ?env ~gov plan g in
   {
     plan;
     env = Option.value env ~default:Values_w.default_env;
     g;
     vset = VSet.of_list report.Validate.violations;
+    complete = report.Validate.complete;
   }
 
 let add_node t ~label ?props () =

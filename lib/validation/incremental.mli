@@ -28,8 +28,16 @@
 type t
 
 val create :
-  ?env:Pg_schema.Values_w.env -> Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> t
-(** Validates the initial graph once (indexed engine). *)
+  ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.t ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  t
+(** Validates the initial graph once (indexed engine).  [gov] (default
+    {!Governor.unlimited}) bounds that initial batch validation; if it
+    stops early, {!complete} is [false] and the maintained set is a
+    subset of the true violation set — updates keep it locally exact
+    for the touched regions, but unscanned violations stay unknown. *)
 
 val graph : t -> Pg_graph.Property_graph.t
 
@@ -39,6 +47,11 @@ val violations : t -> Violation.t list
 (** Normalized, equal to a fresh strong validation of {!graph}. *)
 
 val is_valid : t -> bool
+(** No known violations {e and} the initial validation was complete. *)
+
+val complete : t -> bool
+(** [false] iff the initial batch validation was cut short by its
+    budget, making {!violations} a lower bound. *)
 
 (** {1 Updates}
 

@@ -29,11 +29,16 @@ module Snapshot = Pg_graph.Snapshot
 module Plan = Pg_schema.Plan
 module Values_w = Pg_schema.Values_w
 
-type ctx = { plan : Plan.t; snap : Snapshot.t; env : Values_w.env }
+type ctx = {
+  plan : Plan.t;
+  snap : Snapshot.t;
+  env : Values_w.env;
+  gov : Governor.run;
+}
 
-let make_ctx ?env plan g =
+let make_ctx ?env ?(gov = Governor.no_run) plan g =
   let env = Option.value env ~default:Values_w.default_env in
-  { plan; snap = Snapshot.build (Plan.symtab plan) g; env }
+  { plan; snap = Snapshot.build (Plan.symtab plan) g; env; gov }
 
 (* The rules a pass evaluates: WS (weak), DS (dirs), SS extras (strong). *)
 type rule_set = { weak : bool; dirs : bool; strong : bool }
@@ -487,28 +492,50 @@ let rec add_value_key buf (v : Value.t) =
     Buffer.add_char buf ':';
     List.iter (add_value_key buf) vs
 
+let ds7_scan ctx (key : Plan.key) groups i =
+  let snap = ctx.snap in
+  if Plan.is_sub ctx.plan snap.Snapshot.node_label.(i) key.Plan.key_owner then begin
+    let buf = Buffer.create 32 in
+    Array.iter
+      (fun fsym ->
+        (match Snapshot.find_prop snap.Snapshot.node_props.(i) fsym with
+        | None -> Buffer.add_char buf 'A' (* absent *)
+        | Some value ->
+          Buffer.add_char buf 'P';
+          add_value_key buf value);
+        Buffer.add_char buf '\x00')
+      key.Plan.key_attrs;
+    let k = Buffer.contents buf in
+    match Hashtbl.find_opt groups k with
+    | Some l -> Hashtbl.replace groups k (i :: l)
+    | None -> Hashtbl.add groups k [ i ]
+  end
+
 let ds7 ctx (key : Plan.key) acc =
   let snap = ctx.snap in
+  let gov = ctx.gov in
   let groups : (string, int list) Hashtbl.t = Hashtbl.create 256 in
-  for i = 0 to snap.Snapshot.n - 1 do
-    if Plan.is_sub ctx.plan snap.Snapshot.node_label.(i) key.Plan.key_owner then begin
-      let buf = Buffer.create 32 in
-      Array.iter
-        (fun fsym ->
-          (match Snapshot.find_prop snap.Snapshot.node_props.(i) fsym with
-          | None -> Buffer.add_char buf 'A' (* absent *)
-          | Some value ->
-            Buffer.add_char buf 'P';
-            add_value_key buf value);
-          Buffer.add_char buf '\x00')
-        key.Plan.key_attrs;
-      let k = Buffer.contents buf in
-      match Hashtbl.find_opt groups k with
-      | Some l -> Hashtbl.replace groups k (i :: l)
-      | None -> Hashtbl.add groups k [ i ]
-    end
-  done;
-  Hashtbl.fold
+  (* A stopped scan leaves every group a subset of its full membership,
+     so the emitted pairs are a subset of the full report's — partial
+     DS7 results stay prefix-consistent. *)
+  if not (Governor.active gov) then
+    for i = 0 to snap.Snapshot.n - 1 do
+      ds7_scan ctx key groups i
+    done
+  else begin
+    let i = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !i < snap.Snapshot.n do
+      if Governor.tick gov !i then stop := true
+      else begin
+        ds7_scan ctx key groups !i;
+        incr i
+      end
+    done;
+    Governor.note_node_scans gov !i
+  end;
+  let acc' =
+    Hashtbl.fold
     (fun _key group acc ->
       match group with
       | [] | [ _ ] -> acc
@@ -522,31 +549,61 @@ let ds7 ctx (key : Plan.key) acc =
                  (min a b) (max a b) key.Plan.key_owner_name
                  (String.concat ", " key.Plan.key_fields)))
           acc)
-    groups acc
+      groups acc
+  in
+  if Governor.active gov then Governor.note_found gov (Governor.added acc' acc);
+  acc'
 
 (* ------------------------------------------------------------------ *)
 (* Slice kernels (Indexed runs one slice, Parallel shards them)         *)
 
-let over_range body ctx ~lo ~hi acc =
-  let acc = ref acc in
-  for i = lo to hi - 1 do
-    acc := body ctx i !acc
-  done;
-  !acc
+(* Ungoverned runs ([Governor.no_run], the default) take the tight
+   for-loop — exactly the pre-governor code path, so their reports and
+   cost are untouched.  Governed runs checkpoint per element and record
+   completed visits and fresh findings; [note] is the scan counter of
+   the kernel's universe (nodes or edges). *)
+let over_range_noting note body ctx ~lo ~hi acc =
+  let gov = ctx.gov in
+  if not (Governor.active gov) then begin
+    let acc = ref acc in
+    for i = lo to hi - 1 do
+      acc := body ctx i !acc
+    done;
+    !acc
+  end
+  else begin
+    let acc = ref acc in
+    let i = ref lo in
+    let stop = ref false in
+    while (not !stop) && !i < hi do
+      if Governor.tick gov (!i - lo) then stop := true
+      else begin
+        let before = !acc in
+        acc := body ctx !i before;
+        Governor.note_found gov (Governor.added !acc before);
+        incr i
+      end
+    done;
+    note gov (!i - lo);
+    !acc
+  end
 
-let ws1 ctx = over_range ws1_node ctx
-let ws2 ctx = over_range ws2_edge ctx
-let ws3 ctx = over_range ws3_edge ctx
-let ws4 ctx = over_range ws4_node ctx
-let ds1 ctx = over_range ds1_node ctx
-let ds2 ctx = over_range ds2_node ctx
-let ds3 ctx = over_range ds3_node ctx
-let ds4 ctx = over_range ds4_node ctx
-let ds56 ctx = over_range ds56_node ctx
-let ss1 ctx = over_range ss1_node ctx
-let ss2 ctx = over_range ss2_node ctx
-let ss3 ctx = over_range ss3_edge ctx
-let ss4 ctx = over_range ss4_edge ctx
+let over_nodes body ctx = over_range_noting Governor.note_node_scans body ctx
+let over_edges body ctx = over_range_noting Governor.note_edge_scans body ctx
+
+let ws1 ctx = over_nodes ws1_node ctx
+let ws2 ctx = over_edges ws2_edge ctx
+let ws3 ctx = over_edges ws3_edge ctx
+let ws4 ctx = over_nodes ws4_node ctx
+let ds1 ctx = over_nodes ds1_node ctx
+let ds2 ctx = over_nodes ds2_node ctx
+let ds3 ctx = over_nodes ds3_node ctx
+let ds4 ctx = over_nodes ds4_node ctx
+let ds56 ctx = over_nodes ds56_node ctx
+let ss1 ctx = over_nodes ss1_node ctx
+let ss2 ctx = over_nodes ss2_node ctx
+let ss3 ctx = over_edges ss3_edge ctx
+let ss4 ctx = over_edges ss4_edge ctx
 
 (* ------------------------------------------------------------------ *)
 (* Fused passes (the Linear engine: everything about one element in one

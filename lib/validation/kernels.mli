@@ -23,14 +23,22 @@ type ctx = {
   plan : Pg_schema.Plan.t;
   snap : Pg_graph.Snapshot.t;
   env : Pg_schema.Values_w.env;
+  gov : Governor.run;
+      (** budget checkpointed by every kernel loop; {!Governor.no_run}
+          (the default) restores the exact ungoverned code path *)
 }
 
 val make_ctx :
-  ?env:Pg_schema.Values_w.env -> Pg_schema.Plan.t -> Pg_graph.Property_graph.t -> ctx
+  ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.run ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Property_graph.t ->
+  ctx
 (** Freeze a graph against a compiled plan.  Interns any graph-only
     labels into the plan's symbol table, so resolving graphs against a
     shared plan is sequential-only; the resulting ctx is immutable and
-    safe to share across domains. *)
+    safe to share across domains (the governor run is [Atomic]-based).
+    [gov] defaults to {!Governor.no_run}: unlimited, unmetered. *)
 
 type rule_set = { weak : bool; dirs : bool; strong : bool }
 (** Which rule families a pass evaluates: WS1–WS4 ([weak]), DS1–DS7

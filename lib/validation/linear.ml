@@ -11,12 +11,37 @@ module Snapshot = Pg_graph.Snapshot
 
 let check (ctx : K.ctx) (rs : K.rule_set) =
   let n = ctx.K.snap.Snapshot.n and m = ctx.K.snap.Snapshot.m in
+  let gov = ctx.K.gov in
   let acc = ref [] in
-  for i = 0 to n - 1 do
-    acc := K.node_pass ctx rs i !acc
-  done;
-  for j = 0 to m - 1 do
-    acc := K.edge_pass ctx rs j !acc
-  done;
+  if not (Governor.active gov) then begin
+    for i = 0 to n - 1 do
+      acc := K.node_pass ctx rs i !acc
+    done;
+    for j = 0 to m - 1 do
+      acc := K.edge_pass ctx rs j !acc
+    done
+  end
+  else begin
+    (* Same passes with per-element budget checkpoints.  The fused shape
+       visits each element exactly once, so the noted scans are element
+       counts, not rule × element work units. *)
+    let governed len pass =
+      let i = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !i < len do
+        if Governor.tick gov !i then stop := true
+        else begin
+          let before = !acc in
+          acc := pass !i before;
+          Governor.note_found gov (Governor.added !acc before);
+          incr i
+        end
+      done;
+      !i
+    in
+    Governor.note_node_scans gov (governed n (fun i acc -> K.node_pass ctx rs i acc));
+    Governor.note_edge_scans gov (governed m (fun j acc -> K.edge_pass ctx rs j acc))
+  end;
+  (* ds7_all checkpoints internally through the ctx governor. *)
   let acc = if rs.K.dirs then K.ds7_all ctx !acc else !acc in
   Violation.normalize acc

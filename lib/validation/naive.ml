@@ -5,9 +5,49 @@ module Wrapped = Pg_schema.Wrapped
 module Subtype = Pg_schema.Subtype
 module Values_w = Pg_schema.Values_w
 
+(* Budget-guarded folds.  With an inactive run ([Governor.no_run], the
+   default) both are exactly [List.fold_left] — the unbudgeted
+   specification path is untouched.  [gfold] wraps the graph-element
+   level of each rule: it checkpoints per element, counts the fresh
+   violations of each visit against the violation cap, and records
+   completed visits through [note] ([Governor.note_node_scans] or
+   [note_edge_scans]).  [tfold] only checkpoints — for constraint lists
+   and the inner loops of the quadratic pair rules, whose additions are
+   already counted by the enclosing [gfold] element. *)
+let gfold gov note f acc xs =
+  if not (Governor.active gov) then List.fold_left f acc xs
+  else begin
+    let rec go k acc = function
+      | [] ->
+        note gov k;
+        acc
+      | x :: tl ->
+        if Governor.tick gov k then begin
+          note gov k;
+          acc
+        end
+        else begin
+          let acc' = f acc x in
+          Governor.note_found gov (Governor.added acc' acc);
+          go (k + 1) acc' tl
+        end
+    in
+    go 0 acc xs
+  end
+
+let tfold gov f acc xs =
+  if not (Governor.active gov) then List.fold_left f acc xs
+  else begin
+    let rec go k acc = function
+      | [] -> acc
+      | x :: tl -> if Governor.tick gov k then acc else go (k + 1) (f acc x) tl
+    in
+    go 0 acc xs
+  end
+
 (* WS1: node properties must be of the required type *)
-let ws1 ?env sch g acc =
-  List.fold_left
+let ws1 ?env gov sch g acc =
+  gfold gov Governor.note_node_scans
     (fun acc v ->
       let label = G.node_label g v in
       List.fold_left
@@ -26,8 +66,8 @@ let ws1 ?env sch g acc =
     acc (G.nodes g)
 
 (* WS2: edge properties must be of the required type *)
-let ws2 ?env sch g acc =
-  List.fold_left
+let ws2 ?env gov sch g acc =
+  gfold gov Governor.note_edge_scans
     (fun acc e ->
       let v1, _ = G.edge_ends g e in
       let src_label = G.node_label g v1 and edge_label = G.edge_label g e in
@@ -47,8 +87,8 @@ let ws2 ?env sch g acc =
     acc (G.edges g)
 
 (* WS3: target nodes must be of the required type *)
-let ws3 sch g acc =
-  List.fold_left
+let ws3 gov sch g acc =
+  gfold gov Governor.note_edge_scans
     (fun acc e ->
       let v1, v2 = G.edge_ends g e in
       match Schema.type_f sch (G.node_label g v1) (G.edge_label g e) with
@@ -65,11 +105,11 @@ let ws3 sch g acc =
     acc (G.edges g)
 
 (* WS4: non-list fields contain at most one edge *)
-let ws4 sch g acc =
+let ws4 gov sch g acc =
   let edges = G.edges g in
-  List.fold_left
+  gfold gov Governor.note_edge_scans
     (fun acc e1 ->
-      List.fold_left
+      tfold gov
         (fun acc e2 ->
           if G.edge_id e1 >= G.edge_id e2 then acc
           else begin
@@ -90,18 +130,19 @@ let ws4 sch g acc =
         acc edges)
     acc edges
 
-let weak ?env sch g =
-  [] |> ws1 ?env sch g |> ws2 ?env sch g |> ws3 sch g |> ws4 sch g |> Violation.normalize
+let weak ?env ?(gov = Governor.no_run) sch g =
+  [] |> ws1 ?env gov sch g |> ws2 ?env gov sch g |> ws3 gov sch g |> ws4 gov sch g
+  |> Violation.normalize
 
 (* DS1 (@distinct): edges identified by nodes and label.
    Erratum normalized: the source-node condition is lambda(v1) <= t. *)
-let ds1 sch g acc =
+let ds1 gov sch g acc =
   let edges = G.edges g in
-  List.fold_left
+  tfold gov
     (fun acc (fc : Rules.field_constraint) ->
-      List.fold_left
+      gfold gov Governor.note_edge_scans
         (fun acc e1 ->
-          List.fold_left
+          tfold gov
             (fun acc e2 ->
               if G.edge_id e1 >= G.edge_id e2 then acc
               else begin
@@ -128,11 +169,11 @@ let ds1 sch g acc =
     (Rules.constrained_fields sch ~directive:"distinct")
 
 (* DS2 (@noLoops) *)
-let ds2 sch g acc =
+let ds2 gov sch g acc =
   let edges = G.edges g in
-  List.fold_left
+  tfold gov
     (fun acc (fc : Rules.field_constraint) ->
-      List.fold_left
+      gfold gov Governor.note_edge_scans
         (fun acc e ->
           let v1, v2 = G.edge_ends g e in
           if
@@ -152,13 +193,13 @@ let ds2 sch g acc =
 
 (* DS3 (@uniqueForTarget).  Erratum normalized: both source nodes must be
    of (a subtype of) the declaring type t. *)
-let ds3 sch g acc =
+let ds3 gov sch g acc =
   let edges = G.edges g in
-  List.fold_left
+  tfold gov
     (fun acc (fc : Rules.field_constraint) ->
-      List.fold_left
+      gfold gov Governor.note_edge_scans
         (fun acc e1 ->
-          List.fold_left
+          tfold gov
             (fun acc e2 ->
               if G.edge_id e1 >= G.edge_id e2 then acc
               else begin
@@ -185,12 +226,12 @@ let ds3 sch g acc =
 
 (* DS4 (@requiredForTarget).  Erratum normalized: the target-node condition
    compares labels with basetype(typeS(t, f)). *)
-let ds4 sch g acc =
+let ds4 gov sch g acc =
   let nodes = G.nodes g and edges = G.edges g in
-  List.fold_left
+  tfold gov
     (fun acc (fc : Rules.field_constraint) ->
       let target_base = Wrapped.basetype fc.Rules.fd.Schema.fd_type in
-      List.fold_left
+      gfold gov Governor.note_node_scans
         (fun acc v2 ->
           if Subtype.named sch (G.node_label g v2) target_base then begin
             let has_incoming =
@@ -220,12 +261,12 @@ let ds4 sch g acc =
 
 (* DS5/DS6 (@required): property required for attribute definitions, edge
    required for relationship definitions. *)
-let ds56 sch g acc =
+let ds56 gov sch g acc =
   let nodes = G.nodes g and edges = G.edges g in
-  List.fold_left
+  tfold gov
     (fun acc (fc : Rules.field_constraint) ->
       let attr = Rules.is_attribute_type sch fc.Rules.fd.Schema.fd_type in
-      List.fold_left
+      gfold gov Governor.note_node_scans
         (fun acc v ->
           if not (Subtype.named sch (G.node_label g v) fc.Rules.owner) then acc
           else if attr then begin
@@ -273,9 +314,9 @@ let ds56 sch g acc =
     (Rules.constrained_fields sch ~directive:"required")
 
 (* DS7 (@key) *)
-let ds7 sch g acc =
+let ds7 gov sch g acc =
   let all_nodes = G.nodes g in
-  List.fold_left
+  tfold gov
     (fun acc (owner, key_fields) ->
       (* only key fields with attribute types participate (Definition 5.2) *)
       let attribute_fields =
@@ -289,9 +330,9 @@ let ds7 sch g acc =
       let nodes =
         List.filter (fun v -> Subtype.named sch (G.node_label g v) owner) all_nodes
       in
-      List.fold_left
+      gfold gov Governor.note_node_scans
         (fun acc v1 ->
-          List.fold_left
+          tfold gov
             (fun acc v2 ->
               if G.node_id v1 >= G.node_id v2 then acc
               else begin
@@ -315,22 +356,22 @@ let ds7 sch g acc =
         acc nodes)
     acc (Rules.key_constraints sch)
 
-let directives ?env sch g =
+let directives ?env ?(gov = Governor.no_run) sch g =
   ignore env;
   []
-  |> ds1 sch g
-  |> ds2 sch g
-  |> ds3 sch g
-  |> ds4 sch g
-  |> ds56 sch g
-  |> ds7 sch g
+  |> ds1 gov sch g
+  |> ds2 gov sch g
+  |> ds3 gov sch g
+  |> ds4 gov sch g
+  |> ds56 gov sch g
+  |> ds7 gov sch g
   |> Violation.normalize
 
 (* SS1-SS4 *)
-let strong_extra sch g =
+let strong_extra ?(gov = Governor.no_run) sch g =
   let acc = [] in
   let acc =
-    List.fold_left
+    gfold gov Governor.note_node_scans
       (fun acc v ->
         let label = G.node_label g v in
         if Schema.type_kind sch label = Some Schema.Object then acc
@@ -342,7 +383,7 @@ let strong_extra sch g =
       acc (G.nodes g)
   in
   let acc =
-    List.fold_left
+    gfold gov Governor.note_node_scans
       (fun acc v ->
         let label = G.node_label g v in
         List.fold_left
@@ -364,7 +405,7 @@ let strong_extra sch g =
       acc (G.nodes g)
   in
   let acc =
-    List.fold_left
+    gfold gov Governor.note_edge_scans
       (fun acc e ->
         let v1, _ = G.edge_ends g e in
         let src_label = G.node_label g v1 and edge_label = G.edge_label g e in
@@ -382,7 +423,7 @@ let strong_extra sch g =
       acc (G.edges g)
   in
   let acc =
-    List.fold_left
+    gfold gov Governor.note_edge_scans
       (fun acc e ->
         let v1, _ = G.edge_ends g e in
         let src_label = G.node_label g v1 and edge_label = G.edge_label g e in

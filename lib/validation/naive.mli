@@ -8,10 +8,17 @@
     engine is the executable specification and deliberately shares no code
     with the compiled {!Kernels} path; the plan-based engines must agree
     with it (property-tested), and the benchmark [validation_scaling]
-    measures the gap. *)
+    measures the gap.
+
+    [gov] (default {!Governor.no_run}) adds a budget checkpoint per
+    visited graph element — an inactive run leaves the specification
+    path untouched; a stopped one returns the violations found so far.
+    The violation cap is counted per visited element, like the compiled
+    engines. *)
 
 val weak :
   ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.run ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   Violation.t list
@@ -19,10 +26,15 @@ val weak :
 
 val directives :
   ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.run ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   Violation.t list
 (** Rules DS1–DS7 (Definition 5.2), normalized. *)
 
-val strong_extra : Pg_schema.Schema.t -> Pg_graph.Property_graph.t -> Violation.t list
+val strong_extra :
+  ?gov:Governor.run ->
+  Pg_schema.Schema.t ->
+  Pg_graph.Property_graph.t ->
+  Violation.t list
 (** Rules SS1–SS4 (Definition 5.3), normalized. *)

@@ -31,7 +31,7 @@ let default_domains () = Domain.recommended_domain_count ()
 
 type task = unit -> Violation.t list
 
-let run_tasks ~domains (tasks : task list) =
+let run_tasks ?(gov = Governor.no_run) ~domains (tasks : task list) =
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   if n = 0 then []
@@ -39,9 +39,14 @@ let run_tasks ~domains (tasks : task list) =
     let k = max 1 (min domains n) in
     let next = Atomic.make 0 in
     let worker () =
+      (* The stop flag is shared through the governor run's atomics, so a
+         deadline noticed (or a cancellation raised) on one domain stops
+         the queue for all of them; tasks already started terminate via
+         their own kernel checkpoints. *)
       let rec drain acc =
         let i = Atomic.fetch_and_add next 1 in
-        if i >= n then acc else drain (List.rev_append (tasks.(i) ()) acc)
+        if i >= n || Governor.stopped gov then acc
+        else drain (List.rev_append (tasks.(i) ()) acc)
       in
       drain []
     in
@@ -97,4 +102,4 @@ let tasks_of (ctx : K.ctx) (rs : K.rule_set) ~domains =
 
 let check ?domains (ctx : K.ctx) (rs : K.rule_set) =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  run_tasks ~domains (tasks_of ctx rs ~domains) |> Violation.normalize
+  run_tasks ~gov:ctx.K.gov ~domains (tasks_of ctx rs ~domains) |> Violation.normalize

@@ -8,6 +8,9 @@ type report = {
   violations : Violation.t list;
   nodes_checked : int;
   edges_checked : int;
+  complete : bool;
+  nodes_scanned : int;
+  edges_scanned : int;
   mode : mode;
   engine : engine;
 }
@@ -21,20 +24,41 @@ let rules_of = function
 
 (* The string-level specification path: per-mode quadratic evaluation on
    the raw graph, no plan involved. *)
-let naive_violations ~mode ?env sch g =
+let naive_violations ~mode ?env ?(run = Governor.no_run) sch g =
   match mode with
-  | Weak -> Naive.weak ?env sch g
-  | Directives -> Naive.directives ?env sch g
+  | Weak -> Naive.weak ?env ~gov:run sch g
+  | Directives -> Naive.directives ?env ~gov:run sch g
   | Strong ->
     Violation.normalize
-      (Naive.weak ?env sch g @ Naive.directives ?env sch g @ Naive.strong_extra sch g)
+      (Naive.weak ?env ~gov:run sch g
+      @ Naive.directives ?env ~gov:run sch g
+      @ Naive.strong_extra ~gov:run sch g)
 
-let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains plan g =
+(* An inert run reports the graph totals as its scan counts: everything
+   was scanned, and the unbudgeted record is built without touching the
+   run's atomics. *)
+let report_of ~mode ~engine run violations g =
+  let nodes_checked = G.node_count g and edges_checked = G.edge_count g in
+  let active = Governor.active run in
+  {
+    violations;
+    nodes_checked;
+    edges_checked;
+    complete = Governor.complete run;
+    nodes_scanned = (if active then Governor.node_scans run else nodes_checked);
+    edges_scanned = (if active then Governor.edge_scans run else edges_checked);
+    mode;
+    engine;
+  }
+
+let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains
+    ?(gov = Governor.unlimited) plan g =
+  let run = Governor.start gov in
   let violations =
     match engine with
-    | Naive -> naive_violations ~mode ?env (Plan.schema plan) g
+    | Naive -> naive_violations ~mode ?env ~run (Plan.schema plan) g
     | (Linear | Indexed | Parallel) as engine ->
-      let ctx = Kernels.make_ctx ?env plan g in
+      let ctx = Kernels.make_ctx ?env ~gov:run plan g in
       let rs = rules_of mode in
       (match engine with
       | Linear -> Linear.check ctx rs
@@ -42,26 +66,16 @@ let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains plan g =
       | Parallel -> Parallel.check ?domains ctx rs
       | Naive -> assert false)
   in
-  {
-    violations;
-    nodes_checked = G.node_count g;
-    edges_checked = G.edge_count g;
-    mode;
-    engine;
-  }
+  report_of ~mode ~engine run violations g
 
-let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains sch g =
+let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?(gov = Governor.unlimited)
+    sch g =
   match engine with
   | Naive ->
-    {
-      violations = naive_violations ~mode ?env sch g;
-      nodes_checked = G.node_count g;
-      edges_checked = G.edge_count g;
-      mode;
-      engine;
-    }
+    let run = Governor.start gov in
+    report_of ~mode ~engine run (naive_violations ~mode ?env ~run sch g) g
   | Linear | Indexed | Parallel ->
-    check_compiled ~engine ~mode ?env ?domains (Plan.compile sch) g
+    check_compiled ~engine ~mode ?env ?domains ~gov (Plan.compile sch) g
 
 let conforms ?engine ?env ?domains sch g =
   (check ?engine ~mode:Strong ?env ?domains sch g).violations = []
@@ -85,7 +99,19 @@ let pp_report ppf report =
     | Indexed -> "indexed"
     | Parallel -> "parallel"
   in
-  if report.violations = [] then
+  if not report.complete then begin
+    (* Partial result: the scan counts are work units (per-rule engines
+       visit an element once per rule), so they gauge progress, not a
+       fraction of distinct elements. *)
+    Format.fprintf ppf
+      "partial: %d violation(s) before budget exhaustion (%s satisfaction; %d node and \
+       %d edge visits over %d nodes, %d edges; %s engine)"
+      (List.length report.violations)
+      (mode_name report.mode) report.nodes_scanned report.edges_scanned
+      report.nodes_checked report.edges_checked (engine_name report.engine);
+    List.iter (fun v -> Format.fprintf ppf "@.  %a" Violation.pp v) report.violations
+  end
+  else if report.violations = [] then
     Format.fprintf ppf "valid (%s satisfaction; %d nodes, %d edges; %s engine)"
       (mode_name report.mode) report.nodes_checked report.edges_checked
       (engine_name report.engine)

@@ -27,8 +27,20 @@ type mode =
 
 type report = {
   violations : Violation.t list;  (** normalized: sorted, deduplicated *)
-  nodes_checked : int;
-  edges_checked : int;
+  nodes_checked : int;  (** nodes in the graph *)
+  edges_checked : int;  (** edges in the graph *)
+  complete : bool;
+      (** [true] iff no budget checkpoint stopped the run: [violations]
+          is the full answer.  A partial report's violations are a
+          subset of the complete report's (same rule and subject; the
+          retained message of a duplicate group can differ). *)
+  nodes_scanned : int;
+  edges_scanned : int;
+      (** element visits completed before the run (if budgeted) stopped.
+          Per-rule engines ([Indexed], [Parallel], and [Naive]) visit an
+          element once per applicable rule, so a complete run reports
+          more visits than elements; with no budget both equal the graph
+          totals. *)
   mode : mode;
   engine : engine;
 }
@@ -42,6 +54,7 @@ val check_compiled :
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
   ?domains:int ->
+  ?gov:Governor.t ->
   Pg_schema.Plan.t ->
   Pg_graph.Property_graph.t ->
   report
@@ -56,11 +69,19 @@ val check :
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
   ?domains:int ->
+  ?gov:Governor.t ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   report
 (** Defaults: [engine = Indexed], [mode = Strong].  [domains] (default:
-    all cores) only affects the [Parallel] engine. *)
+    all cores) only affects the [Parallel] engine.
+
+    [gov] (default {!Governor.unlimited}) bounds the run: on deadline
+    expiry, violation-cap overflow or cancellation the engines stop at
+    their next checkpoint and the report comes back with
+    [complete = false].  With the unlimited budget every engine takes
+    its exact pre-governor code path, so reports are byte-identical to
+    an ungoverned build. *)
 
 val conforms :
   ?engine:engine ->

@@ -1,0 +1,47 @@
+(* Fault injection on the serialized formats: truncations and byte flips
+   of well-formed SDL / PGF / GraphML texts must never make a front end
+   raise or loop — every outcome is [Ok] or a positioned [Error].
+
+   This complements test_fuzz.ml (uniformly random input): corrupted
+   well-formed documents reach much deeper parser states than random
+   bytes do. *)
+
+module Corruption = Graphql_pg.Corruption
+module Schema_gen = Graphql_pg.Schema_gen
+module Pgf = Graphql_pg.Pgf
+module Graphml = Graphql_pg.Graphml
+
+let seeded_rng seed = Random.State.make [| seed; 0xFA017 |]
+
+(* a pool of well-formed base texts to corrupt *)
+let sdl_text seed =
+  Graphql_pg.To_sdl.to_string (Schema_gen.random_schema (seeded_rng seed))
+
+let graph seed =
+  Graphql_pg.Social.generate ~seed ~persons:(3 + (seed mod 5)) ()
+
+let pgf_text seed = Pgf.print (graph seed)
+let graphml_text seed = Graphml.to_string (graph seed)
+
+let total name base parse =
+  QCheck2.Test.make ~name ~count:300
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (base_seed, fault_seed) ->
+      let rng = seeded_rng fault_seed in
+      let corrupted = Corruption.corrupt_text rng (base base_seed) in
+      match parse corrupted with _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (total "SDL parser survives corrupted schemas" sdl_text Graphql_pg.Sdl.Parser.parse);
+    QCheck_alcotest.to_alcotest
+      (total "SDL recovery survives corrupted schemas" sdl_text
+         Graphql_pg.Sdl.Parser.parse_with_recovery);
+    QCheck_alcotest.to_alcotest
+      (total "schema builder survives corrupted schemas" sdl_text Graphql_pg.Of_ast.parse);
+    QCheck_alcotest.to_alcotest
+      (total "PGF parser survives corrupted graphs" pgf_text Pgf.parse);
+    QCheck_alcotest.to_alcotest
+      (total "GraphML parser survives corrupted graphs" graphml_text Graphml.parse);
+  ]

@@ -1,0 +1,178 @@
+(* Budgeted validation (the resource governor).
+
+   - An infinite budget is invisible: reports are byte-identical to the
+     ungoverned ones, [complete] is true and the scan counters equal the
+     graph totals.
+   - A finite budget yields a well-formed partial report: its violations
+     are a subset of the full report's (every engine), and whenever
+     [complete] is true the report is byte-identical to the full one.
+   - [--max-violations]-style budgets stop deterministically.
+   - A zero deadline terminates promptly (the test finishing is the
+     assertion) and still satisfies the subset invariant.
+   - Satisfiability under a zero deadline degrades to [Unknown] verdicts
+     flagged by [budget_exhausted], never an exception or a hang. *)
+
+module G = Graphql_pg.Property_graph
+module Val = Graphql_pg.Validate
+module Vi = Graphql_pg.Violation
+module Gov = Graphql_pg.Governor
+module Sat = Graphql_pg.Satisfiability
+module Schema_gen = Graphql_pg.Schema_gen
+module Instance_gen = Graphql_pg.Instance_gen
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seeded_rng seed = Random.State.make [| seed; 0xB06E7 |]
+let engines = [ Val.Naive; Val.Linear; Val.Indexed; Val.Parallel ]
+
+let engine_name = function
+  | Val.Naive -> "naive"
+  | Val.Linear -> "linear"
+  | Val.Indexed -> "indexed"
+  | Val.Parallel -> "parallel"
+
+let ok_schema text =
+  match Graphql_pg.Of_ast.parse text with
+  | Ok sch -> sch
+  | Error msg -> Alcotest.failf "schema: %s" msg
+
+(* every violation of [part] appears in [full] (rule + subject) *)
+let subset ~full part = List.for_all (fun v -> List.exists (Vi.equal v) full) part
+
+let rendered report = List.map Vi.to_string report.Val.violations
+
+(* ten nodes, each missing its @required property: at least ten
+   independent violations, deterministically *)
+let required_schema = ok_schema "type A { x: Int @required }"
+
+let many_bad n =
+  let rec go g i = if i = n then g else go (fst (G.add_node g ~label:"A" ())) (i + 1) in
+  go G.empty 0
+
+let test_unlimited_invisible () =
+  let sch = required_schema in
+  let g = many_bad 10 in
+  List.iter
+    (fun engine ->
+      let plain = Val.check ~engine sch g in
+      let governed = Val.check ~engine ~gov:Gov.unlimited sch g in
+      check_bool (engine_name engine ^ ": identical") true
+        (List.equal String.equal (rendered plain) (rendered governed));
+      check_bool "complete" true governed.Val.complete;
+      check_int "nodes_scanned" (G.node_count g) governed.Val.nodes_scanned;
+      check_int "edges_scanned" (G.edge_count g) governed.Val.edges_scanned)
+    engines
+
+let test_max_violations_stops () =
+  let sch = required_schema in
+  let g = many_bad 10 in
+  List.iter
+    (fun engine ->
+      let full = (Val.check ~engine sch g).Val.violations in
+      let gov = Gov.make ~max_violations:3 () in
+      let part = Val.check ~engine ~gov sch g in
+      check_bool (engine_name engine ^ ": incomplete") false part.Val.complete;
+      check_bool "found at least one" true (part.Val.violations <> []);
+      check_bool "subset of full" true (subset ~full part.Val.violations))
+    engines
+
+let test_zero_deadline_terminates () =
+  let sch = required_schema in
+  let g = many_bad 50 in
+  List.iter
+    (fun engine ->
+      let full = (Val.check ~engine sch g).Val.violations in
+      let part = Val.check ~engine ~gov:(Gov.make ~deadline_ms:0.0 ()) sch g in
+      check_bool (engine_name engine ^ ": subset") true (subset ~full part.Val.violations);
+      if part.Val.complete then
+        check_bool "complete implies identical" true
+          (List.equal Vi.equal part.Val.violations full))
+    engines
+
+let test_cancellation () =
+  let cancel = Atomic.make true in
+  let part =
+    Val.check ~engine:Val.Indexed ~gov:(Gov.make ~cancel ()) required_schema (many_bad 10)
+  in
+  check_bool "cancelled run is incomplete" false part.Val.complete;
+  check_int "nothing scanned" 0 part.Val.nodes_scanned
+
+let test_incremental_complete () =
+  let sch = required_schema in
+  let g = many_bad 10 in
+  let full = Graphql_pg.Incremental.create sch g in
+  check_bool "ungoverned create is complete" true (Graphql_pg.Incremental.complete full);
+  let part = Graphql_pg.Incremental.create ~gov:(Gov.make ~max_violations:2 ()) sch g in
+  check_bool "budgeted create is incomplete" false (Graphql_pg.Incremental.complete part);
+  check_bool "incomplete state is not valid" false (Graphql_pg.Incremental.is_valid part)
+
+(* Schemas whose only models are infinite chase the witness search; a
+   zero deadline must cut it off with a flagged Unknown. *)
+let loop_schema = ok_schema "type A { b: B! @required }\ntype B { a: A! @required }"
+
+let test_sat_zero_deadline () =
+  let report = Sat.check ~gov:(Gov.make ~deadline_ms:0.0 ()) loop_schema "A" in
+  check_bool "budget exhausted" true (Sat.budget_exhausted report);
+  let unbudgeted = Sat.check loop_schema "A" in
+  check_bool "no budget, no exhaustion" false (Sat.budget_exhausted unbudgeted)
+
+let test_check_all_sliced () =
+  let reports = Sat.check_all ~gov:(Gov.make ~deadline_ms:0.0 ()) loop_schema in
+  check_int "both types reported" 2 (List.length reports);
+  List.iter
+    (fun (ot, r) ->
+      check_bool (ot ^ " exhausted its slice") true (Sat.budget_exhausted r))
+    reports
+
+let prop_partial_subset =
+  QCheck2.Test.make
+    ~name:"budgeted reports are subsets of full reports; complete means identical"
+    ~count:100
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 5))
+    (fun (seed, maxv) ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      let g = Instance_gen.fuzz rng sch ~max_nodes:10 in
+      List.for_all
+        (fun engine ->
+          let full = (Val.check ~engine sch g).Val.violations in
+          let part = Val.check ~engine ~gov:(Gov.make ~max_violations:maxv ()) sch g in
+          subset ~full part.Val.violations
+          && ((not part.Val.complete) || List.equal Vi.equal part.Val.violations full))
+        engines)
+
+let prop_generous_budget_identical =
+  QCheck2.Test.make
+    ~name:"a budget that never fires leaves all five engines byte-identical"
+    ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      let g = Instance_gen.fuzz rng sch ~max_nodes:8 in
+      let gov = Gov.make ~deadline_ms:3_600_000.0 ~max_violations:max_int () in
+      let plain = List.map Vi.to_string (Val.check ~engine:Val.Naive sch g).Val.violations in
+      let governed engine = Val.check ~engine ~gov sch g in
+      let inc = Graphql_pg.Incremental.create ~gov sch g in
+      List.for_all
+        (fun engine ->
+          let r = governed engine in
+          r.Val.complete && List.equal String.equal plain (rendered r))
+        engines
+      && Graphql_pg.Incremental.complete inc
+      && List.equal String.equal plain
+           (List.map Vi.to_string (Graphql_pg.Incremental.violations inc)))
+
+let suite =
+  [
+    Alcotest.test_case "unlimited budget is invisible" `Quick test_unlimited_invisible;
+    Alcotest.test_case "max-violations stops early" `Quick test_max_violations_stops;
+    Alcotest.test_case "zero deadline terminates promptly" `Quick
+      test_zero_deadline_terminates;
+    Alcotest.test_case "pre-cancelled run scans nothing" `Quick test_cancellation;
+    Alcotest.test_case "incremental tracks completeness" `Quick test_incremental_complete;
+    Alcotest.test_case "sat: zero deadline flags exhaustion" `Quick test_sat_zero_deadline;
+    Alcotest.test_case "sat: check_all time-slices all types" `Quick test_check_all_sliced;
+    QCheck_alcotest.to_alcotest prop_partial_subset;
+    QCheck_alcotest.to_alcotest prop_generous_budget_identical;
+  ]

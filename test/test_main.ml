@@ -39,4 +39,7 @@ let () =
       ("mutation", Test_mutation.suite);
       ("neo4j", Test_neo4j.suite);
       ("introspection", Test_introspection.suite);
+      ("governor", Test_governor.suite);
+      ("recovery", Test_recovery.suite);
+      ("frontends", Test_frontends.suite);
     ]

@@ -1,0 +1,99 @@
+(* Error recovery in the SDL parser.
+
+   - A document with several independent syntax errors reports all of
+     them in one run, and still yields the definitions that did parse.
+   - On documents the plain parser accepts, recovery returns the same
+     document and no errors; on documents it rejects, the plain parser's
+     error is the first one recovery reports.
+   - Recovery terminates on random bytes and on SDL token soup (the
+     qcheck runs finishing is the termination evidence).
+   - The schema builder surfaces every recovered error, one per line. *)
+
+module P = Graphql_pg.Sdl.Parser
+module Printer = Graphql_pg.Sdl.Printer
+module Source = Graphql_pg.Sdl.Source
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let three_error_doc =
+  "type A { x: }\n\
+   type B { y: String! @required }\n\
+   enum E { true }\n\
+   scalar S @@\n\
+   type C { z: Int }\n"
+
+let test_three_errors () =
+  let doc, errs = P.parse_with_recovery three_error_doc in
+  check_int "three diagnostics" 3 (List.length errs);
+  check_int "two definitions recovered" 2 (List.length doc)
+
+let test_builder_reports_all () =
+  match Graphql_pg.Of_ast.parse three_error_doc with
+  | Ok _ -> Alcotest.fail "a document with syntax errors must not build"
+  | Error msg ->
+    check_int "one line per error" 3 (List.length (String.split_on_char '\n' msg))
+
+let test_empty_document () =
+  let doc, errs = P.parse_with_recovery "  # only a comment\n" in
+  check_int "no definitions" 0 (List.length doc);
+  (match errs with
+  | [ e ] -> check_bool "empty-document parity" true (e.Source.message = "empty document")
+  | _ -> Alcotest.fail "expected exactly the empty-document error");
+  match P.parse "  # only a comment\n" with
+  | Ok _ -> Alcotest.fail "plain parser must also reject"
+  | Error e -> check_bool "same message" true (e.Source.message = "empty document")
+
+let test_lex_error_not_recovered () =
+  let doc, errs = P.parse_with_recovery "type A { x: Int }\n\x00" in
+  check_int "no definitions on lex error" 0 (List.length doc);
+  check_int "one lexer diagnostic" 1 (List.length errs)
+
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 200))
+
+let gen_sdl_ish =
+  QCheck2.Gen.(
+    map (String.concat " ")
+      (list_size (int_bound 40)
+         (oneofl
+            [
+              "type"; "interface"; "union"; "enum"; "scalar"; "input"; "schema"; "extend";
+              "directive"; "on"; "implements"; "{"; "}"; "("; ")"; "["; "]"; "!"; "|"; "&";
+              "="; ":"; "@"; "..."; "\"txt\""; "\"\"\"block\"\"\""; "3"; "-7"; "1.5"; "$v";
+              "Name"; "x"; "#c"; ","; "query"; "fragment"; "mutation";
+            ])))
+
+let prop_agrees_with_plain gen name =
+  QCheck2.Test.make ~name ~count:500 gen (fun src ->
+      let doc, errs = P.parse_with_recovery src in
+      match P.parse src with
+      | Ok plain ->
+        (* recovery must be invisible on well-formed documents *)
+        errs = []
+        && String.equal
+             (Printer.document_to_string plain)
+             (Printer.document_to_string doc)
+      | Error e -> (
+        match errs with
+        | first :: _ -> first = e
+        | [] -> false))
+
+let prop_terminates =
+  QCheck2.Test.make ~name:"recovery terminates on random bytes" ~count:500 gen_bytes
+    (fun src ->
+      let _ = P.parse_with_recovery src in
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "three errors, one run" `Quick test_three_errors;
+    Alcotest.test_case "schema builder lists every error" `Quick test_builder_reports_all;
+    Alcotest.test_case "empty document parity" `Quick test_empty_document;
+    Alcotest.test_case "lexer errors are not recovered" `Quick test_lex_error_not_recovered;
+    QCheck_alcotest.to_alcotest
+      (prop_agrees_with_plain gen_sdl_ish "recovery agrees with the plain parser (token soup)");
+    QCheck_alcotest.to_alcotest
+      (prop_agrees_with_plain gen_bytes "recovery agrees with the plain parser (bytes)");
+    QCheck_alcotest.to_alcotest prop_terminates;
+  ]
