@@ -10,7 +10,21 @@
      gen       generate the social-network workload as PGF
      stats     describe a PGF graph
 
-   Exit codes (uniform across subcommands):
+   Every subcommand takes --format text|json.  Output streams follow one
+   policy:
+
+     text  results and artifacts on stdout, diagnostics on stderr
+     json  one machine-readable report document on stdout (for the
+           report commands parse/check/validate/sat/diff; artifact
+           commands keep their artifact on stdout and report failures
+           as a JSON document instead of text)
+
+   Every diagnostic carries a stable code from Graphql_pg.Diag_registry
+   (SDL001 syntax, LINT0xx lint, SCH0xx build/consistency, WS*/DS*/SS*
+   validation, SAT0xx satisfiability, DIFF0xx evolution, IO0xx input).
+
+   Exit codes (uniform across subcommands, computed by
+   Graphql_pg.Diag.Exit.classify from the diagnostics):
      0  clean — the requested check passed / the artifact was produced
      1  findings — violations, lint errors, unsatisfiable types,
         breaking changes, unrepairable graph
@@ -23,9 +37,10 @@
 open Cmdliner
 module GP = Graphql_pg
 
-let exit_findings = 1
-let exit_input = 2
-let exit_budget = 3
+let exit_input = GP.Diag.Exit.(code Input_error)
+let exit_budget = GP.Diag.Exit.(code Budget)
+
+type fmt = Text | Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -34,23 +49,48 @@ let read_file path =
   close_in ic;
   text
 
+let emit_json ~command ?summary ?cls diags =
+  print_endline (GP.Diag_report.to_string (GP.Diag_report.envelope ~command ?summary ?cls diags))
+
+(* End a report command: in json mode print the envelope, then exit with
+   the code the diagnostics classify to (0 needs no explicit exit). *)
+let finish ~fmt ~command ?summary ?cls diags =
+  let cls = match cls with Some c -> c | None -> GP.Diag.Exit.classify diags in
+  (match fmt with
+  | Text -> ()
+  | Json -> emit_json ~command ?summary ~cls diags);
+  let code = GP.Diag.Exit.code cls in
+  if code <> 0 then exit code
+
+(* Abort on an unusable input: text mode keeps the historical
+   one-message-per-line stderr rendering, json mode reports the same
+   diagnostics as a document on stdout. *)
+let die ~fmt ~command ?(cls = GP.Diag.Exit.Input_error) ~text diags =
+  (match fmt with
+  | Text -> prerr_endline text
+  | Json -> emit_json ~command ~cls diags);
+  exit (GP.Diag.Exit.code cls)
+
 let load_schema ~lenient path =
   let text = read_file path in
-  let parse = if lenient then GP.Of_ast.parse_lenient else GP.Of_ast.parse in
-  match parse text with
-  | Ok sch -> Ok sch
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  match GP.Of_ast.parse_full ~consistency:(not lenient) text with
+  | Ok (sch, warnings) -> Ok (sch, warnings)
+  | Error diags -> Error (path, diags)
 
 let load_graph path =
   match GP.Pgf.load path with
   | Ok g -> Ok g
-  | Error e -> Error (Format.asprintf "%s: %a" path GP.Pgf.pp_error e)
+  | Error e ->
+    Error (path, [ GP.Diag.error ~code:"IO001" (Format.asprintf "%a" GP.Pgf.pp_error e) ])
 
-let or_die = function
+let or_die ~fmt ~command = function
   | Ok x -> x
-  | Error msg ->
-    prerr_endline msg;
-    exit exit_input
+  | Error (path, diags) ->
+    let text =
+      Printf.sprintf "%s: %s" path
+        (String.concat "\n" (List.map GP.Diag.to_text diags))
+    in
+    die ~fmt ~command ~text diags
 
 (* ---- common arguments ---- *)
 
@@ -62,6 +102,15 @@ let lenient_arg =
     value & flag
     & info [ "lenient" ]
         ~doc:"Skip the consistency check of Definition 4.5 (needed for the paper's Example 6.1).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (human-readable; diagnostics on stderr) or $(b,json) \
+           (one machine-readable report document on stdout, with stable diagnostic codes).")
 
 let deadline_arg =
   Arg.(
@@ -85,57 +134,70 @@ let governor ?deadline_ms ?max_violations () =
 (* ---- parse ---- *)
 
 let parse_cmd =
-  let run schema_path pretty =
+  let run schema_path pretty fmt =
     let text = read_file schema_path in
     match GP.Sdl.Parser.parse_with_recovery text with
     | _, (_ :: _ as errors) ->
-      (* every syntax error in the document, one per line *)
-      List.iter (fun e -> prerr_endline (GP.Sdl.Source.error_to_string e)) errors;
-      exit exit_input
+      (* every syntax error in the document, one per line, in source order *)
+      let diags = List.map GP.Sdl.Source.to_diagnostic errors in
+      (match fmt with
+      | Text -> List.iter (fun e -> prerr_endline (GP.Sdl.Source.error_to_string e)) errors
+      | Json -> ());
+      finish ~fmt ~command:"parse" diags
     | doc, [] ->
       let issues = GP.Sdl.Lint.check doc in
-      List.iter (fun i -> Format.eprintf "%a@." GP.Sdl.Lint.pp_issue i) issues;
-      if pretty then print_string (GP.Sdl.Printer.document_to_string doc);
-      if GP.Sdl.Lint.errors issues <> [] then exit exit_findings
+      let diags = List.map GP.Sdl.Lint.to_diagnostic issues in
+      (match fmt with
+      | Text ->
+        List.iter (fun i -> Format.eprintf "%a@." GP.Sdl.Lint.pp_issue i) issues;
+        if pretty then print_string (GP.Sdl.Printer.document_to_string doc)
+      | Json -> ());
+      finish ~fmt ~command:"parse"
+        ~summary:[ ("definitions", GP.Json.Int (List.length doc)) ]
+        diags
   in
   let pretty =
-    Arg.(value & flag & info [ "print"; "p" ] ~doc:"Pretty-print the parsed document.")
+    Arg.(value & flag & info [ "print"; "p" ] ~doc:"Pretty-print the parsed document (text mode only).")
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse and lint an SDL schema document.")
-    Term.(const run $ schema_arg $ pretty)
+    Term.(const run $ schema_arg $ pretty $ format_arg)
 
 (* ---- check ---- *)
 
 let check_cmd =
-  let run schema_path lenient deadline_ms =
-    let sch = or_die (load_schema ~lenient schema_path) in
-    Format.printf "%a@." GP.Schema.pp_summary sch;
+  let run schema_path lenient deadline_ms fmt =
+    let sch, warnings = or_die ~fmt ~command:"check" (load_schema ~lenient schema_path) in
     let issues = GP.Consistency.check sch in
-    if issues = [] then print_endline "consistency: ok (Definition 4.5)"
-    else begin
-      Format.printf "consistency: %d issue(s)@." (List.length issues);
-      List.iter (fun i -> Format.printf "  %a@." GP.Consistency.pp_issue i) issues
-    end;
     let gov = governor ?deadline_ms () in
     let reports = GP.Satisfiability.check_all ~gov sch in
-    List.iter
-      (fun (ot, report) ->
-        Format.printf "satisfiability of %s: %a@." ot GP.Satisfiability.pp_report report)
-      reports;
-    if List.exists (fun (_, r) -> GP.Satisfiability.budget_exhausted r) reports then
-      exit exit_budget
-    else if
-      issues <> []
-      || List.exists
-           (fun (_, r) -> r.GP.Satisfiability.finite = GP.Tableau.Unsatisfiable)
-           reports
-    then exit exit_findings
+    let diags =
+      warnings
+      @ List.map GP.Consistency.to_diagnostic issues
+      @ List.concat_map (fun (ot, r) -> GP.Satisfiability.to_diagnostics ot r) reports
+    in
+    (match fmt with
+    | Text ->
+      Format.printf "%a@." GP.Schema.pp_summary sch;
+      if issues = [] then print_endline "consistency: ok (Definition 4.5)"
+      else begin
+        Format.printf "consistency: %d issue(s)@." (List.length issues);
+        (* stream policy: the issue lines are diagnostics -> stderr *)
+        List.iter (fun i -> Format.eprintf "  %a@." GP.Consistency.pp_issue i) issues
+      end;
+      List.iter
+        (fun (ot, report) ->
+          Format.printf "satisfiability of %s: %a@." ot GP.Satisfiability.pp_report report)
+        reports
+    | Json -> ());
+    finish ~fmt ~command:"check"
+      ~summary:(GP.Diag_report.check_summary sch issues reports)
+      diags
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check schema consistency and the satisfiability of every object type.")
-    Term.(const run $ schema_arg $ lenient_arg $ deadline_arg)
+    Term.(const run $ schema_arg $ lenient_arg $ deadline_arg $ format_arg)
 
 (* ---- validate ---- *)
 
@@ -157,14 +219,17 @@ let mode_conv =
     ]
 
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations =
-    let sch = or_die (load_schema ~lenient schema_path) in
-    let g = or_die (load_graph graph_path) in
+  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations fmt =
+    let sch, _ = or_die ~fmt ~command:"validate" (load_schema ~lenient schema_path) in
+    let g = or_die ~fmt ~command:"validate" (load_graph graph_path) in
     let gov = governor ?deadline_ms ?max_violations () in
     let report = GP.Validate.check ~engine ~mode ?domains ~gov sch g in
-    Format.printf "%a@." GP.Validate.pp_report report;
-    if not report.GP.Validate.complete then exit exit_budget
-    else if report.GP.Validate.violations <> [] then exit exit_findings
+    (match fmt with
+    | Text -> Format.printf "%a@." GP.Validate.pp_report report
+    | Json -> ());
+    finish ~fmt ~command:"validate"
+      ~summary:(GP.Diag_report.validate_summary report)
+      (GP.Validate.diagnostics report)
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -189,25 +254,37 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
     Term.(
       const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
-      $ deadline_arg $ max_violations_arg)
+      $ deadline_arg $ max_violations_arg $ format_arg)
 
 (* ---- sat ---- *)
 
 let sat_cmd =
-  let run schema_path type_name lenient witness_out deadline_ms =
-    let sch = or_die (load_schema ~lenient schema_path) in
+  let run schema_path type_name lenient witness_out deadline_ms fmt =
+    let sch, _ = or_die ~fmt ~command:"sat" (load_schema ~lenient schema_path) in
     let gov = governor ?deadline_ms () in
     let report = GP.Satisfiability.check ~gov sch type_name in
-    Format.printf "%a@." GP.Satisfiability.pp_report report;
-    (match witness_out, report.GP.Satisfiability.witness with
-    | Some path, Some g ->
-      GP.Pgf.save path g;
-      Format.printf "witness written to %s@." path
-    | Some _, None -> print_endline "no witness available"
-    | None, _ -> ());
-    if GP.Satisfiability.budget_exhausted report then exit exit_budget
-    else if report.GP.Satisfiability.finite = GP.Tableau.Unsatisfiable then
-      exit exit_findings
+    let witness_file =
+      match witness_out, report.GP.Satisfiability.witness with
+      | Some path, Some g ->
+        GP.Pgf.save path g;
+        Some path
+      | _ -> None
+    in
+    (match fmt with
+    | Text ->
+      Format.printf "%a@." GP.Satisfiability.pp_report report;
+      (match witness_out, witness_file with
+      | Some _, Some path -> Format.printf "witness written to %s@." path
+      | Some _, None -> print_endline "no witness available"
+      | None, _ -> ())
+    | Json -> ());
+    let summary =
+      GP.Diag_report.sat_summary report
+      @ (match witness_file with
+        | Some path -> [ ("witness_file", GP.Json.String path) ]
+        | None -> [])
+    in
+    finish ~fmt ~command:"sat" ~summary (GP.Satisfiability.to_diagnostics type_name report)
   in
   let type_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"TYPE" ~doc:"Object type name.")
@@ -217,17 +294,16 @@ let sat_cmd =
   in
   Cmd.v
     (Cmd.info "sat" ~doc:"Decide object-type satisfiability (Section 6.2).")
-    Term.(const run $ schema_arg $ type_arg $ lenient_arg $ witness $ deadline_arg)
+    Term.(const run $ schema_arg $ type_arg $ lenient_arg $ witness $ deadline_arg $ format_arg)
 
 (* ---- reduce ---- *)
 
 let reduce_cmd =
-  let run cnf_path =
+  let run cnf_path fmt =
     let text = read_file cnf_path in
     match GP.Cnf.parse_dimacs text with
     | Error msg ->
-      prerr_endline msg;
-      exit exit_input
+      die ~fmt ~command:"reduce" ~text:msg [ GP.Diag.error ~code:"IO001" msg ]
     | Ok f -> print_string (GP.Reduction.to_sdl f)
   in
   let cnf_arg =
@@ -236,46 +312,45 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Emit the Theorem 2 reduction schema of a CNF formula as SDL.")
-    Term.(const run $ cnf_arg)
+    Term.(const run $ cnf_arg $ format_arg)
 
 (* ---- extend ---- *)
 
 let extend_cmd =
-  let run schema_path lenient =
-    let sch = or_die (load_schema ~lenient schema_path) in
+  let run schema_path lenient fmt =
+    let sch, _ = or_die ~fmt ~command:"extend" (load_schema ~lenient schema_path) in
     match GP.Api_extension.extend_to_string sch with
     | Ok text -> print_string text
     | Error msg ->
-      prerr_endline msg;
-      exit exit_input
+      die ~fmt ~command:"extend" ~text:msg [ GP.Diag.error ~code:"SCH003" msg ]
   in
   Cmd.v
     (Cmd.info "extend"
        ~doc:"Extend a Property Graph schema into a GraphQL API schema (Section 3.6).")
-    Term.(const run $ schema_arg $ lenient_arg)
+    Term.(const run $ schema_arg $ lenient_arg $ format_arg)
 
 (* ---- doc ---- *)
 
 let doc_cmd =
-  let run schema_path lenient =
-    let sch = or_die (load_schema ~lenient schema_path) in
+  let run schema_path lenient fmt =
+    let sch, _ = or_die ~fmt ~command:"doc" (load_schema ~lenient schema_path) in
     print_string (GP.Schema_doc.to_markdown sch)
   in
   Cmd.v
     (Cmd.info "doc" ~doc:"Render a schema as Markdown documentation.")
-    Term.(const run $ schema_arg $ lenient_arg)
+    Term.(const run $ schema_arg $ lenient_arg $ format_arg)
 
 (* ---- cypher ---- *)
 
 let cypher_cmd =
-  let run schema_path lenient =
-    let sch = or_die (load_schema ~lenient schema_path) in
+  let run schema_path lenient fmt =
+    let sch, _ = or_die ~fmt ~command:"cypher" (load_schema ~lenient schema_path) in
     print_string (GP.Neo4j_ddl.to_script sch)
   in
   Cmd.v
     (Cmd.info "cypher"
        ~doc:"Export the Cypher 3.5 constraint DDL fragment of a schema (Section 2.1).")
-    Term.(const run $ schema_arg $ lenient_arg)
+    Term.(const run $ schema_arg $ lenient_arg $ format_arg)
 
 (* ---- gen ---- *)
 
@@ -302,9 +377,9 @@ let gen_cmd =
 (* ---- repair ---- *)
 
 let repair_cmd =
-  let run schema_path graph_path lenient output =
-    let sch = or_die (load_schema ~lenient schema_path) in
-    let g = or_die (load_graph graph_path) in
+  let run schema_path graph_path lenient output fmt =
+    let sch, _ = or_die ~fmt ~command:"repair" (load_schema ~lenient schema_path) in
+    let g = or_die ~fmt ~command:"repair" (load_graph graph_path) in
     if GP.conforms sch g then begin
       print_endline "graph already strongly satisfies the schema";
       Option.iter (fun path -> GP.Pgf.save path g) output
@@ -320,8 +395,9 @@ let repair_cmd =
           Format.printf "written to %s@." path
         | None -> print_string (GP.Pgf.print repaired))
       | None ->
-        prerr_endline "could not repair the graph within bounds";
-        exit exit_findings
+        let msg = "could not repair the graph within bounds" in
+        die ~fmt ~command:"repair" ~cls:GP.Diag.Exit.Findings ~text:msg
+          [ GP.Diag.error ~code:"REP001" msg ]
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -331,20 +407,23 @@ let repair_cmd =
   in
   Cmd.v
     (Cmd.info "repair" ~doc:"Repair a graph into strong satisfaction of a schema.")
-    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ output)
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ output $ format_arg)
 
 (* ---- diff ---- *)
 
 let diff_cmd =
-  let run old_path new_path lenient =
-    let old_schema = or_die (load_schema ~lenient old_path) in
-    let new_schema = or_die (load_schema ~lenient new_path) in
+  let run old_path new_path lenient fmt =
+    let old_schema, _ = or_die ~fmt ~command:"diff" (load_schema ~lenient old_path) in
+    let new_schema, _ = or_die ~fmt ~command:"diff" (load_schema ~lenient new_path) in
     let changes = GP.Schema_diff.diff old_schema new_schema in
-    if changes = [] then print_endline "schemas are identical (validation-wise)"
-    else begin
-      List.iter (fun c -> Format.printf "%a@." GP.Schema_diff.pp_change c) changes;
-      if GP.Schema_diff.breaking changes <> [] then exit exit_findings
-    end
+    (match fmt with
+    | Text ->
+      if changes = [] then print_endline "schemas are identical (validation-wise)"
+      else List.iter (fun c -> Format.printf "%a@." GP.Schema_diff.pp_change c) changes
+    | Json -> ());
+    finish ~fmt ~command:"diff"
+      ~summary:(GP.Diag_report.diff_summary changes)
+      (List.map GP.Schema_diff.to_diagnostic changes)
   in
   let new_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New SDL schema file.")
@@ -352,21 +431,20 @@ let diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:"Diff two schemas; exit 1 if the evolution can break existing data.")
-    Term.(const run $ schema_arg $ new_arg $ lenient_arg)
+    Term.(const run $ schema_arg $ new_arg $ lenient_arg $ format_arg)
 
 (* ---- query ---- *)
 
 let query_cmd =
-  let run schema_path graph_path lenient query_text query_file operation variables =
-    let sch = or_die (load_schema ~lenient schema_path) in
-    let g = or_die (load_graph graph_path) in
+  let run schema_path graph_path lenient query_text query_file operation variables fmt =
+    let sch, _ = or_die ~fmt ~command:"query" (load_schema ~lenient schema_path) in
+    let g = or_die ~fmt ~command:"query" (load_graph graph_path) in
+    let usage msg = die ~fmt ~command:"query" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ] in
     let text =
       match query_text, query_file with
       | Some q, _ -> q
       | None, Some path -> read_file path
-      | None, None ->
-        prerr_endline "provide a query (positional) or --file";
-        exit exit_input
+      | None, None -> usage "provide a query (positional) or --file"
     in
     let variables =
       match variables with
@@ -374,18 +452,12 @@ let query_cmd =
       | Some json_text -> (
         match GP.Json.of_string json_text with
         | Ok (GP.Json.Assoc fields) -> fields
-        | Ok _ ->
-          prerr_endline "--variables must be a JSON object";
-          exit exit_input
-        | Error e ->
-          prerr_endline ("--variables: " ^ e);
-          exit exit_input)
+        | Ok _ -> usage "--variables must be a JSON object"
+        | Error e -> usage ("--variables: " ^ e))
     in
     match GP.query ?operation ~variables sch g text with
     | Ok data -> print_endline (GP.Json.to_string ~indent:true data)
-    | Error msg ->
-      prerr_endline msg;
-      exit exit_input
+    | Error msg -> die ~fmt ~command:"query" ~text:msg [ GP.Diag.error ~code:"QRY001" msg ]
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -405,13 +477,13 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query"
        ~doc:"Execute a GraphQL query against a Property Graph (Section 3.6 conventions).")
-    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ query_text $ query_file $ operation $ variables)
+    Term.(const run $ schema_arg $ graph_arg $ lenient_arg $ query_text $ query_file $ operation $ variables $ format_arg)
 
 (* ---- export ---- *)
 
 let export_cmd =
-  let run graph_path output =
-    let g = or_die (load_graph graph_path) in
+  let run graph_path output fmt =
+    let g = or_die ~fmt ~command:"export" (load_graph graph_path) in
     GP.Graphml.save output g;
     Format.printf "%a written to %s@." GP.Property_graph.pp g output
   in
@@ -423,13 +495,13 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export a PGF graph as GraphML (Gephi/yEd/Cytoscape).")
-    Term.(const run $ graph_arg $ output)
+    Term.(const run $ graph_arg $ output $ format_arg)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
-  let run graph_path =
-    let g = or_die (load_graph graph_path) in
+  let run graph_path fmt =
+    let g = or_die ~fmt ~command:"stats" (load_graph graph_path) in
     Format.printf "%a@." GP.Stats.pp (GP.Stats.compute g)
   in
   let graph_arg =
@@ -437,7 +509,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Describe a PGF graph.")
-    Term.(const run $ graph_arg)
+    Term.(const run $ graph_arg $ format_arg)
 
 let () =
   let info =

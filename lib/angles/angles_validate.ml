@@ -6,6 +6,27 @@ type violation = { rule : string; message : string }
 
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.rule v.message
 
+(* Stable ANG0xx codes, one per Angles rule; the rule name itself rides
+   along as the diagnostic subject so the text renderer can reproduce
+   [pp_violation]. *)
+let code_of_rule = function
+  | "node-type" -> "ANG001"
+  | "node-undeclared-property" -> "ANG002"
+  | "node-property-type" -> "ANG003"
+  | "node-mandatory-property" -> "ANG004"
+  | "node-unique-property" -> "ANG005"
+  | "edge-type" -> "ANG006"
+  | "edge-undeclared-property" -> "ANG007"
+  | "edge-property-type" -> "ANG008"
+  | "edge-mandatory-property" -> "ANG009"
+  | "edge-cardinality-source" -> "ANG010"
+  | "edge-cardinality-target" -> "ANG011"
+  | "edge-mandatory" -> "ANG012"
+  | _ -> "ANG000"
+
+let to_diagnostic v =
+  Pg_diag.Diag.error ~code:(code_of_rule v.rule) ~subject:v.rule v.message
+
 let atom_matches p_type (v : Value.t) =
   match p_type, v with
   | "Int", Value.Int _ -> true

@@ -13,5 +13,12 @@ type violation = { rule : string; message : string }
 
 val pp_violation : Format.formatter -> violation -> unit
 
+val code_of_rule : string -> string
+(** The stable [ANG0xx] code of an Angles rule name ([ANG000] for an
+    unknown rule). *)
+
+val to_diagnostic : violation -> Pg_diag.Diag.t
+(** Severity error; the Angles rule name is carried as the subject. *)
+
 val check : Angles_schema.t -> Pg_graph.Property_graph.t -> violation list
 val conforms : Angles_schema.t -> Pg_graph.Property_graph.t -> bool

@@ -1,0 +1,30 @@
+(** The machine-readable report contract of the gpgs CLI: one JSON
+    envelope per command, shared between [bin/gpgs.ml] and the golden
+    tests so the [--format json] output cannot drift from what the tests
+    pin down. *)
+
+val envelope :
+  command:string ->
+  ?summary:(string * Pg_json.Json.t) list ->
+  ?cls:Pg_diag.Diag.Exit.cls ->
+  Pg_diag.Diag.t list ->
+  Pg_json.Json.t
+(** {!Pg_diag.Diag.envelope} with [tool = "gpgs"]. *)
+
+val to_string : Pg_json.Json.t -> string
+(** Indented rendering — the exact bytes the CLI prints. *)
+
+val schema_summary : Pg_schema.Schema.t -> (string * Pg_json.Json.t) list
+val engine_name : Pg_validation.Validate.engine -> string
+val mode_name : Pg_validation.Validate.mode -> string
+val validate_summary : Pg_validation.Validate.report -> (string * Pg_json.Json.t) list
+val verdict_json : Pg_sat.Tableau.verdict -> Pg_json.Json.t
+val sat_summary : Pg_sat.Satisfiability.report -> (string * Pg_json.Json.t) list
+
+val check_summary :
+  Pg_schema.Schema.t ->
+  Pg_schema.Consistency.issue list ->
+  (string * Pg_sat.Satisfiability.report) list ->
+  (string * Pg_json.Json.t) list
+
+val diff_summary : Pg_validation.Schema_diff.change list -> (string * Pg_json.Json.t) list

@@ -11,6 +11,9 @@
     ]}
 
     Subsystems:
+    - {!Diag} and {!Diag_registry} (the unified diagnostic model with
+      stable codes) plus {!Diag_report} (the CLI's machine-readable
+      report envelope) and {!Json} (the shared JSON representation),
     - {!Sdl} (lexer/parser/printer for the GraphQL SDL),
     - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats}, plus the
       compiled representations {!Symtab} (string interner) and {!Snapshot}
@@ -32,6 +35,10 @@
       baseline model of Section 2.1),
     - {!Social}, {!Corruption}, {!Schema_gen}, {!Instance_gen}, {!Ksat}
       (workload generators). *)
+
+module Diag = Pg_diag.Diag
+module Diag_registry = Pg_diag.Registry
+module Diag_report = Diag_report
 
 module Sdl = struct
   module Source = Pg_sdl.Source
@@ -83,7 +90,7 @@ module Angles_schema = Pg_angles.Angles_schema
 module Angles_validate = Pg_angles.Angles_validate
 module Angles_of_graphql = Pg_angles.Of_graphql
 module Neo4j_ddl = Pg_angles.Neo4j_ddl
-module Json = Pg_query.Json
+module Json = Pg_json.Json
 module Query_ast = Pg_query.Query_ast
 module Query_parser = Pg_query.Query_parser
 module Executor = Pg_query.Executor

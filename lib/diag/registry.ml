@@ -1,0 +1,119 @@
+(* The registry of stable diagnostic codes.
+
+   Codes are part of the CLI contract: scripts and CI pipelines match on
+   them, so once published a code's meaning never changes (retire a code
+   rather than reuse it).  Families:
+
+     SDL0xx   lexical / syntax errors of the SDL front end
+     LINT0xx  document-level well-formedness (Pg_sdl.Lint)
+     SCH00x   AST -> schema build diagnostics (Pg_schema.Of_ast)
+     SCH01x   consistency, Definitions 4.3-4.5 (Pg_schema.Consistency)
+     WS/DS/SS validation rules of Section 5 (Pg_validation.Violation)
+     VAL0xx   validation run status (Pg_validation.Validate)
+     SAT0xx   object-type satisfiability, Section 6.2 (Pg_sat.Satisfiability)
+     DIFF0xx  schema evolution (Pg_validation.Schema_diff)
+     ANG0xx   the Angles baseline validator (Pg_angles.Angles_validate)
+     IO0xx    file system / input format errors
+     CLI0xx   command-line usage errors *)
+
+type cls =
+  | Finding  (** the requested check failed on the input — exit 1 *)
+  | Input  (** the input itself could not be used — exit 2 *)
+  | Budget  (** a resource budget ran out before the answer — exit 3 *)
+  | Advice  (** informational; never affects the exit code *)
+
+type entry = { code : string; cls : cls; doc : string }
+
+let e code cls doc = { code; cls; doc }
+
+let all =
+  [
+    (* ---- SDL front end ---- *)
+    e "SDL001" Input "lexical or syntax error in the SDL document";
+    (* ---- lint (document-level well-formedness) ---- *)
+    e "LINT001" Finding "name is reserved (names must not begin with \"__\")";
+    e "LINT002" Finding "duplicate argument name";
+    e "LINT003" Advice "directive repeated on the same element";
+    e "LINT004" Finding "duplicate field name";
+    e "LINT005" Finding "interface implemented more than once";
+    e "LINT006" Finding "union has no member types";
+    e "LINT007" Finding "duplicate union member";
+    e "LINT008" Finding "enum has no values";
+    e "LINT009" Finding "duplicate enum value";
+    e "LINT010" Finding "duplicate input field";
+    e "LINT011" Finding "type defined more than once";
+    e "LINT012" Finding "directive defined more than once";
+    e "LINT013" Finding "more than one schema definition";
+    e "LINT014" Finding "duplicate root operation type";
+    (* ---- AST -> schema build ---- *)
+    e "SCH001" Input "the document does not translate to a Property Graph schema";
+    e "SCH002" Advice "a construct was ignored by the translation (Section 3.6)";
+    e "SCH003" Input "the schema cannot be extended into a GraphQL API schema (Section 3.6)";
+    (* ---- consistency (Definitions 4.3-4.5) ---- *)
+    e "SCH010" Finding "implementing type lacks an interface field (Definition 4.3(1))";
+    e "SCH011" Finding "field type is not a subtype of the interface's (Definition 4.3(1))";
+    e "SCH012" Finding "implementing type lacks an interface field argument (Definition 4.3(2))";
+    e "SCH013" Finding "argument type differs from the interface's (Definition 4.3(2))";
+    e "SCH014" Finding "extra non-null argument not declared by the interface (Definition 4.3(3))";
+    e "SCH015" Finding "unknown directive";
+    e "SCH016" Finding "undeclared directive argument";
+    e "SCH017" Finding "missing non-null directive argument (Definition 4.4(1))";
+    e "SCH018" Finding "directive argument value outside valuesW (Definition 4.4(2))";
+    (* ---- validation rules (Section 5); descriptions are the paper's
+       captions and must stay identical to
+       [Pg_validation.Violation.rule_description] ---- *)
+    e "WS1" Finding "node properties must be of the required type";
+    e "WS2" Finding "edge properties must be of the required type";
+    e "WS3" Finding "target nodes must be of the required type";
+    e "WS4" Finding "non-list fields contain at most one edge";
+    e "DS1" Finding "edges identified by nodes and label (@distinct)";
+    e "DS2" Finding "no loops (@noLoops)";
+    e "DS3" Finding "target has at most one incoming edge (@uniqueForTarget)";
+    e "DS4" Finding "target has at least one incoming edge (@requiredForTarget)";
+    e "DS5" Finding "property is required (@required)";
+    e "DS6" Finding "edge is required (@required)";
+    e "DS7" Finding "keys (@key)";
+    e "SS1" Finding "all nodes are justified";
+    e "SS2" Finding "all node properties are justified";
+    e "SS3" Finding "all edge properties are justified";
+    e "SS4" Finding "all edges are justified";
+    (* ---- validation run status ---- *)
+    e "VAL001" Budget "validation stopped before completion (budget exhausted)";
+    (* ---- satisfiability (Section 6.2) ---- *)
+    e "SAT001" Finding "object type is finitely unsatisfiable";
+    e "SAT002" Finding "object type is unsatisfiable over arbitrary models (ALCQI)";
+    e "SAT003" Advice "satisfiability verdict is unknown (engines inconclusive)";
+    e "SAT004" Budget "satisfiability verdict is unknown (budget exhausted)";
+    (* ---- schema evolution ---- *)
+    e "DIFF001" Finding "breaking change: some conforming graph becomes invalid";
+    e "DIFF002" Advice "compatible change: every conforming graph stays conformant";
+    (* ---- Angles baseline validator ---- *)
+    e "ANG001" Finding "node has an undeclared type";
+    e "ANG002" Finding "node has an undeclared property";
+    e "ANG003" Finding "node property value has the wrong type";
+    e "ANG004" Finding "node lacks a mandatory property";
+    e "ANG005" Finding "nodes share a unique property value";
+    e "ANG006" Finding "edge matches no declared edge type";
+    e "ANG007" Finding "edge has an undeclared property";
+    e "ANG008" Finding "edge property value has the wrong type";
+    e "ANG009" Finding "edge lacks a mandatory property";
+    e "ANG010" Finding "source-side cardinality bound exceeded";
+    e "ANG011" Finding "target-side cardinality bound exceeded";
+    e "ANG012" Finding "mandatory edge type has no outgoing edge";
+    (* ---- query engine / repair ---- *)
+    e "QRY001" Input "the GraphQL query failed to parse, validate, or execute";
+    e "REP001" Finding "the graph could not be repaired into strong satisfaction within bounds";
+    (* ---- input / usage ---- *)
+    e "IO001" Input "file could not be read or parsed";
+    e "CLI001" Input "command-line usage error";
+  ]
+
+let by_code = Hashtbl.create 97
+
+let () = List.iter (fun entry -> Hashtbl.replace by_code entry.code entry) all
+
+let find code = Hashtbl.find_opt by_code code
+let describe code = Option.map (fun entry -> entry.doc) (find code)
+
+let class_of code =
+  match find code with Some entry -> entry.cls | None -> Finding

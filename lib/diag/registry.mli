@@ -1,0 +1,24 @@
+(** The registry of stable diagnostic codes.
+
+    Every diagnostic the toolchain emits carries one of these codes; they
+    are part of the machine-readable CLI contract (scripts and CI match on
+    them), so a published code's meaning never changes.  See the code
+    family table in README.md. *)
+
+type cls =
+  | Finding  (** the requested check failed on the input — exit 1 *)
+  | Input  (** the input itself could not be used — exit 2 *)
+  | Budget  (** a resource budget ran out before the answer — exit 3 *)
+  | Advice  (** informational; never affects the exit code *)
+
+type entry = { code : string; cls : cls; doc : string }
+
+val all : entry list
+(** Every registered code, grouped by family. *)
+
+val find : string -> entry option
+val describe : string -> string option
+
+val class_of : string -> cls
+(** [Finding] for unregistered codes — unknown codes must never silently
+    upgrade to the input-error or budget exit paths. *)

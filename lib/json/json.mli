@@ -1,0 +1,32 @@
+(** JSON values — the response format of GraphQL execution (spec
+    Section 7).  Self-contained (no JSON library ships with the sealed
+    environment); the printer emits standards-compliant JSON and the
+    parser accepts it back, which is property-tested. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list  (** insertion order preserved *)
+
+val equal : t -> t -> bool
+
+val member : string -> t -> t
+(** [member k (Assoc ...)] or [Null]. *)
+
+val index : int -> t -> t
+(** [index i (List ...)] or [Null]. *)
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two spaces. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printed. *)
+
+val of_string : string -> (t, string) result
+
+val of_property_value : Pg_graph.Value.t -> t
+(** Embed a Property Graph value ([Id] and [Enum] become strings). *)

@@ -93,6 +93,41 @@ let unsatisfiable_types ?fuel ?max_nodes ?gov sch =
       if report.finite = Tableau.Unsatisfiable then Some ot else None)
     (check_all ?fuel ?max_nodes ?gov sch)
 
+(* The report as unified diagnostics for one object type [ot] (the
+   subject).  A clean satisfiable verdict produces none; budget-induced
+   Unknowns are SAT004 (exit-code class: budget), genuine inconclusive
+   Unknowns are SAT003 advisories. *)
+let to_diagnostics ot r =
+  let verdict_diags ~engine v =
+    match v with
+    | Tableau.Satisfiable -> []
+    | Tableau.Unsatisfiable ->
+      if String.equal engine "finite" then
+        [
+          Pg_diag.Diag.error ~code:"SAT001" ~subject:ot
+            (Printf.sprintf "object type %S is finitely unsatisfiable: no finite Property \
+                             Graph conforming to the schema contains a node of this type" ot);
+        ]
+      else
+        [
+          Pg_diag.Diag.error ~code:"SAT002" ~subject:ot
+            (Printf.sprintf "object type %S is unsatisfiable over arbitrary models (ALCQI \
+                             tableau, Theorem 3)" ot);
+        ]
+    | Tableau.Unknown reason ->
+      if verdict_exhausted v then
+        [
+          Pg_diag.Diag.error ~code:"SAT004" ~subject:ot
+            (Printf.sprintf "%s verdict for %S unknown: %s" engine ot reason);
+        ]
+      else
+        [
+          Pg_diag.Diag.warning ~code:"SAT003" ~subject:ot
+            (Printf.sprintf "%s verdict for %S unknown: %s" engine ot reason);
+        ]
+  in
+  verdict_diags ~engine:"ALCQI" r.alcqi @ verdict_diags ~engine:"finite" r.finite
+
 let pp_report ppf r =
   Format.fprintf ppf "ALCQI (paper): %a; finite PG: %a%s" Tableau.pp_verdict r.alcqi
     Tableau.pp_verdict r.finite

@@ -77,4 +77,12 @@ val budget_exhausted : report -> bool
     (rather than because the engines were genuinely inconclusive)?  The
     CLI maps this to its own exit code. *)
 
+val to_diagnostics : string -> report -> Pg_diag.Diag.t list
+(** [to_diagnostics ot report]: the report as unified diagnostics about
+    object type [ot].  Finite unsatisfiability is [SAT001] and ALCQI
+    unsatisfiability [SAT002] (both errors); a genuinely inconclusive
+    [Unknown] is a [SAT003] warning; a budget-induced [Unknown] is a
+    [SAT004] error whose registry class maps to exit code 3.  A cleanly
+    satisfiable report yields []. *)
+
 val pp_report : Format.formatter -> report -> unit

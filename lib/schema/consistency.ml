@@ -79,6 +79,32 @@ let pp_issue ppf = function
 
 let issue_to_string i = Format.asprintf "%a" pp_issue i
 
+(* Stable codes SCH010-SCH018, one per consistency rule. *)
+let code = function
+  | Missing_field _ -> "SCH010"
+  | Field_type_not_subtype _ -> "SCH011"
+  | Missing_argument _ -> "SCH012"
+  | Argument_type_mismatch _ -> "SCH013"
+  | Extra_non_null_argument _ -> "SCH014"
+  | Unknown_directive _ -> "SCH015"
+  | Unknown_directive_argument _ -> "SCH016"
+  | Missing_directive_argument _ -> "SCH017"
+  | Directive_argument_type_error _ -> "SCH018"
+
+let subject = function
+  | Missing_field { object_type; _ }
+  | Field_type_not_subtype { object_type; _ }
+  | Missing_argument { object_type; _ }
+  | Argument_type_mismatch { object_type; _ }
+  | Extra_non_null_argument { object_type; _ } -> Printf.sprintf "type %s" object_type
+  | Unknown_directive { context; _ }
+  | Unknown_directive_argument { context; _ }
+  | Missing_directive_argument { context; _ }
+  | Directive_argument_type_error { context; _ } -> context
+
+let to_diagnostic i =
+  Pg_diag.Diag.error ~code:(code i) ~subject:(subject i) (issue_to_string i)
+
 (* Definition 4.3 *)
 let check_interfaces (sch : Schema.t) =
   let check_implementation it_name (it : Schema.interface_type) ot_name issues =

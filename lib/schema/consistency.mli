@@ -54,6 +54,14 @@ type issue =
 val pp_issue : Format.formatter -> issue -> unit
 val issue_to_string : issue -> string
 
+val code : issue -> string
+(** The stable code of the issue's rule: [SCH010] ... [SCH018]. *)
+
+val to_diagnostic : issue -> Pg_diag.Diag.t
+(** Severity error; the subject names the type or directive context.
+    Consistency issues carry no source span (they are facts about the
+    built schema, not about a document position). *)
+
 val check_interfaces : Schema.t -> issue list
 (** Interface consistency (Definition 4.3). *)
 

@@ -3,12 +3,17 @@ module Source = Pg_sdl.Source
 module Sm = Map.Make (String)
 
 type severity = Error | Warning
-type diagnostic = { at : Source.span; severity : severity; message : string }
+
+type diagnostic = { code : string; at : Source.span; severity : severity; message : string }
 
 let pp_diagnostic ppf d =
   Format.fprintf ppf "%s: %a: %s"
     (match d.severity with Error -> "error" | Warning -> "warning")
     Source.pp_span d.at d.message
+
+let to_diagnostic d =
+  let severity = match d.severity with Error -> Pg_diag.Diag.Error | Warning -> Pg_diag.Diag.Warning in
+  Pg_diag.Diag.make ~code:d.code ~severity ~span:d.at d.message
 
 type ctx = {
   mutable diagnostics : diagnostic list;
@@ -18,14 +23,18 @@ type ctx = {
   kinds : (string, Schema.kind) Hashtbl.t;
 }
 
+(* SCH001: the document does not translate to a Property Graph schema;
+   SCH002: a construct was dropped or ignored (Section 3.6). *)
 let error ctx at fmt =
   Format.kasprintf
-    (fun message -> ctx.diagnostics <- { at; severity = Error; message } :: ctx.diagnostics)
+    (fun message ->
+      ctx.diagnostics <- { code = "SCH001"; at; severity = Error; message } :: ctx.diagnostics)
     fmt
 
 let warning ctx at fmt =
   Format.kasprintf
-    (fun message -> ctx.diagnostics <- { at; severity = Warning; message } :: ctx.diagnostics)
+    (fun message ->
+      ctx.diagnostics <- { code = "SCH002"; at; severity = Warning; message } :: ctx.diagnostics)
     fmt
 
 let directive_use (d : Ast.directive) : Schema.directive_use =
@@ -222,6 +231,7 @@ let build (doc : Ast.document) =
         List.rev_map
           (fun (i : Pg_sdl.Lint.issue) ->
             {
+              code = i.Pg_sdl.Lint.code;
               at = i.Pg_sdl.Lint.at;
               severity = (match i.Pg_sdl.Lint.severity with Pg_sdl.Lint.Error -> Error | Pg_sdl.Lint.Warning -> Warning);
               message = i.Pg_sdl.Lint.message;
@@ -360,26 +370,31 @@ let build (doc : Ast.document) =
   if errors <> [] then Result.Error diagnostics
   else Ok (Schema.rebuild_implementations !sch, diagnostics)
 
-let aggregate diagnostics =
-  String.concat "\n" (List.map (fun d -> Format.asprintf "%a" pp_diagnostic d) diagnostics)
-
-let parse_with ~check_consistency text =
+(* The structured front door: every stage's findings as unified
+   diagnostics.  [parse] and [parse_lenient] below render these to the
+   exact legacy strings, so the two views can never drift. *)
+let parse_full ?(consistency = true) text =
   match Pg_sdl.Parser.parse_with_recovery text with
   | _, (_ :: _ as errors) ->
-    (* report every syntax error found in the document, one per line
-       (identical to the pre-recovery output when there is only one) *)
-    Result.Error (String.concat "\n" (List.map Source.error_to_string errors))
+    (* every syntax error found in the document, in source order *)
+    Result.Error (List.map Source.to_diagnostic errors)
   | doc, [] -> (
     match build doc with
-    | Result.Error diagnostics -> Result.Error (aggregate diagnostics)
-    | Ok (sch, _warnings) ->
-      if not check_consistency then Ok sch
+    | Result.Error diagnostics -> Result.Error (List.map to_diagnostic diagnostics)
+    | Ok (sch, warnings) ->
+      if not consistency then Ok (sch, List.map to_diagnostic warnings)
       else (
         match Consistency.check sch with
-        | [] -> Ok sch
-        | issues ->
-          Result.Error
-            (String.concat "\n" (List.map Consistency.issue_to_string issues))))
+        | [] -> Ok (sch, List.map to_diagnostic warnings)
+        | issues -> Result.Error (List.map Consistency.to_diagnostic issues)))
+
+let parse_with ~check_consistency text =
+  match parse_full ~consistency:check_consistency text with
+  | Ok (sch, _warnings) -> Ok sch
+  | Result.Error diagnostics ->
+    (* one rendered line per diagnostic, identical to the historical
+       aggregated error strings *)
+    Result.Error (String.concat "\n" (List.map Pg_diag.Diag.to_text diagnostics))
 
 let parse text = parse_with ~check_consistency:true text
 let parse_lenient text = parse_with ~check_consistency:false text

@@ -20,13 +20,31 @@
 
 type severity = Error | Warning
 
-type diagnostic = { at : Pg_sdl.Source.span; severity : severity; message : string }
+type diagnostic = {
+  code : string;  (** a stable code: [SCH001]/[SCH002], or the [LINT0xx] of an embedded lint issue *)
+  at : Pg_sdl.Source.span;
+  severity : severity;
+  message : string;
+}
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val to_diagnostic : diagnostic -> Pg_diag.Diag.t
 
 val build : Pg_sdl.Ast.document -> (Schema.t * diagnostic list, diagnostic list) result
 (** [build doc] is [Ok (schema, warnings)] or [Error diagnostics] where the
     diagnostics contain at least one error. *)
+
+val parse_full :
+  ?consistency:bool ->
+  string ->
+  (Schema.t * Pg_diag.Diag.t list, Pg_diag.Diag.t list) result
+(** The whole front end — lex, parse (with recovery), lint, build, and
+    (unless [~consistency:false]) the Definition 4.5 consistency gate —
+    with every finding as a unified diagnostic: [Ok (schema, warnings)]
+    or [Error diagnostics].  {!parse} and {!parse_lenient} are this
+    function with the diagnostics rendered to their legacy one-per-line
+    text. *)
 
 val parse : string -> (Schema.t, string) result
 (** One-step convenience: lex, parse, lint, build, and check consistency

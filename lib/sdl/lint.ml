@@ -1,5 +1,9 @@
 type severity = Error | Warning
-type issue = { severity : severity; at : Source.span; message : string }
+type issue = { code : string; severity : severity; at : Source.span; message : string }
+
+let to_diagnostic i =
+  let severity = match i.severity with Error -> Pg_diag.Diag.Error | Warning -> Pg_diag.Diag.Warning in
+  Pg_diag.Diag.make ~code:i.code ~severity ~span:i.at i.message
 
 let pp_issue ppf i =
   Format.fprintf ppf "%s: %a: %s"
@@ -22,7 +26,7 @@ let duplicates ~key items =
 
 let check_reserved at kind name issues =
   if String.length name >= 2 && name.[0] = '_' && name.[1] = '_' then
-    { severity = Error;
+    { code = "LINT001"; severity = Error;
       at;
       message = Printf.sprintf "%s name %S is reserved (names must not begin with \"__\")" kind name
     }
@@ -38,7 +42,7 @@ let check_arguments owner (args : Ast.input_value_def list) issues =
   in
   List.fold_left
     (fun issues (iv : Ast.input_value_def) ->
-      { severity = Error;
+      { code = "LINT002"; severity = Error;
         at = iv.iv_span;
         message = Printf.sprintf "duplicate argument %S in %s" iv.iv_name owner
       }
@@ -54,7 +58,7 @@ let check_repeated_directives owner (ds : Ast.directive list) issues =
     (fun issues (d : Ast.directive) ->
       if repeatable d then issues
       else
-        { severity = Warning;
+        { code = "LINT003"; severity = Warning;
           at = d.d_span;
           message = Printf.sprintf "directive @%s is repeated on %s" d.d_name owner }
         :: issues)
@@ -74,7 +78,7 @@ let check_fields owner (fields : Ast.field_def list) issues =
   in
   List.fold_left
     (fun issues (f : Ast.field_def) ->
-      { severity = Error;
+      { code = "LINT004"; severity = Error;
         at = f.f_span;
         message = Printf.sprintf "duplicate field %S in %s" f.f_name owner
       }
@@ -98,7 +102,7 @@ let check_type_def (td : Ast.type_def) issues =
     | dups ->
       List.fold_left
         (fun issues i ->
-          { severity = Error;
+          { code = "LINT005"; severity = Error;
             at;
             message = Printf.sprintf "type %S implements interface %S more than once" name i
           }
@@ -108,7 +112,7 @@ let check_type_def (td : Ast.type_def) issues =
   | Ast.Union_type d ->
     let issues =
       if d.u_members = [] then
-        { severity = Error; at; message = Printf.sprintf "union %S has no member types" name }
+        { code = "LINT006"; severity = Error; at; message = Printf.sprintf "union %S has no member types" name }
         :: issues
       else issues
     in
@@ -117,7 +121,7 @@ let check_type_def (td : Ast.type_def) issues =
     | dups ->
       List.fold_left
         (fun issues m ->
-          { severity = Error;
+          { code = "LINT007"; severity = Error;
             at;
             message = Printf.sprintf "union %S lists member %S more than once" name m
           }
@@ -126,7 +130,7 @@ let check_type_def (td : Ast.type_def) issues =
   | Ast.Enum_type d ->
     let issues =
       if d.e_values = [] then
-        { severity = Error; at; message = Printf.sprintf "enum %S has no values" name }
+        { code = "LINT008"; severity = Error; at; message = Printf.sprintf "enum %S has no values" name }
         :: issues
       else issues
     in
@@ -135,7 +139,7 @@ let check_type_def (td : Ast.type_def) issues =
     | dups ->
       List.fold_left
         (fun issues (ev : Ast.enum_value_def) ->
-          { severity = Error;
+          { code = "LINT009"; severity = Error;
             at = ev.ev_span;
             message = Printf.sprintf "duplicate enum value %S in enum %S" ev.ev_name name
           }
@@ -153,7 +157,7 @@ let check_type_def (td : Ast.type_def) issues =
     | dups ->
       List.fold_left
         (fun issues (iv : Ast.input_value_def) ->
-          { severity = Error;
+          { code = "LINT010"; severity = Error;
             at = iv.iv_span;
             message = Printf.sprintf "duplicate input field %S in input %S" iv.iv_name name
           }
@@ -178,7 +182,7 @@ let check (doc : Ast.document) =
     | dups ->
       List.fold_left
         (fun issues td ->
-          { severity = Error;
+          { code = "LINT011"; severity = Error;
             at = Ast.type_def_span td;
             message = Printf.sprintf "type %S is defined more than once" (Ast.type_def_name td)
           }
@@ -198,7 +202,7 @@ let check (doc : Ast.document) =
     | dups ->
       List.fold_left
         (fun issues (dd : Ast.directive_def) ->
-          { severity = Error;
+          { code = "LINT012"; severity = Error;
             at = dd.dd_span;
             message = Printf.sprintf "directive @%s is defined more than once" dd.dd_name
           }
@@ -211,7 +215,7 @@ let check (doc : Ast.document) =
     | _ :: extra ->
       List.fold_left
         (fun issues (sd : Ast.schema_def) ->
-          { severity = Error; at = sd.sd_span; message = "more than one schema definition" }
+          { code = "LINT013"; severity = Error; at = sd.sd_span; message = "more than one schema definition" }
           :: issues)
         issues extra
   in
@@ -223,7 +227,7 @@ let check (doc : Ast.document) =
         | dups ->
           List.fold_left
             (fun issues (op, _) ->
-              { severity = Error;
+              { code = "LINT014"; severity = Error;
                 at = sd.sd_span;
                 message =
                   Printf.sprintf "duplicate root operation type %S" (Ast.operation_type_name op)

@@ -13,9 +13,16 @@
 
 type severity = Error | Warning
 
-type issue = { severity : severity; at : Source.span; message : string }
+type issue = {
+  code : string;  (** a stable [LINT0xx] code of {!Pg_diag.Registry} *)
+  severity : severity;
+  at : Source.span;
+  message : string;
+}
 
 val pp_issue : Format.formatter -> issue -> unit
+
+val to_diagnostic : issue -> Pg_diag.Diag.t
 
 val check : Ast.document -> issue list
 (** All issues found, in document order. *)

@@ -458,4 +458,7 @@ let parse_with_recovery src =
     | [], [] ->
       (* parity with {!parse}: an empty document is still an error *)
       ([], [ { Source.at = span_here st; message = "empty document" } ])
-    | defs, errs -> (defs, errs))
+    | defs, errs ->
+      (* deterministic multi-error output: source order, duplicates
+         collapsed, regardless of the order recovery found them in *)
+      (defs, Source.normalize_errors errs))

@@ -21,8 +21,11 @@ val parse_with_recovery : string -> Ast.document * Source.error list
     Guarantees: always terminates; an empty error list means the
     document is exactly what {!parse} would have returned [Ok]; a
     document {!parse} rejects with a single error yields that same
-    error first in the list.  Lexer errors are not recoverable: the
-    result is [([], [e])]. *)
+    error first in the list.  The error list is normalized with
+    {!Source.normalize_errors} — sorted by source position with exact
+    duplicates collapsed — so multi-error output is deterministic
+    regardless of recovery order.  Lexer errors are not recoverable:
+    the result is [([], [e])]. *)
 
 val parse_type_ref : string -> (Ast.type_ref, Source.error) result
 (** Parse a single type reference such as ["[Foo!]!"]; used by tests and by

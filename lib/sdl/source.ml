@@ -1,16 +1,32 @@
-type pos = { line : int; column : int; offset : int }
-type span = { span_start : pos; span_end : pos }
+(* Positions and spans are the shared ones of [Pg_diag.Diag], so SDL
+   errors convert into unified diagnostics without copying. *)
+
+type pos = Pg_diag.Diag.pos = { line : int; column : int; offset : int }
+type span = Pg_diag.Diag.span = { span_start : pos; span_end : pos }
 type error = { at : span; message : string }
 
-let start_pos = { line = 1; column = 1; offset = 0 }
-let dummy_span = { span_start = start_pos; span_end = start_pos }
-let span span_start span_end = { span_start; span_end }
-let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.column
-
-let pp_span ppf s =
-  if s.span_start.line = s.span_end.line && s.span_start.column = s.span_end.column then
-    pp_pos ppf s.span_start
-  else Format.fprintf ppf "%a-%a" pp_pos s.span_start pp_pos s.span_end
+let start_pos = Pg_diag.Diag.start_pos
+let dummy_span = Pg_diag.Diag.dummy_span
+let span = Pg_diag.Diag.span
+let pp_pos = Pg_diag.Diag.pp_pos
+let pp_span = Pg_diag.Diag.pp_span
 
 let pp_error ppf e = Format.fprintf ppf "%a: %s" pp_span e.at e.message
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Stable code SDL001: every lexical or syntax error of the front end. *)
+let to_diagnostic e = Pg_diag.Diag.error ~code:"SDL001" ~span:e.at e.message
+
+(* Deterministic multi-error order: by start position, then end position,
+   then message; exact duplicates collapse. *)
+let compare_error (a : error) b =
+  let key e =
+    ( e.at.span_start.offset,
+      e.at.span_start.line,
+      e.at.span_start.column,
+      e.at.span_end.offset,
+      e.message )
+  in
+  Stdlib.compare (key a) (key b)
+
+let normalize_errors errors = List.sort_uniq compare_error errors

@@ -1,12 +1,16 @@
-(** Source positions, spans and errors for the GraphQL SDL front end. *)
+(** Source positions, spans and errors for the GraphQL SDL front end.
 
-type pos = {
+    Positions and spans are the shared types of {!Pg_diag.Diag} (the
+    equations below are exposed), so an SDL [error] converts into a
+    unified diagnostic without copying. *)
+
+type pos = Pg_diag.Diag.pos = {
   line : int;  (** 1-based *)
   column : int;  (** 1-based, in bytes *)
   offset : int;  (** 0-based byte offset *)
 }
 
-type span = { span_start : pos; span_end : pos }
+type span = Pg_diag.Diag.span = { span_start : pos; span_end : pos }
 
 type error = { at : span; message : string }
 
@@ -23,3 +27,13 @@ val pp_span : Format.formatter -> span -> unit
 val pp_error : Format.formatter -> error -> unit
 
 val error_to_string : error -> string
+
+val to_diagnostic : error -> Pg_diag.Diag.t
+(** Code [SDL001], severity error. *)
+
+val compare_error : error -> error -> int
+(** Source order: start position, end position, message. *)
+
+val normalize_errors : error list -> error list
+(** Sort by {!compare_error} and drop exact duplicates, so multi-error
+    reports are deterministic regardless of recovery order. *)

@@ -20,6 +20,17 @@ let pp_change ppf c =
     | Some r -> Printf.sprintf " (%s could fire)" (Violation.rule_name r)
     | None -> "")
 
+let to_diagnostic c =
+  let message =
+    c.description
+    ^ (match c.rule with
+      | Some r -> Printf.sprintf " (%s could fire)" (Violation.rule_name r)
+      | None -> "")
+  in
+  match c.severity with
+  | Breaking -> Pg_diag.Diag.error ~code:"DIFF001" ~subject:c.subject message
+  | Compatible -> Pg_diag.Diag.info ~code:"DIFF002" ~subject:c.subject message
+
 let breaking changes = List.filter (fun c -> c.severity = Breaking) changes
 
 let compatible subject description = { severity = Compatible; subject; description; rule = None }

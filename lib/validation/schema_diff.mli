@@ -41,3 +41,8 @@ val breaking : change list -> change list
 val is_compatible : Pg_schema.Schema.t -> Pg_schema.Schema.t -> bool
 
 val pp_change : Format.formatter -> change -> unit
+
+val to_diagnostic : change -> Pg_diag.Diag.t
+(** Breaking changes are [DIFF001] errors, compatible ones [DIFF002]
+    infos; the rule that could fire is folded into the message exactly as
+    {!pp_change} prints it. *)

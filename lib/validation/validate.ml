@@ -91,6 +91,20 @@ let violated_rules report =
     (fun r -> List.exists (fun v -> v.Violation.rule = r) report.violations)
     Violation.all_rules
 
+(* The report as unified diagnostics: one per violation, plus a VAL001
+   budget marker when the run stopped early (so the exit-code policy can
+   classify a partial report without out-of-band flags). *)
+let diagnostics report =
+  let ds = List.map Violation.to_diagnostic report.violations in
+  if report.complete then ds
+  else
+    Pg_diag.Diag.error ~code:"VAL001"
+      (Printf.sprintf
+         "budget exhausted before the scan completed (%d node and %d edge visits over %d \
+          nodes, %d edges)"
+         report.nodes_scanned report.edges_scanned report.nodes_checked report.edges_checked)
+    :: ds
+
 let pp_report ppf report =
   let mode_name = function Weak -> "weak" | Directives -> "directives" | Strong -> "strong" in
   let engine_name = function

@@ -111,4 +111,9 @@ val satisfies_directives :
 val violated_rules : report -> Violation.rule list
 (** The distinct rules violated, in rule order. *)
 
+val diagnostics : report -> Pg_diag.Diag.t list
+(** The report as unified diagnostics: every violation (code = rule
+    name), preceded by a [VAL001] budget diagnostic when
+    [complete = false]. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -123,8 +123,16 @@ let pp_subject ppf = function
   | Node_pair (a, b) -> Format.fprintf ppf "nodes n%d and n%d" a b
   | Edge_pair (a, b) -> Format.fprintf ppf "edges e%d and e%d" a b
 
+let subject_to_string s = Format.asprintf "%a" pp_subject s
+
 let pp ppf v =
   Format.fprintf ppf "[%s] %a: %s (%s)" (rule_name v.rule) pp_subject v.subject v.message
     (rule_description v.rule)
 
 let to_string v = Format.asprintf "%a" pp v
+
+(* The rule names WS1..SS4 double as the stable diagnostic codes; the
+   registry's descriptions are the paper captions above, so the unified
+   text renderer reproduces [pp] byte-for-byte. *)
+let to_diagnostic v =
+  Pg_diag.Diag.error ~code:(rule_name v.rule) ~subject:(subject_to_string v.subject) v.message

@@ -64,3 +64,10 @@ val normalize : t list -> t list
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val subject_to_string : subject -> string
+(** e.g. ["node n3"], ["property \"age\" of node n1"]. *)
+
+val to_diagnostic : t -> Pg_diag.Diag.t
+(** The rule name (["WS1"] ... ["SS4"]) is the stable code; the subject
+    is rendered with {!subject_to_string}; severity is error. *)

@@ -1,0 +1,447 @@
+(* The unified diagnostics core (lib/diag): registry integrity, byte
+   parity of [Diag.to_text] with every producer's legacy printer, the
+   exit-code policy, and end-to-end golden tests pinning the CLI's
+   [--format json] envelopes on the examples/ inputs. *)
+
+module GP = Graphql_pg
+module Diag = GP.Diag
+module Reg = GP.Diag_registry
+module Source = GP.Sdl.Source
+module Parser = GP.Sdl.Parser
+module Lint = GP.Sdl.Lint
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* Paths relative to the test directory, independent of the cwd the
+   runner happens to use (dune runtest vs dune exec). *)
+let test_dir = Filename.dirname Sys.executable_name
+let in_repo rel = Filename.concat test_dir rel
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let movies_schema () =
+  match GP.Of_ast.parse (read_file (in_repo "../examples/movies.graphql")) with
+  | Ok sch -> sch
+  | Error msg -> Alcotest.failf "movies.graphql: %s" msg
+
+let movies_graph () =
+  match GP.Pgf.load (in_repo "../examples/movies.pgf") with
+  | Ok g -> g
+  | Error e -> Alcotest.failf "movies.pgf: %a" GP.Pgf.pp_error e
+
+(* ---- registry ---- *)
+
+let test_registry_codes_unique () =
+  let codes = List.map (fun (e : Reg.entry) -> e.Reg.code) Reg.all in
+  check_int "no duplicate codes" (List.length codes)
+    (List.length (List.sort_uniq String.compare codes))
+
+let test_registry_covers_validation_rules () =
+  (* the registry's WS/DS/SS descriptions are the paper's captions *)
+  List.iter
+    (fun rule ->
+      let code = GP.Violation.rule_name rule in
+      match Reg.describe code with
+      | None -> Alcotest.failf "rule %s not registered" code
+      | Some doc -> check_string code (GP.Violation.rule_description rule) doc)
+    GP.Violation.all_rules
+
+let test_registry_covers_angles_rules () =
+  for i = 1 to 12 do
+    let code = Printf.sprintf "ANG%03d" i in
+    check_bool (code ^ " registered") true (Reg.find code <> None)
+  done;
+  check_string "unknown rule falls back" "ANG000"
+    (GP.Angles_validate.code_of_rule "no-such-rule")
+
+let test_registry_classes () =
+  check_bool "SDL001 is input" true (Reg.class_of "SDL001" = Reg.Input);
+  check_bool "VAL001 is budget" true (Reg.class_of "VAL001" = Reg.Budget);
+  check_bool "SAT004 is budget" true (Reg.class_of "SAT004" = Reg.Budget);
+  check_bool "LINT003 is advice" true (Reg.class_of "LINT003" = Reg.Advice);
+  check_bool "DIFF002 is advice" true (Reg.class_of "DIFF002" = Reg.Advice);
+  check_bool "WS1 is finding" true (Reg.class_of "WS1" = Reg.Finding);
+  check_bool "unknown code defaults to finding" true
+    (Reg.class_of "XYZ999" = Reg.Finding)
+
+(* ---- text parity: every producer's legacy printer vs Diag.to_text ---- *)
+
+let parity name legacy diag = check_string name legacy (Diag.to_text diag)
+
+let broken_sdl = "type B { y: }\ntype A { x: Int"
+
+let test_source_error_parity () =
+  match Parser.parse_with_recovery broken_sdl with
+  | _, [] -> Alcotest.fail "expected syntax errors"
+  | _, errors ->
+    check_bool "several errors" true (List.length errors >= 2);
+    List.iter
+      (fun e -> parity "source error" (Source.error_to_string e) (Source.to_diagnostic e))
+      errors
+
+let test_recovery_errors_sorted () =
+  (* parse_with_recovery reports errors in source order, deduplicated *)
+  let _, errors = Parser.parse_with_recovery broken_sdl in
+  let offsets = List.map (fun (e : Source.error) -> e.Source.at.Diag.span_start.Diag.offset) errors in
+  check_bool "sorted by position" true (offsets = List.sort compare offsets);
+  check_int "no duplicates" (List.length errors)
+    (List.length (List.sort_uniq Source.compare_error errors))
+
+let linty_sdl =
+  {|
+type __T { a: Int a: String @deprecated @deprecated }
+type __T { b: Int }
+|}
+
+let test_lint_parity () =
+  let doc =
+    match Parser.parse linty_sdl with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "parse: %s" (Source.error_to_string e)
+  in
+  let issues = Lint.check doc in
+  check_bool "lint issues found" true (List.length issues >= 3);
+  check_bool "both severities present" true
+    (List.exists (fun (i : Lint.issue) -> i.Lint.severity = Lint.Error) issues
+    && List.exists (fun (i : Lint.issue) -> i.Lint.severity = Lint.Warning) issues);
+  List.iter
+    (fun i ->
+      parity "lint issue" (Format.asprintf "%a" Lint.pp_issue i) (Lint.to_diagnostic i);
+      let d = Lint.to_diagnostic i in
+      check_bool ("LINT code: " ^ d.Diag.code) true (Reg.find d.Diag.code <> None))
+    issues
+
+let test_of_ast_parity () =
+  (* one build error (nested list) and one warning (input-object argument
+     dropped, Section 3.6) *)
+  let parse_doc src =
+    match Parser.parse src with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "parse: %s" (Source.error_to_string e)
+  in
+  (match GP.Of_ast.build (parse_doc "type T { xs: [[Int]] }") with
+  | Ok _ -> Alcotest.fail "nested list accepted"
+  | Error diags ->
+    check_bool "build errors" true (diags <> []);
+    List.iter
+      (fun d ->
+        parity "build error"
+          (Format.asprintf "%a" GP.Of_ast.pp_diagnostic d)
+          (GP.Of_ast.to_diagnostic d);
+        check_string "code" "SCH001" (GP.Of_ast.to_diagnostic d).Diag.code)
+      diags);
+  match GP.Of_ast.build (parse_doc "input F { q: String }\ntype T { f(arg: F): Int }") with
+  | Error _ -> Alcotest.fail "warning-only document rejected"
+  | Ok (_, warnings) ->
+    check_bool "dropped-argument warning" true (warnings <> []);
+    List.iter
+      (fun d ->
+        parity "build warning"
+          (Format.asprintf "%a" GP.Of_ast.pp_diagnostic d)
+          (GP.Of_ast.to_diagnostic d);
+        check_string "code" "SCH002" (GP.Of_ast.to_diagnostic d).Diag.code)
+      warnings
+
+let test_consistency_parity () =
+  let src = "interface I { id: ID! }\ntype T implements I { name: String }" in
+  match GP.Of_ast.parse_full ~consistency:false src with
+  | Error _ -> Alcotest.fail "fixture did not build"
+  | Ok (sch, _) ->
+    let issues = GP.Consistency.check sch in
+    check_bool "inconsistent fixture" true (issues <> []);
+    List.iter
+      (fun i ->
+        parity "consistency issue" (GP.Consistency.issue_to_string i)
+          (GP.Consistency.to_diagnostic i);
+        let d = GP.Consistency.to_diagnostic i in
+        check_string "code" (GP.Consistency.code i) d.Diag.code;
+        check_bool ("registered: " ^ d.Diag.code) true (Reg.find d.Diag.code <> None))
+      issues
+
+let test_violation_parity_all_rules () =
+  (* every rule x every subject shape renders identically through the
+     legacy printer and the unified renderer *)
+  let subjects =
+    GP.Violation.
+      [
+        Node 3;
+        Edge 7;
+        Node_property (1, "age");
+        Edge_property (2, "since");
+        Node_pair (5, 4);
+        Edge_pair (9, 8);
+      ]
+  in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun subject ->
+          let v = GP.Violation.make rule subject "the engines agree on this fact" in
+          parity
+            (GP.Violation.rule_name rule)
+            (GP.Violation.to_string v)
+            (GP.Violation.to_diagnostic v))
+        subjects)
+    GP.Violation.all_rules
+
+let test_real_violations_parity () =
+  let report = GP.Validate.check (movies_schema ()) (movies_graph ()) in
+  check_bool "movies graph has violations" true (report.GP.Validate.violations <> []);
+  List.iter
+    (fun v ->
+      parity "violation" (GP.Violation.to_string v) (GP.Violation.to_diagnostic v))
+    report.GP.Validate.violations
+
+let test_schema_diff_parity () =
+  let parse src =
+    match GP.Of_ast.parse src with
+    | Ok sch -> sch
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  let old_schema = parse "type T { a: Int b: String }" in
+  let new_schema = parse "type T { a: Int! @required }" in
+  let changes = GP.Schema_diff.diff old_schema new_schema in
+  check_bool "changes found" true (changes <> []);
+  check_bool "a breaking change is present" true
+    (List.exists
+       (fun (c : GP.Schema_diff.change) -> c.GP.Schema_diff.severity = GP.Schema_diff.Breaking)
+       changes);
+  List.iter
+    (fun (c : GP.Schema_diff.change) ->
+      parity "diff change"
+        (Format.asprintf "%a" GP.Schema_diff.pp_change c)
+        (GP.Schema_diff.to_diagnostic c);
+      let d = GP.Schema_diff.to_diagnostic c in
+      match c.GP.Schema_diff.severity with
+      | GP.Schema_diff.Breaking ->
+        check_string "breaking code" "DIFF001" d.Diag.code;
+        check_bool "breaking is an error" true (d.Diag.severity = Diag.Error)
+      | GP.Schema_diff.Compatible ->
+        check_string "compatible code" "DIFF002" d.Diag.code;
+        check_bool "compatible is info" true (d.Diag.severity = Diag.Info))
+    changes
+
+let test_angles_parity () =
+  let ang, _dropped = GP.Angles_of_graphql.translate (movies_schema ()) in
+  let violations = GP.Angles_validate.check ang (movies_graph ()) in
+  check_bool "angles violations found" true (violations <> []);
+  List.iter
+    (fun v ->
+      parity "angles violation"
+        (Format.asprintf "%a" GP.Angles_validate.pp_violation v)
+        (GP.Angles_validate.to_diagnostic v);
+      let d = GP.Angles_validate.to_diagnostic v in
+      check_bool ("ANG code: " ^ d.Diag.code) true (Reg.find d.Diag.code <> None))
+    violations
+
+let unsat_sdl =
+  {|
+type OT1 {
+}
+interface IT { hasOT1: OT1 @uniqueForTarget }
+type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
+|}
+
+let test_sat_diagnostics () =
+  let sch =
+    match GP.Of_ast.parse_lenient unsat_sdl with
+    | Ok sch -> sch
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  (* OT1 is unsatisfiable in both engines (the paper's Example 6.1 conflict) *)
+  let report = GP.Satisfiability.check ~max_nodes:10 sch "OT1" in
+  let diags = GP.Satisfiability.to_diagnostics "OT1" report in
+  check_string "codes" "SAT002,SAT001"
+    (String.concat "," (List.map (fun d -> d.Diag.code) diags));
+  List.iter (fun d -> check_bool "severity" true (d.Diag.severity = Diag.Error)) diags;
+  check_bool "unsat is a finding (exit 1)" true (Diag.Exit.classify diags = Diag.Exit.Findings);
+  (* an exhausted budget turns the verdicts into SAT004 / exit 3 *)
+  let gov = GP.Governor.make ~deadline_ms:0.0 () in
+  let report = GP.Satisfiability.check ~gov sch "OT2" in
+  let diags = GP.Satisfiability.to_diagnostics "OT2" report in
+  check_bool "budget-unknown diagnostics" true
+    (List.for_all (fun d -> d.Diag.code = "SAT004") diags && diags <> []);
+  check_bool "budget classification" true (Diag.Exit.classify diags = Diag.Exit.Budget)
+
+let test_validate_budget_diagnostics () =
+  let gov = GP.Governor.make ~max_violations:1 () in
+  let report = GP.Validate.check ~gov (movies_schema ()) (movies_graph ()) in
+  check_bool "scan incomplete" true (not report.GP.Validate.complete);
+  match GP.Validate.diagnostics report with
+  | [] -> Alcotest.fail "no diagnostics"
+  | first :: _ as diags ->
+    check_string "budget diagnostic first" "VAL001" first.Diag.code;
+    check_bool "classification" true (Diag.Exit.classify diags = Diag.Exit.Budget)
+
+(* ---- the exit-code policy ---- *)
+
+let test_exit_policy () =
+  let e code = Diag.error ~code "m" and w code = Diag.warning ~code "m" in
+  let classify = Diag.Exit.classify in
+  check_bool "empty is clean" true (classify [] = Diag.Exit.Clean);
+  check_bool "warnings alone are clean" true (classify [ w "LINT003" ] = Diag.Exit.Clean);
+  check_bool "info alone is clean" true
+    (classify [ Diag.info ~code:"DIFF002" "m" ] = Diag.Exit.Clean);
+  check_bool "an error finding exits 1" true (classify [ e "WS1" ] = Diag.Exit.Findings);
+  check_bool "unknown code errors count as findings" true
+    (classify [ e "XYZ999" ] = Diag.Exit.Findings);
+  check_bool "budget beats findings" true
+    (classify [ e "WS1"; e "VAL001" ] = Diag.Exit.Budget);
+  check_bool "input beats budget" true
+    (classify [ e "VAL001"; e "SDL001" ] = Diag.Exit.Input_error);
+  check_int "clean code" 0 Diag.Exit.(code Clean);
+  check_int "findings code" 1 Diag.Exit.(code Findings);
+  check_int "input code" 2 Diag.Exit.(code Input_error);
+  check_int "budget code" 3 Diag.Exit.(code Budget);
+  check_string "status strings" "ok,findings,input-error,budget-exhausted"
+    (String.concat "," (List.map Diag.Exit.status
+       Diag.Exit.[ Clean; Findings; Input_error; Budget ]))
+
+(* ---- qcheck: parity and ordering survive arbitrary corruption ---- *)
+
+let prop_corrupted_sdl_diagnostics =
+  QCheck2.Test.make ~name:"recovery errors stay sorted and text-identical" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let text = GP.Corruption.corrupt_text rng GP.Social.schema_text in
+      let _, errors = Parser.parse_with_recovery text in
+      let offsets =
+        List.map (fun (e : Source.error) -> e.Source.at.Diag.span_start.Diag.offset) errors
+      in
+      offsets = List.sort compare offsets
+      && List.for_all
+           (fun e -> Source.error_to_string e = Diag.to_text (Source.to_diagnostic e))
+           errors)
+
+let prop_text_mode_output_unchanged =
+  (* the legacy aggregated error string of Of_ast.parse is exactly the
+     newline-join of the unified renderer over parse_full's diagnostics *)
+  QCheck2.Test.make ~name:"Of_ast.parse error text is the joined Diag.to_text" ~count:60
+    QCheck2.Gen.int (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let text = GP.Corruption.corrupt_text rng GP.Social.schema_text in
+      match (GP.Of_ast.parse text, GP.Of_ast.parse_full text) with
+      | Ok _, Ok _ -> true
+      | Error msg, Error diags ->
+        msg = String.concat "\n" (List.map Diag.to_text diags)
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_violation_text_parity =
+  QCheck2.Test.make ~name:"violation text parity on corrupted graphs" ~count:25
+    QCheck2.Gen.int (fun seed ->
+      let sch = GP.Social.schema () in
+      let g = GP.Social.generate ~seed ~persons:12 () in
+      let g = GP.Social.corrupt_uniformly ~seed ~rate:0.3 sch g in
+      let report = GP.Validate.check sch g in
+      List.for_all
+        (fun v -> GP.Violation.to_string v = Diag.to_text (GP.Violation.to_diagnostic v))
+        report.GP.Validate.violations)
+
+(* ---- golden tests: the CLI's --format json envelopes ---- *)
+
+(* Run the real binary on the examples/ inputs and compare stdout
+   byte-for-byte against test/golden/*.json, plus the exit code. *)
+let run_cli args =
+  let out = Filename.temp_file "gpgs_golden" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>/dev/null"
+      (Filename.quote (in_repo "../bin/gpgs.exe"))
+      args (Filename.quote out)
+  in
+  let code =
+    match Sys.command cmd with
+    | c when c land 0xff = 0 -> c lsr 8 (* some shells report status<<8 *)
+    | c -> c
+  in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let golden name = read_file (in_repo (Filename.concat "golden" name))
+
+let check_golden ~expect_exit ~golden_file args =
+  let code, out = run_cli args in
+  check_int ("exit of gpgs " ^ args) expect_exit code;
+  check_string ("stdout of gpgs " ^ args) (golden golden_file) out
+
+let quote = Filename.quote
+let movies_sdl_path () = quote (in_repo "../examples/movies.graphql")
+let movies_pgf_path () = quote (in_repo "../examples/movies.pgf")
+let broken_sdl_path () = quote (in_repo "../examples/broken.graphql")
+
+let test_golden_parse () =
+  check_golden ~expect_exit:2 ~golden_file:"parse_broken.json"
+    (Printf.sprintf "parse %s --format json" (broken_sdl_path ()))
+
+let test_golden_check () =
+  check_golden ~expect_exit:0 ~golden_file:"check_movies.json"
+    (Printf.sprintf "check %s --format json" (movies_sdl_path ()))
+
+let test_golden_validate () =
+  check_golden ~expect_exit:1 ~golden_file:"validate_movies.json"
+    (Printf.sprintf "validate %s %s --format json" (movies_sdl_path ()) (movies_pgf_path ()))
+
+let test_golden_sat () =
+  check_golden ~expect_exit:0 ~golden_file:"sat_movies.json"
+    (Printf.sprintf "sat %s Movie --format json" (movies_sdl_path ()))
+
+let test_text_mode_streams () =
+  (* text mode keeps stdout for results and stderr for diagnostics *)
+  let out = Filename.temp_file "gpgs_text" ".out" in
+  let err = Filename.temp_file "gpgs_text" ".err" in
+  let cmd =
+    Printf.sprintf "%s parse %s > %s 2> %s"
+      (quote (in_repo "../bin/gpgs.exe"))
+      (broken_sdl_path ()) (quote out) (quote err)
+  in
+  let code =
+    match Sys.command cmd with c when c land 0xff = 0 -> c lsr 8 | c -> c
+  in
+  let stdout_text = read_file out and stderr_text = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  check_int "exit" 2 code;
+  check_string "stdout is empty" "" stdout_text;
+  check_bool "syntax errors go to stderr" true
+    (stderr_text <> "" && String.length stderr_text > 0);
+  (* one line per error, in source order — the first is the 1:13 one *)
+  check_bool "first error first" true
+    (String.length stderr_text >= 5 && String.sub stderr_text 0 5 = "1:13-")
+
+let suite =
+  [
+    Alcotest.test_case "registry codes are unique" `Quick test_registry_codes_unique;
+    Alcotest.test_case "registry covers WS/DS/SS" `Quick test_registry_covers_validation_rules;
+    Alcotest.test_case "registry covers ANG rules" `Quick test_registry_covers_angles_rules;
+    Alcotest.test_case "registry classes" `Quick test_registry_classes;
+    Alcotest.test_case "source error text parity" `Quick test_source_error_parity;
+    Alcotest.test_case "recovery errors sorted + deduped" `Quick test_recovery_errors_sorted;
+    Alcotest.test_case "lint text parity" `Quick test_lint_parity;
+    Alcotest.test_case "of_ast text parity" `Quick test_of_ast_parity;
+    Alcotest.test_case "consistency text parity" `Quick test_consistency_parity;
+    Alcotest.test_case "violation parity, all rules x subjects" `Quick
+      test_violation_parity_all_rules;
+    Alcotest.test_case "violation parity on the movies graph" `Quick
+      test_real_violations_parity;
+    Alcotest.test_case "schema diff parity + codes" `Quick test_schema_diff_parity;
+    Alcotest.test_case "angles parity + codes" `Quick test_angles_parity;
+    Alcotest.test_case "sat diagnostics + budget" `Quick test_sat_diagnostics;
+    Alcotest.test_case "validate budget diagnostics" `Quick test_validate_budget_diagnostics;
+    Alcotest.test_case "exit-code policy" `Quick test_exit_policy;
+    QCheck_alcotest.to_alcotest prop_corrupted_sdl_diagnostics;
+    QCheck_alcotest.to_alcotest prop_text_mode_output_unchanged;
+    QCheck_alcotest.to_alcotest prop_violation_text_parity;
+    Alcotest.test_case "golden: parse --format json" `Quick test_golden_parse;
+    Alcotest.test_case "golden: check --format json" `Quick test_golden_check;
+    Alcotest.test_case "golden: validate --format json" `Quick test_golden_validate;
+    Alcotest.test_case "golden: sat --format json" `Quick test_golden_sat;
+    Alcotest.test_case "text mode streams (stdout/stderr)" `Quick test_text_mode_streams;
+  ]

@@ -33,6 +33,7 @@ let () =
       ("schema_diff", Test_schema_diff.suite);
       ("schema_doc", Test_schema_doc.suite);
       ("cli_formats", Test_cli_formats.suite);
+      ("diag", Test_diag.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("fuzz", Test_fuzz.suite);
       ("repair", Test_repair.suite);
