@@ -211,6 +211,103 @@ let compiled_pipeline () =
     \   freezing the graph into the CSR view, included in the engine columns)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17 — streaming vs slurp ingestion: Pgf.load reads from a fixed
+   64 KiB chunked buffer; the historical path slurped the whole file
+   into one string first.  Peak RSS is measured per strategy in a
+   fresh child process — VmHWM is a per-process high-water mark, so an
+   in-process reading after the earlier experiments would only show
+   their peak, and Unix.fork is unavailable once E15 has spawned
+   domains.  The bench re-executes itself with E17_LOAD=mode:path set;
+   the child performs just that one load and prints its VmHWM growth.  *)
+
+let vm_hwm_kb () =
+  let ic = open_in "/proc/self/status" in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let acc =
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" (fun kb -> Some kb)
+        else acc
+      in
+      go acc
+    | exception End_of_file ->
+      close_in ic;
+      acc
+  in
+  go None
+
+let e17_slurp path =
+  (* the pre-streaming loader: whole file into one string, then parse *)
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match GP.Pgf.parse text with Ok g -> g | Error _ -> failwith "parse"
+
+let e17_stream path =
+  match GP.Pgf.load path with Ok g -> g | Error _ -> failwith "load"
+
+let e17_child spec =
+  let mode, path =
+    match String.index_opt spec ':' with
+    | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+    | None -> failwith "E17_LOAD: expected mode:path"
+  in
+  let hwm () = match vm_hwm_kb () with Some kb -> kb | None -> 0 in
+  let before = hwm () in
+  (match mode with
+  | "stream" -> ignore (Sys.opaque_identity (e17_stream path))
+  | "slurp" -> ignore (Sys.opaque_identity (e17_slurp path))
+  | _ -> failwith "E17_LOAD: unknown mode");
+  Printf.printf "%d\n" (hwm () - before);
+  Stdlib.exit 0
+
+let () = match Sys.getenv_opt "E17_LOAD" with Some spec -> e17_child spec | None -> ()
+
+let rss_delta_kb mode path =
+  let out = Filename.temp_file "gpgs_e17_rss" ".kb" in
+  let cmd =
+    Printf.sprintf "E17_LOAD=%s %s > %s"
+      (Filename.quote (mode ^ ":" ^ path))
+      (Filename.quote Sys.executable_name) (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  let ic = open_in out in
+  let kb = match input_line ic with s -> int_of_string s | exception End_of_file -> -1 in
+  close_in ic;
+  Sys.remove out;
+  if rc <> 0 then -1 else kb
+
+let streaming_ingestion () =
+  section "E17: streaming vs slurp PGF load (wall clock, allocation, peak RSS)";
+  let persons = if fast then 500 else 20000 in
+  let g = GP.Social.generate ~persons () in
+  let path = Filename.temp_file "gpgs_e17" ".pgf" in
+  GP.Pgf.save path g;
+  let bytes = (Unix.stat path).Unix.st_size in
+  let slurp () = e17_slurp path in
+  let stream () = e17_stream path in
+  let alloc f =
+    let a0 = Gc.allocated_bytes () in
+    ignore (Sys.opaque_identity (f ()));
+    (Gc.allocated_bytes () -. a0) /. 1048576.0
+  in
+  Printf.printf "  input: %d persons, %.1f MB of PGF text\n" persons
+    (float_of_int bytes /. 1048576.0);
+  Printf.printf "  %-8s %12s %14s %16s\n" "loader" "load (ms)" "alloc (MB)" "peak RSS (KiB)";
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "  %-8s %12.2f %14.1f %16d\n%!" name (time_ms f) (alloc f)
+        (rss_delta_kb name path))
+    [ ("stream", stream); ("slurp", slurp) ];
+  Sys.remove path;
+  Printf.printf
+    "  (\"stream\" is Pgf.load — a fold over 64 KiB chunks; \"slurp\" additionally\n\
+    \   materializes the whole file and its line list; RSS is the child-process\n\
+    \   VmHWM delta for one load in isolation)\n"
+
+(* ------------------------------------------------------------------ *)
 (* E7b — per-mode cost breakdown on a fixed workload                    *)
 
 let rule_breakdown () =
@@ -613,6 +710,7 @@ let () =
   validation_scaling ();
   parallel_scaling ();
   compiled_pipeline ();
+  streaming_ingestion ();
   rule_breakdown ();
   example_6_1 ();
   sat_reduction_scaling ();

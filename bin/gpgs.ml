@@ -4,6 +4,8 @@
      parse     parse + lint an SDL schema, optionally pretty-print it
      check     consistency + per-object-type satisfiability report
      validate  validate a PGF graph against a schema
+     batch     validate many PGF graphs against one compiled schema plan,
+               continue-on-error, under the supervisor
      sat       satisfiability of one object type, with optional witness
      reduce    Theorem 2: DIMACS CNF -> reduction schema (SDL)
      extend    Section 3.6: extend a PG schema into a GraphQL API schema
@@ -44,10 +46,9 @@ type fmt = Text | Json
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let emit_json ~command ?summary ?cls diags =
   print_endline (GP.Diag_report.to_string (GP.Diag_report.envelope ~command ?summary ?cls diags))
@@ -80,6 +81,15 @@ let load_schema ~lenient path =
 let load_graph path =
   match GP.Pgf.load path with
   | Ok g -> Ok g
+  | Error e ->
+    Error (path, [ GP.Diag.error ~code:"IO001" (Format.asprintf "%a" GP.Pgf.pp_error e) ])
+
+(* Fault-tolerant ingestion (--stream / --quarantine / --max-input-errors):
+   malformed records become IO002/IO003 diagnostics and a possibly-partial
+   graph instead of a hard failure. *)
+let load_graph_streaming ?quarantine ?max_input_errors path =
+  match GP.Stream.load_pgf ?max_errors:max_input_errors ?quarantine path with
+  | Ok o -> Ok (o, GP.Diag_report.ingest_diagnostics ~file:path o)
   | Error e ->
     Error (path, [ GP.Diag.error ~code:"IO001" (Format.asprintf "%a" GP.Pgf.pp_error e) ])
 
@@ -130,6 +140,42 @@ let max_violations_arg =
 
 let governor ?deadline_ms ?max_violations () =
   GP.Governor.make ?deadline_ms ?max_violations ()
+
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Ingest the graph with the fault-tolerant streaming loader: malformed records \
+           are skipped (reported as $(b,IO002) diagnostics) and validation runs on the \
+           partial graph.  Implied by $(b,--quarantine) and $(b,--max-input-errors).")
+
+let quarantine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quarantine" ] ~docv:"FILE"
+        ~doc:
+          "Write the raw text of every skipped record to $(docv) (created lazily on the \
+           first fault).  Implies $(b,--stream).")
+
+let max_input_errors_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-input-errors" ] ~docv:"N"
+        ~doc:
+          "Error budget for streaming ingestion: tolerate N malformed records, then stop \
+           reading early ($(b,IO003), exit code per the Input class).  Default: unlimited.  \
+           Implies $(b,--stream).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Run validation under the supervisor: crashes become $(b,VAL002) diagnostics \
+           and transient failures are retried up to N times with deterministic backoff.")
 
 (* ---- parse ---- *)
 
@@ -219,17 +265,43 @@ let mode_conv =
     ]
 
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations fmt =
+  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations
+      stream quarantine max_input_errors retries fmt =
     let sch, _ = or_die ~fmt ~command:"validate" (load_schema ~lenient schema_path) in
-    let g = or_die ~fmt ~command:"validate" (load_graph graph_path) in
+    let streaming = stream || quarantine <> None || max_input_errors <> None in
+    let g, ingest_diags, ingest_summary =
+      if streaming then begin
+        let outcome, diags =
+          or_die ~fmt ~command:"validate"
+            (load_graph_streaming ?quarantine ?max_input_errors graph_path)
+        in
+        (outcome.GP.Stream.graph, diags, GP.Diag_report.ingest_summary outcome)
+      end
+      else (or_die ~fmt ~command:"validate" (load_graph graph_path), [], [])
+    in
     let gov = governor ?deadline_ms ?max_violations () in
-    let report = GP.Validate.check ~engine ~mode ?domains ~gov sch g in
-    (match fmt with
-    | Text -> Format.printf "%a@." GP.Validate.pp_report report
-    | Json -> ());
-    finish ~fmt ~command:"validate"
-      ~summary:(GP.Diag_report.validate_summary report)
-      (GP.Validate.diagnostics report)
+    let check () = GP.Validate.check ~engine ~mode ?domains ~gov sch g in
+    let outcome =
+      if retries = 0 then GP.Supervisor.Done (check (), 1)
+      else GP.Supervisor.supervise ~policy:(GP.Supervisor.policy ~retries ()) check
+    in
+    match outcome with
+    | GP.Supervisor.Done (report, _) ->
+      (match fmt with
+      | Text ->
+        List.iter (fun d -> prerr_endline (GP.Diag.to_text d)) ingest_diags;
+        Format.printf "%a@." GP.Validate.pp_report report
+      | Json -> ());
+      finish ~fmt ~command:"validate"
+        ~summary:(GP.Diag_report.validate_summary report @ ingest_summary)
+        (ingest_diags @ GP.Validate.diagnostics report)
+    | GP.Supervisor.Crashed crash ->
+      let crash_diag = GP.Supervisor.crash_diagnostic ~subject:graph_path crash in
+      let diags = ingest_diags @ [ crash_diag ] in
+      (match fmt with
+      | Text -> List.iter (fun d -> prerr_endline (GP.Diag.to_text d)) diags
+      | Json -> ());
+      finish ~fmt ~command:"validate" ~summary:ingest_summary diags
   in
   let graph_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
@@ -254,7 +326,110 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
     Term.(
       const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
-      $ deadline_arg $ max_violations_arg $ format_arg)
+      $ deadline_arg $ max_violations_arg $ stream_arg $ quarantine_arg
+      $ max_input_errors_arg $ retries_arg $ format_arg)
+
+(* ---- batch ---- *)
+
+let batch_cmd =
+  let run schema_path graph_paths lenient engine mode domains deadline_ms max_violations
+      stream max_input_errors retries fmt =
+    let sch, _ = or_die ~fmt ~command:"batch" (load_schema ~lenient schema_path) in
+    (* one compiled plan for the whole batch; jobs run sequentially (plan
+       reuse is sequential-only — within a job the parallel engine may
+       still shard across domains) *)
+    let plan = GP.Validate.compile sch in
+    let policy = GP.Supervisor.policy ~retries () in
+    let streaming = stream || max_input_errors <> None in
+    let run_job path =
+      let ingested =
+        if streaming then
+          match load_graph_streaming ?max_input_errors path with
+          | Ok (o, diags) -> Ok (o.GP.Stream.graph, diags, o.GP.Stream.complete)
+          | Error (_, diags) -> Error diags
+        else
+          match load_graph path with
+          | Ok g -> Ok (g, [], true)
+          | Error (_, diags) -> Error diags
+      in
+      match ingested with
+      | Error diags ->
+        { GP.Supervisor.job = path; job_status = GP.Supervisor.Unreadable; attempts = 0; diags }
+      | Ok (g, ingest_diags, ingest_complete) -> (
+        (* a fresh budget per job: the deadline is relative to the run's
+           start, so each job gets the full allowance *)
+        let gov = governor ?deadline_ms ?max_violations () in
+        match
+          GP.Supervisor.supervise ~policy (fun () ->
+              GP.Validate.check_compiled ~engine ~mode ?domains ~gov plan g)
+        with
+        | GP.Supervisor.Done (report, attempts) ->
+          let status =
+            if report.GP.Validate.complete && ingest_complete then GP.Supervisor.Completed
+            else GP.Supervisor.Partial
+          in
+          {
+            GP.Supervisor.job = path;
+            job_status = status;
+            attempts;
+            diags = ingest_diags @ GP.Validate.diagnostics report;
+          }
+        | GP.Supervisor.Crashed crash ->
+          {
+            GP.Supervisor.job = path;
+            job_status = GP.Supervisor.Crashed_job;
+            attempts = crash.GP.Supervisor.crash_attempts;
+            diags = ingest_diags @ [ GP.Supervisor.crash_diagnostic ~subject:path crash ];
+          })
+    in
+    let batch = GP.Supervisor.make_batch (List.map run_job graph_paths) in
+    let diags = GP.Supervisor.batch_diagnostics batch in
+    (match fmt with
+    | Text ->
+      List.iter
+        (fun (j : GP.Supervisor.job_report) ->
+          Printf.printf "%s: %s (%d diagnostic(s))\n" j.job
+            (GP.Supervisor.status_name j.job_status)
+            (List.length j.diags))
+        batch.GP.Supervisor.jobs;
+      Format.printf "%a@." GP.Supervisor.pp_batch batch;
+      List.iter (fun d -> prerr_endline (GP.Diag.to_text d)) diags
+    | Json -> ());
+    finish ~fmt ~command:"batch" ~summary:(GP.Diag_report.batch_summary batch) diags
+  in
+  let graphs_arg =
+    Arg.(
+      non_empty
+      & pos_right 0 file []
+      & info [] ~docv:"GRAPH" ~doc:"PGF graph files (one validation job each).")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt engine_conv GP.Validate.Indexed
+      & info [ "engine" ] ~doc:"naive, linear, indexed, or parallel.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domains for the parallel engine (default: all cores).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Validate many graphs against one schema, compiled once.  Jobs run under the \
+          supervisor: a broken input, an exhausted budget, or a crashed engine costs \
+          that job only; the run continues and one report covers every job, with the \
+          exit code composed from all diagnostics (Input > Budget > Findings > Clean).")
+    Term.(
+      const run $ schema_arg $ graphs_arg $ lenient_arg $ engine $ mode $ domains
+      $ deadline_arg $ max_violations_arg $ stream_arg $ max_input_errors_arg
+      $ retries_arg $ format_arg)
 
 (* ---- sat ---- *)
 
@@ -518,7 +693,7 @@ let () =
   in
   let group =
     Cmd.group info
-      [ parse_cmd; check_cmd; validate_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]
+      [ parse_cmd; check_cmd; validate_cmd; batch_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]
   in
   let code =
     try

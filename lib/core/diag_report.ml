@@ -73,6 +73,56 @@ let check_summary sch (issues : Pg_schema.Consistency.issue list)
         (List.map (fun (ot, r) -> (ot, Json.Assoc (sat_summary r))) sat_reports) );
   ]
 
+(* ---- streaming ingestion (pg_graph cannot depend on pg_diag, so the
+   Stream -> Diag bridge lives here) ---- *)
+
+let ingest_diagnostics ~file (o : Pg_graph.Stream.outcome) =
+  (* IO-family diagnostics render as bare messages in text mode, so each
+     message carries the file and record context itself *)
+  let skipped =
+    List.map
+      (fun (f : Pg_graph.Stream.fault) ->
+        Diag.error ~code:"IO002" ~subject:file
+          (Printf.sprintf "%s: %s: skipped malformed record: %s" file f.subject f.message))
+      o.faults
+  in
+  if o.budget_exhausted then
+    skipped
+    @ [
+        Diag.error ~code:"IO003" ~subject:file
+          (Printf.sprintf
+             "%s: input error budget exhausted after %d malformed record(s); ingestion stopped at record %d"
+             file (List.length o.faults) o.records);
+      ]
+  else skipped
+
+let ingest_summary (o : Pg_graph.Stream.outcome) =
+  [
+    ("ingest_complete", Json.Bool o.complete);
+    ("records", Json.Int o.records);
+    ("records_skipped", Json.Int (List.length o.faults));
+  ]
+
+(* ---- batch runs ---- *)
+
+let job_json (j : Pg_validation.Supervisor.job_report) =
+  Json.Assoc
+    [
+      ("file", Json.String j.job);
+      ("status", Json.String (Pg_validation.Supervisor.status_name j.job_status));
+      ("attempts", Json.Int j.attempts);
+      ("diagnostics", Json.Int (List.length j.diags));
+    ]
+
+let batch_summary (b : Pg_validation.Supervisor.batch) =
+  [
+    ("jobs", Json.List (List.map job_json b.jobs));
+    ("completed", Json.Int b.completed);
+    ("partial", Json.Int b.partial);
+    ("crashed", Json.Int b.crashed);
+    ("unreadable", Json.Int b.unreadable);
+  ]
+
 let diff_summary (changes : Pg_validation.Schema_diff.change list) =
   let count sev =
     List.length

@@ -27,4 +27,18 @@ val check_summary :
   (string * Pg_sat.Satisfiability.report) list ->
   (string * Pg_json.Json.t) list
 
+val ingest_diagnostics : file:string -> Pg_graph.Stream.outcome -> Pg_diag.Diag.t list
+(** One [IO002] per skipped record, plus a trailing [IO003] when the
+    error budget stopped ingestion early.  The [Stream] -> [Diag] bridge
+    lives here because [pg_graph] sits below [pg_diag] in the library
+    stack. *)
+
+val ingest_summary : Pg_graph.Stream.outcome -> (string * Pg_json.Json.t) list
+(** Summary fields merged into a command's envelope when streaming
+    ingestion was used: [ingest_complete], [records], [records_skipped]. *)
+
+val batch_summary : Pg_validation.Supervisor.batch -> (string * Pg_json.Json.t) list
+(** The [gpgs batch] envelope summary: a [jobs] array (file, status,
+    attempts, diagnostic count) plus per-status totals. *)
+
 val diff_summary : Pg_validation.Schema_diff.change list -> (string * Pg_json.Json.t) list

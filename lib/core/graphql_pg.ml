@@ -17,14 +17,16 @@
     - {!Sdl} (lexer/parser/printer for the GraphQL SDL),
     - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats}, plus the
       compiled representations {!Symtab} (string interner) and {!Snapshot}
-      (frozen CSR view) (the Property Graph substrate),
+      (frozen CSR view) and the streaming fault-tolerant ingestion layer
+      {!Chunked}/{!Stream} (the Property Graph substrate),
     - {!Wrapped}, {!Schema}, {!Subtype}, {!Values_w}, {!Consistency},
       {!Of_ast}, {!To_sdl}, {!Api_extension}, and the compiled validation
       {!Plan} (the formal schema model of Section 4),
     - {!Violation}, {!Validate} (+ engines {!Naive}, the fused {!Linear},
       the per-rule {!Indexed}, the multicore {!Parallel} — the latter
       three consume one compiled plan — and the update-driven
-      {!Incremental}) (the validation semantics of Section 5),
+      {!Incremental}, with {!Governor} budgets and the {!Supervisor} job
+      runner) (the validation semantics of Section 5),
     - {!Cnf}, {!Dpll}, {!Alcqi}, {!Tableau}, {!Translate}, {!Counting},
       {!Model_search}, {!Reduction}, {!Satisfiability} (the satisfiability
       analysis of Section 6),
@@ -55,6 +57,8 @@ module Property_graph = Pg_graph.Property_graph
 module Builder = Pg_graph.Builder
 module Pgf = Pg_graph.Pgf
 module Graphml = Pg_graph.Graphml
+module Chunked = Pg_graph.Chunked
+module Stream = Pg_graph.Stream
 module Stats = Pg_graph.Stats
 module Symtab = Pg_graph.Symtab
 module Snapshot = Pg_graph.Snapshot
@@ -69,6 +73,7 @@ module Api_extension = Pg_schema.Api_extension
 module Schema_doc = Pg_schema.Schema_doc
 module Plan = Pg_schema.Plan
 module Governor = Pg_validation.Governor
+module Supervisor = Pg_validation.Supervisor
 module Violation = Pg_validation.Violation
 module Validate = Pg_validation.Validate
 module Naive = Pg_validation.Naive

@@ -79,6 +79,7 @@ let all =
     e "SS4" Finding "all edges are justified";
     (* ---- validation run status ---- *)
     e "VAL001" Budget "validation stopped before completion (budget exhausted)";
+    e "VAL002" Budget "validation job crashed; the supervisor caught the engine failure";
     (* ---- satisfiability (Section 6.2) ---- *)
     e "SAT001" Finding "object type is finitely unsatisfiable";
     e "SAT002" Finding "object type is unsatisfiable over arbitrary models (ALCQI)";
@@ -105,6 +106,8 @@ let all =
     e "REP001" Finding "the graph could not be repaired into strong satisfaction within bounds";
     (* ---- input / usage ---- *)
     e "IO001" Input "file could not be read or parsed";
+    e "IO002" Input "malformed input record skipped by the streaming loader";
+    e "IO003" Budget "input error budget exhausted; ingestion stopped early";
     e "CLI001" Input "command-line usage error";
   ]
 

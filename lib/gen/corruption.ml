@@ -370,3 +370,46 @@ let corrupt_text rng text =
   | 0 -> truncate_text rng text
   | 1 -> flip_byte rng text
   | _ -> flip_byte rng (truncate_text rng text)
+
+(* ---- record-level faults for PGF text ----
+
+   One PGF line is one record.  These faults target exactly one record
+   (a non-blank, non-comment line), so the streaming-recovery tests can
+   predict which record ends up quarantined. *)
+
+let pgf_lines text = String.split_on_char '\n' text
+
+let record_indices lines =
+  List.mapi (fun i l -> (i, String.trim l)) lines
+  |> List.filter_map (fun (i, t) -> if t = "" || t.[0] = '#' then None else Some i)
+
+let rebuild lines = String.concat "\n" lines
+
+let pick_record rng text =
+  let lines = pgf_lines text in
+  match record_indices lines with
+  | [] -> None
+  | indices -> Option.map (fun i -> (lines, i)) (pick rng indices)
+
+let drop_record rng text =
+  Option.map
+    (fun (lines, i) ->
+      (i + 1, rebuild (List.filteri (fun j _ -> j <> i) lines)))
+    (pick_record rng text)
+
+let duplicate_record rng text =
+  Option.map
+    (fun (lines, i) ->
+      let dup = List.concat (List.mapi (fun j l -> if j = i then [ l; l ] else [ l ]) lines) in
+      (i + 2, rebuild dup))
+    (pick_record rng text)
+
+(* '!' can start neither a PGF keyword nor an identifier, so the garbled
+   line is guaranteed to fail to parse — as exactly one record *)
+let garble_marker = "!!garbled!! "
+
+let garble_record rng text =
+  Option.map
+    (fun (lines, i) ->
+      (i + 1, rebuild (List.mapi (fun j l -> if j = i then garble_marker ^ l else l) lines)))
+    (pick_record rng text)

@@ -43,3 +43,29 @@ val flip_byte : Random.State.t -> string -> string
 
 val corrupt_text : Random.State.t -> string -> string
 (** Truncate, byte-flip, or both. *)
+
+(** {2 Record-level PGF faults}
+
+    One PGF line is one record; these faults hit exactly one random
+    record (non-blank, non-comment line) so the streaming-recovery tests
+    can predict which record is skipped and quarantined.  Each returns
+    [None] on a text without records, and otherwise the 1-based line
+    number affected together with the faulted text. *)
+
+val drop_record : Random.State.t -> string -> (int * string) option
+(** Delete one record line; the returned line number is where it stood.
+    Dropping a [node] line also invalidates every later edge that
+    references its handle — a {e cascading} fault. *)
+
+val duplicate_record : Random.State.t -> string -> (int * string) option
+(** Repeat one record line; the returned line number is the duplicate's.
+    Duplicating a [node] line yields exactly one fault (the duplicate
+    handle); duplicating an edge line is silent (edges may repeat). *)
+
+val garble_record : Random.State.t -> string -> (int * string) option
+(** Prefix one record line with {!garble_marker}, making exactly that
+    record unparsable. *)
+
+val garble_marker : string
+(** ["!!garbled!! "] — ['!'] can start neither a PGF keyword nor an
+    identifier, so a garbled record is guaranteed to fail to parse. *)

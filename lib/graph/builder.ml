@@ -13,15 +13,21 @@ let node b handle ~label ?(props = []) () =
   Hashtbl.add b.names handle v;
   v
 
+let mem b handle = Hashtbl.mem b.names handle
+let find_opt b handle = Hashtbl.find_opt b.names handle
+
 let find b handle =
   match Hashtbl.find_opt b.names handle with
   | Some v -> v
   | None -> raise Not_found
 
-let edge b src tgt ~label ?(props = []) () =
-  let vsrc = find b src and vtgt = find b tgt in
+let connect b vsrc vtgt ~label ?(props = []) () =
   let g, e = Property_graph.add_edge b.g ~label ~props vsrc vtgt in
   b.g <- g;
   e
+
+let edge b src tgt ~label ?(props = []) () =
+  let vsrc = find b src and vtgt = find b tgt in
+  connect b vsrc vtgt ~label ~props ()
 
 let graph b = b.g

@@ -35,8 +35,25 @@ val edge :
     registered under the two handles.
     @raise Not_found if either handle is unknown. *)
 
+val connect :
+  t ->
+  Property_graph.node ->
+  Property_graph.node ->
+  label:string ->
+  ?props:(string * Value.t) list ->
+  unit ->
+  Property_graph.edge
+(** Like {!edge}, but between nodes already in hand — used by the
+    streaming loaders, which resolve handles themselves so they can
+    report their own record-level errors. *)
+
 val find : t -> string -> Property_graph.node
 (** The node registered under a handle. @raise Not_found if unknown. *)
+
+val find_opt : t -> string -> Property_graph.node option
+
+val mem : t -> string -> bool
+(** Whether a handle is already registered. *)
 
 val graph : t -> Property_graph.t
 (** The graph built so far (snapshot; the builder can keep going). *)

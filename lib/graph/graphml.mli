@@ -28,6 +28,38 @@ val parse : string -> (Property_graph.t, error) result
 (** Parse a GraphML document produced by {!to_string}.  Nodes receive
     fresh ids in document order. *)
 
+val read : Chunked.source -> (Property_graph.t, error) result
+(** Strict streaming parse of a chunked source; equivalent to [parse] of
+    the concatenated chunks.  The raw text is scanned incrementally (the
+    window is bounded by the largest single XML construct plus one
+    chunk); the event stream is buffered so that scan errors preempt
+    semantic errors exactly as in {!parse}. *)
+
 val load : string -> (Property_graph.t, error) result
-(** Like {!parse}, reading from a file.  I/O failures are returned as
-    [Error], never raised. *)
+(** Like {!parse}, reading from a file through {!read}.  I/O failures
+    are returned as [Error], never raised. *)
+
+(** {2 Fault-tolerant streaming import} *)
+
+type fault = {
+  f_record : int;  (** ordinal of the record (key/node/edge element), 1-based *)
+  f_subject : string;  (** e.g. [node "n3"] *)
+  f_raw : string;  (** raw text of the record up to the defect *)
+  f_message : string;
+}
+
+val read_tolerant :
+  ?max_skipped:int ->
+  ?on_fault:(fault -> unit) ->
+  Chunked.source ->
+  (Property_graph.t * fault list * bool * int, error) result
+(** Record-at-a-time import that skips malformed records instead of
+    failing: each skipped record is reported as a {!fault} (in document
+    order, via [on_fault] as it is found) and the graph is built as if
+    the record were absent — so dropping a node also faults every edge
+    that references it.  [max_skipped] is the error budget: the fault
+    after the budget is still reported, then ingestion stops early and
+    the third component of the result is [true].  The fourth component
+    counts records encountered.  Holds only the open record in memory.
+    Scanner-level XML errors are structural, not record-local, and stay
+    fatal ([Error]). *)

@@ -225,56 +225,80 @@ module Scan = struct
     end
 end
 
+(* Incremental (record-at-a-time) parsing.  One PGF line is one record;
+   [inc_line_exn] applies it to the builder atomically — every scan check
+   and handle lookup happens before the first mutation, so a failing line
+   leaves the graph under construction exactly as it was.  [parse],
+   [read] and the fault-tolerant {!Stream} reader are all folds over this
+   one function, which is what makes slurp and streaming byte-identical. *)
+
+type inc = Builder.t
+
+let inc_create () = Builder.create ()
+let inc_graph b = Builder.graph b
+
+let inc_line_exn b lineno raw =
+  let line = String.trim raw in
+  if line = "" || line.[0] = '#' then ()
+  else begin
+    let sc = Scan.make lineno line in
+    match Scan.ident sc with
+    | "node" ->
+      let handle = Scan.ident sc in
+      if Builder.mem b handle then
+        Scan.fail sc (Printf.sprintf "duplicate node handle %S" handle);
+      Scan.expect_char sc ':';
+      let label = Scan.ident sc in
+      let props = Scan.props sc in
+      if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
+      ignore (Builder.node b handle ~label ~props ())
+    | "edge" ->
+      let first = Scan.ident sc in
+      (* "edge e0 n1 -> n0 :l" (handle + endpoints) or "edge n1 -> n0 :l" *)
+      let src_handle =
+        if Scan.try_arrow sc then first
+        else
+          let second = Scan.ident sc in
+          if not (Scan.try_arrow sc) then Scan.fail sc "expected '->'";
+          second
+      in
+      let tgt_handle = Scan.ident sc in
+      Scan.expect_char sc ':';
+      let label = Scan.ident sc in
+      let props = Scan.props sc in
+      if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
+      let find h =
+        match Builder.find_opt b h with
+        | Some v -> v
+        | None -> Scan.fail sc (Printf.sprintf "unknown node handle %S" h)
+      in
+      (* target resolved first: the historical slurp parser passed both
+         lookups as arguments to [add_edge], which OCaml evaluates
+         right-to-left, so when both handles are unknown the error names
+         the target *)
+      let vtgt = find tgt_handle in
+      let vsrc = find src_handle in
+      ignore (Builder.connect b vsrc vtgt ~label ~props ())
+    | kw -> Scan.fail sc (Printf.sprintf "expected 'node' or 'edge', found %S" kw)
+  end
+
+let inc_line b lineno raw =
+  match inc_line_exn b lineno raw with
+  | () -> Ok ()
+  | exception Error e -> Result.Error e
+
 let parse text =
-  let lines = String.split_on_char '\n' text in
-  let handles : (string, Property_graph.node) Hashtbl.t = Hashtbl.create 64 in
+  let b = inc_create () in
   try
-    let _, g =
-      List.fold_left
-        (fun (lineno, g) raw ->
-          let line = String.trim raw in
-          if line = "" || line.[0] = '#' then (lineno + 1, g)
-          else begin
-            let sc = Scan.make lineno line in
-            match Scan.ident sc with
-            | "node" ->
-              let handle = Scan.ident sc in
-              if Hashtbl.mem handles handle then
-                Scan.fail sc (Printf.sprintf "duplicate node handle %S" handle);
-              Scan.expect_char sc ':';
-              let label = Scan.ident sc in
-              let props = Scan.props sc in
-              if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
-              let g, v = Property_graph.add_node g ~label ~props () in
-              Hashtbl.add handles handle v;
-              (lineno + 1, g)
-            | "edge" ->
-              let first = Scan.ident sc in
-              (* "edge e0 n1 -> n0 :l" (handle + endpoints) or "edge n1 -> n0 :l" *)
-              let src_handle =
-                if Scan.try_arrow sc then first
-                else
-                  let second = Scan.ident sc in
-                  if not (Scan.try_arrow sc) then Scan.fail sc "expected '->'";
-                  second
-              in
-              let tgt_handle = Scan.ident sc in
-              Scan.expect_char sc ':';
-              let label = Scan.ident sc in
-              let props = Scan.props sc in
-              if not (Scan.at_end sc) then Scan.fail sc "trailing characters";
-              let find h =
-                match Hashtbl.find_opt handles h with
-                | Some v -> v
-                | None -> Scan.fail sc (Printf.sprintf "unknown node handle %S" h)
-              in
-              let g, _ = Property_graph.add_edge g ~label ~props (find src_handle) (find tgt_handle) in
-              (lineno + 1, g)
-            | kw -> Scan.fail sc (Printf.sprintf "expected 'node' or 'edge', found %S" kw)
-          end)
-        (1, Property_graph.empty) lines
-    in
-    Ok g
+    List.iteri (fun i raw -> inc_line_exn b (i + 1) raw) (String.split_on_char '\n' text);
+    Ok (inc_graph b)
+  with Error e -> Result.Error e
+
+let read source =
+  let b = inc_create () in
+  try
+    Chunked.iter_lines source (inc_line_exn b);
+    Ok (inc_graph b)
   with Error e -> Result.Error e
 
 let print_value buf v =
@@ -342,16 +366,16 @@ let value_of_string s =
   with Error e -> Result.Error e
 
 let load path =
+  (* streams the file through the record-at-a-time reader; behaviour
+     (graphs and error Results) is identical to parsing the slurped text *)
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+      (fun () -> read (Chunked.of_channel ic))
   with
   | exception Sys_error message -> Result.Error { line = 0; message }
-  | exception End_of_file ->
-    Result.Error { line = 0; message = path ^ ": unexpected end of file" }
-  | text -> parse text
+  | r -> r
 
 let save path g =
   let oc = open_out_bin path in

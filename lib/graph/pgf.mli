@@ -26,6 +26,32 @@ val pp_error : Format.formatter -> error -> unit
 val parse : string -> (Property_graph.t, error) result
 (** Parse a PGF document.  Nodes receive fresh ids in document order. *)
 
+(** {2 Streaming (record-at-a-time) parsing}
+
+    One PGF line is one record.  [parse], {!read} and the fault-tolerant
+    {!Stream.read_pgf} are all folds over {!inc_line}, so slurped and
+    streamed input is processed by the same code path. *)
+
+type inc
+(** A graph under incremental construction (a {!Builder.t} with the
+    document's handle namespace). *)
+
+val inc_create : unit -> inc
+
+val inc_line : inc -> int -> string -> (unit, error) result
+(** [inc_line b lineno raw] applies one raw input line (blank and [#]
+    comment lines are no-ops).  Atomic: on [Error] the graph under
+    construction is unchanged, so a tolerant reader can skip the record
+    and continue. *)
+
+val inc_graph : inc -> Property_graph.t
+(** The graph built so far (snapshot; more lines may follow). *)
+
+val read : Chunked.source -> (Property_graph.t, error) result
+(** Strict streaming parse of a chunked source.  Equivalent to [parse]
+    of the concatenated chunks, but holds at most one line plus one
+    chunk in memory. *)
+
 val print : Property_graph.t -> string
 (** Serialize; [parse (print g)] succeeds and yields a graph {!Property_graph.equal}
     to [g] up to re-numbering of ids (exactly equal when ids are dense and
@@ -41,9 +67,10 @@ val value_of_string : string -> (Value.t, error) result
     infinities; [-0.0] round-trips to [-0.0]). *)
 
 val load : string -> (Property_graph.t, error) result
-(** [load path] reads and parses a file.  I/O failures (missing file,
-    permissions, truncated read) are returned as [Error] with
-    [line = 0], never raised. *)
+(** [load path] reads and parses a file by streaming it through {!read}
+    from a fixed-size chunked buffer (the whole file is never held in
+    memory).  I/O failures (missing file, permissions) are returned as
+    [Error] with [line = 0], never raised. *)
 
 val save : string -> Property_graph.t -> unit
 (** [save path g] writes [print g] to a file. *)

@@ -1,0 +1,101 @@
+(* Supervised job execution.  See supervisor.mli. *)
+
+module Diag = Pg_diag.Diag
+
+type policy = { retries : int; backoff_ms : float; multiplier : float }
+
+let default_policy = { retries = 0; backoff_ms = 100.0; multiplier = 2.0 }
+
+let policy ?(retries = 0) ?(backoff_ms = 100.0) ?(multiplier = 2.0) () =
+  if retries < 0 then invalid_arg "Supervisor.policy: retries must be non-negative";
+  if not (backoff_ms > 0.0) then invalid_arg "Supervisor.policy: backoff_ms must be positive";
+  if not (multiplier > 0.0) then invalid_arg "Supervisor.policy: multiplier must be positive";
+  { retries; backoff_ms; multiplier }
+
+let delay_ms policy attempt =
+  (* delay before retry [attempt+1], after failed attempt [attempt] *)
+  policy.backoff_ms *. (policy.multiplier ** float_of_int (attempt - 1))
+
+let backoff_delays policy = List.init policy.retries (fun i -> delay_ms policy (i + 1))
+
+type crash = { crash_exn : string; crash_attempts : int; crash_transient : bool }
+
+type 'a outcome = Done of 'a * int | Crashed of crash
+
+let default_transient = function
+  | Sys_error _ -> true
+  | Unix.Unix_error _ -> true
+  | _ -> false
+
+let default_sleep ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+let supervise ?(policy = default_policy) ?(transient = default_transient)
+    ?(sleep = default_sleep) job =
+  let rec attempt k =
+    match job () with
+    | v -> Done (v, k)
+    | exception exn ->
+      let is_transient = transient exn in
+      if is_transient && k <= policy.retries then begin
+        sleep (delay_ms policy k);
+        attempt (k + 1)
+      end
+      else Crashed { crash_exn = Printexc.to_string exn; crash_attempts = k; crash_transient = is_transient }
+  in
+  attempt 1
+
+let crash_diagnostic ~subject crash =
+  Diag.error ~code:"VAL002" ~subject
+    (Printf.sprintf "%s: validation job crashed after %d attempt(s): %s" subject
+       crash.crash_attempts crash.crash_exn)
+
+type status = Completed | Partial | Crashed_job | Unreadable
+
+let status_name = function
+  | Completed -> "completed"
+  | Partial -> "partial"
+  | Crashed_job -> "crashed"
+  | Unreadable -> "unreadable"
+
+type job_report = {
+  job : string;
+  job_status : status;
+  attempts : int;
+  diags : Diag.t list;
+}
+
+type batch = {
+  jobs : job_report list;
+  completed : int;
+  partial : int;
+  crashed : int;
+  unreadable : int;
+}
+
+let make_batch jobs =
+  let count s = List.length (List.filter (fun j -> j.job_status = s) jobs) in
+  {
+    jobs;
+    completed = count Completed;
+    partial = count Partial;
+    crashed = count Crashed_job;
+    unreadable = count Unreadable;
+  }
+
+let batch_diagnostics batch = List.concat_map (fun j -> j.diags) batch.jobs
+
+let pp_batch ppf batch =
+  let parts =
+    List.filter
+      (fun (n, _) -> n > 0)
+      [
+        (batch.completed, "completed");
+        (batch.partial, "partial");
+        (batch.crashed, "crashed");
+        (batch.unreadable, "unreadable");
+      ]
+  in
+  let parts = if parts = [] then [ (0, "completed") ] else parts in
+  Format.fprintf ppf "%d job(s): %s"
+    (List.length batch.jobs)
+    (String.concat ", " (List.map (fun (n, name) -> Printf.sprintf "%d %s" n name) parts))

@@ -1,0 +1,107 @@
+(** Supervised job execution: the exception firewall and retry policy
+    behind [gpgs batch].
+
+    A production validation service runs many jobs against one compiled
+    plan; one crashing engine ([Out_of_memory], [Stack_overflow], a bug)
+    must cost one job, not the process.  {!supervise} runs a thunk under
+    a catch-all firewall, retries {e transient} failures under a bounded
+    deterministic backoff policy, and converts a final failure into a
+    {!crash} — which {!crash_diagnostic} renders as the stable [VAL002]
+    code.  Per-job deadlines reuse {!Governor} budgets: pass a budgeted
+    [gov] to the validation call inside the thunk and a slow job comes
+    back as a partial {e result}, while a crashing job comes back as a
+    {!crash} — the two failure modes stay distinct in the batch report.
+
+    Determinism: the backoff schedule is a pure function of the policy
+    ([backoff_ms ·​ multiplier{^ attempt-1}]); the actual waiting is
+    delegated to an injectable [sleep] so tests record delays instead of
+    sleeping. *)
+
+(** {1 Retry policy} *)
+
+type policy = {
+  retries : int;  (** additional attempts after the first *)
+  backoff_ms : float;  (** delay before the first retry *)
+  multiplier : float;  (** delay growth factor per retry *)
+}
+
+val default_policy : policy
+(** No retries ([retries = 0]); 100 ms base, doubling. *)
+
+val policy : ?retries:int -> ?backoff_ms:float -> ?multiplier:float -> unit -> policy
+(** @raise Invalid_argument on a negative [retries] or non-positive
+    [backoff_ms]/[multiplier]. *)
+
+val backoff_delays : policy -> float list
+(** The full deterministic schedule, in milliseconds:
+    [[backoff_ms; backoff_ms ·​ multiplier; ...]], one per retry. *)
+
+(** {1 Supervision} *)
+
+type crash = {
+  crash_exn : string;  (** [Printexc.to_string] of the final exception *)
+  crash_attempts : int;  (** attempts made, including the first *)
+  crash_transient : bool;  (** whether the final failure was transient *)
+}
+
+type 'a outcome =
+  | Done of 'a * int  (** result and the number of attempts it took *)
+  | Crashed of crash
+
+val default_transient : exn -> bool
+(** [Sys_error] and [Unix.Unix_error] — the failures a retry can
+    plausibly cure.  Engine exceptions, [Out_of_memory] and
+    [Stack_overflow] are deterministic for a given job and are never
+    retried by default. *)
+
+val supervise :
+  ?policy:policy ->
+  ?transient:(exn -> bool) ->
+  ?sleep:(float -> unit) ->
+  (unit -> 'a) ->
+  'a outcome
+(** Run the thunk under the firewall.  Every exception is caught
+    (including [Out_of_memory] and [Stack_overflow]); transient ones are
+    retried up to [policy.retries] times, sleeping the deterministic
+    backoff delay (in ms) before each retry.  [sleep] defaults to a real
+    [Unix.sleepf]; tests inject a recorder.  Note that a per-attempt
+    {!Governor} deadline inside the thunk restarts on retry. *)
+
+val crash_diagnostic : subject:string -> crash -> Pg_diag.Diag.t
+(** The crash as a [VAL002] diagnostic; the message is self-contained
+    (it names the subject, the attempt count, and the exception). *)
+
+(** {1 Batch reports} *)
+
+type status =
+  | Completed  (** ingested fully, validated fully *)
+  | Partial  (** finished, but ingestion or validation was cut short *)
+  | Crashed_job  (** the firewall caught a crash (VAL002) *)
+  | Unreadable  (** the input could not be loaded at all (IO001) *)
+
+val status_name : status -> string
+(** ["completed"], ["partial"], ["crashed"], ["unreadable"]. *)
+
+type job_report = {
+  job : string;  (** the input path (or other job identifier) *)
+  job_status : status;
+  attempts : int;  (** 0 when the job never ran (unreadable input) *)
+  diags : Pg_diag.Diag.t list;  (** everything the job produced *)
+}
+
+type batch = {
+  jobs : job_report list;  (** in submission order *)
+  completed : int;
+  partial : int;
+  crashed : int;
+  unreadable : int;
+}
+
+val make_batch : job_report list -> batch
+
+val batch_diagnostics : batch -> Pg_diag.Diag.t list
+(** All job diagnostics, concatenated in job order — the list
+    [Pg_diag.Diag.Exit.classify] composes the batch exit code from. *)
+
+val pp_batch : Format.formatter -> batch -> unit
+(** One summary line: ["7 job(s): 5 completed, 1 partial, 1 crashed"]. *)

@@ -43,4 +43,5 @@ let () =
       ("governor", Test_governor.suite);
       ("recovery", Test_recovery.suite);
       ("frontends", Test_frontends.suite);
+      ("stream", Test_stream.suite);
     ]
