@@ -34,6 +34,53 @@ let time_ms ?(repeat = 3) f =
   List.nth (List.sort compare runs) (repeat / 2)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable artifacts: experiments append rows with [record];
+   [write_artifacts] dumps one BENCH_<exp>.json per experiment into
+   $BENCH_JSON_DIR (default: the working directory) so CI and the
+   EXPERIMENTS.md records consume numbers instead of scraping tables.   *)
+
+let artifacts : (string, GP.Json.t list ref) Hashtbl.t = Hashtbl.create 8
+
+let record exp fields =
+  let rows =
+    match Hashtbl.find_opt artifacts exp with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add artifacts exp r;
+      r
+  in
+  rows := GP.Json.Assoc fields :: !rows
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_artifacts () =
+  let dir = Option.value (Sys.getenv_opt "BENCH_JSON_DIR") ~default:"." in
+  mkdir_p dir;
+  let exps = Hashtbl.fold (fun exp rows acc -> (exp, rows) :: acc) artifacts [] in
+  List.iter
+    (fun (exp, rows) ->
+      let doc =
+        GP.Json.Assoc
+          [
+            ("experiment", GP.Json.String exp);
+            ("fast", GP.Json.Bool fast);
+            ("rows", GP.Json.List (List.rev !rows));
+          ]
+      in
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" exp) in
+      let oc = open_out path in
+      output_string oc (GP.Json.to_string ~indent:true doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  artifact: %s\n%!" path)
+    (List.sort compare exps)
+
+(* ------------------------------------------------------------------ *)
 (* E3 — the cardinality table of Section 3.3, executed                  *)
 
 let cardinality_table () =
@@ -90,12 +137,27 @@ let validation_scaling () =
     (fun persons ->
       let nodes, edges, naive_ms = run GP.Validate.Naive persons in
       let _, _, indexed_ms = run GP.Validate.Indexed persons in
+      record "E7"
+        [
+          ("persons", GP.Json.Int persons);
+          ("nodes", GP.Json.Int nodes);
+          ("edges", GP.Json.Int edges);
+          ("naive_ms", GP.Json.Float naive_ms);
+          ("indexed_ms", GP.Json.Float indexed_ms);
+        ];
       Printf.printf "  %-8d %-8d %-8d %12.2f %12.2f\n%!" persons nodes edges naive_ms
         indexed_ms)
     naive_sizes;
   List.iter
     (fun persons ->
       let nodes, edges, indexed_ms = run GP.Validate.Indexed persons in
+      record "E7"
+        [
+          ("persons", GP.Json.Int persons);
+          ("nodes", GP.Json.Int nodes);
+          ("edges", GP.Json.Int edges);
+          ("indexed_ms", GP.Json.Float indexed_ms);
+        ];
       Printf.printf "  %-8d %-8d %-8d %12s %12.2f\n%!" persons nodes edges "-" indexed_ms)
     indexed_sizes;
   (* growth exponents: fit t = c * n^k on the first and last points *)
@@ -148,6 +210,16 @@ let parallel_scaling () =
         time_ms (fun () ->
             GP.Validate.check ~engine:GP.Validate.Parallel ~domains:fixed_domains sch g)
       in
+      record "E15"
+        ([
+           ("persons", GP.Json.Int persons);
+           ("nodes", GP.Json.Int nodes);
+           ("edges", GP.Json.Int edges);
+           ("indexed_ms", GP.Json.Float indexed_ms);
+           ("parallel_ms", GP.Json.Float par_ms);
+           ("domains", GP.Json.Int fixed_domains);
+         ]
+        @ match naive_ms with Some ms -> [ ("naive_ms", GP.Json.Float ms) ] | None -> []);
       Printf.printf "  %-8d %-8d %-8d %12s %12.2f %12.2f %8.2fx\n%!" persons nodes edges
         (match naive_ms with Some ms -> Printf.sprintf "%.2f" ms | None -> "-")
         indexed_ms par_ms (indexed_ms /. par_ms))
@@ -202,9 +274,21 @@ let compiled_pipeline () =
       let snapshot_ms =
         time_ms (fun () -> GP.Snapshot.build (GP.Plan.symtab plan) g)
       in
+      let linear_ms = run GP.Validate.Linear in
+      let indexed_ms = run GP.Validate.Indexed in
+      let par_ms = run GP.Validate.Parallel in
+      record "E16"
+        [
+          ("persons", GP.Json.Int persons);
+          ("nodes", GP.Json.Int nodes);
+          ("edges", GP.Json.Int edges);
+          ("linear_ms", GP.Json.Float linear_ms);
+          ("indexed_ms", GP.Json.Float indexed_ms);
+          ("parallel_ms", GP.Json.Float par_ms);
+          ("snapshot_build_ms", GP.Json.Float snapshot_ms);
+        ];
       Printf.printf "  %-8d %-8d %-8d %12.2f %12.2f %12.2f %9.2f ms\n%!" persons nodes
-        edges (run GP.Validate.Linear) (run GP.Validate.Indexed)
-        (run GP.Validate.Parallel) snapshot_ms)
+        edges linear_ms indexed_ms par_ms snapshot_ms)
     sizes;
   Printf.printf
     "  (check_compiled reuses the schema plan; \"snapshot\" is the per-run cost of\n\
@@ -259,6 +343,15 @@ let e17_child spec =
   (match mode with
   | "stream" -> ignore (Sys.opaque_identity (e17_stream path))
   | "slurp" -> ignore (Sys.opaque_identity (e17_slurp path))
+  | "reparse" ->
+    (* E18: the cold open — parse the PGF text and freeze the CSR *)
+    let g = e17_stream path in
+    ignore (Sys.opaque_identity (GP.Snapshot.build (GP.Symtab.create ()) g))
+  | "mmap" ->
+    (* E18: reopen a persisted snapshot; the int columns stay mapped *)
+    (match GP.Snapshot_io.load (GP.Symtab.create ()) path with
+    | Ok snap -> ignore (Sys.opaque_identity snap)
+    | Error e -> failwith e.GP.Snapshot_io.message)
   | _ -> failwith "E17_LOAD: unknown mode");
   Printf.printf "%d\n" (hwm () - before);
   Stdlib.exit 0
@@ -298,14 +391,101 @@ let streaming_ingestion () =
   Printf.printf "  %-8s %12s %14s %16s\n" "loader" "load (ms)" "alloc (MB)" "peak RSS (KiB)";
   List.iter
     (fun (name, f) ->
-      Printf.printf "  %-8s %12.2f %14.1f %16d\n%!" name (time_ms f) (alloc f)
-        (rss_delta_kb name path))
+      let ms = time_ms f and mb = alloc f and rss = rss_delta_kb name path in
+      record "E17"
+        [
+          ("loader", GP.Json.String name);
+          ("persons", GP.Json.Int persons);
+          ("pgf_bytes", GP.Json.Int bytes);
+          ("load_ms", GP.Json.Float ms);
+          ("alloc_mb", GP.Json.Float mb);
+          ("peak_rss_kib", GP.Json.Int rss);
+        ];
+      Printf.printf "  %-8s %12.2f %14.1f %16d\n%!" name ms mb rss)
     [ ("stream", stream); ("slurp", slurp) ];
   Sys.remove path;
   Printf.printf
     "  (\"stream\" is Pgf.load — a fold over 64 KiB chunks; \"slurp\" additionally\n\
     \   materializes the whole file and its line list; RSS is the child-process\n\
     \   VmHWM delta for one load in isolation)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E18 — persisted snapshots: cold PGF reparse vs mmap reopen.  "Open"
+   is everything between a cold start and a validatable snapshot —
+   reparse = Pgf.load + Snapshot.build, mmap = Snapshot_io.load (header
+   + checksum + symtab + props, int columns mapped).  Both open into a
+   freshly compiled plan, so each run pays the full symbol-remap cost;
+   peak RSS per strategy is a child-process VmHWM delta (see E17).      *)
+
+let snapshot_reopen () =
+  section "E18: cold reparse vs mmap snapshot reopen (wall clock, peak RSS)";
+  let persons = if fast then 500 else 20000 in
+  let sch = GP.Social.schema () in
+  let g = GP.Social.generate ~persons () in
+  let pgf_path = Filename.temp_file "gpgs_e18" ".pgf" in
+  let snap_path = Filename.temp_file "gpgs_e18" ".snap" in
+  GP.Pgf.save pgf_path g;
+  let st = GP.Symtab.create () in
+  (match GP.Snapshot_io.write st (GP.Snapshot.build st g) snap_path with
+  | Ok () -> ()
+  | Error e -> failwith e.GP.Snapshot_io.message);
+  let pgf_bytes = (Unix.stat pgf_path).Unix.st_size in
+  let snap_bytes = (Unix.stat snap_path).Unix.st_size in
+  (* The plan is compiled once per schema in any serving flow, so it sits
+     outside the timed region: "open" is the per-graph cost only. *)
+  let reparse_plan = GP.Validate.compile sch in
+  let mmap_plan = GP.Validate.compile sch in
+  let open_reparse () =
+    let g = match GP.Pgf.load pgf_path with Ok g -> g | Error _ -> failwith "parse" in
+    (reparse_plan, GP.Snapshot.build (GP.Plan.symtab reparse_plan) g)
+  in
+  let open_mmap () =
+    match GP.Snapshot_io.load (GP.Plan.symtab mmap_plan) snap_path with
+    | Ok snap -> (mmap_plan, snap)
+    | Error e -> failwith e.GP.Snapshot_io.message
+  in
+  let validate (plan, snap) =
+    GP.Validate.check_snapshot ~engine:GP.Validate.Indexed plan snap
+  in
+  let report_strings o =
+    List.map GP.Violation.to_string (validate o).GP.Validate.violations
+  in
+  let identical = report_strings (open_reparse ()) = report_strings (open_mmap ()) in
+  Printf.printf "  input: %d persons, %.1f MB PGF, %.1f MB snapshot\n" persons
+    (float_of_int pgf_bytes /. 1048576.0)
+    (float_of_int snap_bytes /. 1048576.0);
+  Printf.printf "  %-8s %12s %20s %16s\n" "path" "open (ms)" "open+validate (ms)"
+    "peak RSS (KiB)";
+  let measure name opener rss_mode rss_path =
+    let open_ms = time_ms (fun () -> opener ()) in
+    let total_ms = time_ms (fun () -> validate (opener ())) in
+    let rss = rss_delta_kb rss_mode rss_path in
+    record "E18"
+      [
+        ("path", GP.Json.String name);
+        ("persons", GP.Json.Int persons);
+        ("pgf_bytes", GP.Json.Int pgf_bytes);
+        ("snapshot_bytes", GP.Json.Int snap_bytes);
+        ("open_ms", GP.Json.Float open_ms);
+        ("open_validate_ms", GP.Json.Float total_ms);
+        ("peak_rss_kib", GP.Json.Int rss);
+      ];
+    Printf.printf "  %-8s %12.2f %20.2f %16d\n%!" name open_ms total_ms rss;
+    (open_ms, total_ms)
+  in
+  let rep_open, rep_total = measure "reparse" open_reparse "reparse" pgf_path in
+  let mm_open, mm_total = measure "mmap" open_mmap "mmap" snap_path in
+  record "E18"
+    [
+      ("path", GP.Json.String "summary");
+      ("open_speedup", GP.Json.Float (rep_open /. mm_open));
+      ("open_validate_speedup", GP.Json.Float (rep_total /. mm_total));
+      ("reports_identical", GP.Json.Bool identical);
+    ];
+  Printf.printf "  speedup: open %.1fx, open+validate %.1fx; reports identical: %b\n"
+    (rep_open /. mm_open) (rep_total /. mm_total) identical;
+  Sys.remove pgf_path;
+  Sys.remove snap_path
 
 (* ------------------------------------------------------------------ *)
 (* E7b — per-mode cost breakdown on a fixed workload                    *)
@@ -704,20 +884,40 @@ let run_bechamel () =
       else Printf.printf "  %-42s %11.0f ns  (%.3f ms)\n" name ns (ns /. 1e6))
     rows
 
+(* BENCH_ONLY=E18 (comma-separated experiment tags) runs a subset —
+   e.g. the CI smoke step measures just the snapshot-reopen experiment
+   at full scale without paying for the naive-engine series. *)
+let experiments =
+  [
+    ("E3", cardinality_table);
+    ("E7", validation_scaling);
+    ("E15", parallel_scaling);
+    ("E16", compiled_pipeline);
+    ("E17", streaming_ingestion);
+    ("E18", snapshot_reopen);
+    ("E7b", rule_breakdown);
+    ("E8", example_6_1);
+    ("E9", sat_reduction_scaling);
+    ("E10", alcqi_translation);
+    ("E11", angles_coverage);
+    ("E13", incremental_ablation);
+    ("E14", query_engine);
+    ("E6", parser_throughput);
+    ("bechamel", run_bechamel);
+  ]
+
 let () =
   Printf.printf "graphql_pg benchmark harness%s\n" (if fast then " (fast mode)" else "");
-  cardinality_table ();
-  validation_scaling ();
-  parallel_scaling ();
-  compiled_pipeline ();
-  streaming_ingestion ();
-  rule_breakdown ();
-  example_6_1 ();
-  sat_reduction_scaling ();
-  alcqi_translation ();
-  angles_coverage ();
-  incremental_ablation ();
-  query_engine ();
-  parser_throughput ();
-  run_bechamel ();
+  let selected =
+    match Sys.getenv_opt "BENCH_ONLY" with
+    | None | Some "" -> None
+    | Some spec -> Some (String.split_on_char ',' spec |> List.map String.trim)
+  in
+  List.iter
+    (fun (tag, f) ->
+      match selected with
+      | Some tags when not (List.mem tag tags) -> ()
+      | _ -> f ())
+    experiments;
+  write_artifacts ();
   Printf.printf "\ndone.\n"

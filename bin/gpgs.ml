@@ -6,6 +6,8 @@
      validate  validate a PGF graph against a schema
      batch     validate many PGF graphs against one compiled schema plan,
                continue-on-error, under the supervisor
+     snapshot  freeze a graph into a binary snapshot (build) or describe
+               one (info); validate/batch reopen them via --snapshot
      sat       satisfiability of one object type, with optional witness
      reduce    Theorem 2: DIMACS CNF -> reduction schema (SDL)
      extend    Section 3.6: extend a PG schema into a GraphQL API schema
@@ -93,6 +95,15 @@ let load_graph_streaming ?quarantine ?max_input_errors path =
   | Error e ->
     Error (path, [ GP.Diag.error ~code:"IO001" (Format.asprintf "%a" GP.Pgf.pp_error e) ])
 
+(* Binary snapshot input (--snapshot / gpgs snapshot): IO004/IO005
+   failures (bad magic, version, layout, checksum) carry their stable
+   code straight from Snapshot_io. *)
+let load_snapshot st path =
+  match GP.Snapshot_io.load st path with
+  | Ok snap -> Ok snap
+  | Error e ->
+    Error (path, [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ])
+
 let or_die ~fmt ~command = function
   | Ok x -> x
   | Error (path, diags) ->
@@ -176,6 +187,16 @@ let retries_arg =
         ~doc:
           "Run validation under the supervisor: crashes become $(b,VAL002) diagnostics \
            and transient failures are retried up to N times with deterministic backoff.")
+
+let snapshot_arg =
+  Arg.(
+    value & flag
+    & info [ "snapshot" ]
+        ~doc:
+          "Treat the graph input as a binary snapshot written by $(b,gpgs snapshot build) \
+           and reopen it with mmap instead of reparsing PGF text.  The diagnostic report \
+           is byte-identical to the reparse path.  Incompatible with the streaming \
+           ingestion flags and with $(b,--engine naive).")
 
 (* ---- parse ---- *)
 
@@ -266,21 +287,44 @@ let mode_conv =
 
 let validate_cmd =
   let run schema_path graph_path lenient engine mode domains deadline_ms max_violations
-      stream quarantine max_input_errors retries fmt =
+      stream quarantine max_input_errors retries snapshot fmt =
     let sch, _ = or_die ~fmt ~command:"validate" (load_schema ~lenient schema_path) in
-    let streaming = stream || quarantine <> None || max_input_errors <> None in
-    let g, ingest_diags, ingest_summary =
-      if streaming then begin
-        let outcome, diags =
-          or_die ~fmt ~command:"validate"
-            (load_graph_streaming ?quarantine ?max_input_errors graph_path)
-        in
-        (outcome.GP.Stream.graph, diags, GP.Diag_report.ingest_summary outcome)
-      end
-      else (or_die ~fmt ~command:"validate" (load_graph graph_path), [], [])
-    in
     let gov = governor ?deadline_ms ?max_violations () in
-    let check () = GP.Validate.check ~engine ~mode ?domains ~gov sch g in
+    let check, ingest_diags, ingest_summary =
+      if snapshot then begin
+        let usage msg =
+          die ~fmt ~command:"validate" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ]
+        in
+        if stream || quarantine <> None || max_input_errors <> None then
+          usage
+            "--snapshot input is already frozen; the streaming ingestion flags apply to \
+             PGF text only";
+        if engine = GP.Validate.Naive then
+          usage
+            "--engine naive validates the source graph text; use linear, indexed, or \
+             parallel with --snapshot";
+        let plan = GP.Validate.compile sch in
+        let snap =
+          or_die ~fmt ~command:"validate" (load_snapshot (GP.Plan.symtab plan) graph_path)
+        in
+        ((fun () -> GP.Validate.check_snapshot ~engine ~mode ?domains ~gov plan snap), [], [])
+      end
+      else begin
+        let streaming = stream || quarantine <> None || max_input_errors <> None in
+        let g, ingest_diags, ingest_summary =
+          if streaming then begin
+            let outcome, diags =
+              or_die ~fmt ~command:"validate"
+                (load_graph_streaming ?quarantine ?max_input_errors graph_path)
+            in
+            (outcome.GP.Stream.graph, diags, GP.Diag_report.ingest_summary outcome)
+          end
+          else (or_die ~fmt ~command:"validate" (load_graph graph_path), [], [])
+        in
+        ((fun () -> GP.Validate.check ~engine ~mode ?domains ~gov sch g), ingest_diags,
+         ingest_summary)
+      end
+    in
     let outcome =
       if retries = 0 then GP.Supervisor.Done (check (), 1)
       else GP.Supervisor.supervise ~policy:(GP.Supervisor.policy ~retries ()) check
@@ -304,7 +348,9 @@ let validate_cmd =
       finish ~fmt ~command:"validate" ~summary:ingest_summary diags
   in
   let graph_arg =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"PGF graph file (or a binary snapshot with $(b,--snapshot)).")
   in
   let engine =
     Arg.(
@@ -327,13 +373,22 @@ let validate_cmd =
     Term.(
       const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
       $ deadline_arg $ max_violations_arg $ stream_arg $ quarantine_arg
-      $ max_input_errors_arg $ retries_arg $ format_arg)
+      $ max_input_errors_arg $ retries_arg $ snapshot_arg $ format_arg)
 
 (* ---- batch ---- *)
 
 let batch_cmd =
   let run schema_path graph_paths lenient engine mode domains deadline_ms max_violations
-      stream max_input_errors retries fmt =
+      stream max_input_errors retries snapshot fmt =
+    let usage msg = die ~fmt ~command:"batch" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ] in
+    if snapshot && (stream || max_input_errors <> None) then
+      usage
+        "--snapshot input is already frozen; the streaming ingestion flags apply to PGF \
+         text only";
+    if snapshot && engine = GP.Validate.Naive then
+      usage
+        "--engine naive validates the source graph text; use linear, indexed, or parallel \
+         with --snapshot";
     let sch, _ = or_die ~fmt ~command:"batch" (load_schema ~lenient schema_path) in
     (* one compiled plan for the whole batch; jobs run sequentially (plan
        reuse is sequential-only — within a job the parallel engine may
@@ -341,46 +396,57 @@ let batch_cmd =
     let plan = GP.Validate.compile sch in
     let policy = GP.Supervisor.policy ~retries () in
     let streaming = stream || max_input_errors <> None in
+    let finish_job path ingest_diags ingest_complete check =
+      (* a fresh budget per job: the deadline is relative to the run's
+         start, so each job gets the full allowance *)
+      match GP.Supervisor.supervise ~policy check with
+      | GP.Supervisor.Done (report, attempts) ->
+        let status =
+          if report.GP.Validate.complete && ingest_complete then GP.Supervisor.Completed
+          else GP.Supervisor.Partial
+        in
+        {
+          GP.Supervisor.job = path;
+          job_status = status;
+          attempts;
+          diags = ingest_diags @ GP.Validate.diagnostics report;
+        }
+      | GP.Supervisor.Crashed crash ->
+        {
+          GP.Supervisor.job = path;
+          job_status = GP.Supervisor.Crashed_job;
+          attempts = crash.GP.Supervisor.crash_attempts;
+          diags = ingest_diags @ [ GP.Supervisor.crash_diagnostic ~subject:path crash ];
+        }
+    in
+    let unreadable path diags =
+      { GP.Supervisor.job = path; job_status = GP.Supervisor.Unreadable; attempts = 0; diags }
+    in
     let run_job path =
-      let ingested =
-        if streaming then
-          match load_graph_streaming ?max_input_errors path with
-          | Ok (o, diags) -> Ok (o.GP.Stream.graph, diags, o.GP.Stream.complete)
-          | Error (_, diags) -> Error diags
-        else
-          match load_graph path with
-          | Ok g -> Ok (g, [], true)
-          | Error (_, diags) -> Error diags
-      in
-      match ingested with
-      | Error diags ->
-        { GP.Supervisor.job = path; job_status = GP.Supervisor.Unreadable; attempts = 0; diags }
-      | Ok (g, ingest_diags, ingest_complete) -> (
-        (* a fresh budget per job: the deadline is relative to the run's
-           start, so each job gets the full allowance *)
-        let gov = governor ?deadline_ms ?max_violations () in
-        match
-          GP.Supervisor.supervise ~policy (fun () ->
+      if snapshot then
+        match load_snapshot (GP.Plan.symtab plan) path with
+        | Error (_, diags) -> unreadable path diags
+        | Ok snap ->
+          let gov = governor ?deadline_ms ?max_violations () in
+          finish_job path [] true (fun () ->
+              GP.Validate.check_snapshot ~engine ~mode ?domains ~gov plan snap)
+      else
+        let ingested =
+          if streaming then
+            match load_graph_streaming ?max_input_errors path with
+            | Ok (o, diags) -> Ok (o.GP.Stream.graph, diags, o.GP.Stream.complete)
+            | Error (_, diags) -> Error diags
+          else
+            match load_graph path with
+            | Ok g -> Ok (g, [], true)
+            | Error (_, diags) -> Error diags
+        in
+        match ingested with
+        | Error diags -> unreadable path diags
+        | Ok (g, ingest_diags, ingest_complete) ->
+          let gov = governor ?deadline_ms ?max_violations () in
+          finish_job path ingest_diags ingest_complete (fun () ->
               GP.Validate.check_compiled ~engine ~mode ?domains ~gov plan g)
-        with
-        | GP.Supervisor.Done (report, attempts) ->
-          let status =
-            if report.GP.Validate.complete && ingest_complete then GP.Supervisor.Completed
-            else GP.Supervisor.Partial
-          in
-          {
-            GP.Supervisor.job = path;
-            job_status = status;
-            attempts;
-            diags = ingest_diags @ GP.Validate.diagnostics report;
-          }
-        | GP.Supervisor.Crashed crash ->
-          {
-            GP.Supervisor.job = path;
-            job_status = GP.Supervisor.Crashed_job;
-            attempts = crash.GP.Supervisor.crash_attempts;
-            diags = ingest_diags @ [ GP.Supervisor.crash_diagnostic ~subject:path crash ];
-          })
     in
     let batch = GP.Supervisor.make_batch (List.map run_job graph_paths) in
     let diags = GP.Supervisor.batch_diagnostics batch in
@@ -429,7 +495,7 @@ let batch_cmd =
     Term.(
       const run $ schema_arg $ graphs_arg $ lenient_arg $ engine $ mode $ domains
       $ deadline_arg $ max_violations_arg $ stream_arg $ max_input_errors_arg
-      $ retries_arg $ format_arg)
+      $ retries_arg $ snapshot_arg $ format_arg)
 
 (* ---- sat ---- *)
 
@@ -672,6 +738,109 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export a PGF graph as GraphML (Gephi/yEd/Cytoscape).")
     Term.(const run $ graph_arg $ output $ format_arg)
 
+(* ---- snapshot ---- *)
+
+let snapshot_build_cmd =
+  let run graph_path output stream quarantine max_input_errors fmt =
+    let streaming = stream || quarantine <> None || max_input_errors <> None in
+    let g, ingest_diags =
+      if streaming then begin
+        let outcome, diags =
+          or_die ~fmt ~command:"snapshot"
+            (load_graph_streaming ?quarantine ?max_input_errors graph_path)
+        in
+        (outcome.GP.Stream.graph, diags)
+      end
+      else (or_die ~fmt ~command:"snapshot" (load_graph graph_path), [])
+    in
+    (* a fresh symbol table: the file stores its own symbols, and the
+       loader remaps them into whatever plan it is validated against *)
+    let st = GP.Symtab.create () in
+    let written =
+      match GP.Snapshot.build st g with
+      | snap -> GP.Snapshot_io.write st snap output
+      | exception GP.Snapshot.Build_error msg ->
+        Error { GP.Snapshot_io.code = "IO001"; message = graph_path ^ ": " ^ msg }
+    in
+    match written with
+    | Error e ->
+      die ~fmt ~command:"snapshot" ~text:(e.GP.Snapshot_io.code ^ ": " ^ e.GP.Snapshot_io.message)
+        [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ]
+    | Ok () ->
+      (match fmt with
+      | Text ->
+        List.iter (fun d -> prerr_endline (GP.Diag.to_text d)) ingest_diags;
+        Format.printf "%a frozen to %s@." GP.Property_graph.pp g output
+      | Json -> ());
+      finish ~fmt ~command:"snapshot"
+        ~summary:
+          [
+            ("snapshot_file", GP.Json.String output);
+            ("nodes", GP.Json.Int (GP.Property_graph.node_count g));
+            ("edges", GP.Json.Int (GP.Property_graph.edge_count g));
+          ]
+        ingest_diags
+  in
+  let graph_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"PGF graph file.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Freeze a PGF graph into a binary snapshot (CSR adjacency, interned symbols, \
+          checksummed) that $(b,validate --snapshot) reopens with mmap instead of \
+          reparsing.")
+    Term.(
+      const run $ graph_arg $ output $ stream_arg $ quarantine_arg $ max_input_errors_arg
+      $ format_arg)
+
+let snapshot_info_cmd =
+  let run path fmt =
+    match GP.Snapshot_io.info path with
+    | Error e ->
+      die ~fmt ~command:"snapshot" ~text:(e.GP.Snapshot_io.code ^ ": " ^ e.GP.Snapshot_io.message)
+        [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ]
+    | Ok i ->
+      (match fmt with
+      | Text ->
+        Format.printf "%s: snapshot format v%d, %d node(s), %d edge(s), %d symbol(s), %d bytes@."
+          path i.GP.Snapshot_io.version i.GP.Snapshot_io.nodes i.GP.Snapshot_io.edges
+          i.GP.Snapshot_io.symbols i.GP.Snapshot_io.bytes
+      | Json -> ());
+      finish ~fmt ~command:"snapshot"
+        ~summary:
+          [
+            ("snapshot_file", GP.Json.String path);
+            ("format_version", GP.Json.Int i.GP.Snapshot_io.version);
+            ("nodes", GP.Json.Int i.GP.Snapshot_io.nodes);
+            ("edges", GP.Json.Int i.GP.Snapshot_io.edges);
+            ("symbols", GP.Json.Int i.GP.Snapshot_io.symbols);
+            ("bytes", GP.Json.Int i.GP.Snapshot_io.bytes);
+          ]
+        []
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Describe a binary snapshot (after verifying magic, version, and checksum).")
+    Term.(const run $ file_arg $ format_arg)
+
+let snapshot_cmd =
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:
+         "Persisted binary snapshots: build once, then validate with $(b,--snapshot) to \
+          skip parsing and CSR construction on every run.")
+    [ snapshot_build_cmd; snapshot_info_cmd ]
+
 (* ---- stats ---- *)
 
 let stats_cmd =
@@ -693,7 +862,7 @@ let () =
   in
   let group =
     Cmd.group info
-      [ parse_cmd; check_cmd; validate_cmd; batch_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; stats_cmd ]
+      [ parse_cmd; check_cmd; validate_cmd; batch_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; snapshot_cmd; stats_cmd ]
   in
   let code =
     try
@@ -704,6 +873,9 @@ let () =
       | c -> c
     with
     | Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit_input
+    | GP.Snapshot.Build_error msg ->
       prerr_endline ("error: " ^ msg);
       exit_input
     | Invalid_argument msg ->

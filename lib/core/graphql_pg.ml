@@ -16,8 +16,10 @@
       report envelope) and {!Json} (the shared JSON representation),
     - {!Sdl} (lexer/parser/printer for the GraphQL SDL),
     - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats}, plus the
-      compiled representations {!Symtab} (string interner) and {!Snapshot}
-      (frozen CSR view) and the streaming fault-tolerant ingestion layer
+      compiled representations {!Symtab} (string interner), {!Snapshot}
+      (frozen off-heap CSR view) and {!Snapshot_io} (persisted binary
+      snapshots with mmap loading), and the streaming fault-tolerant
+      ingestion layer
       {!Chunked}/{!Stream} (the Property Graph substrate),
     - {!Wrapped}, {!Schema}, {!Subtype}, {!Values_w}, {!Consistency},
       {!Of_ast}, {!To_sdl}, {!Api_extension}, and the compiled validation
@@ -62,6 +64,7 @@ module Stream = Pg_graph.Stream
 module Stats = Pg_graph.Stats
 module Symtab = Pg_graph.Symtab
 module Snapshot = Pg_graph.Snapshot
+module Snapshot_io = Pg_graph.Snapshot_io
 module Wrapped = Pg_schema.Wrapped
 module Schema = Pg_schema.Schema
 module Subtype = Pg_schema.Subtype

@@ -108,6 +108,8 @@ let all =
     e "IO001" Input "file could not be read or parsed";
     e "IO002" Input "malformed input record skipped by the streaming loader";
     e "IO003" Budget "input error budget exhausted; ingestion stopped early";
+    e "IO004" Input "malformed snapshot file (bad magic, unsupported version, or broken layout)";
+    e "IO005" Input "snapshot checksum mismatch; the file is corrupt";
     e "CLI001" Input "command-line usage error";
   ]
 

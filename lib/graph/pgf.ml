@@ -108,7 +108,24 @@ module Scan = struct
               if Buffer.length hex < 4 then advance sc
             | None -> fail sc "truncated \\u escape"
           done;
-          (match int_of_string_opt ("0x" ^ Buffer.contents hex) with
+          (* decode by hand: int_of_string_opt on "0x…" would also accept
+             OCaml numeric-literal underscores, letting "\u1_2f" through *)
+          let digit c =
+            match c with
+            | '0' .. '9' -> Some (Char.code c - Char.code '0')
+            | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+            | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+            | _ -> None
+          in
+          let code =
+            String.fold_left
+              (fun acc c ->
+                match (acc, digit c) with
+                | Some acc, Some d -> Some ((acc * 16) + d)
+                | _ -> None)
+              (Some 0) (Buffer.contents hex)
+          in
+          (match code with
           | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
           | Some _ -> fail sc "\\u escape above \\u00FF is not supported by PGF"
           | None -> fail sc "malformed \\u escape")

@@ -3,9 +3,15 @@
    Built in one pass over the persistent graph, then read-only: dense
    0-based node/edge indexes, interned label ids, CSR adjacency in both
    directions, and per-element property vectors sorted by interned key.
-   Everything the validation kernels touch is an int array probe — no
+   Everything the validation kernels touch is an integer probe — no
    string hashing, no map lookups — and the whole structure is safe to
    share across domains once [build] returns.
+
+   The integer columns are Bigarray-backed (off-heap): the GC neither
+   scans nor moves them, so large graphs do not inflate major-heap
+   marking, and {!Snapshot_io} can persist them verbatim and map them
+   back from disk without a deserialization pass.  Property vectors keep
+   boxed {!Value.t} payloads and therefore stay on the OCaml heap.
 
    CSR segments are sorted so that the pair rules become run scans:
    - the out segment of a node is sorted by (edge label, target, edge id),
@@ -15,23 +21,34 @@
 
 module G = Property_graph
 
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n : int;  (** node count *)
   m : int;  (** edge count *)
-  node_id : int array;  (** node index -> external id *)
-  edge_id : int array;
-  node_label : int array;  (** node index -> interned label *)
-  edge_label : int array;
-  edge_src : int array;  (** edge index -> node index *)
-  edge_tgt : int array;
+  node_id : ints;  (** node index -> external id *)
+  edge_id : ints;
+  node_label : ints;  (** node index -> interned label *)
+  edge_label : ints;
+  edge_src : ints;  (** edge index -> node index *)
+  edge_tgt : ints;
   node_props : (int * Value.t) array array;
       (** node index -> properties sorted by interned key *)
   edge_props : (int * Value.t) array array;
-  out_start : int array;  (** CSR offsets, length n + 1 *)
-  out_adj : int array;  (** edge indexes, segment-sorted (label, tgt, id) *)
-  in_start : int array;
-  in_adj : int array;  (** edge indexes, segment-sorted (label, src, id) *)
+  out_start : ints;  (** CSR offsets, length n + 1 *)
+  out_adj : ints;  (** edge indexes, segment-sorted (label, tgt, id) *)
+  in_start : ints;
+  in_adj : ints;  (** edge indexes, segment-sorted (label, src, id) *)
 }
+
+exception Build_error of string
+
+let ints_create len = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+
+let ints_of_array (a : int array) =
+  let b = ints_create (Array.length a) in
+  Array.iteri (fun i x -> b.{i} <- x) a;
+  b
 
 let props_array st props =
   match props with
@@ -40,17 +57,19 @@ let props_array st props =
     let arr = Array.of_list (List.map (fun (k, v) -> (Symtab.intern st k, v)) props) in
     (* bindings come sorted by name; interned ids need not preserve that
        order, so re-sort by key id for binary search *)
-    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) arr;
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
     arr
 
-(* Binary search of a sorted property vector. *)
+(* Binary search of a sorted property vector.  Monomorphic int
+   comparisons: this is the hottest lookup of the DS5/DS7 kernels and
+   must not go through caml_compare. *)
 let find_prop (props : (int * Value.t) array) key =
   let lo = ref 0 and hi = ref (Array.length props) in
   let found = ref None in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     let k, v = props.(mid) in
-    if k = key then begin
+    if Int.equal k key then begin
       found := Some v;
       lo := !hi
     end
@@ -76,17 +95,34 @@ let build st g =
   let node_id = Array.map G.node_id nodes in
   let edge_id = Array.map G.edge_id edges in
   let index_of_id = Hashtbl.create (2 * n) in
-  Array.iteri (fun i id -> Hashtbl.add index_of_id id i) node_id;
+  Array.iteri
+    (fun i id ->
+      if Hashtbl.mem index_of_id id then
+        raise
+          (Build_error
+             (Printf.sprintf
+                "duplicate node id n%d: two distinct nodes share one external id" id));
+      Hashtbl.add index_of_id id i)
+    node_id;
   let node_label = Array.map (fun v -> Symtab.intern st (G.node_label g v)) nodes in
   let edge_label = Array.map (fun e -> Symtab.intern st (G.edge_label g e)) edges in
   let node_props = Array.map (fun v -> props_array st (G.node_props g v)) nodes in
   let edge_props = Array.map (fun e -> props_array st (G.edge_props g e)) edges in
   let edge_src = Array.make m 0 and edge_tgt = Array.make m 0 in
+  let resolve j id =
+    match Hashtbl.find_opt index_of_id id with
+    | Some i -> i
+    | None ->
+      raise
+        (Build_error
+           (Printf.sprintf "edge e%d references node n%d, which is not in the graph"
+              edge_id.(j) id))
+  in
   Array.iteri
     (fun j e ->
       let v1, v2 = G.edge_ends g e in
-      edge_src.(j) <- Hashtbl.find index_of_id (G.node_id v1);
-      edge_tgt.(j) <- Hashtbl.find index_of_id (G.node_id v2))
+      edge_src.(j) <- resolve j (G.node_id v1);
+      edge_tgt.(j) <- resolve j (G.node_id v2))
     edges;
   (* CSR in both directions: count, prefix-sum, fill, sort segments *)
   let out_start = Array.make (n + 1) 0 and in_start = Array.make (n + 1) 0 in
@@ -107,32 +143,32 @@ let build st g =
     in_fill.(edge_tgt.(j)) <- in_fill.(edge_tgt.(j)) + 1
   done;
   sort_segments out_start out_adj ~compare_edges:(fun a b ->
-      match compare edge_label.(a) edge_label.(b) with
+      match Int.compare edge_label.(a) edge_label.(b) with
       | 0 -> (
-        match compare edge_tgt.(a) edge_tgt.(b) with
-        | 0 -> compare edge_id.(a) edge_id.(b)
+        match Int.compare edge_tgt.(a) edge_tgt.(b) with
+        | 0 -> Int.compare edge_id.(a) edge_id.(b)
         | c -> c)
       | c -> c);
   sort_segments in_start in_adj ~compare_edges:(fun a b ->
-      match compare edge_label.(a) edge_label.(b) with
+      match Int.compare edge_label.(a) edge_label.(b) with
       | 0 -> (
-        match compare edge_src.(a) edge_src.(b) with
-        | 0 -> compare edge_id.(a) edge_id.(b)
+        match Int.compare edge_src.(a) edge_src.(b) with
+        | 0 -> Int.compare edge_id.(a) edge_id.(b)
         | c -> c)
       | c -> c);
   {
     n;
     m;
-    node_id;
-    edge_id;
-    node_label;
-    edge_label;
-    edge_src;
-    edge_tgt;
+    node_id = ints_of_array node_id;
+    edge_id = ints_of_array edge_id;
+    node_label = ints_of_array node_label;
+    edge_label = ints_of_array edge_label;
+    edge_src = ints_of_array edge_src;
+    edge_tgt = ints_of_array edge_tgt;
     node_props;
     edge_props;
-    out_start;
-    out_adj;
-    in_start;
-    in_adj;
+    out_start = ints_of_array out_start;
+    out_adj = ints_of_array out_adj;
+    in_start = ints_of_array in_start;
+    in_adj = ints_of_array in_adj;
   }

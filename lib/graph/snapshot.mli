@@ -4,32 +4,58 @@
     sorted property vectors — the read-only substrate the compiled
     validation kernels run on (see {!Symtab} for the interning contract).
 
-    The out segment of node [i] is [out_adj.(out_start.(i)) ..
-    out_adj.(out_start.(i+1) - 1)], sorted by (edge label, target index,
+    All integer columns are off-heap [Bigarray] arrays ([ints]): the GC
+    never scans them, they are shared across domains without copying, and
+    a persisted snapshot ({!Snapshot_io}) maps them straight from disk.
+    Property vectors stay on the OCaml heap because they carry boxed
+    {!Value.t} payloads.
+
+    The out segment of node [i] is [out_adj.{out_start.{i}} ..
+    out_adj.{out_start.{i+1} - 1}], sorted by (edge label, target index,
     edge id); the in segment is sorted by (edge label, source index, edge
-    id).  Property vectors are sorted by interned key id. *)
+    id).  Property vectors are sorted by interned key id.  Kernels only
+    rely on equal labels being {e contiguous} within a segment (run
+    scans), never on the numeric order of label ids — which is what lets
+    {!Snapshot_io.load} remap symbols without re-sorting the CSR. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** An off-heap vector of native ints. *)
 
 type t = {
   n : int;
   m : int;
-  node_id : int array;
-  edge_id : int array;
-  node_label : int array;
-  edge_label : int array;
-  edge_src : int array;
-  edge_tgt : int array;
+  node_id : ints;
+  edge_id : ints;
+  node_label : ints;
+  edge_label : ints;
+  edge_src : ints;
+  edge_tgt : ints;
   node_props : (int * Value.t) array array;
   edge_props : (int * Value.t) array array;
-  out_start : int array;
-  out_adj : int array;
-  in_start : int array;
-  in_adj : int array;
+  out_start : ints;
+  out_adj : ints;
+  in_start : ints;
+  in_adj : ints;
 }
+
+exception Build_error of string
+(** The graph under freeze is not a well-formed Property Graph: an edge
+    endpoint is missing from the node set, or two nodes share an external
+    id (which would silently re-bind every edge of the first to the
+    last).  [build] detects both instead of escaping with [Not_found] or
+    mis-wiring the CSR. *)
 
 val build : Symtab.t -> Property_graph.t -> t
 (** One pass over the graph; interns every label and property key it
     meets (mutating the symbol table), then freezes.  The result is safe
-    to share across domains. *)
+    to share across domains.
+    @raise Build_error on dangling edge endpoints or duplicate node ids. *)
 
 val find_prop : (int * Value.t) array -> int -> Value.t option
 (** Binary search of a sorted property vector by interned key. *)
+
+val ints_create : int -> ints
+(** An uninitialized off-heap vector of the given length. *)
+
+val ints_of_array : int array -> ints
+(** Copy a heap array into a fresh off-heap vector. *)

@@ -1,0 +1,478 @@
+(* Binary snapshot persistence.
+
+   Layout (all integers 64-bit little-endian; "section" offsets are
+   absolute byte positions, each 8-byte aligned so the int columns can
+   be mapped as Bigarrays of kind [int] directly):
+
+     0   magic "GPGSNAP1"
+     8   format version (= 1)
+     16  n (nodes)
+     24  m (edges)
+     32  nsyms (interned symbols referenced by the snapshot)
+     40  total file size in bytes (including the trailing checksum)
+     48  13 section offsets: sym, node_id, edge_id, node_label,
+         edge_label, edge_src, edge_tgt, out_start, out_adj, in_start,
+         in_adj, node_props, edge_props
+     152 sections ...
+     size-8  CRC-32 (IEEE) of bytes [0, size-8), stored as int64
+
+   The symtab section is nsyms length-prefixed strings in id order.
+   Property sections are per-element vectors of (key id, tagged value).
+   The ten integer sections are the raw native-int columns; on a 64-bit
+   little-endian host they are byte-compatible with the mmapped view, so
+   [load] never copies them through the heap.
+
+   Symbol ids inside the file are the ids of the *writing* symtab.  The
+   loader interns every stored name into the target table and rewrites
+   label columns and property keys through the resulting old->new map —
+   that is what makes a snapshot schema-independent (see the .mli). *)
+
+let format_version = 1
+let magic = "GPGSNAP1"
+let header_size = 152
+let n_sections = 13
+
+type error = { code : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.code e.message
+
+type info = { version : int; nodes : int; edges : int; symbols : int; bytes : int }
+
+let err code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+(* ---------- CRC-32 (IEEE 802.3), slicing-by-8 ---------- *)
+
+(* Table k gives the CRC contribution of a byte k positions back, so eight
+   independent lookups replace eight serially-dependent ones per block.  The
+   byte-at-a-time loop's latency chain is what dominates loading: the CRC
+   runs over the whole file, and the mmap path does nothing else that is
+   O(bytes). *)
+let crc_table =
+  lazy
+    (let t = Array.make_matrix 8 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(0).(n) <- !c
+     done;
+     for k = 1 to 7 do
+       for n = 0 to 255 do
+         let p = t.(k - 1).(n) in
+         t.(k).(n) <- (p lsr 8) lxor t.(0).(p land 0xFF)
+       done
+     done;
+     t)
+
+let crc32_update crc s pos len =
+  let t = Lazy.force crc_table in
+  let t0 = t.(0) and t1 = t.(1) and t2 = t.(2) and t3 = t.(3) in
+  let t4 = t.(4) and t5 = t.(5) and t6 = t.(6) and t7 = t.(7) in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  let i = ref pos in
+  let stop = pos + len in
+  while stop - !i >= 8 do
+    let b k = Char.code (String.unsafe_get s (!i + k)) in
+    let x = !c lxor (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)) in
+    c :=
+      Array.unsafe_get t7 (x land 0xFF)
+      lxor Array.unsafe_get t6 ((x lsr 8) land 0xFF)
+      lxor Array.unsafe_get t5 ((x lsr 16) land 0xFF)
+      lxor Array.unsafe_get t4 ((x lsr 24) land 0xFF)
+      lxor Array.unsafe_get t3 (b 4)
+      lxor Array.unsafe_get t2 (b 5)
+      lxor Array.unsafe_get t1 (b 6)
+      lxor Array.unsafe_get t0 (b 7);
+    i := !i + 8
+  done;
+  while !i < stop do
+    c :=
+      Array.unsafe_get t0 ((!c lxor Char.code (String.unsafe_get s !i)) land 0xFF)
+      lxor (!c lsr 8);
+    incr i
+  done;
+  !c lxor 0xFFFFFFFF
+
+let checksum s = Int64.of_int (crc32_update 0 s 0 (String.length s))
+
+(* ---------- writing ---------- *)
+
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_string_pfx buf s =
+  add_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let pad_to_8 buf =
+  while Buffer.length buf land 7 <> 0 do
+    Buffer.add_char buf '\000'
+  done
+
+let add_ints buf (a : Snapshot.ints) =
+  for i = 0 to Bigarray.Array1.dim a - 1 do
+    add_i64 buf a.{i}
+  done
+
+let rec add_value buf = function
+  | Value.Int i ->
+    Buffer.add_char buf 'i';
+    add_i64 buf i
+  | Value.Float f ->
+    Buffer.add_char buf 'f';
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.String s ->
+    Buffer.add_char buf 's';
+    add_string_pfx buf s
+  | Value.Id s ->
+    Buffer.add_char buf 'd';
+    add_string_pfx buf s
+  | Value.Enum s ->
+    Buffer.add_char buf 'e';
+    add_string_pfx buf s
+  | Value.Bool b ->
+    Buffer.add_char buf 'b';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.List vs ->
+    Buffer.add_char buf 'l';
+    add_i64 buf (List.length vs);
+    List.iter (add_value buf) vs
+
+let add_props buf (props : (int * Value.t) array array) =
+  Array.iter
+    (fun vec ->
+      add_i64 buf (Array.length vec);
+      Array.iter
+        (fun (k, v) ->
+          add_i64 buf k;
+          add_value buf v)
+        vec)
+    props
+
+let write st (snap : Snapshot.t) path =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  add_i64 buf format_version;
+  add_i64 buf snap.Snapshot.n;
+  add_i64 buf snap.Snapshot.m;
+  let nsyms = Symtab.size st in
+  add_i64 buf nsyms;
+  add_i64 buf 0 (* total size, patched below *);
+  for _ = 1 to n_sections do
+    add_i64 buf 0 (* section offsets, patched below *)
+  done;
+  assert (Buffer.length buf = header_size);
+  let offsets = Array.make n_sections 0 in
+  let section k fill =
+    pad_to_8 buf;
+    offsets.(k) <- Buffer.length buf;
+    fill ()
+  in
+  section 0 (fun () ->
+      for id = 0 to nsyms - 1 do
+        add_string_pfx buf (Symtab.name st id)
+      done);
+  let int_sections =
+    [|
+      snap.Snapshot.node_id; snap.Snapshot.edge_id; snap.Snapshot.node_label;
+      snap.Snapshot.edge_label; snap.Snapshot.edge_src; snap.Snapshot.edge_tgt;
+      snap.Snapshot.out_start; snap.Snapshot.out_adj; snap.Snapshot.in_start;
+      snap.Snapshot.in_adj;
+    |]
+  in
+  Array.iteri (fun k a -> section (1 + k) (fun () -> add_ints buf a)) int_sections;
+  section 11 (fun () -> add_props buf snap.Snapshot.node_props);
+  section 12 (fun () -> add_props buf snap.Snapshot.edge_props);
+  pad_to_8 buf;
+  let total = Buffer.length buf + 8 in
+  let body = Buffer.to_bytes buf in
+  Bytes.set_int64_le body 40 (Int64.of_int total);
+  Array.iteri (fun k off -> Bytes.set_int64_le body (48 + (8 * k)) (Int64.of_int off)) offsets;
+  let crc = crc32_update 0 (Bytes.unsafe_to_string body) 0 (Bytes.length body) in
+  (* temp + rename: a crashed writer never leaves a torn file at [path] *)
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    output_bytes oc body;
+    let tail = Bytes.create 8 in
+    Bytes.set_int64_le tail 0 (Int64.of_int crc);
+    output_bytes oc tail;
+    close_out oc;
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error msg -> err "IO001" "cannot write snapshot %s: %s" path msg
+
+(* ---------- reading ---------- *)
+
+(* A cursor over the fully-read header + symtab + props bytes.  The int
+   sections are not read through this — they are mmapped. *)
+type cursor = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let need cur len =
+  if cur.pos + len > String.length cur.data then
+    raise (Malformed "unexpected end of section")
+
+let read_i64 cur =
+  need cur 8;
+  let v = String.get_int64_le cur.data cur.pos in
+  cur.pos <- cur.pos + 8;
+  let n = Int64.to_int v in
+  if Int64.of_int n <> v then raise (Malformed "integer out of native range");
+  n
+
+let read_len cur what =
+  let n = read_i64 cur in
+  if n < 0 || n > String.length cur.data - cur.pos then
+    raise (Malformed (Printf.sprintf "bad %s length %d" what n));
+  n
+
+let read_string_pfx cur =
+  let len = read_len cur "string" in
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let rec read_value cur =
+  need cur 1;
+  let tag = cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  match tag with
+  | 'i' -> Value.Int (read_i64 cur)
+  | 'f' ->
+    need cur 8;
+    let bits = String.get_int64_le cur.data cur.pos in
+    cur.pos <- cur.pos + 8;
+    Value.Float (Int64.float_of_bits bits)
+  | 's' -> Value.String (read_string_pfx cur)
+  | 'd' -> Value.Id (read_string_pfx cur)
+  | 'e' -> Value.Enum (read_string_pfx cur)
+  | 'b' ->
+    need cur 1;
+    let b = cur.data.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    Value.Bool (b <> '\000')
+  | 'l' ->
+    let count = read_len cur "list" in
+    Value.List (List.init count (fun _ -> read_value cur))
+  | c -> raise (Malformed (Printf.sprintf "unknown value tag %C" c))
+
+(* [remap] translates a stored symbol id to the target symtab's id. *)
+let read_props cur count remap =
+  Array.init count (fun _ ->
+      let len = read_len cur "property vector" in
+      let vec =
+        Array.init len (fun _ ->
+            let k = read_i64 cur in
+            let v = read_value cur in
+            (remap k, v))
+      in
+      (* key order under the writer's ids need not survive the remap *)
+      Array.sort (fun (a, _) (b, _) -> Int.compare a b) vec;
+      vec)
+
+let read_header ic path =
+  let hdr = Bytes.create header_size in
+  (try really_input ic hdr 0 header_size
+   with End_of_file -> raise (Malformed "file shorter than header"));
+  let hdr = Bytes.unsafe_to_string hdr in
+  if String.sub hdr 0 8 <> magic then
+    raise (Malformed (Printf.sprintf "%s is not a snapshot file (bad magic)" path));
+  let cur = { data = hdr; pos = 8 } in
+  let version = read_i64 cur in
+  if version <> format_version then
+    raise
+      (Malformed
+         (Printf.sprintf "unsupported snapshot format version %d (this build reads %d)"
+            version format_version));
+  let n = read_i64 cur in
+  let m = read_i64 cur in
+  let nsyms = read_i64 cur in
+  let total = read_i64 cur in
+  if n < 0 || m < 0 || nsyms < 0 then raise (Malformed "negative count in header");
+  let actual = in_channel_length ic in
+  if total <> actual then
+    raise (Malformed (Printf.sprintf "header declares %d bytes, file has %d" total actual));
+  let offsets = Array.init n_sections (fun _ -> read_i64 cur) in
+  Array.iteri
+    (fun k off ->
+      if off < header_size || off > total - 8 || off land 7 <> 0 then
+        raise (Malformed (Printf.sprintf "section %d offset %d out of bounds" k off)))
+    offsets;
+  (version, n, m, nsyms, total, offsets)
+
+let verify_crc ic total =
+  seek_in ic 0;
+  let body_len = total - 8 in
+  let chunk = Bytes.create 65536 in
+  let crc = ref 0 in
+  let remaining = ref body_len in
+  while !remaining > 0 do
+    let k = min !remaining (Bytes.length chunk) in
+    really_input ic chunk 0 k;
+    crc := crc32_update !crc (Bytes.unsafe_to_string chunk) 0 k;
+    remaining := !remaining - k
+  done;
+  let tail = Bytes.create 8 in
+  really_input ic tail 0 8;
+  let stored = Bytes.get_int64_le tail 0 in
+  if stored <> Int64.of_int !crc then
+    Error
+      { code = "IO005";
+        message =
+          Printf.sprintf "checksum mismatch: stored %Lx, computed %x — file is corrupt"
+            stored !crc }
+  else Ok ()
+
+let read_section ic ~from ~until =
+  seek_in ic from;
+  let len = until - from in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  { data = Bytes.unsafe_to_string b; pos = 0 }
+
+(* Map [len] native ints starting at byte [pos].  Zero-length maps are
+   rejected by the OS, so hand back a fresh empty vector instead. *)
+let map_ints fd ~pos ~len =
+  if len = 0 then Snapshot.ints_create 0
+  else
+    let g =
+      Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false
+        [| len |]
+    in
+    Bigarray.array1_of_genarray g
+
+(* Structural validation of the mmapped CSR: anything a kernel indexes
+   with must be proven in range here, so a malformed (but checksummed)
+   file fails with a diagnostic instead of a Bigarray bounds exception
+   deep inside an engine. *)
+let validate_structure ~n ~m ~(edge_src : Snapshot.ints) ~(edge_tgt : Snapshot.ints)
+    ~(out_start : Snapshot.ints) ~(out_adj : Snapshot.ints) ~(in_start : Snapshot.ints)
+    ~(in_adj : Snapshot.ints) =
+  for j = 0 to m - 1 do
+    if edge_src.{j} < 0 || edge_src.{j} >= n || edge_tgt.{j} < 0 || edge_tgt.{j} >= n
+    then raise (Malformed (Printf.sprintf "edge %d endpoint out of range" j))
+  done;
+  let check_csr what (start : Snapshot.ints) (adj : Snapshot.ints) =
+    if start.{0} <> 0 || start.{n} <> m then
+      raise (Malformed (Printf.sprintf "%s CSR offsets do not cover the edge set" what));
+    for i = 0 to n - 1 do
+      if start.{i} > start.{i + 1} then
+        raise (Malformed (Printf.sprintf "%s CSR offsets not monotone at node %d" what i))
+    done;
+    for k = 0 to m - 1 do
+      if adj.{k} < 0 || adj.{k} >= m then
+        raise (Malformed (Printf.sprintf "%s adjacency entry %d out of range" what k))
+    done
+  in
+  check_csr "out" out_start out_adj;
+  check_csr "in" in_start in_adj
+
+let remap_labels remap (a : Snapshot.ints) =
+  let len = Bigarray.Array1.dim a in
+  let b = Snapshot.ints_create len in
+  for i = 0 to len - 1 do
+    b.{i} <- remap a.{i}
+  done;
+  b
+
+let load st path =
+  match
+    let ic = try open_in_bin path with Sys_error msg -> raise (Sys_error msg) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let _, n, m, nsyms, total, offsets = read_header ic path in
+        match verify_crc ic total with
+        | Error e -> Error e
+        | Ok () ->
+          (* symtab: intern stored names into the target table; [trans]
+             translates writer ids to target ids from here on *)
+          let sym_cur = read_section ic ~from:offsets.(0) ~until:offsets.(1) in
+          let trans = Array.make (max 1 nsyms) 0 in
+          for id = 0 to nsyms - 1 do
+            trans.(id) <- Symtab.intern st (read_string_pfx sym_cur)
+          done;
+          let remap id =
+            if id < 0 || id >= nsyms then
+              raise (Malformed (Printf.sprintf "symbol id %d out of range" id));
+            trans.(id)
+          in
+          let expect k len =
+            let have = (offsets.(k + 1) - offsets.(k)) / 8 in
+            if have < len then
+              raise (Malformed (Printf.sprintf "section %d too short for %d ints" k len))
+          in
+          expect 1 n;
+          expect 2 m;
+          expect 3 n;
+          expect 4 m;
+          expect 5 m;
+          expect 6 m;
+          expect 7 (n + 1);
+          expect 8 m;
+          expect 9 (n + 1);
+          expect 10 m;
+          let node_props_cur = read_section ic ~from:offsets.(11) ~until:offsets.(12) in
+          let node_props = read_props node_props_cur n remap in
+          let edge_props_cur = read_section ic ~from:offsets.(12) ~until:(total - 8) in
+          let edge_props = read_props edge_props_cur m remap in
+          (* mmap the int columns; the mapping outlives the fd *)
+          let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              let sec k len = map_ints fd ~pos:offsets.(k) ~len in
+              let node_id = sec 1 n and edge_id = sec 2 m in
+              let node_label = sec 3 n and edge_label = sec 4 m in
+              let edge_src = sec 5 m and edge_tgt = sec 6 m in
+              let out_start = sec 7 (n + 1) and out_adj = sec 8 m in
+              let in_start = sec 9 (n + 1) and in_adj = sec 10 m in
+              validate_structure ~n ~m ~edge_src ~edge_tgt ~out_start ~out_adj
+                ~in_start ~in_adj;
+              (* label columns carry writer ids: rewrite them through the
+                 remap into fresh (non-mapped) vectors.  Remapping is
+                 injective, so equal-label runs inside each CSR segment
+                 stay contiguous and no re-sort is needed. *)
+              let node_label = remap_labels remap node_label in
+              let edge_label = remap_labels remap edge_label in
+              Ok
+                {
+                  Snapshot.n;
+                  m;
+                  node_id;
+                  edge_id;
+                  node_label;
+                  edge_label;
+                  edge_src;
+                  edge_tgt;
+                  node_props;
+                  edge_props;
+                  out_start;
+                  out_adj;
+                  in_start;
+                  in_adj;
+                }))
+  with
+  | result -> result
+  | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" path msg
+  | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" path msg
+  | exception End_of_file -> err "IO004" "malformed snapshot %s: unexpected end of file" path
+
+let info path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let version, n, m, nsyms, total, _ = read_header ic path in
+        match verify_crc ic total with
+        | Error e -> Error e
+        | Ok () ->
+          Ok { version; nodes = n; edges = m; symbols = nsyms; bytes = total })
+  with
+  | result -> result
+  | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" path msg
+  | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" path msg
+  | exception End_of_file -> err "IO004" "malformed snapshot %s: unexpected end of file" path

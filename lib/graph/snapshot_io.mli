@@ -1,0 +1,70 @@
+(** Persisted binary snapshots: write a frozen {!Snapshot} to disk once,
+    reopen it in O(graph-independent work + one mmap) instead of
+    reparsing the source text.
+
+    {2 On-disk format (version 1)}
+
+    All integers are 64-bit little-endian.  The file is:
+
+    {v
+    magic "GPGSNAP1" | version | n | m | nsyms | total size
+    section offset table (13 entries)
+    symtab section        nsyms length-prefixed strings
+    10 integer sections   node_id, edge_id, node_label, edge_label,
+                          edge_src, edge_tgt, out_start, out_adj,
+                          in_start, in_adj (8-byte aligned, mmap-ready)
+    2 property sections   node_props, edge_props (tagged values)
+    trailing CRC-32       over every preceding byte
+    v}
+
+    {!load} verifies magic, version, size and checksum, maps the ten
+    integer sections with [Unix.map_file] (shared copy-on-write pages —
+    the CSR is never copied through the OCaml heap), and then {e remaps}
+    the stored symbols into the caller's symbol table: label columns and
+    property keys are rewritten through an [old id -> intern] table and
+    property vectors re-sorted.  Kernels only rely on equal labels being
+    contiguous within a CSR segment, so the mapped adjacency needs no
+    re-sort and validation reports are byte-identical to a fresh
+    {!Snapshot.build} over the same graph.  A snapshot file is therefore
+    self-contained and schema-independent: it can be validated against
+    any plan. *)
+
+type error = { code : string; message : string }
+(** [code] is a stable {!Pg_diag.Registry} code: [IO001] for filesystem
+    failures, [IO004] for format errors (bad magic, unsupported version,
+    truncation, malformed layout), [IO005] for checksum mismatches. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type info = {
+  version : int;
+  nodes : int;
+  edges : int;
+  symbols : int;
+  bytes : int;  (** total file size *)
+}
+
+val format_version : int
+(** The version this build writes (and the only one it reads). *)
+
+val write : Symtab.t -> Snapshot.t -> string -> (unit, error) result
+(** [write st snap path] persists [snap] together with the symbols of
+    [st] it references.  The file is written to a temporary sibling and
+    renamed into place, so a crashed writer never leaves a torn file
+    under [path]. *)
+
+val load : Symtab.t -> string -> (Snapshot.t, error) result
+(** [load st path] maps a snapshot back, interning its symbols into
+    [st] (mutating it, like {!Snapshot.build} — sequential-only while
+    interning).  The integer sections are validated structurally (CSR
+    offsets monotone and closed, endpoints in range) so a malformed file
+    fails with a diagnostic instead of a kernel exception. *)
+
+val info : string -> (info, error) result
+(** Header summary of a snapshot file, after the same magic / version /
+    size / checksum verification as {!load}. *)
+
+val checksum : string -> int64
+(** The CRC-32 (IEEE, as used for the trailing checksum) of a raw byte
+    string.  Exposed so corruption tests can re-seal a deliberately
+    patched file and reach the checks behind the checksum. *)

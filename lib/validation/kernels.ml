@@ -40,6 +40,13 @@ let make_ctx ?env ?(gov = Governor.no_run) plan g =
   let env = Option.value env ~default:Values_w.default_env in
   { plan; snap = Snapshot.build (Plan.symtab plan) g; env; gov }
 
+(* A ctx over an already-frozen snapshot (e.g. mapped back from disk by
+   {!Pg_graph.Snapshot_io}).  The snapshot's symbols must already live in
+   the plan's symbol table — Snapshot_io.load remaps them on the way in. *)
+let ctx_of_snap ?env ?(gov = Governor.no_run) plan snap =
+  let env = Option.value env ~default:Values_w.default_env in
+  { plan; snap; env; gov }
+
 (* The rules a pass evaluates: WS (weak), DS (dirs), SS extras (strong). *)
 type rule_set = { weak : bool; dirs : bool; strong : bool }
 
@@ -59,7 +66,7 @@ let pairwise group mk acc =
 (* WS1: node properties must be of the required type *)
 let ws1_node ctx i acc =
   let snap = ctx.snap in
-  let l = snap.Snapshot.node_label.(i) in
+  let l = snap.Snapshot.node_label.{i} in
   Array.fold_left
     (fun acc (k, value) ->
       match Plan.field ctx.plan l k with
@@ -67,7 +74,7 @@ let ws1_node ctx i acc =
         if fi.Plan.fi_mem ctx.env value then acc
         else
           Violation.make Violation.WS1
-            (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+            (Violation.Node_property (snap.Snapshot.node_id.{i}, Plan.name ctx.plan k))
             (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
                fi.Plan.fi_type_str)
           :: acc
@@ -78,31 +85,31 @@ let ws1_node ctx i acc =
 (* SS1: all nodes are justified *)
 let ss1_node ctx i acc =
   let snap = ctx.snap in
-  let l = snap.Snapshot.node_label.(i) in
+  let l = snap.Snapshot.node_label.{i} in
   if Plan.is_object ctx.plan l then acc
   else
     Violation.make Violation.SS1
-      (Violation.Node snap.Snapshot.node_id.(i))
+      (Violation.Node snap.Snapshot.node_id.{i})
       (Printf.sprintf "label %S is not an object type of the schema" (Plan.name ctx.plan l))
     :: acc
 
 (* SS2: all node properties are justified *)
 let ss2_node ctx i acc =
   let snap = ctx.snap in
-  let l = snap.Snapshot.node_label.(i) in
+  let l = snap.Snapshot.node_label.{i} in
   Array.fold_left
     (fun acc (k, _) ->
       match Plan.field ctx.plan l k with
       | Some fi when fi.Plan.fi_attr -> acc
       | Some _ ->
         Violation.make Violation.SS2
-          (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+          (Violation.Node_property (snap.Snapshot.node_id.{i}, Plan.name ctx.plan k))
           (Printf.sprintf "field %s.%s is a relationship definition, not an attribute"
              (Plan.name ctx.plan l) (Plan.name ctx.plan k))
         :: acc
       | None ->
         Violation.make Violation.SS2
-          (Violation.Node_property (snap.Snapshot.node_id.(i), Plan.name ctx.plan k))
+          (Violation.Node_property (snap.Snapshot.node_id.{i}, Plan.name ctx.plan k))
           (Printf.sprintf "no field %S is declared for type %S" (Plan.name ctx.plan k)
              (Plan.name ctx.plan l))
         :: acc)
@@ -112,21 +119,21 @@ let ss2_node ctx i acc =
 (* DS4: nodes of the target type need a qualified incoming edge *)
 let ds4_node ctx i acc =
   let snap = ctx.snap in
-  let l = snap.Snapshot.node_label.(i) in
+  let l = snap.Snapshot.node_label.{i} in
   let row = Plan.required_tgt_at ctx.plan l in
   if Array.length row = 0 then acc
   else begin
-    let start = snap.Snapshot.in_start.(i) and stop = snap.Snapshot.in_start.(i + 1) in
+    let start = snap.Snapshot.in_start.{i} and stop = snap.Snapshot.in_start.{i + 1} in
     Array.fold_left
       (fun acc (fc : Plan.field_constraint) ->
         let ok = ref false in
         let j = ref start in
         while (not !ok) && !j < stop do
-          let e = snap.Snapshot.in_adj.(!j) in
+          let e = snap.Snapshot.in_adj.{!j} in
           if
-            snap.Snapshot.edge_label.(e) = fc.Plan.fc_field
+            snap.Snapshot.edge_label.{e} = fc.Plan.fc_field
             && Plan.is_sub ctx.plan
-                 snap.Snapshot.node_label.(snap.Snapshot.edge_src.(e))
+                 snap.Snapshot.node_label.{snap.Snapshot.edge_src.{e}}
                  fc.Plan.fc_owner
           then ok := true;
           incr j
@@ -134,11 +141,11 @@ let ds4_node ctx i acc =
         if !ok then acc
         else
           Violation.make Violation.DS4
-            (Violation.Node snap.Snapshot.node_id.(i))
+            (Violation.Node snap.Snapshot.node_id.{i})
             (Printf.sprintf
                "node n%d (%S) has no incoming %S edge required by @requiredForTarget on \
                 %s.%s"
-               snap.Snapshot.node_id.(i) (Plan.name ctx.plan l) fc.Plan.fc_field_name
+               snap.Snapshot.node_id.{i} (Plan.name ctx.plan l) fc.Plan.fc_field_name
                fc.Plan.fc_owner_name fc.Plan.fc_field_name)
           :: acc)
       acc row
@@ -147,11 +154,11 @@ let ds4_node ctx i acc =
 (* DS5/DS6: @required properties and edges *)
 let ds56_node ctx i acc =
   let snap = ctx.snap in
-  let l = snap.Snapshot.node_label.(i) in
+  let l = snap.Snapshot.node_label.{i} in
   let row = Plan.required_at ctx.plan l in
   if Array.length row = 0 then acc
   else begin
-    let vid = snap.Snapshot.node_id.(i) in
+    let vid = snap.Snapshot.node_id.{i} in
     Array.fold_left
       (fun acc (fc : Plan.field_constraint) ->
         let fi = fc.Plan.fc_info in
@@ -179,12 +186,12 @@ let ds56_node ctx i acc =
             else acc
         end
         else begin
-          let start = snap.Snapshot.out_start.(i)
-          and stop = snap.Snapshot.out_start.(i + 1) in
+          let start = snap.Snapshot.out_start.{i}
+          and stop = snap.Snapshot.out_start.{i + 1} in
           let ok = ref false in
           let j = ref start in
           while (not !ok) && !j < stop do
-            if snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!j)) = fc.Plan.fc_field
+            if snap.Snapshot.edge_label.{snap.Snapshot.out_adj.{!j}} = fc.Plan.fc_field
             then ok := true;
             incr j
           done;
@@ -203,19 +210,19 @@ let ds56_node ctx i acc =
    scan. *)
 let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
   let snap = ctx.snap in
-  let start = snap.Snapshot.out_start.(i) and stop = snap.Snapshot.out_start.(i + 1) in
+  let start = snap.Snapshot.out_start.{i} and stop = snap.Snapshot.out_start.{i + 1} in
   if start = stop then acc
   else begin
-    let l = snap.Snapshot.node_label.(i) in
-    let src_id = snap.Snapshot.node_id.(i) in
+    let l = snap.Snapshot.node_label.{i} in
+    let src_id = snap.Snapshot.node_id.{i} in
     let drow = if ds1 then Plan.distinct_at ctx.plan l else [||] in
     let nrow = if ds2 then Plan.no_loops_at ctx.plan l else [||] in
     let acc = ref acc in
     let lo = ref start in
     while !lo < stop do
-      let f = snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!lo)) in
+      let f = snap.Snapshot.edge_label.{snap.Snapshot.out_adj.{!lo}} in
       let hi = ref (!lo + 1) in
-      while !hi < stop && snap.Snapshot.edge_label.(snap.Snapshot.out_adj.(!hi)) = f do
+      while !hi < stop && snap.Snapshot.edge_label.{snap.Snapshot.out_adj.{!hi}} = f do
         incr hi
       done;
       let lo0 = !lo and hi0 = !hi in
@@ -233,8 +240,8 @@ let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
                acc :=
                  Violation.make Violation.WS4
                    (Violation.Edge_pair
-                      ( snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(a)),
-                        snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(b)) ))
+                      ( snap.Snapshot.edge_id.{snap.Snapshot.out_adj.{a}},
+                        snap.Snapshot.edge_id.{snap.Snapshot.out_adj.{b}} ))
                    msg
                  :: !acc
              done
@@ -244,9 +251,9 @@ let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
       if Array.length drow > 0 && hi0 - lo0 >= 2 then begin
         let a = ref lo0 in
         while !a < hi0 do
-          let tgt = snap.Snapshot.edge_tgt.(snap.Snapshot.out_adj.(!a)) in
+          let tgt = snap.Snapshot.edge_tgt.{snap.Snapshot.out_adj.{!a}} in
           let b = ref (!a + 1) in
-          while !b < hi0 && snap.Snapshot.edge_tgt.(snap.Snapshot.out_adj.(!b)) = tgt do
+          while !b < hi0 && snap.Snapshot.edge_tgt.{snap.Snapshot.out_adj.{!b}} = tgt do
             incr b
           done;
           if !b - !a >= 2 then
@@ -257,7 +264,7 @@ let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
                     Printf.sprintf
                       "parallel %S edges between n%d and n%d violate @distinct on %s.%s"
                       fc.Plan.fc_field_name src_id
-                      snap.Snapshot.node_id.(tgt)
+                      snap.Snapshot.node_id.{tgt}
                       fc.Plan.fc_owner_name fc.Plan.fc_field_name
                   in
                   for x = !a to !b - 1 do
@@ -265,8 +272,8 @@ let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
                       acc :=
                         Violation.make Violation.DS1
                           (Violation.Edge_pair
-                             ( snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(x)),
-                               snap.Snapshot.edge_id.(snap.Snapshot.out_adj.(y)) ))
+                             ( snap.Snapshot.edge_id.{snap.Snapshot.out_adj.{x}},
+                               snap.Snapshot.edge_id.{snap.Snapshot.out_adj.{y}} ))
                           msg
                         :: !acc
                     done
@@ -286,11 +293,11 @@ let out_rules ~ws4 ~ds1 ~ds2 ctx i acc =
                   fc.Plan.fc_owner_name fc.Plan.fc_field_name
               in
               for x = lo0 to hi0 - 1 do
-                let e = snap.Snapshot.out_adj.(x) in
-                if snap.Snapshot.edge_tgt.(e) = i then
+                let e = snap.Snapshot.out_adj.{x} in
+                if snap.Snapshot.edge_tgt.{e} = i then
                   acc :=
                     Violation.make Violation.DS2
-                      (Violation.Edge snap.Snapshot.edge_id.(e))
+                      (Violation.Edge snap.Snapshot.edge_id.{e})
                       msg
                     :: !acc
               done
@@ -309,19 +316,19 @@ let ds2_node ctx i acc = out_rules ~ws4:false ~ds1:false ~ds2:true ctx i acc
    sources of the declaring type *)
 let ds3_node ctx i acc =
   let snap = ctx.snap in
-  let start = snap.Snapshot.in_start.(i) and stop = snap.Snapshot.in_start.(i + 1) in
+  let start = snap.Snapshot.in_start.{i} and stop = snap.Snapshot.in_start.{i + 1} in
   if stop - start < 2 then acc
   else begin
     let uts = Plan.unique_tgt ctx.plan in
     if Array.length uts = 0 then acc
     else begin
-      let tgt_id = snap.Snapshot.node_id.(i) in
+      let tgt_id = snap.Snapshot.node_id.{i} in
       let acc = ref acc in
       let lo = ref start in
       while !lo < stop do
-        let f = snap.Snapshot.edge_label.(snap.Snapshot.in_adj.(!lo)) in
+        let f = snap.Snapshot.edge_label.{snap.Snapshot.in_adj.{!lo}} in
         let hi = ref (!lo + 1) in
-        while !hi < stop && snap.Snapshot.edge_label.(snap.Snapshot.in_adj.(!hi)) = f do
+        while !hi < stop && snap.Snapshot.edge_label.{snap.Snapshot.in_adj.{!hi}} = f do
           incr hi
         done;
         let lo0 = !lo and hi0 = !hi in
@@ -331,10 +338,10 @@ let ds3_node ctx i acc =
               if fc.Plan.fc_field = f then begin
                 let qualified = ref [] in
                 for j = hi0 - 1 downto lo0 do
-                  let e = snap.Snapshot.in_adj.(j) in
+                  let e = snap.Snapshot.in_adj.{j} in
                   if
                     Plan.is_sub ctx.plan
-                      snap.Snapshot.node_label.(snap.Snapshot.edge_src.(e))
+                      snap.Snapshot.node_label.{snap.Snapshot.edge_src.{e}}
                       fc.Plan.fc_owner
                   then qualified := e :: !qualified
                 done;
@@ -353,7 +360,7 @@ let ds3_node ctx i acc =
                       (fun e1 e2 ->
                         Violation.make Violation.DS3
                           (Violation.Edge_pair
-                             (snap.Snapshot.edge_id.(e1), snap.Snapshot.edge_id.(e2)))
+                             (snap.Snapshot.edge_id.{e1}, snap.Snapshot.edge_id.{e2}))
                           msg)
                       !acc
               end)
@@ -373,8 +380,8 @@ let ws2_edge ctx j acc =
   let props = snap.Snapshot.edge_props.(j) in
   if Array.length props = 0 then acc
   else begin
-    let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
-    match Plan.field ctx.plan sl snap.Snapshot.edge_label.(j) with
+    let sl = snap.Snapshot.node_label.{snap.Snapshot.edge_src.{j}} in
+    match Plan.field ctx.plan sl snap.Snapshot.edge_label.{j} with
     | None -> acc
     | Some fi ->
       Array.fold_left
@@ -384,7 +391,7 @@ let ws2_edge ctx j acc =
             if ai.Plan.ai_mem ctx.env value then acc
             else
               Violation.make Violation.WS2
-                (Violation.Edge_property (snap.Snapshot.edge_id.(j), Plan.name ctx.plan a))
+                (Violation.Edge_property (snap.Snapshot.edge_id.{j}, Plan.name ctx.plan a))
                 (Printf.sprintf "value %s is not in valuesW(%s)" (Value.to_string value)
                    ai.Plan.ai_type_str)
               :: acc
@@ -398,8 +405,8 @@ let ss3_edge ctx j acc =
   let props = snap.Snapshot.edge_props.(j) in
   if Array.length props = 0 then acc
   else begin
-    let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
-    let f = snap.Snapshot.edge_label.(j) in
+    let sl = snap.Snapshot.node_label.{snap.Snapshot.edge_src.{j}} in
+    let f = snap.Snapshot.edge_label.{j} in
     let field = Plan.field ctx.plan sl f in
     Array.fold_left
       (fun acc (a, _) ->
@@ -407,7 +414,7 @@ let ss3_edge ctx j acc =
         | Some _ -> acc
         | None ->
           Violation.make Violation.SS3
-            (Violation.Edge_property (snap.Snapshot.edge_id.(j), Plan.name ctx.plan a))
+            (Violation.Edge_property (snap.Snapshot.edge_id.{j}, Plan.name ctx.plan a))
             (Printf.sprintf "no argument %S is declared for field %s.%s"
                (Plan.name ctx.plan a) (Plan.name ctx.plan sl) (Plan.name ctx.plan f))
           :: acc)
@@ -417,16 +424,16 @@ let ss3_edge ctx j acc =
 (* WS3: target nodes must be of the required type *)
 let ws3_edge ctx j acc =
   let snap = ctx.snap in
-  let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
-  match Plan.field ctx.plan sl snap.Snapshot.edge_label.(j) with
+  let sl = snap.Snapshot.node_label.{snap.Snapshot.edge_src.{j}} in
+  match Plan.field ctx.plan sl snap.Snapshot.edge_label.{j} with
   | Some fi ->
-    let tl = snap.Snapshot.node_label.(snap.Snapshot.edge_tgt.(j)) in
+    let tl = snap.Snapshot.node_label.{snap.Snapshot.edge_tgt.{j}} in
     if Plan.is_sub ctx.plan tl fi.Plan.fi_base then acc
     else
       Violation.make Violation.WS3
-        (Violation.Edge snap.Snapshot.edge_id.(j))
+        (Violation.Edge snap.Snapshot.edge_id.{j})
         (Printf.sprintf "target node n%d has label %S, which is not a subtype of %S"
-           snap.Snapshot.node_id.(snap.Snapshot.edge_tgt.(j))
+           snap.Snapshot.node_id.{snap.Snapshot.edge_tgt.{j}}
            (Plan.name ctx.plan tl)
            (Plan.name ctx.plan fi.Plan.fi_base))
       :: acc
@@ -435,19 +442,19 @@ let ws3_edge ctx j acc =
 (* SS4: all edges are justified *)
 let ss4_edge ctx j acc =
   let snap = ctx.snap in
-  let sl = snap.Snapshot.node_label.(snap.Snapshot.edge_src.(j)) in
-  let f = snap.Snapshot.edge_label.(j) in
+  let sl = snap.Snapshot.node_label.{snap.Snapshot.edge_src.{j}} in
+  let f = snap.Snapshot.edge_label.{j} in
   match Plan.field ctx.plan sl f with
   | Some fi when not fi.Plan.fi_attr -> acc
   | Some _ ->
     Violation.make Violation.SS4
-      (Violation.Edge snap.Snapshot.edge_id.(j))
+      (Violation.Edge snap.Snapshot.edge_id.{j})
       (Printf.sprintf "field %s.%s is an attribute definition and justifies no edges"
          (Plan.name ctx.plan sl) (Plan.name ctx.plan f))
     :: acc
   | None ->
     Violation.make Violation.SS4
-      (Violation.Edge snap.Snapshot.edge_id.(j))
+      (Violation.Edge snap.Snapshot.edge_id.{j})
       (Printf.sprintf "no field %S is declared for type %S" (Plan.name ctx.plan f)
          (Plan.name ctx.plan sl))
     :: acc
@@ -494,7 +501,7 @@ let rec add_value_key buf (v : Value.t) =
 
 let ds7_scan ctx (key : Plan.key) groups i =
   let snap = ctx.snap in
-  if Plan.is_sub ctx.plan snap.Snapshot.node_label.(i) key.Plan.key_owner then begin
+  if Plan.is_sub ctx.plan snap.Snapshot.node_label.{i} key.Plan.key_owner then begin
     let buf = Buffer.create 32 in
     Array.iter
       (fun fsym ->
@@ -542,7 +549,7 @@ let ds7 ctx (key : Plan.key) acc =
       | _ ->
         pairwise group
           (fun i1 i2 ->
-            let a = snap.Snapshot.node_id.(i1) and b = snap.Snapshot.node_id.(i2) in
+            let a = snap.Snapshot.node_id.{i1} and b = snap.Snapshot.node_id.{i2} in
             Violation.make Violation.DS7
               (Violation.Node_pair (a, b))
               (Printf.sprintf "distinct nodes n%d and n%d of type %s agree on key [%s]"

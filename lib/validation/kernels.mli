@@ -40,6 +40,18 @@ val make_ctx :
     safe to share across domains (the governor run is [Atomic]-based).
     [gov] defaults to {!Governor.no_run}: unlimited, unmetered. *)
 
+val ctx_of_snap :
+  ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.run ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Snapshot.t ->
+  ctx
+(** Wrap an already-frozen snapshot — typically one mapped back from disk
+    by {!Pg_graph.Snapshot_io.load}, which interns the snapshot's symbols
+    into the plan's symbol table on the way in.  The caller is
+    responsible for that symbol discipline; {!make_ctx} is the safe path
+    for raw graphs. *)
+
 type rule_set = { weak : bool; dirs : bool; strong : bool }
 (** Which rule families a pass evaluates: WS1–WS4 ([weak]), DS1–DS7
     ([dirs]), SS1–SS4 ([strong]). *)

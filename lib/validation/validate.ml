@@ -37,8 +37,7 @@ let naive_violations ~mode ?env ?(run = Governor.no_run) sch g =
 (* An inert run reports the graph totals as its scan counts: everything
    was scanned, and the unbudgeted record is built without touching the
    run's atomics. *)
-let report_of ~mode ~engine run violations g =
-  let nodes_checked = G.node_count g and edges_checked = G.edge_count g in
+let report_of_counts ~mode ~engine run violations ~nodes_checked ~edges_checked =
   let active = Governor.active run in
   {
     violations;
@@ -50,6 +49,10 @@ let report_of ~mode ~engine run violations g =
     mode;
     engine;
   }
+
+let report_of ~mode ~engine run violations g =
+  report_of_counts ~mode ~engine run violations ~nodes_checked:(G.node_count g)
+    ~edges_checked:(G.edge_count g)
 
 let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains
     ?(gov = Governor.unlimited) plan g =
@@ -67,6 +70,31 @@ let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains
       | Naive -> assert false)
   in
   report_of ~mode ~engine run violations g
+
+(* Validation over an already-frozen snapshot (e.g. mapped back from
+   disk): the compiled engines run unchanged because they never touch the
+   raw graph, only the ctx.  Naive is the one engine that cannot — it is
+   a string-level oracle over the original Property_graph text, which a
+   snapshot does not retain. *)
+let check_snapshot ?(engine = Indexed) ?(mode = Strong) ?env ?domains
+    ?(gov = Governor.unlimited) plan snap =
+  let run = Governor.start gov in
+  let violations =
+    match engine with
+    | Naive ->
+      invalid_arg
+        "Validate.check_snapshot: the naive engine needs the source graph, not a snapshot"
+    | (Linear | Indexed | Parallel) as engine ->
+      let ctx = Kernels.ctx_of_snap ?env ~gov:run plan snap in
+      let rs = rules_of mode in
+      (match engine with
+      | Linear -> Linear.check ctx rs
+      | Indexed -> Indexed.check ctx rs
+      | Parallel -> Parallel.check ?domains ctx rs
+      | Naive -> assert false)
+  in
+  report_of_counts ~mode ~engine run violations ~nodes_checked:snap.Pg_graph.Snapshot.n
+    ~edges_checked:snap.Pg_graph.Snapshot.m
 
 let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?(gov = Governor.unlimited)
     sch g =

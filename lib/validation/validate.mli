@@ -64,6 +64,23 @@ val check_compiled :
     plan's symbol table); within a check the [Parallel] engine shares the
     plan across domains safely. *)
 
+val check_snapshot :
+  ?engine:engine ->
+  ?mode:mode ->
+  ?env:Pg_schema.Values_w.env ->
+  ?domains:int ->
+  ?gov:Governor.t ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Snapshot.t ->
+  report
+(** {!check_compiled} over an already-frozen snapshot — typically one
+    mapped back from disk by {!Pg_graph.Snapshot_io.load} against the
+    plan's symbol table, which skips parsing and CSR construction
+    entirely.  The compiled engines produce reports byte-identical to
+    validating the source graph.  [Naive] is not available (it is a
+    string-level oracle over the original graph text):
+    @raise Invalid_argument if [engine = Naive]. *)
+
 val check :
   ?engine:engine ->
   ?mode:mode ->

@@ -44,4 +44,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("frontends", Test_frontends.suite);
       ("stream", Test_stream.suite);
+      ("snapshot_io", Test_snapshot_io.suite);
     ]

@@ -54,6 +54,19 @@ let test_escapes () =
   check_bool "escapes decoded" true
     (G.node_prop g a "s" = Some (V.String "line\nbreak \"quoted\" back\\slash"))
 
+let test_unicode_escapes () =
+  let g = parse_ok {|node a :A {s: "\u0041\u00e9\u00FF"}|} in
+  let a = List.hd (G.nodes g) in
+  check_bool "hex digits decoded" true
+    (G.node_prop g a "s" = Some (V.String "A\xe9\xff"));
+  (* int_of_string would accept OCaml numeric-literal syntax inside the
+     four escape characters; the decoder must not *)
+  check_bool "underscore rejected" true (parse_fails {|node a :A {s: "\u1_2f"}|});
+  check_bool "sign rejected" true (parse_fails {|node a :A {s: "\u-012"}|});
+  check_bool "0x prefix rejected" true (parse_fails {|node a :A {s: "\u0x1f"}|});
+  check_bool "non-hex rejected" true (parse_fails {|node a :A {s: "\u00gg"}|});
+  check_bool "above U+00FF rejected" true (parse_fails {|node a :A {s: "\u0100"}|})
+
 let test_print_parse_round_trip () =
   let g = G.empty in
   let g, a =
@@ -123,6 +136,7 @@ let suite =
     Alcotest.test_case "edge handle optional" `Quick test_edge_handle_optional;
     Alcotest.test_case "errors" `Quick test_errors;
     Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
     Alcotest.test_case "print/parse round-trip" `Quick test_print_parse_round_trip;
     QCheck_alcotest.to_alcotest prop_round_trip;
   ]

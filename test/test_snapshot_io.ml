@@ -1,0 +1,287 @@
+(* Persisted binary snapshots: round-trip fidelity and corruption safety.
+
+   - qcheck: build -> write -> mmap-reopen must produce byte-identical
+     normalized validation reports across all five engines (Naive and
+     Incremental on the source graph as oracles, the compiled engines on
+     both the in-memory snapshot path and the reopened file).
+   - Reopening into a *different* plan's symbol table (the symbol remap
+     path) must not change the report either.
+   - Corrupted files — truncation, bad magic, random byte damage,
+     checksum flips, hostile headers resealed with a valid checksum —
+     must come back as IO004/IO005 errors, never exceptions.            *)
+
+module G = Graphql_pg.Property_graph
+module Val = Graphql_pg.Validate
+module Vi = Graphql_pg.Violation
+module Snapshot = Graphql_pg.Snapshot
+module Sio = Graphql_pg.Snapshot_io
+module Symtab = Graphql_pg.Symtab
+module Plan = Graphql_pg.Plan
+module Schema_gen = Graphql_pg.Schema_gen
+module Instance_gen = Graphql_pg.Instance_gen
+module Corruption = Graphql_pg.Corruption
+
+let check_bool = Alcotest.(check bool)
+
+let seeded_rng seed = Random.State.make [| seed; 0x5AFE |]
+
+let decimate rng g =
+  let g =
+    List.fold_left
+      (fun g e -> if Random.State.int rng 8 = 0 then G.remove_edge g e else g)
+      g (G.edges g)
+  in
+  List.fold_left
+    (fun g v -> if Random.State.int rng 8 = 0 then G.remove_node g v else g)
+    g (G.nodes g)
+
+let with_temp_file f =
+  let path = Filename.temp_file "gpgs_snap_test" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let write_exn st snap path =
+  match Sio.write st snap path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write failed: %a" Sio.pp_error e
+
+let load_exn st path =
+  match Sio.load st path with
+  | Ok snap -> snap
+  | Error e -> Alcotest.failf "load failed: %a" Sio.pp_error e
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* The snapshot written from a fresh symtab, reopened into the compiled
+   plan's table (exercising the symbol remap), must make every engine
+   tell the same story, byte for byte. *)
+let reports_identical_through_file sch g =
+  with_temp_file (fun path ->
+      let st = Symtab.create () in
+      write_exn st (Snapshot.build st g) path;
+      let plan = Val.compile sch in
+      let reopened = load_exn (Plan.symtab plan) path in
+      let reference =
+        List.map Vi.to_string (Val.check ~engine:Val.Naive sch g).Val.violations
+      in
+      let incremental =
+        List.map Vi.to_string
+          (Graphql_pg.Incremental.violations (Graphql_pg.Incremental.create sch g))
+      in
+      let on_snapshot engine =
+        List.map Vi.to_string (Val.check_snapshot ~engine plan reopened).Val.violations
+      in
+      let on_graph engine =
+        List.map Vi.to_string (Val.check ~engine sch g).Val.violations
+      in
+      List.for_all
+        (List.equal String.equal reference)
+        [
+          incremental;
+          on_graph Val.Linear;
+          on_snapshot Val.Linear;
+          on_snapshot Val.Indexed;
+          List.map Vi.to_string
+            (Val.check_snapshot ~engine:Val.Parallel ~domains:2 plan reopened).Val.violations;
+        ])
+
+let prop_roundtrip_byte_identical =
+  QCheck2.Test.make
+    ~name:"build -> write -> mmap-reopen: all five engines byte-identical" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      let g = decimate rng (Instance_gen.fuzz rng sch ~max_nodes:12) in
+      reports_identical_through_file sch g)
+
+let prop_conformant_roundtrip =
+  QCheck2.Test.make ~name:"conformant instances stay clean through the file" ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = seeded_rng seed in
+      let sch = Schema_gen.random_schema rng in
+      match Instance_gen.conformant ~seed ~target_nodes:10 sch with
+      | None -> true
+      | Some g -> reports_identical_through_file sch g)
+
+(* A report with real violations survives the trip (social graph against
+   the movies-style foreign schema would need example files; instead
+   corrupt a conformant social instance). *)
+let test_social_roundtrip () =
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:40 () in
+  check_bool "clean social graph round-trips" true (reports_identical_through_file sch g);
+  let corrupted = Graphql_pg.Social.corrupt_uniformly ~seed:3 ~rate:0.1 sch g in
+  check_bool "corrupted social graph round-trips" true
+    (reports_identical_through_file sch corrupted)
+
+(* ---- corruption of the file itself ---- *)
+
+let social_snapshot_file k =
+  let g = Graphql_pg.Social.generate ~persons:10 () in
+  with_temp_file (fun path ->
+      let st = Symtab.create () in
+      write_exn st (Snapshot.build st g) path;
+      k path)
+
+let load_err path =
+  match Sio.load (Symtab.create ()) path with
+  | Ok _ -> None
+  | Error e -> Some e
+
+let test_truncation () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      let rng = seeded_rng 11 in
+      for _ = 1 to 20 do
+        write_file path (Corruption.truncate_text rng whole);
+        match load_err path with
+        | Some e -> check_bool "truncation -> IO004" true (e.Sio.code = "IO004")
+        | None -> Alcotest.fail "truncated snapshot loaded"
+      done)
+
+let test_bad_magic () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      write_file path ("XGPSNAPX" ^ String.sub whole 8 (String.length whole - 8));
+      match load_err path with
+      | Some e -> check_bool "bad magic -> IO004" true (e.Sio.code = "IO004")
+      | None -> Alcotest.fail "bad-magic snapshot loaded")
+
+(* Any single damaged byte must be caught: by the checksum (IO005)
+   normally, or by a header check (IO004) when the damage hits the
+   header fields the loader reads before checksumming. *)
+let test_byte_flips () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      let rng = seeded_rng 13 in
+      for _ = 1 to 40 do
+        write_file path (Corruption.flip_byte rng whole);
+        match load_err path with
+        | Some e ->
+          check_bool "byte flip -> IO004/IO005" true
+            (e.Sio.code = "IO004" || e.Sio.code = "IO005")
+        | None -> Alcotest.fail "damaged snapshot loaded"
+      done)
+
+let test_checksum_flip () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      (* flip a bit of the stored checksum itself *)
+      let b = Bytes.of_string whole in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+      write_file path (Bytes.to_string b);
+      match load_err path with
+      | Some e -> check_bool "checksum flip -> IO005" true (e.Sio.code = "IO005")
+      | None -> Alcotest.fail "checksum-flipped snapshot loaded")
+
+(* Patch bytes, then reseal with a fresh valid checksum, so the checks
+   *behind* the checksum are reached. *)
+let patch_and_reseal whole ~pos ~value =
+  let b = Bytes.of_string whole in
+  Bytes.set_int64_le b pos (Int64.of_int value);
+  let body = Bytes.sub_string b 0 (Bytes.length b - 8) in
+  Bytes.set_int64_le b (Bytes.length b - 8) (Sio.checksum body);
+  Bytes.to_string b
+
+let test_unsupported_version () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      write_file path (patch_and_reseal whole ~pos:8 ~value:99);
+      match load_err path with
+      | Some e ->
+        check_bool "future version -> IO004" true (e.Sio.code = "IO004");
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "message names the version" true (contains e.Sio.message "99")
+      | None -> Alcotest.fail "future-version snapshot loaded")
+
+let test_hostile_counts () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      (* node count inflated beyond the stored sections *)
+      write_file path (patch_and_reseal whole ~pos:16 ~value:1_000_000);
+      (match load_err path with
+      | Some e -> check_bool "inflated n -> IO004" true (e.Sio.code = "IO004")
+      | None -> Alcotest.fail "inflated-count snapshot loaded");
+      (* negative edge count *)
+      write_file path (patch_and_reseal whole ~pos:24 ~value:(-3));
+      match load_err path with
+      | Some e -> check_bool "negative m -> IO004" true (e.Sio.code = "IO004")
+      | None -> Alcotest.fail "negative-count snapshot loaded")
+
+let test_hostile_csr () =
+  social_snapshot_file (fun path ->
+      let whole = read_file path in
+      (* find the out_start section (offset table entry 7 of 13, at
+         byte 48 + 7*8) and break monotonicity behind a valid checksum *)
+      let out_start_off = Int64.to_int (String.get_int64_le whole (48 + (7 * 8))) in
+      write_file path (patch_and_reseal whole ~pos:out_start_off ~value:7);
+      match load_err path with
+      | Some e -> check_bool "broken CSR -> IO004" true (e.Sio.code = "IO004")
+      | None -> Alcotest.fail "structurally broken snapshot loaded")
+
+let test_info () =
+  let g = Graphql_pg.Social.generate ~persons:10 () in
+  with_temp_file (fun path ->
+      let st = Symtab.create () in
+      write_exn st (Snapshot.build st g) path;
+      match Sio.info path with
+      | Error e -> Alcotest.failf "info failed: %a" Sio.pp_error e
+      | Ok i ->
+        Alcotest.(check int) "version" Sio.format_version i.Sio.version;
+        Alcotest.(check int) "nodes" (G.node_count g) i.Sio.nodes;
+        Alcotest.(check int) "edges" (G.edge_count g) i.Sio.edges;
+        Alcotest.(check int) "bytes" (String.length (read_file path)) i.Sio.bytes;
+        check_bool "symbols interned" true (i.Sio.symbols = Symtab.size st))
+
+let test_missing_file () =
+  match Sio.load (Symtab.create ()) "/nonexistent/gpgs.snap" with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error e -> check_bool "missing file -> IO001" true (e.Sio.code = "IO001")
+
+let test_naive_rejected () =
+  let sch = Graphql_pg.Social.schema () in
+  let g = Graphql_pg.Social.generate ~persons:5 () in
+  with_temp_file (fun path ->
+      let st = Symtab.create () in
+      write_exn st (Snapshot.build st g) path;
+      let plan = Val.compile sch in
+      let snap = load_exn (Plan.symtab plan) path in
+      check_bool "naive raises Invalid_argument" true
+        (match Val.check_snapshot ~engine:Val.Naive plan snap with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip_byte_identical; prop_conformant_roundtrip ]
+
+let suite =
+  [
+    Alcotest.test_case "social graphs round-trip byte-identically" `Quick
+      test_social_roundtrip;
+    Alcotest.test_case "truncation is IO004" `Quick test_truncation;
+    Alcotest.test_case "bad magic is IO004" `Quick test_bad_magic;
+    Alcotest.test_case "random byte damage is IO004/IO005" `Quick test_byte_flips;
+    Alcotest.test_case "checksum flip is IO005" `Quick test_checksum_flip;
+    Alcotest.test_case "future format version is IO004" `Quick test_unsupported_version;
+    Alcotest.test_case "hostile header counts are IO004" `Quick test_hostile_counts;
+    Alcotest.test_case "non-monotone CSR offsets are IO004" `Quick test_hostile_csr;
+    Alcotest.test_case "info reads the header back" `Quick test_info;
+    Alcotest.test_case "missing file is IO001" `Quick test_missing_file;
+    Alcotest.test_case "naive engine rejects snapshots" `Quick test_naive_rejected;
+  ]
+  @ qsuite
