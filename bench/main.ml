@@ -249,6 +249,133 @@ let parallel_scaling () =
       host_domains
 
 (* ------------------------------------------------------------------ *)
+(* E19 — the sharded engine: the E15 domain sweep re-run over explicit
+   partitions, a shard sweep at a fixed domain count, and the streaming
+   out-of-core pipeline over a mapped snapshot.  Every configuration's
+   report is asserted byte-identical to the indexed engine's.            *)
+
+let sharded_scaling () =
+  section "E19: sharded validation — indexed vs parallel vs sharded (wall clock)";
+  let sch = GP.Social.schema () in
+  let host_domains = Domain.recommended_domain_count () in
+  Printf.printf "  host: %d recommended domain(s)\n" host_domains;
+  let persons = if fast then 1000 else 20000 in
+  let g = GP.Social.generate ~persons () in
+  let nodes = GP.Property_graph.node_count g
+  and edges = GP.Property_graph.edge_count g in
+  let rendered report =
+    List.map GP.Violation.to_string report.GP.Validate.violations
+  in
+  let indexed_report = GP.Validate.check ~engine:GP.Validate.Indexed sch g in
+  let baseline = rendered indexed_report in
+  let assert_identical what report =
+    if not (List.equal String.equal baseline (rendered report)) then
+      failwith (Printf.sprintf "E19: %s diverged from the indexed report" what)
+  in
+  let indexed_ms =
+    time_ms (fun () -> GP.Validate.check ~engine:GP.Validate.Indexed sch g)
+  in
+  Printf.printf "  %d persons (%d nodes, %d edges); indexed baseline %.2f ms\n" persons
+    nodes edges indexed_ms;
+  (* the E15 domain sweep, sharded vs parallel, shards = domains *)
+  let counts = if fast then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf "  %-22s %12s %12s %9s\n" "configuration" "par (ms)" "shard (ms)"
+    "idx/shard";
+  List.iter
+    (fun domains ->
+      let par_ms =
+        time_ms (fun () ->
+            GP.Validate.check ~engine:GP.Validate.Parallel ~domains sch g)
+      in
+      let sharded_ms =
+        time_ms (fun () ->
+            GP.Validate.check ~engine:GP.Validate.Sharded ~domains sch g)
+      in
+      assert_identical
+        (Printf.sprintf "sharded domains=%d" domains)
+        (GP.Validate.check ~engine:GP.Validate.Sharded ~domains sch g);
+      record "E19"
+        [
+          ("series", GP.Json.String "domain_sweep");
+          ("persons", GP.Json.Int persons);
+          ("nodes", GP.Json.Int nodes);
+          ("edges", GP.Json.Int edges);
+          ("domains", GP.Json.Int domains);
+          ("shards", GP.Json.Int domains);
+          ("indexed_ms", GP.Json.Float indexed_ms);
+          ("parallel_ms", GP.Json.Float par_ms);
+          ("sharded_ms", GP.Json.Float sharded_ms);
+        ];
+      Printf.printf "  %-22s %12.2f %12.2f %8.2fx\n%!"
+        (Printf.sprintf "domains=shards=%d" domains)
+        par_ms sharded_ms (indexed_ms /. sharded_ms))
+    counts;
+  (* shard sweep at a fixed domain count: more shards than domains bounds
+     the per-task working set; the report must not change *)
+  let shard_counts = if fast then [ 1; 3; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  List.iter
+    (fun shards ->
+      let ms =
+        time_ms (fun () ->
+            GP.Validate.check ~engine:GP.Validate.Sharded ~domains:host_domains ~shards
+              sch g)
+      in
+      assert_identical
+        (Printf.sprintf "sharded shards=%d" shards)
+        (GP.Validate.check ~engine:GP.Validate.Sharded ~domains:host_domains ~shards sch g);
+      record "E19"
+        [
+          ("series", GP.Json.String "shard_sweep");
+          ("persons", GP.Json.Int persons);
+          ("domains", GP.Json.Int host_domains);
+          ("shards", GP.Json.Int shards);
+          ("indexed_ms", GP.Json.Float indexed_ms);
+          ("sharded_ms", GP.Json.Float ms);
+        ];
+      Printf.printf "  %-22s %12s %12.2f %8.2fx\n%!"
+        (Printf.sprintf "domains=%d shards=%d" host_domains shards)
+        "" ms (indexed_ms /. ms))
+    shard_counts;
+  (* the streaming out-of-core pipeline over a mapped snapshot *)
+  let plan = GP.Validate.compile sch in
+  let snap = GP.Snapshot.build (GP.Plan.symtab plan) g in
+  let path = Filename.temp_file "gpgs_e19" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match GP.Snapshot_io.write (GP.Plan.symtab plan) snap path with
+      | Ok () -> ()
+      | Error e -> failwith ("E19: snapshot write failed: " ^ e.GP.Snapshot_io.message));
+      List.iter
+        (fun shards ->
+          let ms =
+            time_ms (fun () ->
+                match GP.Snapshot_io.open_mapped (GP.Plan.symtab plan) path with
+                | Error e -> failwith ("E19: open_mapped: " ^ e.GP.Snapshot_io.message)
+                | Ok md ->
+                  Fun.protect
+                    ~finally:(fun () -> GP.Snapshot_io.close_mapped md)
+                    (fun () ->
+                      match GP.Validate.check_mapped ~shards plan md with
+                      | Ok report -> assert_identical "mapped stream" report
+                      | Error e ->
+                        failwith ("E19: check_mapped: " ^ e.GP.Snapshot_io.message)))
+          in
+          record "E19"
+            [
+              ("series", GP.Json.String "mapped_stream");
+              ("persons", GP.Json.Int persons);
+              ("shards", GP.Json.Int shards);
+              ("indexed_ms", GP.Json.Float indexed_ms);
+              ("stream_ms", GP.Json.Float ms);
+            ];
+          Printf.printf "  %-22s %12s %12.2f %8.2fx  (open+validate+close)\n%!"
+            (Printf.sprintf "mapped shards=%d" shards)
+            "" ms (indexed_ms /. ms))
+        shard_counts);
+  Printf.printf "  reports byte-identical to indexed across every configuration\n"
+
+(* ------------------------------------------------------------------ *)
 (* E16 — the compiled pipeline: schema plan compiled once, snapshot +
    integer kernels per run.  Isolates compile cost from per-run cost and
    compares the fused single-pass engine with the per-rule slicing one.  *)
@@ -895,6 +1022,7 @@ let experiments =
     ("E16", compiled_pipeline);
     ("E17", streaming_ingestion);
     ("E18", snapshot_reopen);
+    ("E19", sharded_scaling);
     ("E7b", rule_breakdown);
     ("E8", example_6_1);
     ("E9", sat_reduction_scaling);

@@ -275,6 +275,7 @@ let engine_conv =
       ("linear", GP.Validate.Linear);
       ("naive", GP.Validate.Naive);
       ("parallel", GP.Validate.Parallel);
+      ("sharded", GP.Validate.Sharded);
     ]
 
 let mode_conv =
@@ -285,29 +286,77 @@ let mode_conv =
       ("directives", GP.Validate.Directives);
     ]
 
+(* --domains 0 used to be clamped to 1 deep in the parallel engine; a
+   nonsensical count is a usage error and gets a CLI001 up front, same
+   as every other bad flag value.  --shards only means something to the
+   sharded engine. *)
+let check_counts ~usage ~engine ~domains ~shards =
+  (match domains with
+  | Some d when d < 1 -> usage (Printf.sprintf "--domains must be at least 1 (got %d)" d)
+  | _ -> ());
+  (match shards with
+  | Some s when s < 1 -> usage (Printf.sprintf "--shards must be at least 1 (got %d)" s)
+  | _ -> ());
+  if shards <> None && engine <> GP.Validate.Sharded then
+    usage "--shards applies to --engine sharded only"
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard count for the sharded engine (default: the domain count).  With \
+           $(b,--snapshot) the sharded engine streams the file one shard at a time, so \
+           peak property memory is bounded by the largest shard plus the cross-shard \
+           frontier.")
+
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode domains deadline_ms max_violations
-      stream quarantine max_input_errors retries snapshot fmt =
+  let run schema_path graph_path lenient engine mode domains shards deadline_ms
+      max_violations stream quarantine max_input_errors retries snapshot fmt =
+    let usage msg =
+      die ~fmt ~command:"validate" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ]
+    in
+    check_counts ~usage ~engine ~domains ~shards;
     let sch, _ = or_die ~fmt ~command:"validate" (load_schema ~lenient schema_path) in
     let gov = governor ?deadline_ms ?max_violations () in
     let check, ingest_diags, ingest_summary =
       if snapshot then begin
-        let usage msg =
-          die ~fmt ~command:"validate" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ]
-        in
         if stream || quarantine <> None || max_input_errors <> None then
           usage
             "--snapshot input is already frozen; the streaming ingestion flags apply to \
              PGF text only";
         if engine = GP.Validate.Naive then
           usage
-            "--engine naive validates the source graph text; use linear, indexed, or \
-             parallel with --snapshot";
+            "--engine naive validates the source graph text; use linear, indexed, \
+             parallel, or sharded with --snapshot";
         let plan = GP.Validate.compile sch in
-        let snap =
-          or_die ~fmt ~command:"validate" (load_snapshot (GP.Plan.symtab plan) graph_path)
-        in
-        ((fun () -> GP.Validate.check_snapshot ~engine ~mode ?domains ~gov plan snap), [], [])
+        if engine = GP.Validate.Sharded then begin
+          (* the out-of-core path: int columns mmapped, properties read
+             one shard at a time by the streaming pipeline *)
+          let md =
+            match GP.Snapshot_io.open_mapped (GP.Plan.symtab plan) graph_path with
+            | Ok md -> md
+            | Error e ->
+              die ~fmt ~command:"validate"
+                ~text:(graph_path ^ ": " ^ e.GP.Snapshot_io.code ^ ": " ^ e.GP.Snapshot_io.message)
+                [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ]
+          in
+          ( (fun () ->
+              match GP.Validate.check_mapped ~mode ?shards ~gov plan md with
+              | Ok report -> report
+              | Error e ->
+                die ~fmt ~command:"validate"
+                  ~text:(graph_path ^ ": " ^ e.GP.Snapshot_io.code ^ ": " ^ e.GP.Snapshot_io.message)
+                  [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ]),
+            [], [] )
+        end
+        else
+          let snap =
+            or_die ~fmt ~command:"validate" (load_snapshot (GP.Plan.symtab plan) graph_path)
+          in
+          ( (fun () -> GP.Validate.check_snapshot ~engine ~mode ?domains ~gov plan snap),
+            [], [] )
       end
       else begin
         let streaming = stream || quarantine <> None || max_input_errors <> None in
@@ -321,8 +370,8 @@ let validate_cmd =
           end
           else (or_die ~fmt ~command:"validate" (load_graph graph_path), [], [])
         in
-        ((fun () -> GP.Validate.check ~engine ~mode ?domains ~gov sch g), ingest_diags,
-         ingest_summary)
+        ((fun () -> GP.Validate.check ~engine ~mode ?domains ?shards ~gov sch g),
+         ingest_diags, ingest_summary)
       end
     in
     let outcome =
@@ -356,7 +405,7 @@ let validate_cmd =
     Arg.(
       value
       & opt engine_conv GP.Validate.Indexed
-      & info [ "engine" ] ~doc:"naive, linear, indexed, or parallel.")
+      & info [ "engine" ] ~doc:"naive, linear, indexed, parallel, or sharded.")
   in
   let mode =
     Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")
@@ -366,29 +415,30 @@ let validate_cmd =
       value
       & opt (some int) None
       & info [ "domains" ] ~docv:"N"
-          ~doc:"Domains for the parallel engine (default: all cores).")
+          ~doc:"Domains for the parallel and sharded engines (default: all cores).")
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
     Term.(
       const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
-      $ deadline_arg $ max_violations_arg $ stream_arg $ quarantine_arg
+      $ shards_arg $ deadline_arg $ max_violations_arg $ stream_arg $ quarantine_arg
       $ max_input_errors_arg $ retries_arg $ snapshot_arg $ format_arg)
 
 (* ---- batch ---- *)
 
 let batch_cmd =
-  let run schema_path graph_paths lenient engine mode domains deadline_ms max_violations
-      stream max_input_errors retries snapshot fmt =
+  let run schema_path graph_paths lenient engine mode domains shards deadline_ms
+      max_violations stream max_input_errors retries snapshot fmt =
     let usage msg = die ~fmt ~command:"batch" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ] in
+    check_counts ~usage ~engine ~domains ~shards;
     if snapshot && (stream || max_input_errors <> None) then
       usage
         "--snapshot input is already frozen; the streaming ingestion flags apply to PGF \
          text only";
     if snapshot && engine = GP.Validate.Naive then
       usage
-        "--engine naive validates the source graph text; use linear, indexed, or parallel \
-         with --snapshot";
+        "--engine naive validates the source graph text; use linear, indexed, parallel, \
+         or sharded with --snapshot";
     let sch, _ = or_die ~fmt ~command:"batch" (load_schema ~lenient schema_path) in
     (* one compiled plan for the whole batch; jobs run sequentially (plan
        reuse is sequential-only — within a job the parallel engine may
@@ -422,8 +472,31 @@ let batch_cmd =
     let unreadable path diags =
       { GP.Supervisor.job = path; job_status = GP.Supervisor.Unreadable; attempts = 0; diags }
     in
+    let diag_of_io (e : GP.Snapshot_io.error) = GP.Diag.error ~code:e.code e.message in
     let run_job path =
-      if snapshot then
+      if snapshot && engine = GP.Validate.Sharded then
+        (* out-of-core per job: properties stream one shard at a time;
+           the mapped descriptor closes before the next job opens *)
+        match GP.Snapshot_io.open_mapped (GP.Plan.symtab plan) path with
+        | Error e -> unreadable path [ diag_of_io e ]
+        | Ok md ->
+          let gov = governor ?deadline_ms ?max_violations () in
+          let result = GP.Validate.check_mapped ~mode ?shards ~gov plan md in
+          GP.Snapshot_io.close_mapped md;
+          (match result with
+          | Error e -> unreadable path [ diag_of_io e ]
+          | Ok report ->
+            let status =
+              if report.GP.Validate.complete then GP.Supervisor.Completed
+              else GP.Supervisor.Partial
+            in
+            {
+              GP.Supervisor.job = path;
+              job_status = status;
+              attempts = 1;
+              diags = GP.Validate.diagnostics report;
+            })
+      else if snapshot then
         match load_snapshot (GP.Plan.symtab plan) path with
         | Error (_, diags) -> unreadable path diags
         | Ok snap ->
@@ -446,7 +519,7 @@ let batch_cmd =
         | Ok (g, ingest_diags, ingest_complete) ->
           let gov = governor ?deadline_ms ?max_violations () in
           finish_job path ingest_diags ingest_complete (fun () ->
-              GP.Validate.check_compiled ~engine ~mode ?domains ~gov plan g)
+              GP.Validate.check_compiled ~engine ~mode ?domains ?shards ~gov plan g)
     in
     let batch = GP.Supervisor.make_batch (List.map run_job graph_paths) in
     let diags = GP.Supervisor.batch_diagnostics batch in
@@ -473,7 +546,7 @@ let batch_cmd =
     Arg.(
       value
       & opt engine_conv GP.Validate.Indexed
-      & info [ "engine" ] ~doc:"naive, linear, indexed, or parallel.")
+      & info [ "engine" ] ~doc:"naive, linear, indexed, parallel, or sharded.")
   in
   let mode =
     Arg.(value & opt mode_conv GP.Validate.Strong & info [ "mode" ] ~doc:"strong, weak, or directives.")
@@ -483,7 +556,7 @@ let batch_cmd =
       value
       & opt (some int) None
       & info [ "domains" ] ~docv:"N"
-          ~doc:"Domains for the parallel engine (default: all cores).")
+          ~doc:"Domains for the parallel and sharded engines (default: all cores).")
   in
   Cmd.v
     (Cmd.info "batch"
@@ -494,7 +567,7 @@ let batch_cmd =
           exit code composed from all diagnostics (Input > Budget > Findings > Clean).")
     Term.(
       const run $ schema_arg $ graphs_arg $ lenient_arg $ engine $ mode $ domains
-      $ deadline_arg $ max_violations_arg $ stream_arg $ max_input_errors_arg
+      $ shards_arg $ deadline_arg $ max_violations_arg $ stream_arg $ max_input_errors_arg
       $ retries_arg $ snapshot_arg $ format_arg)
 
 (* ---- sat ---- *)

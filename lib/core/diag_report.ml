@@ -32,6 +32,7 @@ let engine_name = function
   | Pg_validation.Validate.Linear -> "linear"
   | Pg_validation.Validate.Indexed -> "indexed"
   | Pg_validation.Validate.Parallel -> "parallel"
+  | Pg_validation.Validate.Sharded -> "sharded"
 
 let mode_name = function
   | Pg_validation.Validate.Weak -> "weak"

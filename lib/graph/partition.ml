@@ -1,0 +1,153 @@
+(* Node-range partitions of a frozen snapshot (see the .mli).
+
+   The cut is a greedy prefix walk: node i weighs 1 + out-degree, and a
+   boundary is placed as soon as the cumulative weight crosses the next
+   multiple of total/k.  That balances node-rule and owned-edge work
+   without a second pass, and keeps shards contiguous — which is what
+   makes every shard view a [Bigarray.Array1.sub] (an alias of the
+   snapshot's storage, not a copy) and the owned edge set a contiguous
+   slice of [out_adj].
+
+   The frontier is computed in one pass over the edge columns: an edge
+   whose source and target map to different shards is recorded, and both
+   endpoints are flagged.  Everything is sized up front (count, then
+   fill), so a partition allocates O(n + frontier) and no lists. *)
+
+type shard = {
+  index : int;
+  node_lo : int;
+  node_hi : int;
+  adj_lo : int;
+  adj_hi : int;
+  node_id : Snapshot.ints;
+  node_label : Snapshot.ints;
+  out_start : Snapshot.ints;
+  out_adj : Snapshot.ints;
+}
+
+type t = {
+  snap : Snapshot.t;
+  k : int;
+  bounds : int array; (* length k+1; shard s is [bounds.(s), bounds.(s+1)) *)
+  shards : shard array;
+  out_cross : Bytes.t; (* byte i <> 0 iff node i owns a cross-shard edge *)
+  in_cross : Bytes.t; (* byte i <> 0 iff node i receives a cross-shard edge *)
+  frontier_edges : int array;
+  frontier_out_nodes : int array;
+  frontier_in_nodes : int array;
+}
+
+let sub (a : Snapshot.ints) lo len : Snapshot.ints = Bigarray.Array1.sub a lo len
+
+(* Largest s with bounds.(s) <= i: empty shards (equal consecutive cut
+   points) are skipped because the search prefers the highest index. *)
+let find_shard bounds k i =
+  let lo = ref 0 and hi = ref (k - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if bounds.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let make (snap : Snapshot.t) ~shards:k =
+  if k < 1 then invalid_arg "Partition.make: the shard count must be at least 1";
+  let n = snap.Snapshot.n and m = snap.Snapshot.m in
+  let total = n + m in
+  let bounds = Array.make (k + 1) n in
+  bounds.(0) <- 0;
+  let s = ref 1 in
+  let cum = ref 0 in
+  for i = 0 to n - 1 do
+    cum := !cum + 1 + (snap.Snapshot.out_start.{i + 1} - snap.Snapshot.out_start.{i});
+    while !s < k && !cum * k >= !s * total do
+      bounds.(!s) <- i + 1;
+      incr s
+    done
+  done;
+  let shards =
+    Array.init k (fun s ->
+        let node_lo = bounds.(s) and node_hi = bounds.(s + 1) in
+        let adj_lo = snap.Snapshot.out_start.{node_lo} in
+        let adj_hi = snap.Snapshot.out_start.{node_hi} in
+        {
+          index = s;
+          node_lo;
+          node_hi;
+          adj_lo;
+          adj_hi;
+          node_id = sub snap.Snapshot.node_id node_lo (node_hi - node_lo);
+          node_label = sub snap.Snapshot.node_label node_lo (node_hi - node_lo);
+          out_start = sub snap.Snapshot.out_start node_lo (node_hi - node_lo + 1);
+          out_adj = sub snap.Snapshot.out_adj adj_lo (adj_hi - adj_lo);
+        })
+  in
+  let out_cross = Bytes.make (max 1 n) '\000' in
+  let in_cross = Bytes.make (max 1 n) '\000' in
+  let nfe = ref 0 in
+  for j = 0 to m - 1 do
+    let src = snap.Snapshot.edge_src.{j} and tgt = snap.Snapshot.edge_tgt.{j} in
+    if find_shard bounds k src <> find_shard bounds k tgt then begin
+      incr nfe;
+      Bytes.set out_cross src '\001';
+      Bytes.set in_cross tgt '\001'
+    end
+  done;
+  let frontier_edges = Array.make !nfe 0 in
+  let w = ref 0 in
+  for j = 0 to m - 1 do
+    let src = snap.Snapshot.edge_src.{j} and tgt = snap.Snapshot.edge_tgt.{j} in
+    if find_shard bounds k src <> find_shard bounds k tgt then begin
+      frontier_edges.(!w) <- j;
+      incr w
+    end
+  done;
+  let collect flags =
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get flags i <> '\000' then incr count
+    done;
+    let out = Array.make !count 0 in
+    let w = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get flags i <> '\000' then begin
+        out.(!w) <- i;
+        incr w
+      end
+    done;
+    out
+  in
+  {
+    snap;
+    k;
+    bounds;
+    shards;
+    out_cross;
+    in_cross;
+    frontier_edges;
+    frontier_out_nodes = collect out_cross;
+    frontier_in_nodes = collect in_cross;
+  }
+
+let snapshot t = t.snap
+let shard_count t = t.k
+let shard t s = t.shards.(s)
+let shard_of_node t i = find_shard t.bounds t.k i
+
+let bounds_of_node t i =
+  let s = find_shard t.bounds t.k i in
+  (t.bounds.(s), t.bounds.(s + 1))
+
+let has_cross_out t i = Bytes.get t.out_cross i <> '\000'
+let has_cross_in t i = Bytes.get t.in_cross i <> '\000'
+let frontier_edges t = t.frontier_edges
+let frontier_out_nodes t = t.frontier_out_nodes
+let frontier_in_nodes t = t.frontier_in_nodes
+
+let owned_edges t s =
+  let sh = t.shards.(s) in
+  let owned = Array.make (sh.adj_hi - sh.adj_lo) 0 in
+  for x = 0 to Array.length owned - 1 do
+    owned.(x) <- t.snap.Snapshot.out_adj.{sh.adj_lo + x}
+  done;
+  Array.sort Int.compare owned;
+  owned

@@ -5,32 +5,41 @@
    be mapped as Bigarrays of kind [int] directly):
 
      0   magic "GPGSNAP1"
-     8   format version (= 1)
+     8   format version (= 2)
      16  n (nodes)
      24  m (edges)
      32  nsyms (interned symbols referenced by the snapshot)
      40  total file size in bytes (including the trailing checksum)
-     48  13 section offsets: sym, node_id, edge_id, node_label,
+     48  15 section offsets: sym, node_id, edge_id, node_label,
          edge_label, edge_src, edge_tgt, out_start, out_adj, in_start,
-         in_adj, node_props, edge_props
-     152 sections ...
+         in_adj, node_prop_off, edge_prop_off, node_props, edge_props
+     168 sections ...
      size-8  CRC-32 (IEEE) of bytes [0, size-8), stored as int64
 
    The symtab section is nsyms length-prefixed strings in id order.
    Property sections are per-element vectors of (key id, tagged value).
-   The ten integer sections are the raw native-int columns; on a 64-bit
-   little-endian host they are byte-compatible with the mmapped view, so
-   [load] never copies them through the heap.
+   The twelve integer sections are the raw native-int columns; on a
+   64-bit little-endian host they are byte-compatible with the mmapped
+   view, so [load] never copies them through the heap.
+
+   Version 2 adds the two property offset indexes: [node_prop_off] is
+   n+1 absolute byte positions, entry i the start of node i's vector
+   inside the node_props section (entry n its end); [edge_prop_off] the
+   same for edges.  They are what makes a snapshot shard-addressable:
+   {!open_mapped} maps the int columns and the offset indexes but reads
+   no property bytes at all, and {!load_node_props}/{!load_edge_props}
+   then pull exactly one shard's byte range off disk — the streaming
+   sharded validator never touches the other shards' pages.
 
    Symbol ids inside the file are the ids of the *writing* symtab.  The
    loader interns every stored name into the target table and rewrites
    label columns and property keys through the resulting old->new map —
    that is what makes a snapshot schema-independent (see the .mli). *)
 
-let format_version = 1
+let format_version = 2
 let magic = "GPGSNAP1"
-let header_size = 152
-let n_sections = 13
+let n_sections = 15
+let header_size = 48 + (8 * n_sections)
 
 type error = { code : string; message : string }
 
@@ -138,16 +147,22 @@ let rec add_value buf = function
     add_i64 buf (List.length vs);
     List.iter (add_value buf) vs
 
-let add_props buf (props : (int * Value.t) array array) =
-  Array.iter
-    (fun vec ->
+(* Write the vectors and record each one's absolute start position into
+   [offs] (length count+1; the last entry is the end of the section's
+   payload) — the offset index is patched into its placeholder section
+   once the whole body is in bytes. *)
+let add_props buf (offs : int array) (props : (int * Value.t) array array) =
+  Array.iteri
+    (fun i vec ->
+      offs.(i) <- Buffer.length buf;
       add_i64 buf (Array.length vec);
       Array.iter
         (fun (k, v) ->
           add_i64 buf k;
           add_value buf v)
         vec)
-    props
+    props;
+  offs.(Array.length props) <- Buffer.length buf
 
 let write st (snap : Snapshot.t) path =
   let buf = Buffer.create (1 lsl 16) in
@@ -181,13 +196,31 @@ let write st (snap : Snapshot.t) path =
     |]
   in
   Array.iteri (fun k a -> section (1 + k) (fun () -> add_ints buf a)) int_sections;
-  section 11 (fun () -> add_props buf snap.Snapshot.node_props);
-  section 12 (fun () -> add_props buf snap.Snapshot.edge_props);
+  (* placeholder offset indexes; the real positions exist only after the
+     property sections are written, so they are patched into the body *)
+  section 11 (fun () ->
+      for _ = 0 to snap.Snapshot.n do
+        add_i64 buf 0
+      done);
+  section 12 (fun () ->
+      for _ = 0 to snap.Snapshot.m do
+        add_i64 buf 0
+      done);
+  let noffs = Array.make (snap.Snapshot.n + 1) 0 in
+  let eoffs = Array.make (snap.Snapshot.m + 1) 0 in
+  section 13 (fun () -> add_props buf noffs snap.Snapshot.node_props);
+  section 14 (fun () -> add_props buf eoffs snap.Snapshot.edge_props);
   pad_to_8 buf;
   let total = Buffer.length buf + 8 in
   let body = Buffer.to_bytes buf in
   Bytes.set_int64_le body 40 (Int64.of_int total);
   Array.iteri (fun k off -> Bytes.set_int64_le body (48 + (8 * k)) (Int64.of_int off)) offsets;
+  Array.iteri
+    (fun i off -> Bytes.set_int64_le body (offsets.(11) + (8 * i)) (Int64.of_int off))
+    noffs;
+  Array.iteri
+    (fun i off -> Bytes.set_int64_le body (offsets.(12) + (8 * i)) (Int64.of_int off))
+    eoffs;
   let crc = crc32_update 0 (Bytes.unsafe_to_string body) 0 (Bytes.length body) in
   (* temp + rename: a crashed writer never leaves a torn file at [path] *)
   let tmp = path ^ ".tmp" in
@@ -204,7 +237,7 @@ let write st (snap : Snapshot.t) path =
 
 (* ---------- reading ---------- *)
 
-(* A cursor over the fully-read header + symtab + props bytes.  The int
+(* A cursor over fully-read header / symtab / property bytes.  The int
    sections are not read through this — they are mmapped. *)
 type cursor = { data : string; mutable pos : int }
 
@@ -259,18 +292,17 @@ let rec read_value cur =
   | c -> raise (Malformed (Printf.sprintf "unknown value tag %C" c))
 
 (* [remap] translates a stored symbol id to the target symtab's id. *)
-let read_props cur count remap =
-  Array.init count (fun _ ->
-      let len = read_len cur "property vector" in
-      let vec =
-        Array.init len (fun _ ->
-            let k = read_i64 cur in
-            let v = read_value cur in
-            (remap k, v))
-      in
-      (* key order under the writer's ids need not survive the remap *)
-      Array.sort (fun (a, _) (b, _) -> Int.compare a b) vec;
-      vec)
+let read_vec cur remap =
+  let len = read_len cur "property vector" in
+  let vec =
+    Array.init len (fun _ ->
+        let k = read_i64 cur in
+        let v = read_value cur in
+        (remap k, v))
+  in
+  (* key order under the writer's ids need not survive the remap *)
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) vec;
+  vec
 
 let read_header ic path =
   let hdr = Bytes.create header_size in
@@ -369,6 +401,19 @@ let validate_structure ~n ~m ~(edge_src : Snapshot.ints) ~(edge_tgt : Snapshot.i
   check_csr "out" out_start out_adj;
   check_csr "in" in_start in_adj
 
+(* The property offset indexes are what load_node_props/load_edge_props
+   seek by, so prove them monotone and inside their section here — one
+   pass at open time instead of a bounds check per property read. *)
+let validate_prop_offsets what (offs : Snapshot.ints) count ~base ~limit =
+  if offs.{0} <> base then
+    raise (Malformed (Printf.sprintf "%s offset index does not start at its section" what));
+  for i = 0 to count - 1 do
+    if offs.{i} > offs.{i + 1} then
+      raise (Malformed (Printf.sprintf "%s offset index not monotone at %d" what i))
+  done;
+  if offs.{count} > limit then
+    raise (Malformed (Printf.sprintf "%s offset index overruns its section" what))
+
 let remap_labels remap (a : Snapshot.ints) =
   let len = Bigarray.Array1.dim a in
   let b = Snapshot.ints_create len in
@@ -377,11 +422,32 @@ let remap_labels remap (a : Snapshot.ints) =
   done;
   b
 
-let load st path =
+(* ---------- the mapped handle ---------- *)
+
+type mapped = {
+  m_path : string;
+  m_ic : in_channel; (* kept open for property reads; close_mapped closes it *)
+  m_snap : Snapshot.t; (* int columns mapped; property slots start empty *)
+  m_trans : int array;
+  m_nsyms : int;
+  m_node_off : Snapshot.ints;
+  m_edge_off : Snapshot.ints;
+}
+
+let mapped_snapshot md = md.m_snap
+let close_mapped md = close_in_noerr md.m_ic
+
+let remap_of md id =
+  if id < 0 || id >= md.m_nsyms then
+    raise (Malformed (Printf.sprintf "symbol id %d out of range" id));
+  md.m_trans.(id)
+
+let open_mapped st path =
   match
-    let ic = try open_in_bin path with Sys_error msg -> raise (Sys_error msg) in
+    let ic = open_in_bin path in
+    let ok = ref false in
     Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
+      ~finally:(fun () -> if not !ok then close_in_noerr ic)
       (fun () ->
         let _, n, m, nsyms, total, offsets = read_header ic path in
         match verify_crc ic total with
@@ -414,10 +480,8 @@ let load st path =
           expect 8 m;
           expect 9 (n + 1);
           expect 10 m;
-          let node_props_cur = read_section ic ~from:offsets.(11) ~until:offsets.(12) in
-          let node_props = read_props node_props_cur n remap in
-          let edge_props_cur = read_section ic ~from:offsets.(12) ~until:(total - 8) in
-          let edge_props = read_props edge_props_cur m remap in
+          expect 11 (n + 1);
+          expect 12 (m + 1);
           (* mmap the int columns; the mapping outlives the fd *)
           let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
           Fun.protect
@@ -429,36 +493,146 @@ let load st path =
               let edge_src = sec 5 m and edge_tgt = sec 6 m in
               let out_start = sec 7 (n + 1) and out_adj = sec 8 m in
               let in_start = sec 9 (n + 1) and in_adj = sec 10 m in
+              let node_off = sec 11 (n + 1) and edge_off = sec 12 (m + 1) in
               validate_structure ~n ~m ~edge_src ~edge_tgt ~out_start ~out_adj
                 ~in_start ~in_adj;
+              validate_prop_offsets "node property" node_off n ~base:offsets.(13)
+                ~limit:offsets.(14);
+              validate_prop_offsets "edge property" edge_off m ~base:offsets.(14)
+                ~limit:(total - 8);
               (* label columns carry writer ids: rewrite them through the
                  remap into fresh (non-mapped) vectors.  Remapping is
                  injective, so equal-label runs inside each CSR segment
                  stay contiguous and no re-sort is needed. *)
               let node_label = remap_labels remap node_label in
               let edge_label = remap_labels remap edge_label in
+              ok := true;
               Ok
                 {
-                  Snapshot.n;
-                  m;
-                  node_id;
-                  edge_id;
-                  node_label;
-                  edge_label;
-                  edge_src;
-                  edge_tgt;
-                  node_props;
-                  edge_props;
-                  out_start;
-                  out_adj;
-                  in_start;
-                  in_adj;
+                  m_path = path;
+                  m_ic = ic;
+                  m_trans = trans;
+                  m_nsyms = nsyms;
+                  m_node_off = node_off;
+                  m_edge_off = edge_off;
+                  m_snap =
+                    {
+                      Snapshot.n;
+                      m;
+                      node_id;
+                      edge_id;
+                      node_label;
+                      edge_label;
+                      edge_src;
+                      edge_tgt;
+                      node_props = Array.make n [||];
+                      edge_props = Array.make m [||];
+                      out_start;
+                      out_adj;
+                      in_start;
+                      in_adj;
+                    };
                 }))
   with
   | result -> result
   | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" path msg
   | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" path msg
   | exception End_of_file -> err "IO004" "malformed snapshot %s: unexpected end of file" path
+
+let wrap_prop_errors md f =
+  match f () with
+  | () -> Ok ()
+  | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" md.m_path msg
+  | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" md.m_path msg
+  | exception End_of_file ->
+    err "IO004" "malformed snapshot %s: unexpected end of file" md.m_path
+
+(* Parse the vectors of [offs]-indexed elements [parse_at] lists out of
+   one contiguous byte range [base, stop) read in a single request. *)
+let read_range md ~base ~stop =
+  seek_in md.m_ic base;
+  let b = Bytes.create (stop - base) in
+  really_input md.m_ic b 0 (stop - base);
+  { data = Bytes.unsafe_to_string b; pos = 0 }
+
+let parse_at md cur ~base (offs : Snapshot.ints) i =
+  cur.pos <- offs.{i} - base;
+  let vec = read_vec cur (remap_of md) in
+  if cur.pos <> offs.{i + 1} - base then
+    raise (Malformed (Printf.sprintf "property vector %d does not end at its offset" i));
+  vec
+
+let load_node_props md ~lo ~hi =
+  wrap_prop_errors md (fun () ->
+      if lo < 0 || hi > md.m_snap.Snapshot.n || lo > hi then
+        invalid_arg "Snapshot_io.load_node_props: range out of bounds";
+      if hi > lo then begin
+        let base = md.m_node_off.{lo} in
+        let cur = read_range md ~base ~stop:md.m_node_off.{hi} in
+        for i = lo to hi - 1 do
+          md.m_snap.Snapshot.node_props.(i) <- parse_at md cur ~base md.m_node_off i
+        done
+      end)
+
+(* Coalesced reads: consecutive requested edges whose byte ranges are
+   within [gap] of each other share one read request, so a shard's owned
+   edges (clustered by construction) cost a few sequential reads instead
+   of one seek per edge. *)
+let coalesce_gap = 4096
+
+let load_edge_props md (edges : int array) =
+  wrap_prop_errors md (fun () ->
+      let len = Array.length edges in
+      Array.iteri
+        (fun x e ->
+          if e < 0 || e >= md.m_snap.Snapshot.m then
+            invalid_arg "Snapshot_io.load_edge_props: edge index out of bounds";
+          if x > 0 && edges.(x - 1) > e then
+            invalid_arg "Snapshot_io.load_edge_props: edge indexes must be ascending")
+        edges;
+      let x = ref 0 in
+      while !x < len do
+        let y = ref (!x + 1) in
+        while
+          !y < len
+          && md.m_edge_off.{edges.(!y)} - md.m_edge_off.{edges.(!y - 1) + 1}
+             <= coalesce_gap
+        do
+          incr y
+        done;
+        let base = md.m_edge_off.{edges.(!x)} in
+        let cur = read_range md ~base ~stop:md.m_edge_off.{edges.(!y - 1) + 1} in
+        for z = !x to !y - 1 do
+          let e = edges.(z) in
+          md.m_snap.Snapshot.edge_props.(e) <- parse_at md cur ~base md.m_edge_off e
+        done;
+        x := !y
+      done)
+
+let drop_node_props md ~lo ~hi =
+  for i = lo to hi - 1 do
+    md.m_snap.Snapshot.node_props.(i) <- [||]
+  done
+
+let drop_edge_props md (edges : int array) =
+  Array.iter (fun e -> md.m_snap.Snapshot.edge_props.(e) <- [||]) edges
+
+(* ---------- full load / info ---------- *)
+
+let load st path =
+  match open_mapped st path with
+  | Error e -> Error e
+  | Ok md ->
+    Fun.protect
+      ~finally:(fun () -> close_mapped md)
+      (fun () ->
+        let n = md.m_snap.Snapshot.n and m = md.m_snap.Snapshot.m in
+        match load_node_props md ~lo:0 ~hi:n with
+        | Error e -> Error e
+        | Ok () -> (
+          match load_edge_props md (Array.init m Fun.id) with
+          | Error e -> Error e
+          | Ok () -> Ok md.m_snap))
 
 let info path =
   match

@@ -106,6 +106,46 @@ val ds7 : ctx -> Pg_schema.Plan.key -> Violation.t list -> Violation.t list
     collision-free serialization of the key tuple.  Parallelized across
     constraints, not node slices. *)
 
+val ds7_groups :
+  ctx -> Pg_schema.Plan.key -> (string, int list) Hashtbl.t -> lo:int -> hi:int -> unit
+(** DS7 phase 1: group the nodes of [\[lo, hi)] by their serialized key
+    tuple into the given table.  The sharded engines run one call per
+    shard (each into its own table) and merge by concatenating the
+    tables' lists per key — group member order is irrelevant to phase
+    2.  Governed: checkpoints per node and notes the completed scans. *)
+
+val ds7_emit :
+  ctx ->
+  Pg_schema.Plan.key ->
+  (string, int list) Hashtbl.t ->
+  Violation.t list ->
+  Violation.t list
+(** DS7 phase 2: the pairwise violations of every group of two or more
+    nodes.  Notes the fresh findings against the governor. *)
+
+(** {1 Shard-local and frontier passes}
+
+    The sharded engine family splits the rules by locality against a
+    {!Pg_graph.Partition}: {!shard_local} evaluates everything about a
+    shard that needs no other shard's state (WS1–WS4, SS1–SS2, DS5/DS6,
+    intra-shard DS1–DS4 and the per-edge rules on owned intra edges),
+    and {!frontier} evaluates the cross-shard complement (DS1 sub-runs
+    with remote targets, DS3/DS4 for nodes with cross-shard in-edges,
+    WS2/WS3/SS3/SS4 on the frontier edges).  Every rule instance is
+    computed exactly once across the two, so the union — plus a
+    two-phase DS7 via {!ds7_groups}/{!ds7_emit} — normalizes to a report
+    byte-identical to {!Indexed}'s for every shard count. *)
+
+val shard_local :
+  ctx -> Pg_graph.Partition.t -> int -> rule_set -> Violation.t list -> Violation.t list
+(** The shard-local pass over shard [s]: its node range through the
+    fused per-node body, then its owned intra edges through the shard's
+    rebased CSR sub-view. *)
+
+val frontier :
+  ctx -> Pg_graph.Partition.t -> rule_set -> Violation.t list -> Violation.t list
+(** The cross-shard pass, run once after every shard-local pass. *)
+
 (** {1 Fused passes} *)
 
 val node_pass : ctx -> rule_set -> int -> Violation.t list -> Violation.t list

@@ -1,0 +1,73 @@
+(* The streaming shard pipeline: validate a mapped snapshot one shard at
+   a time, so the resident property set is bounded by the largest shard
+   plus the frontier — never the whole graph.
+
+   The int columns of a {!Snapshot_io.mapped} snapshot are mmapped up
+   front (the OS pages them on demand), but its property slots start
+   empty.  For each shard in turn the pipeline
+
+   - {e builds} it: reads the shard's node property vectors (one
+     contiguous range through the offset index) and its owned edges'
+     vectors (coalesced range reads);
+   - {e validates} it: the shard-local kernel pass plus the per-shard
+     DS7 grouping, exactly as the in-memory sharded engine runs them;
+   - {e drops} it: resets the node slots and the intra-edge slots to
+     empty before the next shard is read.  Cross-shard edges' properties
+     stay resident — the frontier pass still needs them — so the only
+     state carried across shards is the frontier and the DS7 group
+     tables.
+
+   After the last shard the frontier pass and the global DS7 merge run
+   over what was retained, and the union normalizes to the same
+   byte-identical report as every other engine.  A governed stop between
+   shards skips the remaining loads; the partial report stays a subset
+   of the full one (unread properties can only remove findings, and the
+   kernels treat an empty slot as a node or edge without properties). *)
+
+module K = Kernels
+module Partition = Pg_graph.Partition
+module Snapshot = Pg_graph.Snapshot
+module Sio = Pg_graph.Snapshot_io
+module Plan = Pg_schema.Plan
+
+let ( let* ) = Result.bind
+
+let check ?env ?(gov = Governor.no_run) ~shards plan mapped (rs : K.rule_set) =
+  let snap = Sio.mapped_snapshot mapped in
+  let ctx = K.ctx_of_snap ?env ~gov plan snap in
+  let part = Partition.make snap ~shards in
+  let keys = if rs.K.dirs then Plan.keys plan else [||] in
+  let tables = Array.map (fun _ -> Hashtbl.create 256) keys in
+  let need_edge_props = rs.K.weak || rs.K.strong in
+  let tgt = snap.Snapshot.edge_tgt in
+  let rec loop s acc =
+    if s >= shards || Governor.stopped gov then Ok acc
+    else begin
+      let sh = Partition.shard part s in
+      let lo = sh.Partition.node_lo and hi = sh.Partition.node_hi in
+      let owned = Partition.owned_edges part s in
+      let* () = Sio.load_node_props mapped ~lo ~hi in
+      let* () =
+        if need_edge_props then Sio.load_edge_props mapped owned else Ok ()
+      in
+      let acc = K.shard_local ctx part s rs acc in
+      Array.iteri (fun ki key -> K.ds7_groups ctx key tables.(ki) ~lo ~hi) keys;
+      Sio.drop_node_props mapped ~lo ~hi;
+      if need_edge_props then begin
+        let intra =
+          Array.to_list owned
+          |> List.filter (fun e ->
+                 let t = tgt.{e} in
+                 t >= lo && t < hi)
+          |> Array.of_list
+        in
+        Sio.drop_edge_props mapped intra
+      end;
+      loop (s + 1) acc
+    end
+  in
+  let* locals = loop 0 [] in
+  let acc = K.frontier ctx part rs locals in
+  let acc = ref acc in
+  Array.iteri (fun ki key -> acc := K.ds7_emit ctx key tables.(ki) !acc) keys;
+  Ok (Violation.normalize !acc)

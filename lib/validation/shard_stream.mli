@@ -1,0 +1,23 @@
+(** The streaming shard pipeline: build, validate and drop one
+    {!Pg_graph.Partition} shard of a {!Pg_graph.Snapshot_io.mapped}
+    snapshot at a time.
+
+    The mapped snapshot's int columns are available from the start (the
+    OS pages the mmap on demand); property vectors are read per shard
+    through the version-2 offset indexes and dropped before the next
+    shard is touched, so peak heap is bounded by the largest shard plus
+    the cross-shard frontier instead of the whole property set.  The
+    report is byte-identical to every in-memory engine's. *)
+
+val check :
+  ?env:Pg_schema.Values_w.env ->
+  ?gov:Governor.run ->
+  shards:int ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Snapshot_io.mapped ->
+  Kernels.rule_set ->
+  (Violation.t list, Pg_graph.Snapshot_io.error) result
+(** Sequential over the shards; errors are the I/O layer's (a failed
+    property read).  A governed stop between shards returns the partial
+    prefix.  [gov] defaults to {!Governor.no_run}.
+    @raise Invalid_argument if [shards < 1]. *)

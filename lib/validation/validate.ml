@@ -1,7 +1,7 @@
 module G = Pg_graph.Property_graph
 module Plan = Pg_schema.Plan
 
-type engine = Naive | Linear | Indexed | Parallel
+type engine = Naive | Linear | Indexed | Parallel | Sharded
 type mode = Weak | Directives | Strong
 
 type report = {
@@ -54,19 +54,20 @@ let report_of ~mode ~engine run violations g =
   report_of_counts ~mode ~engine run violations ~nodes_checked:(G.node_count g)
     ~edges_checked:(G.edge_count g)
 
-let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains
+let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?shards
     ?(gov = Governor.unlimited) plan g =
   let run = Governor.start gov in
   let violations =
     match engine with
     | Naive -> naive_violations ~mode ?env ~run (Plan.schema plan) g
-    | (Linear | Indexed | Parallel) as engine ->
+    | (Linear | Indexed | Parallel | Sharded) as engine ->
       let ctx = Kernels.make_ctx ?env ~gov:run plan g in
       let rs = rules_of mode in
       (match engine with
       | Linear -> Linear.check ctx rs
       | Indexed -> Indexed.check ctx rs
       | Parallel -> Parallel.check ?domains ctx rs
+      | Sharded -> Parallel.check_sharded ?domains ?shards ctx rs
       | Naive -> assert false)
   in
   report_of ~mode ~engine run violations g
@@ -76,7 +77,7 @@ let check_compiled ?(engine = Indexed) ?(mode = Strong) ?env ?domains
    raw graph, only the ctx.  Naive is the one engine that cannot — it is
    a string-level oracle over the original Property_graph text, which a
    snapshot does not retain. *)
-let check_snapshot ?(engine = Indexed) ?(mode = Strong) ?env ?domains
+let check_snapshot ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?shards
     ?(gov = Governor.unlimited) plan snap =
   let run = Governor.start gov in
   let violations =
@@ -84,26 +85,42 @@ let check_snapshot ?(engine = Indexed) ?(mode = Strong) ?env ?domains
     | Naive ->
       invalid_arg
         "Validate.check_snapshot: the naive engine needs the source graph, not a snapshot"
-    | (Linear | Indexed | Parallel) as engine ->
+    | (Linear | Indexed | Parallel | Sharded) as engine ->
       let ctx = Kernels.ctx_of_snap ?env ~gov:run plan snap in
       let rs = rules_of mode in
       (match engine with
       | Linear -> Linear.check ctx rs
       | Indexed -> Indexed.check ctx rs
       | Parallel -> Parallel.check ?domains ctx rs
+      | Sharded -> Parallel.check_sharded ?domains ?shards ctx rs
       | Naive -> assert false)
   in
   report_of_counts ~mode ~engine run violations ~nodes_checked:snap.Pg_graph.Snapshot.n
     ~edges_checked:snap.Pg_graph.Snapshot.m
 
-let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?(gov = Governor.unlimited)
-    sch g =
+(* Out-of-core validation: the streaming shard pipeline over a mapped
+   snapshot, one shard's properties resident at a time.  Always the
+   [Sharded] engine; errors are the I/O layer's (a failed property
+   read). *)
+let check_mapped ?(mode = Strong) ?env ?(shards = 1) ?(gov = Governor.unlimited) plan
+    mapped =
+  let run = Governor.start gov in
+  match Shard_stream.check ?env ~gov:run ~shards plan mapped (rules_of mode) with
+  | Error _ as e -> e
+  | Ok violations ->
+    let snap = Pg_graph.Snapshot_io.mapped_snapshot mapped in
+    Ok
+      (report_of_counts ~mode ~engine:Sharded run violations
+         ~nodes_checked:snap.Pg_graph.Snapshot.n ~edges_checked:snap.Pg_graph.Snapshot.m)
+
+let check ?(engine = Indexed) ?(mode = Strong) ?env ?domains ?shards
+    ?(gov = Governor.unlimited) sch g =
   match engine with
   | Naive ->
     let run = Governor.start gov in
     report_of ~mode ~engine run (naive_violations ~mode ?env ~run sch g) g
-  | Linear | Indexed | Parallel ->
-    check_compiled ~engine ~mode ?env ?domains ~gov (Plan.compile sch) g
+  | Linear | Indexed | Parallel | Sharded ->
+    check_compiled ~engine ~mode ?env ?domains ?shards ~gov (Plan.compile sch) g
 
 let conforms ?engine ?env ?domains sch g =
   (check ?engine ~mode:Strong ?env ?domains sch g).violations = []
@@ -140,6 +157,7 @@ let pp_report ppf report =
     | Linear -> "linear"
     | Indexed -> "indexed"
     | Parallel -> "parallel"
+    | Sharded -> "sharded"
   in
   if not report.complete then begin
     (* Partial result: the scan counts are work units (per-rule engines

@@ -19,6 +19,12 @@ type engine =
   | Parallel
       (** the compiled kernels sharded across OCaml 5 domains; reports
           are byte-identical to [Linear] and [Indexed] *)
+  | Sharded
+      (** owner-computes over an explicit {!Pg_graph.Partition}: one
+          task per node-range shard plus a cross-shard frontier pass,
+          with the shard count decoupled from the domain count
+          ([shards]); reports are byte-identical to [Indexed] for every
+          shard/domain combination *)
 
 type mode =
   | Weak  (** Definition 5.1: WS1–WS4 *)
@@ -54,6 +60,7 @@ val check_compiled :
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
   ?domains:int ->
+  ?shards:int ->
   ?gov:Governor.t ->
   Pg_schema.Plan.t ->
   Pg_graph.Property_graph.t ->
@@ -69,6 +76,7 @@ val check_snapshot :
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
   ?domains:int ->
+  ?shards:int ->
   ?gov:Governor.t ->
   Pg_schema.Plan.t ->
   Pg_graph.Snapshot.t ->
@@ -81,17 +89,33 @@ val check_snapshot :
     string-level oracle over the original graph text):
     @raise Invalid_argument if [engine = Naive]. *)
 
+val check_mapped :
+  ?mode:mode ->
+  ?env:Pg_schema.Values_w.env ->
+  ?shards:int ->
+  ?gov:Governor.t ->
+  Pg_schema.Plan.t ->
+  Pg_graph.Snapshot_io.mapped ->
+  (report, Pg_graph.Snapshot_io.error) result
+(** Out-of-core validation through {!Shard_stream}: the snapshot stays
+    mapped on disk and one shard's property vectors are resident at a
+    time ([shards] defaults to [1] — whole-graph residency).  The engine
+    is always [Sharded]; the report is byte-identical to the in-memory
+    engines'.  Errors are the I/O layer's (a failed property read). *)
+
 val check :
   ?engine:engine ->
   ?mode:mode ->
   ?env:Pg_schema.Values_w.env ->
   ?domains:int ->
+  ?shards:int ->
   ?gov:Governor.t ->
   Pg_schema.Schema.t ->
   Pg_graph.Property_graph.t ->
   report
 (** Defaults: [engine = Indexed], [mode = Strong].  [domains] (default:
-    all cores) only affects the [Parallel] engine.
+    all cores) affects the [Parallel] and [Sharded] engines; [shards]
+    (default: [domains]) only the [Sharded] one.
 
     [gov] (default {!Governor.unlimited}) bounds the run: on deadline
     expiry, violation-cap overflow or cancellation the engines stop at

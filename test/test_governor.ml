@@ -23,13 +23,14 @@ module Instance_gen = Graphql_pg.Instance_gen
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let seeded_rng seed = Random.State.make [| seed; 0xB06E7 |]
-let engines = [ Val.Naive; Val.Linear; Val.Indexed; Val.Parallel ]
+let engines = [ Val.Naive; Val.Linear; Val.Indexed; Val.Parallel; Val.Sharded ]
 
 let engine_name = function
   | Val.Naive -> "naive"
   | Val.Linear -> "linear"
   | Val.Indexed -> "indexed"
   | Val.Parallel -> "parallel"
+  | Val.Sharded -> "sharded"
 
 let ok_schema text =
   match Graphql_pg.Of_ast.parse text with

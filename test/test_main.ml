@@ -45,4 +45,5 @@ let () =
       ("frontends", Test_frontends.suite);
       ("stream", Test_stream.suite);
       ("snapshot_io", Test_snapshot_io.suite);
+      ("sharded", Test_sharded.suite);
     ]
