@@ -615,6 +615,114 @@ let snapshot_reopen () =
   Sys.remove snap_path
 
 (* ------------------------------------------------------------------ *)
+(* E20 — the validation daemon (gpgs serve): client-storm throughput
+   over a unix socket.  The plan is compiled once on the first request
+   and served from the content-addressed cache afterwards, so the sweep
+   measures the steady-state request rate of the worker pool, not
+   schema compilation.                                                  *)
+
+let serve_storm () =
+  section "E20: validation service — client storm over a unix socket";
+  let write_file path text =
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc
+  in
+  let persons = if fast then 50 else 500 in
+  let workers = 4 in
+  let sch_path = Filename.temp_file "gpgs_e20" ".graphql" in
+  let pgf_path = Filename.temp_file "gpgs_e20" ".pgf" in
+  write_file sch_path GP.Social.schema_text;
+  write_file pgf_path (GP.Pgf.print (GP.Social.generate ~persons ()));
+  let sock = Filename.temp_file "gpgs_e20" ".sock" in
+  let stop = Atomic.make false in
+  let ready = Atomic.make false in
+  let service = Pg_server.Service.create () in
+  let config =
+    {
+      (Pg_server.Server.default_config (Pg_server.Server.Unix_socket sock)) with
+      Pg_server.Server.workers;
+      max_pending = 64;
+    }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Pg_server.Server.run ~stop
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          config service)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.01
+  done;
+  let request =
+    GP.Json.to_string
+      (GP.Json.Assoc
+         [
+           ("op", GP.Json.String "validate");
+           ("schema", GP.Json.String sch_path);
+           ("graph", GP.Json.String pgf_path);
+         ])
+    ^ "\n"
+  in
+  (* One connection per client; strictly serial request/response, so a
+     response is fully drained (up to its newline) before the next send. *)
+  let client n () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let req = Bytes.of_string request in
+    let chunk = Bytes.create 65536 in
+    let served = ref 0 in
+    for _ = 1 to n do
+      let rec send pos =
+        if pos < Bytes.length req then send (pos + Unix.write fd req pos (Bytes.length req - pos))
+      in
+      send 0;
+      let rec drain () =
+        let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if r = 0 then failwith "E20: server closed the connection"
+        else if not (Bytes.exists (fun c -> c = '\n') (Bytes.sub chunk 0 r)) then drain ()
+      in
+      drain ();
+      incr served
+    done;
+    Unix.close fd;
+    !served
+  in
+  (* warm the plan cache so the sweep measures the served steady state *)
+  ignore (client 1 ());
+  let counts = if fast then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let per_client = if fast then 20 else 100 in
+  Printf.printf "  %d persons per graph, %d workers\n" persons workers;
+  Printf.printf "  %-8s %10s %12s %10s\n" "clients" "requests" "wall (ms)" "req/s";
+  List.iter
+    (fun clients ->
+      let t0 = Unix.gettimeofday () in
+      let ds = List.init clients (fun _ -> Domain.spawn (fun () -> client per_client ())) in
+      let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 ds in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let rps = float_of_int total /. (wall_ms /. 1000.) in
+      Printf.printf "  %-8d %10d %12.1f %10.0f\n" clients total wall_ms rps;
+      let cs = Pg_server.Service.plan_stats service in
+      record "E20"
+        [
+          ("series", GP.Json.String "client_sweep");
+          ("persons", GP.Json.Int persons);
+          ("workers", GP.Json.Int workers);
+          ("clients", GP.Json.Int clients);
+          ("requests", GP.Json.Int total);
+          ("wall_ms", GP.Json.Float wall_ms);
+          ("requests_per_sec", GP.Json.Float rps);
+          ("plan_cache_hits", GP.Json.Int cs.Pg_server.Cache.hits);
+          ("plan_cache_misses", GP.Json.Int cs.Pg_server.Cache.misses);
+        ])
+    counts;
+  Atomic.set stop true;
+  Domain.join daemon;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ sch_path; pgf_path; sock ]
+
+(* ------------------------------------------------------------------ *)
 (* E7b — per-mode cost breakdown on a fixed workload                    *)
 
 let rule_breakdown () =
@@ -1023,6 +1131,7 @@ let experiments =
     ("E17", streaming_ingestion);
     ("E18", snapshot_reopen);
     ("E19", sharded_scaling);
+    ("E20", serve_storm);
     ("E7b", rule_breakdown);
     ("E8", example_6_1);
     ("E9", sat_reduction_scaling);

@@ -928,6 +928,176 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Describe a PGF graph.")
     Term.(const run $ graph_arg $ format_arg)
 
+(* ---- serve ---- *)
+
+(* The validation daemon: newline-delimited JSON requests over a unix
+   or TCP socket, responses being the same envelopes `validate --format
+   json` prints (compact-rendered).  All the robustness machinery lives
+   in Pg_server; this command only parses flags, wires the signals, and
+   prints the ready line. *)
+let serve_cmd =
+  let run socket host port workers max_pending max_request_kb read_timeout_ms drain_grace_ms
+      deadline_ms max_violations retries plan_cache snapshot_cache debug_ops =
+    let usage msg =
+      prerr_endline ("gpgs serve: " ^ msg);
+      exit exit_input
+    in
+    let address =
+      match (socket, port) with
+      | Some _, Some _ -> usage "--socket and --port are mutually exclusive"
+      | Some path, None -> Pg_server.Server.Unix_socket path
+      | None, Some p when p < 0 -> usage (Printf.sprintf "--port must be non-negative (got %d)" p)
+      | None, Some p -> Pg_server.Server.Tcp (host, p)
+      | None, None -> usage "one of --socket PATH or --port PORT is required"
+    in
+    if workers < 1 then usage (Printf.sprintf "--workers must be at least 1 (got %d)" workers);
+    if max_pending < 0 then
+      usage (Printf.sprintf "--max-pending must be non-negative (got %d)" max_pending);
+    if max_request_kb < 1 then
+      usage (Printf.sprintf "--max-request-kb must be at least 1 (got %d)" max_request_kb);
+    if retries < 0 then usage (Printf.sprintf "--retries must be non-negative (got %d)" retries);
+    let service =
+      Pg_server.Service.create
+        ~config:
+          {
+            Pg_server.Service.plan_capacity = max 1 plan_cache;
+            snapshot_capacity = max 1 snapshot_cache;
+            default_deadline_ms = deadline_ms;
+            default_max_violations = max_violations;
+            retries;
+            debug_ops;
+          }
+        ()
+    in
+    let config =
+      {
+        (Pg_server.Server.default_config address) with
+        Pg_server.Server.workers;
+        max_pending;
+        max_request_bytes = max_request_kb * 1024;
+        read_timeout_ms;
+        drain_grace_ms;
+      }
+    in
+    let stop = Atomic.make false in
+    let quit _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+    let on_ready resolved =
+      (match resolved with
+      | Pg_server.Server.Unix_socket path -> Printf.printf "gpgs: serving on unix:%s\n%!" path
+      | Pg_server.Server.Tcp (h, p) -> Printf.printf "gpgs: serving on tcp:%s:%d\n%!" h p);
+      ignore resolved
+    in
+    Pg_server.Server.run ~stop ~on_ready config service;
+    (* run returning is the clean drain *)
+    exit 0
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a unix domain socket at $(docv).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for $(b,--port) (default: loopback).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP $(docv); $(b,0) picks an ephemeral port (printed on the ready line).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains; each serves one connection at a time.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Accepted connections allowed to wait for a worker; beyond it new connections \
+             are shed with an $(b,SRV004) envelope.")
+  in
+  let max_request_kb_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-request-kb" ] ~docv:"KB"
+          ~doc:"Request frame size limit; larger frames get $(b,SRV002) and the connection closes.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "read-timeout-ms" ] ~docv:"MS"
+          ~doc:"Close a connection that stays idle mid-frame for longer than $(docv).")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 2_000.
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT: wait up to $(docv) for in-flight requests, then cancel \
+             budgeted jobs at their next governor checkpoint.")
+  in
+  let serve_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default validation deadline for requests that carry none; a run it cuts short \
+             gains an $(b,SRV003) diagnostic.")
+  in
+  let serve_max_violations_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-violations" ] ~docv:"N"
+          ~doc:"Default violation cap for requests that carry none.")
+  in
+  let serve_retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Supervisor retries per request for transient failures; crashes always become \
+             $(b,SRV005) envelopes, never a dead worker.")
+  in
+  let plan_cache_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Compiled-plan LRU capacity (content-hash invalidated).")
+  in
+  let snapshot_cache_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "snapshot-cache" ] ~docv:"N"
+          ~doc:"Loaded-snapshot LRU capacity (content-hash invalidated).")
+  in
+  let debug_ops_arg =
+    Arg.(
+      value & flag
+      & info [ "debug-ops" ]
+          ~doc:"Honour the fault-injection ops (boom, sleep) used by the test suite.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the validation daemon: newline-delimited JSON requests whose responses are \
+          the $(b,validate --format json) envelopes, with plan/snapshot caching, a worker \
+          pool, load shedding, and graceful drain on SIGTERM.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ workers_arg $ max_pending_arg
+      $ max_request_kb_arg $ read_timeout_arg $ drain_grace_arg $ serve_deadline_arg
+      $ serve_max_violations_arg $ serve_retries_arg $ plan_cache_arg $ snapshot_cache_arg
+      $ debug_ops_arg)
+
 let () =
   let info =
     Cmd.info "gpgs" ~version:"1.0.0"
@@ -935,7 +1105,7 @@ let () =
   in
   let group =
     Cmd.group info
-      [ parse_cmd; check_cmd; validate_cmd; batch_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; snapshot_cmd; stats_cmd ]
+      [ parse_cmd; check_cmd; validate_cmd; batch_cmd; sat_cmd; reduce_cmd; extend_cmd; doc_cmd; cypher_cmd; gen_cmd; query_cmd; repair_cmd; diff_cmd; export_cmd; snapshot_cmd; stats_cmd; serve_cmd ]
   in
   let code =
     try

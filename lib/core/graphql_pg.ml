@@ -61,6 +61,7 @@ module Pgf = Pg_graph.Pgf
 module Graphml = Pg_graph.Graphml
 module Chunked = Pg_graph.Chunked
 module Stream = Pg_graph.Stream
+module Retry = Pg_graph.Retry
 module Stats = Pg_graph.Stats
 module Symtab = Pg_graph.Symtab
 module Snapshot = Pg_graph.Snapshot

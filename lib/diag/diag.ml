@@ -112,8 +112,9 @@ let pp_text ppf d =
     (* Pg_angles.Angles_validate.pp_violation: "[rule] message" with the
        Angles rule name carried as the subject *)
     Format.fprintf ppf "[%s] %s" (Option.value d.subject ~default:d.code) d.message
-  | ("SCH" | "SAT" | "VAL" | "IO" | "CLI"), _ ->
-    (* consistency issues, verdicts and I/O errors print bare messages *)
+  | ("SCH" | "SAT" | "VAL" | "IO" | "CLI" | "SRV"), _ ->
+    (* consistency issues, verdicts, I/O and service errors print bare
+       messages *)
     Format.pp_print_string ppf d.message
   | _ -> Format.fprintf ppf "%s: [%s] %s" (severity_to_string d.severity) d.code d.message
 

@@ -13,6 +13,8 @@
      SAT0xx   object-type satisfiability, Section 6.2 (Pg_sat.Satisfiability)
      DIFF0xx  schema evolution (Pg_validation.Schema_diff)
      ANG0xx   the Angles baseline validator (Pg_angles.Angles_validate)
+     SRV0xx   the validation service (gpgs serve): frame, overload and
+              worker faults
      IO0xx    file system / input format errors
      CLI0xx   command-line usage errors *)
 
@@ -104,6 +106,12 @@ let all =
     (* ---- query engine / repair ---- *)
     e "QRY001" Input "the GraphQL query failed to parse, validate, or execute";
     e "REP001" Finding "the graph could not be repaired into strong satisfaction within bounds";
+    (* ---- validation service (gpgs serve) ---- *)
+    e "SRV001" Input "malformed request frame (not one JSON request object per line)";
+    e "SRV002" Input "request frame exceeds the server's size limit";
+    e "SRV003" Budget "request hit the server's default deadline before completion";
+    e "SRV004" Budget "server overloaded; the request was shed before execution";
+    e "SRV005" Budget "worker crashed executing the request (supervisor firewall)";
     (* ---- input / usage ---- *)
     e "IO001" Input "file could not be read or parsed";
     e "IO002" Input "malformed input record skipped by the streaming loader";

@@ -10,7 +10,9 @@ let of_channel ?(chunk_size = default_chunk_size) ic =
     invalid_arg "Chunked.of_channel: chunk_size must be positive";
   let buf = Bytes.create chunk_size in
   fun () ->
-    match input ic buf 0 chunk_size with
+    (* EINTR-retried: a signal delivered to a daemon-resident reader must
+       not truncate the stream (Retry.input) *)
+    match Retry.input ic buf 0 chunk_size with
     | 0 -> None
     | n -> Some (Bytes.sub_string buf 0 n)
     | exception End_of_file -> None

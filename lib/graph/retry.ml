@@ -1,0 +1,33 @@
+(* EINTR-hardened I/O primitives.  See retry.mli. *)
+
+(* The Unix layer raises [Unix_error (EINTR, _, _)]; buffered channels
+   translate the errno into a [Sys_error] carrying strerror(3) text, so
+   the message is the only thing left to match on. *)
+let interrupted = function
+  | Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | Sys_error msg ->
+    let sub = "Interrupted system call" in
+    let n = String.length msg and k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+    scan 0
+  | _ -> false
+
+let rec syscall f = try f () with e when interrupted e -> syscall f
+
+let input ic buf pos len = syscall (fun () -> Stdlib.input ic buf pos len)
+
+let rec really_input ic buf pos len =
+  if len > 0 then begin
+    let n = input ic buf pos len in
+    if n = 0 then raise End_of_file;
+    really_input ic buf (pos + n) (len - n)
+  end
+
+let read fd buf pos len = syscall (fun () -> Unix.read fd buf pos len)
+let write fd buf pos len = syscall (fun () -> Unix.write fd buf pos len)
+
+let rec really_write fd buf pos len =
+  if len > 0 then begin
+    let n = write fd buf pos len in
+    really_write fd buf (pos + n) (len - n)
+  end

@@ -1,0 +1,41 @@
+(** EINTR-hardened I/O primitives.
+
+    A process that installs signal handlers (the validation daemon
+    handles [SIGTERM]/[SIGINT]; any embedder may add its own) turns every
+    blocking syscall into one that can fail spuriously with [EINTR] —
+    surfaced by the [Unix] layer as [Unix_error (EINTR, _, _)] and by
+    buffered channels as [Sys_error "...: Interrupted system call"].
+    Long-lived readers ({!Chunked}, {!Snapshot_io}) must not treat an
+    interrupted read as a corrupt input, so their syscalls go through the
+    wrappers below, which retry on interruption and loop over partial
+    transfers.  [EAGAIN] is deliberately {e not} retried: on a
+    non-blocking descriptor it means "no data", and spinning on it would
+    busy-wait — callers that poll handle it explicitly. *)
+
+val syscall : (unit -> 'a) -> 'a
+(** Run the thunk, retrying as long as it raises an interrupted-syscall
+    error ([Unix.EINTR] or the equivalent [Sys_error]).  Every other
+    outcome — values and exceptions alike — passes through. *)
+
+(** {1 Buffered channels} *)
+
+val input : in_channel -> bytes -> int -> int -> int
+(** [Stdlib.input] with EINTR retry.  Returns [0] only at end of file. *)
+
+val really_input : in_channel -> bytes -> int -> int -> unit
+(** [Stdlib.really_input] semantics (raises [End_of_file] on a short
+    file), built from retried {!input} calls so an interrupted partial
+    read resumes instead of failing. *)
+
+(** {1 File descriptors} *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] with EINTR retry. *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write] with EINTR retry. *)
+
+val really_write : Unix.file_descr -> bytes -> int -> int -> unit
+(** Write the whole range, looping over partial writes with EINTR
+    retry.  Non-transient errors ([EPIPE], [ECONNRESET], ...) propagate
+    to the caller. *)

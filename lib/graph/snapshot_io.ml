@@ -306,7 +306,7 @@ let read_vec cur remap =
 
 let read_header ic path =
   let hdr = Bytes.create header_size in
-  (try really_input ic hdr 0 header_size
+  (try Retry.really_input ic hdr 0 header_size
    with End_of_file -> raise (Malformed "file shorter than header"));
   let hdr = Bytes.unsafe_to_string hdr in
   if String.sub hdr 0 8 <> magic then
@@ -342,12 +342,12 @@ let verify_crc ic total =
   let remaining = ref body_len in
   while !remaining > 0 do
     let k = min !remaining (Bytes.length chunk) in
-    really_input ic chunk 0 k;
+    Retry.really_input ic chunk 0 k;
     crc := crc32_update !crc (Bytes.unsafe_to_string chunk) 0 k;
     remaining := !remaining - k
   done;
   let tail = Bytes.create 8 in
-  really_input ic tail 0 8;
+  Retry.really_input ic tail 0 8;
   let stored = Bytes.get_int64_le tail 0 in
   if stored <> Int64.of_int !crc then
     Error
@@ -361,7 +361,7 @@ let read_section ic ~from ~until =
   seek_in ic from;
   let len = until - from in
   let b = Bytes.create len in
-  really_input ic b 0 len;
+  Retry.really_input ic b 0 len;
   { data = Bytes.unsafe_to_string b; pos = 0 }
 
 (* Map [len] native ints starting at byte [pos].  Zero-length maps are
@@ -444,7 +444,7 @@ let remap_of md id =
 
 let open_mapped st path =
   match
-    let ic = open_in_bin path in
+    let ic = Retry.syscall (fun () -> open_in_bin path) in
     let ok = ref false in
     Fun.protect
       ~finally:(fun () -> if not !ok then close_in_noerr ic)
@@ -483,7 +483,7 @@ let open_mapped st path =
           expect 11 (n + 1);
           expect 12 (m + 1);
           (* mmap the int columns; the mapping outlives the fd *)
-          let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+          let fd = Retry.syscall (fun () -> Unix.openfile path [ Unix.O_RDONLY ] 0) in
           Fun.protect
             ~finally:(fun () -> Unix.close fd)
             (fun () ->
@@ -552,7 +552,7 @@ let wrap_prop_errors md f =
 let read_range md ~base ~stop =
   seek_in md.m_ic base;
   let b = Bytes.create (stop - base) in
-  really_input md.m_ic b 0 (stop - base);
+  Retry.really_input md.m_ic b 0 (stop - base);
   { data = Bytes.unsafe_to_string b; pos = 0 }
 
 let parse_at md cur ~base (offs : Snapshot.ints) i =
@@ -636,7 +636,7 @@ let load st path =
 
 let info path =
   match
-    let ic = open_in_bin path in
+    let ic = Retry.syscall (fun () -> open_in_bin path) in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->

@@ -1,0 +1,109 @@
+(* Content-addressed LRU cache (see cache.mli for the contract).
+
+   The recency order is a simple logical clock stamped on each hit;
+   eviction scans for the minimum stamp.  Capacities here are tens of
+   entries (schemas and snapshots an operator actually serves), so the
+   O(n) scan is noise next to the plan compile it avoids. *)
+
+module Retry = Graphql_pg.Retry
+
+type 'a entry = { value : 'a; lock : Mutex.t; digest : string }
+
+type slot_meta = { mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry * slot_meta) Hashtbl.t;
+  m : Mutex.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; invalidations : int; size : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    m = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let buf = Bytes.create n in
+        Retry.really_input ic buf 0 n;
+        Ok (Bytes.unsafe_to_string buf))
+
+let touch t meta =
+  t.clock <- t.clock + 1;
+  meta.stamp <- t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key (_, meta) acc ->
+        match acc with
+        | Some (_, best) when best <= meta.stamp -> acc
+        | _ -> Some (key, meta.stamp))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+
+let insert t key entry =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let meta = { stamp = 0 } in
+  touch t meta;
+  Hashtbl.replace t.table key (entry, meta)
+
+let find t ~key ~path ~load =
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok content ->
+    let digest = Digest.to_hex (Digest.string content) in
+    Mutex.protect t.m (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some (entry, meta) when String.equal entry.digest digest ->
+        t.hits <- t.hits + 1;
+        touch t meta;
+        Ok entry
+      | stale ->
+        if Option.is_some stale then begin
+          (* The file changed under us: the cached artefact describes
+             bytes that no longer exist.  Drop it before rebuilding so a
+             [load] failure cannot leave the stale value resident. *)
+          t.invalidations <- t.invalidations + 1;
+          Hashtbl.remove t.table key
+        end;
+        t.misses <- t.misses + 1;
+        let entry = { value = load ~content; lock = Mutex.create (); digest } in
+        insert t key entry;
+        Ok entry)
+
+let stats t =
+  Mutex.protect t.m (fun () ->
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      invalidations = t.invalidations;
+      size = Hashtbl.length t.table;
+    })

@@ -1,0 +1,45 @@
+(** Content-addressed LRU cache for compiled artefacts.
+
+    The daemon keeps compiled {!Graphql_pg.Plan}s and loaded
+    {!Graphql_pg.Snapshot}s across requests.  Files on disk can change
+    under a long-lived process, so every lookup re-reads the file and
+    compares its content digest against the cached entry: a stale entry
+    is discarded and rebuilt (counted as an invalidation + miss), never
+    served.  Capacity is bounded; the least-recently-used entry is
+    evicted when a new one would overflow it.
+
+    Thread-safety: the cache itself is guarded by one internal mutex.
+    Cached values that are not safe to share across domains (a [Plan]
+    whose symtab interns during a run) carry a per-entry [lock]; callers
+    must hold it for the duration of any use of [value]. *)
+
+type 'a entry = {
+  value : 'a;
+  lock : Mutex.t;  (** serializes use of [value] across worker domains *)
+  digest : string;  (** hex digest of the file content that built [value] *)
+}
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be at least 1. *)
+
+val find :
+  'a t -> key:string -> path:string -> load:(content:string -> 'a) -> ('a entry, string) result
+(** Look up [key], validating the cached entry against the current
+    content of [path].  On a miss (or stale hit) the file content is
+    passed to [load] and the result cached; [load] runs under the cache
+    mutex, so concurrent requests for the same key build it once.
+    [Error msg] means the file itself could not be read — nothing is
+    cached for unreadable paths.  Exceptions from [load] propagate (the
+    mutex is released) and cache nothing. *)
+
+type stats = {
+  hits : int;
+  misses : int;  (** includes the rebuild after each invalidation *)
+  evictions : int;  (** capacity-driven LRU removals *)
+  invalidations : int;  (** content-digest mismatches on lookup *)
+  size : int;  (** entries currently resident *)
+}
+
+val stats : 'a t -> stats

@@ -1,0 +1,123 @@
+(* Request parsing for the NDJSON wire protocol (see protocol.mli).
+
+   Field names, accepted values and defaults deliberately mirror the
+   [gpgs validate] flags one-for-one, because the acceptance contract of
+   the daemon is byte-identical envelopes: a request must denote exactly
+   one CLI invocation. *)
+
+module GP = Graphql_pg
+module Json = GP.Json
+
+type validate_req = {
+  schema : string;
+  graph : string;
+  engine : GP.Validate.engine;
+  mode : GP.Validate.mode;
+  domains : int option;
+  shards : int option;
+  snapshot : bool;
+  lenient : bool;
+  deadline_ms : float option;
+  max_violations : int option;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Validate of validate_req
+  | Debug_boom
+  | Debug_sleep of float
+
+let ( let* ) = Result.bind
+
+(* Same alternatives as the CLI's Arg.enum converters. *)
+let engine_of_string = function
+  | "indexed" -> Ok GP.Validate.Indexed
+  | "linear" -> Ok GP.Validate.Linear
+  | "naive" -> Ok GP.Validate.Naive
+  | "parallel" -> Ok GP.Validate.Parallel
+  | "sharded" -> Ok GP.Validate.Sharded
+  | s -> Error (Printf.sprintf "unknown engine %S (expected indexed, linear, naive, parallel, or sharded)" s)
+
+let mode_of_string = function
+  | "strong" -> Ok GP.Validate.Strong
+  | "weak" -> Ok GP.Validate.Weak
+  | "directives" -> Ok GP.Validate.Directives
+  | s -> Error (Printf.sprintf "unknown mode %S (expected strong, weak, or directives)" s)
+
+let opt_field fields name decode =
+  match List.assoc_opt name fields with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match decode v with
+    | Ok x -> Ok (Some x)
+    | Error want ->
+      Error (Printf.sprintf "field %S must be %s" name want))
+
+let req_string fields name =
+  let* v = opt_field fields name (function Json.String s -> Ok s | _ -> Error "a string") in
+  match v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is required" name)
+
+let opt_int fields name =
+  opt_field fields name (function Json.Int i -> Ok i | _ -> Error "an integer")
+
+let opt_number fields name =
+  opt_field fields name (function
+    | Json.Int i -> Ok (float_of_int i)
+    | Json.Float f -> Ok f
+    | _ -> Error "a number")
+
+let opt_bool fields name =
+  opt_field fields name (function Json.Bool b -> Ok b | _ -> Error "a boolean")
+
+let opt_enum fields name of_string =
+  match List.assoc_opt name fields with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Result.map Option.some (of_string s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let parse_validate fields =
+  let* schema = req_string fields "schema" in
+  let* graph = req_string fields "graph" in
+  let* engine = opt_enum fields "engine" engine_of_string in
+  let* mode = opt_enum fields "mode" mode_of_string in
+  let* domains = opt_int fields "domains" in
+  let* shards = opt_int fields "shards" in
+  let* snapshot = opt_bool fields "snapshot" in
+  let* lenient = opt_bool fields "lenient" in
+  let* deadline_ms = opt_number fields "deadline_ms" in
+  let* max_violations = opt_int fields "max_violations" in
+  Ok
+    (Validate
+       {
+         schema;
+         graph;
+         engine = Option.value engine ~default:GP.Validate.Indexed;
+         mode = Option.value mode ~default:GP.Validate.Strong;
+         domains;
+         shards;
+         snapshot = Option.value snapshot ~default:false;
+         lenient = Option.value lenient ~default:false;
+         deadline_ms;
+         max_violations;
+       })
+
+let parse line =
+  match Json.of_string line with
+  | Error msg -> Error ("request is not valid JSON: " ^ msg)
+  | Ok (Json.Assoc fields) -> (
+    let* op = req_string fields "op" in
+    match op with
+    | "ping" -> Ok Ping
+    | "stats" -> Ok Stats
+    | "validate" -> parse_validate fields
+    | "boom" -> Ok Debug_boom
+    | "sleep" ->
+      let* s = opt_number fields "seconds" in
+      Ok (Debug_sleep (Option.value s ~default:1.0))
+    | op -> Error (Printf.sprintf "unknown op %S" op))
+  | Ok _ -> Error "request must be a JSON object"
+
+let render json = Json.to_string json ^ "\n"

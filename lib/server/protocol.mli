@@ -1,0 +1,48 @@
+(** Wire protocol of the validation service.
+
+    One JSON object per line in, one per line out.  A request is
+
+    {v
+    {"op":"validate","schema":"s.graphql","graph":"g.pgf",
+     "engine":"indexed","mode":"strong","domains":4,"shards":8,
+     "snapshot":false,"lenient":false,
+     "deadline_ms":250,"max_violations":100}
+    v}
+
+    where everything after ["graph"] is optional and defaults to the
+    corresponding [gpgs validate] flag default.  The response line for a
+    [validate] is the {!Graphql_pg.Diag_report} envelope — the same JSON
+    document [gpgs validate --format json] prints, compact-rendered.
+    Other operations: ["ping"] (liveness) and ["stats"] (request and
+    cache counters).  The debug operations ["boom"] (crash a worker) and
+    ["sleep"] (hold a worker busy) exist for fault-injection tests and
+    are only honoured when the service was started with [debug_ops]. *)
+
+type validate_req = {
+  schema : string;  (** path to the SDL schema *)
+  graph : string;  (** path to the PGF graph (or snapshot) *)
+  engine : Graphql_pg.Validate.engine;
+  mode : Graphql_pg.Validate.mode;
+  domains : int option;
+  shards : int option;
+  snapshot : bool;  (** [graph] is a persisted binary snapshot *)
+  lenient : bool;  (** skip the schema consistency gate *)
+  deadline_ms : float option;
+  max_violations : int option;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Validate of validate_req
+  | Debug_boom  (** raise inside the worker (tests the SRV005 path) *)
+  | Debug_sleep of float  (** hold the worker for [s] seconds (tests shedding) *)
+
+val parse : string -> (request, string) result
+(** Parse one request line.  [Error] carries a human-readable reason
+    (not valid JSON, not an object, unknown op, bad field type...);
+    the caller maps it to an SRV001 envelope.  Unknown fields are
+    ignored for forward compatibility. *)
+
+val render : Graphql_pg.Json.t -> string
+(** Compact-render a response plus the frame-terminating newline. *)

@@ -1,0 +1,191 @@
+(* The daemon loop (see server.mli for the contract).
+
+   Shape: the calling domain accepts; [workers] domains each pull one
+   accepted connection at a time from a bounded queue and serve it to
+   EOF.  All blocking waits — accept, frame reads, the queue condition —
+   either poll the stop flag or are woken by the drain broadcast, so no
+   part of the server can sleep through a shutdown. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  workers : int;
+  max_pending : int;
+  max_request_bytes : int;
+  read_timeout_ms : float;
+  drain_grace_ms : float;
+}
+
+let default_config address =
+  {
+    address;
+    workers = 4;
+    max_pending = 16;
+    max_request_bytes = 1 lsl 20;
+    read_timeout_ms = 30_000.;
+    drain_grace_ms = 2_000.;
+  }
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | exception Not_found -> invalid_arg (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+(* Bind, listen, and report the resolved address (an ephemeral TCP port
+   becomes concrete here). *)
+let listen_on address =
+  match address with
+  | Unix_socket path ->
+    (* A stale socket file from a crashed predecessor would make bind
+       fail; replacing it is the conventional contract for unix-socket
+       daemons. *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 128
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    (fd, address)
+  | Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+       Unix.listen fd 128
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    (fd, Tcp (host, port))
+
+let run ?(stop = Atomic.make false) ?on_ready config service =
+  if config.workers < 1 then invalid_arg "Server.run: workers must be at least 1";
+  if config.max_pending < 0 then invalid_arg "Server.run: max_pending must be non-negative";
+  if config.max_request_bytes < 1 then invalid_arg "Server.run: max_request_bytes must be positive";
+  (* A client that disconnects while a worker is writing its response
+     must cost an EPIPE error value, not a fatal signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let lfd, resolved = listen_on config.address in
+  (* Drain-cancellation flag shared by every budgeted governor. *)
+  let cancel = Atomic.make false in
+  let queue : Unix.file_descr Queue.t = Queue.create () in
+  let qm = Mutex.create () in
+  let qc = Condition.create () in
+  let in_flight = Atomic.make 0 in
+  let should_stop () = Atomic.get stop in
+
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
+
+  let serve_connection fd =
+    let conn = Netio.conn fd in
+    let timeout_s = config.read_timeout_ms /. 1000. in
+    let rec loop () =
+      match
+        Netio.read_frame ~max_bytes:config.max_request_bytes ~timeout_s ~should_stop conn
+      with
+      | Netio.Frame line -> (
+        let response = Service.handle service ~cancel line in
+        match Netio.write_frame fd response with
+        | Ok () -> if should_stop () then () else loop ()
+        | Error _ -> () (* peer is gone; nothing left to say *))
+      | Netio.Oversized ->
+        (* Report, then close: past an oversized frame there is no way
+           to find the next frame boundary. *)
+        ignore (Netio.write_frame fd (Service.oversized_response service))
+      | Netio.Eof | Netio.Timeout | Netio.Stopped | Netio.Failed _ -> ()
+    in
+    (* The service never raises, but a worker domain dying would
+       silently shrink the pool — keep the belt and the braces. *)
+    (try loop () with _ -> ());
+    close_quietly fd
+  in
+
+  let rec worker () =
+    let job =
+      Mutex.protect qm (fun () ->
+        let rec await () =
+          if Atomic.get stop then None
+          else
+            match Queue.take_opt queue with
+            | Some fd -> Some fd
+            | None ->
+              Condition.wait qc qm;
+              await ()
+        in
+        await ())
+    in
+    match job with
+    | None -> ()
+    | Some fd ->
+      Atomic.incr in_flight;
+      serve_connection fd;
+      Atomic.decr in_flight;
+      worker ()
+  in
+  let domains = List.init config.workers (fun _ -> Domain.spawn worker) in
+  Option.iter (fun f -> f resolved) on_ready;
+
+  (* ---- accept loop (calling domain) ---- *)
+  let accept_one () =
+    match Unix.select [ lfd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept ~cloexec:true lfd with
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ()
+      | cfd, _ ->
+        let enqueued =
+          Mutex.protect qm (fun () ->
+            if Queue.length queue >= config.max_pending then false
+            else begin
+              Queue.add cfd queue;
+              Condition.signal qc;
+              true
+            end)
+        in
+        if not enqueued then begin
+          (* Load shedding: tell the client explicitly (SRV004) instead
+             of letting it time out against a silent close. *)
+          ignore (Netio.write_frame cfd (Service.shed_response service));
+          close_quietly cfd
+        end)
+  in
+  while not (Atomic.get stop) do
+    accept_one ()
+  done;
+
+  (* ---- graceful drain ---- *)
+  close_quietly lfd;
+  (match resolved with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  (* Wake idle workers; they observe [stop] and exit. *)
+  Mutex.protect qm (fun () -> Condition.broadcast qc);
+  (* Give in-flight requests the grace window... *)
+  let deadline = Unix.gettimeofday () +. (config.drain_grace_ms /. 1000.) in
+  while Atomic.get in_flight > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  (* ...then cut the budgeted ones loose at their next governor
+     checkpoint.  (An unbudgeted job runs under the inert governor for
+     byte-parity and is waited for: correctness of delivered responses
+     over drain latency.) *)
+  Atomic.set cancel true;
+  List.iter Domain.join domains;
+  (* Connections accepted but never picked up: close them; their clients
+     see EOF rather than a hung socket. *)
+  Mutex.protect qm (fun () ->
+    Queue.iter close_quietly queue;
+    Queue.clear queue)

@@ -1,0 +1,310 @@
+(* Request execution (see service.mli for the contract).
+
+   The validate path below is a line-for-line mirror of the validate
+   subcommand in bin/gpgs.ml: same usage checks with the same CLI001
+   messages, same load order, same envelope fields — the byte-parity
+   tests in test_server.ml compare served responses against actual CLI
+   runs, so any divergence here is a test failure, not a judgement
+   call.  Where the CLI calls [die] (which exits), this module builds
+   the same envelope the CLI's json mode would have printed and keeps
+   going. *)
+
+module GP = Graphql_pg
+module Json = GP.Json
+
+type config = {
+  plan_capacity : int;
+  snapshot_capacity : int;
+  default_deadline_ms : float option;
+  default_max_violations : int option;
+  retries : int;
+  debug_ops : bool;
+}
+
+let default_config =
+  {
+    plan_capacity = 16;
+    snapshot_capacity = 16;
+    default_deadline_ms = None;
+    default_max_violations = None;
+    retries = 0;
+    debug_ops = false;
+  }
+
+type t = {
+  cfg : config;
+  plans : (GP.Plan.t, GP.Diag.t list) result Cache.t;
+  snapshots : (GP.Snapshot.t, GP.Diag.t list) result Cache.t;
+  requests : int Atomic.t;
+  crashes : int Atomic.t;
+  shed : int Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    plans = Cache.create ~capacity:config.plan_capacity;
+    snapshots = Cache.create ~capacity:config.snapshot_capacity;
+    requests = Atomic.make 0;
+    crashes = Atomic.make 0;
+    shed = Atomic.make 0;
+  }
+
+let plan_stats t = Cache.stats t.plans
+let snapshot_stats t = Cache.stats t.snapshots
+let requests_served t = Atomic.get t.requests
+
+(* ---- envelopes ---- *)
+
+let render_envelope ~command ?summary ?cls diags =
+  Protocol.render (GP.Diag_report.envelope ~command ?summary ?cls diags)
+
+let srv_error ~command ~code ?subject ?cls message =
+  render_envelope ~command ?cls [ GP.Diag.error ~code ?subject message ]
+
+let malformed msg = srv_error ~command:"serve" ~code:"SRV001" ("malformed request frame: " ^ msg)
+
+let oversized_response _t =
+  srv_error ~command:"serve" ~code:"SRV002" "request frame exceeds the server's size limit"
+
+let shed_response t =
+  Atomic.incr t.shed;
+  srv_error ~command:"serve" ~code:"SRV004"
+    "server overloaded; the request was shed before execution"
+
+(* ---- supervision ---- *)
+
+(* Every job runs under the supervisor, even with retries disabled: the
+   firewall (catch, classify, report) is what keeps a crashing engine
+   from taking the worker domain down.  [retries] only adds attempts
+   for transient failures. *)
+let supervised t job =
+  GP.Supervisor.supervise ~policy:(GP.Supervisor.policy ~retries:(max 0 t.cfg.retries) ()) job
+
+let crash_response t ~command ~subject (crash : GP.Supervisor.crash) =
+  Atomic.incr t.crashes;
+  srv_error ~command ~code:"SRV005" ~subject
+    (Printf.sprintf "%s: validation job crashed after %d attempt(s): %s" subject
+       crash.GP.Supervisor.crash_attempts crash.GP.Supervisor.crash_exn)
+
+(* ---- validate ---- *)
+
+exception Reply of string
+(* Internal short-circuit standing in for the CLI's [die]: carry the
+   finished response out of the deep end of the validate pipeline. *)
+
+let reply_error ~code ?subject ?cls message =
+  raise (Reply (srv_error ~command:"validate" ~code ?subject ?cls message))
+
+(* The CLI's [die] defaults to Input_error even when the diagnostics
+   (e.g. consistency findings) would classify lower, so the explicit
+   class here is part of the parity contract. *)
+let reply_diags diags =
+  raise (Reply (render_envelope ~command:"validate" ~cls:GP.Diag.Exit.Input_error diags))
+
+let usage msg = reply_error ~code:"CLI001" ~cls:GP.Diag.Exit.Input_error msg
+
+(* Mirror of check_counts in bin/gpgs.ml, CLI001 messages included. *)
+let check_counts ~engine ~domains ~shards =
+  (match domains with
+  | Some d when d < 1 -> usage (Printf.sprintf "--domains must be at least 1 (got %d)" d)
+  | _ -> ());
+  (match shards with
+  | Some s when s < 1 -> usage (Printf.sprintf "--shards must be at least 1 (got %d)" s)
+  | _ -> ());
+  if shards <> None && engine <> GP.Validate.Sharded then
+    usage "--shards applies to --engine sharded only"
+
+(* One cached compiled plan per (schema path, leniency).  The leniency
+   flag changes what parse_full accepts, so it is part of the key; the
+   file content digest handles edits to the schema itself. *)
+let plan_entry t ~lenient path =
+  let key = (if lenient then "lenient:" else "strict:") ^ path in
+  Cache.find t.plans ~key ~path ~load:(fun ~content ->
+    match GP.Of_ast.parse_full ~consistency:(not lenient) content with
+    | Ok (sch, _warnings) -> Ok (GP.Validate.compile sch)
+    | Error diags -> Error diags)
+
+(* Snapshots intern labels into the plan's symtab at load, so a cached
+   snapshot is only valid against the plan generation that loaded it:
+   the plan's content digest is part of the key.  Callers hold the plan
+   entry's lock. *)
+let snapshot_entry t ~plan_digest ~symtab path =
+  let key = plan_digest ^ ":" ^ path in
+  Cache.find t.snapshots ~key ~path ~load:(fun ~content:_ ->
+    match GP.Snapshot_io.load symtab path with
+    | Ok snap -> Ok snap
+    | Error e -> Error [ GP.Diag.error ~code:e.GP.Snapshot_io.code e.GP.Snapshot_io.message ])
+
+let run_validate t ~cancel (r : Protocol.validate_req) =
+  let engine = r.engine and mode = r.mode in
+  check_counts ~engine ~domains:r.domains ~shards:r.shards;
+  (* Plan lookup / compile.  An unreadable schema file is the one spot
+     with no CLI envelope to mirror (cmdliner rejects the path before
+     the subcommand runs); IO001 is the natural code for it. *)
+  let plan_slot =
+    match plan_entry t ~lenient:r.lenient r.schema with
+    | Ok slot -> slot
+    | Error msg -> reply_error ~code:"IO001" ~cls:GP.Diag.Exit.Input_error (r.schema ^ ": " ^ msg)
+  in
+  let plan =
+    match plan_slot.Cache.value with Ok plan -> plan | Error diags -> reply_diags diags
+  in
+  (* Budget: the request's own flags win; the server defaults fill in
+     for absent ones.  An unbudgeted request runs under the inert
+     governor — attaching even just the drain [cancel] flag would
+     switch the report's scan counters to the budgeted accounting and
+     break byte-parity with the unbudgeted CLI. *)
+  let deadline_ms, imposed_deadline =
+    match (r.deadline_ms, t.cfg.default_deadline_ms) with
+    | (Some _ as d), _ -> (d, false)
+    | None, (Some _ as d) -> (d, true)
+    | None, None -> (None, false)
+  in
+  let max_violations =
+    match r.max_violations with Some _ as m -> m | None -> t.cfg.default_max_violations
+  in
+  let gov =
+    if deadline_ms <> None || max_violations <> None then
+      GP.Governor.make ?deadline_ms ?max_violations ?cancel ()
+    else GP.Governor.make ()
+  in
+  (* Parsing the graph text is plan-independent, so it runs outside the
+     plan entry's lock and concurrent requests for one schema only
+     serialize on the freeze + kernel phase below (plan reuse is
+     sequential-only: freezing interns labels into the plan's symtab). *)
+  let graph =
+    if r.snapshot then None
+    else
+      match GP.Pgf.load r.graph with
+      | Ok g -> Some g
+      | Error e ->
+        reply_diags [ GP.Diag.error ~code:"IO001" (Format.asprintf "%a" GP.Pgf.pp_error e) ]
+  in
+  Mutex.protect plan_slot.Cache.lock (fun () ->
+    let check =
+      if r.snapshot then begin
+        if engine = GP.Validate.Naive then
+          usage
+            "--engine naive validates the source graph text; use linear, indexed, \
+             parallel, or sharded with --snapshot";
+        if engine = GP.Validate.Sharded then
+          (* Out-of-core: the mapped handle holds a file descriptor, so
+             it is opened per attempt (retry-safe) rather than cached,
+             and closed before the response goes out. *)
+          fun () ->
+            let md =
+              match GP.Snapshot_io.open_mapped (GP.Plan.symtab plan) r.graph with
+              | Ok md -> md
+              | Error e ->
+                reply_error ~code:e.GP.Snapshot_io.code ~cls:GP.Diag.Exit.Input_error
+                  e.GP.Snapshot_io.message
+            in
+            Fun.protect
+              ~finally:(fun () -> GP.Snapshot_io.close_mapped md)
+              (fun () ->
+                match GP.Validate.check_mapped ~mode ?shards:r.shards ~gov plan md with
+                | Ok report -> report
+                | Error e ->
+                  reply_error ~code:e.GP.Snapshot_io.code ~cls:GP.Diag.Exit.Input_error
+                    e.GP.Snapshot_io.message)
+        else begin
+          let snap =
+            match
+              snapshot_entry t ~plan_digest:plan_slot.Cache.digest
+                ~symtab:(GP.Plan.symtab plan) r.graph
+            with
+            | Ok { Cache.value = Ok snap; _ } -> snap
+            | Ok { Cache.value = Error diags; _ } -> reply_diags diags
+            | Error msg ->
+              reply_error ~code:"IO001" ~cls:GP.Diag.Exit.Input_error (r.graph ^ ": " ^ msg)
+          in
+          fun () -> GP.Validate.check_snapshot ~engine ~mode ?domains:r.domains ~gov plan snap
+        end
+      end
+      else begin
+        let g = Option.get graph in
+        fun () ->
+          GP.Validate.check_compiled ~engine ~mode ?domains:r.domains ?shards:r.shards ~gov plan g
+      end
+    in
+    (* [Reply] must tunnel through the supervisor (it is the finished
+       response, not a crash), so the job wraps it into a result. *)
+    let job () = try Ok (check ()) with Reply resp -> Error resp in
+    match supervised t job with
+    | GP.Supervisor.Done (Error resp, _attempts) -> resp
+    | GP.Supervisor.Done (Ok report, _attempts) ->
+      let diags = GP.Validate.diagnostics report in
+      let diags =
+        if imposed_deadline && not report.GP.Validate.complete then
+          diags
+          @ [
+              GP.Diag.error ~code:"SRV003" ~subject:r.graph
+                (Printf.sprintf
+                   "%s: the server's default deadline (%gms) expired before validation \
+                    completed"
+                   r.graph
+                   (Option.get deadline_ms));
+            ]
+        else diags
+      in
+      render_envelope ~command:"validate"
+        ~summary:(GP.Diag_report.validate_summary report)
+        diags
+    | GP.Supervisor.Crashed crash -> crash_response t ~command:"validate" ~subject:r.graph crash)
+
+(* ---- other operations ---- *)
+
+let ping_response () =
+  render_envelope ~command:"ping" ~summary:[ ("pong", Json.Bool true) ] []
+
+let cache_stats_json (s : Cache.stats) =
+  Json.Assoc
+    [
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+      ("invalidations", Json.Int s.invalidations);
+      ("size", Json.Int s.size);
+    ]
+
+let stats_response t =
+  render_envelope ~command:"server-stats"
+    ~summary:
+      [
+        ("requests", Json.Int (Atomic.get t.requests));
+        ("crashed", Json.Int (Atomic.get t.crashes));
+        ("shed", Json.Int (Atomic.get t.shed));
+        ("plan_cache", cache_stats_json (Cache.stats t.plans));
+        ("snapshot_cache", cache_stats_json (Cache.stats t.snapshots));
+      ]
+    []
+
+let debug_disabled op =
+  malformed (Printf.sprintf "op %S is a debug operation (start the server with --debug-ops)" op)
+
+let handle t ?cancel line =
+  Atomic.incr t.requests;
+  try
+    match Protocol.parse line with
+    | Error msg -> malformed msg
+    | Ok Protocol.Ping -> ping_response ()
+    | Ok Protocol.Stats -> stats_response t
+    | Ok (Protocol.Validate r) -> run_validate t ~cancel r
+    | Ok Protocol.Debug_boom when not t.cfg.debug_ops -> debug_disabled "boom"
+    | Ok (Protocol.Debug_sleep _) when not t.cfg.debug_ops -> debug_disabled "sleep"
+    | Ok Protocol.Debug_boom -> (
+      match supervised t (fun () -> failwith "injected crash (debug op)") with
+      | GP.Supervisor.Done ((), _) -> ping_response ()
+      | GP.Supervisor.Crashed crash -> crash_response t ~command:"boom" ~subject:"debug" crash)
+    | Ok (Protocol.Debug_sleep s) ->
+      Unix.sleepf (Float.max 0. s);
+      render_envelope ~command:"sleep" ~summary:[ ("slept_s", Json.Float s) ] []
+  with
+  | Reply response -> response
+  | e ->
+    (* Nothing outside a supervised job should raise, but the worker
+       must survive it if something does. *)
+    Atomic.incr t.crashes;
+    srv_error ~command:"serve" ~code:"SRV005"
+      (Printf.sprintf "request handling crashed: %s" (Printexc.to_string e))

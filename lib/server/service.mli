@@ -1,0 +1,54 @@
+(** Request execution for the validation daemon.
+
+    One {!t} is shared by every worker domain.  It owns the compiled
+    artefact caches (plans and snapshots, content-addressed — see
+    {!Cache}) and the request counters, and turns one request line into
+    one response line.
+
+    The acceptance contract: a served [validate] response is the same
+    JSON document [gpgs validate --format json] prints for the
+    equivalent invocation, compact-rendered.  To keep that exact — an
+    {e active} budget changes the report's scan counters — a request
+    with no budget of its own (and no server default) runs under the
+    inert [Governor.make ()], not under the drain-cancellation flag;
+    only budgeted requests attach [cancel] and can be cut short by a
+    drain deadline. *)
+
+type config = {
+  plan_capacity : int;  (** LRU capacity of the compiled-plan cache *)
+  snapshot_capacity : int;  (** LRU capacity of the loaded-snapshot cache *)
+  default_deadline_ms : float option;
+      (** budget applied to requests that carry none; when it cuts a run
+          short the response gains an [SRV003] diagnostic *)
+  default_max_violations : int option;
+  retries : int;
+      (** supervisor retries per request (transient failures only);
+          crashes always become [SRV005], never a dead worker *)
+  debug_ops : bool;  (** honour the fault-injection ops [boom] / [sleep] *)
+}
+
+val default_config : config
+(** 16-entry caches, no default budget, no retries, no debug ops. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val handle : t -> ?cancel:bool Atomic.t -> string -> string
+(** Execute one request line and return the response line (terminating
+    newline included).  Never raises: malformed requests become [SRV001]
+    envelopes and anything a job throws is caught by the supervisor
+    firewall and reported as [SRV005].  [cancel] is the server's drain
+    flag; it is attached to the governor of budgeted requests only. *)
+
+val shed_response : t -> string
+(** Count one load-shed and return the [SRV004] envelope line the
+    acceptor writes before closing an over-capacity connection. *)
+
+val oversized_response : t -> string
+(** The [SRV002] envelope line for a frame that exceeded the size limit
+    (the connection is unrecoverable and must be closed after it). *)
+
+val plan_stats : t -> Cache.stats
+val snapshot_stats : t -> Cache.stats
+val requests_served : t -> int

@@ -22,9 +22,32 @@ type crash = { crash_exn : string; crash_attempts : int; crash_transient : bool 
 
 type 'a outcome = Done of 'a * int | Crashed of crash
 
+(* Only genuinely transient conditions earn a retry: an interrupted or
+   reset I/O operation can succeed on the next attempt, but ENOENT,
+   EACCES and friends are deterministic — retrying them just multiplies
+   the latency of an error that will never go away. *)
+let transient_errno = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNRESET | Unix.ETIMEDOUT ->
+    true
+  | _ -> false
+
+(* Buffered-channel I/O surfaces errnos as [Sys_error] carrying the
+   strerror(3) text, so the message is all there is to classify on. *)
+let transient_sys_error msg =
+  let contains sub =
+    let n = String.length msg and k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  contains "Interrupted system call"
+  || contains "Resource temporarily unavailable"
+  || contains "Operation would block"
+  || contains "Connection reset by peer"
+  || contains "Connection timed out"
+
 let default_transient = function
-  | Sys_error _ -> true
-  | Unix.Unix_error _ -> true
+  | Unix.Unix_error (errno, _, _) -> transient_errno errno
+  | Sys_error msg -> transient_sys_error msg
   | _ -> false
 
 let default_sleep ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)

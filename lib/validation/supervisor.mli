@@ -49,10 +49,14 @@ type 'a outcome =
   | Crashed of crash
 
 val default_transient : exn -> bool
-(** [Sys_error] and [Unix.Unix_error] — the failures a retry can
-    plausibly cure.  Engine exceptions, [Out_of_memory] and
-    [Stack_overflow] are deterministic for a given job and are never
-    retried by default. *)
+(** Only the failures a retry can plausibly cure: [Unix.Unix_error] with
+    a genuinely transient errno ([EINTR], [EAGAIN]/[EWOULDBLOCK],
+    [ECONNRESET], [ETIMEDOUT]), and the [Sys_error]s carrying the same
+    conditions as strerror text.  Deterministic errnos ([ENOENT],
+    [EACCES], ...) fail fast — retrying them multiplies the latency of
+    an error that will never go away.  Engine exceptions,
+    [Out_of_memory] and [Stack_overflow] are likewise never retried by
+    default. *)
 
 val supervise :
   ?policy:policy ->

@@ -46,4 +46,5 @@ let () =
       ("stream", Test_stream.suite);
       ("snapshot_io", Test_snapshot_io.suite);
       ("sharded", Test_sharded.suite);
+      ("server", Test_server.suite);
     ]

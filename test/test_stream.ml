@@ -325,7 +325,7 @@ let test_transient_retry_schedule () =
   let n = ref 0 in
   let flaky () =
     incr n;
-    if !n < 3 then raise (Sys_error "flaky io") else "ok"
+    if !n < 3 then raise (Unix.Unix_error (Unix.EINTR, "read", "")) else "ok"
   in
   match Sup.supervise ~policy:(Sup.policy ~retries:3 ()) ~sleep flaky with
   | Sup.Done (v, attempts) ->
@@ -349,13 +349,54 @@ let test_non_transient_never_retried () =
 
 let test_retries_exhausted () =
   let delays = ref [] in
-  let job () = raise (Sys_error "still down") in
+  let job () = raise (Unix.Unix_error (Unix.ECONNRESET, "read", "")) in
   match Sup.supervise ~policy:(Sup.policy ~retries:2 ()) ~sleep:(fun d -> delays := !delays @ [ d ]) job with
   | Sup.Done _ -> Alcotest.fail "expected a crash"
   | Sup.Crashed c ->
     check_int "retries + 1 attempts" 3 c.crash_attempts;
     check_bool "final failure was transient" true c.crash_transient;
     check_bool "full schedule" true (!delays = [ 100.; 200. ])
+
+(* The transient set is a contract: interrupted/reset I/O retries,
+   deterministic errnos (ENOENT, EACCES, ...) fail fast. *)
+let test_transient_classification () =
+  let unix e = Unix.Unix_error (e, "op", "arg") in
+  List.iter
+    (fun (name, exn) ->
+      check_bool (name ^ " is transient") true (Sup.default_transient exn))
+    [
+      ("EINTR", unix Unix.EINTR);
+      ("EAGAIN", unix Unix.EAGAIN);
+      ("EWOULDBLOCK", unix Unix.EWOULDBLOCK);
+      ("ECONNRESET", unix Unix.ECONNRESET);
+      ("ETIMEDOUT", unix Unix.ETIMEDOUT);
+      ("Sys_error EINTR", Sys_error "read: Interrupted system call");
+      ("Sys_error ECONNRESET", Sys_error "g.pgf: Connection reset by peer");
+    ];
+  List.iter
+    (fun (name, exn) ->
+      check_bool (name ^ " fails fast") false (Sup.default_transient exn))
+    [
+      ("ENOENT", unix Unix.ENOENT);
+      ("EACCES", unix Unix.EACCES);
+      ("EBADF", unix Unix.EBADF);
+      ("ENOSPC", unix Unix.ENOSPC);
+      ("Sys_error ENOENT", Sys_error "g.pgf: No such file or directory");
+      ("Sys_error EACCES", Sys_error "g.pgf: Permission denied");
+      ("plain failure", Failure "engine bug");
+    ];
+  (* a deterministic errno is never retried even with retries available *)
+  let n = ref 0 in
+  let job () =
+    incr n;
+    raise (unix Unix.ENOENT)
+  in
+  match Sup.supervise ~policy:(Sup.policy ~retries:5 ()) ~sleep:(fun _ -> ()) job with
+  | Sup.Done _ -> Alcotest.fail "expected a crash"
+  | Sup.Crashed c ->
+    check_int "one attempt" 1 c.Sup.crash_attempts;
+    check_int "job ran once" 1 !n;
+    check_bool "not transient" false c.Sup.crash_transient
 
 let test_backoff_and_policy_validation () =
   check_bool "schedule" true
@@ -528,6 +569,8 @@ let suite =
     Alcotest.test_case "supervise: non-transient crashes fast" `Quick
       test_non_transient_never_retried;
     Alcotest.test_case "supervise: retries exhausted" `Quick test_retries_exhausted;
+    Alcotest.test_case "supervise: transient errno classification" `Quick
+      test_transient_classification;
     Alcotest.test_case "backoff schedule and policy validation" `Quick
       test_backoff_and_policy_validation;
     Alcotest.test_case "crash diagnostic is VAL002" `Quick test_crash_diagnostic;
