@@ -955,6 +955,10 @@ let serve_cmd =
       usage (Printf.sprintf "--max-pending must be non-negative (got %d)" max_pending);
     if max_request_kb < 1 then
       usage (Printf.sprintf "--max-request-kb must be at least 1 (got %d)" max_request_kb);
+    if read_timeout_ms <= 0. then
+      usage (Printf.sprintf "--read-timeout-ms must be positive (got %g)" read_timeout_ms);
+    if drain_grace_ms < 0. then
+      usage (Printf.sprintf "--drain-grace-ms must be non-negative (got %g)" drain_grace_ms);
     if retries < 0 then usage (Printf.sprintf "--retries must be non-negative (got %d)" retries);
     let service =
       Pg_server.Service.create

@@ -3,19 +3,42 @@
    The recency order is a simple logical clock stamped on each hit;
    eviction scans for the minimum stamp.  Capacities here are tens of
    entries (schemas and snapshots an operator actually serves), so the
-   O(n) scan is noise next to the plan compile it avoids. *)
+   O(n) scan is noise next to the plan compile it avoids.
+
+   Lookup cost: the steady-state hit is one [stat].  The stat check
+   (size + mtime + inode) is only trusted for entries whose last digest
+   check postdates the file's mtime by [racy_margin_s] — inside that
+   window a rewrite can land within the filesystem's timestamp
+   granularity without moving the stat (the classic racily-clean
+   problem) — so freshly written files keep being digest-verified
+   (incrementally, via [Digest.file]; the bytes are never slurped for
+   this) until the write has aged, after which lookups stop reading the
+   file at all. *)
 
 module Retry = Graphql_pg.Retry
 
-type 'a entry = { value : 'a; lock : Mutex.t; digest : string }
+type 'a entry = { value : 'a; lock : Mutex.t; digest : string; uid : int }
 
-type slot_meta = { mutable stamp : int }
+type meta = {
+  mutable stamp : int;  (* logical recency for LRU *)
+  mutable size : int;
+  mutable mtime : float;
+  mutable ino : int;
+  mutable verified_at : float;  (* wall clock of the last digest check *)
+}
+
+(* A key resolves to a built entry or to a latch: [Building] marks a
+   lookup running [load] outside the cache mutex; concurrent lookups of
+   that key wait on [resolved] instead of building a duplicate. *)
+type 'a slot = Ready of 'a entry * meta | Building
 
 type 'a t = {
   capacity : int;
-  table : (string, 'a entry * slot_meta) Hashtbl.t;
+  table : (string, 'a slot) Hashtbl.t;
   m : Mutex.t;
+  resolved : Condition.t;
   mutable clock : int;
+  mutable next_uid : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -24,42 +47,67 @@ type 'a t = {
 
 type stats = { hits : int; misses : int; evictions : int; invalidations : int; size : int }
 
+let racy_margin_s = 1.0
+
 let create ~capacity =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
   {
     capacity;
     table = Hashtbl.create (2 * capacity);
     m = Mutex.create ();
+    resolved = Condition.create ();
     clock = 0;
+    next_uid = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
     invalidations = 0;
   }
 
-let read_file path =
-  match open_in_bin path with
+let stat_file path =
+  match Retry.syscall (fun () -> Unix.stat path) with
+  | st -> Ok st
+  | exception Unix.Unix_error (e, _, _) -> Error (path ^ ": " ^ Unix.error_message e)
+
+let digest_file path =
+  match Retry.syscall (fun () -> Digest.file path) with
+  | d -> Ok (Digest.to_hex d)
   | exception Sys_error msg -> Error msg
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let n = in_channel_length ic in
-        let buf = Bytes.create n in
-        Retry.really_input ic buf 0 n;
-        Ok (Bytes.unsafe_to_string buf))
+
+(* Forced only by loaders that want the bytes (schema parsing); a
+   snapshot loader reads its file through [Snapshot_io] instead and the
+   string is never built. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let buf = Bytes.create n in
+      Retry.really_input ic buf 0 n;
+      Bytes.unsafe_to_string buf)
 
 let touch t meta =
   t.clock <- t.clock + 1;
   meta.stamp <- t.clock
 
+let refresh_meta (meta : meta) (st : Unix.stats) =
+  meta.size <- st.Unix.st_size;
+  meta.mtime <- st.Unix.st_mtime;
+  meta.ino <- st.Unix.st_ino;
+  meta.verified_at <- Unix.gettimeofday ()
+
+(* Ready slots only: a latch is a lookup in progress, not a value. *)
 let evict_lru t =
   let victim =
     Hashtbl.fold
-      (fun key (_, meta) acc ->
-        match acc with
-        | Some (_, best) when best <= meta.stamp -> acc
-        | _ -> Some (key, meta.stamp))
+      (fun key slot acc ->
+        match slot with
+        | Building -> acc
+        | Ready (_, meta) -> (
+          match acc with
+          | Some (_, best) when best <= meta.stamp -> acc
+          | _ -> Some (key, meta.stamp)))
       t.table None
   in
   match victim with
@@ -68,35 +116,96 @@ let evict_lru t =
     Hashtbl.remove t.table key;
     t.evictions <- t.evictions + 1
 
-let insert t key entry =
-  if Hashtbl.length t.table >= t.capacity then evict_lru t;
-  let meta = { stamp = 0 } in
-  touch t meta;
-  Hashtbl.replace t.table key (entry, meta)
+let stat_matches (meta : meta) (st : Unix.stats) =
+  meta.size = st.Unix.st_size
+  && meta.mtime = st.Unix.st_mtime
+  && meta.ino = st.Unix.st_ino
+  && meta.mtime +. racy_margin_s <= meta.verified_at
 
 let find t ~key ~path ~load =
-  match read_file path with
-  | Error msg -> Error msg
-  | Ok content ->
-    let digest = Digest.to_hex (Digest.string content) in
-    Mutex.protect t.m (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some (entry, meta) when String.equal entry.digest digest ->
-        t.hits <- t.hits + 1;
-        touch t meta;
-        Ok entry
-      | stale ->
-        if Option.is_some stale then begin
-          (* The file changed under us: the cached artefact describes
-             bytes that no longer exist.  Drop it before rebuilding so a
-             [load] failure cannot leave the stale value resident. *)
-          t.invalidations <- t.invalidations + 1;
-          Hashtbl.remove t.table key
-        end;
-        t.misses <- t.misses + 1;
-        let entry = { value = load ~content; lock = Mutex.create (); digest } in
-        insert t key entry;
-        Ok entry)
+  match stat_file path with
+  | Error _ as e -> e
+  | Ok st -> (
+    let claim =
+      Mutex.protect t.m (fun () ->
+        let rec await () =
+          match Hashtbl.find_opt t.table key with
+          | Some Building ->
+            Condition.wait t.resolved t.m;
+            await ()
+          | Some (Ready (entry, meta)) when stat_matches meta st ->
+            t.hits <- t.hits + 1;
+            touch t meta;
+            `Hit entry
+          | prior ->
+            (* Claim the (re)build: the latch keeps other lookups of
+               this key parked while the digest and load run unlocked. *)
+            Hashtbl.replace t.table key Building;
+            `Build (match prior with Some (Ready (e, m)) -> Some (e, m) | _ -> None)
+        in
+        await ())
+    in
+    (* Resolve the latch under the mutex and wake the parked lookups;
+       every exit path below must go through one of these. *)
+    let resolve slot =
+      Mutex.protect t.m (fun () ->
+        (match slot with
+        | None -> Hashtbl.remove t.table key
+        | Some s -> Hashtbl.replace t.table key s);
+        Condition.broadcast t.resolved)
+    in
+    match claim with
+    | `Hit entry -> Ok entry
+    | `Build prior -> (
+      match digest_file path with
+      | Error _ as e ->
+        (* The file became unreadable, which is not evidence that it
+           changed: keep any prior entry for when it comes back. *)
+        resolve (Option.map (fun (e, m) -> Ready (e, m)) prior);
+        e
+      | Ok digest -> (
+        match prior with
+        | Some (entry, meta) when String.equal entry.digest digest ->
+          (* The stat moved but the bytes did not (a rewrite-in-place,
+             or a write still inside the racy window): revalidate the
+             resident value instead of rebuilding it. *)
+          Mutex.protect t.m (fun () ->
+            t.hits <- t.hits + 1;
+            touch t meta;
+            refresh_meta meta st;
+            Hashtbl.replace t.table key (Ready (entry, meta));
+            Condition.broadcast t.resolved);
+          Ok entry
+        | _ ->
+          let note_rebuild () =
+            if Option.is_some prior then t.invalidations <- t.invalidations + 1;
+            t.misses <- t.misses + 1
+          in
+          let content = lazy (read_file path) in
+          let value =
+            try load ~content
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              (* The stale prior (if any) described bytes that no longer
+                 exist; it must not outlive the failed rebuild. *)
+              Mutex.protect t.m (fun () ->
+                note_rebuild ();
+                Hashtbl.remove t.table key;
+                Condition.broadcast t.resolved);
+              Printexc.raise_with_backtrace e bt
+          in
+          Mutex.protect t.m (fun () ->
+            note_rebuild ();
+            let uid = t.next_uid in
+            t.next_uid <- t.next_uid + 1;
+            let entry = { value; lock = Mutex.create (); digest; uid } in
+            let meta = { stamp = 0; size = 0; mtime = 0.; ino = 0; verified_at = 0. } in
+            touch t meta;
+            refresh_meta meta st;
+            Hashtbl.replace t.table key (Ready (entry, meta));
+            if Hashtbl.length t.table > t.capacity then evict_lru t;
+            Condition.broadcast t.resolved;
+            Ok entry))))
 
 let stats t =
   Mutex.protect t.m (fun () ->

@@ -2,21 +2,35 @@
 
     The daemon keeps compiled {!Graphql_pg.Plan}s and loaded
     {!Graphql_pg.Snapshot}s across requests.  Files on disk can change
-    under a long-lived process, so every lookup re-reads the file and
-    compares its content digest against the cached entry: a stale entry
-    is discarded and rebuilt (counted as an invalidation + miss), never
-    served.  Capacity is bounded; the least-recently-used entry is
-    evicted when a new one would overflow it.
+    under a long-lived process, so every lookup validates the cached
+    entry against the file: a [stat] fast path (same size, mtime, and
+    inode, outside the racy-write window) accepts the entry without
+    touching its bytes, and anything else falls back to an incremental
+    content digest — a mismatch discards and rebuilds the entry
+    (counted as an invalidation + miss), never serves it.  Capacity is
+    bounded; the least-recently-used entry is evicted when a new one
+    would overflow it.
 
-    Thread-safety: the cache itself is guarded by one internal mutex.
-    Cached values that are not safe to share across domains (a [Plan]
-    whose symtab interns during a run) carry a per-entry [lock]; callers
-    must hold it for the duration of any use of [value]. *)
+    Thread-safety: bookkeeping is guarded by one internal mutex, but
+    [load] runs {e outside} it behind a per-key latch — concurrent
+    lookups of one key build it once (single-flight) while lookups of
+    other keys proceed unblocked.  Cached values that are not safe to
+    share across domains (a [Plan] whose symtab interns during a run)
+    carry a per-entry [lock]; callers must hold it for the duration of
+    any use of [value]. *)
 
 type 'a entry = {
   value : 'a;
   lock : Mutex.t;  (** serializes use of [value] across worker domains *)
   digest : string;  (** hex digest of the file content that built [value] *)
+  uid : int;
+      (** unique per built value, never reused within one cache — not
+          even for the same key.  Derived artefacts that are only valid
+          against the producing value (a snapshot interned into one
+          plan's symtab) must key on [uid], not [digest]: entries built
+          from identical bytes (a recompile after eviction, the same
+          file under two keys) share a digest while being distinct
+          values. *)
 }
 
 type 'a t
@@ -25,17 +39,24 @@ val create : capacity:int -> 'a t
 (** [capacity] must be at least 1. *)
 
 val find :
-  'a t -> key:string -> path:string -> load:(content:string -> 'a) -> ('a entry, string) result
+  'a t ->
+  key:string ->
+  path:string ->
+  load:(content:string Lazy.t -> 'a) ->
+  ('a entry, string) result
 (** Look up [key], validating the cached entry against the current
-    content of [path].  On a miss (or stale hit) the file content is
-    passed to [load] and the result cached; [load] runs under the cache
-    mutex, so concurrent requests for the same key build it once.
-    [Error msg] means the file itself could not be read — nothing is
-    cached for unreadable paths.  Exceptions from [load] propagate (the
-    mutex is released) and cache nothing. *)
+    content of [path].  On a miss (or stale hit) [load] is called and
+    its result cached; [content] is the file's bytes, read only when
+    forced, so a loader that opens [path] itself never materializes the
+    string.  [load] runs outside the cache mutex; a per-key latch parks
+    concurrent lookups of the same key until the build resolves, so
+    each key is built once.  [Error msg] means the file itself could
+    not be read — nothing new is cached for unreadable paths.
+    Exceptions from [load] (and from forcing [content]) propagate,
+    release the latch, and cache nothing. *)
 
 type stats = {
-  hits : int;
+  hits : int;  (** includes digest-confirmed revalidations *)
   misses : int;  (** includes the rebuild after each invalidation *)
   evictions : int;  (** capacity-driven LRU removals *)
   invalidations : int;  (** content-digest mismatches on lookup *)

@@ -71,6 +71,8 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
   if config.workers < 1 then invalid_arg "Server.run: workers must be at least 1";
   if config.max_pending < 0 then invalid_arg "Server.run: max_pending must be non-negative";
   if config.max_request_bytes < 1 then invalid_arg "Server.run: max_request_bytes must be positive";
+  if config.read_timeout_ms <= 0. then invalid_arg "Server.run: read_timeout_ms must be positive";
+  if config.drain_grace_ms < 0. then invalid_arg "Server.run: drain_grace_ms must be non-negative";
   (* A client that disconnects while a worker is writing its response
      must cost an EPIPE error value, not a fatal signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -80,7 +82,10 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
   let queue : Unix.file_descr Queue.t = Queue.create () in
   let qm = Mutex.create () in
   let qc = Condition.create () in
-  let in_flight = Atomic.make 0 in
+  (* Guarded by [qm], and only ever changed in the same critical
+     sections that move connections: the drain wait below must never
+     observe a connection that is neither queued nor counted. *)
+  let in_flight = ref 0 in
   let should_stop () = Atomic.get stop in
 
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
@@ -116,7 +121,13 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
           if Atomic.get stop then None
           else
             match Queue.take_opt queue with
-            | Some fd -> Some fd
+            | Some fd ->
+              (* Counted in the critical section that dequeues: a
+                 connection leaving the queue is in flight in the same
+                 instant, so the drain wait cannot slip between the two
+                 and cancel a just-picked-up request without grace. *)
+              incr in_flight;
+              Some fd
             | None ->
               Condition.wait qc qm;
               await ()
@@ -126,9 +137,8 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
     match job with
     | None -> ()
     | Some fd ->
-      Atomic.incr in_flight;
       serve_connection fd;
-      Atomic.decr in_flight;
+      Mutex.protect qm (fun () -> decr in_flight);
       worker ()
   in
   let domains = List.init config.workers (fun _ -> Domain.spawn worker) in
@@ -175,7 +185,7 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
   Mutex.protect qm (fun () -> Condition.broadcast qc);
   (* Give in-flight requests the grace window... *)
   let deadline = Unix.gettimeofday () +. (config.drain_grace_ms /. 1000.) in
-  while Atomic.get in_flight > 0 && Unix.gettimeofday () < deadline do
+  while Mutex.protect qm (fun () -> !in_flight > 0) && Unix.gettimeofday () < deadline do
     Unix.sleepf 0.02
   done;
   (* ...then cut the budgeted ones loose at their next governor

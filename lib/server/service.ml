@@ -121,16 +121,21 @@ let check_counts ~engine ~domains ~shards =
 let plan_entry t ~lenient path =
   let key = (if lenient then "lenient:" else "strict:") ^ path in
   Cache.find t.plans ~key ~path ~load:(fun ~content ->
-    match GP.Of_ast.parse_full ~consistency:(not lenient) content with
+    match GP.Of_ast.parse_full ~consistency:(not lenient) (Lazy.force content) with
     | Ok (sch, _warnings) -> Ok (GP.Validate.compile sch)
     | Error diags -> Error diags)
 
-(* Snapshots intern labels into the plan's symtab at load, so a cached
-   snapshot is only valid against the plan generation that loaded it:
-   the plan's content digest is part of the key.  Callers hold the plan
-   entry's lock. *)
-let snapshot_entry t ~plan_digest ~symtab path =
-  let key = plan_digest ^ ":" ^ path in
+(* Snapshots intern labels into the symtab of the exact plan instance
+   that loads them, so a cached snapshot is only valid against that one
+   compiled plan value.  The key is the plan entry's uid — unique per
+   build — never the schema content digest: the lenient and strict
+   plans for one schema, and successive recompiles after an eviction,
+   share a digest while holding different symtabs, and crossing them
+   makes the kernels render violations through a symtab that lacks (or
+   differently assigns) the snapshot's interned ids.  Callers hold the
+   plan entry's lock. *)
+let snapshot_entry t ~plan_uid ~symtab path =
+  let key = string_of_int plan_uid ^ ":" ^ path in
   Cache.find t.snapshots ~key ~path ~load:(fun ~content:_ ->
     match GP.Snapshot_io.load symtab path with
     | Ok snap -> Ok snap
@@ -211,8 +216,8 @@ let run_validate t ~cancel (r : Protocol.validate_req) =
         else begin
           let snap =
             match
-              snapshot_entry t ~plan_digest:plan_slot.Cache.digest
-                ~symtab:(GP.Plan.symtab plan) r.graph
+              snapshot_entry t ~plan_uid:plan_slot.Cache.uid ~symtab:(GP.Plan.symtab plan)
+                r.graph
             with
             | Ok { Cache.value = Ok snap; _ } -> snap
             | Ok { Cache.value = Error diags; _ } -> reply_diags diags

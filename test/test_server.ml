@@ -158,7 +158,7 @@ let temp_with content =
 let test_cache_hit_miss () =
   let c = Cache.create ~capacity:4 in
   let a = temp_with "alpha" in
-  let load ~content = String.uppercase_ascii content in
+  let load ~content = String.uppercase_ascii (Lazy.force content) in
   let v1 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
   check_string "loaded" "ALPHA" v1.Cache.value;
   let v2 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
@@ -173,7 +173,7 @@ let test_cache_hit_miss () =
 let test_cache_invalidation () =
   let c = Cache.create ~capacity:4 in
   let a = temp_with "one" in
-  let load ~content = content in
+  let load ~content = Lazy.force content in
   let v1 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
   check_string "first content" "one" v1.Cache.value;
   write_file a "two";
@@ -189,7 +189,7 @@ let test_cache_invalidation () =
 
 let test_cache_eviction_order () =
   let c = Cache.create ~capacity:2 in
-  let load ~content = content in
+  let load ~content = Lazy.force content in
   let a = temp_with "A" and b = temp_with "B" and d = temp_with "D" in
   ignore (Cache.find c ~key:"a" ~path:a ~load);
   ignore (Cache.find c ~key:"b" ~path:b ~load);
@@ -210,11 +210,54 @@ let test_cache_eviction_order () =
 
 let test_cache_unreadable () =
   let c = Cache.create ~capacity:2 in
-  let load ~content = content in
+  let load ~content = Lazy.force content in
   (match Cache.find c ~key:"x" ~path:"/nonexistent/gpgs/file" ~load with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unreadable path produced a value");
   check_int "nothing cached" 0 (Cache.stats c).Cache.size
+
+let test_cache_uid_generations () =
+  let c = Cache.create ~capacity:4 in
+  let load ~content = Lazy.force content in
+  let a = temp_with "one" in
+  let v1 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
+  let v2 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
+  check_int "a hit is the same build (uid stable)" v1.Cache.uid v2.Cache.uid;
+  write_file a "two";
+  let v3 = Result.get_ok (Cache.find c ~key:"a" ~path:a ~load) in
+  check_bool "a rebuild is a new value (uid moves)" true (v3.Cache.uid <> v1.Cache.uid);
+  (* identical bytes under another key: same digest, never the same uid
+     — that distinction is what snapshot keying relies on *)
+  let b = temp_with "two" in
+  let v4 = Result.get_ok (Cache.find c ~key:"b" ~path:b ~load) in
+  check_string "identical bytes share a digest" v3.Cache.digest v4.Cache.digest;
+  check_bool "but never a uid" true (v4.Cache.uid <> v3.Cache.uid);
+  List.iter Sys.remove [ a; b ]
+
+let test_cache_single_flight () =
+  (* Concurrent lookups of one key must run [load] once: the builder
+     holds the per-key latch, the rest park on it and take the built
+     entry (as a digest-confirmed hit). *)
+  let c = Cache.create ~capacity:4 in
+  let a = temp_with "payload" in
+  let loads = Atomic.make 0 in
+  let load ~content =
+    Atomic.incr loads;
+    Unix.sleepf 0.05;
+    Lazy.force content
+  in
+  let ds =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Cache.find c ~key:"a" ~path:a ~load))
+  in
+  List.iter
+    (fun d ->
+      match Domain.join d with
+      | Ok e -> check_string "value" "payload" e.Cache.value
+      | Error msg -> Alcotest.fail msg)
+    ds;
+  check_int "load ran once" 1 (Atomic.get loads);
+  check_int "one miss" 1 (Cache.stats c).Cache.misses;
+  Sys.remove a
 
 (* ---- service-level byte parity with the CLI ---- *)
 
@@ -345,6 +388,49 @@ let test_served_snapshot_parity () =
   check_int "naive snapshot exit" 2 (exit_of j);
   check_bool "CLI001" true (has_code "CLI001" j);
   Sys.remove snap_path
+
+let test_snapshot_cache_keyed_by_plan_instance () =
+  (* The lenient and strict plans for one schema, and successive
+     recompiles after an eviction, share a schema content digest while
+     holding different symtabs.  Loading a snapshot interns graph-only
+     labels (here :Alien) into the symtab of the exact plan instance
+     that loads it, so a snapshot cache keyed by digest served the
+     cached snapshot to the *other* plan instances, whose symtabs never
+     interned those ids — violation rendering then crashed the request
+     (SRV005) or printed wrong names.  The cache key is the plan
+     entry's uid now; every plan generation must get a snapshot loaded
+     through its own symtab. *)
+  let config = { Service.default_config with Service.plan_capacity = 1 } in
+  let svc = service ~config () in
+  let sdl =
+    temp_with "type Person @key(fields: [\"name\"]) {\n  name: String! @required\n}\n"
+  in
+  let pgf = temp_with "node n0 :Person {name: \"Ripley\"}\nnode n1 :Alien {name: \"Xeno\"}\n" in
+  let snap_path = Filename.temp_file "gpgs_snap_uid" ".pgsnap" in
+  let g = match GP.Pgf.load pgf with Ok g -> g | Error _ -> Alcotest.fail "fixture pgf" in
+  let st = GP.Symtab.create () in
+  ignore (GP.Snapshot_io.write st (GP.Snapshot.build st g) snap_path);
+  let req ?lenient () =
+    validate_req ~engine:"indexed" ~snapshot:true ?lenient ~schema:sdl ~graph:snap_path ()
+  in
+  let first = decode (Service.handle svc (req ())) in
+  check_bool "first run reports, not crashes" false (has_code "SRV005" first);
+  (* same schema bytes, different plan instance: leniency *)
+  let lenient = decode (Service.handle svc (req ~lenient:true ())) in
+  check_bool "lenient plan does not crash on the cached snapshot" false
+    (has_code "SRV005" lenient);
+  (* same schema bytes, different plan instance: evict (capacity 1) and
+     recompile *)
+  let other_sdl =
+    temp_with "type Movie @key(fields: [\"title\"]) {\n  title: String! @required\n}\n"
+  in
+  ignore (Service.handle svc (validate_req ~schema:other_sdl ~graph:pgf ()));
+  let third = decode (Service.handle svc (req ())) in
+  check_bool "recompiled plan does not crash on the cached snapshot" false
+    (has_code "SRV005" third);
+  check_string "envelope stable across plan generations" (Json.to_string first)
+    (Json.to_string third);
+  List.iter Sys.remove [ sdl; pgf; snap_path; other_sdl ]
 
 let test_plan_cache_invalidation_end_to_end () =
   let svc = service () in
@@ -596,6 +682,8 @@ let suite =
     Alcotest.test_case "cache: content-hash invalidation" `Quick test_cache_invalidation;
     Alcotest.test_case "cache: LRU eviction order" `Quick test_cache_eviction_order;
     Alcotest.test_case "cache: unreadable file caches nothing" `Quick test_cache_unreadable;
+    Alcotest.test_case "cache: uid moves with every rebuild" `Quick test_cache_uid_generations;
+    Alcotest.test_case "cache: concurrent lookups build once" `Quick test_cache_single_flight;
     Alcotest.test_case "served validate matches the pinned golden" `Quick
       test_served_validate_golden;
     Alcotest.test_case "served = CLI bytes for every engine" `Quick test_served_parity_engines;
@@ -603,6 +691,8 @@ let suite =
     Alcotest.test_case "served = CLI bytes on errors" `Quick test_served_parity_errors;
     QCheck_alcotest.to_alcotest test_served_parity_generated;
     Alcotest.test_case "served = CLI bytes on snapshots" `Quick test_served_snapshot_parity;
+    Alcotest.test_case "snapshot cache is per plan instance" `Quick
+      test_snapshot_cache_keyed_by_plan_instance;
     Alcotest.test_case "plan cache invalidates on schema edit" `Quick
       test_plan_cache_invalidation_end_to_end;
     Alcotest.test_case "server default deadline reports SRV003" `Quick
