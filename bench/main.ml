@@ -723,6 +723,80 @@ let serve_storm () =
     [ sch_path; pgf_path; sock ]
 
 (* ------------------------------------------------------------------ *)
+(* E21 — schema-frontend compile cost: the same constraint set written
+   in GraphQL SDL and in PG-Schema, parsed+lowered through each front
+   end onto the shared IR, plus the (frontend-independent) plan
+   compile.  The PG-Schema document is generated synthetically at each
+   size; its SDL twin is the [To_sdl] rendering of the lowered IR, so
+   both texts express byte-for-byte the same schema by construction
+   (asserted via a second lowering round trip).                        *)
+
+let frontend_compile () =
+  section "E21: schema-frontend compile cost — SDL vs PG-Schema (same IR)";
+  let pgs_text n_types =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "CREATE GRAPH TYPE Generated STRICT {\n";
+    for i = 0 to n_types - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  (T%d { id STRING, rank INT, OPTIONAL note STRING, score FLOAT, OPTIONAL tags \
+            STRING ARRAY, flag BOOL }),\n"
+           i)
+    done;
+    for i = 0 to n_types - 1 do
+      let tgt = (i + 1) mod n_types in
+      Buffer.add_string buf
+        (Printf.sprintf "  (:T%d)-[next%d { OPTIONAL weight FLOAT }]->(:T%d) OUT 1..1 IN 0..1,\n" i
+           i tgt);
+      Buffer.add_string buf
+        (Printf.sprintf "  (:T%d)-[fan%d]->(:T%d) OUT 0..* IN 1..*,\n" i i tgt)
+    done;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+  in
+  let sizes = if fast then [ 8; 32 ] else [ 8; 32; 128; 512 ] in
+  Printf.printf "  %-6s %-10s %-10s %12s %12s %12s %6s\n" "types" "sdl (B)" "pgs (B)"
+    "sdl (ms)" "pgs (ms)" "plan (ms)" "same";
+  List.iter
+    (fun n_types ->
+      let pgs = pgs_text n_types in
+      let sch =
+        match GP.Frontend.parse_full GP.Frontend.Pgschema pgs with
+        | Ok (sch, _) -> sch
+        | Error _ -> failwith "E21: generated PG-Schema document failed to lower"
+      in
+      let sdl = GP.To_sdl.to_string sch in
+      let parse lang text =
+        match GP.Frontend.parse_full lang text with
+        | Ok (sch, _) -> sch
+        | Error _ -> failwith "E21: frontend rejected its own rendering"
+      in
+      (* both texts land on the same IR: compare their SDL renderings *)
+      let identical =
+        GP.To_sdl.to_string (parse GP.Frontend.Sdl sdl)
+        = GP.To_sdl.to_string (parse GP.Frontend.Pgschema pgs)
+      in
+      let sdl_ms = time_ms (fun () -> parse GP.Frontend.Sdl sdl) in
+      let pgs_ms = time_ms (fun () -> parse GP.Frontend.Pgschema pgs) in
+      let plan_ms = time_ms (fun () -> GP.Validate.compile sch) in
+      record "E21"
+        [
+          ("node_types", GP.Json.Int n_types);
+          ("sdl_bytes", GP.Json.Int (String.length sdl));
+          ("pgs_bytes", GP.Json.Int (String.length pgs));
+          ("sdl_lower_ms", GP.Json.Float sdl_ms);
+          ("pgs_lower_ms", GP.Json.Float pgs_ms);
+          ("plan_compile_ms", GP.Json.Float plan_ms);
+          ("identical_ir", GP.Json.Bool identical);
+        ];
+      Printf.printf "  %-6d %-10d %-10d %12.3f %12.3f %12.3f %6b\n%!" n_types
+        (String.length sdl) (String.length pgs) sdl_ms pgs_ms plan_ms identical)
+    sizes;
+  Printf.printf
+    "  (sdl/pgs columns are parse+lower onto the shared IR; the plan compile\n\
+    \   is frontend-independent and paid once whichever language wrote the schema)\n"
+
+(* ------------------------------------------------------------------ *)
 (* E7b — per-mode cost breakdown on a fixed workload                    *)
 
 let rule_breakdown () =
@@ -1132,6 +1206,7 @@ let experiments =
     ("E18", snapshot_reopen);
     ("E19", sharded_scaling);
     ("E20", serve_storm);
+    ("E21", frontend_compile);
     ("E7b", rule_breakdown);
     ("E8", example_6_1);
     ("E9", sat_reduction_scaling);

@@ -74,9 +74,12 @@ let die ~fmt ~command ?(cls = GP.Diag.Exit.Input_error) ~text diags =
   | Json -> emit_json ~command ~cls diags);
   exit (GP.Diag.Exit.code cls)
 
-let load_schema ~lenient path =
+(* The schema language defaults to the file extension (.pgs = PG-Schema,
+   anything else SDL); --schema-lang overrides. *)
+let load_schema ?lang ~lenient path =
   let text = read_file path in
-  match GP.Of_ast.parse_full ~consistency:(not lenient) text with
+  let lang = GP.Frontend.select ?lang ~path () in
+  match GP.Frontend.parse_full ~consistency:(not lenient) lang text with
   | Ok (sch, warnings) -> Ok (sch, warnings)
   | Error diags -> Error (path, diags)
 
@@ -116,7 +119,20 @@ let or_die ~fmt ~command = function
 (* ---- common arguments ---- *)
 
 let schema_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA" ~doc:"SDL schema file.")
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"SCHEMA"
+        ~doc:"Schema file: GraphQL SDL, or PG-Schema ($(b,.pgs) / $(b,--schema-lang pgschema)).")
+
+let lang_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("sdl", GP.Frontend.Sdl); ("pgschema", GP.Frontend.Pgschema) ])) None
+    & info [ "schema-lang" ] ~docv:"LANG"
+        ~doc:
+          "Schema language: $(b,sdl) (GraphQL SDL) or $(b,pgschema) (the PG-Schema \
+           fragment).  Default: inferred from the schema file extension ($(b,.pgs) means \
+           pgschema, anything else sdl).")
 
 let lenient_arg =
   Arg.(
@@ -201,7 +217,27 @@ let snapshot_arg =
 (* ---- parse ---- *)
 
 let parse_cmd =
-  let run schema_path pretty fmt =
+  let run_pgschema schema_path pretty fmt =
+    let text = read_file schema_path in
+    match GP.Pgschema.Parser.parse_with_recovery text with
+    | _, (_ :: _ as errors) ->
+      let diags = List.map GP.Pgschema.Lower.syntax_diagnostic errors in
+      (match fmt with
+      | Text -> List.iter (fun e -> prerr_endline (GP.Sdl.Source.error_to_string e)) errors
+      | Json -> ());
+      finish ~fmt ~command:"parse" diags
+    | doc, [] ->
+      (match fmt with
+      | Text -> if pretty then print_string (GP.Pgschema.Printer.document_to_string doc)
+      | Json -> ());
+      finish ~fmt ~command:"parse"
+        ~summary:[ ("definitions", GP.Json.Int (List.length doc)) ]
+        []
+  in
+  let run schema_path lang pretty fmt =
+    match GP.Frontend.select ?lang ~path:schema_path () with
+    | GP.Frontend.Pgschema -> run_pgschema schema_path pretty fmt
+    | GP.Frontend.Sdl ->
     let text = read_file schema_path in
     match GP.Sdl.Parser.parse_with_recovery text with
     | _, (_ :: _ as errors) ->
@@ -227,14 +263,14 @@ let parse_cmd =
     Arg.(value & flag & info [ "print"; "p" ] ~doc:"Pretty-print the parsed document (text mode only).")
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse and lint an SDL schema document.")
-    Term.(const run $ schema_arg $ pretty $ format_arg)
+    (Cmd.info "parse" ~doc:"Parse and lint a schema document (SDL or PG-Schema).")
+    Term.(const run $ schema_arg $ lang_arg $ pretty $ format_arg)
 
 (* ---- check ---- *)
 
 let check_cmd =
-  let run schema_path lenient deadline_ms fmt =
-    let sch, warnings = or_die ~fmt ~command:"check" (load_schema ~lenient schema_path) in
+  let run schema_path lang lenient deadline_ms fmt =
+    let sch, warnings = or_die ~fmt ~command:"check" (load_schema ?lang ~lenient schema_path) in
     let issues = GP.Consistency.check sch in
     let gov = governor ?deadline_ms () in
     let reports = GP.Satisfiability.check_all ~gov sch in
@@ -264,7 +300,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check schema consistency and the satisfiability of every object type.")
-    Term.(const run $ schema_arg $ lenient_arg $ deadline_arg $ format_arg)
+    Term.(const run $ schema_arg $ lang_arg $ lenient_arg $ deadline_arg $ format_arg)
 
 (* ---- validate ---- *)
 
@@ -312,13 +348,13 @@ let shards_arg =
            frontier.")
 
 let validate_cmd =
-  let run schema_path graph_path lenient engine mode domains shards deadline_ms
+  let run schema_path lang graph_path lenient engine mode domains shards deadline_ms
       max_violations stream quarantine max_input_errors retries snapshot fmt =
     let usage msg =
       die ~fmt ~command:"validate" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ]
     in
     check_counts ~usage ~engine ~domains ~shards;
-    let sch, _ = or_die ~fmt ~command:"validate" (load_schema ~lenient schema_path) in
+    let sch, _ = or_die ~fmt ~command:"validate" (load_schema ?lang ~lenient schema_path) in
     let gov = governor ?deadline_ms ?max_violations () in
     let check, ingest_diags, ingest_summary =
       if snapshot then begin
@@ -420,14 +456,14 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a Property Graph against a schema (Section 5).")
     Term.(
-      const run $ schema_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
+      const run $ schema_arg $ lang_arg $ graph_arg $ lenient_arg $ engine $ mode $ domains
       $ shards_arg $ deadline_arg $ max_violations_arg $ stream_arg $ quarantine_arg
       $ max_input_errors_arg $ retries_arg $ snapshot_arg $ format_arg)
 
 (* ---- batch ---- *)
 
 let batch_cmd =
-  let run schema_path graph_paths lenient engine mode domains shards deadline_ms
+  let run schema_path lang graph_paths lenient engine mode domains shards deadline_ms
       max_violations stream max_input_errors retries snapshot fmt =
     let usage msg = die ~fmt ~command:"batch" ~text:msg [ GP.Diag.error ~code:"CLI001" msg ] in
     check_counts ~usage ~engine ~domains ~shards;
@@ -439,7 +475,7 @@ let batch_cmd =
       usage
         "--engine naive validates the source graph text; use linear, indexed, parallel, \
          or sharded with --snapshot";
-    let sch, _ = or_die ~fmt ~command:"batch" (load_schema ~lenient schema_path) in
+    let sch, _ = or_die ~fmt ~command:"batch" (load_schema ?lang ~lenient schema_path) in
     (* one compiled plan for the whole batch; jobs run sequentially (plan
        reuse is sequential-only — within a job the parallel engine may
        still shard across domains) *)
@@ -566,7 +602,7 @@ let batch_cmd =
           that job only; the run continues and one report covers every job, with the \
           exit code composed from all diagnostics (Input > Budget > Findings > Clean).")
     Term.(
-      const run $ schema_arg $ graphs_arg $ lenient_arg $ engine $ mode $ domains
+      const run $ schema_arg $ lang_arg $ graphs_arg $ lenient_arg $ engine $ mode $ domains
       $ shards_arg $ deadline_arg $ max_violations_arg $ stream_arg $ max_input_errors_arg
       $ retries_arg $ snapshot_arg $ format_arg)
 

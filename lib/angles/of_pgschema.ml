@@ -1,0 +1,26 @@
+(** PG-Schema text into the Angles baseline model.
+
+    The composition [Lower] then [Of_graphql]: a PG-Schema document first
+    lowers onto the shared schema IR ({!Pg_schema.Schema}), from which the
+    existing translation derives the Angles schema — endpoint-cardinality
+    directives ([@required], [@uniqueForTarget], [@requiredForTarget])
+    drive the same cardinality reconstruction as for SDL input, so both
+    frontends land on identical Angles schemas for equivalent documents. *)
+
+type dropped = Of_graphql.dropped = { construct : string; reason : string }
+
+let of_schema = Of_graphql.translate
+
+let translate text :
+    (Angles_schema.t * dropped list * Pg_diag.Diag.t list, Pg_diag.Diag.t list) result =
+  match Pg_pgschema.Lower.parse_full text with
+  | Error diagnostics -> Error diagnostics
+  | Ok (sch, warnings) ->
+    let angles, dropped = Of_graphql.translate sch in
+    Ok (angles, dropped, warnings)
+
+let translate_exn text =
+  match translate text with
+  | Ok (angles, dropped, _warnings) -> (angles, dropped)
+  | Error diagnostics ->
+    invalid_arg (String.concat "\n" (List.map Pg_diag.Diag.to_text diagnostics))

@@ -1,0 +1,51 @@
+(** Schema frontend selection.
+
+    The schema core ({!Pg_schema.Schema} and its compiled {!Pg_schema.Plan})
+    is frontend-neutral: any surface language that lowers onto it gets the
+    whole validation stack — six engines, satisfiability, the query
+    executor — for free.  This module names the available frontends and
+    routes text to the right parser, so every layer (CLI, batch driver,
+    server) selects a frontend the same way.
+
+    - {!Sdl} — the GraphQL SDL of the paper ([Pg_schema.Of_ast]);
+    - {!Pgschema} — the PG-Schema fragment ([Pg_pgschema.Lower]).
+
+    When no language is given explicitly the file extension decides:
+    [.pgs] means PG-Schema, everything else (([.graphql], [.sdl], ...)
+    the SDL default. *)
+
+type lang = Sdl | Pgschema
+
+let all = [ Sdl; Pgschema ]
+let to_string = function Sdl -> "sdl" | Pgschema -> "pgschema"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "sdl" | "graphql" -> Some Sdl
+  | "pgschema" | "pgs" | "pg-schema" -> Some Pgschema
+  | _ -> None
+
+(* The extension-based default, used when no explicit language is given. *)
+let infer ~path =
+  if Filename.check_suffix path ".pgs" then Pgschema else Sdl
+
+let select ?lang ~path () = match lang with Some l -> l | None -> infer ~path
+
+(** [parse_full lang text] parses and lowers [text] through the chosen
+    frontend onto the shared schema IR; identical result shape for every
+    frontend: the schema plus its warnings, or the error diagnostics. *)
+let parse_full ?consistency lang text :
+    (Pg_schema.Schema.t * Pg_diag.Diag.t list, Pg_diag.Diag.t list) result =
+  match lang with
+  | Sdl -> Pg_schema.Of_ast.parse_full ?consistency text
+  | Pgschema -> Pg_pgschema.Lower.parse_full ?consistency text
+
+let parse lang text =
+  match lang with
+  | Sdl -> Pg_schema.Of_ast.parse text
+  | Pgschema -> Pg_pgschema.Lower.parse text
+
+let parse_lenient lang text =
+  match lang with
+  | Sdl -> Pg_schema.Of_ast.parse_lenient text
+  | Pgschema -> Pg_pgschema.Lower.parse_lenient text

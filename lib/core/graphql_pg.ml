@@ -14,7 +14,10 @@
     - {!Diag} and {!Diag_registry} (the unified diagnostic model with
       stable codes) plus {!Diag_report} (the CLI's machine-readable
       report envelope) and {!Json} (the shared JSON representation),
-    - {!Sdl} (lexer/parser/printer for the GraphQL SDL),
+    - {!Sdl} (lexer/parser/printer for the GraphQL SDL) and {!Pgschema}
+      (the PG-Schema frontend: its own lexer/recovering parser and the
+      lowering onto the shared schema IR), with {!Frontend} selecting
+      between them by name or file extension,
     - {!Value}, {!Property_graph}, {!Builder}, {!Pgf}, {!Stats}, plus the
       compiled representations {!Symtab} (string interner), {!Snapshot}
       (frozen off-heap CSR view) and {!Snapshot_io} (persisted binary
@@ -53,6 +56,20 @@ module Sdl = struct
   module Printer = Pg_sdl.Printer
   module Lint = Pg_sdl.Lint
 end
+
+module Ir_values = Pg_ir.Values
+
+module Pgschema = struct
+  module Token = Pg_pgschema.Token
+  module Lexer = Pg_pgschema.Lexer
+  module Ast = Pg_pgschema.Ast
+  module Parser = Pg_pgschema.Parser
+  module Printer = Pg_pgschema.Printer
+  module Lower = Pg_pgschema.Lower
+  module To_pgschema = Pg_pgschema.To_pgschema
+end
+
+module Frontend = Frontend
 
 module Value = Pg_graph.Value
 module Property_graph = Pg_graph.Property_graph
@@ -100,6 +117,7 @@ module Satisfiability = Pg_sat.Satisfiability
 module Angles_schema = Pg_angles.Angles_schema
 module Angles_validate = Pg_angles.Angles_validate
 module Angles_of_graphql = Pg_angles.Of_graphql
+module Angles_of_pgschema = Pg_angles.Of_pgschema
 module Neo4j_ddl = Pg_angles.Neo4j_ddl
 module Json = Pg_json.Json
 module Query_ast = Pg_query.Query_ast
@@ -109,6 +127,7 @@ module Mutation = Pg_query.Mutation
 module Social = Pg_gen.Social
 module Corruption = Pg_gen.Corruption
 module Schema_gen = Pg_gen.Schema_gen
+module Pgschema_gen = Pg_gen.Pgschema_gen
 module Instance_gen = Pg_gen.Instance_gen
 module Ksat = Pg_gen.Ksat
 

@@ -5,6 +5,8 @@
    rather than reuse it).  Families:
 
      SDL0xx   lexical / syntax errors of the SDL front end
+     PGS0xx   the PG-Schema front end (Pg_pgschema): syntax and
+              lowering onto the shared schema IR
      LINT0xx  document-level well-formedness (Pg_sdl.Lint)
      SCH00x   AST -> schema build diagnostics (Pg_schema.Of_ast)
      SCH01x   consistency, Definitions 4.3-4.5 (Pg_schema.Consistency)
@@ -32,6 +34,10 @@ let all =
   [
     (* ---- SDL front end ---- *)
     e "SDL001" Input "lexical or syntax error in the SDL document";
+    (* ---- PG-Schema front end ---- *)
+    e "PGS001" Input "lexical or syntax error in the PG-Schema document";
+    e "PGS002" Input "PG-Schema document does not lower onto the schema IR";
+    e "PGS003" Advice "PG-Schema construct dropped or approximated by the lowering";
     (* ---- lint (document-level well-formedness) ---- *)
     e "LINT001" Finding "name is reserved (names must not begin with \"__\")";
     e "LINT002" Finding "duplicate argument name";

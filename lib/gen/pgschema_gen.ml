@@ -1,0 +1,116 @@
+(* Random PG-Schema documents for property-based tests, in the style of
+   [Schema_gen]: documents are emitted as AST values plus their canonical
+   text (so every generated document also exercises the PG-Schema lexer
+   and parser) and lower without errors by construction.
+
+   The generated fragment is {e canonical}: endpoint references use
+   primary labels, properties precede edges, edges carry only the four
+   exactly-representable cardinalities (0..1, 1..1 and the unbounded
+   pair), and labels never collide with property type names — so
+   lowering, exporting
+   with [To_pgschema], and re-lowering reproduces the same schema, which
+   the test suite pins. *)
+
+module Ast = Pg_pgschema.Ast
+
+let sample rng l = List.nth l (Random.State.int rng (List.length l))
+let chance rng p = Random.State.float rng 1.0 < p
+let span = Pg_sdl.Source.dummy_span
+
+let prop_types = [ "String"; "Int"; "Float"; "Boolean"; "ID"; "Date" ]
+
+let random_property rng i : Ast.property =
+  {
+    Ast.p_optional = chance rng 0.4;
+    p_name = Printf.sprintf "p%d" i;
+    p_type = sample rng prop_types;
+    p_array = chance rng 0.25;
+    p_span = span;
+  }
+
+let random_props rng n = List.init (Random.State.int rng (n + 1)) (random_property rng)
+
+(* only the four exactly-representable cardinalities, or absent *)
+let random_out rng : Ast.cardinality option =
+  if chance rng 0.2 then None
+  else
+    Some
+      (sample rng
+         [
+           { Ast.c_lo = 0; c_hi = Some 1 };
+           { Ast.c_lo = 1; c_hi = Some 1 };
+           { Ast.c_lo = 0; c_hi = None };
+           { Ast.c_lo = 1; c_hi = None };
+         ])
+
+let random_in rng : Ast.cardinality option =
+  if chance rng 0.4 then None
+  else
+    Some
+      (sample rng
+         [
+           { Ast.c_lo = 0; c_hi = Some 1 };
+           { Ast.c_lo = 1; c_hi = Some 1 };
+           { Ast.c_lo = 0; c_hi = None };
+           (* 1..* = @requiredForTarget, the main source of unsatisfiable
+              random schemas — generated rarely, as in Schema_gen *)
+           (if chance rng 0.15 then { Ast.c_lo = 1; c_hi = None }
+            else { Ast.c_lo = 0; c_hi = None });
+         ])
+
+let random_document rng : Ast.document =
+  let num_nodes = 2 + Random.State.int rng 4 in
+  let labels = List.init num_nodes (fun i -> Printf.sprintf "N%d" i) in
+  let secondary = if chance rng 0.5 then Some "Tagged" else None in
+  let nodes =
+    List.map
+      (fun l ->
+        Ast.Node_type
+          {
+            Ast.n_name = None;
+            n_labels =
+              (l
+              ::
+              (match secondary with
+              | Some s when chance rng 0.4 -> [ s ]
+              | _ -> []));
+            n_open = chance rng 0.25;
+            n_props = random_props rng 3;
+            n_span = span;
+          })
+      labels
+  in
+  let num_edges = Random.State.int rng (2 * num_nodes) in
+  let edges =
+    List.init num_edges (fun i ->
+        Ast.Edge_type
+          {
+            Ast.e_name = None;
+            e_label = Printf.sprintf "e%d" i;
+            e_src = { Ast.ep_ref = sample rng labels; ep_span = span };
+            e_tgt = { Ast.ep_ref = sample rng labels; ep_span = span };
+            e_open = false;
+            e_props = random_props rng 2;
+            e_out = random_out rng;
+            e_in = random_in rng;
+            e_span = span;
+          })
+  in
+  [
+    {
+      Ast.gt_name = "Generated";
+      gt_mode = (if chance rng 0.15 then Ast.Loose else Ast.Strict);
+      gt_elements = nodes @ edges;
+      gt_span = span;
+    };
+  ]
+
+let random_pgs rng = Pg_pgschema.Printer.document_to_string (random_document rng)
+
+let random_schema rng =
+  match Pg_pgschema.Lower.parse_full (random_pgs rng) with
+  | Ok (sch, _warnings) -> sch
+  | Error diagnostics ->
+    invalid_arg
+      ("Pgschema_gen produced a document that does not lower:\n"
+      ^ String.concat "\n" (List.map Pg_diag.Diag.to_text diagnostics))

@@ -1,0 +1,95 @@
+(** Frontend-neutral literal values and directive locations.
+
+    These types are the part of the schema IR ({!Pg_schema.Schema}) that
+    every frontend must produce: constant values (directive arguments,
+    argument defaults, [@key] field lists) and the locations a directive
+    declaration may attach to.  They carry no surface syntax — the SDL
+    AST ([Pg_sdl.Ast]) re-declares them with type equations so existing
+    constructors keep working, and the PG-Schema frontend builds them
+    directly.  [Pg_schema] proper references only this module, which is
+    what makes its core (schema / plan / consistency / values_w)
+    independent of any concrete schema language. *)
+
+type value =
+  | Int_value of int
+  | Float_value of float
+  | String_value of string
+  | Boolean_value of bool
+  | Null_value
+  | Enum_value of string
+  | List_value of value list
+  | Object_value of (string * value) list
+
+type directive_location =
+  | Loc_query
+  | Loc_mutation
+  | Loc_subscription
+  | Loc_field
+  | Loc_fragment_definition
+  | Loc_fragment_spread
+  | Loc_inline_fragment
+  | Loc_schema
+  | Loc_scalar
+  | Loc_object
+  | Loc_field_definition
+  | Loc_argument_definition
+  | Loc_interface
+  | Loc_union
+  | Loc_enum
+  | Loc_enum_value
+  | Loc_input_object
+  | Loc_input_field_definition
+
+let rec equal_value v1 v2 =
+  match v1, v2 with
+  | Int_value a, Int_value b -> a = b
+  | Float_value a, Float_value b -> a = b || (Float.is_nan a && Float.is_nan b)
+  | String_value a, String_value b -> String.equal a b
+  | Boolean_value a, Boolean_value b -> a = b
+  | Null_value, Null_value -> true
+  | Enum_value a, Enum_value b -> String.equal a b
+  | List_value a, List_value b ->
+    List.length a = List.length b && List.for_all2 equal_value a b
+  | Object_value a, Object_value b ->
+    List.length a = List.length b
+    && List.for_all2 (fun (k1, x1) (k2, x2) -> String.equal k1 k2 && equal_value x1 x2) a b
+  | ( ( Int_value _ | Float_value _ | String_value _ | Boolean_value _ | Null_value
+      | Enum_value _ | List_value _ | Object_value _ ),
+      _ ) ->
+    false
+
+(* Rendering: byte-for-byte the historical [Pg_sdl.Printer.value_to_string]
+   (the SDL printer now delegates here), so diagnostics that embed a value
+   are identical whichever frontend produced it. *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Int_value i -> string_of_int i
+  | Float_value f -> float_literal f
+  | String_value s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Boolean_value b -> string_of_bool b
+  | Null_value -> "null"
+  | Enum_value n -> n
+  | List_value vs -> Printf.sprintf "[%s]" (String.concat ", " (List.map to_string vs))
+  | Object_value fields ->
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (to_string v)) fields))

@@ -1,0 +1,77 @@
+(** Abstract syntax of the supported PG-Schema fragment.
+
+    One document is a sequence of [CREATE GRAPH TYPE] definitions, each
+    holding node-type and edge-type elements:
+
+    {v
+    CREATE GRAPH TYPE SocialGraph STRICT {
+      (personType : Person & Taxpayer OPEN { name STRING, OPTIONAL born INT }),
+      (:personType)-[knows : Knows { since INT }]->(:personType) OUT 0..* IN 0..*
+    }
+    v}
+
+    - A node type has a non-empty label conjunction; the first label is
+      primary (it names the lowered object type), the rest are secondary
+      (lowered to marker interfaces).  [OPEN] admits undeclared
+      properties.
+    - An edge type connects two endpoint references — a node-type name
+      or a primary label — and may carry properties and [OUT]/[IN]
+      endpoint cardinalities ([m..n] with [*] for unbounded).
+    - Properties are [OPTIONAL]? name TYPE [ARRAY]?.
+
+    Spans are the shared {!Pg_sdl.Source.span} (i.e. {!Pg_diag.Diag}
+    spans), so PG-Schema diagnostics render like every other family. *)
+
+type span = Pg_sdl.Source.span
+
+type property = {
+  p_optional : bool;
+  p_name : string;
+  p_type : string;  (** as written: [STRING], [INT], [DATE], ... *)
+  p_array : bool;
+  p_span : span;
+}
+
+type node_type = {
+  n_name : string option;  (** declared type name, usable as endpoint reference *)
+  n_labels : string list;  (** non-empty; head = primary label *)
+  n_open : bool;
+  n_props : property list;
+  n_span : span;
+}
+
+type cardinality = { c_lo : int; c_hi : int option  (** [None] = [*] *) }
+
+type endpoint = { ep_ref : string; ep_span : span }
+
+type edge_type = {
+  e_name : string option;
+  e_label : string;
+  e_src : endpoint;
+  e_tgt : endpoint;
+  e_open : bool;
+  e_props : property list;
+  e_out : cardinality option;  (** edges per source node *)
+  e_in : cardinality option;  (** edges per target node *)
+  e_span : span;
+}
+
+type element = Node_type of node_type | Edge_type of edge_type
+
+type mode = Strict | Loose
+
+type graph_type = {
+  gt_name : string;
+  gt_mode : mode;
+  gt_elements : element list;
+  gt_span : span;
+}
+
+type document = graph_type list
+
+let element_span = function Node_type n -> n.n_span | Edge_type e -> e.e_span
+
+let cardinality_to_string { c_lo; c_hi } =
+  match c_hi with
+  | Some hi -> Printf.sprintf "%d..%d" c_lo hi
+  | None -> Printf.sprintf "%d..*" c_lo

@@ -1,0 +1,147 @@
+(* Hand-written lexer in the style of [Pg_sdl.Lexer]: a mutable cursor
+   over the source bytes, positions shared with [Pg_diag.Diag] through
+   [Pg_sdl.Source].  Commas are insignificant separators (as in SDL);
+   comments are [//] to end of line and [/* ... */]. *)
+
+module Source = Pg_sdl.Source
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+exception Error of Source.error
+
+let fail st ?(at : Source.span option) message =
+  let here : Source.pos = { line = st.line; column = st.column; offset = st.offset } in
+  let at = match at with Some s -> s | None -> Source.span here here in
+  raise (Error { at; message })
+
+let pos st : Source.pos = { line = st.line; column = st.column; offset = st.offset }
+let peek st = if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let skip_ignored st =
+  let rec loop () =
+    match peek st with
+    | Some (' ' | '\t' | ',' | '\n' | '\r') ->
+      advance st;
+      loop ()
+    | Some '/' when peek2 st = Some '/' ->
+      let rec comment () =
+        match peek st with
+        | Some ('\n' | '\r') | None -> ()
+        | Some _ ->
+          advance st;
+          comment ()
+      in
+      comment ();
+      loop ()
+    | Some '/' when peek2 st = Some '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec comment () =
+        match peek st with
+        | Some '*' when peek2 st = Some '/' ->
+          advance st;
+          advance st
+        | Some _ ->
+          advance st;
+          comment ()
+        | None -> fail st ~at:(Source.span start start) "unterminated comment"
+      in
+      comment ();
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let name st =
+  let start = st.offset in
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  advance st;
+  loop ();
+  String.sub st.src start (st.offset - start)
+
+let number st =
+  let start = st.offset in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+      advance st;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  (match peek st with
+  | Some c when is_name_start c -> fail st "invalid number: a name may not follow digits"
+  | _ -> ());
+  int_of_string (String.sub st.src start (st.offset - start))
+
+let next st : Token.located =
+  skip_ignored st;
+  let start = pos st in
+  let single tok =
+    advance st;
+    { Token.token = tok; at = Source.span start (pos st) }
+  in
+  match peek st with
+  | None -> { Token.token = Token.Eof; at = Source.span start start }
+  | Some '(' -> single Token.Paren_open
+  | Some ')' -> single Token.Paren_close
+  | Some '[' -> single Token.Bracket_open
+  | Some ']' -> single Token.Bracket_close
+  | Some '{' -> single Token.Brace_open
+  | Some '}' -> single Token.Brace_close
+  | Some ':' -> single Token.Colon
+  | Some '&' -> single Token.Amp
+  | Some '*' -> single Token.Star
+  | Some '-' when peek2 st = Some '>' ->
+    advance st;
+    advance st;
+    { Token.token = Token.Arrow; at = Source.span start (pos st) }
+  | Some '-' -> single Token.Dash
+  | Some '.' when peek2 st = Some '.' ->
+    advance st;
+    advance st;
+    { Token.token = Token.Dot_dot; at = Source.span start (pos st) }
+  | Some c when is_name_start c ->
+    let n = name st in
+    { Token.token = Token.Name n; at = Source.span start (pos st) }
+  | Some c when is_digit c ->
+    let i = number st in
+    { Token.token = Token.Int i; at = Source.span start (pos st) }
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let tokenize text : (Token.located list, Source.error) result =
+  let st = { src = text; offset = 0; line = 1; column = 1 } in
+  let rec loop acc =
+    match next st with
+    | { Token.token = Token.Eof; _ } as t -> List.rev (t :: acc)
+    | t -> loop (t :: acc)
+  in
+  match loop [] with toks -> Ok toks | exception Error e -> Error e

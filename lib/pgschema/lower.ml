@@ -1,0 +1,332 @@
+(* Lowering PG-Schema graph types onto the shared schema IR
+   ({!Pg_schema.Schema}), mirroring the SDL frontend's [Of_ast]:
+
+   - a node type becomes an object type named by its primary label;
+     secondary labels become marker interfaces the object implements;
+   - a property becomes an attribute field — mandatory lowers to a
+     non-null type plus [@required] (DS5), [OPTIONAL] to a nullable
+     type, [ARRAY] to a list type;
+   - an edge type becomes a relationship field on its source object,
+     named by the edge label; [OUT]/[IN] endpoint cardinalities lower to
+     the DS-rule constraint rows ([@required], [@uniqueForTarget],
+     [@requiredForTarget]) and to the target's list/non-null wrapping;
+   - [OPEN] node types (every node type of a [LOOSE] graph type) get
+     [@open], which exempts their nodes from the strong rule SS2 —
+     lenient-per-type;
+   - property types beyond the builtins ([DATE], ...) become custom
+     scalar types.
+
+   Diagnostics: PGS001 = syntax (from the parser), PGS002 = a document
+   that does not lower, PGS003 = a construct dropped or approximated. *)
+
+module Source = Pg_sdl.Source
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Consistency = Pg_schema.Consistency
+module Sm = Map.Make (String)
+
+type severity = Error | Warning
+
+type diagnostic = { code : string; at : Source.span; severity : severity; message : string }
+
+let to_diagnostic d =
+  let severity =
+    match d.severity with Error -> Pg_diag.Diag.Error | Warning -> Pg_diag.Diag.Warning
+  in
+  Pg_diag.Diag.make ~code:d.code ~severity ~span:d.at d.message
+
+(* Syntax errors carry the PGS001 code (the PG-Schema counterpart of
+   SDL001). *)
+let syntax_diagnostic (e : Source.error) =
+  Pg_diag.Diag.error ~code:"PGS001" ~span:e.Source.at e.Source.message
+
+type ctx = { mutable diagnostics : diagnostic list }
+
+let error ctx at fmt =
+  Format.kasprintf
+    (fun message ->
+      ctx.diagnostics <- { code = "PGS002"; at; severity = Error; message } :: ctx.diagnostics)
+    fmt
+
+let warning ctx at fmt =
+  Format.kasprintf
+    (fun message ->
+      ctx.diagnostics <- { code = "PGS003"; at; severity = Warning; message } :: ctx.diagnostics)
+    fmt
+
+(* Property type names: the PG-Schema spellings (case-insensitive) map
+   onto the builtin scalars; anything else declares a custom scalar,
+   case-preserved. *)
+let base_scalar ty =
+  match String.uppercase_ascii ty with
+  | "STRING" -> `Builtin "String"
+  | "INT" | "INTEGER" -> `Builtin "Int"
+  | "FLOAT" | "DOUBLE" -> `Builtin "Float"
+  | "BOOL" | "BOOLEAN" -> `Builtin "Boolean"
+  | "ID" -> `Builtin "ID"
+  | _ -> `Custom ty
+
+let required_use = { Schema.du_name = "required"; du_args = [] }
+let open_use = { Schema.du_name = "open"; du_args = [] }
+let unique_tgt_use = { Schema.du_name = "uniqueForTarget"; du_args = [] }
+let required_tgt_use = { Schema.du_name = "requiredForTarget"; du_args = [] }
+
+let open_directive_def = { Schema.dd_args = []; dd_locations = [ Pg_ir.Values.Loc_object ] }
+
+(* A property's wrapped type: [ARRAY] lowers to a list of non-null items
+   (graph values are never null); mandatory lowers the outer wrapper to
+   non-null. *)
+let property_wrapped base (p : Ast.property) =
+  if p.Ast.p_array then
+    Wrapped.List { item = base; item_non_null = true; non_null = not p.Ast.p_optional }
+  else if p.Ast.p_optional then Wrapped.Named base
+  else Wrapped.Non_null base
+
+(* Per-node-type working state, keyed by primary label. *)
+type node_acc = {
+  na_node : Ast.node_type;
+  na_open : bool;
+  mutable na_fields : (string * Schema.field) list;  (* reversed *)
+}
+
+let lower (doc : Ast.document) =
+  let ctx = { diagnostics = [] } in
+  let customs = ref Sm.empty in
+  let note_custom ty at =
+    match base_scalar ty with
+    | `Builtin b -> b
+    | `Custom c ->
+      (match Sm.find_opt c !customs with
+      | Some _ -> ()
+      | None -> customs := Sm.add c at !customs);
+      c
+  in
+  (* pass 1: node types — primaries, declared type names, secondaries *)
+  let nodes : node_acc Sm.t ref = ref Sm.empty in
+  let order = ref [] in
+  let type_names = ref Sm.empty in
+  let secondaries = ref Sm.empty in
+  List.iter
+    (fun (gt : Ast.graph_type) ->
+      let loose = gt.Ast.gt_mode = Ast.Loose in
+      List.iter
+        (function
+          | Ast.Edge_type _ -> ()
+          | Ast.Node_type n -> (
+            match n.Ast.n_labels with
+            | [] -> ()
+            | primary :: rest ->
+              if Sm.mem primary !nodes then
+                error ctx n.Ast.n_span "duplicate node type with primary label %S" primary
+              else begin
+                nodes :=
+                  Sm.add primary
+                    { na_node = n; na_open = n.Ast.n_open || loose; na_fields = [] }
+                    !nodes;
+                order := primary :: !order;
+                (match n.Ast.n_name with
+                | Some tn ->
+                  if Sm.mem tn !type_names then
+                    error ctx n.Ast.n_span "duplicate node type name %S" tn
+                  else type_names := Sm.add tn primary !type_names
+                | None -> ());
+                List.iter
+                  (fun s -> secondaries := Sm.add s n.Ast.n_span !secondaries)
+                  rest
+              end))
+        gt.Ast.gt_elements)
+    doc;
+  Sm.iter
+    (fun s at ->
+      if Sm.mem s !nodes then
+        error ctx at "label %S is used both as a primary and a secondary label" s)
+    !secondaries;
+  (* pass 2: properties become attribute fields *)
+  Sm.iter
+    (fun primary na ->
+      List.iter
+        (fun (p : Ast.property) ->
+          if List.mem_assoc p.Ast.p_name na.na_fields then
+            error ctx p.Ast.p_span "duplicate property %S on node type %S" p.Ast.p_name primary
+          else begin
+            let base = note_custom p.Ast.p_type p.Ast.p_span in
+            let fd =
+              {
+                Schema.fd_type = property_wrapped base p;
+                fd_args = [];
+                fd_directives = (if p.Ast.p_optional then [] else [ required_use ]);
+                fd_description = None;
+              }
+            in
+            na.na_fields <- (p.Ast.p_name, fd) :: na.na_fields
+          end)
+        na.na_node.Ast.n_props)
+    !nodes;
+  (* pass 3: edge types become relationship fields on their source *)
+  (* a declared type name shadows a primary label of the same spelling *)
+  let resolve (ep : Ast.endpoint) =
+    match Sm.find_opt ep.Ast.ep_ref !type_names with
+    | Some primary -> Some primary
+    | None ->
+      if Sm.mem ep.Ast.ep_ref !nodes then Some ep.Ast.ep_ref
+      else begin
+        if Sm.mem ep.Ast.ep_ref !secondaries then
+          error ctx ep.Ast.ep_span
+            "endpoint reference %S is a secondary label; endpoints must reference a node type"
+            ep.Ast.ep_ref
+        else error ctx ep.Ast.ep_span "unknown endpoint reference %S" ep.Ast.ep_ref;
+        None
+      end
+  in
+  List.iter
+    (fun (gt : Ast.graph_type) ->
+      List.iter
+        (function
+          | Ast.Node_type _ -> ()
+          | Ast.Edge_type e -> (
+            match resolve e.Ast.e_src, resolve e.Ast.e_tgt with
+            | Some src, Some tgt ->
+              let na = Sm.find src !nodes in
+              if e.Ast.e_open then
+                warning ctx e.Ast.e_span
+                  "OPEN on edge type %S is not supported and is ignored" e.Ast.e_label;
+              if List.mem_assoc e.Ast.e_label na.na_fields then
+                error ctx e.Ast.e_span
+                  "duplicate field %S on node type %S (edge label collides)" e.Ast.e_label src
+              else begin
+                let out = Option.value e.Ast.e_out ~default:{ Ast.c_lo = 0; c_hi = None } in
+                (match out with
+                | { Ast.c_lo = 0 | 1; c_hi = Some 1 | None } -> ()
+                | c ->
+                  warning ctx e.Ast.e_span
+                    "cardinality OUT %s of edge %S is approximated by %s"
+                    (Ast.cardinality_to_string c) e.Ast.e_label
+                    (Ast.cardinality_to_string
+                       { c with Ast.c_lo = min 1 c.Ast.c_lo }));
+                let required = out.Ast.c_lo >= 1 in
+                let fd_type =
+                  match out.Ast.c_hi with
+                  | Some 1 -> if required then Wrapped.Non_null tgt else Wrapped.Named tgt
+                  | _ -> Wrapped.List { item = tgt; item_non_null = true; non_null = required }
+                in
+                let in_dirs =
+                  match e.Ast.e_in with
+                  | None -> []
+                  | Some c ->
+                    (match c with
+                    | { Ast.c_lo = 0 | 1; c_hi = Some 1 | None } -> ()
+                    | c ->
+                      warning ctx e.Ast.e_span
+                        "cardinality IN %s of edge %S is approximated by %s"
+                        (Ast.cardinality_to_string c) e.Ast.e_label
+                        (Ast.cardinality_to_string { c with Ast.c_lo = min 1 c.Ast.c_lo }));
+                    (if c.Ast.c_hi = Some 1 then [ unique_tgt_use ] else [])
+                    @ if c.Ast.c_lo >= 1 then [ required_tgt_use ] else []
+                in
+                let args =
+                  List.fold_left
+                    (fun args (p : Ast.property) ->
+                      if List.mem_assoc p.Ast.p_name args then begin
+                        error ctx p.Ast.p_span "duplicate property %S on edge type %S"
+                          p.Ast.p_name e.Ast.e_label;
+                        args
+                      end
+                      else begin
+                        let base = note_custom p.Ast.p_type p.Ast.p_span in
+                        args
+                        @ [
+                            ( p.Ast.p_name,
+                              {
+                                Schema.arg_type = property_wrapped base p;
+                                arg_directives = [];
+                                arg_default = None;
+                              } );
+                          ]
+                      end)
+                    [] e.Ast.e_props
+                in
+                let fd =
+                  {
+                    Schema.fd_type;
+                    fd_args = args;
+                    fd_directives = (if required then [ required_use ] else []) @ in_dirs;
+                    fd_description = None;
+                  }
+                in
+                na.na_fields <- (e.Ast.e_label, fd) :: na.na_fields
+              end
+            | _ -> ()))
+        gt.Ast.gt_elements)
+    doc;
+  (* custom scalar names must not collide with labels *)
+  customs :=
+    Sm.filter
+      (fun c at ->
+        if Sm.mem c !nodes || Sm.mem c !secondaries || Sm.mem c !type_names then begin
+          error ctx at "property type %S is a node label, not a scalar type" c;
+          false
+        end
+        else true)
+      !customs;
+  (* assembly *)
+  let sch = ref Schema.empty in
+  Sm.iter
+    (fun c _at ->
+      sch :=
+        Schema.add_scalar !sch c
+          { Schema.sc_builtin = false; sc_directives = []; sc_description = None })
+    !customs;
+  Sm.iter
+    (fun s _at ->
+      sch :=
+        Schema.add_interface !sch s
+          { Schema.it_fields = []; it_directives = []; it_description = None })
+    !secondaries;
+  let any_open = Sm.exists (fun _ na -> na.na_open) !nodes in
+  if any_open then sch := Schema.add_directive_def !sch "open" open_directive_def;
+  List.iter
+    (fun primary ->
+      let na = Sm.find primary !nodes in
+      let secondary =
+        match na.na_node.Ast.n_labels with _ :: rest -> rest | [] -> []
+      in
+      sch :=
+        Schema.add_object !sch primary
+          {
+            Schema.ot_interfaces = secondary;
+            ot_fields = List.rev na.na_fields;
+            ot_directives = (if na.na_open then [ open_use ] else []);
+            ot_description = None;
+          })
+    (List.rev !order);
+  let diagnostics = List.rev ctx.diagnostics in
+  let errors = List.filter (fun d -> d.severity = Error) diagnostics in
+  if errors <> [] then Result.Error diagnostics
+  else Ok (Schema.rebuild_implementations !sch, diagnostics)
+
+(* The structured front door, mirroring [Pg_schema.Of_ast.parse_full]:
+   every stage's findings as unified diagnostics. *)
+let parse_full ?(consistency = true) text =
+  match Parser.parse_with_recovery text with
+  | _, (_ :: _ as errors) -> Result.Error (List.map syntax_diagnostic errors)
+  | doc, [] -> (
+    match lower doc with
+    | Result.Error diagnostics -> Result.Error (List.map to_diagnostic diagnostics)
+    | Ok (sch, warnings) ->
+      if not consistency then Ok (sch, List.map to_diagnostic warnings)
+      else (
+        match Consistency.check sch with
+        | [] -> Ok (sch, List.map to_diagnostic warnings)
+        | issues -> Result.Error (List.map Consistency.to_diagnostic issues)))
+
+let parse_with ~check_consistency text =
+  match parse_full ~consistency:check_consistency text with
+  | Ok (sch, _warnings) -> Ok sch
+  | Result.Error diagnostics ->
+    Result.Error (String.concat "\n" (List.map Pg_diag.Diag.to_text diagnostics))
+
+let parse text = parse_with ~check_consistency:true text
+let parse_lenient text = parse_with ~check_consistency:false text
+
+let parse_exn text =
+  match parse text with Ok sch -> sch | Result.Error msg -> invalid_arg msg

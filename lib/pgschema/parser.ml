@@ -1,0 +1,329 @@
+(* Recursive-descent parser for the PG-Schema fragment, in the style of
+   [Pg_sdl.Parser]: a cursor over the token array, exceptions for syntax
+   errors, and an error-recovering entry point that records a diagnostic
+   and resynchronizes at the next element or [CREATE] keyword, so a
+   document with several independent errors reports all of them in one
+   run. *)
+
+module Source = Pg_sdl.Source
+
+type st = { toks : Token.located array; mutable ix : int }
+
+exception Syntax of Source.error
+
+let err at fmt = Format.kasprintf (fun message -> raise (Syntax { Source.at; message })) fmt
+let peek st = st.toks.(st.ix)
+let peek_at st k =
+  let i = st.ix + k in
+  if i < Array.length st.toks then st.toks.(i) else st.toks.(Array.length st.toks - 1)
+
+let advance st = if st.ix < Array.length st.toks - 1 then st.ix <- st.ix + 1
+
+let prev_end st : Source.pos =
+  if st.ix = 0 then (peek st).Token.at.Source.span_start
+  else st.toks.(st.ix - 1).Token.at.Source.span_end
+
+(* Keywords are case-insensitive names; labels and property names stay
+   case-sensitive. *)
+let uc = String.uppercase_ascii
+let kw_is k = function Token.Name n -> String.equal (uc n) k | _ -> false
+let at_kw st k = kw_is k (peek st).Token.token
+
+let expect_kw st k =
+  let t = peek st in
+  if kw_is k t.Token.token then advance st
+  else err t.Token.at "expected %s, found %s" k (Token.describe t.Token.token)
+
+let expect st tok what =
+  let t = peek st in
+  if t.Token.token = tok then advance st
+  else err t.Token.at "expected %s, found %s" what (Token.describe t.Token.token)
+
+let parse_name st what =
+  let t = peek st in
+  match t.Token.token with
+  | Token.Name n ->
+    advance st;
+    n
+  | tok -> err t.Token.at "expected %s, found %s" what (Token.describe tok)
+
+(* [OPTIONAL]? name TYPE [ARRAY]?.  A leading name is the OPTIONAL flag
+   only when two more names follow, so a property may itself be called
+   "optional". *)
+let parse_property st : Ast.property =
+  let start = (peek st).Token.at.Source.span_start in
+  let optional =
+    if
+      at_kw st "OPTIONAL"
+      && (match (peek_at st 1).Token.token with Token.Name _ -> true | _ -> false)
+      && (match (peek_at st 2).Token.token with Token.Name _ -> true | _ -> false)
+    then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let p_name = parse_name st "a property name" in
+  let p_type = parse_name st "a property type" in
+  let p_array =
+    if at_kw st "ARRAY" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  { Ast.p_optional = optional; p_name; p_type; p_array; p_span = Source.span start (prev_end st) }
+
+let parse_props st =
+  expect st Token.Brace_open "'{'";
+  let rec loop acc =
+    match (peek st).Token.token with
+    | Token.Brace_close ->
+      advance st;
+      List.rev acc
+    | Token.Eof -> err (peek st).Token.at "unexpected end of input in a property list"
+    | _ -> loop (parse_property st :: acc)
+  in
+  loop []
+
+let parse_open_flag st =
+  if at_kw st "OPEN" then begin
+    advance st;
+    true
+  end
+  else false
+
+(* name ':' before the label list, e.g. [personType : Person] *)
+let parse_optional_type_name st =
+  match ((peek st).Token.token, (peek_at st 1).Token.token) with
+  | Token.Name n, Token.Colon ->
+    advance st;
+    advance st;
+    Some n
+  | _ -> None
+
+let parse_labels st =
+  let first = parse_name st "a label" in
+  let rec loop acc =
+    if (peek st).Token.token = Token.Amp then begin
+      advance st;
+      loop (parse_name st "a label" :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+let parse_node_rest st start : Ast.node_type =
+  let n_name = parse_optional_type_name st in
+  let n_labels = parse_labels st in
+  let n_open = parse_open_flag st in
+  let n_props = if (peek st).Token.token = Token.Brace_open then parse_props st else [] in
+  expect st Token.Paren_close "')'";
+  { Ast.n_name; n_labels; n_open; n_props; n_span = Source.span start (prev_end st) }
+
+let parse_endpoint st : Ast.endpoint =
+  let start = (peek st).Token.at.Source.span_start in
+  expect st Token.Paren_open "'('";
+  expect st Token.Colon "':'";
+  let ep_ref = parse_name st "an endpoint reference" in
+  expect st Token.Paren_close "')'";
+  { Ast.ep_ref; ep_span = Source.span start (prev_end st) }
+
+let parse_cardinality st : Ast.cardinality =
+  let t = peek st in
+  let lo =
+    match t.Token.token with
+    | Token.Int i ->
+      advance st;
+      i
+    | tok -> err t.Token.at "expected a cardinality bound, found %s" (Token.describe tok)
+  in
+  expect st Token.Dot_dot "'..'";
+  let t = peek st in
+  match t.Token.token with
+  | Token.Int i ->
+    advance st;
+    if i < lo then err t.Token.at "cardinality upper bound %d is below lower bound %d" i lo
+    else { Ast.c_lo = lo; c_hi = Some i }
+  | Token.Star ->
+    advance st;
+    { Ast.c_lo = lo; c_hi = None }
+  | tok -> err t.Token.at "expected a cardinality upper bound, found %s" (Token.describe tok)
+
+let parse_edge_rest st start src : Ast.edge_type =
+  expect st Token.Dash "'-'";
+  expect st Token.Bracket_open "'['";
+  let e_name = parse_optional_type_name st in
+  let e_label = parse_name st "an edge label" in
+  let e_open = parse_open_flag st in
+  let e_props = if (peek st).Token.token = Token.Brace_open then parse_props st else [] in
+  expect st Token.Bracket_close "']'";
+  expect st Token.Arrow "'->'";
+  let tgt = parse_endpoint st in
+  let e_out = ref None and e_in = ref None in
+  let rec cards () =
+    let t = peek st in
+    let set which slot =
+      advance st;
+      let c = parse_cardinality st in
+      (match !slot with
+      | Some _ -> err t.Token.at "duplicate %s cardinality" which
+      | None -> slot := Some c);
+      cards ()
+    in
+    if at_kw st "OUT" then set "OUT" e_out
+    else if at_kw st "IN" then set "IN" e_in
+  in
+  cards ();
+  {
+    Ast.e_name;
+    e_label;
+    e_src = src;
+    e_tgt = tgt;
+    e_open;
+    e_props;
+    e_out = !e_out;
+    e_in = !e_in;
+    e_span = Source.span start (prev_end st);
+  }
+
+(* Both element forms start with '('; an endpoint reference (':') after it
+   means an edge type. *)
+let parse_element st : Ast.element =
+  let start = (peek st).Token.at.Source.span_start in
+  let t = peek st in
+  if t.Token.token <> Token.Paren_open then
+    err t.Token.at "expected a node or edge type (starting with '('), found %s"
+      (Token.describe t.Token.token)
+  else if (peek_at st 1).Token.token = Token.Colon then begin
+    let src = parse_endpoint st in
+    Ast.Edge_type (parse_edge_rest st start src)
+  end
+  else begin
+    advance st;
+    Ast.Node_type (parse_node_rest st start)
+  end
+
+let parse_mode st =
+  if at_kw st "STRICT" then begin
+    advance st;
+    Ast.Strict
+  end
+  else if at_kw st "LOOSE" then begin
+    advance st;
+    Ast.Loose
+  end
+  else Ast.Strict
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: skip to the next element start ['('] or graph type [CREATE]
+   at relative nesting depth 0.  The offending token is always consumed
+   first, so recovery makes progress on any input. *)
+
+let synchronize st =
+  if (peek st).Token.token <> Token.Eof then advance st;
+  let depth = ref 0 in
+  let rec loop () =
+    let t = peek st in
+    match t.Token.token with
+    | Token.Eof -> ()
+    | Token.Paren_open when !depth <= 0 -> ()
+    | Token.Brace_close when !depth <= 0 -> ()
+    | Token.Name n when !depth <= 0 && String.equal (uc n) "CREATE" -> ()
+    | Token.Paren_open | Token.Bracket_open | Token.Brace_open ->
+      incr depth;
+      advance st;
+      loop ()
+    | Token.Paren_close | Token.Bracket_close | Token.Brace_close ->
+      decr depth;
+      advance st;
+      loop ()
+    | _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
+
+let parse_graph_type st errs : Ast.graph_type =
+  let start = (peek st).Token.at.Source.span_start in
+  expect_kw st "CREATE";
+  expect_kw st "GRAPH";
+  expect_kw st "TYPE";
+  let gt_name = parse_name st "a graph type name" in
+  let gt_mode = parse_mode st in
+  expect st Token.Brace_open "'{'";
+  let elems = ref [] in
+  let rec loop () =
+    match (peek st).Token.token with
+    | Token.Brace_close -> advance st
+    | Token.Eof -> err (peek st).Token.at "unexpected end of input: missing '}'"
+    | Token.Name n when String.equal (uc n) "CREATE" ->
+      (* an unclosed body followed by the next graph type *)
+      err (peek st).Token.at "missing '}' before the next CREATE"
+    | _ -> (
+      match parse_element st with
+      | elem ->
+        elems := elem :: !elems;
+        loop ()
+      | exception Syntax e ->
+        errs := e :: !errs;
+        synchronize st;
+        loop ())
+  in
+  loop ();
+  {
+    Ast.gt_name;
+    gt_mode;
+    gt_elements = List.rev !elems;
+    gt_span = Source.span start (prev_end st);
+  }
+
+let parse_with_recovery text : Ast.document * Source.error list =
+  match Lexer.tokenize text with
+  | Error e -> ([], [ e ])
+  | Ok toks ->
+    let st = { toks = Array.of_list toks; ix = 0 } in
+    let errs = ref [] in
+    let gts = ref [] in
+    let rec loop () =
+      match (peek st).Token.token with
+      | Token.Eof -> ()
+      | _ -> (
+        match parse_graph_type st errs with
+        | gt ->
+          gts := gt :: !gts;
+          loop ()
+        | exception Syntax e ->
+          errs := e :: !errs;
+          synchronize st;
+          (* recovery may stop at an element of a broken graph type:
+             skip ahead to the next CREATE *)
+          let rec to_create () =
+            match (peek st).Token.token with
+            | Token.Eof -> ()
+            | Token.Name n when String.equal (uc n) "CREATE" -> ()
+            | _ ->
+              advance st;
+              to_create ()
+          in
+          to_create ();
+          loop ())
+    in
+    loop ();
+    let doc = List.rev !gts in
+    if doc = [] && !errs = [] then
+      ( [],
+        [
+          {
+            Source.at = Source.span Source.start_pos Source.start_pos;
+            message = "empty document";
+          };
+        ] )
+    else (doc, Source.normalize_errors !errs)
+
+let parse text : (Ast.document, Source.error) result =
+  (* recovery is invisible on well-formed documents; on broken ones the
+     plain view is its first (source-ordered) error *)
+  match parse_with_recovery text with
+  | doc, [] -> Ok doc
+  | _, e :: _ -> Error e

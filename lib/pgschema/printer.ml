@@ -1,0 +1,58 @@
+(* Canonical rendering of the PG-Schema AST.  The output parses back to
+   an equal document (modulo spans): keywords upper-case, one element
+   per line, commas between properties and elements (the lexer treats
+   commas as insignificant, so this is purely cosmetic). *)
+
+let property_to_string (p : Ast.property) =
+  Printf.sprintf "%s%s %s%s"
+    (if p.Ast.p_optional then "OPTIONAL " else "")
+    p.Ast.p_name p.Ast.p_type
+    (if p.Ast.p_array then " ARRAY" else "")
+
+let props_suffix = function
+  | [] -> ""
+  | props ->
+    Printf.sprintf " { %s }" (String.concat ", " (List.map property_to_string props))
+
+let typed_name name label =
+  match name with Some n -> Printf.sprintf "%s : %s" n label | None -> label
+
+let node_type_to_string (n : Ast.node_type) =
+  let labels =
+    match n.Ast.n_labels with
+    | primary :: rest -> String.concat " & " (typed_name n.Ast.n_name primary :: rest)
+    | [] -> typed_name n.Ast.n_name "" (* unreachable: the parser requires a label *)
+  in
+  Printf.sprintf "(%s%s%s)" labels
+    (if n.Ast.n_open then " OPEN" else "")
+    (props_suffix n.Ast.n_props)
+
+let cardinality_suffix keyword = function
+  | None -> ""
+  | Some c -> Printf.sprintf " %s %s" keyword (Ast.cardinality_to_string c)
+
+let edge_type_to_string (e : Ast.edge_type) =
+  Printf.sprintf "(:%s)-[%s%s%s]->(:%s)%s%s" e.Ast.e_src.Ast.ep_ref
+    (typed_name e.Ast.e_name e.Ast.e_label)
+    (if e.Ast.e_open then " OPEN" else "")
+    (props_suffix e.Ast.e_props)
+    e.Ast.e_tgt.Ast.ep_ref
+    (cardinality_suffix "OUT" e.Ast.e_out)
+    (cardinality_suffix "IN" e.Ast.e_in)
+
+let element_to_string = function
+  | Ast.Node_type n -> node_type_to_string n
+  | Ast.Edge_type e -> edge_type_to_string e
+
+let graph_type_to_string (gt : Ast.graph_type) =
+  let mode = match gt.Ast.gt_mode with Ast.Strict -> "STRICT" | Ast.Loose -> "LOOSE" in
+  let body =
+    match gt.Ast.gt_elements with
+    | [] -> ""
+    | elems ->
+      "\n  " ^ String.concat ",\n  " (List.map element_to_string elems) ^ "\n"
+  in
+  Printf.sprintf "CREATE GRAPH TYPE %s %s {%s}\n" gt.Ast.gt_name mode body
+
+let document_to_string (doc : Ast.document) =
+  String.concat "\n" (List.map graph_type_to_string doc)

@@ -1,0 +1,201 @@
+(* Exporting a schema back to PG-Schema text — the inverse of {!Lower}
+   on its image.  Feature-complete round-tripping is impossible (SDL is
+   the richer language), so like [Of_graphql] this module returns the
+   translation together with a list of dropped/approximated constructs.
+
+   On canonical schemas — attribute fields before relationship fields,
+   marker interfaces only, no enums/unions/descriptions, the canonical
+   nullability-directive pairings produced by {!Lower} — re-lowering the
+   output reproduces the input schema exactly; the test suite pins this
+   with a qcheck round-trip. *)
+
+module Schema = Pg_schema.Schema
+module Wrapped = Pg_schema.Wrapped
+module Sm = Map.Make (String)
+
+let span = Pg_sdl.Source.dummy_span
+
+type state = { mutable dropped : string list }
+
+let drop st fmt = Format.kasprintf (fun m -> st.dropped <- m :: st.dropped) fmt
+
+let has name uses = List.exists (fun u -> u.Schema.du_name = name) uses
+
+(* Directives the translation itself expresses; anything else is noted. *)
+let note_extra_directives st ~where ~known uses =
+  List.iter
+    (fun u ->
+      if not (List.mem u.Schema.du_name known) then
+        drop st "dropped directive @%s on %s" u.Schema.du_name where)
+    uses
+
+(* A property type is spelled verbatim: the builtin scalar names map back
+   onto themselves case-insensitively ([String] -> STRING -> [String]),
+   and custom scalar names pass through. *)
+let check_type_spelling st ty =
+  match String.uppercase_ascii ty with
+  | ("STRING" | "INT" | "INTEGER" | "FLOAT" | "DOUBLE" | "BOOL" | "BOOLEAN" | "ID") as u
+    when not (List.mem ty Schema.builtin_scalar_names) ->
+    drop st "custom scalar %S collides with the reserved property type %s" ty u
+  | _ -> ()
+
+let property_of_wrapped st ~where ~required name (w : Wrapped.t) : Ast.property =
+  let mk ~optional ~array ty =
+    check_type_spelling st ty;
+    { Ast.p_optional = optional; p_name = name; p_type = ty; p_array = array; p_span = span }
+  in
+  match w with
+  | Wrapped.Named ty ->
+    if required then drop st "@required on nullable %s is not expressible; kept optional" where;
+    mk ~optional:true ~array:false ty
+  | Wrapped.Non_null ty ->
+    if not required then
+      drop st "non-null %s without @required: PG-Schema mandatory implies presence" where;
+    mk ~optional:false ~array:false ty
+  | Wrapped.List { item; item_non_null; non_null } ->
+    if not item_non_null then drop st "nullable list items of %s are approximated" where;
+    if non_null && not required then
+      drop st "non-null %s without @required: PG-Schema mandatory implies presence" where;
+    if (not non_null) && required then
+      drop st "@required on nullable %s is not expressible; kept optional" where;
+    mk ~optional:(not non_null) ~array:true item
+
+(* Attribute field -> property *)
+let property_of_field st ~owner name (fd : Schema.field) : Ast.property =
+  let where = Printf.sprintf "property %s.%s" owner name in
+  if fd.Schema.fd_args <> [] then drop st "dropped arguments of attribute field %s" where;
+  if fd.Schema.fd_description <> None then drop st "dropped description of %s" where;
+  note_extra_directives st ~where ~known:[ "required" ] fd.Schema.fd_directives;
+  property_of_wrapped st ~where ~required:(has "required" fd.Schema.fd_directives) name
+    fd.Schema.fd_type
+
+(* Edge argument -> edge property (no @required on arguments: the IR
+   encodes mandatory edge properties purely through non-null). *)
+let property_of_arg st ~owner ~edge name (a : Schema.argument) : Ast.property =
+  let where = Printf.sprintf "edge property %s.%s.%s" owner edge name in
+  if a.Schema.arg_default <> None then drop st "dropped default value of %s" where;
+  note_extra_directives st ~where ~known:[] a.Schema.arg_directives;
+  let required = match a.Schema.arg_type with Wrapped.Named _ -> false | _ -> true in
+  property_of_wrapped st ~where ~required name a.Schema.arg_type
+
+(* Relationship field -> edge type *)
+let edge_of_field st ~owner name (fd : Schema.field) : Ast.edge_type =
+  let where = Printf.sprintf "edge %s.%s" owner name in
+  if fd.Schema.fd_description <> None then drop st "dropped description of %s" where;
+  note_extra_directives st ~where
+    ~known:[ "required"; "uniqueForTarget"; "requiredForTarget" ]
+    fd.Schema.fd_directives;
+  let required = has "required" fd.Schema.fd_directives in
+  let out =
+    match fd.Schema.fd_type with
+    | Wrapped.Named _ ->
+      if required then drop st "@required on nullable %s; exported as OUT 1..1" where;
+      { Ast.c_lo = (if required then 1 else 0); c_hi = Some 1 }
+    | Wrapped.Non_null _ ->
+      if not required then drop st "non-null %s without @required; exported as OUT 1..1" where;
+      { Ast.c_lo = 1; c_hi = Some 1 }
+    | Wrapped.List { item_non_null; non_null; _ } ->
+      if not item_non_null then drop st "nullable list items of %s are approximated" where;
+      if non_null <> required then
+        drop st "list nullability of %s disagrees with @required; using @required" where;
+      { Ast.c_lo = (if required then 1 else 0); c_hi = None }
+  in
+  let inc =
+    match
+      (has "requiredForTarget" fd.Schema.fd_directives, has "uniqueForTarget" fd.Schema.fd_directives)
+    with
+    | true, true -> { Ast.c_lo = 1; c_hi = Some 1 }
+    | false, true -> { Ast.c_lo = 0; c_hi = Some 1 }
+    | true, false -> { Ast.c_lo = 1; c_hi = None }
+    | false, false -> { Ast.c_lo = 0; c_hi = None }
+  in
+  {
+    Ast.e_name = None;
+    e_label = name;
+    e_src = { Ast.ep_ref = owner; ep_span = span };
+    e_tgt = { Ast.ep_ref = Wrapped.basetype fd.Schema.fd_type; ep_span = span };
+    e_open = false;
+    e_props =
+      List.map (fun (an, a) -> property_of_arg st ~owner ~edge:name an a) fd.Schema.fd_args;
+    e_out = Some out;
+    e_in = Some inc;
+    e_span = span;
+  }
+
+let graph_type_name = "Exported"
+
+let document (sch : Schema.t) : Ast.document * string list =
+  let st = { dropped = [] } in
+  Sm.iter (fun n _ -> drop st "dropped enum type %s (exported values untyped)" n) sch.Schema.enums;
+  Sm.iter (fun n _ -> drop st "dropped union type %s" n) sch.Schema.unions;
+  Sm.iter
+    (fun n (it : Schema.interface_type) ->
+      if it.Schema.it_fields <> [] then
+        drop st "interface %s has fields; exported as a bare secondary label" n)
+    sch.Schema.interfaces;
+  Sm.iter
+    (fun n (dd : Schema.directive_def) ->
+      ignore dd;
+      if (not (Sm.mem n Schema.empty.Schema.directive_defs)) && n <> "open" then
+        drop st "dropped directive definition @%s" n)
+    sch.Schema.directive_defs;
+  let used_scalars = ref [] in
+  let nodes = ref [] and edges = ref [] in
+  Sm.iter
+    (fun name (ot : Schema.object_type) ->
+      if ot.Schema.ot_description <> None then drop st "dropped description of type %s" name;
+      note_extra_directives st ~where:(Printf.sprintf "type %s" name) ~known:[ "open" ]
+        ot.Schema.ot_directives;
+      let props = ref [] and rels = ref [] in
+      List.iter
+        (fun (fn, fd) ->
+          let base = Wrapped.basetype fd.Schema.fd_type in
+          match Schema.type_kind sch base with
+          | Some Schema.Object -> rels := (fn, fd) :: !rels
+          | Some (Schema.Scalar | Schema.Enum) ->
+            used_scalars := base :: !used_scalars;
+            props := property_of_field st ~owner:name fn fd :: !props
+          | Some (Schema.Interface | Schema.Union) | None ->
+            drop st "dropped field %s.%s: type %s is not a node type or scalar" name fn base)
+        ot.Schema.ot_fields;
+      List.iter
+        (fun (_, (fd : Schema.field)) ->
+          List.iter
+            (fun (_, (a : Schema.argument)) ->
+              used_scalars := Wrapped.basetype a.Schema.arg_type :: !used_scalars)
+            fd.Schema.fd_args)
+        ot.Schema.ot_fields;
+      nodes :=
+        Ast.Node_type
+          {
+            Ast.n_name = None;
+            n_labels = name :: ot.Schema.ot_interfaces;
+            n_open = Schema.is_open sch name;
+            n_props = List.rev !props;
+            n_span = span;
+          }
+        :: !nodes;
+      List.iter
+        (fun (fn, fd) -> edges := Ast.Edge_type (edge_of_field st ~owner:name fn fd) :: !edges)
+        (List.rev !rels))
+    sch.Schema.objects;
+  Sm.iter
+    (fun n (sc : Schema.scalar_type) ->
+      if (not sc.Schema.sc_builtin) && not (List.mem n !used_scalars) then
+        drop st "dropped unused custom scalar %s" n)
+    sch.Schema.scalars;
+  let gt =
+    {
+      Ast.gt_name = graph_type_name;
+      gt_mode = Ast.Strict;
+      gt_elements = List.rev !nodes @ List.rev !edges;
+      gt_span = span;
+    }
+  in
+  ([ gt ], List.rev st.dropped)
+
+let translate sch = document sch
+
+let to_string sch =
+  let doc, _dropped = document sch in
+  Printer.document_to_string doc

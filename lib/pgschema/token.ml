@@ -1,0 +1,50 @@
+(** Lexical tokens of the PG-Schema fragment (PG-Schema: Schemas for
+    Property Graphs, Section 3 — the [CREATE GRAPH TYPE] sublanguage).
+
+    Keywords ([CREATE], [GRAPH], [TYPE], [STRICT], [LOOSE], [OPEN],
+    [OPTIONAL], [ARRAY], [OUT], [IN]) are not tokenized specially: they
+    are [Name]s that the parser recognizes case-insensitively in keyword
+    position, matching PG-Schema's case-insensitive keywords while
+    keeping labels and property names case-sensitive. *)
+
+type t =
+  | Paren_open  (** [(] *)
+  | Paren_close  (** [)] *)
+  | Bracket_open  (** [[] *)
+  | Bracket_close  (** [\]] *)
+  | Brace_open  (** [{] *)
+  | Brace_close  (** [}] *)
+  | Colon  (** [:] *)
+  | Amp  (** [&] — label conjunction *)
+  | Dash  (** [-] — edge connector *)
+  | Arrow  (** [->] — edge direction *)
+  | Dot_dot  (** [..] — cardinality range *)
+  | Star  (** [*] — unbounded cardinality *)
+  | Name of string  (** an identifier: letter or underscore, then letters, digits, underscores *)
+  | Int of int  (** a non-negative cardinality bound *)
+  | Eof
+
+type located = { token : t; at : Pg_sdl.Source.span }
+
+let pp ppf = function
+  | Paren_open -> Format.pp_print_string ppf "("
+  | Paren_close -> Format.pp_print_string ppf ")"
+  | Bracket_open -> Format.pp_print_string ppf "["
+  | Bracket_close -> Format.pp_print_string ppf "]"
+  | Brace_open -> Format.pp_print_string ppf "{"
+  | Brace_close -> Format.pp_print_string ppf "}"
+  | Colon -> Format.pp_print_string ppf ":"
+  | Amp -> Format.pp_print_string ppf "&"
+  | Dash -> Format.pp_print_string ppf "-"
+  | Arrow -> Format.pp_print_string ppf "->"
+  | Dot_dot -> Format.pp_print_string ppf ".."
+  | Star -> Format.pp_print_string ppf "*"
+  | Name n -> Format.pp_print_string ppf n
+  | Int i -> Format.pp_print_int ppf i
+  | Eof -> Format.pp_print_string ppf "<eof>"
+
+let describe = function
+  | Name n -> Printf.sprintf "name %S" n
+  | Int i -> Printf.sprintf "integer %d" i
+  | Eof -> "end of input"
+  | t -> Printf.sprintf "%S" (Format.asprintf "%a" pp t)

@@ -37,7 +37,7 @@ type issue =
       argument : string;
       context : string;
       expected : Wrapped.t;
-      value : Pg_sdl.Ast.value;
+      value : Pg_ir.Values.value;
     }
 
 let pp_issue ppf = function
@@ -74,7 +74,7 @@ let pp_issue ppf = function
     Format.fprintf ppf
       "argument %S of directive @%s on %s has value %s, which is not in valuesW(%a)" argument
       directive context
-      (Pg_sdl.Printer.value_to_string value)
+      (Pg_ir.Values.to_string value)
       Wrapped.pp expected
 
 let issue_to_string i = Format.asprintf "%a" pp_issue i

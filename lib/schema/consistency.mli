@@ -48,7 +48,7 @@ type issue =
       argument : string;
       context : string;
       expected : Wrapped.t;
-      value : Pg_sdl.Ast.value;
+      value : Pg_ir.Values.value;
     }  (** Definition 4.4(2): [argvals(a) ∉ valuesW(typeAD(d, a))] *)
 
 val pp_issue : Format.formatter -> issue -> unit

@@ -243,9 +243,7 @@ let build (doc : Ast.document) =
   in
   let type_defs = merge_extensions ctx doc in
   (* pass 1: register names and kinds (built-ins first) *)
-  List.iter
-    (fun b -> Hashtbl.replace ctx.kinds b Schema.Scalar)
-    [ "Int"; "Float"; "String"; "Boolean"; "ID" ];
+  List.iter (fun b -> Hashtbl.replace ctx.kinds b Schema.Scalar) Schema.builtin_scalar_names;
   List.iter
     (fun td ->
       match td with

@@ -50,6 +50,7 @@ type t = {
   n_types : int;
   sub_bits : Bytes.t;  (* row-major [l * n_types + u] *)
   object_at : bool array;
+  open_at : bool array;  (* type sym -> @open object type (SS2 exempt) *)
   fields_at : field_info array array;  (* type sym -> fields sorted by fi_field *)
   required_at : field_constraint array array;  (* label sym -> @required, label ⊑ owner *)
   required_tgt_at : field_constraint array array;  (* label sym -> @requiredForTarget, label ⊑ base *)
@@ -72,6 +73,7 @@ let set_bit bits i =
 let is_sub t l u = l < t.n_types && Char.code (Bytes.get t.sub_bits ((l * t.n_types + u) lsr 3)) lsr ((l * t.n_types + u) land 7) land 1 = 1
 
 let is_object t l = l < t.n_types && t.object_at.(l)
+let is_open t l = l < t.n_types && t.open_at.(l)
 
 (* Binary search of a field row sorted by [fi_field]. *)
 let field_in (row : field_info array) fsym =
@@ -204,6 +206,10 @@ let compile sch =
     (Schema.union_names sch);
   let object_at = Array.make n_types false in
   List.iter (fun o -> object_at.(Symtab.intern st o) <- true) (Schema.object_names sch);
+  let open_at = Array.make n_types false in
+  List.iter
+    (fun o -> if Schema.is_open sch o then open_at.(Symtab.intern st o) <- true)
+    (Schema.object_names sch);
   (* field tables per type *)
   let fields_at = Array.make n_types [||] in
   List.iter
@@ -288,6 +294,7 @@ let compile sch =
     n_types;
     sub_bits;
     object_at;
+    open_at;
     fields_at;
     required_at = rows_by (fun l fc -> test_sub l fc.fc_owner) required;
     required_tgt_at = rows_by (fun l fc -> test_sub l fc.fc_info.fi_base) required_tgt;
@@ -296,3 +303,9 @@ let compile sch =
     unique_tgt;
     keys;
   }
+
+(* The single lowering entry point of the frontend-neutral core: any
+   frontend (SDL via [Of_ast], PG-Schema via [Pg_pgschema.Lower], or a
+   programmatic builder) produces a [Schema.t]; everything downstream —
+   engines, governor, server, diagnostics — consumes the plan. *)
+let of_schema = compile

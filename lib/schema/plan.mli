@@ -49,6 +49,14 @@ type t
 
 val compile : Schema.t -> t
 
+val of_schema : Schema.t -> t
+(** The documented lowering entry point of the frontend-neutral core
+    (alias of {!compile}): every schema frontend — SDL ([Of_ast]),
+    PG-Schema ([Pg_pgschema.Lower]), or a programmatic builder —
+    produces a {!Schema.t}, and this is the only way schemas reach the
+    engines.  Nothing below this point knows which surface language the
+    schema came from. *)
+
 val schema : t -> Schema.t
 val symtab : t -> Pg_graph.Symtab.t
 
@@ -66,6 +74,12 @@ val is_sub : t -> int -> int -> bool
 
 val is_object : t -> int -> bool
 (** Is the symbol the name of an object type (SS1)? *)
+
+val is_open : t -> int -> bool
+(** Is the symbol the name of an [@open] object type?  Compiled
+    {!Schema.is_open}: nodes of an open type keep their WS1 typing of
+    declared properties but are exempt from SS2 (undeclared properties
+    are allowed). *)
 
 val field : t -> int -> int -> field_info option
 (** [field plan l f]: the declaration of field [f] on object or interface

@@ -1,11 +1,15 @@
 module Sm = Map.Make (String)
 
-type directive_use = { du_name : string; du_args : (string * Pg_sdl.Ast.value) list }
+(* The schema IR is frontend-neutral: values and directive locations are
+   the [Pg_ir.Values] types (which the SDL AST re-declares by equation),
+   so any frontend — SDL, PG-Schema — lowers onto the same record. *)
+
+type directive_use = { du_name : string; du_args : (string * Pg_ir.Values.value) list }
 
 type argument = {
   arg_type : Wrapped.t;
   arg_directives : directive_use list;
-  arg_default : Pg_sdl.Ast.value option;
+  arg_default : Pg_ir.Values.value option;
 }
 
 type field = {
@@ -48,7 +52,7 @@ type scalar_type = {
 
 type directive_def = {
   dd_args : (string * argument) list;
-  dd_locations : Pg_sdl.Ast.directive_location list;
+  dd_locations : Pg_ir.Values.directive_location list;
 }
 
 type t = {
@@ -65,18 +69,20 @@ type kind = Object | Interface | Union | Enum | Scalar
 
 let builtin_scalar = { sc_builtin = true; sc_directives = []; sc_description = None }
 
+(* The one list every frontend and every pass must agree on: building a
+   kinds table, refusing to shadow a built-in, printing a schema back
+   out.  Exposed so no caller keeps a private copy that can drift. *)
+let builtin_scalar_names = [ "Int"; "Float"; "String"; "Boolean"; "ID" ]
+
 let builtin_scalars =
-  List.fold_left
-    (fun m name -> Sm.add name builtin_scalar m)
-    Sm.empty
-    [ "Int"; "Float"; "String"; "Boolean"; "ID" ]
+  List.fold_left (fun m name -> Sm.add name builtin_scalar m) Sm.empty builtin_scalar_names
 
 (* The standard directive declarations assumed by the paper (end of
    Section 4.3): the six Property Graph directives, of which only @key has
    an argument (fields: [String!]!).  @deprecated is the SDL built-in. *)
 let standard_directive_defs =
   let no_args locations = { dd_args = []; dd_locations = locations } in
-  let field_loc = [ Pg_sdl.Ast.Loc_field_definition ] in
+  let field_loc = [ Pg_ir.Values.Loc_field_definition ] in
   Sm.empty
   |> Sm.add "required" (no_args field_loc)
   |> Sm.add "distinct" (no_args field_loc)
@@ -94,7 +100,7 @@ let standard_directive_defs =
                  arg_default = None;
                } );
            ];
-         dd_locations = [ Pg_sdl.Ast.Loc_object ];
+         dd_locations = [ Pg_ir.Values.Loc_object ];
        }
   |> Sm.add "deprecated"
        {
@@ -103,7 +109,7 @@ let standard_directive_defs =
              ( "reason",
                { arg_type = Wrapped.Named "String"; arg_directives = []; arg_default = None } );
            ];
-         dd_locations = [ Pg_sdl.Ast.Loc_field_definition; Pg_sdl.Ast.Loc_enum_value ];
+         dd_locations = [ Pg_ir.Values.Loc_field_definition; Pg_ir.Values.Loc_enum_value ];
        }
 
 let empty =
@@ -178,12 +184,23 @@ let has_directive ds name = List.exists (fun du -> String.equal du.du_name name)
 
 let key_fields du =
   match List.assoc_opt "fields" du.du_args with
-  | Some (Pg_sdl.Ast.List_value vs) ->
+  | Some (Pg_ir.Values.List_value vs) ->
     let strings =
-      List.filter_map (function Pg_sdl.Ast.String_value f -> Some f | _ -> None) vs
+      List.filter_map (function Pg_ir.Values.String_value f -> Some f | _ -> None) vs
     in
     if List.length strings = List.length vs then Some strings else None
   | Some _ | None -> None
+
+(* [@open] marks an object type as open-world: additional node
+   properties beyond its field declarations are allowed, so the strong
+   justification rule SS2 does not apply to its nodes.  The PG-Schema
+   frontend lowers [OPEN] node types (and [LOOSE] graph types) to this
+   directive; SDL documents can opt in by declaring
+   [directive @open on OBJECT] and annotating a type. *)
+let is_open s name =
+  match Sm.find_opt name s.objects with
+  | Some ot -> has_directive ot.ot_directives "open"
+  | None -> false
 
 let rebuild_implementations s =
   let implementations =

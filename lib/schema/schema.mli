@@ -12,14 +12,14 @@
     set of declared enum symbols), but remain observable as enums through
     {!type_kind}. *)
 
-type directive_use = { du_name : string; du_args : (string * Pg_sdl.Ast.value) list }
+type directive_use = { du_name : string; du_args : (string * Pg_ir.Values.value) list }
 (** One occurrence of a directive, e.g. [@key(fields: ["id"])]: an element
     of [D x AV] (Definition 4.1). *)
 
 type argument = {
   arg_type : Wrapped.t;  (** [typeAF_S((t, f), a)] or [typeAD_S(d, a)] *)
   arg_directives : directive_use list;  (** [directivesAF_S] *)
-  arg_default : Pg_sdl.Ast.value option;
+  arg_default : Pg_ir.Values.value option;
 }
 
 type field = {
@@ -62,7 +62,7 @@ type scalar_type = {
 
 type directive_def = {
   dd_args : (string * argument) list;  (** [typeAD_S(d, -)] *)
-  dd_locations : Pg_sdl.Ast.directive_location list;
+  dd_locations : Pg_ir.Values.directive_location list;
 }
 
 type t = {
@@ -132,6 +132,10 @@ val enum_names : t -> string list
 val scalar_names : t -> string list
 (** [S] without the enum types. *)
 
+val builtin_scalar_names : string list
+(** The five built-in scalars ([Int], [Float], [String], [Boolean], [ID]):
+    the single authority every frontend consults. *)
+
 val directive_names : t -> string list
 
 (** {1 Field classification (paper Section 3.1)} *)
@@ -150,6 +154,13 @@ val find_directives : directive_use list -> string -> directive_use list
 (** All occurrences with the given name, in order ([@key] may repeat). *)
 
 val has_directive : directive_use list -> string -> bool
+
+val is_open : t -> string -> bool
+(** [true] iff the named object type carries [@open]: its nodes may hold
+    properties beyond the declared fields, so the strong justification
+    rule SS2 does not apply to them.  Lowered from PG-Schema [OPEN] node
+    types and [LOOSE] graph types; SDL opts in with a user-declared
+    [directive @open on OBJECT]. *)
 
 val key_fields : directive_use -> string list option
 (** For a [@key] occurrence, the value of its [fields] argument (a list of

@@ -1,6 +1,9 @@
 module Sm = Map.Make (String)
 module Value = Pg_graph.Value
-module Ast = Pg_sdl.Ast
+
+(* IR constant values, shared by every frontend (the SDL AST re-declares
+   this type, so [Pg_sdl.Ast.value] still matches). *)
+module Ast = Pg_ir.Values
 
 type env = (Value.t -> bool) Sm.t
 

@@ -44,14 +44,14 @@ val compile : Schema.t -> Wrapped.t -> checker
     wrapped type: [compile sch wt env v = mem ~env sch wt v] with the
     type-kind dispatch and schema lookups done once up front. *)
 
-val ast_mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_sdl.Ast.value -> bool
+val ast_mem : ?env:env -> Schema.t -> Wrapped.t -> Pg_ir.Values.value -> bool
 (** Membership for constant AST values, used to check directive argument
     values (Definition 4.4(2)); here [null] is a possible value and is in
     [valuesW(t)] exactly when the outermost wrapper is not non-null. *)
 
-val value_of_ast : Pg_sdl.Ast.value -> Pg_graph.Value.t option
+val value_of_ast : Pg_ir.Values.value -> Pg_graph.Value.t option
 (** Convert a constant AST value into a storable property value; [None] for
     [null] and for object values, which cannot be property values. *)
 
-val ast_of_value : Pg_graph.Value.t -> Pg_sdl.Ast.value
+val ast_of_value : Pg_graph.Value.t -> Pg_ir.Values.value
 (** The embedding of property values into constant AST values. *)

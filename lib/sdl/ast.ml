@@ -8,8 +8,11 @@
 type span = Source.span
 
 (** Constant input values (spec 2.9); variables cannot occur in an SDL
-    document, so only the [Const] variants exist. *)
-type value =
+    document, so only the [Const] variants exist.  The type is an
+    equation onto the frontend-neutral {!Pg_ir.Values.value}: values
+    flow into the schema IR unchanged, and every frontend shares one
+    representation. *)
+type value = Pg_ir.Values.value =
   | Int_value of int
   | Float_value of float
   | String_value of string
@@ -126,8 +129,9 @@ type schema_def = {
   sd_span : span;
 }
 
-(** ExecutableDirectiveLocation and TypeSystemDirectiveLocation (spec 3.13). *)
-type directive_location =
+(** ExecutableDirectiveLocation and TypeSystemDirectiveLocation (spec 3.13).
+    Like {!value}, an equation onto {!Pg_ir.Values.directive_location}. *)
+type directive_location = Pg_ir.Values.directive_location =
   | Loc_query
   | Loc_mutation
   | Loc_subscription
@@ -232,23 +236,7 @@ let directive_location_of_name = function
   | "INPUT_FIELD_DEFINITION" -> Some Loc_input_field_definition
   | _ -> None
 
-let rec equal_value v1 v2 =
-  match v1, v2 with
-  | Int_value a, Int_value b -> a = b
-  | Float_value a, Float_value b -> a = b || (Float.is_nan a && Float.is_nan b)
-  | String_value a, String_value b -> String.equal a b
-  | Boolean_value a, Boolean_value b -> a = b
-  | Null_value, Null_value -> true
-  | Enum_value a, Enum_value b -> String.equal a b
-  | List_value a, List_value b ->
-    List.length a = List.length b && List.for_all2 equal_value a b
-  | Object_value a, Object_value b ->
-    List.length a = List.length b
-    && List.for_all2 (fun (k1, x1) (k2, x2) -> String.equal k1 k2 && equal_value x1 x2) a b
-  | ( ( Int_value _ | Float_value _ | String_value _ | Boolean_value _ | Null_value
-      | Enum_value _ | List_value _ | Object_value _ ),
-      _ ) ->
-    false
+let equal_value = Pg_ir.Values.equal_value
 
 let rec equal_type_ref t1 t2 =
   match t1, t2 with

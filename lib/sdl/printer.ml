@@ -15,23 +15,9 @@ let escape_string s =
     s;
   Buffer.contents buf
 
-let float_literal f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
-
-let rec value_to_string : Ast.value -> string = function
-  | Ast.Int_value i -> string_of_int i
-  | Ast.Float_value f -> float_literal f
-  | Ast.String_value s -> Printf.sprintf "\"%s\"" (escape_string s)
-  | Ast.Boolean_value b -> string_of_bool b
-  | Ast.Null_value -> "null"
-  | Ast.Enum_value n -> n
-  | Ast.List_value vs ->
-    Printf.sprintf "[%s]" (String.concat ", " (List.map value_to_string vs))
-  | Ast.Object_value fields ->
-    Printf.sprintf "{%s}"
-      (String.concat ", "
-         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" k (value_to_string v)) fields))
+(* Constant values render in the IR's canonical syntax (shared with every
+   frontend's diagnostics), which is exactly the SDL literal syntax. *)
+let value_to_string : Ast.value -> string = Pg_ir.Values.to_string
 
 let rec type_ref_to_string : Ast.type_ref -> string = function
   | Ast.Named_type n -> n

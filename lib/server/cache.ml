@@ -216,3 +216,10 @@ let stats t =
       invalidations = t.invalidations;
       size = Hashtbl.length t.table;
     })
+
+let keys t =
+  Mutex.protect t.m (fun () ->
+    Hashtbl.fold
+      (fun key slot acc -> match slot with Ready _ -> key :: acc | Building -> acc)
+      t.table []
+    |> List.sort String.compare)

@@ -64,3 +64,7 @@ type stats = {
 }
 
 val stats : 'a t -> stats
+
+val keys : 'a t -> string list
+(** The keys of the resident (fully built) entries, sorted; entries mid-build
+    are omitted.  For introspection ([gpgs serve]'s stats op). *)

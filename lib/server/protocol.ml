@@ -10,6 +10,7 @@ module Json = GP.Json
 
 type validate_req = {
   schema : string;
+  schema_lang : GP.Frontend.lang option;
   graph : string;
   engine : GP.Validate.engine;
   mode : GP.Validate.mode;
@@ -44,6 +45,13 @@ let mode_of_string = function
   | "weak" -> Ok GP.Validate.Weak
   | "directives" -> Ok GP.Validate.Directives
   | s -> Error (Printf.sprintf "unknown mode %S (expected strong, weak, or directives)" s)
+
+(* Stricter than the CLI's converter on purpose: the wire names are the
+   canonical two, no aliases. *)
+let lang_of_string = function
+  | "sdl" -> Ok GP.Frontend.Sdl
+  | "pgschema" -> Ok GP.Frontend.Pgschema
+  | s -> Error (Printf.sprintf "unknown schema_lang %S (expected sdl or pgschema)" s)
 
 let opt_field fields name decode =
   match List.assoc_opt name fields with
@@ -80,6 +88,7 @@ let opt_enum fields name of_string =
 
 let parse_validate fields =
   let* schema = req_string fields "schema" in
+  let* schema_lang = opt_enum fields "schema_lang" lang_of_string in
   let* graph = req_string fields "graph" in
   let* engine = opt_enum fields "engine" engine_of_string in
   let* mode = opt_enum fields "mode" mode_of_string in
@@ -93,6 +102,7 @@ let parse_validate fields =
     (Validate
        {
          schema;
+         schema_lang;
          graph;
          engine = Option.value engine ~default:GP.Validate.Indexed;
          mode = Option.value mode ~default:GP.Validate.Strong;

@@ -19,7 +19,10 @@
     are only honoured when the service was started with [debug_ops]. *)
 
 type validate_req = {
-  schema : string;  (** path to the SDL schema *)
+  schema : string;  (** path to the schema file *)
+  schema_lang : Graphql_pg.Frontend.lang option;
+      (** schema frontend ("sdl" or "pgschema"); default: inferred from
+          the [schema] extension, as in the CLI *)
   graph : string;  (** path to the PGF graph (or snapshot) *)
   engine : Graphql_pg.Validate.engine;
   mode : Graphql_pg.Validate.mode;

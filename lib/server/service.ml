@@ -115,14 +115,22 @@ let check_counts ~engine ~domains ~shards =
   if shards <> None && engine <> GP.Validate.Sharded then
     usage "--shards applies to --engine sharded only"
 
-(* One cached compiled plan per (schema path, leniency).  The leniency
-   flag changes what parse_full accepts, so it is part of the key; the
-   file content digest handles edits to the schema itself. *)
-let plan_entry t ~lenient path =
-  let key = (if lenient then "lenient:" else "strict:") ^ path in
+(* One cached compiled plan per (frontend, schema path, leniency).  The
+   frontend and the leniency flag both change what parse_full accepts,
+   so they are part of the key; the file content digest handles edits to
+   the schema itself.  Keys read [<lang>:<strict|lenient>:<path>] — the
+   stats op parses them back for its per-entry report. *)
+let plan_key ~lang ~lenient path =
+  Printf.sprintf "%s:%s:%s" (GP.Frontend.to_string lang)
+    (if lenient then "lenient" else "strict")
+    path
+
+let plan_entry t ?lang ~lenient path =
+  let lang = GP.Frontend.select ?lang ~path () in
+  let key = plan_key ~lang ~lenient path in
   Cache.find t.plans ~key ~path ~load:(fun ~content ->
-    match GP.Of_ast.parse_full ~consistency:(not lenient) (Lazy.force content) with
-    | Ok (sch, _warnings) -> Ok (GP.Validate.compile sch)
+    match GP.Frontend.parse_full ~consistency:(not lenient) lang (Lazy.force content) with
+    | Ok (sch, _warnings) -> Ok (GP.Plan.of_schema sch)
     | Error diags -> Error diags)
 
 (* Snapshots intern labels into the symtab of the exact plan instance
@@ -148,7 +156,7 @@ let run_validate t ~cancel (r : Protocol.validate_req) =
      with no CLI envelope to mirror (cmdliner rejects the path before
      the subcommand runs); IO001 is the natural code for it. *)
   let plan_slot =
-    match plan_entry t ~lenient:r.lenient r.schema with
+    match plan_entry t ?lang:r.schema_lang ~lenient:r.lenient r.schema with
     | Ok slot -> slot
     | Error msg -> reply_error ~code:"IO001" ~cls:GP.Diag.Exit.Input_error (r.schema ^ ": " ^ msg)
   in
@@ -273,6 +281,19 @@ let cache_stats_json (s : Cache.stats) =
       ("size", Json.Int s.size);
     ]
 
+(* One record per resident plan, with the frontend and leniency parsed
+   back out of the cache key (see [plan_key]). *)
+let plan_entry_json key =
+  match String.split_on_char ':' key with
+  | lang :: strictness :: rest ->
+    Json.Assoc
+      [
+        ("schema", Json.String (String.concat ":" rest));
+        ("frontend", Json.String lang);
+        ("lenient", Json.Bool (strictness = "lenient"));
+      ]
+  | _ -> Json.Assoc [ ("schema", Json.String key) ]
+
 let stats_response t =
   render_envelope ~command:"server-stats"
     ~summary:
@@ -281,6 +302,7 @@ let stats_response t =
         ("crashed", Json.Int (Atomic.get t.crashes));
         ("shed", Json.Int (Atomic.get t.shed));
         ("plan_cache", cache_stats_json (Cache.stats t.plans));
+        ("plan_entries", Json.List (List.map plan_entry_json (Cache.keys t.plans)));
         ("snapshot_cache", cache_stats_json (Cache.stats t.snapshots));
       ]
     []

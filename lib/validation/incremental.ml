@@ -67,7 +67,9 @@ let node_violations t v acc =
         (Printf.sprintf "label %S is not an object type of the schema" label)
       :: acc
   in
-  (* WS1 + SS2 over the node's properties *)
+  (* WS1 + SS2 over the node's properties; open types are SS2-exempt
+     (same skip as [Kernels.ss2_node] and the naive spec) *)
+  let ss2_exempt = match lsym with Some l -> Plan.is_open t.plan l | None -> false in
   let acc =
     List.fold_left
       (fun acc (p, value) ->
@@ -81,15 +83,20 @@ let node_violations t v acc =
                  fi.Plan.fi_type_str)
             :: acc
         | Some _ ->
-          Violation.make Violation.SS2
-            (Violation.Node_property (vid, p))
-            (Printf.sprintf "field %s.%s is a relationship definition, not an attribute" label p)
-          :: acc
+          if ss2_exempt then acc
+          else
+            Violation.make Violation.SS2
+              (Violation.Node_property (vid, p))
+              (Printf.sprintf "field %s.%s is a relationship definition, not an attribute" label
+                 p)
+            :: acc
         | None ->
-          Violation.make Violation.SS2
-            (Violation.Node_property (vid, p))
-            (Printf.sprintf "no field %S is declared for type %S" p label)
-          :: acc)
+          if ss2_exempt then acc
+          else
+            Violation.make Violation.SS2
+              (Violation.Node_property (vid, p))
+              (Printf.sprintf "no field %S is declared for type %S" p label)
+            :: acc)
       acc (G.node_props g v)
   in
   (* DS5 / DS6: the plan's per-label row already encodes label ⊑ owner *)

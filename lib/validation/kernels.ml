@@ -93,10 +93,14 @@ let ss1_node ctx i acc =
       (Printf.sprintf "label %S is not an object type of the schema" (Plan.name ctx.plan l))
     :: acc
 
-(* SS2: all node properties are justified *)
+(* SS2: all node properties are justified.  Open types ([@open], lowered
+   from PG-Schema OPEN/LOOSE) admit undeclared properties, so their
+   nodes are exempt — WS1 still types the declared ones. *)
 let ss2_node ctx i acc =
   let snap = ctx.snap in
   let l = snap.Snapshot.node_label.{i} in
+  if Plan.is_open ctx.plan l then acc
+  else
   Array.fold_left
     (fun acc (k, _) ->
       match Plan.field ctx.plan l k with

@@ -386,6 +386,8 @@ let strong_extra ?(gov = Governor.no_run) sch g =
     gfold gov Governor.note_node_scans
       (fun acc v ->
         let label = G.node_label g v in
+        if Schema.is_open sch label then acc
+        else
         List.fold_left
           (fun acc (p, _) ->
             match Schema.type_f sch label p with

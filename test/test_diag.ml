@@ -385,6 +385,20 @@ let test_golden_check () =
   check_golden ~expect_exit:0 ~golden_file:"check_movies.json"
     (Printf.sprintf "check %s --format json" (movies_sdl_path ()))
 
+(* Pins the SDL001 diagnostics (codes, spans, messages) across the
+   frontend-neutral IR boundary: `gpgs check` over a broken document must
+   render byte-identically whatever refactors the schema core sees. *)
+let test_golden_check_broken () =
+  check_golden ~expect_exit:2 ~golden_file:"check_broken.json"
+    (Printf.sprintf "check %s --format json" (broken_sdl_path ()))
+
+let movies_pgs_path () = quote (in_repo "../examples/movies.pgs")
+
+let test_golden_validate_pgschema () =
+  check_golden ~expect_exit:1 ~golden_file:"validate_movies_pgs.json"
+    (Printf.sprintf "validate %s %s --schema-lang pgschema --format json" (movies_pgs_path ())
+       (movies_pgf_path ()))
+
 let test_golden_validate () =
   check_golden ~expect_exit:1 ~golden_file:"validate_movies.json"
     (Printf.sprintf "validate %s %s --format json" (movies_sdl_path ()) (movies_pgf_path ()))
@@ -441,6 +455,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_violation_text_parity;
     Alcotest.test_case "golden: parse --format json" `Quick test_golden_parse;
     Alcotest.test_case "golden: check --format json" `Quick test_golden_check;
+    Alcotest.test_case "golden: check on broken input" `Quick test_golden_check_broken;
+    Alcotest.test_case "golden: validate --schema-lang pgschema" `Quick
+      test_golden_validate_pgschema;
     Alcotest.test_case "golden: validate --format json" `Quick test_golden_validate;
     Alcotest.test_case "golden: sat --format json" `Quick test_golden_sat;
     Alcotest.test_case "text mode streams (stdout/stderr)" `Quick test_text_mode_streams;

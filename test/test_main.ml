@@ -43,6 +43,7 @@ let () =
       ("governor", Test_governor.suite);
       ("recovery", Test_recovery.suite);
       ("frontends", Test_frontends.suite);
+      ("pgschema", Test_pgschema.suite);
       ("stream", Test_stream.suite);
       ("snapshot_io", Test_snapshot_io.suite);
       ("sharded", Test_sharded.suite);

@@ -1,0 +1,442 @@
+(* The PG-Schema frontend (lib/pgschema): lexer/parser units, recovering
+   multi-error parses, the lowering onto the shared schema IR, the
+   To_pgschema export, and the cross-expressiveness guarantee — an SDL
+   schema and its PG-Schema translation produce byte-identical
+   validation reports across every engine. *)
+
+module GP = Graphql_pg
+module Ast = GP.Pgschema.Ast
+module Lexer = GP.Pgschema.Lexer
+module Parser = GP.Pgschema.Parser
+module Printer = GP.Pgschema.Printer
+module Lower = GP.Pgschema.Lower
+module To_pgschema = GP.Pgschema.To_pgschema
+module Token = GP.Pgschema.Token
+module Val = GP.Validate
+module Vi = GP.Violation
+module Sm = Map.Make (String)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let movies_pgs =
+  {|CREATE GRAPH TYPE Movies STRICT {
+  (Person { name STRING, OPTIONAL born INT }),
+  (Movie { title STRING, OPTIONAL released INT }),
+  (:Movie)-[directedBy]->(:Person) OUT 1..1,
+  (:Movie)-[cast { OPTIONAL role STRING }]->(:Person) OUT 0..*
+}|}
+
+(* The same schema written in SDL, lowering to the identical IR. *)
+let movies_sdl =
+  {|type Person {
+  name: String! @required
+  born: Int
+}
+type Movie {
+  title: String! @required
+  released: Int
+  directedBy: Person! @required
+  cast(role: String): [Person!]
+}|}
+
+let lower_exn text =
+  match Lower.parse_full text with
+  | Ok (sch, _warnings) -> sch
+  | Error diags ->
+    Alcotest.failf "does not lower: %s"
+      (String.concat "; " (List.map GP.Diag.to_text diags))
+
+let errors_of text =
+  match Lower.parse_full text with
+  | Ok _ -> Alcotest.fail "expected diagnostics"
+  | Error diags -> diags
+
+let codes diags = List.map (fun d -> d.GP.Diag.code) diags
+
+(* ---- lexer ---- *)
+
+let test_lexer_tokens () =
+  let toks =
+    match Lexer.tokenize "(:A)-[e]->(:B) OUT 0..* // trailing\n/* block */ &" with
+    | Ok toks -> List.map (fun t -> t.Token.token) toks
+    | Error e -> Alcotest.failf "lex error: %s" e.GP.Sdl.Source.message
+  in
+  check_bool "token stream" true
+    (toks
+    = [
+        Token.Paren_open; Token.Colon; Token.Name "A"; Token.Paren_close; Token.Dash;
+        Token.Bracket_open; Token.Name "e"; Token.Bracket_close; Token.Arrow;
+        Token.Paren_open; Token.Colon; Token.Name "B"; Token.Paren_close;
+        Token.Name "OUT"; Token.Int 0; Token.Dot_dot; Token.Star; Token.Amp; Token.Eof;
+      ])
+
+let test_lexer_unterminated_comment () =
+  match Lexer.tokenize "(A) /* never closed" with
+  | Ok _ -> Alcotest.fail "expected a lex error"
+  | Error e -> check_string "message" "unterminated comment" e.GP.Sdl.Source.message
+
+(* ---- parser ---- *)
+
+let test_parse_movies () =
+  match Parser.parse movies_pgs with
+  | Error e -> Alcotest.failf "parse error: %s" e.GP.Sdl.Source.message
+  | Ok [ gt ] ->
+    check_string "name" "Movies" gt.Ast.gt_name;
+    check_bool "strict" true (gt.Ast.gt_mode = Ast.Strict);
+    check_int "elements" 4 (List.length gt.Ast.gt_elements);
+    (match gt.Ast.gt_elements with
+    | Ast.Node_type person :: _ ->
+      check_bool "labels" true (person.Ast.n_labels = [ "Person" ]);
+      check_int "props" 2 (List.length person.Ast.n_props);
+      let born = List.nth person.Ast.n_props 1 in
+      check_bool "born optional" true born.Ast.p_optional
+    | _ -> Alcotest.fail "first element is not a node type");
+    (match List.nth gt.Ast.gt_elements 2 with
+    | Ast.Edge_type e ->
+      check_string "edge label" "directedBy" e.Ast.e_label;
+      check_bool "out 1..1" true (e.Ast.e_out = Some { Ast.c_lo = 1; c_hi = Some 1 });
+      check_bool "no in" true (e.Ast.e_in = None)
+    | _ -> Alcotest.fail "third element is not an edge type")
+  | Ok _ -> Alcotest.fail "expected one graph type"
+
+let test_parse_features () =
+  let text =
+    {|CREATE GRAPH TYPE G LOOSE {
+      (personType : Person & Taxpayer OPEN { name STRING, ids INT ARRAY, OPTIONAL optional STRING }),
+      (:personType)-[knows]->(:Person) OUT 0..* IN 1..1
+    }|}
+  in
+  match Parser.parse text with
+  | Error e -> Alcotest.failf "parse error: %s" e.GP.Sdl.Source.message
+  | Ok [ gt ] -> (
+    check_bool "loose" true (gt.Ast.gt_mode = Ast.Loose);
+    match gt.Ast.gt_elements with
+    | [ Ast.Node_type n; Ast.Edge_type e ] ->
+      check_bool "type name" true (n.Ast.n_name = Some "personType");
+      check_bool "labels" true (n.Ast.n_labels = [ "Person"; "Taxpayer" ]);
+      check_bool "open" true n.Ast.n_open;
+      check_bool "array" true (List.nth n.Ast.n_props 1).Ast.p_array;
+      (* a property may itself be named "optional" *)
+      let last = List.nth n.Ast.n_props 2 in
+      check_bool "property named optional" true
+        (last.Ast.p_optional && last.Ast.p_name = "optional");
+      check_bool "endpoint by type name" true (e.Ast.e_src.Ast.ep_ref = "personType");
+      check_bool "in 1..1" true (e.Ast.e_in = Some { Ast.c_lo = 1; c_hi = Some 1 })
+    | _ -> Alcotest.fail "unexpected elements")
+  | Ok _ -> Alcotest.fail "expected one graph type"
+
+let test_parse_bad_cardinality () =
+  match Parser.parse "CREATE GRAPH TYPE G { (:A)-[e]->(:B) OUT 3..1 }" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+    check_string "message" "cardinality upper bound 1 is below lower bound 3"
+      e.GP.Sdl.Source.message
+
+(* Three independent errors in one document: the recovering parser
+   reports all of them in source order and still returns the healthy
+   elements. *)
+let test_recovery_multi_error () =
+  let text =
+    {|CREATE GRAPH TYPE G {
+      (A { name STRING }),
+      (B { age }),
+      (C),
+      (D { x INT y }),
+      (:A)-[f]->(:C)
+    }|}
+  in
+  let doc, errors = Parser.parse_with_recovery text in
+  check_int "errors" 2 (List.length errors);
+  let lines = List.map (fun e -> e.GP.Sdl.Source.at.GP.Sdl.Source.span_start.line) errors in
+  check_bool "source order" true (lines = List.sort compare lines);
+  (match doc with
+  | [ gt ] ->
+    let survivors =
+      List.filter_map
+        (function
+          | Ast.Node_type n -> Some (List.hd n.Ast.n_labels)
+          | Ast.Edge_type e -> Some e.Ast.e_label)
+        gt.Ast.gt_elements
+    in
+    check_bool "healthy elements survive" true
+      (List.mem "A" survivors && List.mem "C" survivors && List.mem "f" survivors)
+  | _ -> Alcotest.fail "expected one graph type");
+  (* the plain parse surfaces the first error *)
+  match Parser.parse text with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+    check_int "first error line" (List.hd (List.sort compare lines))
+      e.GP.Sdl.Source.at.GP.Sdl.Source.span_start.line
+
+let test_recovery_across_graph_types () =
+  let text =
+    "CREATE GRAPH TYPE A { (X) }\nCREATE GRAPH TYPE 123 {}\nCREATE GRAPH TYPE B { (Y) }"
+  in
+  let doc, errors = Parser.parse_with_recovery text in
+  check_bool "one error" true (List.length errors >= 1);
+  check_bool "both healthy graph types survive" true
+    (List.map (fun gt -> gt.Ast.gt_name) doc = [ "A"; "B" ])
+
+(* ---- lowering ---- *)
+
+let test_lower_movies_equals_sdl () =
+  let from_pgs = lower_exn movies_pgs in
+  let from_sdl =
+    match GP.Of_ast.parse movies_sdl with
+    | Ok sch -> sch
+    | Error msg -> Alcotest.failf "SDL does not parse: %s" msg
+  in
+  check_string "identical IR" (GP.To_sdl.to_string from_sdl) (GP.To_sdl.to_string from_pgs)
+
+let test_lower_mapping () =
+  let sch =
+    lower_exn
+      {|CREATE GRAPH TYPE G STRICT {
+        (A OPEN { s STRING, OPTIONAL f FLOAT, tags STRING ARRAY, OPTIONAL more INT ARRAY, when DATE }),
+        (B & Tagged),
+        (:A)-[one]->(:B) OUT 0..1,
+        (:A)-[must]->(:B) OUT 1..1 IN 1..*,
+        (:A)-[many]->(:B) IN 0..1
+      }|}
+  in
+  let field t f =
+    match GP.Schema.field sch t f with
+    | Some fd -> fd
+    | None -> Alcotest.failf "missing field %s.%s" t f
+  in
+  let ty t f = GP.Wrapped.to_string (field t f).GP.Schema.fd_type in
+  check_string "mandatory" "String!" (ty "A" "s");
+  check_string "optional" "Float" (ty "A" "f");
+  check_string "mandatory array" "[String!]!" (ty "A" "tags");
+  check_string "optional array" "[Int!]" (ty "A" "more");
+  check_string "custom scalar" "DATE!" (ty "A" "when");
+  check_bool "custom scalar declared" true
+    (GP.Schema.type_kind sch "DATE" = Some GP.Schema.Scalar);
+  check_string "out 0..1" "B" (ty "A" "one");
+  check_string "out 1..1" "B!" (ty "A" "must");
+  check_string "out default" "[B!]" (ty "A" "many");
+  let dirs t f = List.map (fun d -> d.GP.Schema.du_name) (field t f).GP.Schema.fd_directives in
+  check_bool "@required on mandatory prop" true (dirs "A" "s" = [ "required" ]);
+  check_bool "@required + @requiredForTarget" true
+    (dirs "A" "must" = [ "required"; "requiredForTarget" ]);
+  check_bool "@uniqueForTarget" true (dirs "A" "many" = [ "uniqueForTarget" ]);
+  check_bool "open" true (GP.Schema.is_open sch "A");
+  check_bool "closed" false (GP.Schema.is_open sch "B");
+  check_bool "secondary label is an interface" true
+    (GP.Schema.type_kind sch "Tagged" = Some GP.Schema.Interface);
+  check_bool "B implements Tagged" true
+    (match Sm.find_opt "B" sch.GP.Schema.objects with
+    | Some ot -> ot.GP.Schema.ot_interfaces = [ "Tagged" ]
+    | None -> false)
+
+let test_loose_opens_all () =
+  let sch = lower_exn "CREATE GRAPH TYPE G LOOSE { (A), (B) }" in
+  check_bool "all open" true (GP.Schema.is_open sch "A" && GP.Schema.is_open sch "B")
+
+let test_lower_errors () =
+  check_bool "duplicate primary" true
+    (List.mem "PGS002" (codes (errors_of "CREATE GRAPH TYPE G { (A), (A) }")));
+  check_bool "unknown endpoint" true
+    (List.mem "PGS002" (codes (errors_of "CREATE GRAPH TYPE G { (A), (:A)-[e]->(:Nope) }")));
+  check_bool "secondary as endpoint" true
+    (List.mem "PGS002"
+       (codes (errors_of "CREATE GRAPH TYPE G { (A & S), (:S)-[e]->(:A) }")));
+  check_bool "label as property type" true
+    (List.mem "PGS002" (codes (errors_of "CREATE GRAPH TYPE G { (A), (B { x A }) }")));
+  check_bool "syntax errors carry PGS001" true
+    (codes (errors_of "CREATE GRAPH TYPE G { (A
+
+") |> List.for_all (( = ) "PGS001"))
+
+let test_lower_warnings () =
+  (* warnings (PGS003) ride along with a successful lowering *)
+  let warn text =
+    match Lower.parse_full text with
+    | Ok (_sch, warnings) -> codes warnings
+    | Error diags ->
+      Alcotest.failf "unexpected failure: %s"
+        (String.concat "; " (List.map GP.Diag.to_text diags))
+  in
+  check_bool "edge OPEN is dropped with a warning" true
+    (warn "CREATE GRAPH TYPE G { (A), (:A)-[e OPEN]->(:A) }" = [ "PGS003" ]);
+  check_bool "cardinality 2..5 approximates" true
+    (warn "CREATE GRAPH TYPE G { (A), (:A)-[e]->(:A) OUT 2..5 }" = [ "PGS003" ])
+
+(* ---- the @open SS2 exemption, all engines ---- *)
+
+let test_open_skips_ss2 () =
+  let pgs = "CREATE GRAPH TYPE G { (A OPEN { s STRING }), (B { s STRING }) }" in
+  let sch = lower_exn pgs in
+  let g =
+    let b = GP.Builder.create () in
+    let _ =
+      GP.Builder.node b "a" ~label:"A"
+        ~props:[ ("s", GP.Value.String "x"); ("extra", GP.Value.Int 1) ]
+        ()
+    in
+    let _ =
+      GP.Builder.node b "b" ~label:"B"
+        ~props:[ ("s", GP.Value.String "y"); ("extra", GP.Value.Int 2) ]
+        ()
+    in
+    GP.Builder.graph b
+  in
+  let reports =
+    List.map
+      (fun engine ->
+        List.map Vi.to_string (Val.check ~engine sch g).Val.violations)
+      [ Val.Naive; Val.Linear; Val.Indexed; Val.Parallel; Val.Sharded ]
+  in
+  let incremental =
+    List.map Vi.to_string (GP.Incremental.violations (GP.Incremental.create sch g))
+  in
+  List.iteri
+    (fun i r -> check_bool (Printf.sprintf "engine %d agrees" i) true (r = List.hd reports))
+    (List.tl reports @ [ incremental ]);
+  (* exactly one SS2 violation: B's extra property; A is open *)
+  let report = Val.check sch g in
+  check_int "one violation" 1 (List.length report.Val.violations);
+  check_bool "it is SS2 on the closed type" true
+    (match report.Val.violations with
+    | [ v ] -> v.Vi.rule = Vi.SS2
+    | _ -> false)
+
+(* ---- To_pgschema round-trip ---- *)
+
+let prop_roundtrip_to_pgschema =
+  QCheck2.Test.make ~name:"lower (To_pgschema (lower doc)) = lower doc" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xF00D |] in
+      let sch = GP.Pgschema_gen.random_schema rng in
+      let pgs = To_pgschema.to_string sch in
+      match Lower.parse_full pgs with
+      | Error diags ->
+        QCheck2.Test.fail_reportf "export does not lower:@.%s@.%s" pgs
+          (String.concat "\n" (List.map GP.Diag.to_text diags))
+      | Ok (sch', _) ->
+        let a = GP.To_sdl.to_string sch and b = GP.To_sdl.to_string sch' in
+        if a = b then true
+        else QCheck2.Test.fail_reportf "IR drift:@.%s@.----@.%s" a b)
+
+let prop_printer_parses_back =
+  QCheck2.Test.make ~name:"parse (print doc) = doc" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xCAFE |] in
+      let doc = GP.Pgschema_gen.random_document rng in
+      let text = Printer.document_to_string doc in
+      match Parser.parse text with
+      | Error e -> QCheck2.Test.fail_reportf "print does not parse: %s" e.GP.Sdl.Source.message
+      | Ok doc' ->
+        (* span-free comparison via the canonical rendering *)
+        Printer.document_to_string doc' = text)
+
+(* ---- cross-expressiveness: SDL vs PG-Schema, all six engines ---- *)
+
+let prop_sdl_pgschema_reports_identical =
+  QCheck2.Test.make
+    ~name:"SDL and PG-Schema translations validate byte-identically (six engines)" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xD1FF |] in
+      let sch = GP.Pgschema_gen.random_schema rng in
+      let sdl_text = GP.To_sdl.to_string sch in
+      let pgs_text = To_pgschema.to_string sch in
+      let from_sdl =
+        match GP.Frontend.parse_full GP.Frontend.Sdl sdl_text with
+        | Ok (s, _) -> s
+        | Error ds ->
+          QCheck2.Test.fail_reportf "SDL reparse failed:@.%s@.%s" sdl_text
+            (String.concat "\n" (List.map GP.Diag.to_text ds))
+      in
+      let from_pgs =
+        match GP.Frontend.parse_full GP.Frontend.Pgschema pgs_text with
+        | Ok (s, _) -> s
+        | Error ds ->
+          QCheck2.Test.fail_reportf "PGS reparse failed:@.%s@.%s" pgs_text
+            (String.concat "\n" (List.map GP.Diag.to_text ds))
+      in
+      let g = GP.Instance_gen.fuzz rng from_sdl ~max_nodes:10 in
+      let report sch engine =
+        List.map Vi.to_string (Val.check ~engine sch g).Val.violations
+      in
+      let incr sch =
+        List.map Vi.to_string (GP.Incremental.violations (GP.Incremental.create sch g))
+      in
+      let all sch =
+        List.map (report sch) [ Val.Naive; Val.Linear; Val.Indexed; Val.Parallel; Val.Sharded ]
+        @ [ incr sch ]
+      in
+      let a = all from_sdl and b = all from_pgs in
+      if a = b && List.for_all (( = ) (List.hd a)) a then true
+      else
+        QCheck2.Test.fail_reportf "reports differ between frontends/engines@.sdl:@.%s@.pgs:@.%s"
+          sdl_text pgs_text)
+
+(* ---- frontend selection ---- *)
+
+let test_frontend_selection () =
+  check_bool "pgs extension" true (GP.Frontend.infer ~path:"x/y/schema.pgs" = GP.Frontend.Pgschema);
+  check_bool "graphql extension" true (GP.Frontend.infer ~path:"movies.graphql" = GP.Frontend.Sdl);
+  check_bool "no extension" true (GP.Frontend.infer ~path:"schema" = GP.Frontend.Sdl);
+  check_bool "of_string sdl" true (GP.Frontend.of_string "sdl" = Some GP.Frontend.Sdl);
+  check_bool "of_string pgschema" true
+    (GP.Frontend.of_string "PGSchema" = Some GP.Frontend.Pgschema);
+  check_bool "of_string junk" true (GP.Frontend.of_string "cypher" = None);
+  check_bool "explicit beats extension" true
+    (GP.Frontend.select ~lang:GP.Frontend.Sdl ~path:"a.pgs" () = GP.Frontend.Sdl)
+
+(* ---- Angles from PG-Schema ---- *)
+
+let test_angles_of_pgschema () =
+  match GP.Angles_of_pgschema.translate movies_pgs with
+  | Error ds ->
+    Alcotest.failf "translate failed: %s" (String.concat "; " (List.map GP.Diag.to_text ds))
+  | Ok (angles, _dropped, _warnings) ->
+    let from_sdl, _ = GP.Angles_of_graphql.translate (lower_exn movies_pgs) in
+    check_bool "same Angles schema as translating the lowered IR" true (angles = from_sdl)
+
+(* ---- of_ast regression: builtin scalars come from one list ---- *)
+
+let test_builtin_scalar_names () =
+  check_bool "five builtins" true
+    (List.sort compare GP.Schema.builtin_scalar_names
+    = [ "Boolean"; "Float"; "ID"; "Int"; "String" ]);
+  (* every builtin is usable as a field type without a declaration, and
+     never reported as undefined by the SDL frontend *)
+  let sdl =
+    "type T { a: Int b: Float c: String d: Boolean e: ID }"
+  in
+  match GP.Of_ast.parse sdl with
+  | Ok sch ->
+    check_bool "all five builtin scalars resolve" true
+      (List.for_all
+         (fun n -> GP.Schema.type_kind sch n = Some GP.Schema.Scalar)
+         GP.Schema.builtin_scalar_names)
+  | Error msg -> Alcotest.failf "builtins rejected: %s" msg
+
+let suite =
+  [
+    Alcotest.test_case "lexer: token stream" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer: unterminated comment" `Quick test_lexer_unterminated_comment;
+    Alcotest.test_case "parser: movies" `Quick test_parse_movies;
+    Alcotest.test_case "parser: full feature surface" `Quick test_parse_features;
+    Alcotest.test_case "parser: bad cardinality" `Quick test_parse_bad_cardinality;
+    Alcotest.test_case "recovery: several errors, one run" `Quick test_recovery_multi_error;
+    Alcotest.test_case "recovery: across graph types" `Quick test_recovery_across_graph_types;
+    Alcotest.test_case "lower: movies = SDL twin" `Quick test_lower_movies_equals_sdl;
+    Alcotest.test_case "lower: full mapping table" `Quick test_lower_mapping;
+    Alcotest.test_case "lower: LOOSE opens every type" `Quick test_loose_opens_all;
+    Alcotest.test_case "lower: PGS002 errors" `Quick test_lower_errors;
+    Alcotest.test_case "lower: PGS003 warnings" `Quick test_lower_warnings;
+    Alcotest.test_case "@open exempts SS2 in every engine" `Quick test_open_skips_ss2;
+    QCheck_alcotest.to_alcotest prop_printer_parses_back;
+    QCheck_alcotest.to_alcotest prop_roundtrip_to_pgschema;
+    QCheck_alcotest.to_alcotest prop_sdl_pgschema_reports_identical;
+    Alcotest.test_case "frontend selection" `Quick test_frontend_selection;
+    Alcotest.test_case "Angles from PG-Schema" `Quick test_angles_of_pgschema;
+    Alcotest.test_case "builtin scalar list (of_ast regression)" `Quick test_builtin_scalar_names;
+  ]

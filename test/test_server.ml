@@ -32,6 +32,7 @@ let write_file path text =
   close_out oc
 
 let movies_sdl = in_repo "../examples/movies.graphql"
+let movies_pgs = in_repo "../examples/movies.pgs"
 let movies_pgf = in_repo "../examples/movies.pgf"
 
 (* Same CLI runner as test_diag.ml: capture stdout and the exit code. *)
@@ -53,14 +54,15 @@ let run_cli args =
 
 (* ---- request building / response decoding ---- *)
 
-let validate_req ?engine ?mode ?domains ?shards ?snapshot ?lenient ?deadline_ms ?max_violations
-    ~schema ~graph () =
+let validate_req ?schema_lang ?engine ?mode ?domains ?shards ?snapshot ?lenient ?deadline_ms
+    ?max_violations ~schema ~graph () =
   let fields =
     List.filter_map
       (fun x -> x)
       [
         Some ("op", Json.String "validate");
         Some ("schema", Json.String schema);
+        Option.map (fun l -> ("schema_lang", Json.String l)) schema_lang;
         Some ("graph", Json.String graph);
         Option.map (fun e -> ("engine", Json.String e)) engine;
         Option.map (fun m -> ("mode", Json.String m)) mode;
@@ -120,6 +122,23 @@ let test_protocol_parse_ok () =
     check_bool "deadline" true (r.Protocol.deadline_ms = Some 250.);
     check_bool "max_violations" true (r.Protocol.max_violations = Some 10)
   | _ -> Alcotest.fail "validate did not parse"
+
+let test_protocol_schema_lang () =
+  (match Protocol.parse {|{"op":"validate","schema":"s.pgs","graph":"g","schema_lang":"pgschema"}|} with
+  | Ok (Protocol.Validate r) ->
+    check_bool "pgschema" true (r.Protocol.schema_lang = Some GP.Frontend.Pgschema)
+  | _ -> Alcotest.fail "schema_lang pgschema did not parse");
+  (match Protocol.parse {|{"op":"validate","schema":"s","graph":"g","schema_lang":"sdl"}|} with
+  | Ok (Protocol.Validate r) ->
+    check_bool "sdl" true (r.Protocol.schema_lang = Some GP.Frontend.Sdl)
+  | _ -> Alcotest.fail "schema_lang sdl did not parse");
+  (match Protocol.parse {|{"op":"validate","schema":"s","graph":"g"}|} with
+  | Ok (Protocol.Validate r) ->
+    check_bool "absent means inferred" true (r.Protocol.schema_lang = None)
+  | _ -> Alcotest.fail "minimal validate did not parse");
+  match Protocol.parse {|{"op":"validate","schema":"s","graph":"g","schema_lang":"cypher"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown schema_lang accepted"
 
 let test_protocol_defaults () =
   match Protocol.parse {|{"op":"validate","schema":"s","graph":"g"}|} with
@@ -451,6 +470,58 @@ let test_plan_cache_invalidation_end_to_end () =
   check_int "recompiled" 2 s.Cache.misses;
   Sys.remove sch_path
 
+(* ---- the PG-Schema frontend through the wire protocol ---- *)
+
+let test_served_pgschema_parity () =
+  let svc = service () in
+  (* explicit schema_lang and extension inference must serve the same
+     envelope the CLI prints, and the same violations as the SDL twin *)
+  let explicit =
+    Service.handle svc
+      (validate_req ~schema_lang:"pgschema" ~schema:movies_pgs ~graph:movies_pgf ())
+  in
+  check_parity ~what:"pgschema explicit" explicit
+    (run_cli
+       (Printf.sprintf "validate %s %s --schema-lang pgschema --format json"
+          (Filename.quote movies_pgs) (Filename.quote movies_pgf)));
+  let inferred = Service.handle svc (validate_req ~schema:movies_pgs ~graph:movies_pgf ()) in
+  check_string "inference = explicit" explicit inferred;
+  let sdl = Service.handle svc (validate_req ~schema:movies_sdl ~graph:movies_pgf ()) in
+  check_bool "same violation codes as the SDL twin" true
+    (codes_of (decode sdl) = codes_of (decode explicit));
+  (* the two explicit/inferred requests share one plan cache entry *)
+  let s = Service.plan_stats svc in
+  check_int "one pgschema compile" 2 s.Cache.misses;
+  check_int "inferred request hit the cache" 1 s.Cache.hits
+
+let test_stats_frontend_tags () =
+  let svc = service () in
+  ignore (Service.handle svc (validate_req ~schema:movies_sdl ~graph:movies_pgf ()));
+  ignore (Service.handle svc (validate_req ~schema:movies_pgs ~graph:movies_pgf ()));
+  let j = decode (Service.handle svc {|{"op":"stats"}|}) in
+  let entries =
+    match Json.member "summary" j |> Json.member "plan_entries" with
+    | Json.List es -> es
+    | _ -> Alcotest.fail "stats lacks plan_entries"
+  in
+  check_int "two resident plans" 2 (List.length entries);
+  let frontend_of schema =
+    List.find_map
+      (fun e ->
+        match (Json.member "schema" e, Json.member "frontend" e) with
+        | Json.String s, Json.String f when s = schema -> Some f
+        | _ -> None)
+      entries
+  in
+  check_bool "sdl entry tagged" true (frontend_of movies_sdl = Some "sdl");
+  check_bool "pgschema entry tagged" true (frontend_of movies_pgs = Some "pgschema");
+  List.iter
+    (fun e ->
+      match Json.member "lenient" e with
+      | Json.Bool false -> ()
+      | _ -> Alcotest.fail "strict entries must carry lenient=false")
+    entries
+
 let test_server_default_deadline_srv003 () =
   let config = { Service.default_config with Service.default_deadline_ms = Some 0. } in
   let svc = service ~config () in
@@ -678,6 +749,7 @@ let suite =
     Alcotest.test_case "protocol: requests parse" `Quick test_protocol_parse_ok;
     Alcotest.test_case "protocol: defaults match the CLI" `Quick test_protocol_defaults;
     Alcotest.test_case "protocol: malformed requests rejected" `Quick test_protocol_rejects;
+    Alcotest.test_case "protocol: schema_lang field" `Quick test_protocol_schema_lang;
     Alcotest.test_case "cache: hit and miss counters" `Quick test_cache_hit_miss;
     Alcotest.test_case "cache: content-hash invalidation" `Quick test_cache_invalidation;
     Alcotest.test_case "cache: LRU eviction order" `Quick test_cache_eviction_order;
@@ -695,6 +767,10 @@ let suite =
       test_snapshot_cache_keyed_by_plan_instance;
     Alcotest.test_case "plan cache invalidates on schema edit" `Quick
       test_plan_cache_invalidation_end_to_end;
+    Alcotest.test_case "served = CLI bytes for the pgschema frontend" `Quick
+      test_served_pgschema_parity;
+    Alcotest.test_case "stats tags resident plans with their frontend" `Quick
+      test_stats_frontend_tags;
     Alcotest.test_case "server default deadline reports SRV003" `Quick
       test_server_default_deadline_srv003;
     Alcotest.test_case "debug ops are gated" `Quick test_debug_ops_gate;
