@@ -73,10 +73,9 @@ let write_artifacts () =
           ]
       in
       let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" exp) in
-      let oc = open_out path in
-      output_string oc (GP.Json.to_string ~indent:true doc);
-      output_char oc '\n';
-      close_out oc;
+      (* durable temp+fsync+rename: a crash mid-run never truncates a
+         previously published BENCH_*.json *)
+      GP.Durable.write_file path [ GP.Json.to_string ~indent:true doc; "\n" ];
       Printf.printf "  artifact: %s\n%!" path)
     (List.sort compare exps)
 

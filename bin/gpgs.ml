@@ -973,7 +973,7 @@ let stats_cmd =
    prints the ready line. *)
 let serve_cmd =
   let run socket host port workers max_pending max_request_kb read_timeout_ms drain_grace_ms
-      deadline_ms max_violations retries plan_cache snapshot_cache debug_ops =
+      watchdog_grace_ms deadline_ms max_violations retries plan_cache snapshot_cache debug_ops =
     let usage msg =
       prerr_endline ("gpgs serve: " ^ msg);
       exit exit_input
@@ -995,6 +995,8 @@ let serve_cmd =
       usage (Printf.sprintf "--read-timeout-ms must be positive (got %g)" read_timeout_ms);
     if drain_grace_ms < 0. then
       usage (Printf.sprintf "--drain-grace-ms must be non-negative (got %g)" drain_grace_ms);
+    if watchdog_grace_ms < 0. then
+      usage (Printf.sprintf "--watchdog-grace-ms must be non-negative (got %g)" watchdog_grace_ms);
     if retries < 0 then usage (Printf.sprintf "--retries must be non-negative (got %d)" retries);
     let service =
       Pg_server.Service.create
@@ -1017,6 +1019,7 @@ let serve_cmd =
         max_request_bytes = max_request_kb * 1024;
         read_timeout_ms;
         drain_grace_ms;
+        watchdog_grace_ms;
       }
     in
     let stop = Atomic.make false in
@@ -1084,6 +1087,14 @@ let serve_cmd =
             "On SIGTERM/SIGINT: wait up to $(docv) for in-flight requests, then cancel \
              budgeted jobs at their next governor checkpoint.")
   in
+  let watchdog_grace_arg =
+    Arg.(
+      value & opt float 10_000.
+      & info [ "watchdog-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "Slack past a request's own deadline before the watchdog cancels it as wedged \
+             (the response gains an $(b,SRV006) diagnostic).")
+  in
   let serve_deadline_arg =
     Arg.(
       value
@@ -1124,7 +1135,7 @@ let serve_cmd =
     Arg.(
       value & flag
       & info [ "debug-ops" ]
-          ~doc:"Honour the fault-injection ops (boom, sleep) used by the test suite.")
+          ~doc:"Honour the fault-injection ops (boom, sleep, stall) used by the test suite.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1134,9 +1145,9 @@ let serve_cmd =
           pool, load shedding, and graceful drain on SIGTERM.")
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ workers_arg $ max_pending_arg
-      $ max_request_kb_arg $ read_timeout_arg $ drain_grace_arg $ serve_deadline_arg
-      $ serve_max_violations_arg $ serve_retries_arg $ plan_cache_arg $ snapshot_cache_arg
-      $ debug_ops_arg)
+      $ max_request_kb_arg $ read_timeout_arg $ drain_grace_arg $ watchdog_grace_arg
+      $ serve_deadline_arg $ serve_max_violations_arg $ serve_retries_arg $ plan_cache_arg
+      $ snapshot_cache_arg $ debug_ops_arg)
 
 let () =
   let info =

@@ -79,6 +79,8 @@ module Graphml = Pg_graph.Graphml
 module Chunked = Pg_graph.Chunked
 module Stream = Pg_graph.Stream
 module Retry = Pg_graph.Retry
+module Fault = Pg_fault.Fault
+module Durable = Pg_graph.Durable
 module Stats = Pg_graph.Stats
 module Symtab = Pg_graph.Symtab
 module Snapshot = Pg_graph.Snapshot

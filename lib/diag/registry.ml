@@ -118,12 +118,14 @@ let all =
     e "SRV003" Budget "request hit the server's default deadline before completion";
     e "SRV004" Budget "server overloaded; the request was shed before execution";
     e "SRV005" Budget "worker crashed executing the request (supervisor firewall)";
+    e "SRV006" Budget "request wedged past its deadline plus grace; cancelled by the watchdog";
     (* ---- input / usage ---- *)
     e "IO001" Input "file could not be read or parsed";
     e "IO002" Input "malformed input record skipped by the streaming loader";
     e "IO003" Budget "input error budget exhausted; ingestion stopped early";
     e "IO004" Input "malformed snapshot file (bad magic, unsupported version, or broken layout)";
     e "IO005" Input "snapshot checksum mismatch; the file is corrupt";
+    e "IO006" Input "device-level I/O failure reading a snapshot (EIO, failed mmap, ...)";
     e "CLI001" Input "command-line usage error";
   ]
 

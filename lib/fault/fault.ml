@@ -1,0 +1,335 @@
+(* Deterministic fault injection.  See fault.mli. *)
+
+type site = Read | Write | Open | Rename | Fsync | Mmap | Accept
+
+let site_index = function
+  | Read -> 0
+  | Write -> 1
+  | Open -> 2
+  | Rename -> 3
+  | Fsync -> 4
+  | Mmap -> 5
+  | Accept -> 6
+
+let n_sites = 7
+
+type fault = Errno of Unix.error | Partial of int | Crash
+
+type trigger = Always | Nth of int | Every of int | Prob of float
+
+type target = Site of site | Point of string
+
+type rule = {
+  target : target;
+  fault : fault;
+  trigger : trigger;
+  limit : int option;
+  mutable id : int; (* assigned at plan creation; salts Prob hashing *)
+  seen : int Atomic.t;
+  fired : int Atomic.t;
+}
+
+let on ?(trigger = Always) ?limit site fault =
+  {
+    target = Site site;
+    fault;
+    trigger;
+    limit;
+    id = 0;
+    seen = Atomic.make 0;
+    fired = Atomic.make 0;
+  }
+
+let at ?(trigger = Always) ?(limit = 1) point =
+  {
+    target = Point point;
+    fault = Crash;
+    trigger;
+    limit = Some limit;
+    id = 0;
+    seen = Atomic.make 0;
+    fired = Atomic.make 0;
+  }
+
+type plan = {
+  seed : int;
+  rules : rule list;
+  site_hits : int Atomic.t array;
+  site_injected : int Atomic.t array;
+}
+
+let plan ?(seed = 0) rules =
+  List.iteri (fun i r -> r.id <- i) rules;
+  {
+    seed;
+    rules;
+    site_hits = Array.init n_sites (fun _ -> Atomic.make 0);
+    site_injected = Array.init n_sites (fun _ -> Atomic.make 0);
+  }
+
+let current : plan option Atomic.t = Atomic.make None
+let activate p = Atomic.set current (Some p)
+let deactivate () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let with_plan p f =
+  let prev = Atomic.exchange current (Some p) in
+  Fun.protect ~finally:(fun () -> Atomic.set current prev) f
+
+let hits p site = Atomic.get p.site_hits.(site_index site)
+let injected p site = Atomic.get p.site_injected.(site_index site)
+let crash_exit_code = 70
+
+(* splitmix64 finalizer: [Prob] decisions are a pure hash of
+   (seed, rule id, hit count), so a schedule replays from its seed. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let unit_float ~seed ~salt ~k =
+  let open Int64 in
+  let x =
+    add (of_int seed) (mul 0x9e3779b97f4a7c15L (of_int ((salt * 1_000_003) + k)))
+  in
+  to_float (shift_right_logical (mix64 x) 11) *. (1. /. 9007199254740992.)
+
+(* One hit of [rule] under [p]: bump the per-rule counter, decide the
+   trigger, enforce the injection limit.  First firing rule wins. *)
+let fire p rule =
+  let k = 1 + Atomic.fetch_and_add rule.seen 1 in
+  let due =
+    match rule.trigger with
+    | Always -> true
+    | Nth n -> k = n
+    | Every n -> n > 0 && k mod n = 0
+    | Prob pr -> unit_float ~seed:p.seed ~salt:rule.id ~k < pr
+  in
+  if not due then None
+  else
+    match rule.limit with
+    | None ->
+      Atomic.incr rule.fired;
+      Some rule.fault
+    | Some lim ->
+      if Atomic.get rule.fired >= lim then None
+      else begin
+        Atomic.incr rule.fired;
+        Some rule.fault
+      end
+
+let check site =
+  match Atomic.get current with
+  | None -> None
+  | Some p ->
+    let i = site_index site in
+    Atomic.incr p.site_hits.(i);
+    let rec find = function
+      | [] -> None
+      | r :: rest -> (
+        match r.target with
+        | Site s when s = site -> (
+          match fire p r with Some f -> Some f | None -> find rest)
+        | _ -> find rest)
+    in
+    (match find p.rules with
+    | Some f ->
+      Atomic.incr p.site_injected.(i);
+      Some f
+    | None -> None)
+
+(* No flushing, no at_exit: the process dies as abruptly as a power
+   cut would kill it mid-write. *)
+let crash () = Unix._exit crash_exit_code
+
+let crash_point name =
+  match Atomic.get current with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (fun r ->
+        match r.target with
+        | Point n when String.equal n name -> (
+          match fire p r with Some Crash -> crash () | _ -> ())
+        | _ -> ())
+      p.rules
+
+(* Buffered channels surface errnos as the strerror(3) [Sys_error];
+   fd-level ops raise [Unix_error].  Mirroring that split keeps every
+   caller's existing handler (Retry.interrupted, Supervisor's
+   transient classifier) exercising its real production arm. *)
+let sys_error e = raise (Sys_error (Unix.error_message e))
+let unix_error e fn arg = raise (Unix.Unix_error (e, fn, arg))
+let cap len k = if len <= 0 then len else min len (max 1 k)
+
+let input ic buf pos len =
+  match check Read with
+  | None -> Stdlib.input ic buf pos len
+  | Some Crash -> crash ()
+  | Some (Errno e) -> sys_error e
+  | Some (Partial k) -> Stdlib.input ic buf pos (cap len k)
+
+let read fd buf pos len =
+  match check Read with
+  | None -> Unix.read fd buf pos len
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "read" ""
+  | Some (Partial k) -> Unix.read fd buf pos (cap len k)
+
+let write fd buf pos len =
+  match check Write with
+  | None -> Unix.write fd buf pos len
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "write" ""
+  | Some (Partial k) -> Unix.write fd buf pos (cap len k)
+
+let open_in_bin path =
+  match check Open with
+  | None | Some (Partial _) -> Stdlib.open_in_bin path
+  | Some Crash -> crash ()
+  | Some (Errno e) -> raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+
+let openfile path flags perm =
+  match check Open with
+  | None | Some (Partial _) -> Unix.openfile path flags perm
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "open" path
+
+let rename src dst =
+  match check Rename with
+  | None | Some (Partial _) -> Unix.rename src dst
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "rename" src
+
+let fsync fd =
+  match check Fsync with
+  | None | Some (Partial _) -> Unix.fsync fd
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "fsync" ""
+
+let map_file fd ?pos kind layout shared dims =
+  match check Mmap with
+  | None | Some (Partial _) -> Unix.map_file fd ?pos kind layout shared dims
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "mmap" ""
+
+let accept ?cloexec fd =
+  match check Accept with
+  | None | Some (Partial _) -> Unix.accept ?cloexec fd
+  | Some Crash -> crash ()
+  | Some (Errno e) -> unix_error e "accept" ""
+
+(* ---- GPGS_FAULT clause language ---------------------------------- *)
+
+let site_of_string = function
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "open" -> Some Open
+  | "rename" -> Some Rename
+  | "fsync" -> Some Fsync
+  | "mmap" -> Some Mmap
+  | "accept" -> Some Accept
+  | _ -> None
+
+let fault_of_string s =
+  match s with
+  | "eintr" -> Some (Errno Unix.EINTR)
+  | "eagain" -> Some (Errno Unix.EAGAIN)
+  | "eio" -> Some (Errno Unix.EIO)
+  | "enospc" -> Some (Errno Unix.ENOSPC)
+  | "emfile" -> Some (Errno Unix.EMFILE)
+  | "epipe" -> Some (Errno Unix.EPIPE)
+  | "crash" -> Some Crash
+  | _ ->
+    (match String.index_opt s '=' with
+    | Some i when String.sub s 0 i = "partial" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n > 0 -> Some (Partial n)
+      | _ -> None)
+    | _ -> None)
+
+(* Split a site clause body into fault name, optional trigger suffix
+   ([@N] nth / [%P] percent probability) and optional [xLIMIT]. *)
+let parse_site_clause clause site_s body =
+  match site_of_string site_s with
+  | None -> Error (Printf.sprintf "unknown site %S in clause %S" site_s clause)
+  | Some site ->
+    let body, limit =
+      match String.rindex_opt body 'x' with
+      | Some i -> (
+        match int_of_string_opt (String.sub body (i + 1) (String.length body - i - 1)) with
+        | Some n when n > 0 -> (String.sub body 0 i, Some n)
+        | _ -> (body, None))
+      | None -> (body, None)
+    in
+    let split_at c =
+      match String.rindex_opt body c with
+      | Some i ->
+        Some (String.sub body 0 i, String.sub body (i + 1) (String.length body - i - 1))
+      | None -> None
+    in
+    let fault_s, trigger =
+      match split_at '@' with
+      | Some (f, n) -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 -> (f, Ok (Nth k))
+        | _ -> (f, Error (Printf.sprintf "bad @N trigger in clause %S" clause)))
+      | None -> (
+        match split_at '%' with
+        | Some (f, pct) -> (
+          match float_of_string_opt pct with
+          | Some p when p >= 0. && p <= 100. -> (f, Ok (Prob (p /. 100.)))
+          | _ -> (f, Error (Printf.sprintf "bad %%P trigger in clause %S" clause)))
+        | None -> (body, Ok Always))
+    in
+    (match trigger with
+    | Error _ as e -> e
+    | Ok trigger -> (
+      match fault_of_string fault_s with
+      | None -> Error (Printf.sprintf "unknown fault %S in clause %S" fault_s clause)
+      | Some fault -> Ok (on ~trigger ?limit site fault)))
+
+let of_spec spec =
+  let clauses =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed acc = function
+    | [] -> Ok (plan ~seed (List.rev acc))
+    | clause :: rest -> (
+      match String.index_opt clause '=' with
+      | Some i when String.sub clause 0 i = "seed" -> (
+        match
+          int_of_string_opt (String.sub clause (i + 1) (String.length clause - i - 1))
+        with
+        | Some s -> go s acc rest
+        | None -> Error (Printf.sprintf "bad seed in clause %S" clause))
+      | _ ->
+        if String.length clause > 6 && String.sub clause 0 6 = "crash@" then
+          let point = String.sub clause 6 (String.length clause - 6) in
+          go seed (at point :: acc) rest
+        else (
+          match String.index_opt clause ':' with
+          | None -> Error (Printf.sprintf "cannot parse clause %S" clause)
+          | Some i -> (
+            let site_s = String.sub clause 0 i in
+            let body = String.sub clause (i + 1) (String.length clause - i - 1) in
+            match parse_site_clause clause site_s body with
+            | Ok r -> go seed (r :: acc) rest
+            | Error _ as e -> e)))
+  in
+  if clauses = [] then Error "empty fault spec" else go 0 [] clauses
+
+(* A typo'd plan must not silently pass through — that would make a
+   chaos run vacuously green.  Parsed once, at first module use. *)
+let () =
+  match Sys.getenv_opt "GPGS_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match of_spec spec with
+    | Ok p -> activate p
+    | Error msg ->
+      prerr_endline ("gpgs: invalid GPGS_FAULT: " ^ msg);
+      exit 2)

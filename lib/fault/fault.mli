@@ -1,0 +1,168 @@
+(** Deterministic, seeded fault injection for the I/O surface.
+
+    Every syscall the codebase hardens against failure ({!Retry}'s EINTR
+    loops, {!Chunked}'s short reads, {!Netio}'s EPIPE handling,
+    {!Snapshot_io}'s mmap, the server's [accept]) funnels through the
+    wrappers in this module.  In production the plane is inert: the only
+    cost on the hot path is one [Atomic.get] and a branch, and with no
+    plan installed every wrapper is the identity over the underlying
+    primitive.  Under test, a {e plan} — a seeded list of rules — makes
+    the wrappers fail deterministically: return [EINTR] on the third
+    read, short every write to one byte, fail [accept] with [EMFILE]
+    twice, or abort the process at a named {e crash point} placed at an
+    exact write boundary.
+
+    Determinism is the contract that makes chaos testing debuggable:
+    a plan's behaviour is a pure function of its seed and the sequence
+    of sites hit, so any failing schedule replays exactly from
+    [GPGS_FAULT] or the seed printed by the chaos suite. *)
+
+(** {1 Sites, faults, triggers} *)
+
+type site = Read | Write | Open | Rename | Fsync | Mmap | Accept
+(** The injectable syscall surface.  [Read]/[Write] cover both buffered
+    channels and raw file descriptors; [Open] covers [open_in_bin] and
+    [Unix.openfile]; the rest map 1:1 to the primitive of the same
+    name. *)
+
+type fault =
+  | Errno of Unix.error
+      (** Fail with this errno — surfaced as [Unix_error] from
+          fd-level wrappers and as the strerror(3) [Sys_error] from
+          buffered-channel wrappers, matching what the real kernel
+          failure would look like to the caller. *)
+  | Partial of int
+      (** Transfer at most this many bytes (minimum 1) instead of the
+          requested length.  Only meaningful on [Read]/[Write]; a
+          no-op on other sites. *)
+  | Crash
+      (** Abort the process immediately with {!crash_exit_code} and no
+          buffer flushing — simulates power loss / [kill -9] at this
+          exact point. *)
+
+type trigger =
+  | Always  (** fire on every hit *)
+  | Nth of int  (** fire on exactly the [n]-th hit of this rule (1-based) *)
+  | Every of int  (** fire on every [n]-th hit *)
+  | Prob of float
+      (** fire with this probability, decided by a splitmix64 hash of
+          (plan seed, rule id, hit count) — deterministic for a given
+          seed. *)
+
+type rule
+
+val on : ?trigger:trigger -> ?limit:int -> site -> fault -> rule
+(** Rule injecting [fault] at [site] when [trigger] (default [Always])
+    fires, at most [limit] times in total (default unlimited). *)
+
+val at : ?trigger:trigger -> ?limit:int -> string -> rule
+(** Rule that crashes the process when the named {!crash_point} is
+    reached and [trigger] fires.  [limit] defaults to [1] (a crash can
+    only happen once anyway). *)
+
+(** {1 Plans} *)
+
+type plan
+
+val plan : ?seed:int -> rule list -> plan
+(** A fresh plan with zeroed counters.  Rules are consulted in order;
+    the first one that fires wins.  [seed] (default 0) feeds [Prob]
+    triggers. *)
+
+val activate : plan -> unit
+(** Install [plan] globally (replacing any active plan). *)
+
+val deactivate : unit -> unit
+(** Remove the active plan; all wrappers become passthrough again. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Run the thunk with [plan] active, restoring the previously active
+    plan (or passthrough) afterwards, on both return and raise. *)
+
+val active : unit -> bool
+(** [true] iff a plan is installed. *)
+
+val hits : plan -> site -> int
+(** How many times any wrapper for [site] was entered while [plan] was
+    active. *)
+
+val injected : plan -> site -> int
+(** How many of those hits actually had a fault injected. *)
+
+val crash_exit_code : int
+(** Exit status used by [Crash] faults and crash points: 70
+    (BSD [EX_SOFTWARE]), distinct from every CLI exit class. *)
+
+(** {1 Crash points} *)
+
+val crash_point : string -> unit
+(** Declare a named crash point.  Free when no plan is active; aborts
+    the process via [Unix._exit crash_exit_code] when the active plan
+    has a firing [at] rule for this name.  Writers place these at the
+    exact boundaries whose atomicity they claim (see
+    {!Durable.crash_points}). *)
+
+(** {1 The syscall surface}
+
+    Drop-in replacements for the underlying primitives.  With no plan
+    active each is exactly the primitive it names; with a plan active
+    the matching site's rules are consulted first.  Injected errnos are
+    surfaced the way the real failure would be: buffered-channel
+    wrappers raise the strerror(3) [Sys_error], fd-level wrappers raise
+    [Unix_error] — so callers' production handlers are what gets
+    exercised. *)
+
+val input : in_channel -> bytes -> int -> int -> int
+(** [Stdlib.input] through site [Read]. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] through site [Read]. *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write] through site [Write]. *)
+
+val open_in_bin : string -> in_channel
+(** [Stdlib.open_in_bin] through site [Open]. *)
+
+val openfile : string -> Unix.open_flag list -> Unix.file_perm -> Unix.file_descr
+(** [Unix.openfile] through site [Open]. *)
+
+val rename : string -> string -> unit
+(** [Unix.rename] through site [Rename]. *)
+
+val fsync : Unix.file_descr -> unit
+(** [Unix.fsync] through site [Fsync]. *)
+
+val map_file :
+  Unix.file_descr ->
+  ?pos:int64 ->
+  ('a, 'b) Bigarray.kind ->
+  'c Bigarray.layout ->
+  bool ->
+  int array ->
+  ('a, 'b, 'c) Bigarray.Genarray.t
+(** [Unix.map_file] through site [Mmap]. *)
+
+val accept : ?cloexec:bool -> Unix.file_descr -> Unix.file_descr * Unix.sockaddr
+(** [Unix.accept] through site [Accept]. *)
+
+(** {1 Environment spec}
+
+    [GPGS_FAULT] installs a plan at program start — the hook that lets
+    the crash-point matrix drive a real [gpgs] child process.  The spec
+    is [;]-separated clauses:
+
+    - [seed=N] — plan seed;
+    - [crash@POINT] — crash once at the named point;
+    - [SITE:FAULT(@N | %P)?(xLIMIT)?] — e.g. [read:eintr@3] (EINTR on
+      the 3rd read), [write:partial=1%5] (short writes to 1 byte with
+      probability 5%), [accept:emfilex2] (EMFILE on the first two
+      accepts).  Sites: [read write open rename fsync mmap accept];
+      faults: [eintr eagain eio enospc emfile epipe crash partial=N].
+
+    A malformed spec prints the error and exits 2 before any work
+    happens — silently ignoring a typo'd fault plan would make a chaos
+    run vacuously green. *)
+
+val of_spec : string -> (plan, string) result
+(** Parse the [GPGS_FAULT] clause language. *)

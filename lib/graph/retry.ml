@@ -1,5 +1,11 @@
 (* EINTR-hardened I/O primitives.  See retry.mli. *)
 
+(* Every primitive below enters the kernel through the {!Fault} plane,
+   so a fault plan can interpose EINTR, short transfers, or errnos on
+   exactly the calls these wrappers claim to harden.  With no plan
+   active [Fault.input] etc. are the raw primitives. *)
+module Fault = Pg_fault.Fault
+
 (* The Unix layer raises [Unix_error (EINTR, _, _)]; buffered channels
    translate the errno into a [Sys_error] carrying strerror(3) text, so
    the message is the only thing left to match on. *)
@@ -14,7 +20,7 @@ let interrupted = function
 
 let rec syscall f = try f () with e when interrupted e -> syscall f
 
-let input ic buf pos len = syscall (fun () -> Stdlib.input ic buf pos len)
+let input ic buf pos len = syscall (fun () -> Fault.input ic buf pos len)
 
 let rec really_input ic buf pos len =
   if len > 0 then begin
@@ -23,8 +29,8 @@ let rec really_input ic buf pos len =
     really_input ic buf (pos + n) (len - n)
   end
 
-let read fd buf pos len = syscall (fun () -> Unix.read fd buf pos len)
-let write fd buf pos len = syscall (fun () -> Unix.write fd buf pos len)
+let read fd buf pos len = syscall (fun () -> Fault.read fd buf pos len)
+let write fd buf pos len = syscall (fun () -> Fault.write fd buf pos len)
 
 let rec really_write fd buf pos len =
   if len > 0 then begin

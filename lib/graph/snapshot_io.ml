@@ -36,6 +36,8 @@
    label columns and property keys through the resulting old->new map —
    that is what makes a snapshot schema-independent (see the .mli). *)
 
+module Fault = Pg_fault.Fault
+
 let format_version = 2
 let magic = "GPGSNAP1"
 let n_sections = 15
@@ -222,18 +224,19 @@ let write st (snap : Snapshot.t) path =
     (fun i off -> Bytes.set_int64_le body (offsets.(12) + (8 * i)) (Int64.of_int off))
     eoffs;
   let crc = crc32_update 0 (Bytes.unsafe_to_string body) 0 (Bytes.length body) in
-  (* temp + rename: a crashed writer never leaves a torn file at [path] *)
-  let tmp = path ^ ".tmp" in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 (Int64.of_int crc);
+  (* Durable temp+fsync+rename: a crash at any point (the matrix test
+     kills the process at every Durable crash point) leaves [path]
+     either absent, its previous content, or fully valid. *)
   try
-    let oc = open_out_bin tmp in
-    output_bytes oc body;
-    let tail = Bytes.create 8 in
-    Bytes.set_int64_le tail 0 (Int64.of_int crc);
-    output_bytes oc tail;
-    close_out oc;
-    Sys.rename tmp path;
+    Durable.write_file path
+      [ Bytes.unsafe_to_string body; Bytes.unsafe_to_string tail ];
     Ok ()
-  with Sys_error msg -> err "IO001" "cannot write snapshot %s: %s" path msg
+  with
+  | Sys_error msg -> err "IO001" "cannot write snapshot %s: %s" path msg
+  | Unix.Unix_error (e, _, _) ->
+    err "IO001" "cannot write snapshot %s: %s" path (Unix.error_message e)
 
 (* ---------- reading ---------- *)
 
@@ -370,7 +373,7 @@ let map_ints fd ~pos ~len =
   if len = 0 then Snapshot.ints_create 0
   else
     let g =
-      Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false
+      Fault.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false
         [| len |]
     in
     Bigarray.array1_of_genarray g
@@ -444,7 +447,7 @@ let remap_of md id =
 
 let open_mapped st path =
   match
-    let ic = Retry.syscall (fun () -> open_in_bin path) in
+    let ic = Retry.syscall (fun () -> Fault.open_in_bin path) in
     let ok = ref false in
     Fun.protect
       ~finally:(fun () -> if not !ok then close_in_noerr ic)
@@ -483,7 +486,7 @@ let open_mapped st path =
           expect 11 (n + 1);
           expect 12 (m + 1);
           (* mmap the int columns; the mapping outlives the fd *)
-          let fd = Retry.syscall (fun () -> Unix.openfile path [ Unix.O_RDONLY ] 0) in
+          let fd = Retry.syscall (fun () -> Fault.openfile path [ Unix.O_RDONLY ] 0) in
           Fun.protect
             ~finally:(fun () -> Unix.close fd)
             (fun () ->
@@ -538,14 +541,26 @@ let open_mapped st path =
   | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" path msg
   | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" path msg
   | exception End_of_file -> err "IO004" "malformed snapshot %s: unexpected end of file" path
+  | exception Unix.Unix_error (e, fn, _) ->
+    (* device-level failure (EIO on a faulted page, mmap refusal, ...):
+       a different repair story than IO001's "file unreadable", so it
+       gets its own code *)
+    err "IO006" "I/O failure opening snapshot %s: %s failed: %s" path fn
+      (Unix.error_message e)
 
-let wrap_prop_errors md f =
+(* [section] names what was being pulled off disk ("node properties",
+   "edge properties") so an IO006 from a faulted page read says which
+   part of the snapshot is unreadable, not just which file. *)
+let wrap_prop_errors md ~section f =
   match f () with
   | () -> Ok ()
   | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" md.m_path msg
   | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" md.m_path msg
   | exception End_of_file ->
     err "IO004" "malformed snapshot %s: unexpected end of file" md.m_path
+  | exception Unix.Unix_error (e, fn, _) ->
+    err "IO006" "I/O failure reading %s of snapshot %s: %s failed: %s" section
+      md.m_path fn (Unix.error_message e)
 
 (* Parse the vectors of [offs]-indexed elements [parse_at] lists out of
    one contiguous byte range [base, stop) read in a single request. *)
@@ -563,7 +578,7 @@ let parse_at md cur ~base (offs : Snapshot.ints) i =
   vec
 
 let load_node_props md ~lo ~hi =
-  wrap_prop_errors md (fun () ->
+  wrap_prop_errors md ~section:"node properties" (fun () ->
       if lo < 0 || hi > md.m_snap.Snapshot.n || lo > hi then
         invalid_arg "Snapshot_io.load_node_props: range out of bounds";
       if hi > lo then begin
@@ -581,7 +596,7 @@ let load_node_props md ~lo ~hi =
 let coalesce_gap = 4096
 
 let load_edge_props md (edges : int array) =
-  wrap_prop_errors md (fun () ->
+  wrap_prop_errors md ~section:"edge properties" (fun () ->
       let len = Array.length edges in
       Array.iteri
         (fun x e ->
@@ -636,7 +651,7 @@ let load st path =
 
 let info path =
   match
-    let ic = Retry.syscall (fun () -> open_in_bin path) in
+    let ic = Retry.syscall (fun () -> Fault.open_in_bin path) in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
@@ -650,3 +665,6 @@ let info path =
   | exception Sys_error msg -> err "IO001" "cannot read snapshot %s: %s" path msg
   | exception Malformed msg -> err "IO004" "malformed snapshot %s: %s" path msg
   | exception End_of_file -> err "IO004" "malformed snapshot %s: unexpected end of file" path
+  | exception Unix.Unix_error (e, fn, _) ->
+    err "IO006" "I/O failure reading snapshot %s: %s failed: %s" path fn
+      (Unix.error_message e)

@@ -66,22 +66,33 @@ let read_graphml ?max_errors ?(on_fault = fun _ -> ()) source =
   | Error e -> Error e
 
 (* Quarantine files collect the raw text of skipped records, one per
-   line, created lazily so a clean ingest leaves no file behind. *)
+   line, created lazily so a clean ingest leaves no file behind.  The
+   records are the operator's only copy of the data that was dropped,
+   so they go through {!Durable}: written to a temp file, fsynced and
+   renamed into place when the ingest finishes — a crash mid-ingest
+   leaves no half-written quarantine, and a completed ingest's
+   quarantine survives power loss. *)
 let with_quarantine path k =
-  let oc = ref None in
+  let w = ref None in
   let write (f : fault) =
     let out =
-      match !oc with
+      match !w with
       | Some out -> out
       | None ->
-        let out = open_out_bin path in
-        oc := Some out;
+        let out = Durable.create path in
+        w := Some out;
         out
     in
-    output_string out f.text;
-    output_char out '\n'
+    Durable.write out f.text;
+    Durable.write out "\n"
   in
-  Fun.protect ~finally:(fun () -> Option.iter close_out_noerr !oc) (fun () -> k write)
+  match k write with
+  | v ->
+    Option.iter Durable.commit !w;
+    v
+  | exception e ->
+    Option.iter Durable.abort !w;
+    raise e
 
 let load_pgf ?max_errors ?quarantine path =
   match
@@ -95,6 +106,8 @@ let load_pgf ?max_errors ?quarantine path =
         | Some qpath -> with_quarantine qpath go)
   with
   | exception Sys_error message -> Result.Error { Pgf.line = 0; message }
+  | exception Unix.Unix_error (e, _, _) ->
+    Result.Error { Pgf.line = 0; message = Unix.error_message e }
   | outcome -> Ok outcome
 
 let load_graphml ?max_errors ?quarantine path =
@@ -109,4 +122,6 @@ let load_graphml ?max_errors ?quarantine path =
         | Some qpath -> with_quarantine qpath go)
   with
   | exception Sys_error message -> Result.Error { Graphml.message }
+  | exception Unix.Unix_error (e, _, _) ->
+    Result.Error { Graphml.message = Unix.error_message e }
   | r -> r

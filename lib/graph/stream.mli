@@ -56,8 +56,10 @@ val load_pgf :
 (** [load_pgf path] streams a PGF file through {!read_pgf}.
     [quarantine] names a file that receives the raw text of every
     skipped record, one per line; it is created lazily on the first
-    fault (a clean ingest leaves no file behind).  I/O failures are
-    returned as [Error] with [line = 0], never raised. *)
+    fault (a clean ingest leaves no file behind) and committed through
+    {!Durable} when the ingest completes, so a crash mid-ingest never
+    leaves a torn quarantine file.  I/O failures are returned as
+    [Error] with [line = 0], never raised. *)
 
 val load_graphml :
   ?max_errors:int -> ?quarantine:string -> string -> (outcome, Graphml.error) result

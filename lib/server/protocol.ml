@@ -25,9 +25,11 @@ type validate_req = {
 type request =
   | Ping
   | Stats
+  | Health
   | Validate of validate_req
   | Debug_boom
   | Debug_sleep of float
+  | Debug_stall of float
 
 let ( let* ) = Result.bind
 
@@ -122,11 +124,15 @@ let parse line =
     match op with
     | "ping" -> Ok Ping
     | "stats" -> Ok Stats
+    | "health" -> Ok Health
     | "validate" -> parse_validate fields
     | "boom" -> Ok Debug_boom
     | "sleep" ->
       let* s = opt_number fields "seconds" in
       Ok (Debug_sleep (Option.value s ~default:1.0))
+    | "stall" ->
+      let* s = opt_number fields "seconds" in
+      Ok (Debug_stall (Option.value s ~default:1.0))
     | op -> Error (Printf.sprintf "unknown op %S" op))
   | Ok _ -> Error "request must be a JSON object"
 

@@ -13,10 +13,15 @@
     corresponding [gpgs validate] flag default.  The response line for a
     [validate] is the {!Graphql_pg.Diag_report} envelope — the same JSON
     document [gpgs validate --format json] prints, compact-rendered.
-    Other operations: ["ping"] (liveness) and ["stats"] (request and
-    cache counters).  The debug operations ["boom"] (crash a worker) and
-    ["sleep"] (hold a worker busy) exist for fault-injection tests and
-    are only honoured when the service was started with [debug_ops]. *)
+    Other operations: ["ping"] (liveness), ["stats"] (request and
+    cache counters) and ["health"] (operational self-report: uptime,
+    queue depth, in-flight jobs, cache counters, accept backoffs,
+    watchdog cancellations, last-drain status — the op a load balancer
+    or orchestrator probes).  The debug operations ["boom"] (crash a
+    worker), ["sleep"] (hold a worker busy) and ["stall"] (hold a
+    worker busy while {e ignoring} its deadline — a wedged job for
+    watchdog tests) exist for fault-injection tests and are only
+    honoured when the service was started with [debug_ops]. *)
 
 type validate_req = {
   schema : string;  (** path to the schema file *)
@@ -37,9 +42,13 @@ type validate_req = {
 type request =
   | Ping
   | Stats
+  | Health  (** operational self-report (always available, never queued behind work) *)
   | Validate of validate_req
   | Debug_boom  (** raise inside the worker (tests the SRV005 path) *)
   | Debug_sleep of float  (** hold the worker for [s] seconds (tests shedding) *)
+  | Debug_stall of float
+      (** hold the worker for [s] seconds ignoring the deadline — a
+          wedged job only the watchdog can end (tests the SRV006 path) *)
 
 val parse : string -> (request, string) result
 (** Parse one request line.  [Error] carries a human-readable reason

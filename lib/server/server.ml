@@ -6,6 +6,9 @@
    either poll the stop flag or are woken by the drain broadcast, so no
    part of the server can sleep through a shutdown. *)
 
+module Fault = Graphql_pg.Fault
+module Json = Graphql_pg.Json
+
 type address = Unix_socket of string | Tcp of string * int
 
 type config = {
@@ -15,6 +18,7 @@ type config = {
   max_request_bytes : int;
   read_timeout_ms : float;
   drain_grace_ms : float;
+  watchdog_grace_ms : float;
 }
 
 let default_config address =
@@ -25,6 +29,7 @@ let default_config address =
     max_request_bytes = 1 lsl 20;
     read_timeout_ms = 30_000.;
     drain_grace_ms = 2_000.;
+    watchdog_grace_ms = 10_000.;
   }
 
 let resolve_host host =
@@ -73,6 +78,8 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
   if config.max_request_bytes < 1 then invalid_arg "Server.run: max_request_bytes must be positive";
   if config.read_timeout_ms <= 0. then invalid_arg "Server.run: read_timeout_ms must be positive";
   if config.drain_grace_ms < 0. then invalid_arg "Server.run: drain_grace_ms must be non-negative";
+  if config.watchdog_grace_ms < 0. then
+    invalid_arg "Server.run: watchdog_grace_ms must be non-negative";
   (* A client that disconnects while a worker is writing its response
      must cost an EPIPE error value, not a fatal signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -87,6 +94,22 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
      observe a connection that is neither queued nor counted. *)
   let in_flight = ref 0 in
   let should_stop () = Atomic.get stop in
+  let accept_backoffs = Atomic.make 0 in
+  let draining = Atomic.make false in
+  let last_drain = Atomic.make "never" in
+  (* What only this loop can see, appended to the [health] summary. *)
+  Service.set_probe service (fun () ->
+    let queue_depth, inflight =
+      Mutex.protect qm (fun () -> (Queue.length queue, !in_flight))
+    in
+    [
+      ("queue_depth", Json.Int queue_depth);
+      ("in_flight", Json.Int inflight);
+      ("workers", Json.Int config.workers);
+      ("accept_backoffs", Json.Int (Atomic.get accept_backoffs));
+      ("draining", Json.Bool (Atomic.get draining));
+      ("last_drain", Json.String (Atomic.get last_drain));
+    ]);
 
   let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> () in
 
@@ -145,17 +168,31 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
   Option.iter (fun f -> f resolved) on_ready;
 
   (* ---- accept loop (calling domain) ---- *)
+  (* Descriptor-exhaustion backoff: EMFILE/ENFILE (and kernel buffer
+     exhaustion) are load conditions, not listener defects.  Dying here
+     would turn "too many clients" into "no server"; instead sleep an
+     escalating beat — workers finishing requests close descriptors,
+     so capacity returns on its own.  The delay resets on the first
+     successful accept. *)
+  let accept_delay = ref 0.05 in
   let accept_one () =
     match Unix.select [ lfd ] [] [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | [], _, _ -> ()
     | _ -> (
-      match Unix.accept ~cloexec:true lfd with
+      match Fault.accept ~cloexec:true lfd with
       | exception
           Unix.Unix_error
             ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         ()
+      | exception
+          Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
+        ->
+        Atomic.incr accept_backoffs;
+        Unix.sleepf !accept_delay;
+        accept_delay := Float.min (!accept_delay *. 2.) 1.0
       | cfd, _ ->
+        accept_delay := 0.05;
         let enqueued =
           Mutex.protect qm (fun () ->
             if Queue.length queue >= config.max_pending then false
@@ -173,10 +210,16 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
         end)
   in
   while not (Atomic.get stop) do
-    accept_one ()
+    accept_one ();
+    (* Watchdog beat: rides the accept loop's ≤200 ms cadence, so a
+       wedged request is cancelled within a beat of exceeding
+       deadline + grace. *)
+    ignore (Service.watchdog_sweep service ~grace_ms:config.watchdog_grace_ms)
   done;
 
   (* ---- graceful drain ---- *)
+  Atomic.set draining true;
+  let drain_started = Unix.gettimeofday () in
   close_quietly lfd;
   (match resolved with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
@@ -189,13 +232,20 @@ let run ?(stop = Atomic.make false) ?on_ready config service =
     Unix.sleepf 0.02
   done;
   (* ...then cut the budgeted ones loose at their next governor
-     checkpoint.  (An unbudgeted job runs under the inert governor for
-     byte-parity and is waited for: correctness of delivered responses
-     over drain latency.) *)
+     checkpoint: set the flag first (a job registering from now on
+     self-cancels), then cancel every already-registered job through
+     the registry.  (An unbudgeted job runs under the inert governor
+     for byte-parity and is waited for: correctness of delivered
+     responses over drain latency.) *)
   Atomic.set cancel true;
+  Service.cancel_inflight service;
   List.iter Domain.join domains;
   (* Connections accepted but never picked up: close them; their clients
      see EOF rather than a hung socket. *)
   Mutex.protect qm (fun () ->
     Queue.iter close_quietly queue;
-    Queue.clear queue)
+    Queue.clear queue);
+  Atomic.set last_drain
+    (Printf.sprintf "completed in %.0fms"
+       ((Unix.gettimeofday () -. drain_started) *. 1000.));
+  Atomic.set draining false

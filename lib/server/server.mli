@@ -14,6 +14,12 @@
       supervisor firewall inside {!Service};
     - SIGPIPE is ignored process-wide, so a client that disconnects
       mid-response costs one failed write;
+    - descriptor exhaustion ([EMFILE]/[ENFILE]) on [accept] backs the
+      loop off with an escalating sleep instead of killing the
+      listener — capacity returns when workers close connections;
+    - a watchdog rides the accept loop: any budgeted request still
+      running [watchdog_grace_ms] past its own deadline is cancelled
+      through its governor and reports [SRV006];
     - drain: stop accepting, let in-flight requests finish within
       [drain_grace_ms], then cancel the still-running budgeted jobs and
       join every worker.  [run] returning normally {e is} the clean
@@ -30,10 +36,14 @@ type config = {
   max_request_bytes : int;  (** frame size limit (SRV002 beyond it) *)
   read_timeout_ms : float;  (** idle-connection cutoff; the socket is closed *)
   drain_grace_ms : float;  (** how long a drain waits before cancelling jobs *)
+  watchdog_grace_ms : float;
+      (** slack past a request's own deadline before the watchdog
+          cancels it as wedged (SRV006) *)
 }
 
 val default_config : address -> config
-(** 4 workers, 16 pending, 1 MiB frames, 30 s read timeout, 2 s grace. *)
+(** 4 workers, 16 pending, 1 MiB frames, 30 s read timeout, 2 s drain
+    grace, 10 s watchdog grace. *)
 
 val run : ?stop:bool Atomic.t -> ?on_ready:(address -> unit) -> config -> Service.t -> unit
 (** Serve until [stop] becomes true, then drain and return.  The accept

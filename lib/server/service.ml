@@ -31,6 +31,17 @@ let default_config =
     debug_ops = false;
   }
 
+(* One in-flight deadlined request, as the watchdog sees it.  Jobs with
+   no deadline are not registered: their governor is the inert
+   [Governor.make ()] (byte-parity contract) and cannot be cancelled,
+   and "wedged" is only defined relative to a deadline anyway. *)
+type job = {
+  j_started : float;
+  j_deadline_ms : float;
+  j_gov : GP.Governor.t;
+  mutable j_wedged : bool;
+}
+
 type t = {
   cfg : config;
   plans : (GP.Plan.t, GP.Diag.t list) result Cache.t;
@@ -38,6 +49,15 @@ type t = {
   requests : int Atomic.t;
   crashes : int Atomic.t;
   shed : int Atomic.t;
+  started_at : float;
+  watchdog_cancels : int Atomic.t;
+  jobs_lock : Mutex.t;
+  jobs : (int, job) Hashtbl.t;
+  next_job : int Atomic.t;
+  (* host-installed extra health fields (queue depth, worker count...):
+     the service cannot see the server's queue, so the server injects a
+     probe at startup *)
+  probe : (unit -> (string * Json.t) list) Atomic.t;
 }
 
 let create ?(config = default_config) () =
@@ -48,7 +68,78 @@ let create ?(config = default_config) () =
     requests = Atomic.make 0;
     crashes = Atomic.make 0;
     shed = Atomic.make 0;
+    started_at = Unix.gettimeofday ();
+    watchdog_cancels = Atomic.make 0;
+    jobs_lock = Mutex.create ();
+    jobs = Hashtbl.create 16;
+    next_job = Atomic.make 0;
+    probe = Atomic.make (fun () -> []);
   }
+
+let set_probe t f = Atomic.set t.probe f
+
+(* Run [f] registered as a job visible to {!watchdog_sweep} and
+   {!cancel_inflight}; returns [f]'s value and whether the watchdog
+   cancelled the job while it ran.  Jobs without a deadline register
+   with an infinite one: the drain can still cancel them, the watchdog
+   never fires on them.  [drain] is the server's drain flag — re-checked
+   after registration so a job that starts while the drain is already
+   cancelling (and so was missed by {!cancel_inflight}'s sweep) still
+   stops at its first checkpoint. *)
+let with_job t ~drain ~deadline_ms ~gov f =
+  let id = Atomic.fetch_and_add t.next_job 1 in
+  let job =
+    {
+      j_started = Unix.gettimeofday ();
+      j_deadline_ms = Option.value deadline_ms ~default:Float.infinity;
+      j_gov = gov;
+      j_wedged = false;
+    }
+  in
+  Mutex.protect t.jobs_lock (fun () -> Hashtbl.replace t.jobs id job);
+  (match drain with
+  | Some c when Atomic.get c -> GP.Governor.cancel gov
+  | _ -> ());
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Mutex.protect t.jobs_lock (fun () -> Hashtbl.remove t.jobs id))
+      f
+  in
+  (v, job.j_wedged)
+
+(* Drain support: cancel every registered in-flight job (each holds its
+   own cancellation flag — the watchdog and the drain never touch a
+   flag shared across requests). *)
+let cancel_inflight t =
+  Mutex.protect t.jobs_lock (fun () ->
+    Hashtbl.iter (fun _ job -> GP.Governor.cancel job.j_gov) t.jobs)
+
+let in_flight_jobs t = Mutex.protect t.jobs_lock (fun () -> Hashtbl.length t.jobs)
+
+(* The watchdog: cancel (via the governor, so the engine stops at its
+   next cooperative checkpoint) every registered job that has run past
+   its own deadline plus [grace_ms].  A healthy deadlined job stops
+   itself at the deadline; one that is still running [grace_ms] later is
+   wedged — stuck in a non-polling loop or a blocked syscall the budget
+   cannot see.  Returns how many jobs were cancelled by this sweep. *)
+let watchdog_sweep t ~grace_ms =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.jobs_lock (fun () ->
+    Hashtbl.fold
+      (fun _ job n ->
+        if
+          (not job.j_wedged)
+          && now > job.j_started +. ((job.j_deadline_ms +. grace_ms) /. 1000.)
+        then begin
+          job.j_wedged <- true;
+          GP.Governor.cancel job.j_gov;
+          Atomic.incr t.watchdog_cancels;
+          n + 1
+        end
+        else n)
+      t.jobs 0)
+
+let watchdog_cancelled t = Atomic.get t.watchdog_cancels
 
 let plan_stats t = Cache.stats t.plans
 let snapshot_stats t = Cache.stats t.snapshots
@@ -177,9 +268,15 @@ let run_validate t ~cancel (r : Protocol.validate_req) =
   let max_violations =
     match r.max_violations with Some _ as m -> m | None -> t.cfg.default_max_violations
   in
+  (* Budgeted requests get a private cancellation flag (never the
+     server's shared drain flag: the watchdog cancels one wedged job by
+     [Governor.cancel], and on a shared flag that would cancel every
+     in-flight request).  The drain reaches budgeted jobs through the
+     job registry instead — see [with_job] / [cancel_inflight]. *)
+  let budgeted = deadline_ms <> None || max_violations <> None in
   let gov =
-    if deadline_ms <> None || max_violations <> None then
-      GP.Governor.make ?deadline_ms ?max_violations ?cancel ()
+    if budgeted then
+      GP.Governor.make ?deadline_ms ?max_violations ~cancel:(Atomic.make false) ()
     else GP.Governor.make ()
   in
   (* Parsing the graph text is plan-independent, so it runs outside the
@@ -244,7 +341,11 @@ let run_validate t ~cancel (r : Protocol.validate_req) =
     (* [Reply] must tunnel through the supervisor (it is the finished
        response, not a crash), so the job wraps it into a result. *)
     let job () = try Ok (check ()) with Reply resp -> Error resp in
-    match supervised t job with
+    let outcome, wedged =
+      if budgeted then with_job t ~drain:cancel ~deadline_ms ~gov (fun () -> supervised t job)
+      else (supervised t job, false)
+    in
+    match outcome with
     | GP.Supervisor.Done (Error resp, _attempts) -> resp
     | GP.Supervisor.Done (Ok report, _attempts) ->
       let diags = GP.Validate.diagnostics report in
@@ -258,6 +359,19 @@ let run_validate t ~cancel (r : Protocol.validate_req) =
                     completed"
                    r.graph
                    (Option.get deadline_ms));
+            ]
+        else diags
+      in
+      let diags =
+        if wedged then
+          diags
+          @ [
+              GP.Diag.error ~code:"SRV006" ~subject:r.graph
+                (Printf.sprintf
+                   "%s: request ran past its %gms deadline plus the watchdog grace and \
+                    was cancelled"
+                   r.graph
+                   (Option.value deadline_ms ~default:0.));
             ]
         else diags
       in
@@ -307,6 +421,25 @@ let stats_response t =
       ]
     []
 
+(* The operational self-report.  Base fields come from the service's
+   own counters; the host probe (installed by the server via
+   {!set_probe}) appends what only the accept loop can see: queue
+   depth, worker count, accept backoffs, drain state. *)
+let health_response t =
+  let base =
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("requests", Json.Int (Atomic.get t.requests));
+      ("crashed", Json.Int (Atomic.get t.crashes));
+      ("shed", Json.Int (Atomic.get t.shed));
+      ("in_flight_jobs", Json.Int (in_flight_jobs t));
+      ("watchdog_cancelled", Json.Int (Atomic.get t.watchdog_cancels));
+      ("plan_cache", cache_stats_json (Cache.stats t.plans));
+      ("snapshot_cache", cache_stats_json (Cache.stats t.snapshots));
+    ]
+  in
+  render_envelope ~command:"server-health" ~summary:(base @ (Atomic.get t.probe) ()) []
+
 let debug_disabled op =
   malformed (Printf.sprintf "op %S is a debug operation (start the server with --debug-ops)" op)
 
@@ -317,9 +450,11 @@ let handle t ?cancel line =
     | Error msg -> malformed msg
     | Ok Protocol.Ping -> ping_response ()
     | Ok Protocol.Stats -> stats_response t
+    | Ok Protocol.Health -> health_response t
     | Ok (Protocol.Validate r) -> run_validate t ~cancel r
     | Ok Protocol.Debug_boom when not t.cfg.debug_ops -> debug_disabled "boom"
     | Ok (Protocol.Debug_sleep _) when not t.cfg.debug_ops -> debug_disabled "sleep"
+    | Ok (Protocol.Debug_stall _) when not t.cfg.debug_ops -> debug_disabled "stall"
     | Ok Protocol.Debug_boom -> (
       match supervised t (fun () -> failwith "injected crash (debug op)") with
       | GP.Supervisor.Done ((), _) -> ping_response ()
@@ -327,6 +462,24 @@ let handle t ?cancel line =
     | Ok (Protocol.Debug_sleep s) ->
       Unix.sleepf (Float.max 0. s);
       render_envelope ~command:"sleep" ~summary:[ ("slept_s", Json.Float s) ] []
+    | Ok (Protocol.Debug_stall s) ->
+      (* A controllable wedged job: registered with a 0 ms deadline it
+         then ignores, so only a cancellation — the watchdog's, or the
+         drain's — ends it before its full duration. *)
+      let flag = Atomic.make false in
+      let gov = GP.Governor.make ~deadline_ms:0. ~cancel:flag () in
+      let (), wedged =
+        with_job t ~drain:cancel ~deadline_ms:(Some 0.) ~gov (fun () ->
+          let stop_at = Unix.gettimeofday () +. Float.max 0. s in
+          while Unix.gettimeofday () < stop_at && not (Atomic.get flag) do
+            Unix.sleepf 0.02
+          done)
+      in
+      if wedged then
+        srv_error ~command:"stall" ~code:"SRV006" ~subject:"debug"
+          ~cls:GP.Diag.Exit.Budget
+          "debug: stalled request cancelled by the watchdog"
+      else render_envelope ~command:"stall" ~summary:[ ("stalled_s", Json.Float s) ] []
   with
   | Reply response -> response
   | e ->

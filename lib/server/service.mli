@@ -10,9 +10,13 @@
     equivalent invocation, compact-rendered.  To keep that exact — an
     {e active} budget changes the report's scan counters — a request
     with no budget of its own (and no server default) runs under the
-    inert [Governor.make ()], not under the drain-cancellation flag;
-    only budgeted requests attach [cancel] and can be cut short by a
-    drain deadline. *)
+    inert [Governor.make ()] and cannot be cancelled; only budgeted
+    requests can be cut short.  Each budgeted request owns a private
+    cancellation flag and registers in a job table, through which the
+    server's drain ({!cancel_inflight}) and the watchdog
+    ({!watchdog_sweep}) cancel it — never through a flag shared across
+    requests, so cancelling one wedged job leaves its neighbours
+    running. *)
 
 type config = {
   plan_capacity : int;  (** LRU capacity of the compiled-plan cache *)
@@ -24,7 +28,8 @@ type config = {
   retries : int;
       (** supervisor retries per request (transient failures only);
           crashes always become [SRV005], never a dead worker *)
-  debug_ops : bool;  (** honour the fault-injection ops [boom] / [sleep] *)
+  debug_ops : bool;
+      (** honour the fault-injection ops [boom] / [sleep] / [stall] *)
 }
 
 val default_config : config
@@ -39,7 +44,30 @@ val handle : t -> ?cancel:bool Atomic.t -> string -> string
     newline included).  Never raises: malformed requests become [SRV001]
     envelopes and anything a job throws is caught by the supervisor
     firewall and reported as [SRV005].  [cancel] is the server's drain
-    flag; it is attached to the governor of budgeted requests only. *)
+    flag; budgeted requests re-check it when they register, so a
+    request starting mid-drain stops at its first checkpoint. *)
+
+val watchdog_sweep : t -> grace_ms:float -> int
+(** Cancel every registered job still running [grace_ms] past its own
+    deadline.  A cancelled job's response gains an [SRV006] diagnostic.
+    Returns the number of jobs cancelled by this sweep.  The server's
+    accept loop calls this periodically; it is cheap when nothing is
+    wedged (one mutex and a scan of the in-flight jobs). *)
+
+val cancel_inflight : t -> unit
+(** Cancel every registered in-flight job — the drain's lever, replacing
+    a flag shared across requests. *)
+
+val set_probe : t -> (unit -> (string * Graphql_pg.Json.t) list) -> unit
+(** Install the host probe whose fields are appended to the [health]
+    summary (queue depth, workers, accept backoffs, drain state — what
+    only the accept loop can see). *)
+
+val in_flight_jobs : t -> int
+(** Registered (budgeted) jobs currently executing. *)
+
+val watchdog_cancelled : t -> int
+(** Total jobs ever cancelled by {!watchdog_sweep}. *)
 
 val shed_response : t -> string
 (** Count one load-shed and return the [SRV004] envelope line the

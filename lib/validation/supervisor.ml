@@ -29,6 +29,11 @@ type 'a outcome = Done of 'a * int | Crashed of crash
 let transient_errno = function
   | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNRESET | Unix.ETIMEDOUT ->
     true
+  (* ENOSPC is explicitly non-transient: a full disk does not drain
+     itself between retry attempts, and every retry of a batch write
+     would grind through the whole write again just to fail at the same
+     byte.  Fail fast and let the operator reclaim space. *)
+  | Unix.ENOSPC -> false
   | _ -> false
 
 (* Buffered-channel I/O surfaces errnos as [Sys_error] carrying the

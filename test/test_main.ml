@@ -48,4 +48,5 @@ let () =
       ("snapshot_io", Test_snapshot_io.suite);
       ("sharded", Test_sharded.suite);
       ("server", Test_server.suite);
+      ("fault", Test_fault.suite);
     ]
